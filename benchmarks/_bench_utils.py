@@ -1,0 +1,38 @@
+"""Shared helpers for the benchmark harness.
+
+Each ``bench_eXX_*`` module regenerates one experiment from DESIGN.md's
+index (the paper's figures, mechanically-checked claims, and stated
+bounds).  Conventions:
+
+- the timed callable *is* the experiment (workload generation included),
+  so `pytest benchmarks/ --benchmark-only` both measures and validates;
+- reproduced rows/series are attached to ``benchmark.extra_info`` so
+  they appear in the benchmark report, and printed with ``emit`` for
+  ``-s`` runs;
+- shape assertions (who wins, what breaks, which bound holds) run on
+  the result of the final timed round — a benchmark that regenerates the
+  wrong table fails loudly rather than reporting a meaningless time.
+
+Environment knobs:
+
+- ``REPRO_BENCH_SEEDS`` (default 20): seeds per statistical sweep;
+- ``REPRO_E4_BUDGET`` (default 200000): N=3 states per wiring class;
+- ``REPRO_E4_FULL=1``: remove the E4 budget (hours; exhaustive N=3).
+"""
+
+from __future__ import annotations
+
+import os
+
+SEEDS = int(os.environ.get("REPRO_BENCH_SEEDS", "20"))
+E4_BUDGET = (
+    None
+    if os.environ.get("REPRO_E4_FULL") == "1"
+    else int(os.environ.get("REPRO_E4_BUDGET", "200000"))
+)
+
+
+def emit(*lines: str) -> None:
+    """Print reproduction rows (visible with ``pytest -s``)."""
+    for line in lines:
+        print(line)

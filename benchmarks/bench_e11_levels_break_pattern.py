@@ -1,0 +1,124 @@
+"""E11 — the levels break the Figure 2 pattern (Section 5.1).
+
+"In the example of Figure 2, p1 always reads {1} — the source stable
+view — from itself; thus, if it tracked its level as above, p1 would
+increase its level at each read and eventually terminate returning
+snapshot {1}; this would break the infinitely repeating pattern."
+
+Reproduction: run the *level-tracking* snapshot algorithm (Figure 3)
+under the Figure 2 wiring and churn pattern.  p1 terminates first with
+exactly {1}; the pattern collapses, every processor terminates, and all
+outputs are containment-related — the write-scan loop under the same
+schedule cycles forever (E1).
+"""
+
+from repro.core import SnapshotMachine
+from repro.core.views import all_comparable, view
+from repro.memory import AnonymousMemory
+from repro.sim import MachineProcess, Runner
+from repro.sim.machine import FIRST_ENABLED
+from repro.sim.scripted import FIGURE2_INPUTS, figure2_wiring
+
+from _bench_utils import emit
+
+#: The Figure 2 churn pattern, as a periodic pid sequence: each block is
+#: one write + full scan of one processor; rows 1-4 then 5-13 cycling.
+_STEPS = 1 + 3
+
+
+def figure2_periodic_pattern():
+    prefix = [0] * (2 * _STEPS)  # row 1: p1 writes twice, scanning between
+    for pid in (1, 2, 0):  # rows 2-4
+        prefix += [pid] * _STEPS
+    cycle = []
+    for pid in (1, 2, 0) * 3:  # rows 5-13
+        cycle += [pid] * _STEPS
+    return prefix, cycle
+
+
+class _PrefixThenCycle:
+    """Play the prefix once, then repeat the cycle, skipping done pids.
+
+    This is exactly Figure 2's schedule shape (rows 1-4 once, rows 5-13
+    forever); :class:`PeriodicScheduler` would replay the prefix too.
+    """
+
+    def __init__(self, prefix, cycle):
+        self._prefix = list(prefix)
+        self._cycle = list(cycle)
+        self._cursor = 0
+
+    def choose(self, step_index, enabled):
+        total = len(self._prefix) + len(self._cycle)
+        for _ in range(total):
+            if self._cursor < len(self._prefix):
+                pick = self._prefix[self._cursor]
+            else:
+                offset = (self._cursor - len(self._prefix)) % len(self._cycle)
+                pick = self._cycle[offset]
+            self._cursor += 1
+            if pick in enabled:
+                return pick
+        return None
+
+
+def run_levels_under_figure2_churn():
+    machine = SnapshotMachine(3)
+    wiring = figure2_wiring(3)
+    memory = AnonymousMemory(wiring, machine.register_initial_value())
+    processes = [
+        MachineProcess(pid, machine, FIGURE2_INPUTS[pid], FIRST_ENABLED)
+        for pid in range(3)
+    ]
+    prefix, cycle = figure2_periodic_pattern()
+    scheduler = _PrefixThenCycle(prefix, cycle)
+    runner = Runner(memory, processes, scheduler)
+    first_output = None
+    for step in range(200_000):
+        enabled = runner.enabled_pids()
+        if not enabled:
+            break
+        pick = runner.scheduler.choose(step, enabled)
+        if pick is None:
+            break
+        runner.step_process(pick)
+        if first_output is None:
+            outputs = {
+                p.pid: p.output for p in runner.processes
+                if p.output is not None
+            }
+            if outputs:
+                (pid, out), = outputs.items()
+                first_output = (pid, out, step + 1)
+    return runner.result(), first_output
+
+
+def test_e11_levels_break_the_pattern(benchmark):
+    result, first_output = benchmark(run_levels_under_figure2_churn)
+
+    # p1 (pid 0) terminates first, with exactly {1} — the source view.
+    assert first_output is not None
+    first_pid, first_view, first_step = first_output
+    assert first_pid == 0
+    assert first_view == view(1)
+    # The pattern collapses: everyone terminates with comparable outputs.
+    assert result.all_terminated
+    assert all_comparable(result.outputs.values())
+
+    benchmark.extra_info["first_terminator"] = first_pid
+    benchmark.extra_info["first_output"] = sorted(first_view)
+    benchmark.extra_info["first_step"] = first_step
+    benchmark.extra_info["final_outputs"] = {
+        str(pid): sorted(out) for pid, out in result.outputs.items()
+    }
+    emit(
+        "",
+        "E11 — levels break the Figure 2 pattern:",
+        f"  under the same wiring and churn, p1 terminates at step"
+        f" {first_step} with snapshot {sorted(first_view)} (the source"
+        f" stable view)",
+        f"  pattern collapses; final outputs:"
+        f" { {pid: sorted(out) for pid, out in sorted(result.outputs.items())} }",
+        "  (the plain write-scan loop cycles forever under this schedule"
+        " — benchmark E1)",
+    )

@@ -1,0 +1,84 @@
+"""E12 — group solvability semantics (Section 3.2's worked example).
+
+Regenerates the paper's example — processors 1..4 in groups A={1},
+B={2,3}, C={4} with outputs {A,B,C}, {A,B}, {B,C}, {A,B,C} — and
+validates it against Definition 3.4 (legal despite the incomparable
+outputs inside group B), plus the refutation when the incomparability
+spans two groups.  Also measures the group-checker itself: number of
+output samples enumerated as the group structure grows.
+"""
+
+import random
+
+from repro.tasks import (
+    SnapshotTask,
+    check_group_solution,
+    groups_from_inputs,
+    iter_output_samples,
+)
+
+from _bench_utils import emit
+
+PAPER_INPUTS = {1: "A", 2: "B", 3: "B", 4: "C"}
+PAPER_OUTPUTS = {
+    1: frozenset({"A", "B", "C"}),
+    2: frozenset({"A", "B"}),
+    3: frozenset({"B", "C"}),
+    4: frozenset({"A", "B", "C"}),
+}
+
+
+def checker_workload():
+    task = SnapshotTask()
+    # 1. The paper's example is a legal group solution.
+    legal = check_group_solution(task, PAPER_INPUTS, PAPER_OUTPUTS)
+    # 2. Splitting group B refutes it.
+    split_inputs = {1: "A", 2: "B", 3: "D", 4: "C"}
+    illegal = check_group_solution(task, split_inputs, PAPER_OUTPUTS)
+    # 3. Checker scaling: samples enumerated vs group structure.
+    rng = random.Random(0xE12)
+    scaling = []
+    for n_groups, group_size in [(2, 2), (3, 2), (3, 3), (4, 2)]:
+        inputs = {}
+        outputs = {}
+        pid = 0
+        universe = [f"g{j}" for j in range(n_groups)]
+        for j in range(n_groups):
+            for _ in range(group_size):
+                inputs[pid] = f"g{j}"
+                # nested outputs: a random prefix of the group chain
+                k = rng.randint(j + 1, n_groups)
+                outputs[pid] = frozenset(universe[:k]) | {f"g{j}"}
+                pid += 1
+        samples = sum(
+            1 for _ in iter_output_samples(groups_from_inputs(inputs), outputs)
+        )
+        result = check_group_solution(SnapshotTask(), inputs, outputs)
+        scaling.append((n_groups, group_size, samples, result.valid))
+    return legal, illegal, scaling
+
+
+def test_e12_group_semantics(benchmark):
+    legal, illegal, scaling = benchmark(checker_workload)
+
+    assert legal.valid, legal.reason
+    assert not illegal.valid
+    assert illegal.counterexample is not None
+
+    benchmark.extra_info["paper_example_legal"] = legal.valid
+    benchmark.extra_info["split_group_refuted"] = not illegal.valid
+    lines = [
+        "",
+        "E12 — group solvability (Definition 3.4):",
+        "  paper's 4-processor example (B = {2,3} returns incomparable"
+        " {A,B} / {B,C}):",
+        f"    legal group solution: {legal.valid}"
+        f" ({legal.samples_checked} output samples checked)",
+        "  same outputs with processor 3 moved to its own group:",
+        f"    refuted: {not illegal.valid} — {illegal.reason}",
+        "  checker scaling (samples enumerated):",
+        f"  {'groups':>7} {'members':>8} {'samples':>8} {'valid':>6}",
+    ]
+    for n_groups, size, samples, valid in scaling:
+        lines.append(f"  {n_groups:>7} {size:>8} {samples:>8} {str(valid):>6}")
+    emit(*lines)

@@ -1,0 +1,113 @@
+"""E13 — immediate snapshot is not what Figure 3 solves (Conclusion).
+
+The paper's Conclusion transfers Gafni's impossibility: immediate
+snapshot is not group-solvable under processor anonymity, hence not in
+the fully-anonymous model.  Consistently, the Figure 3 algorithm solves
+the snapshot task but not the immediate variant.  This benchmark
+
+- regenerates the staggered execution whose outputs violate immediacy
+  while remaining a valid snapshot (the separation witness), and
+- surveys random schedules: containment violations never occur, while
+  immediacy violations appear as soon as schedules are skewed.
+"""
+
+import random
+
+from repro.api import build_runner, run_snapshot
+from repro.core import SnapshotMachine
+from repro.memory.wiring import WiringAssignment
+from repro.tasks import ImmediateSnapshotTask, SnapshotTask
+
+from _bench_utils import SEEDS, emit
+
+
+class _Manual:
+    def choose(self, step_index, enabled):
+        return None
+
+
+def staggered_witness():
+    machine = SnapshotMachine(3)
+    runner = build_runner(
+        machine, [1, 2, 3], seed=None,
+        wiring=WiringAssignment.identity(3, 3), scheduler=_Manual(),
+    )
+    runner.step_process(0)
+    runner.step_process(1)
+    while runner.processes[0].status.value == "running":
+        runner.step_process(0)
+    for _ in range(100_000):
+        enabled = [
+            p.pid for p in runner.processes[1:]
+            if p.status.value == "running"
+        ]
+        if not enabled:
+            break
+        for pid in enabled:
+            runner.step_process(pid)
+    return runner.result()
+
+
+def survey(runs):
+    """Skewed random schedules: count immediacy vs containment failures."""
+    snapshot_task = SnapshotTask()
+    immediate_task = ImmediateSnapshotTask()
+    rng = random.Random(0xE13)
+    immediacy_violations = 0
+    containment_violations = 0
+    for _ in range(runs):
+        n = rng.randint(3, 5)
+
+        class Skewed:
+            """Random scheduler heavily biased toward low pids, which
+            makes early terminations with small views likely."""
+
+            def choose(self, step_index, enabled, rng=rng):
+                weights = [2 ** (len(enabled) - i) for i in range(len(enabled))]
+                return rng.choices(list(enabled), weights=weights)[0]
+
+        machine = SnapshotMachine(n)
+        runner = build_runner(
+            machine, list(range(1, n + 1)), seed=rng.randrange(2**32),
+            scheduler=Skewed(),
+        )
+        result = runner.run(1_000_000)
+        outputs = {pid + 1: result.outputs[pid] for pid in range(n)}
+        if not snapshot_task.is_valid(outputs):
+            containment_violations += 1
+        if not immediate_task.is_valid(outputs):
+            immediacy_violations += 1
+    return immediacy_violations, containment_violations, runs
+
+
+def test_e13_immediate_snapshot_separation(benchmark):
+    def experiment():
+        witness = staggered_witness()
+        return witness, survey(SEEDS * 2)
+
+    witness, (immediacy, containment, runs) = benchmark(experiment)
+
+    outputs = {pid + 1: view for pid, view in witness.outputs.items()}
+    assert SnapshotTask().is_valid(outputs)
+    assert not ImmediateSnapshotTask().is_valid(outputs)
+    assert containment == 0, "the snapshot task itself must never fail"
+    assert immediacy > 0, "skewed schedules should exhibit non-immediacy"
+
+    benchmark.extra_info["witness_outputs"] = {
+        str(pid): sorted(view) for pid, view in outputs.items()
+    }
+    benchmark.extra_info["immediacy_violations"] = immediacy
+    benchmark.extra_info["runs"] = runs
+    emit(
+        "",
+        "E13 — snapshot task vs immediate snapshot:",
+        f"  witness outputs:"
+        f" { {pid: sorted(view) for pid, view in sorted(outputs.items())} }"
+        f" — valid snapshot, immediacy VIOLATED"
+        f" (2 ∈ o[1] but o[2] ⊄ o[1])",
+        f"  skewed-schedule survey ({runs} runs): containment violations"
+        f" {containment}, immediacy violations {immediacy}",
+        "  (consistent with the Conclusion: immediate snapshot is not"
+        " group-solvable under anonymity; Figure 3 solves only the plain"
+        " snapshot task)",
+    )

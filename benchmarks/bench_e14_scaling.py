@@ -1,0 +1,164 @@
+"""E14 (extension) — complexity characterization of the snapshot algorithm.
+
+The paper states no step bounds; this extension experiment measures the
+implementation's cost model:
+
+- **solo latency** follows a cubic law: a solo climb is
+  ``(fill + climb) ≈ (N + N²) cycles of (N+1) steps`` — the level is
+  min-of-registers + 1 and the minimum rises only after a full
+  round-robin rewrite;
+- **contended latency** (random schedules): mean/max steps per
+  processor to output, vs N — wait-freedom's price under interference;
+- **register surplus**: extra registers slow the algorithm down
+  (longer scans, longer fill), quantifying why the paper's exact-N
+  choice is also the practical one.
+"""
+
+import random
+import statistics
+
+from repro.api import build_runner, run_snapshot
+from repro.core import SnapshotMachine
+from repro.memory.wiring import WiringAssignment
+from repro.sim import SoloScheduler
+
+from _bench_utils import SEEDS, emit
+
+
+def solo_curve(sizes):
+    rows = []
+    for n in sizes:
+        machine = SnapshotMachine(n)
+        runner = build_runner(
+            machine, list(range(n)), seed=None,
+            wiring=WiringAssignment.identity(n, n),
+            scheduler=SoloScheduler(0),
+        )
+        result = runner.run(10 ** 7)
+        steps = result.trace.step_counts()[0]
+        model = (n * n + 2 * n) * (n + 1)  # fill+climb cycles x cycle cost
+        rows.append((n, steps, model))
+    return rows
+
+
+def contended_curve(sizes, seeds):
+    rows = []
+    for n in sizes:
+        samples = []
+        for seed in range(seeds):
+            result = run_snapshot(
+                list(range(1, n + 1)), seed=seed * 13 + n,
+                max_steps=10 ** 7,
+            )
+            samples.extend(result.trace.step_counts().values())
+        rows.append((n, statistics.mean(samples), max(samples)))
+    return rows
+
+
+def register_surplus_curve(n, extras, seeds):
+    rows = []
+    for extra in extras:
+        samples = []
+        for seed in range(seeds):
+            result = run_snapshot(
+                list(range(1, n + 1)), seed=seed * 7 + extra,
+                n_registers=n + extra, max_steps=10 ** 7,
+            )
+            samples.extend(result.trace.step_counts().values())
+        rows.append((n + extra, statistics.mean(samples)))
+    return rows
+
+
+def test_e14_solo_cubic(benchmark):
+    rows = benchmark(lambda: solo_curve([2, 3, 4, 5, 6, 8]))
+    # Shape: measured within a constant factor of the cubic model, and
+    # clearly superquadratic.
+    for n, steps, model in rows:
+        assert steps <= 2 * model
+        assert steps >= n ** 2
+    ratios = [steps / (n ** 3) for n, steps, _ in rows]
+    # The N^3 coefficient stabilizes (cubic, not quadratic or quartic).
+    assert max(ratios[2:]) / min(ratios[2:]) < 2.5
+    benchmark.extra_info["curve"] = [
+        {"n": n, "steps": steps, "model": model} for n, steps, model in rows
+    ]
+    lines = ["", "E14a — solo snapshot latency (cubic law):",
+             f"  {'N':>3} {'measured steps':>15} {'(N²+2N)(N+1) model':>20}"]
+    for n, steps, model in rows:
+        lines.append(f"  {n:>3} {steps:>15} {model:>20}")
+    emit(*lines)
+
+
+def test_e14_contended_scaling(benchmark):
+    sizes = [2, 3, 4, 5, 6]
+    rows = benchmark(lambda: contended_curve(sizes, max(4, SEEDS // 4)))
+    means = [mean for _, mean, _ in rows]
+    assert all(a < b for a, b in zip(means, means[1:])), "not monotone"
+    benchmark.extra_info["curve"] = [
+        {"n": n, "mean": round(mean, 1), "max": peak}
+        for n, mean, peak in rows
+    ]
+    lines = ["", "E14b — contended snapshot latency (random schedules):",
+             f"  {'N':>3} {'mean steps/proc':>16} {'max':>7}"]
+    for n, mean, peak in rows:
+        lines.append(f"  {n:>3} {mean:>16.1f} {peak:>7}")
+    emit(*lines)
+
+
+def footnote4_savings(sizes, seeds):
+    """Contended cost of terminating at level N vs N-1 (footnote 4)."""
+    rows = []
+    for n in sizes:
+        costs = {}
+        for target in (n, n - 1):
+            samples = []
+            for seed in range(seeds):
+                result = run_snapshot(
+                    list(range(1, n + 1)), seed=seed * 11 + n,
+                    level_target=target, max_steps=10 ** 7,
+                )
+                samples.extend(result.trace.step_counts().values())
+            costs[target] = statistics.mean(samples)
+        rows.append((n, costs[n], costs[n - 1]))
+    return rows
+
+
+def test_e14_footnote4_ablation(benchmark):
+    """The paper's footnote 4: level N-1 already suffices.  Measure
+    what the extra level costs — the one design knob the paper calls
+    out explicitly."""
+    sizes = [3, 4, 5, 6]
+    rows = benchmark(lambda: footnote4_savings(sizes, max(4, SEEDS // 4)))
+    for n, full, reduced in rows:
+        assert reduced < full, (n, full, reduced)
+    benchmark.extra_info["rows"] = [
+        {"n": n, "level_N": round(full, 1), "level_N_minus_1": round(red, 1)}
+        for n, full, red in rows
+    ]
+    lines = ["", "E14d — footnote-4 ablation (mean steps/proc, contended):",
+             f"  {'N':>3} {'terminate@N':>12} {'terminate@N-1':>14}"
+             f" {'saving':>8}"]
+    for n, full, reduced in rows:
+        lines.append(
+            f"  {n:>3} {full:>12.1f} {reduced:>14.1f}"
+            f" {100 * (full - reduced) / full:>7.1f}%"
+        )
+    emit(*lines)
+
+
+def test_e14_register_surplus_costs(benchmark):
+    rows = benchmark(
+        lambda: register_surplus_curve(4, [0, 2, 4, 8], max(4, SEEDS // 4))
+    )
+    means = [mean for _, mean in rows]
+    assert means[0] < means[-1], "surplus registers should cost steps"
+    benchmark.extra_info["curve"] = [
+        {"registers": m, "mean": round(mean, 1)} for m, mean in rows
+    ]
+    lines = ["", "E14c — register surplus (N=4 processors):",
+             f"  {'registers M':>12} {'mean steps/proc':>16}"]
+    for m, mean in rows:
+        lines.append(f"  {m:>12} {mean:>16.1f}")
+    lines.append("  (scans and fill cycles lengthen with M: exactly N"
+                 " registers is the practical choice too)")
+    emit(*lines)

@@ -1,0 +1,50 @@
+"""E1 — Figure 2: the pathological infinite execution, regenerated.
+
+Regenerates the paper's 13-row table (register contents and views after
+each row), asserts cell-for-cell equality with the published figure, and
+certifies the rows 5-13 repetition by lasso detection.
+"""
+
+from repro.analysis import stable_view_graph_from_lasso
+from repro.core.views import view
+from repro.sim.scripted import (
+    FIGURE2_EXPECTED_ROWS,
+    build_figure2_runner,
+    figure2_observed_rows,
+    format_figure2_table,
+)
+
+from _bench_utils import emit
+
+
+def regenerate_figure2():
+    rows = figure2_observed_rows()
+    runner = build_figure2_runner(detect_lasso=True)
+    result = runner.run(100_000)
+    graph = stable_view_graph_from_lasso(result)
+    return rows, result, graph
+
+
+def test_e1_figure2_table(benchmark):
+    rows, result, graph = benchmark(regenerate_figure2)
+
+    # Cell-for-cell equality with the paper's table.
+    for got, want in zip(rows, FIGURE2_EXPECTED_ROWS):
+        assert got.registers == want.registers, f"row {got.index}"
+        assert got.views == want.views, f"row {got.index}"
+    # Rows 5-13 (36 steps) repeat forever; all three processors live.
+    assert result.lasso is not None
+    assert result.lasso.cycle_length == 36
+    assert result.lasso.cycle_pids == (0, 1, 2)
+    # Stable views exactly as in Section 4.3's discussion of the figure.
+    assert graph.vertices == {view(1), view(1, 2), view(1, 3)}
+    assert graph.sources() == [view(1)]
+
+    benchmark.extra_info["rows_matched"] = len(rows)
+    benchmark.extra_info["lasso_cycle_steps"] = result.lasso.cycle_length
+    benchmark.extra_info["stable_views"] = [
+        sorted(v) for v in sorted(graph.vertices, key=len)
+    ]
+    emit("", "E1 — Figure 2 (reproduced):", format_figure2_table(rows),
+         f"lasso: rows 5-13 repeat every {result.lasso.cycle_length} steps",
+         f"stable-view graph: {graph.describe()}")

@@ -1,0 +1,57 @@
+"""E2 — the five-processor extension: naive termination rules refuted.
+
+Regenerates the Section 4.1 construction in which p and p' read
+constant, incomparable collects forever, and derives the refutation:
+the double-collect rule would output {1,2} and {1,3} — not related by
+containment — so neither "same set everywhere" nor double collect is a
+sound termination rule in the fully-anonymous model.
+"""
+
+from repro.baselines import double_collect_outputs_from_trace
+from repro.core.views import view
+from repro.memory.trace import ReadEvent
+from repro.sim.scripted import FIGURE2_N_REGISTERS, build_extension_runner
+
+from _bench_utils import emit
+
+
+def regenerate_extension():
+    runner = build_extension_runner(n_cycles=12, detect_lasso=True)
+    result = runner.run(10 ** 6)
+    dc_outputs = double_collect_outputs_from_trace(
+        result.trace, FIGURE2_N_REGISTERS
+    )
+    p_reads = {pid: set() for pid in (3, 4)}
+    for event in result.trace:
+        if isinstance(event, ReadEvent) and event.pid in p_reads:
+            p_reads[event.pid].add(event.value)
+    return runner, result, dc_outputs, p_reads
+
+
+def test_e2_extension_refutes_double_collect(benchmark):
+    runner, result, dc_outputs, p_reads = benchmark(regenerate_extension)
+
+    # The infinite execution is certified and all five processors live.
+    assert result.lasso is not None
+    assert result.lasso.cycle_pids == (0, 1, 2, 3, 4)
+    # p only ever reads {1,2}; p' only ever reads {1,3}.
+    assert p_reads[3] == {view(1, 2)}
+    assert p_reads[4] == {view(1, 3)}
+    # The double-collect rule fires for both and yields incomparable sets.
+    p_out, p_prime_out = dc_outputs[3], dc_outputs[4]
+    assert p_out == view(1, 2) and p_prime_out == view(1, 3)
+    assert not (p_out <= p_prime_out or p_prime_out <= p_out)
+
+    benchmark.extra_info["p_output"] = sorted(p_out)
+    benchmark.extra_info["p_prime_output"] = sorted(p_prime_out)
+    benchmark.extra_info["cycle_steps"] = result.lasso.cycle_length
+    emit(
+        "",
+        "E2 — five-processor extension (Section 4.1):",
+        f"  certified infinite: cycle of {result.lasso.cycle_length} steps,"
+        f" live pids {result.lasso.cycle_pids}",
+        f"  p  reads only {sorted(view(1, 2))} in every register, forever",
+        f"  p' reads only {sorted(view(1, 3))} in every register, forever",
+        f"  double-collect outputs: p -> {sorted(p_out)},"
+        f" p' -> {sorted(p_prime_out)}  (INCOMPARABLE: rule refuted)",
+    )

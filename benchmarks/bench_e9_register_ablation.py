@@ -1,0 +1,118 @@
+"""E9 — register-count ablation: N is exactly the threshold.
+
+The paper: every solution uses only N registers, and §2.1 shows fewer
+than N is impossible.  The ablation runs the snapshot algorithm with
+M ∈ {N-1, N, N+2, 2N} registers:
+
+- M >= N: always terminates, always valid (safety margin is free);
+- M = N-1: the covering adversary produces a concrete snapshot-task
+  violation (containment broken), realizing the lower bound.
+"""
+
+import random
+
+from repro.api import run_snapshot
+from repro.core import SnapshotMachine
+from repro.core.views import all_comparable
+from repro.memory import AnonymousMemory
+from repro.sim import MachineProcess, Runner
+from repro.sim.adversaries import covering_wiring
+from repro.sim.machine import FIRST_ENABLED
+
+from _bench_utils import SEEDS, emit
+
+
+def sweep_safe_regimes(n=4):
+    rows = []
+    for extra in (0, 2, n):  # M = N, N+2, 2N
+        m = n + extra
+        terminated = 0
+        violations = 0
+        for seed in range(SEEDS):
+            result = run_snapshot(
+                list(range(1, n + 1)), seed=seed * 7 + m, n_registers=m
+            )
+            if result.all_terminated:
+                terminated += 1
+            ok = all_comparable(result.outputs.values()) and all(
+                (pid + 1) in out for pid, out in result.outputs.items()
+            )
+            if not ok:
+                violations += 1
+        rows.append((m, terminated, SEEDS, violations))
+    return rows
+
+
+def below_threshold_violation(n=4):
+    """The §2.1 covering execution as a snapshot-task violation."""
+    machine = SnapshotMachine(n, n_registers=n - 1)
+    wiring = covering_wiring(n, n - 1)
+    memory = AnonymousMemory(wiring, machine.register_initial_value())
+    processes = [
+        MachineProcess(pid, machine, pid + 1, FIRST_ENABLED)
+        for pid in range(n)
+    ]
+    runner = Runner(memory, processes, _Manual())
+    # p runs solo to completion; the others are poised on their covering
+    # first writes.
+    while processes[0].status.value == "running":
+        runner.step_process(0)
+    # The covering writes land, erasing p; then Q runs fairly.
+    for pid in range(1, n):
+        runner.step_process(pid)
+    for _ in range(500_000):
+        enabled = [p.pid for p in processes[1:] if p.status.value == "running"]
+        if not enabled:
+            break
+        for pid in enabled:
+            runner.step_process(pid)
+    outputs = {p.pid: p.output for p in processes if p.output is not None}
+    return outputs
+
+
+class _Manual:
+    def choose(self, step_index, enabled):
+        return None
+
+
+def test_e9_register_ablation(benchmark):
+    def experiment():
+        safe = sweep_safe_regimes()
+        outputs = below_threshold_violation()
+        return safe, outputs
+
+    safe, outputs = benchmark(experiment)
+
+    for m, terminated, runs, violations in safe:
+        assert terminated == runs
+        assert violations == 0
+    # Below threshold: p output {1} while nobody else ever saw 1.
+    assert outputs[0] == frozenset({1})
+    incomparable = any(
+        not (outputs[0] <= outputs[q] or outputs[q] <= outputs[0])
+        for q in outputs
+        if q != 0
+    )
+    assert incomparable, outputs
+
+    benchmark.extra_info["safe_rows"] = [
+        {"registers": m, "terminated": t, "violations": v}
+        for m, t, _, v in safe
+    ]
+    lines = [
+        "",
+        "E9 — register ablation (N=4 processors):",
+        f"  {'registers M':>12} {'runs':>5} {'terminated':>11}"
+        f" {'violations':>11}",
+    ]
+    for m, terminated, runs, violations in safe:
+        lines.append(
+            f"  {m:>12} {runs:>5} {terminated:>11} {violations:>11}"
+        )
+    lines.append(
+        f"  {3:>12} {'1 (adversarial)':>16}  -> containment VIOLATED:"
+        f" p output {sorted(outputs[0])}, others"
+        f" {[sorted(outputs[q]) for q in sorted(outputs) if q != 0]}"
+    )
+    lines.append("  (N registers suffice; N-1 provably break — §2.1)")
+    emit(*lines)

@@ -1,0 +1,1 @@
+"""Pytest hooks for the benchmark harness (see _bench_utils.py)."""

@@ -1,0 +1,9 @@
+"""Shim for environments without the `wheel` package (offline installs).
+
+All metadata lives in pyproject.toml; this file only enables
+`pip install -e . --no-use-pep517 --no-build-isolation`.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,66 @@
+"""repro — the fully-anonymous shared-memory model, reproduced.
+
+A production-quality reproduction of Losa & Gafni, *"Understanding
+Read-Write Wait-Free Coverings in the Fully-Anonymous Shared-Memory
+Model"* (PODC 2024): the model, the write-scan loop and its
+eventual-pattern theory (stable-view DAGs), the wait-free snapshot-task
+algorithm, adaptive renaming, obstruction-free consensus, group
+solvability, an explicit-state model checker standing in for TLC, the
+paper's adversarial constructions, and baselines from the related-work
+lineage.
+
+Quick start
+-----------
+>>> from repro import run_snapshot
+>>> result = run_snapshot(inputs=["a", "b", "c"], seed=7)
+>>> all(len(view) >= 1 for view in result.outputs.values())
+True
+
+Packages
+--------
+- :mod:`repro.memory` — anonymous registers, wirings, traces
+- :mod:`repro.sim` — processes, schedulers, runner, scripted executions
+- :mod:`repro.core` — the paper's algorithms (write-scan, snapshot,
+  long-lived snapshot, renaming, consensus)
+- :mod:`repro.tasks` — tasks and group solvability
+- :mod:`repro.checker` — explicit-state model checking
+- :mod:`repro.analysis` — stable views, statistics
+- :mod:`repro.baselines` — double-collect, Guerraoui–Ruppert, naive rules
+"""
+
+from repro.api import (
+    build_runner,
+    run_consensus,
+    run_renaming,
+    run_snapshot,
+    run_write_scan,
+)
+from repro.core import (
+    ConsensusMachine,
+    LongLivedSnapshotMachine,
+    RenamingMachine,
+    SnapshotMachine,
+    WriteScanMachine,
+)
+from repro.memory import AnonymousMemory, Wiring, WiringAssignment
+from repro.sim import Runner
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "run_snapshot",
+    "run_renaming",
+    "run_consensus",
+    "run_write_scan",
+    "build_runner",
+    "SnapshotMachine",
+    "WriteScanMachine",
+    "LongLivedSnapshotMachine",
+    "RenamingMachine",
+    "ConsensusMachine",
+    "AnonymousMemory",
+    "Wiring",
+    "WiringAssignment",
+    "Runner",
+    "__version__",
+]

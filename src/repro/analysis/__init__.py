@@ -1,0 +1,44 @@
+"""Execution analysis: stable views, the eventual pattern, statistics.
+
+- :mod:`repro.analysis.stable_views` — construction of the stable-view
+  graph (Definition 4.3) from certified lassos, and the Theorem 4.8
+  checks (DAG, unique source);
+- :mod:`repro.analysis.statistics` — step accounting, covering/overwrite
+  counters and level traces used by the benchmark harness.
+"""
+
+from repro.analysis.stable_views import (
+    StableViewGraph,
+    stable_view_graph_from_lasso,
+    stable_views_of_lasso,
+)
+from repro.analysis.consensus_livelock import (
+    LivelockCertificate,
+    analyze_undecided_region,
+)
+from repro.analysis.statistics import (
+    ExecutionStatistics,
+    collect_statistics,
+    level_trace,
+    overwrite_counts,
+)
+from repro.analysis.timeline import (
+    erasure_summary,
+    render_lanes,
+    render_register_history,
+)
+
+__all__ = [
+    "StableViewGraph",
+    "stable_views_of_lasso",
+    "stable_view_graph_from_lasso",
+    "ExecutionStatistics",
+    "collect_statistics",
+    "overwrite_counts",
+    "level_trace",
+    "render_lanes",
+    "render_register_history",
+    "erasure_summary",
+    "LivelockCertificate",
+    "analyze_undecided_region",
+]

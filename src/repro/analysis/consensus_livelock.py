@@ -1,0 +1,163 @@
+"""Certifying that the consensus algorithm is not wait-free.
+
+The Figure 5 consensus algorithm is obstruction-free; classic
+impossibility results (registers have consensus number 1) say it cannot
+be wait-free, i.e. *some* execution keeps processors stepping forever
+without a decision.  Exhibiting that execution is subtle — naive
+adversaries (lockstep, 1-step decision avoidance) get cornered and a
+decision happens.
+
+This module certifies non-wait-freedom mechanically by exhaustive BFS
+of the *undecided region* (all reachable states in which nobody has
+decided): if the frontier is non-empty at every explored depth ``D``,
+undecided executions of length ``D`` exist for every explored ``D``.
+Since the transition system is finitely branching, König's lemma turns
+"undecided prefixes of unbounded length" into an infinite undecided
+execution; the exploration certifies the premise up to the chosen
+horizon, and the consensus-number-1 impossibility (registers cannot
+solve wait-free consensus) guarantees it continues beyond.
+
+Note the undecided region genuinely grows without bound: views
+accumulate one timestamped record per completed snapshot invocation and
+never shrink, so there is no finite quotient to close off — even modulo
+shifting all timestamps (the normalization below), old low-timestamp
+records persist while new ones climb, and the normalized region is
+still infinite.  :func:`normalize_timestamps` is nevertheless useful to
+*observe* the periodic structure of the region (frontier sizes repeat
+with a fixed period once normalized), which the E8 benchmark reports.
+
+The check runs in benchmark E8 and the consensus tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import List, Optional, Sequence, Set, Tuple
+
+from repro.checker.system import GlobalState, SystemSpec
+from repro.core.consensus import ConsensusState, TimestampedValue
+from repro.core.snapshot import SnapshotState
+from repro.core.views import RegisterRecord
+
+
+def _shift_view(view, delta: int):
+    return frozenset(
+        TimestampedValue(record.value, record.timestamp - delta)
+        if isinstance(record, TimestampedValue)
+        else record
+        for record in view
+    )
+
+
+def _min_timestamp_of_state(state: GlobalState) -> int:
+    timestamps: List[int] = []
+    for register in state.registers:
+        if isinstance(register, RegisterRecord):
+            for record in register.view:
+                if isinstance(record, TimestampedValue):
+                    timestamps.append(record.timestamp)
+    for local in state.locals:
+        if isinstance(local, ConsensusState):
+            timestamps.append(local.timestamp)
+            for record in local.inner.view:
+                if isinstance(record, TimestampedValue):
+                    timestamps.append(record.timestamp)
+    return min(timestamps, default=0)
+
+
+def normalize_timestamps(state: GlobalState) -> GlobalState:
+    """Shift all timestamps so the smallest one becomes 0.
+
+    The consensus transition relation commutes with a uniform timestamp
+    shift (timestamps are only compared and incremented), so normalized
+    states are representatives of shift-equivalence classes.
+    """
+    delta = _min_timestamp_of_state(state)
+    if delta == 0:
+        return state
+    registers = tuple(
+        RegisterRecord(view=_shift_view(reg.view, delta), level=reg.level)
+        if isinstance(reg, RegisterRecord)
+        else reg
+        for reg in state.registers
+    )
+    locals_: List = []
+    for local in state.locals:
+        if isinstance(local, ConsensusState):
+            inner = replace(local.inner, view=_shift_view(local.inner.view, delta))
+            locals_.append(
+                ConsensusState(
+                    inner=inner,
+                    preference=local.preference,
+                    timestamp=local.timestamp - delta,
+                    decision=local.decision,
+                )
+            )
+        else:  # pragma: no cover - defensive
+            locals_.append(local)
+    return GlobalState(registers=registers, locals=tuple(locals_))
+
+
+@dataclass
+class LivelockCertificate:
+    """Result of the undecided-region analysis."""
+
+    #: Depth explored by the frontier sweep.
+    depth: int
+    #: Frontier sizes per depth (1-indexed).
+    frontier_sizes: List[int]
+    #: Total distinct undecided states seen by the sweep.
+    states_seen: int
+    #: Period of the normalized frontier-size sequence, if one shows up
+    #: within the sweep (structure observation, not part of the proof).
+    observed_period: Optional[int] = None
+
+    @property
+    def unbounded_prefixes(self) -> bool:
+        """Frontier non-empty at every explored depth."""
+        return len(self.frontier_sizes) == self.depth and all(
+            size > 0 for size in self.frontier_sizes
+        )
+
+
+def analyze_undecided_region(
+    spec: SystemSpec, max_depth: int = 120
+) -> LivelockCertificate:
+    """Sweep the undecided region to ``max_depth``; see module docstring."""
+    frontier: Set[GlobalState] = {spec.initial_state()}
+    seen: Set[GlobalState] = set(frontier)
+    frontier_sizes: List[int] = []
+    for _ in range(max_depth):
+        next_frontier: Set[GlobalState] = set()
+        for state in frontier:
+            for _, successor in spec.successors(state):
+                if spec.outputs(successor):
+                    continue  # a decision leaves the undecided region
+                if successor not in seen:
+                    seen.add(successor)
+                    next_frontier.add(successor)
+        frontier = next_frontier
+        frontier_sizes.append(len(frontier))
+        if not frontier:
+            break
+
+    return LivelockCertificate(
+        depth=max_depth,
+        frontier_sizes=frontier_sizes,
+        states_seen=len(seen),
+        observed_period=_detect_period(frontier_sizes),
+    )
+
+
+def _detect_period(sizes: Sequence[int]) -> Optional[int]:
+    """Smallest period of the tail of the frontier-size sequence.
+
+    A repeating tail is the visible footprint of the region's
+    shift-periodic structure; purely an observation aid.
+    """
+    n = len(sizes)
+    for period in range(1, n // 2 + 1):
+        tail = sizes[n - 2 * period :]
+        if tail[:period] == tail[period:]:
+            return period
+    return None

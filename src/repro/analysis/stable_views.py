@@ -1,0 +1,172 @@
+"""Stable views and the eventual pattern (Section 4).
+
+Definitions from the paper:
+
+- a processor is *live* if it takes infinitely many steps (Def. 4.1's
+  setting); the *global stabilization time* GST is the earliest time
+  after which all views are stable, non-live processors have taken
+  their last step, and their writes have been overwritten;
+- a *stable view* (Def. 4.2) is the view of a live processor after GST;
+- the *stable-view graph* (Def. 4.3) has the stable views as vertices
+  and an edge ``V1 -> V2`` whenever ``V1 ⊂ V2``;
+- **Theorem 4.8**: the stable-view graph is a DAG with a unique source.
+
+On a *certified lasso* (a finite prefix reaching a state that recurs —
+see :class:`repro.sim.runner.Lasso`) these notions are exact, not
+approximate: the infinite execution repeats the cycle forever, the live
+processors are exactly those scheduled within the cycle, views are
+constant throughout the cycle (they are monotone and the state recurs),
+and GST is at most the start of the cycle.
+
+The graph is represented natively and can be exported to a
+:mod:`networkx` digraph for the benchmark harness's structural surveys.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
+
+from repro.core.views import View
+from repro.sim.runner import ExecutionResult, Lasso
+
+
+@dataclass(frozen=True)
+class StableViewGraph:
+    """The stable-view graph of an infinite execution."""
+
+    vertices: FrozenSet[View]
+    #: Edges ``(V1, V2)`` with ``V1`` a strict subset of ``V2``.
+    edges: FrozenSet[Tuple[View, View]]
+    #: Stable view per live processor.
+    views_by_pid: Dict[int, View]
+
+    def sources(self) -> List[View]:
+        """Vertices with no incoming edge."""
+        targets = {edge[1] for edge in self.edges}
+        return sorted(
+            (vertex for vertex in self.vertices if vertex not in targets),
+            key=lambda v: (len(v), sorted(map(repr, v))),
+        )
+
+    def is_dag(self) -> bool:
+        """Always true by construction (strict containment is a strict
+        partial order); kept as an executable sanity check."""
+        # Kahn's algorithm; cycles would leave vertices unprocessed.
+        incoming = {vertex: 0 for vertex in self.vertices}
+        for _, target in self.edges:
+            incoming[target] += 1
+        frontier = [v for v, degree in incoming.items() if degree == 0]
+        processed = 0
+        adjacency: Dict[View, List[View]] = {v: [] for v in self.vertices}
+        for source, target in self.edges:
+            adjacency[source].append(target)
+        while frontier:
+            vertex = frontier.pop()
+            processed += 1
+            for target in adjacency[vertex]:
+                incoming[target] -= 1
+                if incoming[target] == 0:
+                    frontier.append(target)
+        return processed == len(self.vertices)
+
+    def has_unique_source(self) -> bool:
+        """The Theorem 4.8 property."""
+        return len(self.sources()) == 1
+
+    def to_networkx(self):
+        """Export to a networkx DiGraph (nodes are sorted-tuple views)."""
+        import networkx as nx
+
+        graph = nx.DiGraph()
+        for vertex in self.vertices:
+            graph.add_node(tuple(sorted(vertex, key=repr)))
+        for source, target in self.edges:
+            graph.add_edge(
+                tuple(sorted(source, key=repr)), tuple(sorted(target, key=repr))
+            )
+        return graph
+
+    def describe(self) -> str:
+        def fmt(v: View) -> str:
+            return "{" + ",".join(str(x) for x in sorted(v, key=repr)) + "}"
+
+        vertex_text = ", ".join(fmt(v) for v in sorted(
+            self.vertices, key=lambda v: (len(v), sorted(map(repr, v)))
+        ))
+        edge_text = ", ".join(
+            f"{fmt(a)}->{fmt(b)}"
+            for a, b in sorted(
+                self.edges, key=lambda e: (len(e[0]), len(e[1]), repr(e))
+            )
+        )
+        return (
+            f"vertices: [{vertex_text}]  edges: [{edge_text}]"
+            f"  sources: {[fmt(s) for s in self.sources()]}"
+        )
+
+
+def stable_views_of_lasso(result: ExecutionResult) -> Dict[int, View]:
+    """Stable view per live processor, from a lasso-certified run.
+
+    The live processors are those taking steps within the cycle; their
+    views at the end of the run (a state on the cycle) are their stable
+    views, because views are monotone and the cycle returns to the same
+    state — so they cannot change anywhere on the cycle.
+    """
+    if result.lasso is None:
+        raise ValueError("execution result carries no certified lasso")
+    views: Dict[int, View] = {}
+    for pid in result.lasso.cycle_pids:
+        state = result.final_states[pid]
+        view = getattr(state, "view", None)
+        if view is None:
+            raise TypeError(f"process {pid} state has no view: {state!r}")
+        views[pid] = view
+    return views
+
+
+def stable_view_graph_from_lasso(result: ExecutionResult) -> StableViewGraph:
+    """Build the Definition 4.3 graph from a lasso-certified run."""
+    views_by_pid = stable_views_of_lasso(result)
+    vertices = frozenset(views_by_pid.values())
+    edges = frozenset(
+        (first, second)
+        for first in vertices
+        for second in vertices
+        if first < second
+    )
+    return StableViewGraph(
+        vertices=vertices, edges=edges, views_by_pid=views_by_pid
+    )
+
+
+def approximate_stable_view_graph(
+    views_over_time: Sequence[Dict[int, View]],
+    stable_fraction: float = 0.5,
+) -> Optional[StableViewGraph]:
+    """Finite-prefix approximation for runs without a certified lasso.
+
+    Takes periodic samples of all views; if every view is constant over
+    the trailing ``stable_fraction`` of the samples, treats those as
+    stable and builds the graph, otherwise returns ``None`` (the run has
+    visibly not stabilized — callers should run longer).
+    """
+    if not views_over_time:
+        return None
+    cutoff = int(len(views_over_time) * (1 - stable_fraction))
+    tail = views_over_time[cutoff:]
+    reference = tail[-1]
+    for sample in tail:
+        if sample != reference:
+            return None
+    vertices = frozenset(reference.values())
+    edges = frozenset(
+        (first, second)
+        for first in vertices
+        for second in vertices
+        if first < second
+    )
+    return StableViewGraph(
+        vertices=vertices, edges=edges, views_by_pid=dict(reference)
+    )

@@ -1,0 +1,121 @@
+"""Execution statistics for the benchmark harness.
+
+Step accounting, overwrite/covering counters, and level traces.  An
+*overwrite of unread information* is a write landing on a register whose
+previous value was never read by anyone **other than its own writer** —
+the information was erased before it communicated anything, which is the
+erasure phenomenon the fully-anonymous model struggles with (Sections 1
+and 2.1; a writer re-reading its own value during its scan communicates
+nothing).  The benchmark harness uses these counters to show *why* the
+anonymous algorithms pay more steps than the named-memory baselines
+(E10).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.memory.trace import ReadEvent, Trace, WriteEvent
+
+
+@dataclass
+class ExecutionStatistics:
+    """Aggregated per-execution counters."""
+
+    total_steps: int
+    reads: int
+    writes: int
+    outputs: int
+    steps_per_pid: Dict[int, int]
+    #: Writes that erased a value nobody but its writer had read
+    #: (information lost before it communicated anything).
+    unread_overwrites: int
+    #: Writes landing on a register whose last writer was a different
+    #: processor (the "overwriting each other" of Section 1).
+    cross_overwrites: int
+    max_steps_per_pid: int = 0
+    mean_steps_per_pid: float = 0.0
+
+    def summary(self) -> str:
+        return (
+            f"steps={self.total_steps} (r={self.reads}, w={self.writes},"
+            f" out={self.outputs}); per-pid max={self.max_steps_per_pid},"
+            f" mean={self.mean_steps_per_pid:.1f};"
+            f" unread overwrites={self.unread_overwrites},"
+            f" cross overwrites={self.cross_overwrites}"
+        )
+
+
+def collect_statistics(trace: Trace) -> ExecutionStatistics:
+    """Compute :class:`ExecutionStatistics` from a trace."""
+    reads = writes = outputs = 0
+    steps_per_pid: Dict[int, int] = {}
+    unread_overwrites = 0
+    cross_overwrites = 0
+    # physical register -> (writer, read by a non-writer since that write?)
+    last_write_state: Dict[int, Tuple[Optional[int], bool]] = {}
+    for event in trace:
+        if isinstance(event, ReadEvent):
+            reads += 1
+            steps_per_pid[event.pid] = steps_per_pid.get(event.pid, 0) + 1
+            writer, seen = last_write_state.get(
+                event.physical_index, (None, True)
+            )
+            if event.pid != writer:
+                seen = True
+            last_write_state[event.physical_index] = (writer, seen)
+        elif isinstance(event, WriteEvent):
+            writes += 1
+            steps_per_pid[event.pid] = steps_per_pid.get(event.pid, 0) + 1
+            previous = last_write_state.get(event.physical_index)
+            if previous is not None:
+                previous_writer, was_read = previous
+                if not was_read:
+                    unread_overwrites += 1
+                if previous_writer is not None and previous_writer != event.pid:
+                    cross_overwrites += 1
+            last_write_state[event.physical_index] = (event.pid, False)
+        else:
+            outputs += 1
+    per_pid_values = list(steps_per_pid.values())
+    return ExecutionStatistics(
+        total_steps=reads + writes,
+        reads=reads,
+        writes=writes,
+        outputs=outputs,
+        steps_per_pid=steps_per_pid,
+        unread_overwrites=unread_overwrites,
+        cross_overwrites=cross_overwrites,
+        max_steps_per_pid=max(per_pid_values, default=0),
+        mean_steps_per_pid=(
+            sum(per_pid_values) / len(per_pid_values) if per_pid_values else 0.0
+        ),
+    )
+
+
+def overwrite_counts(trace: Trace) -> Dict[int, int]:
+    """Per-processor count of cross-processor overwrites."""
+    counts: Dict[int, int] = {}
+    for event in trace:
+        if isinstance(event, WriteEvent):
+            if event.overwrote is not None and event.overwrote != event.pid:
+                counts[event.pid] = counts.get(event.pid, 0) + 1
+    return counts
+
+
+def level_trace(trace: Trace) -> Dict[int, List[int]]:
+    """Per-processor sequence of levels carried by its writes.
+
+    Registers in the snapshot algorithm hold ``(view, level)`` records;
+    the level each processor attaches to its writes traces its climb
+    toward the termination level (Section 5.1's intuition, benchmark
+    E11).
+    """
+    levels: Dict[int, List[int]] = {}
+    for event in trace:
+        if isinstance(event, WriteEvent):
+            level = getattr(event.value, "level", None)
+            if level is not None:
+                levels.setdefault(event.pid, []).append(level)
+    return levels

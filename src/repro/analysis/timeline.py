@@ -1,0 +1,127 @@
+"""ASCII timelines of executions.
+
+Renders a trace as one lane per processor plus one per register, which
+makes covering patterns — the paper's central phenomenon — visible at a
+glance: you can watch a poised write land on a register just after it
+was read, erasing a value nobody else ever saw.
+
+Two renderers:
+
+- :func:`render_lanes` — one column per event, one row per processor;
+  ``W0``/``R2`` cells mark a write/read of physical register 0/2, ``!``
+  marks the output step;
+- :func:`render_register_history` — one row per register, showing the
+  sequence of values it held, each annotated with its writer and
+  whether anyone else read it before it was overwritten (erasures show
+  as ``✗``).
+
+Both are plain functions from a :class:`~repro.memory.trace.Trace` to a
+string; the examples print them and the tests pin their structure.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.memory.trace import OutputEvent, ReadEvent, Trace, WriteEvent
+
+
+def render_lanes(
+    trace: Trace,
+    max_events: int = 80,
+    processor_names: Optional[Sequence[str]] = None,
+) -> str:
+    """One row per processor, one column per (shared-memory) event."""
+    events = list(trace)[:max_events]
+    pids = sorted({event.pid for event in events})
+    names = {
+        pid: (processor_names[pid] if processor_names else f"p{pid}")
+        for pid in pids
+    }
+    width = max((len(name) for name in names.values()), default=2)
+
+    def cell(event, pid) -> str:
+        if event.pid != pid:
+            return " . "
+        if isinstance(event, WriteEvent):
+            return f"W{event.physical_index} "
+        if isinstance(event, ReadEvent):
+            return f"R{event.physical_index} "
+        return " ! "
+
+    lines = []
+    for pid in pids:
+        row = "".join(cell(event, pid) for event in events)
+        lines.append(f"{names[pid]:>{width}} |{row}")
+    truncated = len(trace) - len(events)
+    if truncated > 0:
+        lines.append(f"... ({truncated} more events)")
+    return "\n".join(lines)
+
+
+def render_register_history(
+    trace: Trace, n_registers: int, max_entries_per_register: int = 20
+) -> str:
+    """One row per physical register: the values it held over time.
+
+    Each entry is ``value@writer`` with a trailing ``✗`` when the value
+    was overwritten before any *other* processor read it (information
+    erased without communicating — the §2.1 phenomenon).
+    """
+    # Collect, per register, its write history plus read observations.
+    entries: Dict[int, List[dict]] = {reg: [] for reg in range(n_registers)}
+    for event in trace:
+        if isinstance(event, WriteEvent):
+            entries[event.physical_index].append(
+                {"value": event.value, "writer": event.pid, "seen": False}
+            )
+        elif isinstance(event, ReadEvent):
+            history = entries.get(event.physical_index)
+            if history:
+                if event.pid != history[-1]["writer"]:
+                    history[-1]["seen"] = True
+
+    lines = []
+    for reg in range(n_registers):
+        rendered = []
+        history = entries[reg]
+        for index, entry in enumerate(history[:max_entries_per_register]):
+            erased = index < len(history) - 1 and not entry["seen"]
+            marker = "✗" if erased else ""
+            rendered.append(
+                f"{_short(entry['value'])}@p{entry['writer']}{marker}"
+            )
+        suffix = ""
+        if len(history) > max_entries_per_register:
+            suffix = f" … (+{len(history) - max_entries_per_register})"
+        lines.append(f"r{reg}: " + " → ".join(rendered) + suffix)
+    return "\n".join(lines)
+
+
+def erasure_summary(trace: Trace, n_registers: int) -> Dict[int, int]:
+    """Per-register count of values erased before anyone else read them."""
+    counts: Dict[int, int] = {reg: 0 for reg in range(n_registers)}
+    last: Dict[int, dict] = {}
+    for event in trace:
+        if isinstance(event, WriteEvent):
+            previous = last.get(event.physical_index)
+            if previous is not None and not previous["seen"]:
+                counts[event.physical_index] += 1
+            last[event.physical_index] = {"writer": event.pid, "seen": False}
+        elif isinstance(event, ReadEvent):
+            entry = last.get(event.physical_index)
+            if entry is not None and event.pid != entry["writer"]:
+                entry["seen"] = True
+    return counts
+
+
+def _short(value) -> str:
+    """Compact rendering of a register value."""
+    view = getattr(value, "view", None)
+    if view is not None:
+        inner = ",".join(str(v) for v in sorted(view, key=repr))
+        level = getattr(value, "level", None)
+        return f"{{{inner}}}" + (f"|{level}" if level is not None else "")
+    if isinstance(value, frozenset):
+        return "{" + ",".join(str(v) for v in sorted(value, key=repr)) + "}"
+    return repr(value)

@@ -1,0 +1,43 @@
+"""Baselines from the paper's related-work lineage (Section 8).
+
+These algorithms assume *stronger* models than the fully-anonymous one;
+the benchmark harness (E10) compares them against the paper's algorithm
+to show the price of anonymity, and the tests show exactly where each
+breaks when its model assumption is taken away:
+
+- :mod:`repro.baselines.double_collect` — the classic non-anonymous
+  single-writer snapshot: lock-free double collect, and the Afek et al.
+  style wait-free variant with embedded-scan helping;
+- :mod:`repro.baselines.guerraoui_ruppert` — the Guerraoui–Ruppert
+  (2005) processor-anonymous snapshot built on a *weak counter* that
+  races along an ordered array of registers; possible with named memory,
+  impossible with anonymous memory (no common register order exists —
+  the paper's Section 1 observation, demonstrated by test);
+- :mod:`repro.baselines.naive_fully_anonymous` — the natural-but-wrong
+  "terminate on a clean double collect" rule in the fully-anonymous
+  model, refuted by the Figure 2 extension (E2).
+"""
+
+from repro.baselines.double_collect import (
+    afek_style_snapshot_process,
+    lock_free_snapshot_process,
+)
+from repro.baselines.guerraoui_ruppert import (
+    WEAK_COUNTER_FAILED,
+    gr_snapshot_process,
+    weak_counter_process,
+)
+from repro.baselines.naive_fully_anonymous import (
+    NaiveDoubleCollectMachine,
+    double_collect_outputs_from_trace,
+)
+
+__all__ = [
+    "lock_free_snapshot_process",
+    "afek_style_snapshot_process",
+    "weak_counter_process",
+    "gr_snapshot_process",
+    "WEAK_COUNTER_FAILED",
+    "NaiveDoubleCollectMachine",
+    "double_collect_outputs_from_trace",
+]

@@ -1,0 +1,114 @@
+"""Non-anonymous snapshot baselines (Afek et al. 1993 lineage).
+
+These run in the classic model the paper contrasts with: processors have
+identifiers and each owns a single-writer register (register ``pid``,
+with the identity wiring — no anonymity of any kind).  They are the
+"what you get when nothing is anonymous" reference points of benchmark
+E10.
+
+- :func:`lock_free_snapshot_process` — update own register with a
+  sequence-numbered value, then repeat full collects until two
+  consecutive collects are identical ("clean double collect"); returns
+  the union of values in the clean collect.  Lock-free, not wait-free:
+  a scanner can starve while writers keep moving.
+- :func:`afek_style_snapshot_process` — Afek et al.'s helping idea:
+  every update embeds the writer's own most recent scan result; a
+  scanner that observes the same register change *twice* borrows the
+  embedded scan of the second change (that scan is entirely contained
+  in the scanner's interval).  Wait-free: at most ``N`` retries before a
+  borrow is guaranteed.
+
+Both are generator processes (:class:`repro.sim.process.GeneratorProcess`):
+they live outside the paper's model, so they do not need the
+state-machine/model-checking machinery.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, FrozenSet, Generator, Hashable, List, Optional, Tuple
+
+from repro.sim.ops import Op, Read, Write
+
+
+@dataclass(frozen=True)
+class SWMRRecord:
+    """Contents of a single-writer register."""
+
+    value: Hashable
+    seq: int
+    #: The writer's last completed scan (Afek-style helping); None in
+    #: the plain lock-free variant.
+    embedded_scan: Optional[FrozenSet[Hashable]] = None
+
+
+def _collect(n_registers: int) -> Generator[Op, Any, Tuple[Any, ...]]:
+    """Read all registers once; returns the tuple of records."""
+    records: List[Any] = []
+    for reg in range(n_registers):
+        record = yield Read(reg)
+        records.append(record)
+    return tuple(records)
+
+
+def _values_of(collect: Tuple[Any, ...]) -> FrozenSet[Hashable]:
+    return frozenset(
+        record.value for record in collect if isinstance(record, SWMRRecord)
+    )
+
+
+def lock_free_snapshot_process(
+    n_processors: int, pid: int, my_input: Hashable
+) -> Generator[Op, Any, FrozenSet[Hashable]]:
+    """Update-then-scan with clean double collect (lock-free).
+
+    The process writes ``(my_input, seq)`` to register ``pid`` (its own
+    single-writer register), then collects until two consecutive
+    collects are equal, returning the values of the clean collect.
+    """
+    yield Write(pid, SWMRRecord(value=my_input, seq=0))
+    previous = yield from _collect(n_processors)
+    while True:
+        current = yield from _collect(n_processors)
+        if current == previous:
+            return _values_of(current)
+        previous = current
+
+
+def afek_style_snapshot_process(
+    n_processors: int, pid: int, my_input: Hashable
+) -> Generator[Op, Any, FrozenSet[Hashable]]:
+    """Wait-free update-and-scan with embedded-scan helping.
+
+    The update embeds the writer's own scan, and scans borrow from
+    twice-moved writers, bounding the number of collect retries by the
+    number of processors.
+    """
+
+    def scan() -> Generator[Op, Any, FrozenSet[Hashable]]:
+        moved: dict = {}
+        previous = yield from _collect(n_processors)
+        while True:
+            current = yield from _collect(n_processors)
+            if current == previous:
+                return _values_of(current)
+            for reg in range(n_processors):
+                old, new = previous[reg], current[reg]
+                old_seq = old.seq if isinstance(old, SWMRRecord) else -1
+                new_seq = new.seq if isinstance(new, SWMRRecord) else -1
+                if new_seq > old_seq:
+                    if reg in moved and new.embedded_scan is not None:
+                        # Second observed move: the embedded scan began
+                        # after our scan started — borrow it.
+                        return new.embedded_scan
+                    moved[reg] = True
+            previous = current
+
+    # First write: no scan to embed yet; embed the trivial self-view so
+    # borrowers still satisfy self-inclusion.
+    yield Write(pid, SWMRRecord(value=my_input, seq=0,
+                                embedded_scan=frozenset({my_input})))
+    result = yield from scan()
+    # Publish the completed scan so later borrowers can use it.
+    yield Write(pid, SWMRRecord(value=my_input, seq=1, embedded_scan=result))
+    return result

@@ -1,0 +1,119 @@
+"""Guerraoui–Ruppert style processor-anonymous snapshot (named memory).
+
+Guerraoui & Ruppert (2005) showed that with anonymous *processors* but
+named *memory*, wait-free atomic memory snapshots are possible.  Their
+key gadget is a **weak counter**: processors race, from a *common
+starting position*, along a one-direction array of binary registers to
+be the first to set a bit; the index of the first unset bit acts as a
+(weak) counter.  The construction relies essentially on the shared
+register order — which is precisely what memory anonymity removes, as
+the paper's introduction points out ("there is no way to even define a
+common starting register for the race or a shared ordering of the
+registers to race through").
+
+This module implements a faithful-in-spirit, simplified version:
+
+- :func:`weak_counter_process` — ``get-and-increment``: scan the bit
+  array from position 0, set the first bit read as 0, return its index.
+  (GR's full version adds helping for wait-freedom; the simplified race
+  preserves exactly the property anonymity breaks, which is what the
+  experiments need.  The simplification is documented in DESIGN.md.)
+- :func:`gr_snapshot_process` — update-and-scan built on the counter:
+  an update writes ``(value, counter_ticket)``; a scan repeats collects
+  until two consecutive collects agree *and* the counter has not moved,
+  returning the values seen.  Obstruction-free as written.
+
+Under the identity wiring (named memory) the counter tickets are
+distinct and monotone.  Under random wirings (anonymous memory) two
+processors can grab the *same* ticket — the demonstration used by the
+tests and benchmark E10.  :data:`WEAK_COUNTER_FAILED` is returned by
+the counter when it runs off the end of the array.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, FrozenSet, Generator, Hashable, List, Optional, Tuple
+
+from repro.sim.ops import Op, Read, Write
+
+#: Sentinel ticket when the counter array is exhausted.
+WEAK_COUNTER_FAILED = -1
+
+#: Register layout for the GR snapshot: the first ``n_values`` registers
+#: hold value records, the remaining ones form the counter bit array.
+
+
+@dataclass(frozen=True)
+class GRRecord:
+    """A value register's contents: the value plus its counter ticket."""
+
+    value: Hashable
+    ticket: int
+
+
+def weak_counter_process(
+    n_bits: int, base_register: int = 0
+) -> Generator[Op, Any, int]:
+    """One ``get-and-increment`` on the bit-array weak counter.
+
+    Scans local registers ``base_register .. base_register+n_bits-1``
+    in order for the first bit equal to 0, writes 1 there, and returns
+    its index.  Correctness (distinct, roughly ordered tickets) depends
+    on every processor scanning the *same* register order — true with
+    named memory, false with anonymous memory.
+    """
+    for index in range(n_bits):
+        bit = yield Read(base_register + index)
+        if not bit:
+            yield Write(base_register + index, 1)
+            return index
+    return WEAK_COUNTER_FAILED
+
+
+def gr_snapshot_process(
+    n_values: int,
+    n_counter_bits: int,
+    my_slot: int,
+    my_input: Hashable,
+) -> Generator[Op, Any, FrozenSet[Hashable]]:
+    """Update-and-scan snapshot with weak-counter interference detection.
+
+    ``my_slot`` is the value register this processor updates.  (GR avoid
+    per-processor slots via more machinery; slots keep the baseline
+    focused on the counter, which is the part anonymity breaks.)
+    """
+    ticket = yield from weak_counter_process(n_counter_bits, base_register=n_values)
+    yield Write(my_slot, GRRecord(value=my_input, ticket=ticket))
+
+    def collect() -> Generator[Op, Any, Tuple[Any, ...]]:
+        records: List[Any] = []
+        for reg in range(n_values):
+            record = yield Read(reg)
+            records.append(record)
+        return tuple(records)
+
+    previous = yield from collect()
+    while True:
+        current = yield from collect()
+        counter_now = yield from _read_counter(n_values, n_counter_bits)
+        if current == previous:
+            counter_again = yield from _read_counter(n_values, n_counter_bits)
+            if counter_now == counter_again:
+                return frozenset(
+                    record.value
+                    for record in current
+                    if isinstance(record, GRRecord)
+                )
+        previous = current
+
+
+def _read_counter(
+    n_values: int, n_bits: int
+) -> Generator[Op, Any, int]:
+    """Read the counter value: index of the first unset bit."""
+    for index in range(n_bits):
+        bit = yield Read(n_values + index)
+        if not bit:
+            return index
+    return n_bits

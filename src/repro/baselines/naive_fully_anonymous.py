@@ -1,0 +1,135 @@
+"""The naive "clean double collect" rule in the fully-anonymous model.
+
+Section 4 of the paper opens with the question: when can a write-scan
+processor terminate and declare its view a snapshot?  "Reading the same
+set of values in every register" does not work, and "neither does a
+double collect" — the five-processor extension of Figure 2 (experiment
+E2) exhibits processors ``p`` and ``p'`` that read constant, equal
+collects forever yet hold incomparable views ``{1,2}`` and ``{1,3}``.
+
+This module makes that negative result executable in two ways:
+
+- :class:`NaiveDoubleCollectMachine` — the write-scan loop terminating
+  after two consecutive identical collects; correct-looking under benign
+  schedules, refuted under the E2 schedule;
+- :func:`double_collect_outputs_from_trace` — evaluates the
+  double-collect termination rule *post hoc* on any write-scan trace:
+  for each processor, the view it would have output at its first clean
+  double collect.  Applying it to the E2 execution yields the
+  incomparable outputs without having to re-align the scripted schedule
+  to a different op pattern.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Any, Dict, Hashable, List, Optional, Tuple
+
+from repro.core.views import View
+from repro.core.write_scan import (
+    PHASE_SCAN,
+    PHASE_WRITE,
+    WriteScanMachine,
+    WriteScanState,
+)
+from repro.memory.trace import ReadEvent, Trace
+from repro.sim.ops import Op, Read, Write
+
+PHASE_DONE = "done"
+
+
+@dataclass(frozen=True)
+class NaiveState:
+    """Write-scan state plus the double-collect bookkeeping."""
+
+    inner: WriteScanState
+    #: The register-content vector of the previous completed collect.
+    previous_collect: Optional[Tuple[View, ...]] = None
+    #: Registers read so far in the current collect (vector in local order).
+    current_collect: Tuple[View, ...] = ()
+    done: bool = False
+
+
+class NaiveDoubleCollectMachine:
+    """Write-scan terminating on a clean double collect (unsound).
+
+    Kept deliberately faithful to the folklore rule so the E2 refutation
+    targets the real thing: the processor outputs the union of the clean
+    collect's contents.
+    """
+
+    def __init__(self, n_registers: int) -> None:
+        self.n_registers = n_registers
+        self._inner = WriteScanMachine(n_registers)
+
+    # -- AlgorithmMachine protocol -------------------------------------
+    def initial_state(self, my_input: Hashable) -> NaiveState:
+        return NaiveState(inner=self._inner.initial_state(my_input))
+
+    def register_initial_value(self) -> View:
+        return self._inner.register_initial_value()
+
+    def enabled_ops(self, state: NaiveState) -> Tuple[Op, ...]:
+        if state.done:
+            return ()
+        return self._inner.enabled_ops(state.inner)
+
+    def apply(self, state: NaiveState, op: Op, result: Any) -> NaiveState:
+        inner = self._inner.apply(state.inner, op, result)
+        if isinstance(op, Write):
+            return replace(state, inner=inner, current_collect=())
+        collected = state.current_collect + (result,)
+        if len(collected) < self.n_registers:
+            return replace(state, inner=inner, current_collect=collected)
+        # Collect complete: compare with the previous one.
+        if state.previous_collect == collected:
+            return NaiveState(
+                inner=inner,
+                previous_collect=collected,
+                current_collect=(),
+                done=True,
+            )
+        return NaiveState(
+            inner=inner, previous_collect=collected, current_collect=()
+        )
+
+    def output(self, state: NaiveState) -> Optional[View]:
+        if not state.done:
+            return None
+        union: frozenset = frozenset()
+        for entry in state.previous_collect or ():
+            union |= entry
+        return union | state.inner.view
+
+
+def double_collect_outputs_from_trace(
+    trace: Trace, n_registers: int
+) -> Dict[int, View]:
+    """First clean-double-collect output per processor, from a trace.
+
+    Replays each processor's reads, groups them into collects of
+    ``n_registers``, and returns the union of the first collect that
+    equals its predecessor (per processor).  Processors that never get a
+    clean double collect are absent from the result.
+    """
+    per_pid_reads: Dict[int, List[View]] = {}
+    outputs: Dict[int, View] = {}
+    previous_collect: Dict[int, Tuple[View, ...]] = {}
+    for event in trace:
+        if not isinstance(event, ReadEvent):
+            continue
+        pid = event.pid
+        if pid in outputs:
+            continue
+        reads = per_pid_reads.setdefault(pid, [])
+        reads.append(event.value)
+        if len(reads) == n_registers:
+            collect = tuple(reads)
+            reads.clear()
+            if previous_collect.get(pid) == collect:
+                union: frozenset = frozenset()
+                for entry in collect:
+                    union |= entry
+                outputs[pid] = union
+            previous_collect[pid] = collect
+    return outputs

@@ -1,0 +1,274 @@
+"""Claim B investigated: is any output never the memory content?
+
+Section 8 of the paper reports that TLC found, for 3 processors, an
+execution of the Figure 3 algorithm in which "a processor returns a set
+of inputs I such that at no point in time did the memory contain exactly
+the set of inputs I".  We formalize "the memory contains the set of
+inputs I at time t" as: the union of the views stored in the registers
+at time t equals I (the set of inputs currently stored in memory).
+
+**Reproduction outcome (documented in EXPERIMENTS.md): under this
+formalization the claim does not hold for our faithful implementation.**
+This module contains the machinery behind that finding:
+
+- :func:`exhaustive_claim_b_search` — an *exhaustive* search over a
+  sound abstraction of the only possible counterexample shape.  For a
+  witness output ``W = {1,2}`` (sizes 1 and 3 are impossible — see
+  below — and other two-element sets are isomorphic under renaming):
+
+  * both processors with inputs in ``W`` must keep their views within
+    ``W`` until the witness outputs (reading any 3-containing record
+    permanently contaminates a view, and a contaminated processor can
+    never again write the exactly-``W`` records the witness's clean
+    scans must read; a single clean climber cannot sustain the token
+    dance — its one write per cycle cannot both erase the covering
+    "3-token" in its next read path and bridge the gap its own write
+    instant opens);
+  * the union must differ from ``W`` at every state up to the output;
+  * processor 3's exact view is irrelevant: in this region nobody ever
+    reads its records (doing so is contamination), its enabled
+    operations do not depend on its view, and any register it last
+    wrote contributes its input to the union regardless — so it is
+    abstracted to an opaque *token writer*, collapsing the state space
+    to ~1.5M states per wiring class, which the search exhausts.
+
+  The search explores every wiring (modulo relabelling) and returns
+  ``exhausted=True`` with no hit: no such execution exists.
+
+- Witness sizes 1 and 3 are impossible analytically: a full-set output
+  ``{1,2,3}`` fails because the witness writes its own view during its
+  final climb and the union then equals it (everything is an input);
+  a singleton ``{x}`` fails by the single-clean-climber argument above
+  (only the witness itself can write exactly-``{x}`` records).
+
+The *spirit* of claim B is nevertheless true and reproducible: the
+output need not correspond to the memory contents at any instant of the
+scan that produced it — see
+:func:`repro.sim.scripted.build_non_linearizable_scan_runner` and
+benchmark E5.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+#: Opaque register value standing for "last written by the token
+#: processor" — its precise view is irrelevant in the searched region.
+TOKEN = "TOKEN"
+_INIT = ("INIT",)
+
+#: The witness output: both "climber" inputs.
+_W = frozenset({1, 2})
+
+_PHASE_WRITE = 0
+_PHASE_SCAN = 1
+_PHASE_DONE = 2
+
+
+@dataclass
+class ClaimBResult:
+    """Outcome of the abstracted exhaustive search for one wiring."""
+
+    wiring: Tuple[Tuple[int, ...], ...]
+    found: bool
+    exhausted: bool
+    states: int
+    #: Schedule of the counterexample, if found (never, empirically).
+    schedule: Optional[List[Tuple[int, Optional[int]]]] = None
+
+
+def _initial_state():
+    climber_a = (frozenset({1}), 0, 0b111, _PHASE_WRITE, 0, 1, None)
+    climber_b = (frozenset({2}), 0, 0b111, _PHASE_WRITE, 0, 1, None)
+    token_writer = (0b111, _PHASE_WRITE, 0)
+    return ((_INIT, _INIT, _INIT), climber_a, climber_b, token_writer)
+
+
+def _union_of(registers) -> frozenset:
+    union: set = set()
+    for value in registers:
+        if value == TOKEN:
+            union.add(3)
+        elif value is not _INIT and value[0] == "R":
+            union |= value[1]
+    return frozenset(union)
+
+
+def _successors(state, wirings, level_target):
+    registers, climber_a, climber_b, token_writer = state
+    result = []
+    for pid, local in ((0, climber_a), (1, climber_b)):
+        view, level, unwritten, phase, scan_pos, all_match, min_level = local
+        if phase == _PHASE_DONE:
+            continue
+        if phase == _PHASE_WRITE:
+            for reg in range(3):
+                if not (unwritten >> reg) & 1:
+                    continue
+                remaining = unwritten & ~(1 << reg)
+                if remaining == 0:
+                    remaining = 0b111
+                physical = wirings[pid][reg]
+                new_registers = (
+                    registers[:physical]
+                    + (("R", view, level),)
+                    + registers[physical + 1 :]
+                )
+                new_local = (view, level, remaining, _PHASE_SCAN, 0, 1, None)
+                result.append((pid, reg, new_registers, new_local))
+        else:
+            physical = wirings[pid][scan_pos]
+            value = registers[physical]
+            if value == TOKEN:
+                continue  # prune: the climber would absorb input 3
+            if value is _INIT:
+                read_view, read_level = frozenset(), 0
+            else:
+                read_view, read_level = value[1], value[2]
+            if all_match and read_view == view:
+                new_view = view
+                new_min = (
+                    read_level if min_level is None else min(min_level, read_level)
+                )
+                new_match = 1
+            else:
+                new_view = view | read_view
+                new_min = None
+                new_match = 0
+            if scan_pos + 1 < 3:
+                new_local = (
+                    new_view, level, unwritten, _PHASE_SCAN,
+                    scan_pos + 1, new_match, new_min,
+                )
+            else:
+                new_level = (new_min + 1) if new_match else 0
+                if new_level >= level_target:
+                    new_local = (
+                        new_view, new_level, 0, _PHASE_DONE, 0, 1, None
+                    )
+                else:
+                    new_local = (
+                        new_view, new_level, unwritten, _PHASE_WRITE,
+                        0, 1, None,
+                    )
+            result.append((pid, None, registers, new_local))
+
+    unwritten, phase, scan_pos = token_writer
+    if phase == _PHASE_WRITE:
+        for reg in range(3):
+            if not (unwritten >> reg) & 1:
+                continue
+            remaining = unwritten & ~(1 << reg)
+            if remaining == 0:
+                remaining = 0b111
+            physical = wirings[2][reg]
+            new_registers = (
+                registers[:physical] + (TOKEN,) + registers[physical + 1 :]
+            )
+            result.append((2, reg, new_registers, (remaining, _PHASE_SCAN, 0)))
+    else:
+        next_pos = scan_pos + 1
+        new_local = (
+            (unwritten, _PHASE_WRITE, 0)
+            if next_pos == 3
+            else (unwritten, _PHASE_SCAN, next_pos)
+        )
+        result.append((2, None, registers, new_local))
+    return result
+
+
+def _apply(state, successor):
+    pid, _, new_registers, new_local = successor
+    registers, climber_a, climber_b, token_writer = state
+    if pid == 0:
+        return (new_registers, new_local, climber_b, token_writer)
+    if pid == 1:
+        return (new_registers, climber_a, new_local, token_writer)
+    return (new_registers, climber_a, climber_b, new_local)
+
+
+def exhaustive_claim_b_search(
+    wirings: Sequence[Sequence[int]],
+    level_target: int = 3,
+    max_visited: int = 50_000_000,
+) -> ClaimBResult:
+    """Exhaust the abstracted counterexample region for one wiring.
+
+    Returns ``exhausted=True`` when the *entire* pruned region was
+    explored without finding a witness termination — a proof (for this
+    wiring and the ``W = {1,2}`` shape) that no execution outputs ``W``
+    while the memory union avoids ``W`` throughout.
+    """
+    wirings = tuple(tuple(w) for w in wirings)
+    initial = _initial_state()
+    visited: Set = {initial}
+    frames: List[List] = [[initial, None, 0]]
+    path: List[Tuple[int, Optional[int]]] = []
+
+    while frames:
+        frame = frames[-1]
+        state, successors, cursor = frame
+        if successors is None:
+            successors = _successors(state, wirings, level_target)
+            frame[1] = successors
+        if cursor >= len(successors):
+            frames.pop()
+            if path:
+                path.pop()
+            continue
+        frame[2] = cursor + 1
+        successor = successors[cursor]
+        new_state = _apply(state, successor)
+        if _union_of(new_state[0]) == _W:
+            continue  # the union hit W: no continuation can be a witness
+        pid = successor[0]
+        if pid in (0, 1):
+            new_local = new_state[1] if pid == 0 else new_state[2]
+            old_local = state[1] if pid == 0 else state[2]
+            if new_local[3] == _PHASE_DONE and old_local[3] != _PHASE_DONE:
+                if new_local[0] == _W:
+                    return ClaimBResult(
+                        wiring=wirings,
+                        found=True,
+                        exhausted=False,
+                        states=len(visited),
+                        schedule=path + [(pid, successor[1])],
+                    )
+        if new_state in visited:
+            continue
+        if len(visited) >= max_visited:
+            return ClaimBResult(
+                wiring=wirings, found=False, exhausted=False,
+                states=len(visited),
+            )
+        visited.add(new_state)
+        frames.append([new_state, None, 0])
+        path.append((pid, successor[1]))
+    return ClaimBResult(
+        wiring=wirings, found=False, exhausted=True, states=len(visited)
+    )
+
+
+def sweep_all_wirings(
+    level_target: int = 3, max_visited: int = 50_000_000
+) -> List[ClaimBResult]:
+    """Run the exhaustive search over all wirings with ``σ_A = id``.
+
+    Relabelling physical registers normalizes the first climber's wiring
+    to the identity, so the 36 remaining combinations cover every
+    configuration.
+    """
+    permutations = list(itertools.permutations(range(3)))
+    results = []
+    for wiring_b in permutations:
+        for wiring_c in permutations:
+            results.append(
+                exhaustive_claim_b_search(
+                    (tuple(range(3)), wiring_b, wiring_c),
+                    level_target=level_target,
+                    max_visited=max_visited,
+                )
+            )
+    return results

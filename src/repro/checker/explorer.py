@@ -1,0 +1,206 @@
+"""Breadth-first explicit-state exploration with invariant checking.
+
+This is the reproduction's TLC: it enumerates every reachable global
+state of a :class:`~repro.checker.system.SystemSpec`, checks invariants
+on each, and reconstructs a minimal-length counterexample path when one
+fails.  Exploration statistics (distinct states, transitions, depth) are
+reported the way TLC reports them, so benchmark E4 can print the
+"exhaustively explored all 3-processor executions" result in familiar
+terms.
+
+For liveness (wait-freedom) the explorer optionally retains the full
+edge list, which :mod:`repro.checker.liveness` turns into an SCC
+analysis.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.checker.system import Action, GlobalState, SystemSpec
+
+#: An invariant takes the spec and a reachable state; it returns an error
+#: string when violated, or None when satisfied.
+Invariant = Callable[[SystemSpec, GlobalState], Optional[str]]
+
+
+@dataclass
+class InvariantViolation:
+    """A reachable state violating an invariant, with a shortest path."""
+
+    message: str
+    state: GlobalState
+    path: List[Action]
+
+    def schedule(self) -> List[int]:
+        return [action.pid for action in self.path]
+
+
+@dataclass
+class ExplorationResult:
+    """Outcome of one exhaustive (or budget-capped) exploration."""
+
+    states: int
+    transitions: int
+    depth: int
+    violation: Optional[InvariantViolation] = None
+    complete: bool = True
+    #: Final states (no enabled ops for any processor), capped collection.
+    final_states: List[GlobalState] = field(default_factory=list)
+    #: Retained edge list (state-index, pid, state-index) when requested.
+    edges: Optional[List[Tuple[int, int, int]]] = None
+    #: Index -> state, aligned with edge endpoints, when edges retained.
+    state_table: Optional[List[GlobalState]] = None
+
+    @property
+    def ok(self) -> bool:
+        return self.violation is None
+
+
+class Explorer:
+    """BFS over a :class:`SystemSpec`.
+
+    Parameters
+    ----------
+    spec:
+        The system to explore.
+    invariants:
+        Checked on every reachable state (including the initial one).
+    max_states:
+        Exploration budget; exceeding it sets ``complete=False`` on the
+        result instead of raising — partial exploration is still a
+        useful falsification attempt.
+    keep_edges:
+        Retain the transition list for liveness analysis (costs memory).
+    collect_final_states:
+        Gather fully-terminated states (used by the task-level checks),
+        capped at ``max_final_states``.
+    """
+
+    def __init__(
+        self,
+        spec: SystemSpec,
+        invariants: Sequence[Invariant] = (),
+        max_states: int = 5_000_000,
+        keep_edges: bool = False,
+        collect_final_states: bool = False,
+        max_final_states: int = 100_000,
+    ) -> None:
+        self.spec = spec
+        self.invariants = list(invariants)
+        self.max_states = max_states
+        self.keep_edges = keep_edges
+        self.collect_final_states = collect_final_states
+        self.max_final_states = max_final_states
+
+    def run(self) -> ExplorationResult:
+        spec = self.spec
+        initial = spec.initial_state()
+        index_of: Dict[GlobalState, int] = {initial: 0}
+        # parent[i] = (parent index, action) for path reconstruction.
+        parents: List[Optional[Tuple[int, Action]]] = [None]
+        depths: List[int] = [0]
+        states: List[GlobalState] = [initial]
+        queue: deque = deque([0])
+        edges: Optional[List[Tuple[int, int, int]]] = [] if self.keep_edges else None
+        final_states: List[GlobalState] = []
+        transitions = 0
+        max_depth = 0
+        complete = True
+
+        violation = self._check_invariants(initial, 0, parents, states)
+        if violation is not None:
+            return ExplorationResult(
+                states=1,
+                transitions=0,
+                depth=0,
+                violation=violation,
+                final_states=final_states,
+                edges=edges,
+                state_table=states if self.keep_edges else None,
+            )
+
+        while queue:
+            current_index = queue.popleft()
+            current = states[current_index]
+            successors = list(spec.successors(current))
+            if not successors and self.collect_final_states:
+                if len(final_states) < self.max_final_states:
+                    final_states.append(current)
+            for action, successor in successors:
+                transitions += 1
+                successor_index = index_of.get(successor)
+                if successor_index is None:
+                    if len(states) >= self.max_states:
+                        complete = False
+                        continue
+                    successor_index = len(states)
+                    index_of[successor] = successor_index
+                    states.append(successor)
+                    parents.append((current_index, action))
+                    depth = depths[current_index] + 1
+                    depths.append(depth)
+                    max_depth = max(max_depth, depth)
+                    queue.append(successor_index)
+                    violation = self._check_invariants(
+                        successor, successor_index, parents, states
+                    )
+                    if violation is not None:
+                        return ExplorationResult(
+                            states=len(states),
+                            transitions=transitions,
+                            depth=max_depth,
+                            violation=violation,
+                            complete=complete,
+                            final_states=final_states,
+                            edges=edges,
+                            state_table=states if self.keep_edges else None,
+                        )
+                if edges is not None:
+                    edges.append((current_index, action.pid, successor_index))
+
+        return ExplorationResult(
+            states=len(states),
+            transitions=transitions,
+            depth=max_depth,
+            complete=complete,
+            final_states=final_states,
+            edges=edges,
+            state_table=states if self.keep_edges else None,
+        )
+
+    # ------------------------------------------------------------------
+    def _check_invariants(
+        self,
+        state: GlobalState,
+        index: int,
+        parents: List[Optional[Tuple[int, Action]]],
+        states: List[GlobalState],
+    ) -> Optional[InvariantViolation]:
+        for invariant in self.invariants:
+            message = invariant(self.spec, state)
+            if message is not None:
+                return InvariantViolation(
+                    message=message,
+                    state=state,
+                    path=_reconstruct_path(index, parents),
+                )
+        return None
+
+
+def _reconstruct_path(
+    index: int, parents: List[Optional[Tuple[int, Action]]]
+) -> List[Action]:
+    path: List[Action] = []
+    cursor: Optional[int] = index
+    while cursor is not None:
+        entry = parents[cursor]
+        if entry is None:
+            break
+        parent_index, action = entry
+        path.append(action)
+        cursor = parent_index
+    path.reverse()
+    return path

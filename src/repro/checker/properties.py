@@ -1,0 +1,151 @@
+"""Invariants checked during exploration.
+
+These are the safety properties of the paper's Section 5 expressed over
+reachable global states:
+
+- **containment**: every two outputs produced so far are related by
+  containment — the algorithm's (stronger-than-group) guarantee, proved
+  in Section 5.3.2;
+- **self-inclusion / validity**: an output contains the processor's own
+  input and only inputs of the configuration;
+- **view monotonicity proxies**: views contain the own input; levels are
+  within bounds; register views only ever hold inputs.
+
+Each invariant returns ``None`` when satisfied and a diagnostic string
+when violated; the explorer attaches a shortest counterexample path.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.checker.system import GlobalState, SystemSpec
+from repro.core.views import RegisterRecord, all_comparable
+
+
+def snapshot_outputs_comparable(spec: SystemSpec, state: GlobalState) -> Optional[str]:
+    """Every two snapshot outputs produced so far are containment-related."""
+    outputs = spec.outputs(state)
+    if len(outputs) < 2:
+        return None
+    if all_comparable(outputs.values()):
+        return None
+    views = {pid: sorted(view, key=repr) for pid, view in outputs.items()}
+    return f"incomparable snapshot outputs: {views!r}"
+
+
+def snapshot_outputs_valid(spec: SystemSpec, state: GlobalState) -> Optional[str]:
+    """Outputs contain the own input and only configuration inputs."""
+    all_inputs = frozenset(spec.inputs)
+    for pid, output in spec.outputs(state).items():
+        output_set = frozenset(output)
+        if spec.inputs[pid] not in output_set:
+            return (
+                f"processor {pid} output {sorted(output_set, key=repr)!r} misses"
+                f" its own input {spec.inputs[pid]!r}"
+            )
+        if not output_set <= all_inputs:
+            return (
+                f"processor {pid} output {sorted(output_set, key=repr)!r} contains"
+                f" non-input values"
+            )
+    return None
+
+
+def views_contain_own_input(spec: SystemSpec, state: GlobalState) -> Optional[str]:
+    """Local views always contain the processor's own input."""
+    for pid, local in enumerate(state.locals):
+        view = getattr(local, "view", None)
+        if view is None:
+            inner = getattr(local, "inner", None)
+            view = getattr(inner, "view", None)
+        if view is None:
+            return f"processor {pid} state has no view: {local!r}"
+        own = spec.inputs[pid]
+        # Consensus wraps inputs into timestamped records; unwrap for the check.
+        if own in view:
+            continue
+        if any(getattr(record, "value", None) == own for record in view):
+            continue
+        return f"processor {pid} view {view!r} misses own input {own!r}"
+    return None
+
+
+def levels_within_bounds(spec: SystemSpec, state: GlobalState) -> Optional[str]:
+    """Processor and register levels stay in ``0..level_target``."""
+    target = getattr(spec.machine, "level_target", None)
+    if target is None:
+        return None
+    for pid, local in enumerate(state.locals):
+        level = getattr(local, "level", None)
+        if level is None:
+            inner = getattr(local, "inner", None)
+            level = getattr(inner, "level", 0)
+        if not 0 <= level <= target:
+            return f"processor {pid} level {level} outside 0..{target}"
+    for index, record in enumerate(state.registers):
+        if isinstance(record, RegisterRecord) and not 0 <= record.level <= target:
+            return f"register {index} level {record.level} outside 0..{target}"
+    return None
+
+
+def register_views_are_inputs(spec: SystemSpec, state: GlobalState) -> Optional[str]:
+    """Register views only ever contain configuration inputs."""
+    all_inputs = frozenset(spec.inputs)
+    for index, record in enumerate(state.registers):
+        view = record.view if isinstance(record, RegisterRecord) else record
+        if not isinstance(view, frozenset):
+            continue
+        if not view <= all_inputs:
+            return (
+                f"register {index} view {sorted(view, key=repr)!r} contains"
+                f" non-input values"
+            )
+    return None
+
+
+SNAPSHOT_SAFETY = (
+    snapshot_outputs_comparable,
+    snapshot_outputs_valid,
+    views_contain_own_input,
+    levels_within_bounds,
+    register_views_are_inputs,
+)
+
+
+def consensus_agreement_and_validity(
+    spec: SystemSpec, state: GlobalState
+) -> Optional[str]:
+    """Decided values are unique and among the proposed inputs."""
+    outputs = spec.outputs(state)
+    if not outputs:
+        return None
+    decided = set(outputs.values())
+    if len(decided) > 1:
+        return f"consensus disagreement: {sorted(decided, key=repr)!r}"
+    (value,) = decided
+    if value not in set(spec.inputs):
+        return f"decided value {value!r} was never proposed"
+    return None
+
+
+def renaming_names_valid(spec: SystemSpec, state: GlobalState) -> Optional[str]:
+    """Names are positive, within the group bound, unique across groups."""
+    outputs = spec.outputs(state)
+    if not outputs:
+        return None
+    n_groups = len(set(spec.inputs))
+    bound = n_groups * (n_groups + 1) // 2
+    for pid, name in outputs.items():
+        if not isinstance(name, int) or not 1 <= name <= bound:
+            return f"processor {pid} name {name!r} outside 1..{bound}"
+    items = list(outputs.items())
+    for index, (first, first_name) in enumerate(items):
+        for second, second_name in items[index + 1 :]:
+            same_group = spec.inputs[first] == spec.inputs[second]
+            if not same_group and first_name == second_name:
+                return (
+                    f"processors {first} and {second} of different groups share"
+                    f" name {first_name}"
+                )
+    return None

@@ -1,0 +1,143 @@
+"""Global transition systems over algorithm machines.
+
+A :class:`SystemSpec` closes an :class:`~repro.sim.machine.AlgorithmMachine`
+over a concrete configuration — number of processors, inputs, wiring —
+and exposes the induced global transition system:
+
+- a global state is ``(registers, locals)``, both tuples of immutable
+  values;
+- an action is ``(pid, op)``; successors branch over every processor
+  and every operation its machine allows (the algorithm's internal
+  nondeterminism), which is exactly the adversary's power in the paper's
+  model plus the algorithm's free choices.
+
+Because machines are pure, exploring this system is exhaustive over all
+interleavings *for the given wiring*; the experiments iterate over all
+wiring assignments modulo register relabelling
+(:func:`repro.memory.wiring.enumerate_wiring_assignments`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Hashable, Iterator, List, Optional, Sequence, Tuple
+
+from repro.memory.wiring import WiringAssignment
+from repro.sim.machine import AlgorithmMachine
+from repro.sim.ops import Op, Read, Write
+
+
+@dataclass(frozen=True)
+class GlobalState:
+    """One global configuration: register contents + all local states."""
+
+    registers: Tuple[Any, ...]
+    locals: Tuple[Any, ...]
+
+
+@dataclass(frozen=True)
+class Action:
+    """One atomic step: processor ``pid`` performing ``op``.
+
+    ``op.reg`` is the *local* register index the processor used; the
+    physical index it touched is recorded too, for trace readability.
+    """
+
+    pid: int
+    op: Op
+    physical: int
+
+
+class SystemSpec:
+    """The global transition system of ``n`` copies of one machine.
+
+    Parameters
+    ----------
+    machine:
+        The algorithm every (anonymous) processor runs.
+    inputs:
+        Private input per processor; position = pid.
+    wiring:
+        The wiring assignment fixing each processor's register
+        permutation.
+    """
+
+    def __init__(
+        self,
+        machine: AlgorithmMachine,
+        inputs: Sequence[Hashable],
+        wiring: WiringAssignment,
+    ) -> None:
+        if len(inputs) != wiring.n_processors:
+            raise ValueError(
+                f"{len(inputs)} inputs for {wiring.n_processors} wired processors"
+            )
+        self.machine = machine
+        self.inputs = tuple(inputs)
+        self.wiring = wiring
+        self.n_processors = len(self.inputs)
+        self.n_registers = wiring.n_registers
+
+    # ------------------------------------------------------------------
+    # Transition relation
+    # ------------------------------------------------------------------
+    def initial_state(self) -> GlobalState:
+        default = self.machine.register_initial_value()
+        return GlobalState(
+            registers=tuple([default] * self.n_registers),
+            locals=tuple(
+                self.machine.initial_state(value) for value in self.inputs
+            ),
+        )
+
+    def successors(self, state: GlobalState) -> Iterator[Tuple[Action, GlobalState]]:
+        """All one-step successors, branching over processors and ops."""
+        for pid in range(self.n_processors):
+            local = state.locals[pid]
+            for op in self.machine.enabled_ops(local):
+                yield self.apply(state, pid, op)
+
+    def apply(self, state: GlobalState, pid: int, op: Op) -> Tuple[Action, GlobalState]:
+        """Apply one (pid, op) step; returns the action and new state."""
+        physical = self.wiring[pid].to_physical(op.reg)
+        registers = state.registers
+        if isinstance(op, Read):
+            result = registers[physical]
+        elif isinstance(op, Write):
+            result = None
+            registers = (
+                registers[:physical] + (op.value,) + registers[physical + 1 :]
+            )
+        else:  # pragma: no cover - defensive
+            raise TypeError(f"unknown op {op!r}")
+        new_local = self.machine.apply(state.locals[pid], op, result)
+        locals_ = state.locals[:pid] + (new_local,) + state.locals[pid + 1 :]
+        return (
+            Action(pid=pid, op=op, physical=physical),
+            GlobalState(registers=registers, locals=locals_),
+        )
+
+    # ------------------------------------------------------------------
+    # Observations
+    # ------------------------------------------------------------------
+    def outputs(self, state: GlobalState) -> dict:
+        """pid -> output, for the processors terminated in ``state``."""
+        result = {}
+        for pid, local in enumerate(state.locals):
+            value = self.machine.output(local)
+            if value is not None:
+                result[pid] = value
+        return result
+
+    def terminated(self, state: GlobalState, pid: int) -> bool:
+        """Whether ``pid`` has no enabled operations in ``state``."""
+        return not self.machine.enabled_ops(state.locals[pid])
+
+    def all_terminated(self, state: GlobalState) -> bool:
+        return all(
+            self.terminated(state, pid) for pid in range(self.n_processors)
+        )
+
+    def schedule_of(self, actions: Sequence[Action]) -> List[int]:
+        """Extract the pid schedule from an action path (for replay)."""
+        return [action.pid for action in actions]

@@ -1,0 +1,232 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Thin, scriptable access to the library's main entry points:
+
+- ``snapshot`` / ``renaming`` / ``consensus`` — run one of the paper's
+  algorithms with chosen inputs, seed, and sizes, printing per-processor
+  outputs;
+- ``figure2`` — print the reproduced Figure 2 table and its certified
+  repetition;
+- ``check`` — TLC-style exhaustive model check of the snapshot
+  algorithm for N=2 (safety + wait-freedom), or a budgeted N=3 sweep;
+- ``lower-bound`` — run the §2.1 covering-erasure demonstration.
+
+Every command exits non-zero if the run violates the property it
+demonstrates, so the CLI doubles as a smoke check in scripts/CI.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional, Sequence
+
+
+def _parse_inputs(raw: Sequence[str]) -> List[str]:
+    """Inputs are strings; pure integers are converted for convenience."""
+    parsed: List = []
+    for token in raw:
+        try:
+            parsed.append(int(token))
+        except ValueError:
+            parsed.append(token)
+    return parsed
+
+
+def _cmd_snapshot(args: argparse.Namespace) -> int:
+    from repro.api import run_snapshot
+    from repro.core.views import all_comparable
+
+    inputs = _parse_inputs(args.inputs)
+    result = run_snapshot(
+        inputs, seed=args.seed, n_registers=args.registers,
+        max_steps=args.max_steps,
+    )
+    for pid in sorted(result.outputs):
+        print(f"processor {pid} (input {inputs[pid]!r}):"
+              f" {sorted(result.outputs[pid], key=repr)}")
+    ok = result.all_terminated and all_comparable(result.outputs.values())
+    print(f"terminated: {result.all_terminated};"
+          f" containment: {all_comparable(result.outputs.values())};"
+          f" steps: {result.steps}")
+    return 0 if ok else 1
+
+
+def _cmd_renaming(args: argparse.Namespace) -> int:
+    from repro.api import run_renaming
+    from repro.core.renaming import renaming_bound
+
+    group_ids = _parse_inputs(args.inputs)
+    result = run_renaming(group_ids, seed=args.seed, max_steps=args.max_steps)
+    m = len(set(group_ids))
+    bound = renaming_bound(m)
+    for pid in sorted(result.outputs):
+        print(f"processor {pid} (group {group_ids[pid]!r}):"
+              f" name {result.outputs[pid]}")
+    within = all(1 <= name <= bound for name in result.outputs.values())
+    print(f"groups: {m}; namespace bound M(M+1)/2 = {bound};"
+          f" within bound: {within}")
+    return 0 if result.all_terminated and within else 1
+
+
+def _cmd_consensus(args: argparse.Namespace) -> int:
+    from repro.api import run_consensus
+
+    proposals = _parse_inputs(args.inputs)
+    result = run_consensus(proposals, seed=args.seed, max_steps=args.max_steps)
+    for pid in sorted(result.outputs):
+        print(f"processor {pid} (proposed {proposals[pid]!r}):"
+              f" decided {result.outputs[pid]!r}")
+    decided = set(result.outputs.values())
+    agreement = len(decided) <= 1
+    validity = decided <= set(proposals)
+    print(f"agreement: {agreement}; validity: {validity};"
+          f" decided {len(result.outputs)}/{len(proposals)}")
+    return 0 if agreement and validity else 1
+
+
+def _cmd_figure2(args: argparse.Namespace) -> int:
+    from repro.analysis import stable_view_graph_from_lasso
+    from repro.sim.scripted import (
+        build_figure2_runner,
+        figure2_observed_rows,
+        format_figure2_table,
+    )
+
+    print(format_figure2_table(figure2_observed_rows()))
+    runner = build_figure2_runner(detect_lasso=True)
+    result = runner.run(100_000)
+    print(f"\nrows 5-13 repeat every {result.lasso.cycle_length} steps"
+          f" (certified by state repetition)")
+    graph = stable_view_graph_from_lasso(result)
+    print(f"stable-view graph: {graph.describe()}")
+    return 0 if graph.has_unique_source() else 1
+
+
+def _cmd_check(args: argparse.Namespace) -> int:
+    from repro.checker import Explorer, SystemSpec
+    from repro.checker.fast_snapshot import (
+        FastSnapshotSpec,
+        canonical_wiring_classes,
+    )
+    from repro.checker.liveness import check_wait_freedom
+    from repro.checker.properties import SNAPSHOT_SAFETY
+    from repro.core import SnapshotMachine
+    from repro.memory.wiring import enumerate_wiring_assignments
+
+    failures = 0
+    if args.n == 2:
+        for wiring in enumerate_wiring_assignments(2, 2):
+            spec = SystemSpec(SnapshotMachine(2), [1, 2], wiring)
+            result = Explorer(spec, SNAPSHOT_SAFETY, keep_edges=True).run()
+            violations = check_wait_freedom(spec, result)
+            status = "OK" if result.ok and not violations else "VIOLATED"
+            if status != "OK":
+                failures += 1
+            print(f"wiring {wiring.permutations()}: {result.states} states,"
+                  f" safety+wait-freedom {status}")
+    else:
+        for wiring in canonical_wiring_classes(args.n, args.n):
+            fast = FastSnapshotSpec(
+                list(range(1, args.n + 1)), wiring
+            )
+            result = fast.explore(max_states=args.budget)
+            status = "OK" if result.ok else f"VIOLATED: {result.violation}"
+            if not result.ok:
+                failures += 1
+            scope = "exhaustive" if result.complete else "bounded"
+            print(f"wiring class {wiring}: {result.states} states"
+                  f" ({scope}), {status}")
+    return 0 if failures == 0 else 1
+
+
+def _cmd_lower_bound(args: argparse.Namespace) -> int:
+    from repro.core import SnapshotMachine
+    from repro.sim.adversaries import demonstrate_erasure
+
+    n = args.n
+    demo = demonstrate_erasure(
+        lambda: SnapshotMachine(n, n_registers=n - 1),
+        inputs=list(range(1, n + 1)),
+        alternate_input=999,
+    )
+    print(f"{n} processors, {n - 1} registers:")
+    print(f"  run A: p outputs {sorted(demo.first.solo_output)};"
+          f" memory after covering: {demo.first.memory_after_covering}")
+    print(f"  run B: p outputs {sorted(demo.second.solo_output)};"
+          f" memory after covering: {demo.second.memory_after_covering}")
+    print(f"  erasure complete / twin-indistinguishable:"
+          f" {demo.erasure_complete}")
+    return 0 if demo.erasure_complete else 1
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Fully-anonymous shared-memory algorithms"
+            " (Losa & Gafni, PODC 2024) — reproduction CLI"
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def add_run_command(name, help_text, handler, default_inputs):
+        cmd = sub.add_parser(name, help=help_text)
+        cmd.add_argument(
+            "inputs", nargs="*", default=default_inputs,
+            help=f"per-processor inputs (default: {' '.join(default_inputs)})",
+        )
+        cmd.add_argument("--seed", type=int, default=0)
+        cmd.add_argument("--max-steps", type=int, default=2_000_000)
+        if name == "snapshot":
+            cmd.add_argument(
+                "--registers", type=int, default=None,
+                help="register count M (default: one per processor)",
+            )
+        cmd.set_defaults(handler=handler)
+
+    add_run_command(
+        "snapshot", "run the wait-free snapshot task (Figure 3)",
+        _cmd_snapshot, ["1", "2", "3"],
+    )
+    add_run_command(
+        "renaming", "run adaptive renaming (Figure 4); inputs are group ids",
+        _cmd_renaming, ["1", "2", "1"],
+    )
+    add_run_command(
+        "consensus", "run obstruction-free consensus (Figure 5)",
+        _cmd_consensus, ["a", "b", "a"],
+    )
+
+    figure2 = sub.add_parser(
+        "figure2", help="reproduce the paper's Figure 2 and certify the lasso"
+    )
+    figure2.set_defaults(handler=_cmd_figure2)
+
+    check = sub.add_parser(
+        "check", help="model-check the snapshot algorithm (TLC-style)"
+    )
+    check.add_argument("--n", type=int, default=2, choices=[2, 3])
+    check.add_argument(
+        "--budget", type=int, default=200_000,
+        help="states per wiring class for n=3 (n=2 is exhaustive)",
+    )
+    check.set_defaults(handler=_cmd_check)
+
+    lower = sub.add_parser(
+        "lower-bound", help="the §2.1 covering-erasure demonstration"
+    )
+    lower.add_argument("--n", type=int, default=4)
+    lower.set_defaults(handler=_cmd_lower_bound)
+
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.handler(args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

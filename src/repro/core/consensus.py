@@ -1,0 +1,170 @@
+"""Obstruction-free consensus (Figure 5, Section 7).
+
+The paper derandomizes Chandra's shared-coin consensus (as Guerraoui &
+Ruppert did for processor anonymity) on top of the long-lived snapshot:
+
+- each processor maintains a preference (initially its consensus input)
+  and a monotonically increasing timestamp (initially 0);
+- it repeatedly invokes the long-lived snapshot with input
+  ``(preference, timestamp)``;
+- upon obtaining a snapshot, it *decides* a value ``v`` if ``v`` appears
+  with a timestamp at least 2 greater than the highest timestamp of any
+  other value; otherwise it adopts the value with the highest timestamp
+  as its preference, sets its timestamp to the highest timestamp plus
+  one, and invokes again.
+
+All communication happens through the long-lived snapshot, so there is
+no interference between consensus steps and snapshot steps (Section 7).
+The algorithm is obstruction-free: a processor running solo adopts the
+leading value and then climbs two timestamps ahead, deciding; it is not
+wait-free (a symmetric adversary can alternate two processors forever —
+benchmark E8 demonstrates the livelock).
+
+Ties on the highest timestamp are broken deterministically (smallest
+value under Python ordering); the tie-break is the same pure function in
+every processor, as anonymity demands.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, Hashable, Optional, Tuple
+
+from repro.core.long_lived import LongLivedSnapshotMachine
+from repro.core.snapshot import SnapshotState
+from repro.core.views import RegisterRecord, View
+from repro.sim.ops import Op
+
+
+@dataclass(frozen=True)
+class TimestampedValue:
+    """The records processors feed to the long-lived snapshot."""
+
+    value: Hashable
+    timestamp: int
+
+    def __repr__(self) -> str:
+        return f"({self.value!r}@{self.timestamp})"
+
+
+def max_timestamps(snapshot: View) -> Dict[Hashable, int]:
+    """Highest timestamp per value in a snapshot of timestamped records."""
+    best: Dict[Hashable, int] = {}
+    for record in snapshot:
+        if not isinstance(record, TimestampedValue):
+            raise TypeError(f"expected TimestampedValue, got {record!r}")
+        current = best.get(record.value)
+        if current is None or record.timestamp > current:
+            best[record.value] = record.timestamp
+    return best
+
+
+def decide_or_adopt(snapshot: View) -> Tuple[Optional[Hashable], Hashable, int]:
+    """Chandra's rule on one snapshot.
+
+    Returns ``(decision, preference, timestamp)``: ``decision`` is
+    non-``None`` when some value leads every other value by at least 2
+    — where a value not appearing in the snapshot counts as having
+    timestamp 0, so a decision always requires the winner to have
+    reached timestamp at least 2 (this is what makes a freshly-started
+    solo run climb two rounds before deciding, and it is essential for
+    agreement).  Otherwise ``preference``/``timestamp`` are the adopted
+    value (highest timestamp, deterministic tie-break) and the next
+    timestamp to use.
+    """
+    best = max_timestamps(snapshot)
+    if not best:
+        raise ValueError("snapshot contains no timestamped values")
+    top_ts = max(best.values())
+    leaders = sorted(
+        (value for value, ts in best.items() if ts == top_ts),
+        key=repr,
+    )
+    leader = leaders[0]
+    others = [ts for value, ts in best.items() if value != leader]
+    runner_up = max(others, default=0)  # absent values count as timestamp 0
+    if len(leaders) == 1 and top_ts >= runner_up + 2:
+        return leader, leader, top_ts
+    return None, leader, top_ts + 1
+
+
+@dataclass(frozen=True)
+class ConsensusState:
+    """Local state: embedded long-lived snapshot + the Chandra race."""
+
+    inner: SnapshotState
+    preference: Hashable
+    timestamp: int
+    decision: Optional[Hashable] = None
+
+    @property
+    def done(self) -> bool:
+        return self.decision is not None
+
+
+class ConsensusMachine:
+    """The Figure 5 algorithm as a state machine.
+
+    The processor's input is its (group) value to propose.  Decision is
+    the write-once output.
+    """
+
+    def __init__(
+        self,
+        n_processors: int,
+        n_registers: Optional[int] = None,
+        level_target: Optional[int] = None,
+    ) -> None:
+        self.snapshot_machine = LongLivedSnapshotMachine(
+            n_processors, n_registers, level_target
+        )
+        self.n_processors = n_processors
+        self.n_registers = self.snapshot_machine.n_registers
+
+    # -- AlgorithmMachine protocol -------------------------------------
+    def initial_state(self, my_input: Hashable) -> ConsensusState:
+        first = TimestampedValue(my_input, 0)
+        return ConsensusState(
+            inner=self.snapshot_machine.initial_state(first),
+            preference=my_input,
+            timestamp=0,
+        )
+
+    def register_initial_value(self) -> RegisterRecord:
+        return self.snapshot_machine.register_initial_value()
+
+    def enabled_ops(self, state: ConsensusState) -> Tuple[Op, ...]:
+        if state.done:
+            return ()
+        return self.snapshot_machine.enabled_ops(state.inner)
+
+    def apply(self, state: ConsensusState, op: Op, result: Any) -> ConsensusState:
+        inner = self.snapshot_machine.apply(state.inner, op, result)
+        if not self.snapshot_machine.is_ready(inner):
+            return ConsensusState(
+                inner=inner,
+                preference=state.preference,
+                timestamp=state.timestamp,
+            )
+        # The invocation completed: run Chandra's rule and either decide
+        # or immediately re-invoke (local computation, merged into the
+        # final read step of the scan).
+        snapshot = self.snapshot_machine.output(inner)
+        decision, preference, timestamp = decide_or_adopt(snapshot)
+        if decision is not None:
+            return ConsensusState(
+                inner=inner,
+                preference=preference,
+                timestamp=state.timestamp,
+                decision=decision,
+            )
+        reinvoked = self.snapshot_machine.invoke(
+            inner, TimestampedValue(preference, timestamp)
+        )
+        return ConsensusState(
+            inner=reinvoked, preference=preference, timestamp=timestamp
+        )
+
+    def output(self, state: ConsensusState) -> Optional[Hashable]:
+        """The decided value, or ``None`` while undecided."""
+        return state.decision

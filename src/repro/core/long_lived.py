@@ -1,0 +1,102 @@
+"""The long-lived snapshot (Section 7).
+
+In a long-lived snapshot, a processor that has produced an output can
+invoke the snapshot again with a new input, receive a new output, invoke
+again, and so on.  The guarantees (Section 7):
+
+- outputs only contain input values of participating processors,
+- the output of each processor contains all the values it has used as
+  inputs so far,
+- every two outputs are related by containment.
+
+The paper obtains it by "tweaking" the single-shot algorithm of
+Figure 3: processors keep their local state between invocations and, on
+a new invocation, simply reset their level to 0 and add the new input to
+their view.  Since the single-shot algorithm is wait-free, the long-lived
+one is non-blocking and obstruction-free.
+
+Concretely, :class:`LongLivedSnapshotMachine` extends
+:class:`~repro.core.snapshot.SnapshotMachine` with a ``ready`` phase: on
+reaching the level target, the processor parks with its output available
+instead of terminating; the client (e.g. the consensus algorithm of
+:mod:`repro.core.consensus`) collects the output and calls
+:meth:`~LongLivedSnapshotMachine.invoke` to start the next invocation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Hashable, Optional, Tuple
+
+from repro.core.snapshot import (
+    PHASE_SCAN,
+    PHASE_WRITE,
+    SnapshotMachine,
+    SnapshotState,
+)
+from repro.core.views import View
+from repro.sim.ops import Op
+
+PHASE_READY = "ready"
+
+#: Alias: long-lived snapshots reuse the single-shot state shape; only
+#: the phase values differ (``ready`` instead of ``done``).
+LongLivedState = SnapshotState
+
+
+class LongLivedSnapshotMachine(SnapshotMachine):
+    """Long-lived variant of the Figure 3 snapshot algorithm.
+
+    The machine never terminates by itself: reaching the level target
+    parks it in the ``ready`` phase (no enabled operations) until the
+    client calls :meth:`invoke` with the next input.
+    """
+
+    # -- AlgorithmMachine protocol overrides -----------------------------
+    def enabled_ops(self, state: SnapshotState) -> Tuple[Op, ...]:
+        if state.phase == PHASE_READY:
+            return ()
+        return super().enabled_ops(state)
+
+    def output(self, state: SnapshotState) -> Optional[View]:
+        """The output of the invocation that just completed, if ready."""
+        if state.phase == PHASE_READY:
+            return state.view
+        return None
+
+    # -- Long-lived interface --------------------------------------------
+    def is_ready(self, state: SnapshotState) -> bool:
+        """Whether the current invocation has produced its output."""
+        return state.phase == PHASE_READY
+
+    def invoke(self, state: SnapshotState, new_input: Hashable) -> SnapshotState:
+        """Start the next invocation (Section 7's "tweak").
+
+        Resets the level to 0 and adds ``new_input`` to the view; all
+        other local state (in particular the write-fairness cycle)
+        carries over.
+        """
+        if state.phase not in (PHASE_READY, PHASE_WRITE, PHASE_SCAN):
+            raise ValueError(f"cannot invoke from phase {state.phase!r}")
+        return replace(
+            state,
+            view=state.view | {new_input},
+            level=0,
+            phase=PHASE_WRITE,
+            scan_pos=0,
+            scan_all_match=True,
+            scan_min_level=None,
+        )
+
+    # -- Transition override ----------------------------------------------
+    def _finish_scan(self, state, view, all_match, min_level):
+        finished = super()._finish_scan(state, view, all_match, min_level)
+        if finished.phase == "done":
+            # Park as ready instead of terminating.  The single-shot
+            # machine canonicalizes ``unwritten`` away on termination,
+            # but a long-lived processor keeps its local state across
+            # invocations (Section 7) — restore the fairness cycle.
+            return replace(
+                finished, phase=PHASE_READY, unwritten=state.unwritten
+            )
+        return finished

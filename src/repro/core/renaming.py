@@ -1,0 +1,122 @@
+"""Adaptive renaming (Figure 4, Section 6).
+
+The paper adapts the Bar-Noy–Dolev (1989) algorithm: given a snapshot
+``S`` of the participating (group) identifiers, a processor ranks its
+own identifier within ``S`` and takes the name
+
+    ``name = z(z-1)/2 + r``
+
+where ``z = |S|`` and ``r`` is the 1-based rank.  The name space is laid
+out so size-1 snapshots use name 1, size-2 snapshots use names 2-3,
+size-3 snapshots use 4-6, etc.; with ``M`` participating groups every
+name falls in ``1..M(M+1)/2``.
+
+With a *group* solution to the snapshot task (instead of atomic memory
+snapshots) two processors in the same group may return incomparable
+snapshots of equal size — the classic argument that equal-size snapshots
+are identical is lost.  Section 6's saving grace: incomparable snapshots
+can only come from the *same* group, and any other group's snapshot is
+either a superset of their union or a subset of their intersection, so
+the sizes between intersection and union are effectively reserved for
+that group; clashes can then only happen within a group, which group
+solvability allows.  The tests and benchmark E7 exercise exactly this
+subtlety.
+
+Group identifiers must be totally ordered (the rank is taken in sorted
+order); integers or strings both work.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Hashable, Optional, Tuple
+
+from repro.core.snapshot import SnapshotMachine, SnapshotState
+from repro.core.views import RegisterRecord, View
+from repro.sim.ops import Op
+
+
+def bar_noy_dolev_name(snapshot: View, my_id: Hashable) -> int:
+    """The Bar-Noy–Dolev name for ``my_id`` given snapshot ``snapshot``.
+
+    ``name = z(z-1)/2 + r`` with ``z = |snapshot|`` and ``r`` the 1-based
+    rank of ``my_id`` in the sorted snapshot.
+    """
+    if my_id not in snapshot:
+        raise ValueError(f"{my_id!r} not in its own snapshot {sorted(snapshot)!r}")
+    ordered = sorted(snapshot)
+    z = len(ordered)
+    r = ordered.index(my_id) + 1
+    return (z - 1) * z // 2 + r
+
+
+def renaming_bound(n_groups: int) -> int:
+    """The paper's name-space bound ``M(M+1)/2`` for ``M`` groups."""
+    return n_groups * (n_groups + 1) // 2
+
+
+@dataclass(frozen=True)
+class RenamingState:
+    """Local state: the embedded snapshot state plus the own identifier."""
+
+    inner: SnapshotState
+    my_id: Hashable
+    name: Optional[int] = None
+
+    @property
+    def done(self) -> bool:
+        return self.name is not None
+
+
+class RenamingMachine:
+    """Adaptive renaming on top of the fully-anonymous snapshot.
+
+    The processor's input is its group identifier.  The machine runs the
+    Figure 3 snapshot to completion and then computes its name from the
+    returned snapshot (a local step, merged into the final read).
+    """
+
+    def __init__(
+        self,
+        n_processors: int,
+        n_registers: Optional[int] = None,
+        level_target: Optional[int] = None,
+    ) -> None:
+        self.snapshot_machine = SnapshotMachine(
+            n_processors, n_registers, level_target
+        )
+        self.n_processors = n_processors
+        self.n_registers = self.snapshot_machine.n_registers
+
+    # -- AlgorithmMachine protocol -------------------------------------
+    def initial_state(self, my_input: Hashable) -> RenamingState:
+        return RenamingState(
+            inner=self.snapshot_machine.initial_state(my_input), my_id=my_input
+        )
+
+    def register_initial_value(self) -> RegisterRecord:
+        return self.snapshot_machine.register_initial_value()
+
+    def enabled_ops(self, state: RenamingState) -> Tuple[Op, ...]:
+        if state.done:
+            return ()
+        return self.snapshot_machine.enabled_ops(state.inner)
+
+    def apply(self, state: RenamingState, op: Op, result: Any) -> RenamingState:
+        inner = self.snapshot_machine.apply(state.inner, op, result)
+        snapshot = self.snapshot_machine.output(inner)
+        if snapshot is None:
+            return RenamingState(inner=inner, my_id=state.my_id)
+        return RenamingState(
+            inner=inner,
+            my_id=state.my_id,
+            name=bar_noy_dolev_name(snapshot, state.my_id),
+        )
+
+    def output(self, state: RenamingState) -> Optional[int]:
+        """The acquired name, or ``None`` while still running."""
+        return state.name
+
+    def snapshot_used(self, state: RenamingState) -> Optional[View]:
+        """The snapshot the name was derived from (analysis helper)."""
+        return self.snapshot_machine.output(state.inner)

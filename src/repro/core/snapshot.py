@@ -1,0 +1,235 @@
+"""The wait-free snapshot algorithm (Figure 3, Section 5).
+
+The paper's main algorithmic contribution: a wait-free group solution to
+the snapshot task in the fully-anonymous model, using only ``N``
+registers for ``N`` processors.
+
+Each register holds a :class:`~repro.core.views.RegisterRecord`
+``(view, level)``, initially ``(∅, 0)``.  Each processor keeps a view
+(initialized to the singleton of its own input) and a level in
+``0..N`` (initialized to 0), and alternates:
+
+- **write phase**: pick any register not yet written since the last
+  full fairness cycle and write ``(view, level)`` to it;
+- **scan phase**: read all registers one by one; at the end of the scan,
+  if every register's view equalled the processor's own view, set
+  ``level := min(levels read) + 1``, otherwise ``level := 0``; then add
+  all views read to the own view.
+
+A processor terminates and outputs its view as its snapshot upon
+reaching level ``N`` (footnote 4 of the paper notes ``N-1`` already
+suffices; ``level_target`` exposes that variant, and the model-checking
+experiments verify both).
+
+The level mechanism is the paper's answer to the "eventual pattern"
+pathology (Figure 2): a processor can only climb to level ``N`` if a
+chain of processors behind it each read the same view everywhere, which
+makes the view durably stored despite interference (Definition 5.1 and
+Lemma 5.3) and therefore a safe snapshot output.
+
+Internal nondeterminism: the choice of which unwritten register to write
+("picks a register that it has not written to since it last wrote all
+the registers") is left open; ``enabled_ops`` returns all choices and
+the model checker branches over every one.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Any, Hashable, Optional, Tuple
+
+from repro.core.views import RegisterRecord, View
+from repro.sim.ops import Op, Read, Write
+
+PHASE_WRITE = "write"
+PHASE_SCAN = "scan"
+PHASE_DONE = "done"
+
+#: Sentinel for "no level read yet" at the start of a scan; any real
+#: level is smaller.
+_NO_LEVEL = None
+
+
+@dataclass(frozen=True)
+class SnapshotState:
+    """Immutable local state of one snapshot processor.
+
+    The representation quotients away bookkeeping the algorithm can
+    never observe, which matters for model checking (fewer distinct
+    states) without changing any behaviour:
+
+    - the scan accumulator of the pseudocode is folded into ``view``
+      eagerly: while ``scan_all_match`` holds, every view read equals
+      the own view (so there is nothing to accumulate), and the moment
+      it fails the scan's level is 0 regardless, so growing ``view``
+      immediately is indistinguishable from growing it at scan end —
+      the view is only externally visible through writes, which happen
+      in the write phase;
+    - ``scan_min_level`` is reset to ``None`` once ``scan_all_match``
+      fails, because it is only consulted when the whole scan matched.
+    """
+
+    #: Inputs known so far; contains the own input, never shrinks.
+    view: View
+    #: Current level, 0..level_target.
+    level: int = 0
+    #: Local register indices not yet written in the current cycle.
+    unwritten: frozenset = frozenset()
+    phase: str = PHASE_WRITE
+    #: Next local register index to read (scan phase only).
+    scan_pos: int = 0
+    #: Whether every view read so far this scan equals the own view.
+    scan_all_match: bool = True
+    #: Minimum level read so far this scan (None before the first read,
+    #: and canonically None after the scan stopped matching).
+    scan_min_level: Optional[int] = None
+
+    @property
+    def done(self) -> bool:
+        return self.phase == PHASE_DONE
+
+
+class SnapshotMachine:
+    """The Figure 3 algorithm as a state machine.
+
+    Parameters
+    ----------
+    n_processors:
+        The paper's ``N``.  Processors know ``N`` (Section 2).
+    n_registers:
+        Number of shared registers; the paper uses exactly ``N``.  Other
+        values are allowed to support the register-count ablation (E9).
+    level_target:
+        Level at which a processor terminates; defaults to ``N``.  The
+        paper's footnote 4 notes ``N-1`` is already sufficient.
+    """
+
+    def __init__(
+        self,
+        n_processors: int,
+        n_registers: Optional[int] = None,
+        level_target: Optional[int] = None,
+    ) -> None:
+        if n_processors < 1:
+            raise ValueError("need at least one processor")
+        self.n_processors = n_processors
+        self.n_registers = n_processors if n_registers is None else n_registers
+        if self.n_registers <= 0:
+            raise ValueError("need at least one register")
+        self.level_target = n_processors if level_target is None else level_target
+        if self.level_target < 1:
+            raise ValueError("level target must be at least 1")
+        self._all_registers = frozenset(range(self.n_registers))
+
+    # -- AlgorithmMachine protocol -------------------------------------
+    def initial_state(self, my_input: Hashable) -> SnapshotState:
+        return SnapshotState(
+            view=frozenset({my_input}), unwritten=self._all_registers
+        )
+
+    def register_initial_value(self) -> RegisterRecord:
+        return RegisterRecord()
+
+    def enabled_ops(self, state: SnapshotState) -> Tuple[Op, ...]:
+        if state.phase == PHASE_DONE:
+            return ()
+        if state.phase == PHASE_WRITE:
+            record = RegisterRecord(view=state.view, level=state.level)
+            return tuple(Write(reg, record) for reg in sorted(state.unwritten))
+        return (Read(state.scan_pos),)
+
+    def apply(self, state: SnapshotState, op: Op, result: Any) -> SnapshotState:
+        if isinstance(op, Write):
+            return self._apply_write(state, op)
+        return self._apply_read(state, op, result)
+
+    def output(self, state: SnapshotState) -> Optional[View]:
+        """The snapshot: the view, once level ``level_target`` is reached."""
+        if state.phase == PHASE_DONE:
+            return state.view
+        return None
+
+    # -- Transitions ----------------------------------------------------
+    def _apply_write(self, state: SnapshotState, op: Write) -> SnapshotState:
+        if state.phase != PHASE_WRITE or op.reg not in state.unwritten:
+            raise ValueError(f"write {op!r} not enabled in {state!r}")
+        remaining = state.unwritten - {op.reg}
+        if not remaining:
+            remaining = self._all_registers  # fairness cycle complete
+        return replace(
+            state,
+            unwritten=remaining,
+            phase=PHASE_SCAN,
+            scan_pos=0,
+            scan_all_match=True,
+            scan_min_level=None,
+        )
+
+    def _apply_read(
+        self, state: SnapshotState, op: Read, result: Any
+    ) -> SnapshotState:
+        if state.phase != PHASE_SCAN or op.reg != state.scan_pos:
+            raise ValueError(f"read {op!r} not enabled in {state!r}")
+        if not isinstance(result, RegisterRecord):
+            raise TypeError(f"snapshot registers hold records, got {result!r}")
+        all_match = state.scan_all_match and result.view == state.view
+        if all_match:
+            view = state.view
+            if state.scan_min_level is None:
+                min_level: Optional[int] = result.level
+            else:
+                min_level = min(state.scan_min_level, result.level)
+        else:
+            # The scan can no longer end with a level increase; fold the
+            # read into the view now and drop the level bookkeeping
+            # (see the SnapshotState docstring for why this is sound).
+            view = state.view | result.view
+            min_level = None
+        next_pos = state.scan_pos + 1
+        if next_pos < self.n_registers:
+            return replace(
+                state,
+                view=view,
+                scan_pos=next_pos,
+                scan_all_match=all_match,
+                scan_min_level=min_level,
+            )
+        return self._finish_scan(state, view, all_match, min_level)
+
+    def _finish_scan(
+        self,
+        state: SnapshotState,
+        view: View,
+        all_match: bool,
+        min_level: Optional[int],
+    ) -> SnapshotState:
+        """Fold the completed scan into the local state (atomic with the
+        last read, per the PlusCal label structure)."""
+        if all_match:
+            assert min_level is not None
+            new_level = min_level + 1
+        else:
+            new_level = 0
+        if new_level >= self.level_target:
+            # Canonicalize the fields a terminated processor can never
+            # use again (it takes no further steps); this quotients away
+            # distinctions the model checker would otherwise explore.
+            return replace(
+                state,
+                view=view,
+                level=new_level,
+                unwritten=frozenset(),
+                phase=PHASE_DONE,
+                scan_pos=0,
+                scan_all_match=True,
+                scan_min_level=None,
+            )
+        return replace(
+            state,
+            view=view,
+            level=new_level,
+            phase=PHASE_WRITE,
+            scan_pos=0,
+            scan_all_match=True,
+            scan_min_level=None,
+        )

@@ -1,0 +1,64 @@
+"""Value types shared by the paper's algorithms.
+
+A *view* (Section 4) is the set of input values a processor knows about.
+Views only ever grow.  We represent views as ``frozenset`` — immutable
+and hashable, as required by the state-machine architecture — with a
+small helper for readable construction.
+
+The snapshot algorithm's registers hold records with two components,
+``view`` and ``level`` (Section 5.2); :class:`RegisterRecord` is that
+record.  The empty record (empty view, level 0) is the known default
+value all registers start with.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import FrozenSet, Hashable, Iterable
+
+View = FrozenSet[Hashable]
+
+
+def view(*values: Hashable) -> View:
+    """Construct a view from the given values: ``view(1, 2) == frozenset({1, 2})``."""
+    return frozenset(values)
+
+
+def comparable(first: Iterable[Hashable], second: Iterable[Hashable]) -> bool:
+    """Whether two views are related by containment (either direction).
+
+    This is the snapshot task's central condition (Definition 3.2).
+    """
+    first_set = frozenset(first)
+    second_set = frozenset(second)
+    return first_set <= second_set or second_set <= first_set
+
+
+def all_comparable(views: Iterable[Iterable[Hashable]]) -> bool:
+    """Whether every pair in ``views`` is related by containment.
+
+    A finite family of sets is pairwise comparable iff it forms a chain,
+    which we check in ``O(k log k)`` by sorting on cardinality.
+    """
+    chain = sorted((frozenset(entry) for entry in views), key=len)
+    return all(small <= large for small, large in zip(chain, chain[1:]))
+
+
+@dataclass(frozen=True)
+class RegisterRecord:
+    """Contents of one register in the snapshot algorithm: ``(view, level)``.
+
+    Initially every register holds an empty view and level 0
+    (Section 5.2: "each initially a record with two components: an empty
+    view ... and a level ... of 0").
+    """
+
+    view: View = frozenset()
+    level: int = 0
+
+    def __repr__(self) -> str:
+        inner = "{" + ",".join(map(repr, sorted(self.view, key=repr))) + "}"
+        return f"<{inner}|{self.level}>"
+
+
+EMPTY_RECORD = RegisterRecord()

@@ -1,0 +1,120 @@
+"""The write-scan loop (Figure 1, Section 4).
+
+Each processor gets an arbitrary input and then indefinitely alternates
+between:
+
+- a *write* phase: write its current view to one register it has not
+  written since it last wrote all of them ("issues writes fairly"), and
+- a *scan* phase: read all registers one by one, then add everything it
+  read to its view.
+
+The loop never terminates; it is the object of the eventual-pattern
+study: in any infinite execution, the *stable views* (Definition 4.2)
+form a DAG under strict containment with a unique source (Theorem 4.8).
+The pathological execution of Figure 2 is an execution of this loop; see
+:mod:`repro.sim.scripted`.
+
+Atomicity granularity matches the PlusCal spec: one write = one step;
+each of the ``M`` reads of a scan = one step; the end-of-scan view update
+merges into the last read step.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Any, Hashable, Optional, Tuple
+
+from repro.core.views import View
+from repro.sim.ops import Op, Read, Write
+
+#: Phase markers.  The processor is either about to write one register or
+#: partway through reading all of them.
+PHASE_WRITE = "write"
+PHASE_SCAN = "scan"
+
+
+@dataclass(frozen=True)
+class WriteScanState:
+    """Immutable local state of one write-scan processor."""
+
+    #: The set of input values known so far; contains the own input and
+    #: never shrinks.
+    view: View
+    #: Local register indices not yet written in the current fairness
+    #: cycle.  Never empty in the write phase: it is refilled the moment
+    #: the last register of a cycle is written.
+    unwritten: frozenset = frozenset()
+    phase: str = PHASE_WRITE
+    #: Next local register index to read (scan phase only).
+    scan_pos: int = 0
+
+
+class WriteScanMachine:
+    """The Figure 1 algorithm as a state machine.
+
+    Parameters
+    ----------
+    n_registers:
+        The number of shared registers ``M`` (each processor knows it).
+    """
+
+    def __init__(self, n_registers: int) -> None:
+        if n_registers <= 0:
+            raise ValueError("need at least one register")
+        self.n_registers = n_registers
+        self._all_registers = frozenset(range(n_registers))
+
+    # -- AlgorithmMachine protocol -------------------------------------
+    def initial_state(self, my_input: Hashable) -> WriteScanState:
+        return WriteScanState(
+            view=frozenset({my_input}), unwritten=self._all_registers
+        )
+
+    def register_initial_value(self) -> View:
+        """Registers hold plain views; initially the empty view."""
+        return frozenset()
+
+    def enabled_ops(self, state: WriteScanState) -> Tuple[Op, ...]:
+        if state.phase == PHASE_WRITE:
+            return tuple(
+                Write(reg, state.view) for reg in sorted(state.unwritten)
+            )
+        return (Read(state.scan_pos),)
+
+    def apply(self, state: WriteScanState, op: Op, result: Any) -> WriteScanState:
+        if isinstance(op, Write):
+            return self._apply_write(state, op)
+        return self._apply_read(state, op, result)
+
+    def output(self, state: WriteScanState) -> Optional[Any]:
+        return None  # the loop never terminates
+
+    # -- Transitions ----------------------------------------------------
+    def _apply_write(self, state: WriteScanState, op: Write) -> WriteScanState:
+        if state.phase != PHASE_WRITE or op.reg not in state.unwritten:
+            raise ValueError(f"write {op!r} not enabled in {state!r}")
+        remaining = state.unwritten - {op.reg}
+        if not remaining:
+            remaining = self._all_registers  # fairness cycle complete
+        return replace(
+            state,
+            unwritten=remaining,
+            phase=PHASE_SCAN,
+            scan_pos=0,
+        )
+
+    def _apply_read(
+        self, state: WriteScanState, op: Read, result: Any
+    ) -> WriteScanState:
+        if state.phase != PHASE_SCAN or op.reg != state.scan_pos:
+            raise ValueError(f"read {op!r} not enabled in {state!r}")
+        # The pseudocode accumulates the scan's reads and folds them into
+        # the view at the end; since the view is only externally visible
+        # through writes (which happen in the write phase), folding each
+        # read in immediately is indistinguishable and keeps the state
+        # smaller for model checking and lasso detection.
+        view = state.view | result
+        next_pos = state.scan_pos + 1
+        if next_pos < self.n_registers:
+            return replace(state, view=view, scan_pos=next_pos)
+        return replace(state, view=view, phase=PHASE_WRITE, scan_pos=0)

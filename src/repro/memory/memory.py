@@ -1,0 +1,116 @@
+"""The anonymous shared memory: registers + wiring + trace, combined.
+
+:class:`AnonymousMemory` is the only interface through which simulated
+processors touch shared state.  All its methods take *local* register
+indices; the wiring permutation of the calling processor is applied
+internally.  This makes memory anonymity structural: algorithm code has
+no way to name a physical register.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Hashable, Optional, Tuple
+
+from repro.memory.registers import RegisterArray
+from repro.memory.trace import OutputEvent, ReadEvent, Trace, WriteEvent
+from repro.memory.wiring import WiringAssignment
+
+
+class AnonymousMemory:
+    """A wired, traced register bank.
+
+    Parameters
+    ----------
+    wiring:
+        The per-processor wiring assignment (fixed at initialization,
+        per Section 2 of the paper).
+    initial_value:
+        The known default value held by all registers initially.
+    """
+
+    def __init__(
+        self, wiring: WiringAssignment, initial_value: Hashable = None
+    ) -> None:
+        self._wiring = wiring
+        self._registers = RegisterArray(wiring.n_registers, initial_value)
+        self._trace = Trace()
+        self._clock = 0
+
+    # ------------------------------------------------------------------
+    # Operations available to processors (local indices only)
+    # ------------------------------------------------------------------
+    def read(self, pid: int, local_index: int) -> Any:
+        """Processor ``pid`` atomically reads its local register ``local_index``."""
+        physical = self._wiring[pid].to_physical(local_index)
+        value = self._registers.read(physical)
+        self._trace.append(
+            ReadEvent(
+                time=self._clock,
+                pid=pid,
+                local_index=local_index,
+                physical_index=physical,
+                value=value,
+                read_from=self._registers.last_writer(physical),
+            )
+        )
+        self._clock += 1
+        return value
+
+    def write(self, pid: int, local_index: int, value: Hashable) -> None:
+        """Processor ``pid`` atomically writes its local register ``local_index``."""
+        physical = self._wiring[pid].to_physical(local_index)
+        self._trace.append(
+            WriteEvent(
+                time=self._clock,
+                pid=pid,
+                local_index=local_index,
+                physical_index=physical,
+                value=value,
+                overwritten=self._registers.read(physical),
+                overwrote=self._registers.last_writer(physical),
+            )
+        )
+        self._registers.write(physical, value, writer=pid)
+        self._clock += 1
+
+    def record_output(self, pid: int, value: Any) -> None:
+        """Record processor ``pid``'s write-once output step."""
+        self._trace.append(OutputEvent(time=self._clock, pid=pid, value=value))
+        self._clock += 1
+
+    # ------------------------------------------------------------------
+    # Meta-level inspection (analysis only; not visible to algorithms)
+    # ------------------------------------------------------------------
+    @property
+    def n_registers(self) -> int:
+        return self._registers.size
+
+    @property
+    def n_processors(self) -> int:
+        return self._wiring.n_processors
+
+    @property
+    def wiring(self) -> WiringAssignment:
+        return self._wiring
+
+    @property
+    def trace(self) -> Trace:
+        return self._trace
+
+    @property
+    def clock(self) -> int:
+        """Global time: number of recorded events so far."""
+        return self._clock
+
+    def snapshot(self) -> Tuple[Any, ...]:
+        """Meta-level atomic snapshot of the physical register contents."""
+        return self._registers.snapshot()
+
+    def last_writer(self, physical_index: int) -> Optional[int]:
+        return self._registers.last_writer(physical_index)
+
+    def last_writers(self) -> Tuple[Optional[int], ...]:
+        return self._registers.last_writers()
+
+    def registers_last_written_by(self, processors) -> Tuple[int, ...]:
+        return self._registers.registers_last_written_by(processors)

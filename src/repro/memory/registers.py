@@ -1,0 +1,128 @@
+"""Multi-writer multi-reader atomic registers.
+
+The paper's model (Section 2) provides ``M > 0`` shared MWMR atomic
+registers.  Reads and writes are atomic: each read or write of a single
+register is one indivisible step.  :class:`RegisterArray` models the bank
+of *physical* registers; anonymity (the per-processor permutations) is
+layered on top by :class:`repro.memory.memory.AnonymousMemory`.
+
+Besides the contents, the array tracks, per register:
+
+- the identifier of the *last writer* (``None`` until first written),
+  which is metadata used only by analysis and proofs — it is never
+  exposed to algorithms (processors are anonymous and could not use it);
+- a monotonically increasing *version* counter, used by tests and the
+  trace tooling to distinguish two writes of equal values.
+
+Register values must be hashable so that global system states can be
+hashed for lasso detection and model checking.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Hashable, Iterator, Optional, Sequence, Tuple
+
+
+class RegisterArray:
+    """A bank of ``size`` MWMR atomic registers.
+
+    Parameters
+    ----------
+    size:
+        Number of registers, the paper's ``M``.  Must be positive.
+    initial_value:
+        The "known default value" every register holds initially
+        (Section 2: "All registers initially contain a known default
+        value").  Must be hashable.
+    """
+
+    __slots__ = ("_values", "_last_writers", "_versions", "_initial_value")
+
+    def __init__(self, size: int, initial_value: Hashable = None) -> None:
+        if size <= 0:
+            raise ValueError(f"register array size must be positive, got {size}")
+        self._initial_value = initial_value
+        self._values: list[Any] = [initial_value] * size
+        self._last_writers: list[Optional[int]] = [None] * size
+        self._versions: list[int] = [0] * size
+
+    # ------------------------------------------------------------------
+    # Core atomic operations (physical indices)
+    # ------------------------------------------------------------------
+    def read(self, physical_index: int) -> Any:
+        """Atomically read the register at ``physical_index``."""
+        return self._values[physical_index]
+
+    def write(self, physical_index: int, value: Hashable, writer: Optional[int] = None) -> None:
+        """Atomically write ``value`` to the register at ``physical_index``.
+
+        ``writer`` is analysis-only metadata identifying the writing
+        processor; it does not affect the register contents.
+        """
+        hash(value)  # enforce hashability early, with a clear failure site
+        self._values[physical_index] = value
+        self._last_writers[physical_index] = writer
+        self._versions[physical_index] += 1
+
+    # ------------------------------------------------------------------
+    # Metadata and inspection (never exposed to algorithms)
+    # ------------------------------------------------------------------
+    def last_writer(self, physical_index: int) -> Optional[int]:
+        """Return the id of the processor that last wrote the register.
+
+        ``None`` means the register still holds its initial value.  This
+        supports the paper's "processor p reads *from* processor q"
+        relation (Section 2), which is central to the stable-view
+        analysis of Section 4.
+        """
+        return self._last_writers[physical_index]
+
+    def version(self, physical_index: int) -> int:
+        """Return the number of writes applied to the register so far."""
+        return self._versions[physical_index]
+
+    @property
+    def size(self) -> int:
+        """Number of registers in the bank."""
+        return len(self._values)
+
+    @property
+    def initial_value(self) -> Any:
+        """The default value all registers started with."""
+        return self._initial_value
+
+    def snapshot(self) -> Tuple[Any, ...]:
+        """Return the current contents of all registers as a tuple.
+
+        This is a *meta-level* atomic snapshot used by analysis code and
+        the atomicity experiments (E5); the whole point of the paper is
+        that processors inside the model cannot obtain it.
+        """
+        return tuple(self._values)
+
+    def last_writers(self) -> Tuple[Optional[int], ...]:
+        """Return the last-writer metadata of all registers as a tuple."""
+        return tuple(self._last_writers)
+
+    def registers_last_written_by(self, processors: Sequence[int]) -> Tuple[int, ...]:
+        """Physical indices of registers last written by one of ``processors``.
+
+        Used to evaluate the covering lemmas of Section 4 (e.g. the set
+        ``R_t^{A-bar}`` of Lemma 4.6) on concrete executions.
+        """
+        wanted = set(processors)
+        return tuple(
+            index
+            for index, writer in enumerate(self._last_writers)
+            if writer in wanted
+        )
+
+    def __iter__(self) -> Iterator[Any]:
+        return iter(self._values)
+
+    def __len__(self) -> int:
+        return len(self._values)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        cells = ", ".join(repr(value) for value in self._values)
+        return f"RegisterArray([{cells}])"

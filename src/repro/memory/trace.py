@@ -1,0 +1,184 @@
+"""Execution traces: the event-level record of an execution.
+
+An execution in the paper (Section 2) is a sequence of atomic steps.  The
+simulator records one event per shared-memory step plus one per output
+step, in global time order.  Events carry *both* the local register
+number the processor used and the physical register actually touched, so
+analysis code can reason at either level while algorithms themselves only
+ever saw the local one.
+
+The :class:`Trace` container offers the queries the paper's analysis
+needs:
+
+- the "reads from" relation (``p`` reads from ``q`` at time ``t`` when
+  the register ``p`` reads was last written by ``q`` — Section 2),
+- the memory contents at any time (for the atomicity experiments E5),
+- per-processor step accounting (for the complexity benchmarks).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, Iterator, List, Optional, Sequence, Tuple, Union
+
+
+@dataclass(frozen=True)
+class ReadEvent:
+    """One atomic read step."""
+
+    time: int
+    pid: int
+    local_index: int
+    physical_index: int
+    value: Any
+    #: Processor whose write the read returned (None = initial value),
+    #: i.e. the paper's "reads from" relation.
+    read_from: Optional[int]
+
+
+@dataclass(frozen=True)
+class WriteEvent:
+    """One atomic write step."""
+
+    time: int
+    pid: int
+    local_index: int
+    physical_index: int
+    value: Any
+    #: Value the register held just before this write.
+    overwritten: Any
+    #: Processor whose write was overwritten (None = initial value).
+    overwrote: Optional[int]
+
+
+@dataclass(frozen=True)
+class OutputEvent:
+    """A processor writing its write-once output and terminating."""
+
+    time: int
+    pid: int
+    value: Any
+
+
+Event = Union[ReadEvent, WriteEvent, OutputEvent]
+
+
+class Trace:
+    """An append-only, queryable log of execution events."""
+
+    def __init__(self) -> None:
+        self._events: List[Event] = []
+
+    # ------------------------------------------------------------------
+    # Recording
+    # ------------------------------------------------------------------
+    def append(self, event: Event) -> None:
+        self._events.append(event)
+
+    # ------------------------------------------------------------------
+    # Basic access
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def __iter__(self) -> Iterator[Event]:
+        return iter(self._events)
+
+    def __getitem__(self, index: int) -> Event:
+        return self._events[index]
+
+    @property
+    def events(self) -> Sequence[Event]:
+        return tuple(self._events)
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def events_of(self, pid: int) -> List[Event]:
+        """All events of processor ``pid`` in time order."""
+        return [event for event in self._events if event.pid == pid]
+
+    def reads(self) -> List[ReadEvent]:
+        return [event for event in self._events if isinstance(event, ReadEvent)]
+
+    def writes(self) -> List[WriteEvent]:
+        return [event for event in self._events if isinstance(event, WriteEvent)]
+
+    def outputs(self) -> List[OutputEvent]:
+        return [event for event in self._events if isinstance(event, OutputEvent)]
+
+    def step_counts(self) -> Dict[int, int]:
+        """Number of shared-memory steps (reads + writes) per processor."""
+        counts: Dict[int, int] = {}
+        for event in self._events:
+            if isinstance(event, (ReadEvent, WriteEvent)):
+                counts[event.pid] = counts.get(event.pid, 0) + 1
+        return counts
+
+    def participants(self) -> Tuple[int, ...]:
+        """Processors that took at least one step (the paper's participation)."""
+        seen = sorted({event.pid for event in self._events})
+        return tuple(seen)
+
+    def reads_from_pairs(self) -> List[Tuple[int, Optional[int], int]]:
+        """The "reads from" relation as ``(reader, writer, time)`` triples.
+
+        ``writer`` is ``None`` for reads of a register still holding its
+        initial value.
+        """
+        return [
+            (event.pid, event.read_from, event.time)
+            for event in self._events
+            if isinstance(event, ReadEvent)
+        ]
+
+    def reads_from(self, reader: int, writers: Sequence[int]) -> bool:
+        """Whether ``reader`` ever reads from a member of ``writers``.
+
+        This is the predicate used throughout Section 4 ("a processor
+        ``p`` reads from a set of processors ``Q``").
+        """
+        wanted = set(writers)
+        return any(
+            event.read_from in wanted
+            for event in self._events
+            if isinstance(event, ReadEvent) and event.pid == reader
+        )
+
+    def memory_history(
+        self, n_registers: int, initial_value: Any = None
+    ) -> List[Tuple[Any, ...]]:
+        """Reconstruct the register contents after every event.
+
+        Returns a list with one register-bank tuple per time point,
+        starting with the initial contents (index 0 = before any step).
+        Used by the atomicity experiments (E5) to ask whether the memory
+        ever contained exactly a given set of inputs.
+        """
+        contents = [initial_value] * n_registers
+        history: List[Tuple[Any, ...]] = [tuple(contents)]
+        for event in self._events:
+            if isinstance(event, WriteEvent):
+                contents[event.physical_index] = event.value
+            history.append(tuple(contents))
+        return history
+
+    def format_table(self) -> str:
+        """Human-readable rendering of the trace, one event per line."""
+        lines = []
+        for event in self._events:
+            if isinstance(event, ReadEvent):
+                source = "init" if event.read_from is None else f"p{event.read_from}"
+                lines.append(
+                    f"t={event.time:4d}  p{event.pid} reads  r{event.physical_index}"
+                    f" (local {event.local_index}) -> {event.value!r} [from {source}]"
+                )
+            elif isinstance(event, WriteEvent):
+                lines.append(
+                    f"t={event.time:4d}  p{event.pid} writes r{event.physical_index}"
+                    f" (local {event.local_index}) := {event.value!r}"
+                    f" (was {event.overwritten!r})"
+                )
+            else:
+                lines.append(f"t={event.time:4d}  p{event.pid} outputs {event.value!r}")
+        return "\n".join(lines)

@@ -1,0 +1,222 @@
+"""Wiring permutations: the formalization of memory anonymity.
+
+Section 2 of the paper: "for each processor ``p``, there is a permutation
+``sigma_p`` of ``1..M``, unknown to the processors (including ``p``) and
+fixed arbitrarily at initialization, such that a read or write
+instruction by processor ``p`` of register number ``i`` reads or writes,
+respectively, register ``register[sigma_p[i]]``".
+
+We use 0-based indices throughout.  A :class:`Wiring` is one processor's
+permutation; a :class:`WiringAssignment` fixes the wiring of every
+processor in the system and is part of the (meta-level) initial state of
+an execution.
+
+The module also provides the enumeration and canonicalization helpers
+used by the model checker: because physical registers can be relabelled
+arbitrarily without changing the behaviour of any algorithm (only the
+*relative* wiring of processors matters), it suffices to explore wiring
+assignments in which processor 0's wiring is the identity.  This is the
+symmetry reduction announced in DESIGN.md.
+"""
+
+from __future__ import annotations
+
+import itertools
+import random
+from typing import Iterable, Iterator, Sequence, Tuple
+
+
+class Wiring:
+    """A single processor's register permutation ``sigma_p`` (0-based).
+
+    ``wiring.to_physical(i)`` maps the processor's private register
+    number ``i`` to the physical register it actually touches.
+    """
+
+    __slots__ = ("_perm", "_inverse")
+
+    def __init__(self, permutation: Sequence[int]) -> None:
+        perm = tuple(permutation)
+        if sorted(perm) != list(range(len(perm))):
+            raise ValueError(
+                f"not a permutation of 0..{len(perm) - 1}: {permutation!r}"
+            )
+        self._perm = perm
+        inverse = [0] * len(perm)
+        for local, physical in enumerate(perm):
+            inverse[physical] = local
+        self._inverse = tuple(inverse)
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+    @classmethod
+    def identity(cls, size: int) -> "Wiring":
+        """The identity wiring on ``size`` registers."""
+        return cls(tuple(range(size)))
+
+    @classmethod
+    def rotation(cls, size: int, shift: int) -> "Wiring":
+        """The cyclic wiring mapping local ``i`` to physical ``(i + shift) % size``.
+
+        Figure 2 of the paper is realized with rotation wirings (see
+        :mod:`repro.sim.scripted`).
+        """
+        return cls(tuple((i + shift) % size for i in range(size)))
+
+    @classmethod
+    def shuffled(cls, size: int, rng: random.Random) -> "Wiring":
+        """A uniformly random wiring drawn from ``rng``."""
+        perm = list(range(size))
+        rng.shuffle(perm)
+        return cls(perm)
+
+    # ------------------------------------------------------------------
+    # Translation
+    # ------------------------------------------------------------------
+    def to_physical(self, local_index: int) -> int:
+        """Translate a processor-local register number to a physical index."""
+        return self._perm[local_index]
+
+    def to_local(self, physical_index: int) -> int:
+        """Translate a physical register index to the processor-local number."""
+        return self._inverse[physical_index]
+
+    @property
+    def permutation(self) -> Tuple[int, ...]:
+        """The underlying permutation as a tuple (local -> physical)."""
+        return self._perm
+
+    @property
+    def size(self) -> int:
+        return len(self._perm)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Wiring):
+            return NotImplemented
+        return self._perm == other._perm
+
+    def __hash__(self) -> int:
+        return hash(self._perm)
+
+    def __repr__(self) -> str:
+        return f"Wiring({list(self._perm)!r})"
+
+
+class WiringAssignment:
+    """The wiring of every processor in the system.
+
+    This is the adversarially-chosen, hidden part of the initial state
+    (Section 2, execution condition (1): "processors' permutations and
+    inputs are arbitrary").
+    """
+
+    __slots__ = ("_wirings",)
+
+    def __init__(self, wirings: Sequence[Wiring]) -> None:
+        if not wirings:
+            raise ValueError("a wiring assignment needs at least one processor")
+        sizes = {wiring.size for wiring in wirings}
+        if len(sizes) != 1:
+            raise ValueError(f"inconsistent register counts across wirings: {sizes}")
+        self._wirings = tuple(wirings)
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+    @classmethod
+    def identity(cls, n_processors: int, n_registers: int) -> "WiringAssignment":
+        """All processors wired identically (the non-anonymous-memory case)."""
+        return cls([Wiring.identity(n_registers)] * n_processors)
+
+    @classmethod
+    def random(
+        cls, n_processors: int, n_registers: int, rng: random.Random
+    ) -> "WiringAssignment":
+        """Independent uniformly random wiring per processor."""
+        return cls([Wiring.shuffled(n_registers, rng) for _ in range(n_processors)])
+
+    @classmethod
+    def from_permutations(
+        cls, permutations: Iterable[Sequence[int]]
+    ) -> "WiringAssignment":
+        """Build an assignment from raw permutation sequences."""
+        return cls([Wiring(perm) for perm in permutations])
+
+    # ------------------------------------------------------------------
+    # Access
+    # ------------------------------------------------------------------
+    def wiring_of(self, pid: int) -> Wiring:
+        """The wiring of processor ``pid``."""
+        return self._wirings[pid]
+
+    def __getitem__(self, pid: int) -> Wiring:
+        return self._wirings[pid]
+
+    def __len__(self) -> int:
+        return len(self._wirings)
+
+    def __iter__(self) -> Iterator[Wiring]:
+        return iter(self._wirings)
+
+    @property
+    def n_processors(self) -> int:
+        return len(self._wirings)
+
+    @property
+    def n_registers(self) -> int:
+        return self._wirings[0].size
+
+    def permutations(self) -> Tuple[Tuple[int, ...], ...]:
+        """All permutations as a tuple of tuples (hashable form)."""
+        return tuple(wiring.permutation for wiring in self._wirings)
+
+    def canonicalize(self) -> "WiringAssignment":
+        """Relabel physical registers so processor 0's wiring is the identity.
+
+        Composing every wiring with the inverse of processor 0's wiring
+        is a pure relabelling of the physical registers, which no
+        algorithm in the model can observe.  The canonical form is what
+        the model checker enumerates (DESIGN.md, symmetry reduction).
+        """
+        base = self._wirings[0]
+        relabelled = [
+            Wiring(tuple(base.to_local(wiring.to_physical(i)) for i in range(wiring.size)))
+            for wiring in self._wirings
+        ]
+        return WiringAssignment(relabelled)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, WiringAssignment):
+            return NotImplemented
+        return self._wirings == other._wirings
+
+    def __hash__(self) -> int:
+        return hash(self._wirings)
+
+    def __repr__(self) -> str:
+        return f"WiringAssignment({[list(w.permutation) for w in self._wirings]!r})"
+
+
+def enumerate_wiring_assignments(
+    n_processors: int, n_registers: int, fix_first_identity: bool = True
+) -> Iterator[WiringAssignment]:
+    """Enumerate wiring assignments, optionally modulo register relabelling.
+
+    With ``fix_first_identity`` (the default), processor 0 is pinned to
+    the identity wiring and the remaining processors range over all
+    ``(M!)^(N-1)`` permutations; every assignment is equivalent (up to a
+    physical relabelling that no algorithm can observe) to exactly one
+    enumerated here.  With ``fix_first_identity=False`` the full
+    ``(M!)^N`` space is produced, which tests use to validate the
+    symmetry reduction itself.
+    """
+    all_perms = [tuple(perm) for perm in itertools.permutations(range(n_registers))]
+    if fix_first_identity:
+        first_choices = [tuple(range(n_registers))]
+    else:
+        first_choices = all_perms
+    rest = [all_perms] * (n_processors - 1)
+    for first in first_choices:
+        for combo in itertools.product(*rest):
+            yield WiringAssignment.from_permutations((first, *combo))

@@ -1,0 +1,198 @@
+"""Adversarial constructions from the paper.
+
+The centerpiece is the *covering adversary* of Section 2.1: with only
+``N-1`` registers, the adversary
+
+1. runs all processors of ``Q = P \\ {p}`` until each is poised to
+   perform its first write, having arranged the wiring so that the
+   ``N-1`` poised writes cover ``N-1`` *distinct* registers;
+2. lets ``p`` run solo until it produces an output (or for a step
+   budget, for non-terminating loops);
+3. releases the poised writes, erasing every trace of ``p`` from the
+   shared memory.
+
+The resulting execution is indistinguishable, to the members of ``Q``,
+from one in which ``p`` had a different input (and vice versa), which
+is the paper's argument that no non-trivial read-write coordination is
+possible below ``N`` registers.  :func:`run_covering_execution` builds
+the execution; :func:`demonstrate_erasure` additionally runs the twin
+execution with a different input for ``p`` and checks bit-for-bit
+equality of everything ``Q`` can ever observe.
+
+The construction needs each member of ``Q`` to be *about to write* a
+distinct register.  For the paper's algorithms each processor's very
+first operation is a write to its local register 0, so wiring processor
+``q`` (for ``q`` in ``Q``) with a rotation placing its local 0 on a
+distinct physical register realizes the covering exactly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, Hashable, List, Optional, Sequence, Tuple
+
+from repro.memory.memory import AnonymousMemory
+from repro.memory.wiring import Wiring, WiringAssignment
+from repro.sim.machine import AlgorithmMachine, FIRST_ENABLED
+from repro.sim.ops import Write
+from repro.sim.process import MachineProcess, ProcessStatus
+from repro.sim.runner import Runner
+
+
+def covering_wiring(n_processors: int, n_registers: int) -> WiringAssignment:
+    """A wiring in which processor ``q >= 1`` has local register 0 on
+    physical register ``q - 1``.
+
+    With ``n_registers = n_processors - 1`` the processors ``1..N-1``
+    then cover all registers with their first writes; processor 0 plays
+    the role of ``p`` (identity wiring).
+    """
+    wirings = [Wiring.identity(n_registers)]
+    for q in range(1, n_processors):
+        wirings.append(Wiring.rotation(n_registers, (q - 1) % n_registers))
+    return WiringAssignment(wirings)
+
+
+@dataclass
+class CoveringOutcome:
+    """What the covering execution produced."""
+
+    #: Output of the solo processor p (None if it did not terminate
+    #: within the budget).
+    solo_output: Optional[Any]
+    #: Memory contents after p's solo run (p's information is present).
+    memory_after_solo: Tuple[Any, ...]
+    #: Memory contents after the poised writes land (p's information is
+    #: gone).
+    memory_after_covering: Tuple[Any, ...]
+    #: Physical registers covered by the poised writes.
+    covered_registers: Tuple[int, ...]
+    #: Everything Q observed before its poised writes: each member's
+    #: local state fingerprint at the moment of poising.
+    q_observations: Tuple[Any, ...]
+    steps: int
+
+
+def run_covering_execution(
+    machine: AlgorithmMachine,
+    inputs: Sequence[Hashable],
+    n_registers: Optional[int] = None,
+    solo_budget: int = 50_000,
+) -> CoveringOutcome:
+    """Execute the Section 2.1 construction against ``machine``.
+
+    ``inputs[0]`` is the solo processor ``p``; the rest form ``Q``.
+    ``n_registers`` defaults to ``N - 1`` (the lower-bound regime).
+    """
+    n_processors = len(inputs)
+    if n_processors < 2:
+        raise ValueError("the construction needs at least two processors")
+    registers = n_registers if n_registers is not None else n_processors - 1
+    wiring = covering_wiring(n_processors, registers)
+    memory = AnonymousMemory(wiring, machine.register_initial_value())
+    processes = [
+        MachineProcess(pid, machine, inputs[pid], FIRST_ENABLED)
+        for pid in range(n_processors)
+    ]
+    runner = Runner(memory, processes, scheduler=_NullScheduler())
+
+    # Phase 1: run each member of Q until poised to write (the paper's
+    # algorithms write first, so their initial op already is a write;
+    # the loop tolerates algorithms that read before writing).
+    poised_targets: List[int] = []
+    for process in processes[1:]:
+        guard = 0
+        while not isinstance(process.next_op(), Write):
+            runner.step_process(process.pid)
+            guard += 1
+            if guard > solo_budget:
+                raise RuntimeError(
+                    f"processor {process.pid} never became poised to write"
+                )
+        op = process.next_op()
+        poised_targets.append(wiring[process.pid].to_physical(op.reg))
+    if len(set(poised_targets)) != min(registers, n_processors - 1):
+        raise RuntimeError(
+            f"covering failed: poised targets {poised_targets} do not cover"
+            f" {registers} registers"
+        )
+    q_observations = tuple(process.state for process in processes[1:])
+
+    # Phase 2: p runs solo.
+    solo = processes[0]
+    for _ in range(solo_budget):
+        if solo.status is not ProcessStatus.RUNNING:
+            break
+        runner.step_process(0)
+    memory_after_solo = memory.snapshot()
+
+    # Phase 3: release the poised writes, erasing p's traces.
+    for process in processes[1:]:
+        runner.step_process(process.pid)
+    memory_after_covering = memory.snapshot()
+
+    return CoveringOutcome(
+        solo_output=solo.output,
+        memory_after_solo=memory_after_solo,
+        memory_after_covering=memory_after_covering,
+        covered_registers=tuple(sorted(set(poised_targets))),
+        q_observations=q_observations,
+        steps=len(runner.result().schedule),
+    )
+
+
+@dataclass
+class ErasureDemonstration:
+    """Twin covering executions differing only in p's input."""
+
+    first: CoveringOutcome
+    second: CoveringOutcome
+    #: Whether memory after covering is identical in both executions —
+    #: i.e. Q cannot distinguish the two inputs of p.
+    memory_indistinguishable: bool
+    #: Whether Q's pre-covering observations are identical in both.
+    q_indistinguishable: bool
+
+    @property
+    def erasure_complete(self) -> bool:
+        return self.memory_indistinguishable and self.q_indistinguishable
+
+
+def demonstrate_erasure(
+    machine_factory,
+    inputs: Sequence[Hashable],
+    alternate_input: Hashable,
+    n_registers: Optional[int] = None,
+    solo_budget: int = 50_000,
+) -> ErasureDemonstration:
+    """Run the construction twice, changing only p's input.
+
+    ``machine_factory()`` must build a fresh machine (machines are
+    stateless, but this keeps configurations honest).  The demonstration
+    checks that everything ``Q`` can ever observe — its own pre-covering
+    states and the post-covering memory — is identical across the twin
+    executions, which is the paper's indistinguishability argument made
+    executable.
+    """
+    first = run_covering_execution(
+        machine_factory(), inputs, n_registers, solo_budget
+    )
+    twin_inputs = [alternate_input, *inputs[1:]]
+    second = run_covering_execution(
+        machine_factory(), twin_inputs, n_registers, solo_budget
+    )
+    return ErasureDemonstration(
+        first=first,
+        second=second,
+        memory_indistinguishable=(
+            first.memory_after_covering == second.memory_after_covering
+        ),
+        q_indistinguishable=(first.q_observations == second.q_observations),
+    )
+
+
+class _NullScheduler:
+    """Placeholder scheduler; the construction drives steps manually."""
+
+    def choose(self, step_index: int, enabled: Sequence[int]) -> Optional[int]:
+        return None

@@ -1,0 +1,77 @@
+"""Algorithms as pure state machines.
+
+Every algorithm from the paper is implemented once, as an
+:class:`AlgorithmMachine`: a pure transition system over immutable,
+hashable local states.  Both the simulator (:mod:`repro.sim.runner`) and
+the model checker (:mod:`repro.checker`) consume this single
+implementation, so whatever the checker certifies is literally the code
+the benchmarks run.
+
+Anonymity is structural: a machine is constructed from the system
+parameters ``(n_processors, n_registers)`` only, and an initial local
+state is derived from the processor's *input* alone.  No processor id
+ever reaches algorithm code.
+
+Nondeterminism: ``enabled_ops`` returns *all* operations the algorithm
+permits next (e.g. the snapshot algorithm may pick any register not yet
+written in the current round-robin cycle).  The model checker branches
+over all of them; the simulator resolves the choice with an
+:data:`OpPolicy` (deterministic first-enabled by default, or seeded
+random).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Any, Callable, Hashable, Optional, Protocol, Sequence, Tuple
+
+from repro.sim.ops import Op
+
+
+class AlgorithmMachine(Protocol):
+    """Protocol for one (anonymous) processor's algorithm.
+
+    Local states must be immutable and hashable; this is what makes
+    lasso detection and exhaustive model checking possible.
+    """
+
+    def initial_state(self, my_input: Hashable) -> Any:
+        """The designated initial local state, given the private input."""
+
+    def enabled_ops(self, state: Any) -> Tuple[Op, ...]:
+        """All operations the algorithm allows next.
+
+        Returns the empty tuple iff the processor has terminated.
+        """
+
+    def apply(self, state: Any, op: Op, result: Any) -> Any:
+        """The new local state after executing ``op``.
+
+        ``result`` is the value read for a :class:`~repro.sim.ops.Read`
+        and ``None`` for a :class:`~repro.sim.ops.Write`.
+        """
+
+    def output(self, state: Any) -> Optional[Any]:
+        """The write-once output, or ``None`` if not terminated."""
+
+    def register_initial_value(self) -> Hashable:
+        """The known default value all shared registers start with."""
+
+
+OpPolicy = Callable[[Sequence[Op]], Op]
+"""Resolves the algorithm's internal nondeterminism in simulation."""
+
+
+def FIRST_ENABLED(ops: Sequence[Op]) -> Op:
+    """The canonical deterministic policy: take the first enabled op."""
+    return ops[0]
+
+
+class RandomPolicy:
+    """Seeded random resolution of internal nondeterminism."""
+
+    def __init__(self, rng: random.Random) -> None:
+        self._rng = rng
+
+    def __call__(self, ops: Sequence[Op]) -> Op:
+        return self._rng.choice(list(ops))

@@ -1,0 +1,217 @@
+"""The true core of claim B, constructively: a snapshot output that
+never corresponds to the memory contents during the scan that produced
+it.
+
+The paper's Section 8 claim is that outputs of the Figure 3 algorithm
+need not match the memory contents.  Under the whole-execution reading
+("at no point in time") and the union-of-register-views formalization,
+our exhaustive analysis (:mod:`repro.checker.claim_b`) shows no such
+execution exists for 3 processors.  The *linearizability* form of the
+claim, however, is true and is constructed here explicitly: processor B
+outputs ``W = {1,2}`` although at every instant of B's final scan (from
+its first read to its output) the memory union differs from ``W`` — a
+"3-token" is always parked in some register.  The final scan therefore
+cannot be linearized as an atomic collect anywhere within its own
+interval.
+
+The choreography is a covering dance (the paper's title phenomenon):
+
+1. A and B honestly build view ``W`` and climb to level 2, leaving every
+   register at ``(W, 1)`` and A *poised*: its round-robin forces its
+   next write to register 1, and its level is 2, so the pending write is
+   a ``(W, 2)`` record aimed exactly where the token will sit.
+2. B spends one extra cycle planting a ``(W, 2)`` record in register 2
+   (its scan still reads a level-1 record, so B stays at level 2).
+3. C parks a ``{3}`` token in register 1.
+4. B's final cycle: it writes ``(W, 2)`` to register 0 and reads it —
+   the token in register 1 keeps the union at ``{1,2,3}`` — then C drops
+   a second token into the already-read register 0, A's poised write
+   lands on register 1 (erasing token one, token two still alive), and B
+   reads registers 1 and 2: all views ``W``, all levels ≥ 2, so B
+   reaches level 3 and outputs ``W`` — while the union held a 3
+   throughout.
+
+Every step is asserted as it is taken, and the returned record carries
+the union at each instant of the final scan for independent
+re-verification (tests and benchmark E5).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from repro.core.snapshot import PHASE_WRITE, SnapshotMachine
+from repro.core.views import RegisterRecord, View
+from repro.memory.memory import AnonymousMemory
+from repro.memory.wiring import WiringAssignment
+from repro.sim.ops import Write
+from repro.sim.process import MachineProcess
+from repro.sim.runner import Runner
+
+W = frozenset({1, 2})
+
+
+class SteerablePolicy:
+    """Op policy whose write target can be steered per step."""
+
+    def __init__(self) -> None:
+        self._preferred: Optional[int] = None
+
+    def prefer(self, reg: int) -> None:
+        self._preferred = reg
+
+    def __call__(self, ops: Sequence) -> object:
+        if self._preferred is not None:
+            for op in ops:
+                if isinstance(op, Write) and op.reg == self._preferred:
+                    self._preferred = None
+                    return op
+            raise RuntimeError(
+                f"preferred register {self._preferred} not among enabled"
+                f" ops {ops!r}"
+            )
+        return ops[0]
+
+
+@dataclass
+class NonLinearizableScanDemo:
+    """The verified construction."""
+
+    runner: Runner
+    #: Output of the witness processor B (pid 1): exactly ``W``.
+    output: View
+    #: Union of the memory after each global step from B's first
+    #: final-scan read to its output (inclusive).
+    unions_during_final_scan: List[View]
+
+    @property
+    def never_matches(self) -> bool:
+        return all(
+            union != self.output for union in self.unions_during_final_scan
+        )
+
+
+def memory_union_of(memory: AnonymousMemory) -> View:
+    """Union of the views currently stored in the registers."""
+    union: frozenset = frozenset()
+    for record in memory.snapshot():
+        if isinstance(record, RegisterRecord):
+            union |= record.view
+    return union
+
+
+class _NullScheduler:
+    def choose(self, step_index, enabled):
+        return None
+
+
+def build_non_linearizable_scan_demo() -> NonLinearizableScanDemo:
+    """Construct and verify the execution described in the module docs."""
+    machine = SnapshotMachine(3)
+    wiring = WiringAssignment.identity(3, 3)
+    memory = AnonymousMemory(wiring, machine.register_initial_value())
+    policies = [SteerablePolicy() for _ in range(3)]
+    processes = [
+        MachineProcess(pid, machine, pid + 1, policies[pid])
+        for pid in range(3)
+    ]
+    runner = Runner(memory, processes, _NullScheduler())
+    proc_a, proc_b, proc_c = processes
+
+    def cycle(process, policy, target):
+        """One steered write plus the full three-read scan."""
+        policy.prefer(target)
+        runner.step_process(process.pid)
+        for _ in range(3):
+            runner.step_process(process.pid)
+
+    def record(reg):
+        return memory.snapshot()[reg]
+
+    # ------------------------------------------------------------------
+    # Preparation (steps 1-9 of the module docstring's derivation).
+    # ------------------------------------------------------------------
+    cycle(proc_a, policies[0], 0)   # 1: A writes {1} to r0, scans
+    cycle(proc_b, policies[1], 1)   # 2: B writes {2} to r1, scans; view W
+    cycle(proc_a, policies[0], 2)   # 3: A scans past r1={2}; view W
+    assert proc_a.state.view == W and proc_b.state.view == W
+
+    cycle(proc_a, policies[0], 1)   # 4: A rewrites r1 with (W,0)
+    cycle(proc_a, policies[0], 0)   # 5: r0 := (W,0)
+    cycle(proc_a, policies[0], 2)   # 6: r2 := (W,0); clean scan -> level 1
+    assert proc_a.state.level == 1
+
+    cycle(proc_a, policies[0], 1)   # 7: r1 := (W,1)
+    cycle(proc_a, policies[0], 0)   # 8: r0 := (W,1)
+    cycle(proc_a, policies[0], 2)   # 9: r2 := (W,1); min=1 -> level 2
+    assert proc_a.state.level == 2
+    assert proc_a.state.phase == PHASE_WRITE
+    # A's round-robin now forces register 1: the poised write is armed.
+    a_choices = {
+        op.reg
+        for op in machine.enabled_ops(proc_a.state)
+        if isinstance(op, Write)
+    }
+    assert a_choices == {1}, a_choices
+    assert all(record(reg) == RegisterRecord(W, 1) for reg in range(3))
+
+    # B climbs to level 2 and plants the third (W,2) record, ending a
+    # full round-robin cycle so its *next* write can target register 0.
+    cycle(proc_b, policies[1], 0)   # 10: r0 := (W,0); min 0 -> level 1
+    assert proc_b.state.level == 1
+    cycle(proc_b, policies[1], 2)   # 11: r2 := (W,1); min 0 -> level 1
+    cycle(proc_b, policies[1], 0)   # 12: r0 := (W,1); min 1 -> level 2
+    assert proc_b.state.level == 2
+    cycle(proc_b, policies[1], 2)   # 13: plant r2 := (W,2); min 1 -> lvl 2
+    assert proc_b.state.level == 2
+    assert record(2) == RegisterRecord(W, 2)
+    cycle(proc_b, policies[1], 1)   # 14: r1 := (W,2) completes the cycle
+    assert proc_b.state.level == 2
+    b_choices = {
+        op.reg
+        for op in machine.enabled_ops(proc_b.state)
+        if isinstance(op, Write)
+    }
+    assert 0 in b_choices, b_choices
+
+    # ------------------------------------------------------------------
+    # The finale (F1-F8).
+    # ------------------------------------------------------------------
+    unions: List[View] = []
+
+    policies[2].prefer(1)
+    runner.step_process(2)          # F1: C parks token {3} in r1
+    assert 3 in memory_union_of(memory)
+
+    policies[1].prefer(0)
+    runner.step_process(1)          # F2: B writes (W,2) to r0
+    runner.step_process(1)          # F3: B reads r0 = (W,2)
+    unions.append(memory_union_of(memory))
+
+    for _ in range(3):              # F4: C's scan (harmless reads)
+        runner.step_process(2)
+    unions.append(memory_union_of(memory))
+
+    policies[2].prefer(0)
+    runner.step_process(2)          # F5: second token into read r0
+    unions.append(memory_union_of(memory))
+
+    policies[0].prefer(1)
+    runner.step_process(0)          # F6: A's poised (W,2) lands on r1
+    unions.append(memory_union_of(memory))
+
+    runner.step_process(1)          # F7: B reads r1 = (W,2)
+    unions.append(memory_union_of(memory))
+    runner.step_process(1)          # F8: B reads r2 = (W,2) -> level 3
+    unions.append(memory_union_of(memory))
+
+    output = proc_b.output
+    assert output == W, f"B output {output!r}, expected {sorted(W)}"
+    demo = NonLinearizableScanDemo(
+        runner=runner, output=output, unions_during_final_scan=unions
+    )
+    assert demo.never_matches, (
+        f"union matched the output during the final scan: {unions!r}"
+    )
+    return demo

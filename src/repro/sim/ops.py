@@ -1,0 +1,34 @@
+"""Atomic operations processors can issue.
+
+Each operation corresponds to exactly one atomic step of the paper's
+model: a read step or a write step of a single register.  Register
+indices are always *local* (private to the issuing processor); the
+memory substrate translates them through the processor's wiring.
+
+Local computation steps have no shared effect and are merged into the
+adjacent shared step, which preserves the set of reachable interleavings
+(standard reduction; see DESIGN.md, "Step-granularity fidelity").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Union
+
+
+@dataclass(frozen=True)
+class Read:
+    """Atomically read local register ``reg``; the step yields the value read."""
+
+    reg: int
+
+
+@dataclass(frozen=True)
+class Write:
+    """Atomically write ``value`` to local register ``reg``."""
+
+    reg: int
+    value: Any
+
+
+Op = Union[Read, Write]

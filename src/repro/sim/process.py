@@ -1,0 +1,171 @@
+"""Process wrappers driven by the runner.
+
+Two kinds of processes exist:
+
+- :class:`MachineProcess` wraps an :class:`~repro.sim.machine.AlgorithmMachine`
+  and an immutable local state.  This is the primary kind: it supports
+  replay, hashing of the global state (lasso detection) and is the same
+  code the model checker explores.
+- :class:`GeneratorProcess` wraps a free-form Python generator that
+  yields :class:`~repro.sim.ops.Read`/:class:`~repro.sim.ops.Write`
+  operations and receives read results via ``send``.  Baseline
+  algorithms from related work use this form; such processes cannot be
+  hashed (their state lives in a Python frame), so lasso detection is
+  unavailable when any generator process participates.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Any, Generator, Hashable, Optional, Sequence, Tuple
+
+from repro.sim.machine import AlgorithmMachine, FIRST_ENABLED, OpPolicy
+from repro.sim.ops import Op, Read, Write
+
+
+class ProcessStatus(enum.Enum):
+    """Lifecycle of a simulated processor."""
+
+    RUNNING = "running"
+    DONE = "done"
+
+
+class MachineProcess:
+    """A processor executing an :class:`AlgorithmMachine`.
+
+    Parameters
+    ----------
+    pid:
+        Meta-level identifier used by the scheduler and the trace.  The
+        algorithm itself never sees it (processor anonymity).
+    machine:
+        The algorithm, shared by all processors running the same program.
+    my_input:
+        The processor's private input (the only thing that may differ
+        between processors in the fully-anonymous model).
+    policy:
+        Resolution of the algorithm's internal nondeterminism.
+    """
+
+    def __init__(
+        self,
+        pid: int,
+        machine: AlgorithmMachine,
+        my_input: Hashable,
+        policy: OpPolicy = FIRST_ENABLED,
+    ) -> None:
+        self.pid = pid
+        self.machine = machine
+        self.my_input = my_input
+        self.policy = policy
+        self.state = machine.initial_state(my_input)
+        self.steps_taken = 0
+
+    @property
+    def status(self) -> ProcessStatus:
+        if self.machine.enabled_ops(self.state):
+            return ProcessStatus.RUNNING
+        return ProcessStatus.DONE
+
+    @property
+    def output(self) -> Optional[Any]:
+        return self.machine.output(self.state)
+
+    def next_op(self) -> Op:
+        """Choose the next operation (resolving internal nondeterminism)."""
+        ops = self.machine.enabled_ops(self.state)
+        if not ops:
+            raise RuntimeError(f"process {self.pid} has terminated")
+        return self.policy(ops)
+
+    def enabled_ops(self) -> Tuple[Op, ...]:
+        return self.machine.enabled_ops(self.state)
+
+    def apply(self, op: Op, result: Any) -> None:
+        """Advance the local state after the runner executed ``op``."""
+        self.state = self.machine.apply(self.state, op, result)
+        self.steps_taken += 1
+
+    def local_fingerprint(self) -> Hashable:
+        """Hashable view of the local state, for global-state hashing."""
+        return self.state
+
+
+class GeneratorProcess:
+    """A processor executing a generator-based algorithm.
+
+    The generator must yield :class:`Read`/:class:`Write` operations;
+    ``yield Read(i)`` evaluates to the value read.  Returning from the
+    generator terminates the processor; the return value is its output.
+    """
+
+    def __init__(
+        self,
+        pid: int,
+        generator: Generator[Op, Any, Any],
+        my_input: Hashable = None,
+    ) -> None:
+        self.pid = pid
+        self.my_input = my_input
+        self.steps_taken = 0
+        self._generator = generator
+        self._pending_op: Optional[Op] = None
+        self._output: Optional[Any] = None
+        self._done = False
+        self._prime()
+
+    def _prime(self) -> None:
+        try:
+            self._pending_op = next(self._generator)
+        except StopIteration as stop:
+            self._done = True
+            self._output = stop.value
+
+    @property
+    def status(self) -> ProcessStatus:
+        return ProcessStatus.DONE if self._done else ProcessStatus.RUNNING
+
+    @property
+    def output(self) -> Optional[Any]:
+        return self._output
+
+    def next_op(self) -> Op:
+        if self._done or self._pending_op is None:
+            raise RuntimeError(f"process {self.pid} has terminated")
+        return self._pending_op
+
+    def enabled_ops(self) -> Tuple[Op, ...]:
+        if self._done or self._pending_op is None:
+            return ()
+        return (self._pending_op,)
+
+    def apply(self, op: Op, result: Any) -> None:
+        if op is not self._pending_op:
+            raise RuntimeError(
+                f"process {self.pid}: executed op {op!r} does not match pending"
+                f" op {self._pending_op!r}"
+            )
+        self.steps_taken += 1
+        try:
+            if isinstance(op, Read):
+                self._pending_op = self._generator.send(result)
+            else:
+                self._pending_op = self._generator.send(None)
+        except StopIteration as stop:
+            self._done = True
+            self._pending_op = None
+            self._output = stop.value
+
+    def local_fingerprint(self) -> Hashable:
+        raise TypeError(
+            "generator processes have opaque state; lasso detection requires"
+            " machine processes"
+        )
+
+
+Process = Any  # MachineProcess | GeneratorProcess (duck-typed by the runner)
+
+
+def all_machine_processes(processes: Sequence[Process]) -> bool:
+    """Whether every process supports local-state fingerprinting."""
+    return all(isinstance(process, MachineProcess) for process in processes)

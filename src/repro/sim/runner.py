@@ -1,0 +1,206 @@
+"""The execution runner: drives processes under a scheduler.
+
+The runner realizes the paper's execution model (Section 2): an
+execution is a sequence of atomic steps of individual processors, each
+step being a read or write of one register (plus the terminal output
+step).  The runner:
+
+- asks the scheduler which enabled processor steps next,
+- lets that processor choose its operation (resolving internal
+  nondeterminism via its op policy),
+- executes the operation against the :class:`AnonymousMemory` (which
+  applies the wiring and records the trace),
+- feeds the result back into the processor's state machine.
+
+When every participating process is a :class:`MachineProcess`, the runner
+can fingerprint the *global* state (register contents + all local
+states) after every step.  A repeated fingerprint under a deterministic
+scheduler+policy certifies a *lasso*: the finite prefix extends to a
+genuine infinite execution that repeats the cycle forever.  That is how
+the Section 4 experiments obtain exact stable views rather than
+finite-prefix approximations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Hashable, List, Optional, Sequence, Tuple
+
+from repro.memory.memory import AnonymousMemory
+from repro.memory.trace import Trace
+from repro.sim.ops import Read, Write
+from repro.sim.process import MachineProcess, ProcessStatus, all_machine_processes
+from repro.sim.schedulers import Scheduler
+
+
+@dataclass(frozen=True)
+class Lasso:
+    """A certified eventually-periodic execution.
+
+    ``prefix_length`` steps lead to a state that recurs after another
+    ``cycle_length`` steps; ``cycle_pids`` lists the processors taking
+    steps within the cycle (the *live* processors of Definition 4.1).
+    """
+
+    prefix_length: int
+    cycle_length: int
+    cycle_pids: Tuple[int, ...]
+
+
+@dataclass
+class ExecutionResult:
+    """Everything observable about a finished (finite) run."""
+
+    outputs: Dict[int, Any]
+    trace: Trace
+    steps: int
+    statuses: Dict[int, ProcessStatus]
+    schedule: List[int] = field(default_factory=list)
+    lasso: Optional[Lasso] = None
+    #: Local state of every machine process at the end of the run.
+    final_states: Dict[int, Any] = field(default_factory=dict)
+
+    @property
+    def all_terminated(self) -> bool:
+        return all(status is ProcessStatus.DONE for status in self.statuses.values())
+
+    def participants(self) -> Tuple[int, ...]:
+        return self.trace.participants()
+
+
+class Runner:
+    """Drives a set of processes over an anonymous memory.
+
+    Parameters
+    ----------
+    memory:
+        The shared memory (with its wiring fixed at construction).
+    processes:
+        The processors, indexed by their meta-level pid (which must be
+        ``0..len(processes)-1`` and match each process's ``pid``).
+    scheduler:
+        The adversary choosing interleavings.
+    detect_lasso:
+        Fingerprint global states and stop as soon as a state repeats.
+        Requires all processes to be machine processes.
+    """
+
+    def __init__(
+        self,
+        memory: AnonymousMemory,
+        processes: Sequence[Any],
+        scheduler: Scheduler,
+        detect_lasso: bool = False,
+    ) -> None:
+        for index, process in enumerate(processes):
+            if process.pid != index:
+                raise ValueError(
+                    f"process at position {index} has pid {process.pid};"
+                    " pids must be 0..N-1 in order"
+                )
+        if len(processes) != memory.n_processors:
+            raise ValueError(
+                f"{len(processes)} processes but memory wired for"
+                f" {memory.n_processors}"
+            )
+        if detect_lasso and not all_machine_processes(processes):
+            raise TypeError("lasso detection requires machine processes only")
+        self.memory = memory
+        self.processes = list(processes)
+        self.scheduler = scheduler
+        self.detect_lasso = detect_lasso
+        self._schedule: List[int] = []
+        self._seen_states: Dict[Hashable, int] = {}
+        self._lasso: Optional[Lasso] = None
+        if detect_lasso:
+            self._seen_states[self._fingerprint()] = 0
+
+    # ------------------------------------------------------------------
+    # Stepping
+    # ------------------------------------------------------------------
+    def enabled_pids(self) -> List[int]:
+        return [
+            process.pid
+            for process in self.processes
+            if process.status is ProcessStatus.RUNNING
+        ]
+
+    def step_process(self, pid: int) -> None:
+        """Execute one atomic step of processor ``pid``."""
+        process = self.processes[pid]
+        op = process.next_op()
+        if isinstance(op, Read):
+            result = self.memory.read(pid, op.reg)
+        elif isinstance(op, Write):
+            self.memory.write(pid, op.reg, op.value)
+            result = None
+        else:  # pragma: no cover - defensive
+            raise TypeError(f"unknown operation {op!r}")
+        process.apply(op, result)
+        self._schedule.append(pid)
+        if process.status is ProcessStatus.DONE:
+            self.memory.record_output(pid, process.output)
+
+    def run(self, max_steps: int = 100_000) -> ExecutionResult:
+        """Run until the scheduler stops, all terminate, a lasso is
+        found, or ``max_steps`` elapse."""
+        for step_index in range(len(self._schedule), max_steps):
+            enabled = self.enabled_pids()
+            if not enabled:
+                break
+            pick = self.scheduler.choose(step_index, enabled)
+            if pick is None:
+                break
+            self.step_process(pick)
+            if self.detect_lasso and self._check_lasso():
+                break
+        return self.result()
+
+    # ------------------------------------------------------------------
+    # Lasso detection
+    # ------------------------------------------------------------------
+    def _fingerprint(self) -> Hashable:
+        return (
+            self.memory.snapshot(),
+            self.memory.last_writers(),
+            tuple(process.local_fingerprint() for process in self.processes),
+        )
+
+    def _check_lasso(self) -> bool:
+        fingerprint = self._fingerprint()
+        now = len(self._schedule)
+        first_seen = self._seen_states.get(fingerprint)
+        if first_seen is not None:
+            cycle = self._schedule[first_seen:now]
+            self._lasso = Lasso(
+                prefix_length=first_seen,
+                cycle_length=now - first_seen,
+                cycle_pids=tuple(sorted(set(cycle))),
+            )
+            return True
+        self._seen_states[fingerprint] = now
+        return False
+
+    # ------------------------------------------------------------------
+    # Results
+    # ------------------------------------------------------------------
+    def result(self) -> ExecutionResult:
+        outputs = {
+            process.pid: process.output
+            for process in self.processes
+            if process.status is ProcessStatus.DONE
+        }
+        final_states = {
+            process.pid: process.state
+            for process in self.processes
+            if isinstance(process, MachineProcess)
+        }
+        return ExecutionResult(
+            outputs=outputs,
+            trace=self.memory.trace,
+            steps=len(self._schedule),
+            statuses={process.pid: process.status for process in self.processes},
+            schedule=list(self._schedule),
+            lasso=self._lasso,
+            final_states=final_states,
+        )

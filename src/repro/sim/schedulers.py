@@ -1,0 +1,139 @@
+"""Schedulers: the adversary that picks which processor steps next.
+
+A scheduler is asked, at each global step, to pick one processor among
+those still enabled.  Different schedulers realize the different
+quantifications the paper makes over executions:
+
+- :class:`RoundRobinScheduler` — the fair, benign baseline;
+- :class:`RandomScheduler` — seeded uniform interleavings, the workhorse
+  of the statistical experiments;
+- :class:`SoloScheduler` — one processor runs alone (obstruction-free
+  termination, Section 7, and the lower-bound construction of §2.1);
+- :class:`ScriptScheduler` — an exact, finite schedule (used to replay
+  Figure 2 and counterexample traces found by the model checker);
+- :class:`PeriodicScheduler` — repeats a finite pattern forever; with
+  deterministic op policies this eventually drives the system into a
+  lasso, certifying an *infinite* execution (Section 4's stable views).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Iterable, List, Optional, Protocol, Sequence
+
+
+class Scheduler(Protocol):
+    """Picks the processor to step next."""
+
+    def choose(self, step_index: int, enabled: Sequence[int]) -> Optional[int]:
+        """Return the pid to schedule, or ``None`` to stop the execution.
+
+        ``enabled`` is the (non-empty) list of pids that can still take
+        a step, in increasing pid order.
+        """
+
+
+class RoundRobinScheduler:
+    """Cycle fairly over the enabled processors."""
+
+    def __init__(self) -> None:
+        self._next = 0
+
+    def choose(self, step_index: int, enabled: Sequence[int]) -> Optional[int]:
+        for candidate in range(self._next, self._next + max(enabled) + 1):
+            if candidate % (max(enabled) + 1) in enabled:
+                pick = candidate % (max(enabled) + 1)
+                self._next = pick + 1
+                return pick
+        return enabled[0]
+
+
+class RandomScheduler:
+    """Uniformly random (seeded) choice among enabled processors."""
+
+    def __init__(self, rng: random.Random) -> None:
+        self._rng = rng
+
+    def choose(self, step_index: int, enabled: Sequence[int]) -> Optional[int]:
+        return self._rng.choice(list(enabled))
+
+
+class SoloScheduler:
+    """Run one processor exclusively; optionally fall back to the rest.
+
+    With ``then_others=False`` (default) the execution stops when the
+    solo processor terminates.  With ``then_others=True`` the remaining
+    processors are scheduled round-robin afterwards — the shape used by
+    the §2.1 lower-bound construction ("let p run solo until it produces
+    an output; finally let all the members of Q write").
+    """
+
+    def __init__(self, solo_pid: int, then_others: bool = False) -> None:
+        self._solo = solo_pid
+        self._then_others = then_others
+        self._rr_next = 0
+
+    def choose(self, step_index: int, enabled: Sequence[int]) -> Optional[int]:
+        if self._solo in enabled:
+            return self._solo
+        if not self._then_others:
+            return None
+        others = [pid for pid in enabled if pid != self._solo]
+        if not others:
+            return None
+        pick = others[self._rr_next % len(others)]
+        self._rr_next += 1
+        return pick
+
+
+class ScriptScheduler:
+    """Follow an exact, finite schedule of pids, then stop.
+
+    Raises if the scripted pid is not enabled — a script that desyncs
+    from the algorithms is a bug in the experiment, not a tolerable
+    condition.
+    """
+
+    def __init__(self, script: Iterable[int]) -> None:
+        self._script: List[int] = list(script)
+
+    def choose(self, step_index: int, enabled: Sequence[int]) -> Optional[int]:
+        if step_index >= len(self._script):
+            return None
+        pick = self._script[step_index]
+        if pick not in enabled:
+            raise RuntimeError(
+                f"scripted pid {pick} not enabled at step {step_index}"
+                f" (enabled: {list(enabled)})"
+            )
+        return pick
+
+    def __len__(self) -> int:
+        return len(self._script)
+
+
+class PeriodicScheduler:
+    """Repeat a finite pid pattern forever (skipping terminated pids).
+
+    The pattern together with deterministic op policies yields an
+    eventually-periodic execution; the runner's lasso detection then
+    certifies the corresponding *infinite* execution, giving exact
+    stable views (Definition 4.2) instead of finite-prefix
+    approximations.
+    """
+
+    def __init__(self, pattern: Sequence[int]) -> None:
+        if not pattern:
+            raise ValueError("periodic pattern must be non-empty")
+        self._pattern = list(pattern)
+        self._cursor = 0
+
+    def choose(self, step_index: int, enabled: Sequence[int]) -> Optional[int]:
+        enabled_set = set(enabled)
+        for _ in range(len(self._pattern)):
+            pick = self._pattern[self._cursor % len(self._pattern)]
+            self._cursor += 1
+            if pick in enabled_set:
+                return pick
+        # No pid in the pattern is still enabled.
+        return None

@@ -1,0 +1,281 @@
+"""Scripted executions: Figure 2 and its five-processor extension.
+
+Section 4.1 of the paper exhibits a *pathological infinite execution* of
+the write-scan loop in which three processors keep overwriting each
+other so that the views ``{1,2}`` and ``{1,3}`` remain incomparable
+forever (Figure 2, 13 rows, rows 5-13 repeating), and then extends it
+with two more processors ``p`` and ``p'`` that each read a constant set
+(``{1,2}`` resp. ``{1,3}``) in *all* registers ad infinitum — defeating
+any "saw the same set everywhere" (or double-collect) termination rule.
+
+This module reconstructs both executions exactly:
+
+- **Wirings.**  ``p2`` and ``p3`` are wired identically (identity); ``p1``
+  is wired with a rotation by one, so its fair round-robin writes land on
+  physical registers 1, 2, 0, ...  That makes ``p1`` overwrite whatever
+  ``p3`` just wrote, cycling exactly as the figure's rows do.  The
+  extension processors ``p`` and ``p'`` use the same rotation wiring so
+  their scans visit physical registers 1, 2, 0 in the order in which the
+  churn deposits ``{1,2}`` (resp. ``{1,3}``) there.
+- **Schedule.**  Built programmatically, one row at a time (a row is one
+  write plus a full three-read scan of the acting processor); the
+  extension inserts ``p``/``p'`` steps immediately after the write they
+  must observe (or shadow, for their own non-perturbing writes).
+
+The builders return the runner *and* the expected Figure 2 rows so tests
+and benchmark E1 can assert cell-by-cell equality with the paper, and
+they run with lasso detection on, so the infinite repetition is
+certified rather than assumed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.core.views import View, view
+from repro.core.write_scan import WriteScanMachine
+from repro.memory.memory import AnonymousMemory
+from repro.memory.wiring import Wiring, WiringAssignment
+from repro.sim.machine import FIRST_ENABLED
+from repro.sim.process import MachineProcess
+from repro.sim.runner import ExecutionResult, Runner
+from repro.sim.schedulers import ScriptScheduler
+
+#: Figure 2 dimensions: processors p1, p2, p3 (pids 0, 1, 2) with inputs
+#: 1, 2, 3 over three registers.
+FIGURE2_INPUTS = (1, 2, 3)
+FIGURE2_N_REGISTERS = 3
+
+
+def figure2_wiring(n_processors: int = 3) -> WiringAssignment:
+    """The wiring realizing Figure 2 (and its extension for ``n > 3``).
+
+    pid 0 (p1) and the extension pids 3 (p), 4 (p') are rotated by one;
+    pids 1, 2 (p2, p3) are the identity.
+    """
+    rotation = Wiring.rotation(FIGURE2_N_REGISTERS, 1)
+    identity = Wiring.identity(FIGURE2_N_REGISTERS)
+    wirings = [rotation, identity, identity]
+    for _ in range(3, n_processors):
+        wirings.append(rotation)
+    return WiringAssignment(wirings[:n_processors])
+
+
+@dataclass(frozen=True)
+class Figure2Row:
+    """One row of the Figure 2 table."""
+
+    index: int
+    description: str
+    registers: Tuple[View, View, View]
+    views: Tuple[View, View, View]
+
+
+#: The 13 rows of Figure 2, transcribed from the paper.  Registers are
+#: listed r1, r2, r3 (physical 0, 1, 2); views are p1, p2, p3.
+FIGURE2_EXPECTED_ROWS: Tuple[Figure2Row, ...] = (
+    Figure2Row(1, "p1 writes twice and ends with a scan",
+               (view(), view(1), view(1)), (view(1), view(2), view(3))),
+    Figure2Row(2, "p2 writes then scans",
+               (view(2), view(1), view(1)), (view(1), view(1, 2), view(3))),
+    Figure2Row(3, "p3 overwrites p2 then scans",
+               (view(3), view(1), view(1)), (view(1), view(1, 2), view(1, 3))),
+    Figure2Row(4, "p1 overwrites p3 then scans",
+               (view(1), view(1), view(1)), (view(1), view(1, 2), view(1, 3))),
+    Figure2Row(5, "p2 writes then scans",
+               (view(1), view(1, 2), view(1)), (view(1), view(1, 2), view(1, 3))),
+    Figure2Row(6, "p3 overwrites p2 then scans",
+               (view(1), view(1, 3), view(1)), (view(1), view(1, 2), view(1, 3))),
+    Figure2Row(7, "p1 overwrites p3 then scans",
+               (view(1), view(1), view(1)), (view(1), view(1, 2), view(1, 3))),
+    Figure2Row(8, "p2 writes then scans",
+               (view(1), view(1), view(1, 2)), (view(1), view(1, 2), view(1, 3))),
+    Figure2Row(9, "p3 overwrites p2 then scans",
+               (view(1), view(1), view(1, 3)), (view(1), view(1, 2), view(1, 3))),
+    Figure2Row(10, "p1 overwrites p3 then scans",
+                (view(1), view(1), view(1)), (view(1), view(1, 2), view(1, 3))),
+    Figure2Row(11, "p2 writes then scans",
+                (view(1, 2), view(1), view(1)), (view(1), view(1, 2), view(1, 3))),
+    Figure2Row(12, "p3 overwrites p2 then scans",
+                (view(1, 3), view(1), view(1)), (view(1), view(1, 2), view(1, 3))),
+    Figure2Row(13, "p1 overwrites p3 then scans (same as 4)",
+                (view(1), view(1), view(1)), (view(1), view(1, 2), view(1, 3))),
+)
+
+#: Steps per table row: one write plus a full scan (three reads), except
+#: row 1 where p1 goes through two complete write+scan iterations.
+_ROW_PIDS: Tuple[Tuple[int, int], ...] = (
+    # (acting pid, number of write+scan iterations)
+    (0, 2),
+    (1, 1), (2, 1), (0, 1),
+    (1, 1), (2, 1), (0, 1),
+    (1, 1), (2, 1), (0, 1),
+    (1, 1), (2, 1), (0, 1),
+)
+
+
+def figure2_schedule(n_cycles: int = 1) -> List[int]:
+    """The pid schedule of Figure 2.
+
+    ``n_cycles`` repeats of the rows 5-13 block are appended after the
+    initial 13 rows (``n_cycles=1`` is exactly the figure).
+    """
+    steps_per_iteration = 1 + FIGURE2_N_REGISTERS  # write + full scan
+    schedule: List[int] = []
+    for pid, iterations in _ROW_PIDS:
+        schedule.extend([pid] * (steps_per_iteration * iterations))
+    cycle: List[int] = []
+    for pid, iterations in _ROW_PIDS[4:]:
+        cycle.extend([pid] * (steps_per_iteration * iterations))
+    schedule.extend(cycle * max(0, n_cycles - 1))
+    return schedule
+
+
+def build_figure2_runner(
+    n_cycles: int = 1, detect_lasso: bool = False, max_cycles_for_lasso: int = 4
+) -> Runner:
+    """A runner executing Figure 2 under the write-scan loop.
+
+    With ``detect_lasso=True`` the schedule is extended far enough for
+    the runner to certify the repetition of rows 5-13.
+    """
+    wiring = figure2_wiring(3)
+    machine = WriteScanMachine(FIGURE2_N_REGISTERS)
+    memory = AnonymousMemory(wiring, machine.register_initial_value())
+    processes = [
+        MachineProcess(pid, machine, FIGURE2_INPUTS[pid], FIRST_ENABLED)
+        for pid in range(3)
+    ]
+    cycles = max(n_cycles, max_cycles_for_lasso) if detect_lasso else n_cycles
+    scheduler = ScriptScheduler(figure2_schedule(cycles))
+    return Runner(memory, processes, scheduler, detect_lasso=detect_lasso)
+
+
+def figure2_observed_rows(runner: Optional[Runner] = None) -> List[Figure2Row]:
+    """Execute Figure 2 and extract the 13 observed table rows.
+
+    Each row's "post state" is sampled after the acting processor's
+    write+scan iteration(s) complete, exactly as in the paper's table.
+    """
+    runner = runner or build_figure2_runner(n_cycles=1)
+    rows: List[Figure2Row] = []
+    steps_per_iteration = 1 + FIGURE2_N_REGISTERS
+    for row_index, (pid, iterations) in enumerate(_ROW_PIDS, start=1):
+        for _ in range(steps_per_iteration * iterations):
+            runner.step_process(pid)
+        registers = tuple(runner.memory.snapshot())
+        views = tuple(process.state.view for process in runner.processes)
+        rows.append(
+            Figure2Row(
+                index=row_index,
+                description=FIGURE2_EXPECTED_ROWS[row_index - 1].description,
+                registers=registers,  # type: ignore[arg-type]
+                views=views,  # type: ignore[arg-type]
+            )
+        )
+    return rows
+
+
+def format_figure2_table(rows: Sequence[Figure2Row]) -> str:
+    """Render rows in the paper's tabular layout."""
+
+    def fmt(values: Tuple[View, ...]) -> str:
+        return "  ".join(
+            "{" + ",".join(str(v) for v in sorted(entry)) + "}" for entry in values
+        )
+
+    lines = [
+        f"{'row':>3}  {'r1  r2  r3':<22} {'view[p1]  view[p2]  view[p3]':<30}"
+        f"  actions"
+    ]
+    for row in rows:
+        lines.append(
+            f"{row.index:>3}  {fmt(row.registers):<22} {fmt(row.views):<30}"
+            f"  {row.description}"
+        )
+    return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+# The five-processor extension (Section 4.1, second half)
+# ----------------------------------------------------------------------
+
+EXTENSION_INPUTS = (1, 2, 3, 1, 1)  # p and p' both have input 1
+
+
+def _extension_cycle_schedule(cycle_index: int) -> List[int]:
+    """One rows-5-to-13 block with the p (pid 3) and p' (pid 4) insertions.
+
+    Within a block, the churners act in the order
+    ``row5..row13`` = p2,p3,p1 on phys 1, then phys 2, then phys 0.
+    ``p`` piggybacks on p2's writes of ``{1,2}``: on even cycles it scans
+    (one read right after each of p2's three writes), on odd cycles it
+    performs its single non-perturbing write right after the p2 write to
+    the register that is next in p's own round-robin order.  ``p'`` does
+    the same one row later, synchronized to p3's writes of ``{1,3}``.
+
+    p's writes rotate phys 1 -> 2 -> 0 across its write-cycles, which is
+    exactly its wiring's round-robin order, so the fairness requirement
+    of the write-scan loop is met.
+    """
+    steps = 1 + FIGURE2_N_REGISTERS
+    row = {
+        5: [1] * steps, 6: [2] * steps, 7: [0] * steps,
+        8: [1] * steps, 9: [2] * steps, 10: [0] * steps,
+        11: [1] * steps, 12: [2] * steps, 13: [0] * steps,
+    }
+    # Rows after whose *write step* p (pid 3) must act, per phase.
+    scanning = cycle_index % 2 == 0
+    write_phase = (cycle_index % 6) in (1, 3, 5)
+    # p writes phys2 on cycles =1 mod 6 (after row 8), phys0 on =3 (after
+    # row 11), phys1 on =5 (after row 5).
+    p_write_row = {1: 8, 3: 11, 5: 5}.get(cycle_index % 6)
+    p_prime_write_row = {1: 9, 3: 12, 5: 6}.get(cycle_index % 6)
+
+    schedule: List[int] = []
+    for row_number in range(5, 14):
+        pids = row[row_number]
+        schedule.append(pids[0])  # the churner's write step
+        if scanning and row_number in (5, 8, 11):
+            schedule.append(3)  # p reads right after the {1,2} write
+        if scanning and row_number in (6, 9, 12):
+            schedule.append(4)  # p' reads right after the {1,3} write
+        if write_phase and p_write_row == row_number:
+            schedule.append(3)  # p's non-perturbing write of {1,2}
+        if write_phase and p_prime_write_row == row_number:
+            schedule.append(4)  # p''s non-perturbing write of {1,3}
+        schedule.extend(pids[1:])  # the churner's scan reads
+    return schedule
+
+
+def extension_schedule(n_cycles: int = 12) -> List[int]:
+    """Full schedule of the five-processor extension.
+
+    Rows 1-4 as in Figure 2, then the initial non-perturbing writes of
+    ``p`` and ``p'`` (both write ``{1}`` over registers already holding
+    ``{1}``), then ``n_cycles`` churn blocks with the piggybacked steps.
+    """
+    steps = 1 + FIGURE2_N_REGISTERS
+    schedule: List[int] = []
+    for pid, iterations in _ROW_PIDS[:4]:
+        schedule.extend([pid] * (steps * iterations))
+    schedule.extend([3, 4])  # initial writes of p and p'
+    for cycle_index in range(n_cycles):
+        schedule.extend(_extension_cycle_schedule(cycle_index))
+    return schedule
+
+
+def build_extension_runner(
+    n_cycles: int = 12, detect_lasso: bool = True
+) -> Runner:
+    """A runner executing the five-processor extension."""
+    wiring = figure2_wiring(5)
+    machine = WriteScanMachine(FIGURE2_N_REGISTERS)
+    memory = AnonymousMemory(wiring, machine.register_initial_value())
+    processes = [
+        MachineProcess(pid, machine, EXTENSION_INPUTS[pid], FIRST_ENABLED)
+        for pid in range(5)
+    ]
+    scheduler = ScriptScheduler(extension_schedule(n_cycles))
+    return Runner(memory, processes, scheduler, detect_lasso=detect_lasso)

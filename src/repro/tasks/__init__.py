@@ -1,0 +1,58 @@
+"""Tasks and group solvability (Section 3).
+
+A task (Section 3.1) is a set of outputs plus a set of valid output
+assignments (partial functions from processors to outputs).  This
+package provides:
+
+- the :class:`~repro.tasks.base.Task` interface and the three classic
+  tasks the paper studies — :class:`~repro.tasks.snapshot_task.SnapshotTask`,
+  :class:`~repro.tasks.consensus_task.ConsensusTask`,
+  :class:`~repro.tasks.renaming_task.AdaptiveRenamingTask`;
+- *group solvability* (Section 3.2, Definition 3.4):
+  :func:`~repro.tasks.group.check_group_solution` checks a concrete
+  execution's outputs by enumerating (or sampling) every *output
+  sample* — every way of picking one representative output per
+  participating group — and validating each against the task.
+
+The worked example of Section 3.2 (groups ``A={1}``, ``B={2,3}``,
+``C={4}`` with incomparable outputs inside ``B`` being a *legal* group
+solution of the snapshot task) lives in the tests and benchmark E12.
+"""
+
+from repro.tasks.base import Task
+from repro.tasks.long_lived_group import (
+    Invocation,
+    LongLivedHistory,
+    check_long_lived_group_snapshot,
+)
+from repro.tasks.more_tasks import (
+    ImmediateSnapshotTask,
+    SetConsensusTask,
+    WeakSymmetryBreakingTask,
+)
+from repro.tasks.consensus_task import ConsensusTask
+from repro.tasks.group import (
+    GroupCheckResult,
+    check_group_solution,
+    groups_from_inputs,
+    iter_output_samples,
+)
+from repro.tasks.renaming_task import AdaptiveRenamingTask
+from repro.tasks.snapshot_task import SnapshotTask
+
+__all__ = [
+    "Task",
+    "SnapshotTask",
+    "ImmediateSnapshotTask",
+    "SetConsensusTask",
+    "WeakSymmetryBreakingTask",
+    "ConsensusTask",
+    "AdaptiveRenamingTask",
+    "check_group_solution",
+    "iter_output_samples",
+    "groups_from_inputs",
+    "GroupCheckResult",
+    "LongLivedHistory",
+    "Invocation",
+    "check_long_lived_group_snapshot",
+]

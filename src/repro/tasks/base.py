@@ -1,0 +1,43 @@
+"""The task interface (Section 3.1).
+
+The paper specifies a task as a pair ``(O, Δ)``: a set of outputs and a
+set of valid *output assignments*, where an output assignment is a
+partial function from processors to outputs.  We represent an output
+assignment as a mapping from participant identifiers to outputs, and a
+task as a validity predicate over such mappings (extensionally equal to
+membership in ``Δ``, but checkable).
+
+In this paper every processor receives its own identifier as input, so
+participant identifiers double as inputs.  Under *group* solvability
+(:mod:`repro.tasks.group`) the same predicates are evaluated with group
+identifiers playing the role of processor identifiers — that is exactly
+Gafni's construction, and the reason the interface is agnostic about
+what the identifiers denote.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Any, Hashable, Mapping
+
+
+class Task(abc.ABC):
+    """A task ``(O, Δ)``, given as a checkable validity predicate."""
+
+    @abc.abstractmethod
+    def is_valid(self, assignment: Mapping[Hashable, Any]) -> bool:
+        """Whether ``assignment`` (participant id -> output) is in ``Δ``.
+
+        The domain of ``assignment`` is the set of participating
+        identifiers; non-participants must not appear.
+        """
+
+    def explain_violation(self, assignment: Mapping[Hashable, Any]) -> str:
+        """Human-readable reason an assignment is invalid (for tests).
+
+        Default implementation just reports validity; tasks override
+        this with precise diagnostics.
+        """
+        if self.is_valid(assignment):
+            return "assignment is valid"
+        return f"assignment {dict(assignment)!r} violates {type(self).__name__}"

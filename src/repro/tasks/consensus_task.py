@@ -1,0 +1,41 @@
+"""The consensus task (Definition 3.1).
+
+All participants must agree on the identifier of a participating
+processor: the valid output assignments are exactly the constant partial
+functions whose constant value lies in their domain of definition.
+
+Under group solvability this becomes: all processors return the same
+participating *group* identifier — the paper's reading of fully-anonymous
+consensus (Section 3.2: "agree on a unique input of a participating
+processor").
+"""
+
+from __future__ import annotations
+
+from typing import Any, Hashable, Mapping
+
+from repro.tasks.base import Task
+
+
+class ConsensusTask(Task):
+    """Agreement on one participating identifier."""
+
+    def is_valid(self, assignment: Mapping[Hashable, Any]) -> bool:
+        if not assignment:
+            return True
+        values = set(assignment.values())
+        if len(values) != 1:
+            return False  # agreement
+        (value,) = values
+        return value in assignment  # validity: a participating identifier
+
+    def explain_violation(self, assignment: Mapping[Hashable, Any]) -> str:
+        values = set(assignment.values())
+        if len(values) > 1:
+            return f"disagreement: outputs {sorted(values, key=repr)!r}"
+        if values and next(iter(values)) not in assignment:
+            return (
+                f"decided value {next(iter(values))!r} is not a participating"
+                f" identifier {sorted(assignment, key=repr)!r}"
+            )
+        return "assignment is valid"

@@ -1,0 +1,154 @@
+"""Group solvability (Section 3.2, Definition 3.4).
+
+Gafni's notion, adopted by the paper: view a task as referring to
+*groups* (one group per distinct input value) rather than individual
+processors.  An algorithm group-solves a task when, for every execution
+and every *output sample* — every function mapping each participating
+group's identifier to the output of one of its members — the sample is a
+valid output assignment of the task.
+
+This module turns that definition into an executable check over a
+finished execution: given the group of each processor and the outputs
+the processors produced, it enumerates (or samples, for large groups)
+all output samples and validates each against the task.
+
+The enumeration is exponential in the number of *distinct* outputs per
+group, not in group size (identical outputs within a group produce
+identical samples); executions of the paper's algorithms rarely have
+more than a couple of distinct outputs per group, so exhaustive checking
+is the norm and sampling the fallback.
+"""
+
+from __future__ import annotations
+
+import itertools
+import random
+from dataclasses import dataclass, field
+from typing import Any, Dict, Hashable, Iterator, List, Mapping, Optional, Tuple
+
+from repro.tasks.base import Task
+
+
+def groups_from_inputs(inputs: Mapping[int, Hashable]) -> Dict[Hashable, Tuple[int, ...]]:
+    """Partition processors into groups by input value.
+
+    ``inputs`` maps pid -> input; the result maps group identifier (the
+    shared input value) to the sorted tuple of member pids.  This is the
+    paper's ``G_i`` = "set of all processors with input ``i``".
+    """
+    groups: Dict[Hashable, List[int]] = {}
+    for pid, value in inputs.items():
+        groups.setdefault(value, []).append(pid)
+    return {gid: tuple(sorted(members)) for gid, members in groups.items()}
+
+
+def iter_output_samples(
+    groups: Mapping[Hashable, Tuple[int, ...]],
+    outputs: Mapping[int, Any],
+) -> Iterator[Dict[Hashable, Any]]:
+    """Yield every output sample of the execution.
+
+    A sample picks, for each participating group (one with at least one
+    member that produced an output), the output of one member.  Distinct
+    samples that pick equal outputs are deduplicated, which keeps the
+    enumeration proportional to distinct outputs per group.
+    """
+    participating: List[Tuple[Hashable, List[Any]]] = []
+    for gid in sorted(groups, key=repr):
+        members = groups[gid]
+        member_outputs = [outputs[pid] for pid in members if pid in outputs]
+        if not member_outputs:
+            continue
+        distinct: List[Any] = []
+        for output in member_outputs:
+            if output not in distinct:
+                distinct.append(output)
+        participating.append((gid, distinct))
+    gids = [gid for gid, _ in participating]
+    for combo in itertools.product(*(choices for _, choices in participating)):
+        yield dict(zip(gids, combo))
+
+
+@dataclass
+class GroupCheckResult:
+    """Outcome of a group-solvability check."""
+
+    valid: bool
+    samples_checked: int
+    #: The first failing sample, if any, plus the task's diagnostic.
+    counterexample: Optional[Dict[Hashable, Any]] = None
+    reason: str = ""
+    exhaustive: bool = True
+    notes: List[str] = field(default_factory=list)
+
+
+def check_group_solution(
+    task: Task,
+    inputs: Mapping[int, Hashable],
+    outputs: Mapping[int, Any],
+    max_samples: int = 100_000,
+    rng: Optional[random.Random] = None,
+) -> GroupCheckResult:
+    """Check Definition 3.4 on one finished execution.
+
+    Parameters
+    ----------
+    task:
+        The task whose specification samples must satisfy (with group
+        identifiers playing the role of participant identifiers).
+    inputs:
+        pid -> input value, for every processor that *participated*
+        (took at least one step).  Groups are derived from it.
+    outputs:
+        pid -> output, for the processors that terminated.  Processors
+        that participated but did not terminate constrain nothing
+        (Definition 3.4 quantifies over output samples, which pick
+        outputs of members that produced one).
+    max_samples:
+        Cap on enumerated samples.  Beyond it, the check switches to
+        uniform sampling (``exhaustive=False`` in the result).
+    """
+    groups = groups_from_inputs(inputs)
+    checked = 0
+    sampler = iter_output_samples(groups, outputs)
+    for sample in sampler:
+        if checked >= max_samples:
+            break
+        checked += 1
+        if not task.is_valid(sample):
+            return GroupCheckResult(
+                valid=False,
+                samples_checked=checked,
+                counterexample=sample,
+                reason=task.explain_violation(sample),
+            )
+    else:
+        return GroupCheckResult(valid=True, samples_checked=checked)
+
+    # Enumeration exceeded the cap: fall back to random sampling.
+    rng = rng or random.Random(0)
+    participating = {
+        gid: sorted(
+            {repr(outputs[pid]): outputs[pid] for pid in members if pid in outputs}.values(),
+            key=repr,
+        )
+        for gid, members in groups.items()
+        if any(pid in outputs for pid in members)
+    }
+    for _ in range(max_samples):
+        sample = {gid: rng.choice(choices) for gid, choices in participating.items()}
+        checked += 1
+        if not task.is_valid(sample):
+            return GroupCheckResult(
+                valid=False,
+                samples_checked=checked,
+                counterexample=sample,
+                reason=task.explain_violation(sample),
+                exhaustive=False,
+            )
+    return GroupCheckResult(
+        valid=True,
+        samples_checked=checked,
+        exhaustive=False,
+        notes=["sample space exceeded max_samples; validated by sampling"],
+    )

@@ -1,0 +1,190 @@
+"""Group solvability for long-lived problems (the paper's §7 proposal).
+
+Section 7, on the long-lived snapshot: "in the same vein as for tasks,
+we could define group solvability of long-lived problems by
+interpreting inputs as groups and considering that each invocation by
+the same processor is done by a different logical processor.  We leave
+it to future work to prove that the consensus algorithm below is
+correct if we assume it uses a group solution to long-lived snapshot."
+
+This module implements that definition as an executable check:
+
+- every *invocation* is a logical processor, identified by
+  ``(pid, invocation_index)``;
+- a logical processor's group is its invocation's input value
+  (interpreting inputs as groups, exactly as Definition 3.4 does for
+  single-shot tasks);
+- an execution's long-lived history group-solves the (long-lived)
+  snapshot problem when every *output sample* — one completed
+  invocation's output per participating group — satisfies the
+  snapshot conditions over group identifiers, and additionally each
+  output contains the groups of all inputs its (physical) processor has
+  used so far (the paper's second long-lived guarantee, which is per
+  physical processor and therefore checked outside the sampling).
+
+The test suite uses it to validate the long-lived snapshot's histories
+under group semantics, and to validate the consensus algorithm's
+snapshot usage — the empirical counterpart of the future-work proof the
+paper defers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Hashable, List, Mapping, Optional, Tuple
+
+from repro.tasks.group import GroupCheckResult, iter_output_samples
+
+
+@dataclass(frozen=True)
+class Invocation:
+    """One completed long-lived invocation (a logical processor)."""
+
+    pid: int
+    index: int
+    input: Hashable
+    output: frozenset
+
+    @property
+    def logical_id(self) -> Tuple[int, int]:
+        return (self.pid, self.index)
+
+
+@dataclass
+class LongLivedHistory:
+    """Recorder for long-lived snapshot invocations."""
+
+    invocations: List[Invocation] = field(default_factory=list)
+    #: Inputs used so far per physical processor (including pending).
+    inputs_used: Dict[int, List[Hashable]] = field(default_factory=dict)
+
+    def begin(self, pid: int, input_value: Hashable) -> None:
+        self.inputs_used.setdefault(pid, []).append(input_value)
+
+    def complete(self, pid: int, output: frozenset) -> Invocation:
+        index = len([inv for inv in self.invocations if inv.pid == pid])
+        used = self.inputs_used.get(pid, [])
+        if index >= len(used):
+            raise ValueError(
+                f"completion without a begun invocation for pid {pid}"
+            )
+        invocation = Invocation(
+            pid=pid, index=index, input=used[index], output=frozenset(output)
+        )
+        self.invocations.append(invocation)
+        return invocation
+
+
+def check_long_lived_group_snapshot(
+    history: LongLivedHistory,
+    group_of: Optional[Mapping[Hashable, Hashable]] = None,
+    max_samples: int = 100_000,
+) -> GroupCheckResult:
+    """Check the §7 group-solvability proposal on a recorded history.
+
+    ``group_of`` maps raw input values to group identifiers (identity
+    by default — each distinct input value is its own group, matching
+    Definition 3.4's construction).
+
+    Three conditions:
+
+    1. (per physical processor) each completed invocation's output
+       contains the groups of **all inputs that processor has used up
+       to and including that invocation** — Section 7's second
+       guarantee, lifted to groups;
+    2. outputs mention only participating groups;
+    3. (the sampled condition) treating each invocation as a logical
+       processor of group ``group_of(input)``, every output sample —
+       one output per participating group — is a valid snapshot-task
+       assignment over group identifiers.
+    """
+    def to_group(value: Hashable) -> Hashable:
+        if group_of is None:
+            return value
+        return group_of.get(value, value)
+
+    participating_groups = {
+        to_group(value)
+        for used in history.inputs_used.values()
+        for value in used
+    }
+
+    # Condition 1 + 2 (not sample-dependent).
+    for invocation in history.invocations:
+        used_so_far = history.inputs_used[invocation.pid][: invocation.index + 1]
+        output_groups = {to_group(value) for value in invocation.output}
+        missing = {to_group(value) for value in used_so_far} - output_groups
+        if missing:
+            return GroupCheckResult(
+                valid=False,
+                samples_checked=0,
+                counterexample={invocation.logical_id: invocation.output},
+                reason=(
+                    f"invocation {invocation.logical_id} output misses its"
+                    f" own used groups {sorted(missing, key=repr)!r}"
+                ),
+            )
+        strays = output_groups - participating_groups
+        if strays:
+            return GroupCheckResult(
+                valid=False,
+                samples_checked=0,
+                counterexample={invocation.logical_id: invocation.output},
+                reason=(
+                    f"invocation {invocation.logical_id} output mentions"
+                    f" non-participating groups {sorted(strays, key=repr)!r}"
+                ),
+            )
+
+    # Condition 3: sample one completed invocation per group; each
+    # sample must satisfy self-inclusion and pairwise containment over
+    # group identifiers.  (Membership in *participating* groups was
+    # already checked as condition 2 — note participation means having
+    # begun an invocation, which is weaker than having completed one,
+    # so it cannot be delegated to the sample-domain check.)
+    groups: Dict[Hashable, Tuple[int, ...]] = {}
+    outputs: Dict[int, Any] = {}
+    for logical_index, invocation in enumerate(history.invocations):
+        group = to_group(invocation.input)
+        groups.setdefault(group, ())
+        groups[group] = groups[group] + (logical_index,)
+        outputs[logical_index] = frozenset(
+            to_group(value) for value in invocation.output
+        )
+    checked = 0
+    for sample in iter_output_samples(groups, outputs):
+        checked += 1
+        if checked > max_samples:
+            return GroupCheckResult(
+                valid=True,
+                samples_checked=checked - 1,
+                exhaustive=False,
+                notes=["sample cap reached"],
+            )
+        violation = _sample_violation(sample)
+        if violation is not None:
+            return GroupCheckResult(
+                valid=False,
+                samples_checked=checked,
+                counterexample=sample,
+                reason=violation,
+            )
+    return GroupCheckResult(valid=True, samples_checked=checked)
+
+
+def _sample_violation(sample: Mapping[Hashable, frozenset]) -> Optional[str]:
+    """Self-inclusion + pairwise containment over group identifiers."""
+    for group, output in sample.items():
+        if group not in output:
+            return (
+                f"group {group!r} missing from its sampled output"
+                f" {sorted(output, key=repr)!r}"
+            )
+    chain = sorted(sample.values(), key=len)
+    for small, large in zip(chain, chain[1:]):
+        if not small <= large:
+            return (
+                f"incomparable sampled outputs:"
+                f" {sorted(small, key=repr)!r} vs {sorted(large, key=repr)!r}"
+            )
+    return None

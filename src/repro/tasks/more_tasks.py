@@ -1,0 +1,141 @@
+"""The other classic tasks the paper transfers via group solvability.
+
+Section 3.2: "We can similarly apply the definition to any other classic
+task, e.g. immediate-snapshot, set-consensus, weak symmetry breaking,
+etc."  This module supplies those task definitions so the
+group-solvability machinery (Definition 3.4) applies to them out of the
+box, and so the paper's negative results about them can be exercised:
+
+- :class:`ImmediateSnapshotTask` — snapshot plus *immediacy*
+  (``j ∈ o[i]  ⇒  o[j] ⊆ o[i]``).  Gafni (2004) shows immediate
+  snapshot is **not** wait-free group-solvable for 3 processors; the
+  paper's conclusion transfers this impossibility to the
+  fully-anonymous model.  Experiment E13 exhibits concrete executions
+  of the Figure 3 algorithm whose outputs violate immediacy, confirming
+  that the algorithm solves the snapshot task but not the immediate
+  variant.
+- :class:`SetConsensusTask` — ``k``-set agreement: outputs are inputs
+  of participants and at most ``k`` distinct values are decided.
+- :class:`WeakSymmetryBreakingTask` — with the full set of ``n``
+  processors participating, outputs in ``{0, 1}`` such that not all
+  equal (both values appear); with fewer participants anything goes
+  (the classic WSB formulation for exactly-n executions).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Hashable, Mapping
+
+from repro.tasks.base import Task
+
+
+class ImmediateSnapshotTask(Task):
+    """Snapshot + immediacy.
+
+    Valid when: each participant's output contains itself and only
+    participants; outputs are pairwise containment-related; and
+    whenever ``j`` appears in ``o[i]``, ``o[j] ⊆ o[i]`` (for ``j`` in
+    the assignment's domain).
+    """
+
+    def is_valid(self, assignment: Mapping[Hashable, Any]) -> bool:
+        participants = set(assignment)
+        sets = {pid: frozenset(out) for pid, out in assignment.items()}
+        for pid, out in sets.items():
+            if pid not in out or not out <= participants:
+                return False
+        values = list(sets.values())
+        chain = sorted(values, key=len)
+        if not all(a <= b for a, b in zip(chain, chain[1:])):
+            return False
+        for pid, out in sets.items():
+            for member in out:
+                if member in sets and not sets[member] <= out:
+                    return False
+        return True
+
+    def explain_violation(self, assignment: Mapping[Hashable, Any]) -> str:
+        sets = {pid: frozenset(out) for pid, out in assignment.items()}
+        for pid, out in sets.items():
+            if pid not in out:
+                return f"{pid!r} missing from its own output"
+            for member in out:
+                if member in sets and not sets[member] <= out:
+                    return (
+                        f"immediacy violated: {member!r} ∈ o[{pid!r}] but"
+                        f" o[{member!r}] = {sorted(sets[member], key=repr)!r}"
+                        f" ⊄ o[{pid!r}] = {sorted(out, key=repr)!r}"
+                    )
+        chain = sorted(sets.values(), key=len)
+        for a, b in zip(chain, chain[1:]):
+            if not a <= b:
+                return (
+                    f"containment violated: {sorted(a, key=repr)!r} vs"
+                    f" {sorted(b, key=repr)!r}"
+                )
+        return "assignment is valid"
+
+
+class SetConsensusTask(Task):
+    """``k``-set agreement: at most ``k`` distinct decided values, each
+    the identifier of a participant."""
+
+    def __init__(self, k: int) -> None:
+        if k < 1:
+            raise ValueError("k must be positive")
+        self.k = k
+
+    def is_valid(self, assignment: Mapping[Hashable, Any]) -> bool:
+        if not assignment:
+            return True
+        values = set(assignment.values())
+        if len(values) > self.k:
+            return False
+        return values <= set(assignment)
+
+    def explain_violation(self, assignment: Mapping[Hashable, Any]) -> str:
+        values = set(assignment.values())
+        if len(values) > self.k:
+            return (
+                f"{len(values)} distinct decisions"
+                f" {sorted(values, key=repr)!r} exceed k={self.k}"
+            )
+        strays = values - set(assignment)
+        if strays:
+            return f"non-participant decisions {sorted(strays, key=repr)!r}"
+        return "assignment is valid"
+
+
+class WeakSymmetryBreakingTask(Task):
+    """Weak symmetry breaking for ``n`` processors.
+
+    Outputs are bits; when *all* ``n`` processors participate, not all
+    outputs may be equal.  Executions with fewer participants are
+    unconstrained (the standard formulation).
+    """
+
+    def __init__(self, n_processors: int) -> None:
+        if n_processors < 2:
+            raise ValueError("weak symmetry breaking needs >= 2 processors")
+        self.n_processors = n_processors
+
+    def is_valid(self, assignment: Mapping[Hashable, Any]) -> bool:
+        if any(value not in (0, 1) for value in assignment.values()):
+            return False
+        if len(assignment) < self.n_processors:
+            return True
+        return len(set(assignment.values())) == 2
+
+    def explain_violation(self, assignment: Mapping[Hashable, Any]) -> str:
+        bad = {v for v in assignment.values() if v not in (0, 1)}
+        if bad:
+            return f"non-binary outputs {sorted(bad, key=repr)!r}"
+        if (
+            len(assignment) >= self.n_processors
+            and len(set(assignment.values())) != 2
+        ):
+            return (
+                f"all {len(assignment)} participants output"
+                f" {next(iter(assignment.values()))!r}: symmetry unbroken"
+            )
+        return "assignment is valid"

@@ -1,0 +1,52 @@
+"""The adaptive renaming task (Definition 3.3).
+
+With parameter ``f`` (a function on naturals), each participant outputs
+a *unique* natural number, and if ``n`` participants participate the
+outputs must lie in ``1..f(n)``.  The paper's algorithm achieves
+``f(n) = n(n+1)/2``.
+
+Under group solvability, "unique" is required only across groups:
+processors in the same group may share a name (Section 3.2, renaming
+discussion), and the adaptivity parameter counts participating *groups*.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Hashable, Mapping
+
+from repro.tasks.base import Task
+
+
+def bar_noy_dolev_namespace(n: int) -> int:
+    """The paper's parameter ``f(n) = n(n+1)/2``."""
+    return n * (n + 1) // 2
+
+
+class AdaptiveRenamingTask(Task):
+    """Adaptive renaming with a configurable namespace function."""
+
+    def __init__(self, f: Callable[[int], int] = bar_noy_dolev_namespace) -> None:
+        self._f = f
+
+    def is_valid(self, assignment: Mapping[Hashable, Any]) -> bool:
+        names = list(assignment.values())
+        if len(set(names)) != len(names):
+            return False  # uniqueness
+        bound = self._f(len(assignment))
+        return all(
+            isinstance(name, int) and 1 <= name <= bound for name in names
+        )
+
+    def explain_violation(self, assignment: Mapping[Hashable, Any]) -> str:
+        names = list(assignment.values())
+        if len(set(names)) != len(names):
+            dupes = sorted({name for name in names if names.count(name) > 1})
+            return f"duplicate names across participants: {dupes!r}"
+        bound = self._f(len(assignment))
+        for participant, name in assignment.items():
+            if not isinstance(name, int) or not 1 <= name <= bound:
+                return (
+                    f"participant {participant!r} name {name!r} outside"
+                    f" 1..{bound} (n={len(assignment)})"
+                )
+        return "assignment is valid"

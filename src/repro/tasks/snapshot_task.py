@@ -1,0 +1,56 @@
+"""The snapshot task (Definition 3.2).
+
+Each participant ``i`` outputs a set of participating identifiers
+``o[i]`` such that ``i ∈ o[i]`` and every pair of outputs is related by
+containment.  The task is model-agnostic: it says nothing about memory
+contents, which is exactly the distinction the paper draws between the
+snapshot *task* and *atomic memory snapshots* (footnote 2).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Hashable, Mapping
+
+from repro.core.views import all_comparable
+from repro.tasks.base import Task
+
+
+class SnapshotTask(Task):
+    """The classic snapshot task over arbitrary participant identifiers."""
+
+    def is_valid(self, assignment: Mapping[Hashable, Any]) -> bool:
+        participants = set(assignment)
+        for participant, output in assignment.items():
+            output_set = frozenset(output)
+            if participant not in output_set:
+                return False  # self-inclusion
+            if not output_set <= participants:
+                return False  # outputs mention only participants
+        return all_comparable(assignment.values())
+
+    def explain_violation(self, assignment: Mapping[Hashable, Any]) -> str:
+        participants = set(assignment)
+        for participant, output in assignment.items():
+            output_set = frozenset(output)
+            if participant not in output_set:
+                return (
+                    f"participant {participant!r} missing from its own output"
+                    f" {sorted(output_set, key=repr)!r}"
+                )
+            extras = output_set - participants
+            if extras:
+                return (
+                    f"participant {participant!r} output mentions"
+                    f" non-participants {sorted(extras, key=repr)!r}"
+                )
+        outputs = list(assignment.items())
+        for index, (first, first_out) in enumerate(outputs):
+            for second, second_out in outputs[index + 1 :]:
+                first_set, second_set = frozenset(first_out), frozenset(second_out)
+                if not (first_set <= second_set or second_set <= first_set):
+                    return (
+                        f"outputs of {first!r} and {second!r} are incomparable:"
+                        f" {sorted(first_set, key=repr)!r} vs"
+                        f" {sorted(second_set, key=repr)!r}"
+                    )
+        return "assignment is valid"

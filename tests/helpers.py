@@ -1,0 +1,27 @@
+"""Shared assertion helpers for the test suite."""
+
+from __future__ import annotations
+
+from repro.core.views import all_comparable
+
+
+def assert_snapshot_outputs_valid(inputs, outputs):
+    """Common assertion: snapshot outputs are valid for ``inputs``.
+
+    ``inputs`` maps pid -> input; ``outputs`` maps pid -> view.  Checks
+    self-inclusion, validity (outputs mention only participants'
+    inputs), and pairwise containment — the stronger guarantee the
+    paper's algorithm provides (Section 5.3.2).
+    """
+    all_inputs = set(inputs.values())
+    for pid, output in outputs.items():
+        assert inputs[pid] in output, (
+            f"pid {pid} output {sorted(output)} misses own input {inputs[pid]}"
+        )
+        assert set(output) <= all_inputs, (
+            f"pid {pid} output {sorted(output)} mentions non-inputs"
+        )
+    assert all_comparable(outputs.values()), (
+        f"outputs not containment-related: "
+        f"{ {pid: sorted(view) for pid, view in outputs.items()} }"
+    )

@@ -1,0 +1,100 @@
+"""Tests for the high-level convenience API (`repro.api`)."""
+
+import pytest
+
+from repro.api import (
+    build_runner,
+    run_consensus,
+    run_renaming,
+    run_snapshot,
+    run_write_scan,
+)
+from repro.core import SnapshotMachine
+from repro.memory.wiring import WiringAssignment
+from repro.sim import RoundRobinScheduler
+
+
+class TestBuildRunner:
+    def test_seed_none_requires_explicit_wiring_and_scheduler(self):
+        machine = SnapshotMachine(2)
+        with pytest.raises(ValueError):
+            build_runner(machine, [1, 2], seed=None)
+        runner = build_runner(
+            machine, [1, 2], seed=None,
+            wiring=WiringAssignment.identity(2, 2),
+            scheduler=RoundRobinScheduler(),
+        )
+        assert runner.memory.n_processors == 2
+
+    def test_register_count_from_machine(self):
+        machine = SnapshotMachine(3, n_registers=5)
+        runner = build_runner(machine, [1, 2, 3], seed=0)
+        assert runner.memory.n_registers == 5
+
+    def test_explicit_wiring_respected(self):
+        machine = SnapshotMachine(2)
+        wiring = WiringAssignment.identity(2, 2)
+        runner = build_runner(machine, [1, 2], seed=4, wiring=wiring)
+        assert runner.memory.wiring == wiring
+
+    def test_processes_carry_inputs_in_order(self):
+        machine = SnapshotMachine(3)
+        runner = build_runner(machine, ["x", "y", "z"], seed=0)
+        assert [p.my_input for p in runner.processes] == ["x", "y", "z"]
+
+
+class TestRunHelpers:
+    def test_run_snapshot_defaults(self):
+        result = run_snapshot([1, 2, 3])
+        assert result.all_terminated
+        assert set(result.outputs) == {0, 1, 2}
+
+    def test_run_snapshot_level_target(self):
+        result = run_snapshot([1, 2, 3], seed=1, level_target=2)
+        assert result.all_terminated
+
+    def test_run_snapshot_register_override(self):
+        result = run_snapshot([1, 2], seed=1, n_registers=5)
+        assert result.all_terminated
+        assert result.trace.writes()[0].physical_index < 5
+
+    def test_run_renaming(self):
+        result = run_renaming(["a", "b"], seed=2)
+        assert set(result.outputs.values()) <= {1, 2, 3}
+
+    def test_run_consensus(self):
+        result = run_consensus(["x", "x"], seed=3)
+        assert set(result.outputs.values()) == {"x"}
+
+    def test_run_write_scan_step_budget(self):
+        result = run_write_scan([1, 2], steps=57, seed=0)
+        assert result.steps == 57
+        assert not result.all_terminated  # the loop never terminates
+
+    def test_run_write_scan_lasso(self):
+        from repro.sim import PeriodicScheduler
+
+        result = run_write_scan(
+            [1, 2], steps=100_000, seed=None,
+            wiring=WiringAssignment.identity(2, 2),
+            scheduler=PeriodicScheduler([0, 1]),
+            detect_lasso=True,
+        )
+        assert result.lasso is not None
+
+    def test_reproducibility_across_helpers(self):
+        for helper, args in [
+            (run_snapshot, ([1, 2, 3],)),
+            (run_renaming, (["a", "b", "a"],)),
+            (run_consensus, (["x", "y"],)),
+        ]:
+            first = helper(*args, seed=99)
+            second = helper(*args, seed=99)
+            assert first.outputs == second.outputs
+            assert first.schedule == second.schedule
+
+    def test_inputs_of_any_hashable_type(self):
+        result = run_snapshot([("tuple", 1), "string", 42], seed=5)
+        assert result.all_terminated
+        for pid, view in result.outputs.items():
+            assert [("tuple", 1), "string", 42][pid] in view

@@ -1,0 +1,272 @@
+"""Claim-B tests: the snapshot task vs atomic memory snapshots (§8).
+
+The paper reports that TLC found, for 3 processors, executions whose
+output never matched the memory contents.  Our reproduction, under the
+union-of-register-views formalization, finds the opposite for the
+whole-execution reading — and the investigation machinery itself is
+under test here:
+
+- for N=2 the exhaustive history-augmented search proves every output
+  always matched some earlier memory union;
+- for N=3 the sound abstraction of :mod:`repro.checker.claim_b`
+  exhausts the entire candidate region with no counterexample
+  (the benchmark E5 sweeps all wirings; the test covers representative
+  ones);
+- the *linearizability* form of the claim is true: the constructive
+  execution of :mod:`repro.sim.non_linearizable` outputs ``{1,2}``
+  while the memory union is ``{1,2,3}`` at every instant of the final
+  scan, and the tests re-verify it against the recorded trace.
+"""
+
+import random
+
+import pytest
+
+from repro.checker import SystemSpec
+from repro.checker.atomicity import (
+    dfs_non_atomic_search,
+    extend_avoiding_union,
+    find_non_atomic_execution,
+    memory_union,
+    random_walk_non_atomic_search,
+)
+from repro.checker.claim_b import exhaustive_claim_b_search
+from repro.core import SnapshotMachine
+from repro.core.views import RegisterRecord
+from repro.memory.wiring import WiringAssignment, enumerate_wiring_assignments
+from repro.sim.non_linearizable import build_non_linearizable_scan_demo
+
+
+class TestMemoryUnion:
+    def test_empty_memory(self):
+        spec = SystemSpec(
+            SnapshotMachine(2), [1, 2], WiringAssignment.identity(2, 2)
+        )
+        assert memory_union(spec.initial_state()) == frozenset()
+
+    def test_union_of_record_views(self):
+        from repro.checker.system import GlobalState
+
+        state = GlobalState(
+            registers=(
+                RegisterRecord(frozenset({1}), 0),
+                RegisterRecord(frozenset({2, 3}), 1),
+            ),
+            locals=(),
+        )
+        assert memory_union(state) == frozenset({1, 2, 3})
+
+
+class TestExhaustiveSearchN2:
+    """For two processors the question is settled exhaustively per
+    wiring: every output matched a previous union."""
+
+    @pytest.mark.parametrize(
+        "wiring", list(enumerate_wiring_assignments(2, 2)),
+        ids=lambda w: str(w.permutations()),
+    )
+    def test_no_counterexample_for_two_processors(self, wiring):
+        spec = SystemSpec(SnapshotMachine(2), [1, 2], wiring)
+        counterexample, states, complete = find_non_atomic_execution(spec)
+        assert complete
+        assert counterexample is None
+        assert states > 0
+
+
+class TestSearchToolsN3:
+    """The bounded searches are falsification attempts; on this system
+    they must come back empty (consistent with the exhaustive
+    abstraction result), and they must do so without crashing."""
+
+    def test_bfs_budgeted_finds_nothing(self):
+        wiring = WiringAssignment.identity(3, 3)
+        spec = SystemSpec(SnapshotMachine(3), [1, 2, 3], wiring)
+        counterexample, states, complete = find_non_atomic_execution(
+            spec, max_states=50_000
+        )
+        assert counterexample is None
+        assert not complete  # the budget is hit, honestly reported
+
+    def test_dfs_budgeted_finds_nothing(self):
+        wiring = WiringAssignment.identity(3, 3)
+        spec = SystemSpec(SnapshotMachine(3), [1, 2, 3], wiring)
+        counterexample, visited = dfs_non_atomic_search(
+            spec, max_visited=50_000, rng=random.Random(1)
+        )
+        assert counterexample is None
+        assert visited >= 50_000
+
+    def test_random_walks_find_nothing(self):
+        rng = random.Random(0)
+        wiring = WiringAssignment.random(3, 3, rng)
+        spec = SystemSpec(SnapshotMachine(3), [1, 2, 3], wiring)
+        assert random_walk_non_atomic_search(
+            spec, rng, walks=50, max_steps=400
+        ) is None
+
+
+class TestClaimBAbstraction:
+    def test_identity_wiring_region_exhausted(self):
+        """The abstracted candidate region is finite and contains no
+        witness termination — for this wiring, no execution outputs
+        {1,2} while the union avoids {1,2} throughout."""
+        result = exhaustive_claim_b_search(
+            ((0, 1, 2), (0, 1, 2), (0, 1, 2))
+        )
+        assert result.exhausted
+        assert not result.found
+        assert result.states > 1_000_000  # the region is genuinely large
+
+    def test_footnote4_variant_also_clear(self):
+        """The level-(N-1) termination variant has the same outcome."""
+        result = exhaustive_claim_b_search(
+            ((0, 1, 2), (0, 1, 2), (0, 1, 2)), level_target=2
+        )
+        assert result.exhausted
+        assert not result.found
+
+    def test_budget_reported_honestly(self):
+        result = exhaustive_claim_b_search(
+            ((0, 1, 2), (0, 1, 2), (0, 1, 2)), max_visited=1_000
+        )
+        assert not result.exhausted
+        assert not result.found
+
+
+class TestNonLinearizableScan:
+    @pytest.fixture(scope="class")
+    def demo(self):
+        return build_non_linearizable_scan_demo()
+
+    def test_witness_outputs_w(self, demo):
+        assert demo.output == frozenset({1, 2})
+
+    def test_union_never_matches_during_final_scan(self, demo):
+        assert demo.never_matches
+        assert all(
+            union == frozenset({1, 2, 3})
+            for union in demo.unions_during_final_scan
+        )
+
+    def test_trace_reverification(self, demo):
+        """Independent check against the recorded trace: reconstruct the
+        memory at every event of B's final scan and recompute unions."""
+        trace = demo.runner.memory.trace
+        history = trace.memory_history(
+            3, initial_value=RegisterRecord()
+        )
+        # Find B's final-scan reads: the last three reads by pid 1.
+        read_times = [
+            event.time
+            for event in trace.reads()
+            if event.pid == 1
+        ][-3:]
+        start, end = read_times[0], read_times[-1]
+        for t in range(start, end + 2):
+            union = frozenset()
+            for record in history[t]:
+                union |= record.view
+            assert union != demo.output, f"union matched at time {t}"
+
+    def test_all_processors_validity_unaffected(self, demo):
+        """The construction does not break the snapshot task itself: if
+        the remaining processors run to completion, outputs stay
+        containment-related."""
+        from repro.core.views import all_comparable
+
+        runner = demo.runner
+        for _ in range(100_000):
+            enabled = runner.enabled_pids()
+            if not enabled:
+                break
+            runner.step_process(enabled[0])
+        result = runner.result()
+        assert result.all_terminated
+        assert all_comparable(result.outputs.values())
+
+
+class TestAdditionalSearchStrategies:
+    """The documented search arsenal: pattern-scheduled walks and
+    best-first with level-progress priority.  On this system all must
+    come back empty (the exhaustive abstraction settles the question);
+    these tests pin their mechanics and honesty."""
+
+    def test_pattern_walks_find_nothing(self):
+        import random as random_module
+
+        rng = random_module.Random(5)
+        wiring = WiringAssignment.identity(3, 3)
+        spec = SystemSpec(SnapshotMachine(3), [1, 2, 3], wiring)
+        from repro.checker.atomicity import pattern_walk_non_atomic_search
+
+        assert pattern_walk_non_atomic_search(
+            spec, rng, walks=30, max_steps=600
+        ) is None
+
+    def test_pattern_walks_reach_terminations(self):
+        """Sanity: the pattern walks do reach termination events (the
+        searches would be vacuous otherwise)."""
+        import random as random_module
+
+        rng = random_module.Random(1)
+        wiring = WiringAssignment.identity(2, 2)
+        spec = SystemSpec(SnapshotMachine(2), [1, 2], wiring)
+        # Drive one pattern walk manually and count terminations.
+        state = spec.initial_state()
+        pattern = [0, 1]
+        cursor = 0
+        terminated = set()
+        for _ in range(400):
+            pid = pattern[cursor % 2]
+            cursor += 1
+            ops = spec.machine.enabled_ops(state.locals[pid])
+            if not ops:
+                continue
+            _, state = spec.apply(state, pid, ops[0])
+            if spec.terminated(state, pid):
+                terminated.add(pid)
+        assert terminated == {0, 1}
+
+    def test_best_first_finds_nothing_and_reports_budget(self):
+        from repro.checker.atomicity import best_first_non_atomic_search
+
+        wiring = WiringAssignment.identity(3, 3)
+        spec = SystemSpec(SnapshotMachine(3), [1, 2, 3], wiring)
+        counterexample, visited = best_first_non_atomic_search(
+            spec, max_visited=30_000
+        )
+        assert counterexample is None
+        assert visited >= 30_000
+
+    def test_best_first_exhausts_n2(self):
+        from repro.checker.atomicity import best_first_non_atomic_search
+
+        wiring = WiringAssignment.identity(2, 2)
+        spec = SystemSpec(SnapshotMachine(2), [1, 2], wiring)
+        counterexample, visited = best_first_non_atomic_search(
+            spec, max_visited=1_000_000
+        )
+        assert counterexample is None
+        assert visited < 1_000_000  # drained the whole augmented space
+
+
+class TestExtendAvoidingUnion:
+    def test_extension_of_synthetic_prefix(self):
+        """`extend_avoiding_union` completes a prefix to quiescence while
+        dodging a forbidden union (exercised on a harmless target)."""
+        from repro.checker.atomicity import AtomicityCounterexample
+
+        wiring = WiringAssignment.identity(2, 2)
+        spec = SystemSpec(SnapshotMachine(2), [1, 2], wiring)
+        fake = AtomicityCounterexample(
+            pid=0,
+            output=frozenset({9}),  # never a real union: trivially avoided
+            actions=[],
+            unions_seen=frozenset(),
+        )
+        actions = extend_avoiding_union(spec, fake)
+        assert actions is not None
+        state = spec.initial_state()
+        for action in actions:
+            _, state = spec.apply(state, action.pid, action.op)
+        assert spec.all_terminated(state)

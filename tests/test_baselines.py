@@ -1,0 +1,201 @@
+"""Tests for the related-work baselines and where each one breaks."""
+
+import random
+
+import pytest
+
+from repro.baselines import (
+    NaiveDoubleCollectMachine,
+    afek_style_snapshot_process,
+    gr_snapshot_process,
+    lock_free_snapshot_process,
+    weak_counter_process,
+)
+from repro.baselines.double_collect import SWMRRecord
+from repro.core.views import all_comparable
+from repro.memory import AnonymousMemory, WiringAssignment
+from repro.sim import (
+    GeneratorProcess,
+    MachineProcess,
+    RandomScheduler,
+    RoundRobinScheduler,
+    Runner,
+)
+from repro.sim.machine import RandomPolicy
+
+
+def run_generator_snapshot(factory, n, seed, wiring=None):
+    rng = random.Random(seed)
+    wiring = wiring or WiringAssignment.identity(n, n)
+    memory = AnonymousMemory(wiring, None)
+    processes = [
+        GeneratorProcess(pid, factory(n, pid, pid + 1), pid + 1)
+        for pid in range(n)
+    ]
+    runner = Runner(memory, processes, RandomScheduler(rng))
+    return runner.run(500_000)
+
+
+class TestLockFreeDoubleCollect:
+    @pytest.mark.parametrize("seed", range(10))
+    def test_valid_snapshot_under_random_schedules(self, seed):
+        result = run_generator_snapshot(lock_free_snapshot_process, 4, seed)
+        assert result.all_terminated
+        assert all_comparable(result.outputs.values())
+        for pid, output in result.outputs.items():
+            assert (pid + 1) in output
+
+    def test_contains_only_inputs(self):
+        result = run_generator_snapshot(lock_free_snapshot_process, 3, 3)
+        for output in result.outputs.values():
+            assert output <= {1, 2, 3}
+
+
+class TestAfekStyleSnapshot:
+    @pytest.mark.parametrize("seed", range(10))
+    def test_valid_snapshot_under_random_schedules(self, seed):
+        result = run_generator_snapshot(afek_style_snapshot_process, 4, seed)
+        assert result.all_terminated
+        assert all_comparable(result.outputs.values())
+        for pid, output in result.outputs.items():
+            assert (pid + 1) in output
+
+    def test_embedded_scan_published(self):
+        result = run_generator_snapshot(afek_style_snapshot_process, 3, 1)
+        final_writes = {}
+        for event in result.trace.writes():
+            final_writes[event.physical_index] = event.value
+        assert any(
+            isinstance(record, SWMRRecord) and record.embedded_scan
+            for record in final_writes.values()
+        )
+
+    def test_borrowing_bounds_collects(self):
+        """Wait-freedom proxy: the scanner performs O(N) collects even
+        under heavy interference (round-robin keeps writers moving)."""
+        n = 4
+        memory = AnonymousMemory(WiringAssignment.identity(n, n), None)
+        processes = [
+            GeneratorProcess(pid, afek_style_snapshot_process(n, pid, pid + 1))
+            for pid in range(n)
+        ]
+        runner = Runner(memory, processes, RoundRobinScheduler())
+        result = runner.run(200_000)
+        assert result.all_terminated
+        steps = result.trace.step_counts()
+        assert max(steps.values()) <= 6 * n * n  # generous O(N^2) ceiling
+
+
+class TestWeakCounter:
+    def test_tickets_distinct_with_named_memory(self):
+        """Sequential processes get strictly increasing tickets."""
+        memory = AnonymousMemory(WiringAssignment.identity(3, 8), 0)
+        tickets = []
+        for pid in range(3):
+            process = GeneratorProcess(pid, weak_counter_process(8))
+            runner_like = process
+            while runner_like.status.value == "running":
+                op = runner_like.next_op()
+                from repro.sim.ops import Read
+
+                if isinstance(op, Read):
+                    runner_like.apply(op, memory.read(pid, op.reg))
+                else:
+                    memory.write(pid, op.reg, op.value)
+                    runner_like.apply(op, None)
+            tickets.append(process.output)
+        assert tickets == [0, 1, 2]
+
+    def test_counter_exhaustion_returns_sentinel(self):
+        from repro.baselines import WEAK_COUNTER_FAILED
+        from repro.sim.ops import Read
+
+        memory = AnonymousMemory(WiringAssignment.identity(1, 2), 1)  # all bits set
+        process = GeneratorProcess(0, weak_counter_process(2))
+        while process.status.value == "running":
+            op = process.next_op()
+            if isinstance(op, Read):
+                process.apply(op, memory.read(0, op.reg))
+            else:
+                memory.write(0, op.reg, op.value)
+                process.apply(op, None)
+        assert process.output == WEAK_COUNTER_FAILED
+
+    def test_anonymous_memory_breaks_the_race(self):
+        """The paper's Section 1 point: with anonymous memory there is
+        no common register order, so two processors can grab the same
+        ticket — the Guerraoui–Ruppert gadget is not transplantable."""
+        from repro.sim.ops import Read
+
+        # Two processors whose bit-array orders are reversed.
+        wiring = WiringAssignment.from_permutations([(0, 1), (1, 0)])
+        memory = AnonymousMemory(wiring, 0)
+        processes = [
+            GeneratorProcess(pid, weak_counter_process(2)) for pid in range(2)
+        ]
+        # Interleave: both read their "first" bit (different physical
+        # registers, both 0), then both write.
+        for process in processes:
+            op = process.next_op()
+            assert isinstance(op, Read)
+            process.apply(op, memory.read(process.pid, op.reg))
+        for process in processes:
+            op = process.next_op()
+            memory.write(process.pid, op.reg, op.value)
+            process.apply(op, None)
+        tickets = [process.output for process in processes]
+        assert tickets == [0, 0], "both grabbed the same ticket"
+
+
+class TestGRSnapshot:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_valid_with_named_memory(self, seed):
+        n, bits = 3, 64
+        rng = random.Random(seed)
+        memory = AnonymousMemory(WiringAssignment.identity(n, n + bits), 0)
+        processes = [
+            GeneratorProcess(pid, gr_snapshot_process(n, bits, pid, pid + 1))
+            for pid in range(n)
+        ]
+        runner = Runner(memory, processes, RandomScheduler(rng))
+        result = runner.run(500_000)
+        assert result.all_terminated
+        assert all_comparable(result.outputs.values())
+        for pid, output in result.outputs.items():
+            assert (pid + 1) in output
+
+
+class TestNaiveDoubleCollectMachine:
+    def test_terminates_under_benign_schedules(self):
+        rng = random.Random(0)
+        machine = NaiveDoubleCollectMachine(3)
+        wiring = WiringAssignment.random(3, 3, rng)
+        memory = AnonymousMemory(wiring, machine.register_initial_value())
+        processes = [
+            MachineProcess(pid, machine, pid + 1, RandomPolicy(rng))
+            for pid in range(3)
+        ]
+        result = Runner(memory, processes, RandomScheduler(rng)).run(200_000)
+        assert result.all_terminated
+        for pid, output in result.outputs.items():
+            assert (pid + 1) in output
+
+    def test_cheaper_than_level_based_snapshot(self):
+        """The unsound rule is cheap — that is its appeal, and why the
+        E10 comparison includes it."""
+        from repro.api import run_snapshot
+        from repro.analysis import collect_statistics
+
+        rng = random.Random(1)
+        machine = NaiveDoubleCollectMachine(4)
+        wiring = WiringAssignment.random(4, 4, rng)
+        memory = AnonymousMemory(wiring, machine.register_initial_value())
+        processes = [
+            MachineProcess(pid, machine, pid + 1, RandomPolicy(rng))
+            for pid in range(4)
+        ]
+        naive = Runner(memory, processes, RandomScheduler(rng)).run(200_000)
+        sound = run_snapshot([1, 2, 3, 4], seed=1)
+        naive_steps = collect_statistics(naive.trace).total_steps
+        sound_steps = collect_statistics(sound.trace).total_steps
+        assert naive_steps < sound_steps

@@ -1,0 +1,201 @@
+"""Unit tests for the invariant callbacks in `checker.properties`."""
+
+import pytest
+
+from repro.checker.properties import (
+    SNAPSHOT_SAFETY,
+    consensus_agreement_and_validity,
+    levels_within_bounds,
+    register_views_are_inputs,
+    renaming_names_valid,
+    snapshot_outputs_comparable,
+    snapshot_outputs_valid,
+    views_contain_own_input,
+)
+from repro.checker.system import GlobalState, SystemSpec
+from repro.core import ConsensusMachine, RenamingMachine, SnapshotMachine
+from repro.core.snapshot import PHASE_DONE, SnapshotState
+from repro.core.views import RegisterRecord
+from repro.memory.wiring import WiringAssignment
+
+
+def snapshot_spec(n=2):
+    return SystemSpec(
+        SnapshotMachine(n), list(range(1, n + 1)),
+        WiringAssignment.identity(n, n),
+    )
+
+
+def done_state(view, level=2):
+    return SnapshotState(
+        view=frozenset(view), level=level, unwritten=frozenset(),
+        phase=PHASE_DONE,
+    )
+
+
+def running_state(view):
+    return SnapshotState(view=frozenset(view), unwritten=frozenset({0, 1}))
+
+
+def gs(registers, locals_):
+    return GlobalState(registers=tuple(registers), locals=tuple(locals_))
+
+
+class TestSnapshotInvariants:
+    def test_initial_state_satisfies_all(self):
+        spec = snapshot_spec()
+        state = spec.initial_state()
+        for invariant in SNAPSHOT_SAFETY:
+            assert invariant(spec, state) is None
+
+    def test_comparable_flags_incomparable_outputs(self):
+        spec = snapshot_spec()
+        state = gs(
+            [RegisterRecord()] * 2,
+            [done_state({1}), done_state({2})],
+        )
+        message = snapshot_outputs_comparable(spec, state)
+        assert message is not None and "incomparable" in message
+
+    def test_comparable_accepts_single_output(self):
+        spec = snapshot_spec()
+        state = gs(
+            [RegisterRecord()] * 2,
+            [done_state({1}), running_state({2})],
+        )
+        assert snapshot_outputs_comparable(spec, state) is None
+
+    def test_valid_flags_missing_own_input(self):
+        spec = snapshot_spec()
+        state = gs(
+            [RegisterRecord()] * 2,
+            [done_state({2}), running_state({2})],
+        )
+        message = snapshot_outputs_valid(spec, state)
+        assert message is not None and "own input" in message
+
+    def test_valid_flags_foreign_values(self):
+        spec = snapshot_spec()
+        state = gs(
+            [RegisterRecord()] * 2,
+            [done_state({1, 99}), running_state({2})],
+        )
+        message = snapshot_outputs_valid(spec, state)
+        assert message is not None and "non-input" in message
+
+    def test_views_contain_own_input_flags_loss(self):
+        spec = snapshot_spec()
+        state = gs(
+            [RegisterRecord()] * 2,
+            [running_state({2}), running_state({2})],
+        )
+        assert views_contain_own_input(spec, state) is not None
+
+    def test_levels_within_bounds_flags_overflow(self):
+        spec = snapshot_spec()
+        bad = SnapshotState(
+            view=frozenset({1}), level=99, unwritten=frozenset({0, 1})
+        )
+        state = gs([RegisterRecord()] * 2, [bad, running_state({2})])
+        message = levels_within_bounds(spec, state)
+        assert message is not None and "99" in message
+
+    def test_levels_checks_registers_too(self):
+        spec = snapshot_spec()
+        state = gs(
+            [RegisterRecord(frozenset({1}), 42), RegisterRecord()],
+            [running_state({1}), running_state({2})],
+        )
+        assert levels_within_bounds(spec, state) is not None
+
+    def test_register_views_are_inputs_flags_strays(self):
+        spec = snapshot_spec()
+        state = gs(
+            [RegisterRecord(frozenset({7}), 0), RegisterRecord()],
+            [running_state({1}), running_state({2})],
+        )
+        assert register_views_are_inputs(spec, state) is not None
+
+
+class TestConsensusInvariant:
+    def spec(self):
+        return SystemSpec(
+            ConsensusMachine(2), ["x", "y"], WiringAssignment.identity(2, 2)
+        )
+
+    def test_initial_ok(self):
+        spec = self.spec()
+        assert consensus_agreement_and_validity(
+            spec, spec.initial_state()
+        ) is None
+
+    def test_disagreement_flagged(self):
+        from repro.core.consensus import ConsensusState
+
+        spec = self.spec()
+        inner = spec.machine.snapshot_machine.initial_state("ignored")
+        locals_ = (
+            ConsensusState(inner=inner, preference="x", timestamp=0,
+                           decision="x"),
+            ConsensusState(inner=inner, preference="y", timestamp=0,
+                           decision="y"),
+        )
+        state = gs([RegisterRecord()] * 2, locals_)
+        message = consensus_agreement_and_validity(spec, state)
+        assert message is not None and "disagreement" in message
+
+    def test_unproposed_value_flagged(self):
+        from repro.core.consensus import ConsensusState
+
+        spec = self.spec()
+        inner = spec.machine.snapshot_machine.initial_state("ignored")
+        locals_ = (
+            ConsensusState(inner=inner, preference="z", timestamp=0,
+                           decision="z"),
+            ConsensusState(inner=inner, preference="y", timestamp=0),
+        )
+        state = gs([RegisterRecord()] * 2, locals_)
+        message = consensus_agreement_and_validity(spec, state)
+        assert message is not None and "never proposed" in message
+
+
+class TestRenamingInvariant:
+    def spec(self, inputs=("a", "b")):
+        return SystemSpec(
+            RenamingMachine(2), list(inputs), WiringAssignment.identity(2, 2)
+        )
+
+    def renaming_state(self, my_id, name):
+        from repro.core.renaming import RenamingState
+
+        inner = SnapshotState(
+            view=frozenset({my_id}), level=2, unwritten=frozenset(),
+            phase=PHASE_DONE,
+        )
+        return RenamingState(inner=inner, my_id=my_id, name=name)
+
+    def test_cross_group_collision_flagged(self):
+        spec = self.spec()
+        state = gs(
+            [RegisterRecord()] * 2,
+            [self.renaming_state("a", 2), self.renaming_state("b", 2)],
+        )
+        message = renaming_names_valid(spec, state)
+        assert message is not None and "share" in message
+
+    def test_same_group_sharing_allowed(self):
+        spec = self.spec(("g", "g"))
+        state = gs(
+            [RegisterRecord()] * 2,
+            [self.renaming_state("g", 1), self.renaming_state("g", 1)],
+        )
+        assert renaming_names_valid(spec, state) is None
+
+    def test_out_of_range_name_flagged(self):
+        spec = self.spec()
+        state = gs(
+            [RegisterRecord()] * 2,
+            [self.renaming_state("a", 99), self.renaming_state("b", 1)],
+        )
+        message = renaming_names_valid(spec, state)
+        assert message is not None and "outside" in message

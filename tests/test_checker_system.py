@@ -1,0 +1,123 @@
+"""Tests for the global transition system and its simulator conformance."""
+
+import random
+
+import pytest
+
+from repro.api import build_runner
+from repro.checker import SystemSpec
+from repro.checker.system import GlobalState
+from repro.core import SnapshotMachine, WriteScanMachine
+from repro.memory.wiring import WiringAssignment
+from repro.sim.ops import Read, Write
+
+
+class TestBasics:
+    def test_initial_state(self):
+        machine = SnapshotMachine(2)
+        spec = SystemSpec(machine, [1, 2], WiringAssignment.identity(2, 2))
+        state = spec.initial_state()
+        assert state.registers == (machine.register_initial_value(),) * 2
+        assert [local.view for local in state.locals] == [
+            frozenset({1}), frozenset({2})
+        ]
+
+    def test_input_count_must_match_wiring(self):
+        with pytest.raises(ValueError):
+            SystemSpec(
+                SnapshotMachine(2), [1, 2, 3], WiringAssignment.identity(2, 2)
+            )
+
+    def test_successor_count_initial(self):
+        """Initially each processor can write any of the registers."""
+        spec = SystemSpec(
+            SnapshotMachine(2), [1, 2], WiringAssignment.identity(2, 2)
+        )
+        successors = list(spec.successors(spec.initial_state()))
+        assert len(successors) == 4  # 2 processors x 2 register choices
+
+    def test_actions_carry_physical_index(self):
+        from repro.memory.wiring import Wiring
+
+        wiring = WiringAssignment([Wiring.identity(2), Wiring.rotation(2, 1)])
+        spec = SystemSpec(SnapshotMachine(2), [1, 2], wiring)
+        for action, _ in spec.successors(spec.initial_state()):
+            assert action.physical == wiring[action.pid].to_physical(action.op.reg)
+
+    def test_write_updates_register(self):
+        spec = SystemSpec(
+            SnapshotMachine(2), [1, 2], WiringAssignment.identity(2, 2)
+        )
+        state = spec.initial_state()
+        action, successor = spec.apply(state, 0, Write(1, "record"))
+        assert successor.registers[1] == "record"
+        assert successor.registers[0] == state.registers[0]
+
+    def test_read_leaves_registers_untouched(self):
+        machine = SnapshotMachine(2)
+        spec = SystemSpec(machine, [1, 2], WiringAssignment.identity(2, 2))
+        state = spec.initial_state()
+        # Put p0 into scanning first.
+        _, state = spec.apply(state, 0, machine.enabled_ops(state.locals[0])[0])
+        _, successor = spec.apply(state, 0, Read(0))
+        assert successor.registers == state.registers
+
+    def test_outputs_and_termination_queries(self):
+        spec = SystemSpec(
+            SnapshotMachine(1, n_registers=1), [1], WiringAssignment.identity(1, 1)
+        )
+        state = spec.initial_state()
+        assert spec.outputs(state) == {}
+        assert not spec.all_terminated(state)
+        # One processor, one register: solo climb to level 1.
+        for _ in range(100):
+            successors = list(spec.successors(state))
+            if not successors:
+                break
+            state = successors[0][1]
+        assert spec.all_terminated(state)
+        assert spec.outputs(state) == {0: frozenset({1})}
+
+
+class TestSimulatorConformance:
+    """The spec and the runner must agree step for step — they share the
+    machine code, so divergence would mean the wiring or result plumbing
+    differs."""
+
+    @pytest.mark.parametrize("seed", range(10))
+    def test_same_schedule_same_outcome(self, seed):
+        rng = random.Random(seed)
+        n = 3
+        machine = SnapshotMachine(n)
+        wiring = WiringAssignment.random(n, n, rng)
+
+        runner = build_runner(machine, [1, 2, 3], seed=seed, wiring=wiring)
+        result = runner.run(200_000)
+        assert result.all_terminated
+
+        # Replay through the spec: follow the recorded schedule, always
+        # choosing the op the runner's policy chose (recover it from the
+        # trace events).
+        spec = SystemSpec(machine, [1, 2, 3], wiring)
+        state = spec.initial_state()
+        events = [e for e in result.trace if hasattr(e, "local_index")]
+        for event in events:
+            from repro.memory.trace import WriteEvent
+
+            if isinstance(event, WriteEvent):
+                op = Write(event.local_index, event.value)
+            else:
+                op = Read(event.local_index)
+            _, state = spec.apply(state, event.pid, op)
+        assert spec.outputs(state) == result.outputs
+        assert state.registers == runner.memory.snapshot()
+
+    def test_write_scan_spec_never_terminates(self):
+        machine = WriteScanMachine(2)
+        spec = SystemSpec(machine, [1, 2], WiringAssignment.identity(2, 2))
+        state = spec.initial_state()
+        for _ in range(500):
+            successors = list(spec.successors(state))
+            assert successors
+            state = successors[0][1]
+        assert spec.outputs(state) == {}

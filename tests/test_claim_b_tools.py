@@ -1,0 +1,106 @@
+"""Tests for the claim-B tooling internals (`checker.claim_b` and the
+fast atomicity search)."""
+
+import pytest
+
+from repro.checker.claim_b import (
+    ClaimBResult,
+    exhaustive_claim_b_search,
+    sweep_all_wirings,
+)
+from repro.checker.fast_snapshot import (
+    FastAtomicitySearch,
+    FastSnapshotSpec,
+    replay_fast_hit,
+)
+
+
+class TestClaimBSearchInterface:
+    def test_wirings_normalized_to_tuples(self):
+        result = exhaustive_claim_b_search(
+            [[0, 1, 2], [0, 1, 2], [0, 1, 2]], max_visited=100
+        )
+        assert result.wiring == ((0, 1, 2), (0, 1, 2), (0, 1, 2))
+
+    def test_budget_honesty(self):
+        result = exhaustive_claim_b_search(
+            ((0, 1, 2), (0, 1, 2), (0, 1, 2)), max_visited=500
+        )
+        assert isinstance(result, ClaimBResult)
+        assert not result.exhausted
+        assert not result.found
+        assert result.states >= 500
+
+    def test_sweep_covers_all_36_wirings(self):
+        results = sweep_all_wirings(max_visited=200)
+        assert len(results) == 36
+        wirings = {r.wiring for r in results}
+        assert len(wirings) == 36
+        assert all(w[0] == (0, 1, 2) for w in wirings)
+
+    def test_no_witness_found_anywhere_quick(self):
+        """Smoke version of the E5b sweep: none of the tiny-budget
+        searches may *find* a witness (a found witness would be a real
+        counterexample and a soundness bug somewhere)."""
+        for result in sweep_all_wirings(max_visited=2_000):
+            assert not result.found
+
+
+class TestFastAtomicitySearch:
+    def test_union_mask(self):
+        spec = FastSnapshotSpec([1, 2, 3], [(0, 1, 2)] * 3)
+        search = FastAtomicitySearch(spec)
+        assert search.memory_union_mask(spec.initial_state()) == 0
+
+    def test_successors_with_actions_tags_writes(self):
+        spec = FastSnapshotSpec([1, 2], [(0, 1)] * 2)
+        search = FastAtomicitySearch(spec)
+        successors = search.successors_with_actions(spec.initial_state())
+        # Initially both processors have two write choices each.
+        assert len(successors) == 4
+        assert all(action in (0, 1) for _, action, _ in successors)
+
+    def test_dfs_budget_returns_none(self):
+        spec = FastSnapshotSpec([1, 2, 3], [(0, 1, 2)] * 3)
+        search = FastAtomicitySearch(spec)
+        hit, visited = search.dfs(max_visited=2_000)
+        assert hit is None
+        assert visited >= 2_000
+
+    def test_dfs_exhausts_n2_without_hit(self):
+        """For N=2 the whole augmented space fits: the DFS must drain it
+        with no hit (consistent with the exhaustive BFS result)."""
+        spec = FastSnapshotSpec([1, 2], [(0, 1)] * 2)
+        search = FastAtomicitySearch(spec)
+        hit, visited = search.dfs(max_visited=10_000_000)
+        assert hit is None
+        assert visited < 10_000_000  # it genuinely finished
+
+    def test_too_many_inputs_rejected(self):
+        spec = FastSnapshotSpec(
+            list(range(17)), [tuple(range(17))] * 17, n_registers=17
+        )
+        with pytest.raises(ValueError):
+            FastAtomicitySearch(spec)
+
+
+class TestReplayFastHit:
+    def test_replay_of_synthetic_schedule(self):
+        """replay_fast_hit drives the generic machine along a recorded
+        (pid, register-or-None) schedule; verify with a hand schedule
+        that terminates one processor."""
+        from repro.checker.fast_snapshot import FastAtomicityHit
+        from repro.core import SnapshotMachine
+
+        # Solo run of pid 0 on N=1/M=1 terminates after one cycle.
+        schedule = [(0, 0), (0, None)]
+        hit = FastAtomicityHit(
+            pid=0, output=frozenset({1}), schedule=schedule
+        )
+        outputs, never = replay_fast_hit(
+            SnapshotMachine(1, n_registers=1), [1], [(0,)], hit
+        )
+        assert outputs == {0: frozenset({1})}
+        # The union equals the output at some point, so "never" is False
+        # — replay reports honestly.
+        assert never is False

@@ -1,0 +1,69 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["frobnicate"])
+
+    def test_defaults(self):
+        args = build_parser().parse_args(["snapshot"])
+        assert args.inputs == ["1", "2", "3"]
+        assert args.seed == 0
+
+    def test_check_n_choices(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["check", "--n", "5"])
+
+
+class TestCommands:
+    def test_snapshot_success(self, capsys):
+        assert main(["snapshot", "a", "b", "--seed", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "processor 0" in out and "containment: True" in out
+
+    def test_snapshot_integer_inputs_parsed(self, capsys):
+        assert main(["snapshot", "10", "20", "--seed", "1"]) == 0
+        assert "(input 10)" in capsys.readouterr().out
+
+    def test_renaming_success(self, capsys):
+        assert main(["renaming", "g", "h", "g", "--seed", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "within bound: True" in out
+
+    def test_consensus_success(self, capsys):
+        assert main(["consensus", "x", "y", "--seed", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "agreement: True" in out
+
+    def test_figure2(self, capsys):
+        assert main(["figure2"]) == 0
+        out = capsys.readouterr().out
+        assert "repeat every 36 steps" in out
+        assert "sources: ['{1}']" in out
+
+    def test_check_n2(self, capsys):
+        assert main(["check", "--n", "2"]) == 0
+        out = capsys.readouterr().out
+        assert out.count("OK") == 2
+
+    def test_check_n3_budgeted(self, capsys):
+        assert main(["check", "--n", "3", "--budget", "3000"]) == 0
+        out = capsys.readouterr().out
+        assert "bounded" in out and "VIOLATED" not in out
+
+    def test_lower_bound(self, capsys):
+        assert main(["lower-bound", "--n", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "erasure complete / twin-indistinguishable: True" in out
+
+    def test_snapshot_with_extra_registers(self, capsys):
+        assert main(["snapshot", "1", "2", "--registers", "4"]) == 0

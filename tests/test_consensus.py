@@ -1,0 +1,181 @@
+"""Tests for obstruction-free consensus (Figure 5, Section 7)."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.api import build_runner, run_consensus
+from repro.core.consensus import (
+    ConsensusMachine,
+    TimestampedValue,
+    decide_or_adopt,
+    max_timestamps,
+)
+from repro.memory.wiring import WiringAssignment
+from repro.sim import SoloScheduler
+from repro.tasks import ConsensusTask, check_group_solution
+
+
+def tv(value, ts):
+    return TimestampedValue(value, ts)
+
+
+class TestChandraRule:
+    def test_max_timestamps(self):
+        snap = frozenset({tv("a", 0), tv("a", 3), tv("b", 1)})
+        assert max_timestamps(snap) == {"a": 3, "b": 1}
+
+    def test_rejects_non_records(self):
+        with pytest.raises(TypeError):
+            max_timestamps(frozenset({"plain"}))
+
+    def test_no_decision_at_timestamp_zero(self):
+        """Even a lone value cannot decide before reaching timestamp 2
+        (absent rivals count as timestamp 0) — required for agreement."""
+        decision, pref, ts = decide_or_adopt(frozenset({tv("a", 0)}))
+        assert decision is None
+        assert pref == "a"
+        assert ts == 1
+
+    def test_lone_value_decides_at_timestamp_two(self):
+        decision, _, _ = decide_or_adopt(frozenset({tv("a", 2)}))
+        assert decision == "a"
+
+    def test_two_ahead_decides(self):
+        snap = frozenset({tv("a", 3), tv("b", 1)})
+        decision, _, _ = decide_or_adopt(snap)
+        assert decision == "a"
+
+    def test_one_ahead_adopts_leader(self):
+        snap = frozenset({tv("a", 2), tv("b", 1)})
+        decision, pref, ts = decide_or_adopt(snap)
+        assert decision is None
+        assert pref == "a"
+        assert ts == 3
+
+    def test_tie_never_decides(self):
+        snap = frozenset({tv("a", 4), tv("b", 4)})
+        decision, pref, ts = decide_or_adopt(snap)
+        assert decision is None
+        assert ts == 5
+
+    def test_tie_break_is_deterministic(self):
+        snap = frozenset({tv("a", 4), tv("b", 4)})
+        prefs = {decide_or_adopt(snap)[1] for _ in range(10)}
+        assert len(prefs) == 1
+
+    def test_empty_snapshot_rejected(self):
+        with pytest.raises(ValueError):
+            decide_or_adopt(frozenset())
+
+
+class TestAgreementAndValidity:
+    @given(
+        st.lists(st.sampled_from(["a", "b"]), min_size=2, max_size=4),
+        st.integers(min_value=0, max_value=2**32),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_agreement_and_validity_random_schedules(self, proposals, seed):
+        result = run_consensus(proposals, seed=seed, max_steps=3_000_000)
+        decided = set(result.outputs.values())
+        assert len(decided) <= 1
+        if decided:
+            assert decided <= set(proposals)
+
+    @given(st.integers(min_value=0, max_value=2**32))
+    @settings(max_examples=30, deadline=None)
+    def test_group_solves_consensus_task(self, seed):
+        proposals = ["a", "b", "a"]
+        result = run_consensus(proposals, seed=seed, max_steps=3_000_000)
+        if not result.outputs:
+            return  # obstruction-free: nontermination is allowed
+        inputs = {pid: proposals[pid] for pid in range(len(proposals))}
+        check = check_group_solution(ConsensusTask(), inputs, result.outputs)
+        assert check.valid, check.reason
+
+    def test_unanimous_inputs_decide_that_input(self):
+        for seed in range(10):
+            result = run_consensus(["v", "v", "v"], seed=seed)
+            assert set(result.outputs.values()) <= {"v"}
+            assert result.outputs, seed
+
+
+class TestObstructionFreedom:
+    def test_solo_run_decides(self):
+        """A processor running alone must decide (obstruction-freedom)."""
+        machine = ConsensusMachine(3)
+        wiring = WiringAssignment.random(3, 3, random.Random(5))
+        runner = build_runner(
+            machine, ["a", "b", "c"], seed=5, wiring=wiring,
+            scheduler=SoloScheduler(0),
+        )
+        result = runner.run(10 ** 6)
+        assert result.outputs.get(0) == "a"
+
+    def test_solo_after_contention_adopts_leader(self):
+        """After some contention, a solo runner decides *some* proposed
+        value (possibly not its own — validity, not lock-in)."""
+        rng = random.Random(11)
+        machine = ConsensusMachine(3)
+        wiring = WiringAssignment.random(3, 3, rng)
+        from repro.sim import MachineProcess, RandomPolicy
+        from repro.memory import AnonymousMemory
+        from repro.sim.runner import Runner
+        from repro.sim.schedulers import RandomScheduler
+
+        memory = AnonymousMemory(wiring, machine.register_initial_value())
+        processes = [
+            MachineProcess(pid, machine, f"v{pid}", RandomPolicy(rng))
+            for pid in range(3)
+        ]
+        runner = Runner(memory, processes, RandomScheduler(rng))
+        # Contention phase: a few hundred random steps.
+        for _ in range(300):
+            enabled = runner.enabled_pids()
+            if not enabled:
+                break
+            runner.step_process(rng.choice(enabled))
+        # Solo phase for processor 0.
+        while runner.processes[0].status.value == "running":
+            runner.step_process(0)
+        assert runner.processes[0].output in {"v0", "v1", "v2"}
+
+    def test_decision_latency_solo_is_bounded(self):
+        """Solo decision within a few long-lived snapshot invocations
+        (climb to ts 2, each invocation is one O(N^3) solo climb)."""
+        machine = ConsensusMachine(4)
+        wiring = WiringAssignment.identity(4, 4)
+        runner = build_runner(
+            machine, ["a", "b", "c", "d"], seed=None, wiring=wiring,
+            scheduler=SoloScheduler(0),
+        )
+        result = runner.run(10 ** 6)
+        assert result.outputs.get(0) == "a"
+        solo_steps = result.trace.step_counts()[0]
+        n = 4
+        per_invocation = 2 * (n * n + 2 * n) * (n + 1)
+        assert solo_steps <= 4 * per_invocation
+
+
+class TestDecidedStateIsTerminal:
+    def test_no_ops_after_decision(self):
+        machine = ConsensusMachine(2)
+        runner = build_runner(machine, ["a", "b"], seed=2)
+        result = runner.run(2_000_000)
+        for process in runner.processes:
+            if process.output is not None:
+                assert machine.enabled_ops(process.state) == ()
+
+    def test_timestamps_monotone_in_trace(self):
+        """Each processor's written timestamps never decrease."""
+        machine = ConsensusMachine(3)
+        runner = build_runner(machine, ["a", "b", "c"], seed=13)
+        result = runner.run(2_000_000)
+        last_ts = {}
+        for event in result.trace.writes():
+            views = event.value.view
+            own_max = max((r.timestamp for r in views), default=0)
+            previous = last_ts.get(event.pid, -1)
+            assert own_max >= previous
+            last_ts[event.pid] = own_max

@@ -1,0 +1,127 @@
+"""Tests for the non-wait-freedom certification of consensus.
+
+The Figure 5 algorithm is obstruction-free but cannot be wait-free
+(registers have consensus number 1): the undecided region of its state
+graph must contain unboundedly long paths.  These tests exercise the
+machinery of :mod:`repro.analysis.consensus_livelock` and establish the
+result for the 2-processor instance.
+"""
+
+import pytest
+
+from repro.analysis.consensus_livelock import (
+    analyze_undecided_region,
+    normalize_timestamps,
+)
+from repro.checker import SystemSpec
+from repro.core import ConsensusMachine
+from repro.core.consensus import ConsensusState, TimestampedValue
+from repro.core.views import RegisterRecord
+from repro.memory.wiring import WiringAssignment
+
+
+@pytest.fixture(scope="module")
+def spec():
+    machine = ConsensusMachine(2)
+    return SystemSpec(machine, ["v0", "v1"], WiringAssignment.identity(2, 2))
+
+
+class TestNormalization:
+    def test_initial_state_is_fixed_point(self, spec):
+        state = spec.initial_state()
+        assert normalize_timestamps(state) == state
+
+    def test_shifted_states_normalize_equal(self, spec):
+        from dataclasses import replace
+
+        state = spec.initial_state()
+
+        def shift(gstate, delta):
+            registers = tuple(
+                RegisterRecord(
+                    view=frozenset(
+                        TimestampedValue(r.value, r.timestamp + delta)
+                        for r in reg.view
+                    ),
+                    level=reg.level,
+                )
+                for reg in gstate.registers
+            )
+            locals_ = tuple(
+                ConsensusState(
+                    inner=replace(
+                        local.inner,
+                        view=frozenset(
+                            TimestampedValue(r.value, r.timestamp + delta)
+                            for r in local.inner.view
+                        ),
+                    ),
+                    preference=local.preference,
+                    timestamp=local.timestamp + delta,
+                    decision=local.decision,
+                )
+                for local in gstate.locals
+            )
+            from repro.checker.system import GlobalState
+
+            return GlobalState(registers=registers, locals=locals_)
+
+        shifted = shift(state, 5)
+        assert shifted != state
+        assert normalize_timestamps(shifted) == normalize_timestamps(state)
+
+    def test_normalization_idempotent(self, spec):
+        state = spec.initial_state()
+        # Walk a few steps to get nonzero timestamps (stop if all
+        # processors decide along this particular deterministic walk).
+        for _ in range(60):
+            successors = list(spec.successors(state))
+            if not successors:
+                break
+            state = successors[-1][1]
+        once = normalize_timestamps(state)
+        assert normalize_timestamps(once) == once
+
+
+class TestUndecidedRegion:
+    @pytest.fixture(scope="class")
+    def certificate(self, spec):
+        return analyze_undecided_region(spec, max_depth=80)
+
+    def test_unbounded_undecided_prefixes(self, certificate):
+        """The frontier survives at every depth: undecided executions of
+        unbounded length exist, so (König) an infinite undecided
+        execution exists — consensus here is not wait-free."""
+        assert certificate.unbounded_prefixes
+
+    def test_frontier_never_empties(self, certificate):
+        assert all(size > 0 for size in certificate.frontier_sizes)
+
+    def test_period_detection_helper(self):
+        """Unit check of the period detector (the long-horizon sweep
+        that actually observes the region's period runs in benchmark
+        E8, where a 170-deep frontier is affordable)."""
+        from repro.analysis.consensus_livelock import _detect_period
+
+        assert _detect_period([1, 2, 5, 7, 5, 7, 5, 7]) == 2
+        assert _detect_period([3, 3, 3, 3]) == 1
+        assert _detect_period([1, 2, 3, 4, 5]) is None
+        assert _detect_period([]) is None
+
+    def test_timestamps_grow_along_the_region(self, spec):
+        # Deep undecided states carry higher timestamps: the livelock is
+        # the race being perpetually renewed, not a frozen cycle.
+        frontier = {spec.initial_state()}
+        seen = set(frontier)
+        for _ in range(90):
+            frontier = {
+                succ
+                for state in frontier
+                for _, succ in spec.successors(state)
+                if not spec.outputs(succ) and succ not in seen
+            }
+            seen |= frontier
+        max_ts = max(
+            local.timestamp for state in frontier for local in state.locals
+        )
+        assert max_ts >= 3

@@ -1,0 +1,151 @@
+"""Failure injection: crashed processors.
+
+In the asynchronous model a crash is indistinguishable from never being
+scheduled again, so crashes are injected purely through scheduling.
+Wait-freedom means every *surviving* processor still terminates with a
+valid output no matter how many others crash, where they crashed, or
+what their dying writes left in memory.
+"""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import RenamingMachine, SnapshotMachine
+from repro.core.renaming import renaming_bound
+from repro.core.views import all_comparable
+from repro.memory import AnonymousMemory, WiringAssignment
+from repro.sim import MachineProcess, RandomPolicy, Runner
+
+
+class CrashScheduler:
+    """Random scheduler that permanently stops chosen pids at chosen
+    global steps."""
+
+    def __init__(self, rng, crashes):
+        self._rng = rng
+        self._crashes = dict(crashes)  # pid -> crash step
+        self._step = 0
+
+    def choose(self, step_index, enabled):
+        self._step = step_index
+        alive = [
+            pid for pid in enabled
+            if self._crashes.get(pid, float("inf")) > step_index
+        ]
+        if not alive:
+            return None
+        return self._rng.choice(alive)
+
+
+def run_with_crashes(machine, inputs, crashes, seed, max_steps=500_000):
+    rng = random.Random(seed)
+    n = len(inputs)
+    wiring = WiringAssignment.random(n, machine.n_registers, rng)
+    memory = AnonymousMemory(wiring, machine.register_initial_value())
+    processes = [
+        MachineProcess(pid, machine, inputs[pid], RandomPolicy(rng))
+        for pid in range(n)
+    ]
+    runner = Runner(memory, processes, CrashScheduler(rng, crashes))
+    result = runner.run(max_steps)
+    return result
+
+
+class TestSnapshotUnderCrashes:
+    @given(
+        st.integers(min_value=0, max_value=2**32),
+        st.dictionaries(
+            st.integers(0, 3), st.integers(0, 300), max_size=3
+        ),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_survivors_terminate_validly(self, seed, crashes):
+        """Any subset of up to 3 of 4 processors crashing at arbitrary
+        points: every survivor terminates, outputs stay a chain, and
+        each contains its own input."""
+        machine = SnapshotMachine(4)
+        result = run_with_crashes(machine, [1, 2, 3, 4], crashes, seed)
+        survivors = [pid for pid in range(4) if pid not in crashes]
+        for pid in survivors:
+            assert pid in result.outputs, f"survivor {pid} never terminated"
+            assert (pid + 1) in result.outputs[pid]
+        assert all_comparable(result.outputs.values())
+
+    def test_all_but_one_crash_immediately(self):
+        machine = SnapshotMachine(5)
+        crashes = {pid: 0 for pid in range(1, 5)}
+        result = run_with_crashes(machine, [1, 2, 3, 4, 5], crashes, seed=3)
+        assert result.outputs.get(0) == frozenset({1})
+
+    def test_crash_after_partial_write_still_safe(self):
+        """A crasher's last write may cover/linger arbitrarily long; the
+        survivors absorb or overwrite it without violating containment."""
+        for seed in range(15):
+            machine = SnapshotMachine(4)
+            crashes = {1: 5, 2: 9}  # die mid-flight
+            result = run_with_crashes(machine, [1, 2, 3, 4], crashes, seed)
+            assert 0 in result.outputs and 3 in result.outputs
+            assert all_comparable(result.outputs.values())
+
+    def test_crashed_inputs_may_or_may_not_appear(self):
+        """A crasher that wrote before dying can legitimately appear in
+        survivors' snapshots (it participated); one that never stepped
+        cannot."""
+        machine = SnapshotMachine(3)
+        # p2 never takes a single step.
+        result = run_with_crashes(machine, [1, 2, 3], {2: 0}, seed=8)
+        for pid, output in result.outputs.items():
+            assert 3 not in output
+
+
+class TestRenamingUnderCrashes:
+    @given(
+        st.integers(min_value=0, max_value=2**32),
+        st.sets(st.integers(0, 4), max_size=3),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_surviving_names_valid(self, seed, crashed_pids):
+        group_ids = [1, 2, 3, 1, 2]
+        machine = RenamingMachine(5)
+        crashes = {pid: (seed % 40) for pid in crashed_pids}
+        result = run_with_crashes(machine, group_ids, crashes, seed)
+        survivors = [pid for pid in range(5) if pid not in crashed_pids]
+        names = {pid: result.outputs[pid] for pid in survivors}
+        # Uniqueness across groups among those who got names (including
+        # any crasher that finished before its crash step).
+        for p in result.outputs:
+            for q in result.outputs:
+                if p < q and group_ids[p] != group_ids[q]:
+                    assert result.outputs[p] != result.outputs[q]
+        # Participating groups bound the namespace adaptively.
+        participants = result.trace.participants()
+        m = len({group_ids[pid] for pid in participants})
+        assert all(
+            1 <= name <= renaming_bound(m) for name in result.outputs.values()
+        )
+
+
+class TestCrashSchedulerMechanics:
+    def test_crashed_pid_never_scheduled_after_step(self):
+        machine = SnapshotMachine(3)
+        rng = random.Random(0)
+        wiring = WiringAssignment.random(3, 3, rng)
+        memory = AnonymousMemory(wiring, machine.register_initial_value())
+        processes = [
+            MachineProcess(pid, machine, pid + 1, RandomPolicy(rng))
+            for pid in range(3)
+        ]
+        runner = Runner(memory, processes, CrashScheduler(rng, {1: 7}))
+        result = runner.run(100_000)
+        late_steps = [
+            pid for index, pid in enumerate(result.schedule) if index >= 7
+        ]
+        assert 1 not in late_steps
+
+    def test_everyone_crashed_stops_run(self):
+        machine = SnapshotMachine(2)
+        result = run_with_crashes(machine, [1, 2], {0: 0, 1: 0}, seed=1)
+        assert result.steps == 0
+        assert result.outputs == {}

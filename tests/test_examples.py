@@ -1,0 +1,69 @@
+"""The examples must run: each script is executed in a subprocess.
+
+The slow, exploration-heavy demo (`model_checking_demo.py`) is exercised
+with a reduced budget through its environment knob.
+"""
+
+import os
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = pathlib.Path(__file__).resolve().parent.parent / "examples"
+
+
+def run_example(name, env_extra=None, timeout=240):
+    env = dict(os.environ)
+    if env_extra:
+        env.update(env_extra)
+    completed = subprocess.run(
+        [sys.executable, str(EXAMPLES / name)],
+        capture_output=True,
+        text=True,
+        timeout=timeout,
+        env=env,
+    )
+    assert completed.returncode == 0, completed.stderr[-2000:]
+    return completed.stdout
+
+
+class TestExamplesRun:
+    def test_quickstart(self):
+        out = run_example("quickstart.py")
+        assert "Snapshot task" in out
+        assert "agreement on:" in out
+
+    def test_anonymous_cells(self):
+        out = run_example("anonymous_cells.py")
+        assert "tissue converged on" in out
+        assert "roles" in out
+
+    def test_adversarial_coverings(self):
+        out = run_example("adversarial_coverings.py")
+        assert "complete erasure: True" in out
+        assert "p's information survives somewhere: True" in out
+
+    def test_eventual_pattern_demo(self):
+        out = run_example("eventual_pattern_demo.py")
+        assert "Figure 2, reproduced" in out
+        assert "incomparable: True" in out
+        assert "DAG+unique-source" in out
+        assert "VIOLATION" not in out
+
+    def test_covering_gallery(self):
+        out = run_example("covering_gallery.py")
+        assert "values erased unread" in out
+        assert "at every instant" in out
+
+    @pytest.mark.slow
+    def test_model_checking_demo_reduced_budget(self):
+        out = run_example(
+            "model_checking_demo.py",
+            env_extra={"REPRO_MC_BUDGET": "3000"},
+            timeout=300,
+        )
+        assert "safety+wait-freedom" in out or "wait-free=OK" in out or "1. N=2" in out
+        assert "EXHAUSTED, no counterexample" in out
+        assert "not linearizable" in out

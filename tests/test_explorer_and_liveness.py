@@ -1,0 +1,163 @@
+"""Tests for the BFS explorer, invariant machinery, and liveness analysis."""
+
+import pytest
+
+from repro.checker import Explorer, SystemSpec
+from repro.checker.liveness import check_wait_freedom, certify_wait_free, _scc_ids
+from repro.checker.properties import (
+    SNAPSHOT_SAFETY,
+    snapshot_outputs_comparable,
+    snapshot_outputs_valid,
+)
+from repro.core import SnapshotMachine, WriteScanMachine
+from repro.memory.wiring import WiringAssignment, enumerate_wiring_assignments
+
+
+class TestExplorerOnSnapshotN2:
+    @pytest.fixture(scope="class")
+    def exploration(self):
+        spec = SystemSpec(
+            SnapshotMachine(2), [1, 2], WiringAssignment.identity(2, 2)
+        )
+        explorer = Explorer(
+            spec, SNAPSHOT_SAFETY, keep_edges=True, collect_final_states=True
+        )
+        return spec, explorer.run()
+
+    def test_complete_and_safe(self, exploration):
+        _, result = exploration
+        assert result.complete
+        assert result.ok
+
+    def test_state_and_transition_counts_stable(self, exploration):
+        """Pin the exact exhaustive counts: any unintended semantic
+        change to the algorithm shows up here first."""
+        _, result = exploration
+        assert result.states == 7235
+        assert result.transitions == 15500
+
+    def test_final_states_all_terminated_and_valid(self, exploration):
+        spec, result = exploration
+        assert result.final_states
+        for state in result.final_states:
+            assert spec.all_terminated(state)
+            outputs = spec.outputs(state)
+            assert set(outputs) == {0, 1}
+            views = sorted(outputs.values(), key=len)
+            assert views[0] <= views[1]
+
+    def test_wait_freedom_certified(self, exploration):
+        spec, result = exploration
+        assert check_wait_freedom(spec, result) == []
+        assert certify_wait_free(spec, result) is None
+
+    def test_both_n2_wirings_safe(self):
+        for wiring in enumerate_wiring_assignments(2, 2):
+            spec = SystemSpec(SnapshotMachine(2), [1, 2], wiring)
+            result = Explorer(spec, SNAPSHOT_SAFETY).run()
+            assert result.ok and result.complete
+
+
+class TestExplorerMechanics:
+    def test_budget_makes_exploration_incomplete(self):
+        spec = SystemSpec(
+            SnapshotMachine(2), [1, 2], WiringAssignment.identity(2, 2)
+        )
+        result = Explorer(spec, max_states=100).run()
+        assert not result.complete
+        assert result.states == 100
+
+    def test_violating_invariant_yields_shortest_path(self):
+        spec = SystemSpec(
+            SnapshotMachine(2), [1, 2], WiringAssignment.identity(2, 2)
+        )
+
+        # An artificial "invariant": no processor ever writes register 1
+        # twice... simpler: flag any state where p0's view has 2 inputs.
+        def no_full_view(spec_, state):
+            if len(state.locals[0].view) == 2:
+                return "p0 learned the other input"
+            return None
+
+        result = Explorer(spec, [no_full_view]).run()
+        assert result.violation is not None
+        path = result.violation.path
+        assert path, "violation needs a non-empty path"
+        # Replay the path and confirm it reaches the violation.
+        state = spec.initial_state()
+        for action in path:
+            _, state = spec.apply(state, action.pid, action.op)
+        assert len(state.locals[0].view) == 2
+        # BFS guarantees minimality: p0 needs p1's write plus a scan
+        # read, plus its own first write to be scanning.
+        assert len(path) <= 5
+
+    def test_violation_in_initial_state_detected(self):
+        spec = SystemSpec(
+            SnapshotMachine(2), [1, 2], WiringAssignment.identity(2, 2)
+        )
+        result = Explorer(spec, [lambda s, st: "always broken"]).run()
+        assert result.violation is not None
+        assert result.violation.path == []
+        assert result.states == 1
+
+    def test_liveness_requires_edges(self):
+        spec = SystemSpec(
+            SnapshotMachine(2), [1, 2], WiringAssignment.identity(2, 2)
+        )
+        result = Explorer(spec).run()
+        with pytest.raises(ValueError):
+            check_wait_freedom(spec, result)
+
+    def test_liveness_requires_complete_exploration(self):
+        spec = SystemSpec(
+            SnapshotMachine(2), [1, 2], WiringAssignment.identity(2, 2)
+        )
+        result = Explorer(spec, keep_edges=True, max_states=50).run()
+        with pytest.raises(ValueError):
+            check_wait_freedom(spec, result)
+
+
+class TestLivenessDetectsNonTermination:
+    def test_write_scan_loop_is_flagged_as_never_terminating(self):
+        """The write-scan loop (no levels) runs forever: every processor
+        has a bad lasso.  This validates the liveness analysis itself —
+        the same machinery that certifies the snapshot algorithm
+        wait-free must flag the loop without termination."""
+        spec = SystemSpec(
+            WriteScanMachine(2), [1, 2], WiringAssignment.identity(2, 2)
+        )
+        result = Explorer(spec, keep_edges=True).run()
+        assert result.complete
+        violations = check_wait_freedom(spec, result)
+        assert {v.pid for v in violations} == {0, 1}
+
+
+class TestSCCHelper:
+    def test_simple_cycle(self):
+        adjacency = {0: [1], 1: [2], 2: [0]}
+        component = _scc_ids(adjacency, 3)
+        assert component[0] == component[1] == component[2] != -1
+
+    def test_dag_components_distinct(self):
+        adjacency = {0: [1], 1: [2]}
+        component = _scc_ids(adjacency, 3)
+        assert len({component[0], component[1], component[2]}) == 3
+
+    def test_two_cycles(self):
+        adjacency = {0: [1], 1: [0], 2: [3], 3: [2], 1: [0, 2]}
+        component = _scc_ids(adjacency, 4)
+        assert component[0] == component[1]
+        assert component[2] == component[3]
+        assert component[0] != component[2]
+
+    def test_self_loop_is_its_own_component(self):
+        adjacency = {0: [0]}
+        component = _scc_ids(adjacency, 1)
+        assert component[0] != -1
+
+    def test_deep_chain_no_recursion_error(self):
+        n = 50_000
+        adjacency = {i: [i + 1] for i in range(n - 1)}
+        component = _scc_ids(adjacency, n)
+        assert component[0] != component[n - 1]

@@ -1,0 +1,113 @@
+"""Experiment E1 tests: Figure 2 reproduced cell-for-cell, and certified
+infinite (lasso), with the stable-view graph of the paper."""
+
+import pytest
+
+from repro.analysis import stable_view_graph_from_lasso, stable_views_of_lasso
+from repro.core.views import view
+from repro.sim.scripted import (
+    FIGURE2_EXPECTED_ROWS,
+    build_figure2_runner,
+    figure2_observed_rows,
+    figure2_schedule,
+    figure2_wiring,
+    format_figure2_table,
+)
+
+
+class TestFigure2Table:
+    @pytest.fixture(scope="class")
+    def rows(self):
+        return figure2_observed_rows()
+
+    def test_thirteen_rows(self, rows):
+        assert len(rows) == 13
+
+    @pytest.mark.parametrize("index", range(13))
+    def test_row_matches_paper(self, rows, index):
+        got = rows[index]
+        want = FIGURE2_EXPECTED_ROWS[index]
+        assert got.registers == want.registers, f"row {index + 1} registers"
+        assert got.views == want.views, f"row {index + 1} views"
+
+    def test_row13_equals_row4(self, rows):
+        assert rows[12].registers == rows[3].registers
+        assert rows[12].views == rows[3].views
+
+    def test_views_incomparable_forever(self, rows):
+        final = rows[-1]
+        p2_view, p3_view = final.views[1], final.views[2]
+        assert not (p2_view <= p3_view or p3_view <= p2_view)
+
+    def test_format_table_renders_all_rows(self, rows):
+        text = format_figure2_table(rows)
+        assert text.count("\n") == 13  # header + 13 rows
+        assert "overwrites" in text
+
+
+class TestFigure2Lasso:
+    @pytest.fixture(scope="class")
+    def result(self):
+        runner = build_figure2_runner(detect_lasso=True)
+        return runner.run(100_000)
+
+    def test_lasso_certified(self, result):
+        assert result.lasso is not None
+
+    def test_cycle_is_rows_5_to_13(self, result):
+        # Rows 5-13 are nine write+scan iterations = 36 steps.
+        assert result.lasso.cycle_length == 36
+
+    def test_all_three_processors_live(self, result):
+        assert result.lasso.cycle_pids == (0, 1, 2)
+
+    def test_stable_views_match_paper(self, result):
+        views = stable_views_of_lasso(result)
+        assert views == {0: view(1), 1: view(1, 2), 2: view(1, 3)}
+
+
+class TestFigure2StableViewGraph:
+    @pytest.fixture(scope="class")
+    def graph(self):
+        runner = build_figure2_runner(detect_lasso=True)
+        return stable_view_graph_from_lasso(runner.run(100_000))
+
+    def test_vertices(self, graph):
+        assert graph.vertices == {view(1), view(1, 2), view(1, 3)}
+
+    def test_edges(self, graph):
+        assert graph.edges == {
+            (view(1), view(1, 2)),
+            (view(1), view(1, 3)),
+        }
+
+    def test_dag_with_unique_source(self, graph):
+        assert graph.is_dag()
+        assert graph.has_unique_source()
+        assert graph.sources() == [view(1)]
+
+    def test_networkx_export(self, graph):
+        nx_graph = graph.to_networkx()
+        assert nx_graph.number_of_nodes() == 3
+        assert nx_graph.number_of_edges() == 2
+
+    def test_describe_mentions_source(self, graph):
+        assert "sources" in graph.describe()
+
+
+class TestScheduleConstruction:
+    def test_schedule_length_one_cycle(self):
+        # Row 1: 8 steps; rows 2-13: 12 x 4 steps.
+        assert len(figure2_schedule(1)) == 8 + 12 * 4
+
+    def test_extra_cycles_append_36_steps_each(self):
+        assert len(figure2_schedule(3)) == len(figure2_schedule(1)) + 2 * 36
+
+    def test_wiring_shapes(self):
+        wiring = figure2_wiring(5)
+        assert wiring.n_processors == 5
+        assert wiring.n_registers == 3
+        # p1, p, p' share the rotation; p2, p3 the identity.
+        assert wiring[0] == wiring[3] == wiring[4]
+        assert wiring[1] == wiring[2]
+        assert wiring[0] != wiring[1]

@@ -1,0 +1,134 @@
+"""Property tests for the group-solvability machinery itself.
+
+Key meta-theorems of Definition 3.4, checked mechanically:
+
+- with all-distinct inputs (every group a singleton), group solvability
+  coincides with plain task validity;
+- adding a duplicate of an existing (pid, output) pair never changes
+  the verdict (samples are deduplicated by output);
+- the number of output samples is the product of per-group distinct
+  output counts.
+"""
+
+import random
+
+from hypothesis import given, settings, strategies as st
+
+from repro.tasks import (
+    ConsensusTask,
+    SnapshotTask,
+    check_group_solution,
+    groups_from_inputs,
+    iter_output_samples,
+)
+
+
+def snapshot_assignments():
+    """Random (inputs, outputs) over a small universe — not necessarily
+    valid, so both verdicts get exercised."""
+    return st.integers(min_value=0, max_value=2**32).map(_random_assignment)
+
+
+def _random_assignment(seed):
+    rng = random.Random(seed)
+    n = rng.randint(1, 5)
+    universe = list(range(1, rng.randint(2, 5)))
+    inputs = {pid: rng.choice(universe) for pid in range(n)}
+    outputs = {}
+    for pid in range(n):
+        size = rng.randint(1, len(universe))
+        out = set(rng.sample(universe, size))
+        out.add(inputs[pid])
+        outputs[pid] = frozenset(out)
+    return inputs, outputs
+
+
+class TestSingletonGroupEquivalence:
+    @given(st.integers(min_value=0, max_value=2**32))
+    @settings(max_examples=100, deadline=None)
+    def test_distinct_inputs_reduce_to_plain_task(self, seed):
+        """Every group a singleton ⇒ exactly one output sample ⇒ the
+        group check equals the plain task check (over group ids)."""
+        rng = random.Random(seed)
+        n = rng.randint(1, 5)
+        inputs = {pid: pid + 1 for pid in range(n)}  # all distinct
+        outputs = {}
+        for pid in range(n):
+            out = set(rng.sample(range(1, n + 1), rng.randint(1, n)))
+            out.add(pid + 1)
+            outputs[pid] = frozenset(out)
+        task = SnapshotTask()
+        group_verdict = check_group_solution(task, inputs, outputs).valid
+        plain_assignment = {inputs[pid]: outputs[pid] for pid in range(n)}
+        assert group_verdict == task.is_valid(plain_assignment)
+
+    @given(st.integers(min_value=0, max_value=2**32))
+    @settings(max_examples=60, deadline=None)
+    def test_consensus_variant(self, seed):
+        rng = random.Random(seed)
+        n = rng.randint(1, 4)
+        inputs = {pid: f"g{pid}" for pid in range(n)}
+        decided = rng.choice([f"g{i}" for i in range(n)] + ["zz"])
+        outputs = {pid: decided for pid in range(n)}
+        task = ConsensusTask()
+        group_verdict = check_group_solution(task, inputs, outputs).valid
+        plain = {inputs[pid]: decided for pid in range(n)}
+        assert group_verdict == task.is_valid(plain)
+
+
+class TestSampleAlgebra:
+    @given(snapshot_assignments())
+    @settings(max_examples=80, deadline=None)
+    def test_sample_count_is_product_of_distinct_outputs(self, assignment):
+        inputs, outputs = assignment
+        groups = groups_from_inputs(inputs)
+        expected = 1
+        for members in groups.values():
+            distinct = {outputs[pid] for pid in members if pid in outputs}
+            if distinct:
+                expected *= len(distinct)
+        count = sum(1 for _ in iter_output_samples(groups, outputs))
+        assert count == expected
+
+    @given(snapshot_assignments())
+    @settings(max_examples=80, deadline=None)
+    def test_duplicate_member_does_not_change_verdict(self, assignment):
+        inputs, outputs = assignment
+        task = SnapshotTask()
+        before = check_group_solution(task, inputs, outputs).valid
+        # Clone an arbitrary member (same input, same output).
+        pid = min(inputs)
+        clone = max(inputs) + 1
+        inputs2 = {**inputs, clone: inputs[pid]}
+        outputs2 = {**outputs, clone: outputs[pid]}
+        after = check_group_solution(task, inputs2, outputs2).valid
+        assert before == after
+
+    @given(snapshot_assignments())
+    @settings(max_examples=80, deadline=None)
+    def test_verdict_matches_brute_force(self, assignment):
+        """The checker agrees with a direct all-samples enumeration."""
+        inputs, outputs = assignment
+        task = SnapshotTask()
+        verdict = check_group_solution(task, inputs, outputs).valid
+        groups = groups_from_inputs(inputs)
+        brute = all(
+            task.is_valid(sample)
+            for sample in iter_output_samples(groups, outputs)
+        )
+        assert verdict == brute
+
+    def test_invalid_sample_found_even_when_rare(self):
+        """One bad combination among many good ones is still found."""
+        inputs = {0: "A", 1: "A", 2: "B", 3: "B"}
+        outputs = {
+            0: frozenset({"A"}),
+            1: frozenset({"A", "B"}),
+            2: frozenset({"A", "B"}),
+            3: frozenset({"B"}),  # with output 0 -> incomparable pair
+        }
+        result = check_group_solution(SnapshotTask(), inputs, outputs)
+        assert not result.valid
+        assert result.counterexample == {
+            "A": frozenset({"A"}), "B": frozenset({"B"})
+        }

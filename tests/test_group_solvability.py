@@ -1,0 +1,153 @@
+"""Tests for group solvability (Section 3.2, Definition 3.4).
+
+Includes the paper's worked example: processors 1..4 in groups
+A={1}, B={2,3}, C={4}, outputs {A,B,C}, {A,B}, {B,C}, {A,B,C} — a legal
+group solution of the snapshot task even though the two members of B
+return incomparable sets.
+"""
+
+import pytest
+
+from repro.tasks import (
+    ConsensusTask,
+    SnapshotTask,
+    check_group_solution,
+    groups_from_inputs,
+    iter_output_samples,
+)
+from repro.tasks.group import GroupCheckResult
+
+
+class TestGroupsFromInputs:
+    def test_partition(self):
+        inputs = {0: "A", 1: "B", 2: "B", 3: "C"}
+        assert groups_from_inputs(inputs) == {
+            "A": (0,), "B": (1, 2), "C": (3,)
+        }
+
+    def test_members_sorted(self):
+        assert groups_from_inputs({5: "g", 1: "g"})["g"] == (1, 5)
+
+    def test_empty(self):
+        assert groups_from_inputs({}) == {}
+
+
+class TestOutputSamples:
+    def test_one_sample_when_outputs_identical(self):
+        groups = {"A": (0, 1)}
+        outputs = {0: frozenset({"A"}), 1: frozenset({"A"})}
+        samples = list(iter_output_samples(groups, outputs))
+        assert samples == [{"A": frozenset({"A"})}]
+
+    def test_product_over_distinct_outputs(self):
+        groups = {"A": (0, 1), "B": (2,)}
+        outputs = {0: "x", 1: "y", 2: "z"}
+        samples = list(iter_output_samples(groups, outputs))
+        assert {tuple(sorted(s.items())) for s in samples} == {
+            (("A", "x"), ("B", "z")),
+            (("A", "y"), ("B", "z")),
+        }
+
+    def test_groups_without_outputs_are_skipped(self):
+        groups = {"A": (0,), "B": (1,)}
+        outputs = {0: "x"}  # B participated but never terminated
+        samples = list(iter_output_samples(groups, outputs))
+        assert samples == [{"A": "x"}]
+
+    def test_no_outputs_yields_empty_sample(self):
+        samples = list(iter_output_samples({"A": (0,)}, {}))
+        assert samples == [{}]
+
+
+class TestPaperWorkedExample:
+    """Section 3.2's 4-processor example, verbatim."""
+
+    inputs = {1: "A", 2: "B", 3: "B", 4: "C"}
+    outputs = {
+        1: frozenset({"A", "B", "C"}),
+        2: frozenset({"A", "B"}),
+        3: frozenset({"B", "C"}),
+        4: frozenset({"A", "B", "C"}),
+    }
+
+    def test_is_a_legal_group_solution(self):
+        check = check_group_solution(SnapshotTask(), self.inputs, self.outputs)
+        assert check.valid, check.reason
+
+    def test_members_of_b_are_incomparable(self):
+        second, third = self.outputs[2], self.outputs[3]
+        assert not (second <= third or third <= second)
+
+    def test_incomparability_across_groups_is_refuted(self):
+        """Moving processor 3 into its own group D makes the same
+        outputs an invalid group solution: incomparable outputs now span
+        two groups."""
+        inputs = {1: "A", 2: "B", 3: "D", 4: "C"}
+        outputs = dict(self.outputs)
+        outputs[3] = frozenset({"B", "C", "D"})
+        outputs[2] = frozenset({"A", "B"})
+        check = check_group_solution(SnapshotTask(), inputs, outputs)
+        assert not check.valid
+        assert check.counterexample is not None
+
+    def test_sample_count(self):
+        groups = groups_from_inputs(self.inputs)
+        samples = list(iter_output_samples(groups, self.outputs))
+        # A has 1 distinct output, B has 2, C has 1 -> 2 samples.
+        assert len(samples) == 2
+
+
+class TestCheckGroupSolution:
+    def test_counterexample_reported_with_reason(self):
+        inputs = {0: "A", 1: "B"}
+        outputs = {0: frozenset({"A"}), 1: frozenset({"B"})}
+        check = check_group_solution(SnapshotTask(), inputs, outputs)
+        assert not check.valid
+        assert "incomparable" in check.reason
+
+    def test_unterminated_members_constrain_nothing(self):
+        inputs = {0: "A", 1: "A", 2: "B"}
+        outputs = {0: frozenset({"A"}), 2: frozenset({"A", "B"})}
+        check = check_group_solution(SnapshotTask(), inputs, outputs)
+        assert check.valid
+
+    def test_consensus_group_check(self):
+        inputs = {0: "x", 1: "x", 2: "y"}
+        check = check_group_solution(
+            ConsensusTask(), inputs, {0: "x", 1: "x", 2: "x"}
+        )
+        assert check.valid
+
+    def test_consensus_disagreement_across_groups(self):
+        inputs = {0: "x", 1: "y"}
+        check = check_group_solution(ConsensusTask(), inputs, {0: "x", 1: "y"})
+        assert not check.valid
+
+    def test_consensus_disagreement_within_group_also_invalid(self):
+        """Consensus requires a unique output even inside a group: any
+        sample picks one member, but two members with different outputs
+        produce two samples with different constants... each constant
+        sample is valid, so the group check passes — matching the
+        definition (picking ONE representative per group)."""
+        inputs = {0: "x", 1: "x"}
+        check = check_group_solution(ConsensusTask(), inputs, {0: "x", 1: "x"})
+        assert check.valid
+
+    def test_sampling_fallback_flagged(self):
+        """With a tiny cap the checker switches to sampling mode."""
+        inputs = {0: "A", 1: "A", 2: "B", 3: "B"}
+        outputs = {
+            0: frozenset({"A"}),
+            1: frozenset({"A", "B"}),
+            2: frozenset({"A", "B"}),
+            3: frozenset({"B", "A"}),
+        }
+        check = check_group_solution(
+            SnapshotTask(), inputs, outputs, max_samples=1
+        )
+        assert isinstance(check, GroupCheckResult)
+        # Either it found a violation within a sample budget or it
+        # reports non-exhaustive validation.
+        assert check.valid is True or check.counterexample is not None
+        if check.valid:
+            assert not check.exhaustive

@@ -1,0 +1,150 @@
+"""Tests for the long-lived snapshot (Section 7)."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.api import build_runner
+from repro.core.long_lived import PHASE_READY, LongLivedSnapshotMachine
+from repro.core.views import all_comparable
+from repro.memory.wiring import WiringAssignment
+from repro.sim import MachineProcess, RandomPolicy, RandomScheduler, Runner
+from repro.memory import AnonymousMemory
+
+
+@pytest.fixture
+def machine():
+    return LongLivedSnapshotMachine(3)
+
+
+class TestReadyPhase:
+    def drive_solo_until_ready(self, machine, state, memory, pid=0):
+        """Drive one processor alone until its invocation completes."""
+        from repro.sim.ops import Read, Write
+
+        for _ in range(100_000):
+            if machine.is_ready(state):
+                return state
+            op = machine.enabled_ops(state)[0]
+            if isinstance(op, Read):
+                result = memory.read(pid, op.reg)
+            else:
+                memory.write(pid, op.reg, op.value)
+                result = None
+            state = machine.apply(state, op, result)
+        raise AssertionError("never became ready")
+
+    def test_parks_ready_instead_of_terminating(self, machine):
+        memory = AnonymousMemory(
+            WiringAssignment.identity(3, 3), machine.register_initial_value()
+        )
+        state = self.drive_solo_until_ready(machine, machine.initial_state(1), memory)
+        assert state.phase == PHASE_READY
+        assert machine.enabled_ops(state) == ()
+        assert machine.output(state) == frozenset({1})
+
+    def test_ready_state_keeps_fairness_cycle(self, machine):
+        """Unlike single-shot termination, ready states must keep their
+        round-robin position so later invocations stay fair."""
+        memory = AnonymousMemory(
+            WiringAssignment.identity(3, 3), machine.register_initial_value()
+        )
+        state = self.drive_solo_until_ready(machine, machine.initial_state(1), memory)
+        assert state.unwritten != frozenset()
+
+    def test_invoke_resets_level_and_adds_input(self, machine):
+        memory = AnonymousMemory(
+            WiringAssignment.identity(3, 3), machine.register_initial_value()
+        )
+        state = self.drive_solo_until_ready(machine, machine.initial_state(1), memory)
+        invoked = machine.invoke(state, 2)
+        assert invoked.level == 0
+        assert invoked.view == frozenset({1, 2})
+        assert machine.enabled_ops(invoked) != ()
+
+    def test_second_invocation_completes(self, machine):
+        memory = AnonymousMemory(
+            WiringAssignment.identity(3, 3), machine.register_initial_value()
+        )
+        state = self.drive_solo_until_ready(machine, machine.initial_state(1), memory)
+        state = machine.invoke(state, 2)
+        state = self.drive_solo_until_ready(machine, state, memory)
+        assert machine.output(state) == frozenset({1, 2})
+
+    def test_output_contains_all_inputs_used_so_far(self, machine):
+        """Section 7's second guarantee."""
+        memory = AnonymousMemory(
+            WiringAssignment.identity(3, 3), machine.register_initial_value()
+        )
+        state = machine.initial_state("a")
+        used = {"a"}
+        for next_input in ["b", "c", "d"]:
+            state = self.drive_solo_until_ready(machine, state, memory)
+            assert used <= machine.output(state)
+            state = machine.invoke(state, next_input)
+            used.add(next_input)
+
+
+class TestConcurrentInvocations:
+    @given(st.integers(min_value=0, max_value=2**32))
+    @settings(max_examples=25, deadline=None)
+    def test_all_outputs_across_invocations_comparable(self, seed):
+        """Section 7's third guarantee: every two outputs, including
+        outputs of different invocations, are containment-related."""
+        rng = random.Random(seed)
+        n = 3
+        machine = LongLivedSnapshotMachine(n)
+        wiring = WiringAssignment.random(n, n, rng)
+        memory = AnonymousMemory(wiring, machine.register_initial_value())
+        processes = [
+            MachineProcess(pid, machine, (pid, 0), RandomPolicy(rng))
+            for pid in range(n)
+        ]
+        runner = Runner(memory, processes, RandomScheduler(rng))
+        outputs = []
+        invocation_count = {pid: 0 for pid in range(n)}
+        for _ in range(30_000):
+            enabled = runner.enabled_pids()
+            # Re-invoke any ready processor with a fresh input, up to 3
+            # invocations each.
+            for process in runner.processes:
+                if machine.is_ready(process.state):
+                    outputs.append(machine.output(process.state))
+                    invocation_count[process.pid] += 1
+                    if invocation_count[process.pid] < 3:
+                        process.state = machine.invoke(
+                            process.state, (process.pid, invocation_count[process.pid])
+                        )
+            enabled = runner.enabled_pids()
+            if not enabled:
+                break
+            runner.step_process(rng.choice(enabled))
+        assert outputs, "no invocation ever completed"
+        assert all_comparable(outputs)
+
+    def test_outputs_only_contain_used_inputs(self):
+        rng = random.Random(7)
+        n = 3
+        machine = LongLivedSnapshotMachine(n)
+        wiring = WiringAssignment.random(n, n, rng)
+        memory = AnonymousMemory(wiring, machine.register_initial_value())
+        processes = [
+            MachineProcess(pid, machine, ("in", pid), RandomPolicy(rng))
+            for pid in range(n)
+        ]
+        runner = Runner(memory, processes, RandomScheduler(rng))
+        runner.run(20_000)
+        legal = {("in", pid) for pid in range(n)}
+        for process in runner.processes:
+            assert process.state.view <= legal
+
+
+class TestInvokeValidation:
+    def test_invoke_from_running_phase_allowed(self, machine):
+        # The spec allows re-invocation from any live phase (used by the
+        # consensus wrapper only from ready, but harmless elsewhere).
+        state = machine.initial_state(1)
+        invoked = machine.invoke(state, 2)
+        assert invoked.view == frozenset({1, 2})
+        assert invoked.level == 0

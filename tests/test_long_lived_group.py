@@ -1,0 +1,176 @@
+"""Tests for §7's future-work item: group solvability of the long-lived
+snapshot, and its empirical validation on the actual algorithm."""
+
+import random
+
+import pytest
+
+from repro.core.long_lived import LongLivedSnapshotMachine
+from repro.memory import AnonymousMemory, WiringAssignment
+from repro.sim import MachineProcess, RandomPolicy, Runner, RandomScheduler
+from repro.tasks import (
+    Invocation,
+    LongLivedHistory,
+    check_long_lived_group_snapshot,
+)
+
+
+class TestHistoryRecorder:
+    def test_begin_complete_roundtrip(self):
+        history = LongLivedHistory()
+        history.begin(0, "a")
+        invocation = history.complete(0, frozenset({"a"}))
+        assert invocation == Invocation(0, 0, "a", frozenset({"a"}))
+
+    def test_indices_count_per_processor(self):
+        history = LongLivedHistory()
+        history.begin(0, "a")
+        history.begin(1, "b")
+        history.begin(0, "c")
+        history.complete(0, frozenset({"a"}))
+        history.complete(0, frozenset({"a", "c"}))
+        assert [inv.index for inv in history.invocations] == [0, 1]
+        assert history.invocations[1].input == "c"
+
+    def test_completion_without_begin_rejected(self):
+        history = LongLivedHistory()
+        with pytest.raises(ValueError):
+            history.complete(0, frozenset({"a"}))
+
+
+class TestCheckerOnSyntheticHistories:
+    def build(self, entries):
+        """entries: list of (pid, input, output-or-None)."""
+        history = LongLivedHistory()
+        for pid, value, output in entries:
+            history.begin(pid, value)
+            if output is not None:
+                history.complete(pid, frozenset(output))
+        return history
+
+    def test_valid_chain_history(self):
+        history = self.build([
+            (0, "a", {"a"}),
+            (1, "b", {"a", "b"}),
+            (0, "c", {"a", "b", "c"}),
+        ])
+        result = check_long_lived_group_snapshot(history)
+        assert result.valid, result.reason
+
+    def test_output_missing_own_earlier_input_invalid(self):
+        """Section 7's second guarantee: outputs contain all inputs the
+        processor has used so far."""
+        history = LongLivedHistory()
+        history.begin(0, "a")
+        history.complete(0, frozenset({"a"}))
+        history.begin(0, "c")
+        history.complete(0, frozenset({"c"}))  # lost its own earlier "a"
+        result = check_long_lived_group_snapshot(history)
+        assert not result.valid
+        assert "misses" in result.reason
+
+    def test_incomparable_outputs_across_groups_invalid(self):
+        history = self.build([
+            (0, "a", {"a", "b"}),
+            (1, "b", {"b", "c"}),
+            (2, "c", {"a", "b", "c"}),
+        ])
+        result = check_long_lived_group_snapshot(history)
+        assert not result.valid
+        assert "incomparable" in result.reason
+
+    def test_same_group_incomparable_outputs_legal(self):
+        """The group escape hatch, now across invocations: two logical
+        processors of the same group may return incomparable sets."""
+        history = self.build([
+            (0, "g", {"g", "x"}),
+            (1, "g", {"g", "y"}),
+            (2, "x", {"g", "x", "y"}),
+            (2, "y", None),  # begun, not completed: participates only
+        ])
+        # wait: "y" group began via pid 2's second invocation
+        result = check_long_lived_group_snapshot(history)
+        assert result.valid, result.reason
+
+    def test_non_participating_group_in_output_invalid(self):
+        history = self.build([(0, "a", {"a", "zz"})])
+        result = check_long_lived_group_snapshot(history)
+        assert not result.valid
+        assert "non-participating" in result.reason
+
+    def test_group_of_mapping_collapses_values(self):
+        """Distinct input values can be mapped into shared groups."""
+        history = self.build([
+            (0, "a1", {"A", "B"}),
+            (1, "b1", {"A", "B"}),
+        ])
+        # outputs are already group-level here; map inputs to groups.
+        result = check_long_lived_group_snapshot(
+            history, group_of={"a1": "A", "b1": "B"}
+        )
+        assert result.valid, result.reason
+
+    def test_empty_history_valid(self):
+        assert check_long_lived_group_snapshot(LongLivedHistory()).valid
+
+
+class TestOnTheRealAlgorithm:
+    """Empirical counterpart of the deferred future-work proof: the
+    long-lived snapshot's histories satisfy the §7 group definition."""
+
+    def run_history(self, seed, n=3, invocations_per_proc=3, steps=60_000):
+        rng = random.Random(seed)
+        machine = LongLivedSnapshotMachine(n)
+        wiring = WiringAssignment.random(n, n, rng)
+        memory = AnonymousMemory(wiring, machine.register_initial_value())
+        history = LongLivedHistory()
+        processes = []
+        for pid in range(n):
+            first_input = ("v", pid, 0)
+            history.begin(pid, first_input)
+            processes.append(
+                MachineProcess(pid, machine, first_input, RandomPolicy(rng))
+            )
+        runner = Runner(memory, processes, RandomScheduler(rng))
+        counts = {pid: 0 for pid in range(n)}
+        retired = set()
+        for _ in range(steps):
+            for process in processes:
+                if process.pid in retired:
+                    continue
+                if machine.is_ready(process.state):
+                    history.complete(process.pid, machine.output(process.state))
+                    counts[process.pid] += 1
+                    if counts[process.pid] < invocations_per_proc:
+                        next_input = ("v", process.pid, counts[process.pid])
+                        history.begin(process.pid, next_input)
+                        process.state = machine.invoke(
+                            process.state, next_input
+                        )
+                    else:
+                        retired.add(process.pid)
+            enabled = runner.enabled_pids()
+            if not enabled:
+                break
+            runner.step_process(rng.choice(enabled))
+        return history
+
+    @pytest.mark.parametrize("seed", range(12))
+    def test_histories_group_solve_long_lived_snapshot(self, seed):
+        history = self.run_history(seed)
+        assert history.invocations, "no invocation completed"
+        result = check_long_lived_group_snapshot(history)
+        assert result.valid, result.reason
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_histories_with_shared_groups(self, seed):
+        """Map invocation inputs onto two groups; Definition 3.4's
+        long-lived lift must still hold."""
+        history = self.run_history(seed + 100)
+        group_of = {
+            value: ("G", value[1] % 2)
+            for used in history.inputs_used.values()
+            for value in used
+        }
+        result = check_long_lived_group_snapshot(history, group_of=group_of)
+        assert result.valid, result.reason

@@ -1,0 +1,153 @@
+"""Experiment E6 tests: the Section 2.1 lower bound made executable.
+
+With ``N-1`` registers, the covering adversary erases every trace of the
+solo processor ``p`` and leaves the system indistinguishable from twin
+executions with different inputs for ``p`` — so no non-trivial read-write
+coordination is possible below ``N`` registers.  A corollary exercised
+here (and in benchmark E9): the snapshot algorithm's guarantees genuinely
+fail in that regime.
+"""
+
+import pytest
+
+from repro.core import SnapshotMachine, WriteScanMachine
+from repro.sim.adversaries import (
+    CoveringOutcome,
+    covering_wiring,
+    demonstrate_erasure,
+    run_covering_execution,
+)
+
+
+class TestCoveringWiring:
+    def test_q_members_cover_distinct_registers(self):
+        wiring = covering_wiring(4, 3)
+        first_targets = {wiring[q].to_physical(0) for q in range(1, 4)}
+        assert first_targets == {0, 1, 2}
+
+    def test_p_gets_identity(self):
+        wiring = covering_wiring(4, 3)
+        assert [wiring[0].to_physical(i) for i in range(3)] == [0, 1, 2]
+
+
+class TestCoveringExecution:
+    @pytest.fixture(scope="class")
+    def outcome(self) -> CoveringOutcome:
+        return run_covering_execution(
+            SnapshotMachine(4, n_registers=3), inputs=[1, 2, 3, 4]
+        )
+
+    def test_solo_processor_terminates(self, outcome):
+        """p runs solo and (wrongly, see below) outputs just itself."""
+        assert outcome.solo_output == frozenset({1})
+
+    def test_memory_after_solo_contains_p_information(self, outcome):
+        assert any(
+            1 in record.view for record in outcome.memory_after_solo
+        )
+
+    def test_covering_erases_p_completely(self, outcome):
+        assert all(
+            1 not in record.view for record in outcome.memory_after_covering
+        )
+
+    def test_all_registers_covered(self, outcome):
+        assert outcome.covered_registers == (0, 1, 2)
+
+    def test_construction_needs_two_processors(self):
+        with pytest.raises(ValueError):
+            run_covering_execution(SnapshotMachine(1), inputs=[1])
+
+
+class TestIndistinguishability:
+    @pytest.fixture(scope="class")
+    def demo(self):
+        return demonstrate_erasure(
+            lambda: SnapshotMachine(4, n_registers=3),
+            inputs=[1, 2, 3, 4],
+            alternate_input=99,
+        )
+
+    def test_twin_runs_decide_differently(self, demo):
+        assert demo.first.solo_output == frozenset({1})
+        assert demo.second.solo_output == frozenset({99})
+
+    def test_memory_indistinguishable_after_covering(self, demo):
+        assert demo.memory_indistinguishable
+        assert demo.first.memory_after_covering == demo.second.memory_after_covering
+
+    def test_q_observations_identical(self, demo):
+        assert demo.q_indistinguishable
+
+    def test_erasure_complete(self, demo):
+        assert demo.erasure_complete
+
+
+class TestTaskViolationBelowN:
+    def test_snapshot_task_violated_with_n_minus_1_registers(self):
+        """Continue the covering execution: members of Q now run to
+        completion having never seen p's input, so their outputs cannot
+        contain 1 while p output {1} — containment is violated, matching
+        the impossibility."""
+        from repro.api import build_runner
+        from repro.memory import AnonymousMemory
+        from repro.sim import MachineProcess, RoundRobinScheduler, Runner
+        from repro.sim.machine import FIRST_ENABLED
+
+        machine = SnapshotMachine(4, n_registers=3)
+        wiring = covering_wiring(4, 3)
+        memory = AnonymousMemory(wiring, machine.register_initial_value())
+        processes = [
+            MachineProcess(pid, machine, pid + 1, FIRST_ENABLED)
+            for pid in range(4)
+        ]
+        runner = Runner(memory, processes, RoundRobinScheduler())
+        # Phase 1+2: p solo to completion (others still poised on their
+        # first writes, which cover all three registers).
+        while processes[0].status.value == "running":
+            runner.step_process(0)
+        # Phase 3: the three poised writes land back-to-back, erasing p.
+        for pid in (1, 2, 3):
+            runner.step_process(pid)
+        assert all(1 not in record.view for record in runner.memory.snapshot())
+        # Then Q runs fairly to completion.
+        for _ in range(200_000):
+            enabled = [p.pid for p in processes[1:] if p.status.value == "running"]
+            if not enabled:
+                break
+            for pid in enabled:
+                runner.step_process(pid)
+        outputs = {p.pid: p.output for p in processes if p.output is not None}
+        assert outputs[0] == frozenset({1})
+        assert all(1 not in outputs[q] for q in (1, 2, 3) if q in outputs)
+        # Explicit containment violation:
+        violated = any(
+            not (outputs[0] <= outputs[q] or outputs[q] <= outputs[0])
+            for q in (1, 2, 3)
+            if q in outputs
+        )
+        assert violated
+
+    def test_erasure_also_hits_write_scan_loop(self):
+        """The construction is algorithm-agnostic: the plain write-scan
+        loop suffers the same erasure (run with a step budget since it
+        never terminates)."""
+        outcome = run_covering_execution(
+            WriteScanMachine(3), inputs=[1, 2, 3, 4], n_registers=3,
+            solo_budget=500,
+        )
+        assert all(1 not in value for value in outcome.memory_after_covering)
+
+
+class TestNRegistersRegimeIsSafe:
+    def test_with_n_registers_covering_cannot_erase(self):
+        """With N registers the N-1 poised writes cannot cover all of
+        memory: p's information survives somewhere."""
+        outcome = run_covering_execution(
+            SnapshotMachine(4, n_registers=4),
+            inputs=[1, 2, 3, 4],
+            n_registers=4,
+        )
+        assert any(
+            1 in record.view for record in outcome.memory_after_covering
+        )

@@ -1,0 +1,155 @@
+"""Tests for AnonymousMemory (wiring translation, tracing) and Trace queries."""
+
+import pytest
+
+from repro.memory import AnonymousMemory, WiringAssignment
+from repro.memory.trace import OutputEvent, ReadEvent, Trace, WriteEvent
+from repro.memory.wiring import Wiring
+
+
+def make_memory():
+    # p0 identity, p1 rotated by one, over 3 registers.
+    wiring = WiringAssignment([Wiring.identity(3), Wiring.rotation(3, 1)])
+    return AnonymousMemory(wiring, initial_value=frozenset())
+
+
+class TestTranslation:
+    def test_write_goes_through_wiring(self):
+        memory = make_memory()
+        memory.write(1, 0, frozenset({"x"}))  # p1 local 0 -> physical 1
+        assert memory.snapshot() == (frozenset(), frozenset({"x"}), frozenset())
+
+    def test_read_goes_through_wiring(self):
+        memory = make_memory()
+        memory.write(0, 1, frozenset({"y"}))  # p0 local 1 -> physical 1
+        assert memory.read(1, 0) == frozenset({"y"})  # p1 local 0 -> physical 1
+
+    def test_same_local_index_different_physical(self):
+        memory = make_memory()
+        memory.write(0, 0, frozenset({"a"}))  # physical 0
+        memory.write(1, 0, frozenset({"b"}))  # physical 1
+        assert memory.snapshot()[0] == frozenset({"a"})
+        assert memory.snapshot()[1] == frozenset({"b"})
+
+    def test_counts(self):
+        memory = make_memory()
+        assert memory.n_registers == 3
+        assert memory.n_processors == 2
+
+
+class TestTraceRecording:
+    def test_events_carry_both_coordinates(self):
+        memory = make_memory()
+        memory.write(1, 2, frozenset({"v"}))  # p1 local 2 -> physical 0
+        event = memory.trace[0]
+        assert isinstance(event, WriteEvent)
+        assert event.local_index == 2
+        assert event.physical_index == 0
+        assert event.pid == 1
+
+    def test_read_from_tracks_last_writer(self):
+        memory = make_memory()
+        memory.write(0, 0, frozenset({"v"}))
+        memory.read(1, 2)  # p1 local 2 -> physical 0, written by p0
+        read = memory.trace[1]
+        assert isinstance(read, ReadEvent)
+        assert read.read_from == 0
+
+    def test_read_from_initial_value_is_none(self):
+        memory = make_memory()
+        memory.read(0, 0)
+        assert memory.trace[0].read_from is None
+
+    def test_overwrite_metadata(self):
+        memory = make_memory()
+        memory.write(0, 0, frozenset({"a"}))
+        memory.write(1, 2, frozenset({"b"}))  # physical 0 again
+        event = memory.trace[1]
+        assert event.overwritten == frozenset({"a"})
+        assert event.overwrote == 0
+
+    def test_clock_advances_per_event(self):
+        memory = make_memory()
+        memory.write(0, 0, frozenset())
+        memory.read(0, 0)
+        memory.record_output(0, "done")
+        assert memory.clock == 3
+        assert [event.time for event in memory.trace] == [0, 1, 2]
+
+
+class TestTraceQueries:
+    def build_trace(self):
+        memory = make_memory()
+        memory.write(0, 0, frozenset({"a"}))   # t0: p0 -> phys 0
+        memory.read(1, 2)                       # t1: p1 reads phys 0 (from p0)
+        memory.write(1, 0, frozenset({"b"}))   # t2: p1 -> phys 1
+        memory.read(0, 1)                       # t3: p0 reads phys 1 (from p1)
+        memory.record_output(0, frozenset({"a", "b"}))  # t4
+        return memory
+
+    def test_participants(self):
+        memory = self.build_trace()
+        assert memory.trace.participants() == (0, 1)
+
+    def test_step_counts_exclude_outputs(self):
+        memory = self.build_trace()
+        assert memory.trace.step_counts() == {0: 2, 1: 2}
+
+    def test_reads_writes_outputs_partition(self):
+        trace = self.build_trace().trace
+        assert len(trace.reads()) == 2
+        assert len(trace.writes()) == 2
+        assert len(trace.outputs()) == 1
+        assert len(trace) == 5
+
+    def test_reads_from_predicate(self):
+        trace = self.build_trace().trace
+        assert trace.reads_from(1, [0])
+        assert trace.reads_from(0, [1])
+        assert not trace.reads_from(1, [1])
+
+    def test_reads_from_pairs(self):
+        trace = self.build_trace().trace
+        assert trace.reads_from_pairs() == [(1, 0, 1), (0, 1, 3)]
+
+    def test_events_of(self):
+        trace = self.build_trace().trace
+        assert [event.time for event in trace.events_of(0)] == [0, 3, 4]
+
+    def test_memory_history(self):
+        trace = self.build_trace().trace
+        history = trace.memory_history(3, initial_value=frozenset())
+        assert history[0] == (frozenset(),) * 3
+        assert history[1][0] == frozenset({"a"})
+        # final state: phys0 = {a}, phys1 = {b}
+        assert history[-1][0] == frozenset({"a"})
+        assert history[-1][1] == frozenset({"b"})
+        # one entry per event plus the initial state
+        assert len(history) == len(trace) + 1
+
+    def test_format_table_mentions_all_events(self):
+        trace = self.build_trace().trace
+        text = trace.format_table()
+        assert text.count("\n") == len(trace) - 1
+        assert "outputs" in text
+        assert "reads" in text and "writes" in text
+
+    def test_empty_trace(self):
+        trace = Trace()
+        assert len(trace) == 0
+        assert trace.participants() == ()
+        assert trace.step_counts() == {}
+        assert trace.memory_history(2) == [(None, None)]
+
+
+class TestAnonymityEnforcement:
+    def test_algorithms_cannot_see_physical_indices(self):
+        """The memory API only accepts local indices; physical layout is
+        recoverable exclusively from the (meta-level) trace."""
+        memory = make_memory()
+        # Two processors writing "their" register 0 hit different
+        # physical registers — neither can tell.
+        memory.write(0, 0, frozenset({"p0"}))
+        memory.write(1, 0, frozenset({"p1"}))
+        values = {memory.read(0, i) for i in range(3)}
+        assert values == {frozenset({"p0"}), frozenset({"p1"}), frozenset()}

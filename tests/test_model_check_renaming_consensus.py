@@ -1,0 +1,149 @@
+"""Model checking renaming and consensus (the remaining Figure 4/5 specs).
+
+The generic checker works over any algorithm machine, so the renaming
+and consensus algorithms get the same treatment as the snapshot:
+
+- renaming, N=2: exhaustive over all wirings and over group structures
+  (distinct inputs and a shared group), with the name-validity invariant
+  checked in every reachable state, plus wait-freedom;
+- consensus, N=2: the state space is infinite (timestamps grow), so the
+  sweep is budgeted — an honest falsification attempt for the
+  agreement/validity invariant over the first ~100k states.
+"""
+
+import pytest
+
+from repro.checker import Explorer, SystemSpec
+from repro.checker.liveness import check_wait_freedom
+from repro.checker.properties import (
+    consensus_agreement_and_validity,
+    renaming_names_valid,
+)
+from repro.core import ConsensusMachine, RenamingMachine
+from repro.memory.wiring import WiringAssignment, enumerate_wiring_assignments
+
+
+class TestRenamingModelCheckN2:
+    @pytest.mark.parametrize(
+        "wiring", list(enumerate_wiring_assignments(2, 2)),
+        ids=lambda w: str(w.permutations()),
+    )
+    def test_distinct_groups_exhaustive(self, wiring):
+        spec = SystemSpec(RenamingMachine(2), ["a", "b"], wiring)
+        result = Explorer(
+            spec, [renaming_names_valid], keep_edges=True
+        ).run()
+        assert result.complete and result.ok, (
+            result.violation and result.violation.message
+        )
+        assert check_wait_freedom(spec, result) == []
+
+    @pytest.mark.parametrize(
+        "wiring", list(enumerate_wiring_assignments(2, 2)),
+        ids=lambda w: str(w.permutations()),
+    )
+    def test_shared_group_exhaustive(self, wiring):
+        """Both processors in one group: names may be shared, must stay
+        within the 1-group bound when only that group participates."""
+        spec = SystemSpec(RenamingMachine(2), ["g", "g"], wiring)
+        result = Explorer(spec, [renaming_names_valid], keep_edges=True).run()
+        assert result.complete and result.ok
+        assert check_wait_freedom(spec, result) == []
+
+    def test_final_states_have_valid_names(self):
+        spec = SystemSpec(
+            RenamingMachine(2), ["a", "b"], WiringAssignment.identity(2, 2)
+        )
+        result = Explorer(
+            spec, [renaming_names_valid], collect_final_states=True
+        ).run()
+        assert result.final_states
+        for state in result.final_states:
+            outputs = spec.outputs(state)
+            assert len(outputs) == 2
+            assert outputs[0] != outputs[1]
+            assert set(outputs.values()) <= {1, 2, 3}
+
+
+class TestConsensusModelCheckN2:
+    @pytest.mark.parametrize(
+        "wiring", list(enumerate_wiring_assignments(2, 2)),
+        ids=lambda w: str(w.permutations()),
+    )
+    def test_budgeted_safety_sweep(self, wiring):
+        spec = SystemSpec(ConsensusMachine(2), ["x", "y"], wiring)
+        result = Explorer(
+            spec, [consensus_agreement_and_validity], max_states=100_000
+        ).run()
+        assert result.ok, result.violation and result.violation.message
+        # Infinite state space: the budget must have been the stopper.
+        assert not result.complete
+
+    def test_unanimous_inputs_budgeted(self):
+        spec = SystemSpec(
+            ConsensusMachine(2), ["v", "v"], WiringAssignment.identity(2, 2)
+        )
+        result = Explorer(
+            spec, [consensus_agreement_and_validity], max_states=60_000
+        ).run()
+        assert result.ok
+
+    def test_broken_rule_is_caught(self):
+        """Regression guard for the decision-rule disambiguation: a
+        machine that decides vacuously at timestamp 0 violates agreement
+        within a small bounded sweep — the checker must find it."""
+        from dataclasses import dataclass
+        from repro.core.consensus import (
+            ConsensusMachine as GoodMachine,
+            ConsensusState,
+            max_timestamps,
+        )
+
+        class VacuousDecisionMachine(GoodMachine):
+            """The unsound reading: decide whenever no rival appears."""
+
+            def apply(self, state, op, result):
+                inner = self.snapshot_machine.apply(state.inner, op, result)
+                if not self.snapshot_machine.is_ready(inner):
+                    return ConsensusState(
+                        inner=inner,
+                        preference=state.preference,
+                        timestamp=state.timestamp,
+                    )
+                snapshot = self.snapshot_machine.output(inner)
+                best = max_timestamps(snapshot)
+                top = max(best.values())
+                leaders = sorted(
+                    (v for v, ts in best.items() if ts == top), key=repr
+                )
+                leader = leaders[0]
+                others = [ts for v, ts in best.items() if v != leader]
+                if len(leaders) == 1 and (not others or top >= max(others) + 2):
+                    return ConsensusState(
+                        inner=inner, preference=leader,
+                        timestamp=state.timestamp, decision=leader,
+                    )
+                reinvoked = self.snapshot_machine.invoke(
+                    inner, _tv(leader, top + 1)
+                )
+                return ConsensusState(
+                    inner=reinvoked, preference=leader, timestamp=top + 1
+                )
+
+        from repro.core.consensus import TimestampedValue as _tv
+
+        spec = SystemSpec(
+            VacuousDecisionMachine(2), ["x", "y"],
+            WiringAssignment.identity(2, 2),
+        )
+        result = Explorer(
+            spec, [consensus_agreement_and_validity], max_states=200_000
+        ).run()
+        assert result.violation is not None
+        assert "disagreement" in result.violation.message
+        # The counterexample path must replay to the violation.
+        state = spec.initial_state()
+        for action in result.violation.path:
+            _, state = spec.apply(state, action.pid, action.op)
+        outputs = spec.outputs(state)
+        assert len(set(outputs.values())) > 1

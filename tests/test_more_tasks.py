@@ -1,0 +1,167 @@
+"""Tests for the additional task definitions (§3.2's list) and the
+immediate-snapshot negative result (paper's Conclusion)."""
+
+import pytest
+
+from repro.api import run_snapshot
+from repro.tasks import (
+    ImmediateSnapshotTask,
+    SetConsensusTask,
+    WeakSymmetryBreakingTask,
+    check_group_solution,
+)
+
+
+class TestImmediateSnapshotTask:
+    task = ImmediateSnapshotTask()
+
+    def test_valid_immediate_chain(self):
+        # Classic IS output: blocks of simultaneity.
+        assert self.task.is_valid({1: {1, 2}, 2: {1, 2}, 3: {1, 2, 3}})
+
+    def test_snapshot_chain_without_immediacy_invalid(self):
+        # 2 ∈ o[1] but o[2] ⊄ o[1]: legal snapshot, illegal IS.
+        assert not self.task.is_valid({1: {1, 2}, 2: {1, 2, 3}, 3: {1, 2, 3}})
+
+    def test_self_inclusion_required(self):
+        assert not self.task.is_valid({1: {2}, 2: {1, 2}})
+
+    def test_containment_required(self):
+        assert not self.task.is_valid({1: {1, 2}, 2: {2, 3}, 3: {1, 2, 3}})
+
+    def test_singleton(self):
+        assert self.task.is_valid({5: {5}})
+
+    def test_non_participant_in_output(self):
+        assert not self.task.is_valid({1: {1, 9}})
+
+    def test_explanations(self):
+        message = self.task.explain_violation(
+            {1: {1, 2}, 2: {1, 2, 3}, 3: {1, 2, 3}}
+        )
+        assert "immediacy" in message
+
+    def test_single_participant_valid(self):
+        assert self.task.is_valid({1: {1}})
+
+
+class TestSetConsensusTask:
+    def test_k1_is_consensus(self):
+        task = SetConsensusTask(1)
+        assert task.is_valid({1: 1, 2: 1})
+        assert not task.is_valid({1: 1, 2: 2})
+
+    def test_k2_allows_two_values(self):
+        task = SetConsensusTask(2)
+        assert task.is_valid({1: 1, 2: 2, 3: 1})
+        assert not task.is_valid({1: 1, 2: 2, 3: 3})
+
+    def test_values_must_be_participants(self):
+        task = SetConsensusTask(2)
+        assert not task.is_valid({1: 9})
+
+    def test_empty_valid(self):
+        assert SetConsensusTask(1).is_valid({})
+
+    def test_invalid_k(self):
+        with pytest.raises(ValueError):
+            SetConsensusTask(0)
+
+    def test_explanations(self):
+        task = SetConsensusTask(1)
+        assert "exceed" in task.explain_violation({1: 1, 2: 2})
+        assert "non-participant" in task.explain_violation({1: 9})
+
+
+class TestWeakSymmetryBreaking:
+    task = WeakSymmetryBreakingTask(3)
+
+    def test_full_participation_must_break_symmetry(self):
+        assert self.task.is_valid({1: 0, 2: 1, 3: 0})
+        assert not self.task.is_valid({1: 0, 2: 0, 3: 0})
+        assert not self.task.is_valid({1: 1, 2: 1, 3: 1})
+
+    def test_partial_participation_unconstrained(self):
+        assert self.task.is_valid({1: 0, 2: 0})
+        assert self.task.is_valid({1: 1})
+
+    def test_binary_outputs_only(self):
+        assert not self.task.is_valid({1: 2, 2: 0, 3: 1})
+
+    def test_needs_two_processors(self):
+        with pytest.raises(ValueError):
+            WeakSymmetryBreakingTask(1)
+
+    def test_explanations(self):
+        assert "symmetry" in self.task.explain_violation({1: 0, 2: 0, 3: 0})
+        assert "non-binary" in self.task.explain_violation({1: 5, 2: 0, 3: 1})
+
+
+class TestSnapshotAlgorithmIsNotImmediateSnapshot:
+    """The paper's Conclusion: immediate snapshot is not group-solvable
+    under (even just processor) anonymity.  Consistently, the Figure 3
+    algorithm solves the snapshot task but *not* the immediate variant:
+    executions whose outputs violate immediacy are easy to find."""
+
+    @staticmethod
+    def run_staggered_execution():
+        """A schedule that produces non-immediate outputs:
+
+        p1 takes one write step (so input 2 is in memory), p0 runs to
+        completion (output {1,2} — it saw p1), then p1 and p2 run to
+        completion (p1 now also sees 3, outputting {1,2,3}).  Then
+        ``2 ∈ o[p0]`` but ``o[p1] ⊄ o[p0]``: immediacy violated, while
+        containment holds — a legal snapshot, not an immediate one.
+        """
+        from repro.api import build_runner
+        from repro.core import SnapshotMachine
+        from repro.memory.wiring import WiringAssignment
+
+        machine = SnapshotMachine(3)
+        runner = build_runner(
+            machine, [1, 2, 3], seed=None,
+            wiring=WiringAssignment.identity(3, 3),
+            scheduler=_Manual(),
+        )
+        runner.step_process(0)  # p0's first write of {1} to register 0
+        runner.step_process(1)  # p1 overwrites it with {2}: 2 is in memory
+        while runner.processes[0].status.value == "running":
+            runner.step_process(0)  # p0 reads {2}, finishes with {1,2}
+        for _ in range(100_000):
+            enabled = [
+                p.pid for p in runner.processes[1:]
+                if p.status.value == "running"
+            ]
+            if not enabled:
+                break
+            for pid in enabled:
+                runner.step_process(pid)
+        return runner.result()
+
+    def test_violation_exists(self):
+        from repro.tasks import SnapshotTask
+
+        result = self.run_staggered_execution()
+        assert result.all_terminated
+        outputs = {pid + 1: result.outputs[pid] for pid in range(3)}
+        assert outputs[1] == frozenset({1, 2})
+        assert 2 in outputs[1] and not outputs[2] <= outputs[1]
+        assert SnapshotTask().is_valid(outputs)
+        assert not ImmediateSnapshotTask().is_valid(outputs)
+
+    def test_group_version_also_violated(self):
+        """Definition 3.4 against the immediate-snapshot task fails on
+        the same execution: with distinct inputs every group is a
+        singleton, so no output-sample choice can save it."""
+        result = self.run_staggered_execution()
+        inputs = {pid: pid + 1 for pid in range(3)}
+        check = check_group_solution(
+            ImmediateSnapshotTask(), inputs, result.outputs
+        )
+        assert not check.valid
+        assert "immediacy" in check.reason
+
+
+class _Manual:
+    def choose(self, step_index, enabled):
+        return None

@@ -1,0 +1,100 @@
+"""Unit tests for the MWMR atomic register bank."""
+
+import pytest
+
+from repro.memory.registers import RegisterArray
+
+
+class TestConstruction:
+    def test_initial_contents(self):
+        bank = RegisterArray(3, initial_value=frozenset())
+        assert bank.size == 3
+        assert list(bank) == [frozenset()] * 3
+
+    def test_default_initial_value_is_none(self):
+        bank = RegisterArray(2)
+        assert bank.read(0) is None
+        assert bank.initial_value is None
+
+    def test_zero_size_rejected(self):
+        with pytest.raises(ValueError):
+            RegisterArray(0)
+
+    def test_negative_size_rejected(self):
+        with pytest.raises(ValueError):
+            RegisterArray(-1)
+
+    def test_len_matches_size(self):
+        assert len(RegisterArray(5)) == 5
+
+
+class TestReadWrite:
+    def test_write_then_read(self):
+        bank = RegisterArray(2)
+        bank.write(1, "value", writer=0)
+        assert bank.read(1) == "value"
+        assert bank.read(0) is None
+
+    def test_overwrite_replaces(self):
+        bank = RegisterArray(1)
+        bank.write(0, "first", writer=0)
+        bank.write(0, "second", writer=1)
+        assert bank.read(0) == "second"
+
+    def test_unhashable_value_rejected(self):
+        bank = RegisterArray(1)
+        with pytest.raises(TypeError):
+            bank.write(0, ["unhashable", "list"])
+
+    def test_out_of_range_read_raises(self):
+        bank = RegisterArray(2)
+        with pytest.raises(IndexError):
+            bank.read(5)
+
+
+class TestMetadata:
+    def test_last_writer_initially_none(self):
+        bank = RegisterArray(2)
+        assert bank.last_writer(0) is None
+        assert bank.last_writer(1) is None
+
+    def test_last_writer_tracks_writes(self):
+        bank = RegisterArray(2)
+        bank.write(0, "x", writer=3)
+        assert bank.last_writer(0) == 3
+        bank.write(0, "y", writer=1)
+        assert bank.last_writer(0) == 1
+
+    def test_versions_count_writes(self):
+        bank = RegisterArray(1)
+        assert bank.version(0) == 0
+        bank.write(0, "a", writer=0)
+        bank.write(0, "a", writer=0)  # same value still bumps version
+        assert bank.version(0) == 2
+
+    def test_snapshot_is_immutable_copy(self):
+        bank = RegisterArray(2)
+        bank.write(0, "x", writer=0)
+        snap = bank.snapshot()
+        bank.write(0, "y", writer=1)
+        assert snap == ("x", None)
+
+    def test_last_writers_tuple(self):
+        bank = RegisterArray(3)
+        bank.write(2, "v", writer=7)
+        assert bank.last_writers() == (None, None, 7)
+
+    def test_registers_last_written_by(self):
+        bank = RegisterArray(4)
+        bank.write(0, "a", writer=0)
+        bank.write(1, "b", writer=1)
+        bank.write(2, "c", writer=0)
+        assert bank.registers_last_written_by([0]) == (0, 2)
+        assert bank.registers_last_written_by([1]) == (1,)
+        assert bank.registers_last_written_by([0, 1]) == (0, 1, 2)
+        assert bank.registers_last_written_by([9]) == ()
+
+    def test_registers_last_written_by_ignores_initial(self):
+        bank = RegisterArray(2)
+        # None writers (initial values) never match a processor list.
+        assert bank.registers_last_written_by([0, 1]) == ()

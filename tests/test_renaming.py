@@ -1,0 +1,143 @@
+"""Tests for adaptive renaming (Figure 4, Section 6)."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.api import run_renaming
+from repro.core.renaming import (
+    RenamingMachine,
+    bar_noy_dolev_name,
+    renaming_bound,
+)
+from repro.tasks import AdaptiveRenamingTask, check_group_solution
+
+
+class TestNameFormula:
+    def test_singleton_snapshot_gets_name_one(self):
+        assert bar_noy_dolev_name(frozenset({5}), 5) == 1
+
+    def test_size_two_snapshot_names(self):
+        snap = frozenset({3, 8})
+        assert bar_noy_dolev_name(snap, 3) == 2
+        assert bar_noy_dolev_name(snap, 8) == 3
+
+    def test_size_three_snapshot_names(self):
+        snap = frozenset({1, 2, 3})
+        assert [bar_noy_dolev_name(snap, v) for v in (1, 2, 3)] == [4, 5, 6]
+
+    def test_name_ranges_are_disjoint_per_size(self):
+        """Size-z snapshots use names z(z-1)/2+1 .. z(z+1)/2, disjoint
+        across sizes — the layout the paper describes."""
+        used = set()
+        for z in range(1, 8):
+            snap = frozenset(range(z))
+            names = {bar_noy_dolev_name(snap, v) for v in range(z)}
+            assert names == set(
+                range(z * (z - 1) // 2 + 1, z * (z + 1) // 2 + 1)
+            )
+            assert not (names & used) or z == 1
+            used |= names
+
+    def test_own_id_must_be_in_snapshot(self):
+        with pytest.raises(ValueError):
+            bar_noy_dolev_name(frozenset({1, 2}), 3)
+
+    def test_bound_formula(self):
+        assert [renaming_bound(m) for m in (1, 2, 3, 4)] == [1, 3, 6, 10]
+
+    @given(st.sets(st.integers(0, 50), min_size=1, max_size=8))
+    def test_names_within_bound_property(self, snapshot):
+        snap = frozenset(snapshot)
+        for member in snap:
+            name = bar_noy_dolev_name(snap, member)
+            assert 1 <= name <= renaming_bound(len(snap))
+
+    @given(st.sets(st.integers(0, 50), min_size=1, max_size=8))
+    def test_names_unique_within_one_snapshot(self, snapshot):
+        snap = frozenset(snapshot)
+        names = [bar_noy_dolev_name(snap, member) for member in snap]
+        assert len(set(names)) == len(names)
+
+
+class TestEndToEnd:
+    @given(
+        st.lists(st.sampled_from([1, 2, 3, 4]), min_size=2, max_size=6),
+        st.integers(min_value=0, max_value=2**32),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_names_unique_across_groups_and_bounded(self, group_ids, seed):
+        result = run_renaming(group_ids, seed=seed)
+        assert result.all_terminated
+        names = result.outputs
+        m = len(set(group_ids))
+        for pid, name in names.items():
+            assert 1 <= name <= renaming_bound(m), (group_ids, names)
+        for p in range(len(group_ids)):
+            for q in range(p + 1, len(group_ids)):
+                if group_ids[p] != group_ids[q]:
+                    assert names[p] != names[q], (group_ids, names)
+
+    @given(
+        st.lists(st.sampled_from(["x", "y", "z"]), min_size=2, max_size=5),
+        st.integers(min_value=0, max_value=2**32),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_group_solves_renaming_task(self, group_ids, seed):
+        """Definition 3.4 against the adaptive-renaming task."""
+        result = run_renaming(group_ids, seed=seed)
+        inputs = {pid: group_ids[pid] for pid in range(len(group_ids))}
+        check = check_group_solution(
+            AdaptiveRenamingTask(), inputs, result.outputs
+        )
+        assert check.valid, check.reason
+
+    def test_adaptivity_bound_counts_groups_not_processors(self):
+        """Six processors in two groups must fit in 1..3, not 1..21."""
+        for seed in range(20):
+            group_ids = ["a", "b", "a", "b", "a", "b"]
+            result = run_renaming(group_ids, seed=seed)
+            assert all(1 <= name <= 3 for name in result.outputs.values()), (
+                seed, result.outputs
+            )
+
+    def test_distinct_inputs_distinct_names(self):
+        for seed in range(20):
+            result = run_renaming([1, 2, 3, 4], seed=seed)
+            names = list(result.outputs.values())
+            assert len(set(names)) == len(names), (seed, result.outputs)
+
+    def test_same_group_may_share_a_name(self):
+        """Allowed by group solvability; with identical inputs and a
+        symmetric schedule it actually happens."""
+        result = run_renaming(["g", "g"], seed=0)
+        assert set(result.outputs.values()) <= {1, 2, 3}
+
+
+class TestMachineInterface:
+    def test_snapshot_used_exposed(self):
+        machine = RenamingMachine(2)
+        state = machine.initial_state("a")
+        assert machine.snapshot_used(state) is None
+        assert machine.output(state) is None
+
+    def test_register_value_matches_snapshot_machine(self):
+        machine = RenamingMachine(3)
+        assert machine.register_initial_value() == (
+            machine.snapshot_machine.register_initial_value()
+        )
+
+    def test_name_consistent_with_snapshot(self):
+        for seed in range(10):
+            machine = RenamingMachine(3)
+            from repro.api import build_runner
+
+            runner = build_runner(machine, [5, 6, 7], seed=seed)
+            result = runner.run(200_000)
+            assert result.all_terminated
+            for process in runner.processes:
+                snap = machine.snapshot_used(process.state)
+                assert process.output == bar_noy_dolev_name(
+                    snap, process.my_input
+                )

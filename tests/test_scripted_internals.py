@@ -1,0 +1,127 @@
+"""Unit tests for the scripted-execution builders and steering tools."""
+
+import pytest
+
+from repro.sim.non_linearizable import SteerablePolicy
+from repro.sim.ops import Read, Write
+from repro.sim.scripted import (
+    EXTENSION_INPUTS,
+    FIGURE2_EXPECTED_ROWS,
+    build_extension_runner,
+    build_figure2_runner,
+    extension_schedule,
+    figure2_schedule,
+    figure2_wiring,
+)
+
+
+class TestFigure2Schedule:
+    def test_one_cycle_length(self):
+        # Row 1 is two write+scan iterations (8 steps); rows 2-13 are
+        # one each (4 steps).
+        assert len(figure2_schedule(1)) == 8 + 12 * 4
+
+    def test_zero_extra_cycles_equals_one(self):
+        assert figure2_schedule(0) == figure2_schedule(1)
+
+    def test_step_multiset_per_cycle(self):
+        base = figure2_schedule(1)
+        extended = figure2_schedule(2)
+        cycle = extended[len(base):]
+        assert len(cycle) == 36
+        assert cycle.count(0) == cycle.count(1) == cycle.count(2) == 12
+
+    def test_expected_rows_are_well_formed(self):
+        assert len(FIGURE2_EXPECTED_ROWS) == 13
+        for row in FIGURE2_EXPECTED_ROWS:
+            assert len(row.registers) == 3
+            assert len(row.views) == 3
+        # Row 13 repeats row 4 (the paper's "(same as 4)").
+        assert FIGURE2_EXPECTED_ROWS[12].registers == (
+            FIGURE2_EXPECTED_ROWS[3].registers
+        )
+
+
+class TestExtensionSchedule:
+    def test_prefix_matches_figure2_rows_1_to_4(self):
+        schedule = extension_schedule(n_cycles=0)
+        assert schedule[:20] == figure2_schedule(1)[:20]
+        # Then the two initial non-perturbing writes of p and p'.
+        assert schedule[20:22] == [3, 4]
+
+    def test_cycles_contain_piggybacked_steps(self):
+        schedule = extension_schedule(n_cycles=2)
+        cycle_part = schedule[22:]
+        assert 3 in cycle_part and 4 in cycle_part
+
+    def test_pids_in_range(self):
+        assert set(extension_schedule(n_cycles=6)) <= {0, 1, 2, 3, 4}
+
+    def test_runner_accepts_any_cycle_count(self):
+        for cycles in (1, 3, 7):
+            runner = build_extension_runner(
+                n_cycles=cycles, detect_lasso=False
+            )
+            result = runner.run(10 ** 6)
+            assert result.steps == len(extension_schedule(cycles))
+
+    def test_inputs_tuple(self):
+        assert EXTENSION_INPUTS == (1, 2, 3, 1, 1)
+
+
+class TestWiring:
+    def test_three_processor_wiring(self):
+        wiring = figure2_wiring(3)
+        # p1 rotated by one; p2, p3 identity.
+        assert wiring[0].permutation == (1, 2, 0)
+        assert wiring[1].permutation == (0, 1, 2)
+        assert wiring[2].permutation == (0, 1, 2)
+
+    def test_extension_processors_share_rotation(self):
+        wiring = figure2_wiring(5)
+        assert wiring[3].permutation == wiring[0].permutation
+        assert wiring[4].permutation == wiring[0].permutation
+
+
+class TestSteerablePolicy:
+    def test_default_takes_first(self):
+        policy = SteerablePolicy()
+        ops = (Write(0, "a"), Write(1, "a"))
+        assert policy(ops) is ops[0]
+
+    def test_preference_selects_register(self):
+        policy = SteerablePolicy()
+        policy.prefer(1)
+        ops = (Write(0, "a"), Write(1, "a"))
+        assert policy(ops) is ops[1]
+
+    def test_preference_is_one_shot(self):
+        policy = SteerablePolicy()
+        policy.prefer(1)
+        ops = (Write(0, "a"), Write(1, "a"))
+        policy(ops)
+        assert policy(ops) is ops[0]
+
+    def test_impossible_preference_raises(self):
+        policy = SteerablePolicy()
+        policy.prefer(2)
+        with pytest.raises(RuntimeError):
+            policy((Write(0, "a"), Write(1, "a")))
+
+    def test_preference_ignores_reads(self):
+        policy = SteerablePolicy()
+        policy.prefer(0)
+        with pytest.raises(RuntimeError):
+            policy((Read(0),))
+
+
+class TestFigure2RunnerGuards:
+    def test_lasso_runner_extends_schedule(self):
+        runner = build_figure2_runner(n_cycles=1, detect_lasso=True)
+        result = runner.run(100_000)
+        assert result.lasso is not None
+
+    def test_plain_runner_runs_exact_script(self):
+        runner = build_figure2_runner(n_cycles=2, detect_lasso=False)
+        result = runner.run(10 ** 6)
+        assert result.steps == len(figure2_schedule(2))

@@ -1,0 +1,248 @@
+"""Tests for schedulers, processes, and the runner."""
+
+import random
+
+import pytest
+
+from repro.core import SnapshotMachine, WriteScanMachine
+from repro.memory import AnonymousMemory, WiringAssignment
+from repro.sim import (
+    GeneratorProcess,
+    MachineProcess,
+    PeriodicScheduler,
+    ProcessStatus,
+    RandomScheduler,
+    RoundRobinScheduler,
+    Runner,
+    ScriptScheduler,
+    SoloScheduler,
+)
+from repro.sim.machine import FIRST_ENABLED, RandomPolicy
+from repro.sim.ops import Read, Write
+
+
+class TestSchedulers:
+    def test_round_robin_cycles_fairly(self):
+        scheduler = RoundRobinScheduler()
+        picks = [scheduler.choose(i, [0, 1, 2]) for i in range(6)]
+        assert picks == [0, 1, 2, 0, 1, 2]
+
+    def test_round_robin_skips_missing(self):
+        scheduler = RoundRobinScheduler()
+        assert scheduler.choose(0, [0, 1, 2]) == 0
+        assert scheduler.choose(1, [0, 2]) == 2  # 1 is gone
+        assert scheduler.choose(2, [0, 2]) == 0
+
+    def test_random_scheduler_seeded(self):
+        one = RandomScheduler(random.Random(1))
+        two = RandomScheduler(random.Random(1))
+        first = [one.choose(i, [0, 1, 2]) for i in range(20)]
+        second = [two.choose(i, [0, 1, 2]) for i in range(20)]
+        assert first == second
+        assert set(first) == {0, 1, 2}
+
+    def test_solo_scheduler_stops_without_fallback(self):
+        scheduler = SoloScheduler(1)
+        assert scheduler.choose(0, [0, 1, 2]) == 1
+        assert scheduler.choose(1, [0, 2]) is None
+
+    def test_solo_scheduler_with_fallback(self):
+        scheduler = SoloScheduler(1, then_others=True)
+        assert scheduler.choose(0, [0, 1, 2]) == 1
+        assert scheduler.choose(1, [0, 2]) in (0, 2)
+
+    def test_script_scheduler_follows_script(self):
+        scheduler = ScriptScheduler([2, 0, 1])
+        assert [scheduler.choose(i, [0, 1, 2]) for i in range(3)] == [2, 0, 1]
+        assert scheduler.choose(3, [0, 1, 2]) is None
+
+    def test_script_scheduler_raises_on_desync(self):
+        scheduler = ScriptScheduler([2])
+        with pytest.raises(RuntimeError):
+            scheduler.choose(0, [0, 1])
+
+    def test_periodic_scheduler_repeats(self):
+        scheduler = PeriodicScheduler([0, 0, 1])
+        picks = [scheduler.choose(i, [0, 1]) for i in range(6)]
+        assert picks == [0, 0, 1, 0, 0, 1]
+
+    def test_periodic_scheduler_skips_terminated(self):
+        scheduler = PeriodicScheduler([0, 1])
+        assert scheduler.choose(0, [1]) == 1
+        assert scheduler.choose(1, [1]) == 1
+
+    def test_periodic_scheduler_stops_when_pattern_dead(self):
+        scheduler = PeriodicScheduler([0])
+        assert scheduler.choose(0, [1]) is None
+
+    def test_periodic_empty_pattern_rejected(self):
+        with pytest.raises(ValueError):
+            PeriodicScheduler([])
+
+
+class TestMachineProcess:
+    def test_policy_resolves_nondeterminism(self):
+        machine = SnapshotMachine(3)
+        process = MachineProcess(0, machine, 1, FIRST_ENABLED)
+        assert process.next_op().reg == 0
+
+    def test_random_policy_is_seeded(self):
+        machine = SnapshotMachine(3)
+        picks = set()
+        for seed in range(5):
+            process = MachineProcess(
+                0, machine, 1, RandomPolicy(random.Random(seed))
+            )
+            picks.add(process.next_op().reg)
+        assert len(picks) > 1
+
+    def test_steps_counted(self):
+        machine = SnapshotMachine(2)
+        process = MachineProcess(0, machine, 1)
+        process.apply(process.next_op(), None)
+        assert process.steps_taken == 1
+
+    def test_status_transitions(self):
+        machine = SnapshotMachine(1, n_registers=1)
+        process = MachineProcess(0, machine, 1)
+        assert process.status is ProcessStatus.RUNNING
+        while process.status is ProcessStatus.RUNNING:
+            op = process.next_op()
+            result = machine.register_initial_value() if isinstance(op, Read) else None
+            # Feed it its own writes back (solo, 1 register).
+            if isinstance(op, Read):
+                result = getattr(process, "_last_written", machine.register_initial_value())
+            else:
+                process._last_written = op.value
+            process.apply(op, result)
+        assert process.output == frozenset({1})
+
+    def test_next_op_after_done_raises(self):
+        machine = SnapshotMachine(1, n_registers=1)
+        process = MachineProcess(0, machine, 1)
+        while process.status is ProcessStatus.RUNNING:
+            op = process.next_op()
+            if isinstance(op, Read):
+                process.apply(op, getattr(process, "_w", machine.register_initial_value()))
+            else:
+                process._w = op.value
+                process.apply(op, None)
+        with pytest.raises(RuntimeError):
+            process.next_op()
+
+
+class TestGeneratorProcess:
+    @staticmethod
+    def echo_algorithm():
+        value = yield Read(0)
+        yield Write(0, ("seen", value))
+        return value
+
+    def test_lifecycle(self):
+        process = GeneratorProcess(0, self.echo_algorithm())
+        assert process.status is ProcessStatus.RUNNING
+        op = process.next_op()
+        assert op == Read(0)
+        process.apply(op, "payload")
+        op = process.next_op()
+        assert op == Write(0, ("seen", "payload"))
+        process.apply(op, None)
+        assert process.status is ProcessStatus.DONE
+        assert process.output == "payload"
+
+    def test_mismatched_apply_rejected(self):
+        process = GeneratorProcess(0, self.echo_algorithm())
+        with pytest.raises(RuntimeError):
+            process.apply(Read(5), None)
+
+    def test_immediate_return(self):
+        def trivial():
+            return "done"
+            yield  # pragma: no cover
+
+        process = GeneratorProcess(0, trivial())
+        assert process.status is ProcessStatus.DONE
+        assert process.output == "done"
+
+    def test_fingerprint_unsupported(self):
+        process = GeneratorProcess(0, self.echo_algorithm())
+        with pytest.raises(TypeError):
+            process.local_fingerprint()
+
+
+class TestRunner:
+    def build(self, scheduler=None, detect_lasso=False, n=2):
+        machine = WriteScanMachine(n)
+        memory = AnonymousMemory(
+            WiringAssignment.identity(n, n), machine.register_initial_value()
+        )
+        processes = [MachineProcess(pid, machine, pid + 1) for pid in range(n)]
+        return Runner(
+            memory, processes, scheduler or RoundRobinScheduler(),
+            detect_lasso=detect_lasso,
+        )
+
+    def test_pid_order_enforced(self):
+        machine = WriteScanMachine(2)
+        memory = AnonymousMemory(
+            WiringAssignment.identity(2, 2), machine.register_initial_value()
+        )
+        processes = [MachineProcess(1, machine, 1), MachineProcess(0, machine, 2)]
+        with pytest.raises(ValueError):
+            Runner(memory, processes, RoundRobinScheduler())
+
+    def test_process_count_must_match_wiring(self):
+        machine = WriteScanMachine(2)
+        memory = AnonymousMemory(
+            WiringAssignment.identity(3, 2), machine.register_initial_value()
+        )
+        with pytest.raises(ValueError):
+            Runner(memory, [MachineProcess(0, machine, 1)], RoundRobinScheduler())
+
+    def test_max_steps_respected(self):
+        runner = self.build()
+        result = runner.run(max_steps=17)
+        assert result.steps == 17
+        assert result.schedule and len(result.schedule) == 17
+
+    def test_lasso_detection_requires_machines(self):
+        machine = WriteScanMachine(1)
+        memory = AnonymousMemory(
+            WiringAssignment.identity(1, 1), machine.register_initial_value()
+        )
+
+        def forever():
+            while True:
+                yield Read(0)
+
+        with pytest.raises(TypeError):
+            Runner(memory, [GeneratorProcess(0, forever())],
+                   RoundRobinScheduler(), detect_lasso=True)
+
+    def test_lasso_found_on_periodic_schedule(self):
+        runner = self.build(
+            scheduler=PeriodicScheduler([0, 1]), detect_lasso=True
+        )
+        result = runner.run(100_000)
+        assert result.lasso is not None
+        assert result.lasso.cycle_pids == (0, 1)
+
+    def test_outputs_recorded_in_trace(self):
+        machine = SnapshotMachine(2)
+        memory = AnonymousMemory(
+            WiringAssignment.identity(2, 2), machine.register_initial_value()
+        )
+        processes = [MachineProcess(pid, machine, pid + 1) for pid in range(2)]
+        runner = Runner(memory, processes, RoundRobinScheduler())
+        result = runner.run(100_000)
+        assert result.all_terminated
+        assert {event.pid for event in result.trace.outputs()} == {0, 1}
+
+    def test_result_midway_reports_running(self):
+        runner = self.build()
+        runner.run(max_steps=3)
+        result = runner.result()
+        assert all(
+            status is ProcessStatus.RUNNING for status in result.statuses.values()
+        )
+        assert result.outputs == {}

@@ -1,0 +1,200 @@
+"""Unit tests for the snapshot machine's transitions (Figure 3)."""
+
+import pytest
+
+from repro.core.snapshot import (
+    PHASE_DONE,
+    PHASE_SCAN,
+    PHASE_WRITE,
+    SnapshotMachine,
+    SnapshotState,
+)
+from repro.core.views import RegisterRecord
+from repro.sim.ops import Read, Write
+
+
+@pytest.fixture
+def machine():
+    return SnapshotMachine(3)
+
+
+def record(view, level=0):
+    return RegisterRecord(view=frozenset(view), level=level)
+
+
+def complete_scan(machine, state, records):
+    """Feed one full scan of ``records`` (one per register)."""
+    for reg, rec in enumerate(records):
+        state = machine.apply(state, Read(reg), rec)
+    return state
+
+
+def do_write(machine, state):
+    op = machine.enabled_ops(state)[0]
+    return machine.apply(state, op, None)
+
+
+class TestConstruction:
+    def test_defaults(self):
+        machine = SnapshotMachine(4)
+        assert machine.n_registers == 4
+        assert machine.level_target == 4
+
+    def test_register_ablation_configurable(self):
+        machine = SnapshotMachine(4, n_registers=6)
+        assert machine.n_registers == 6
+        assert machine.level_target == 4
+
+    def test_footnote4_level_target(self):
+        machine = SnapshotMachine(4, level_target=3)
+        assert machine.level_target == 3
+
+    def test_invalid_configs_rejected(self):
+        with pytest.raises(ValueError):
+            SnapshotMachine(0)
+        with pytest.raises(ValueError):
+            SnapshotMachine(2, n_registers=0)
+        with pytest.raises(ValueError):
+            SnapshotMachine(2, level_target=0)
+
+    def test_initial_register_record(self, machine):
+        assert machine.register_initial_value() == RegisterRecord(frozenset(), 0)
+
+
+class TestWritePhase:
+    def test_initial_state(self, machine):
+        state = machine.initial_state(7)
+        assert state.view == frozenset({7})
+        assert state.level == 0
+        assert state.phase == PHASE_WRITE
+        assert state.unwritten == frozenset({0, 1, 2})
+
+    def test_writes_carry_view_and_level(self, machine):
+        state = machine.initial_state(7)
+        for op in machine.enabled_ops(state):
+            assert op.value == RegisterRecord(frozenset({7}), 0)
+
+    def test_nondeterministic_register_choice(self, machine):
+        state = machine.initial_state(7)
+        assert {op.reg for op in machine.enabled_ops(state)} == {0, 1, 2}
+
+    def test_write_enters_scan_and_resets_bookkeeping(self, machine):
+        state = machine.initial_state(7)
+        state = machine.apply(state, Write(1, machine.enabled_ops(state)[1].value), None)
+        assert state.phase == PHASE_SCAN
+        assert state.scan_pos == 0
+        assert state.scan_all_match is True
+        assert state.scan_min_level is None
+        assert state.unwritten == frozenset({0, 2})
+
+
+class TestScanLevelRules:
+    def test_matching_scan_increments_level(self, machine):
+        state = do_write(machine, machine.initial_state(7))
+        own = frozenset({7})
+        state = complete_scan(
+            machine, state, [record(own, 0), record(own, 2), record(own, 1)]
+        )
+        # min level read = 0, so new level = 1
+        assert state.level == 1
+        assert state.view == own
+        assert state.phase == PHASE_WRITE
+
+    def test_min_level_plus_one(self, machine):
+        state = do_write(machine, machine.initial_state(7))
+        own = frozenset({7})
+        state = complete_scan(
+            machine, state, [record(own, 2), record(own, 2), record(own, 1)]
+        )
+        assert state.level == 2
+
+    def test_mismatching_scan_resets_level_to_zero(self, machine):
+        state = machine.initial_state(7)
+        # Climb to level 1 first.
+        state = do_write(machine, state)
+        own = frozenset({7})
+        state = complete_scan(
+            machine, state, [record(own, 0)] * 3
+        )
+        assert state.level == 1
+        # Now a scan that sees a different view.
+        state = do_write(machine, state)
+        state = complete_scan(
+            machine, state, [record(own, 1), record({7, 9}, 1), record(own, 1)]
+        )
+        assert state.level == 0
+
+    def test_mismatching_scan_grows_view(self, machine):
+        state = do_write(machine, machine.initial_state(7))
+        state = complete_scan(
+            machine,
+            state,
+            [record({7}, 0), record({8}, 0), record({7, 9}, 0)],
+        )
+        assert state.view == frozenset({7, 8, 9})
+
+    def test_empty_initial_registers_do_not_match(self, machine):
+        """Reading the initial (empty) record differs from the view, so
+        the first scan of a fresh system resets to level 0."""
+        state = do_write(machine, machine.initial_state(7))
+        empty = machine.register_initial_value()
+        state = complete_scan(machine, state, [empty] * 3)
+        assert state.level == 0
+        assert state.view == frozenset({7})
+
+    def test_non_record_read_rejected(self, machine):
+        state = do_write(machine, machine.initial_state(7))
+        with pytest.raises(TypeError):
+            machine.apply(state, Read(0), frozenset({7}))
+
+
+class TestTermination:
+    def climb_to_done(self, machine, my_input=7):
+        state = machine.initial_state(my_input)
+        own = frozenset({my_input})
+        while state.phase != PHASE_DONE:
+            state = do_write(machine, state)
+            level = state.level
+            state = complete_scan(
+                machine, state, [record(own, level)] * machine.n_registers
+            )
+        return state
+
+    def test_reaches_level_target_and_outputs(self, machine):
+        state = self.climb_to_done(machine)
+        assert state.level == machine.level_target
+        assert machine.output(state) == frozenset({7})
+
+    def test_no_ops_after_done(self, machine):
+        state = self.climb_to_done(machine)
+        assert machine.enabled_ops(state) == ()
+
+    def test_done_state_is_canonical(self, machine):
+        """Terminated states canonicalize dead fields (checker quotient)."""
+        state = self.climb_to_done(machine)
+        assert state.unwritten == frozenset()
+        assert state.scan_pos == 0
+        assert state.scan_min_level is None
+
+    def test_climb_takes_exactly_target_scans_solo(self, machine):
+        """A solo climber needs level_target matching scans."""
+        state = machine.initial_state(7)
+        own = frozenset({7})
+        scans = 0
+        while state.phase != PHASE_DONE:
+            state = do_write(machine, state)
+            state = complete_scan(
+                machine, state, [record(own, state.level)] * 3
+            )
+            scans += 1
+        assert scans == machine.level_target
+
+    def test_level_never_exceeds_target(self, machine):
+        state = self.climb_to_done(machine)
+        assert state.level <= machine.level_target
+
+    def test_output_none_while_running(self, machine):
+        state = machine.initial_state(7)
+        assert machine.output(state) is None
+        state = do_write(machine, state)
+        assert machine.output(state) is None

@@ -1,0 +1,158 @@
+"""End-to-end properties of the snapshot algorithm under many schedules.
+
+These are the statistical counterpart of experiment E4: the safety
+properties of Section 5.3 (containment, validity, self-inclusion) and
+wait-free termination, across seeds, sizes, wirings, schedulers, and
+group structures (duplicate inputs).
+"""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.api import build_runner, run_snapshot
+from repro.core import SnapshotMachine
+from repro.core.views import all_comparable
+from repro.memory.wiring import WiringAssignment
+from repro.sim import RoundRobinScheduler, SoloScheduler
+from repro.tasks import SnapshotTask, check_group_solution
+
+from tests.helpers import assert_snapshot_outputs_valid
+
+
+class TestRandomSchedules:
+    @pytest.mark.parametrize("n", [2, 3, 4, 5, 7])
+    def test_terminates_and_valid_across_sizes(self, n):
+        for seed in range(10):
+            result = run_snapshot(list(range(1, n + 1)), seed=seed * 31 + n)
+            assert result.all_terminated
+            assert_snapshot_outputs_valid(
+                {pid: pid + 1 for pid in range(n)}, result.outputs
+            )
+
+    @given(st.integers(min_value=0, max_value=2**32))
+    @settings(max_examples=50, deadline=None)
+    def test_containment_property(self, seed):
+        result = run_snapshot([1, 2, 3, 4], seed=seed)
+        assert result.all_terminated
+        assert all_comparable(result.outputs.values())
+
+    @given(st.integers(min_value=0, max_value=2**32))
+    @settings(max_examples=30, deadline=None)
+    def test_largest_output_is_superset_of_all(self, seed):
+        result = run_snapshot([1, 2, 3], seed=seed)
+        largest = max(result.outputs.values(), key=len)
+        assert all(view <= largest for view in result.outputs.values())
+
+
+class TestSchedulerVariety:
+    def test_round_robin(self):
+        machine = SnapshotMachine(4)
+        runner = build_runner(
+            machine, [1, 2, 3, 4], seed=3, scheduler=RoundRobinScheduler()
+        )
+        result = runner.run(100_000)
+        assert result.all_terminated
+        assert_snapshot_outputs_valid(
+            {pid: pid + 1 for pid in range(4)}, result.outputs
+        )
+
+    def test_solo_run_terminates_with_singleton(self):
+        """A solo processor must output just its own input (wait-freedom
+        without any step from the others)."""
+        machine = SnapshotMachine(4)
+        wiring = WiringAssignment.random(4, 4, random.Random(9))
+        runner = build_runner(
+            machine, [1, 2, 3, 4], seed=9, wiring=wiring,
+            scheduler=SoloScheduler(0),
+        )
+        result = runner.run(100_000)
+        assert result.outputs == {0: frozenset({1})}
+
+    def test_solo_step_count_is_cubic(self):
+        """A solo climb is Θ(N^3): N fill cycles to own every register,
+        then ~N^2 climb cycles — the level is min(levels read) + 1, and
+        the minimum register level only rises after a full round-robin
+        rewrite, so each of the N levels costs ~N cycles of N+1 steps."""
+        for n in (3, 5, 8):
+            machine = SnapshotMachine(n)
+            wiring = WiringAssignment.random(n, n, random.Random(n))
+            runner = build_runner(
+                machine, list(range(n)), seed=n, wiring=wiring,
+                scheduler=SoloScheduler(0),
+            )
+            result = runner.run(10 ** 6)
+            solo_steps = result.trace.step_counts()[0]
+            assert solo_steps <= 2 * (n * n + 2 * n) * (n + 1)
+            assert solo_steps >= n * n  # genuinely superlinear
+
+
+class TestGroupConfigurations:
+    @given(
+        st.lists(st.sampled_from(["a", "b", "c"]), min_size=2, max_size=6),
+        st.integers(min_value=0, max_value=2**32),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_group_solves_snapshot_task(self, group_ids, seed):
+        """Definition 3.4 holds on every finished execution (duplicate
+        inputs = groups)."""
+        result = run_snapshot(group_ids, seed=seed)
+        assert result.all_terminated
+        inputs = {pid: group_ids[pid] for pid in range(len(group_ids))}
+        check = check_group_solution(SnapshotTask(), inputs, result.outputs)
+        assert check.valid, check.reason
+
+    def test_same_group_processors_may_share_exact_output(self):
+        result = run_snapshot(["g", "g", "g"], seed=0)
+        assert all("g" in view for view in result.outputs.values())
+        assert all(view == frozenset({"g"}) for view in result.outputs.values())
+
+
+class TestRegisterSurplus:
+    """More registers than processors must stay safe (M >= N regime)."""
+
+    @pytest.mark.parametrize("extra", [1, 2, 4])
+    def test_extra_registers_safe(self, extra):
+        n = 3
+        for seed in range(5):
+            result = run_snapshot(
+                [1, 2, 3], seed=seed, n_registers=n + extra
+            )
+            assert result.all_terminated
+            assert_snapshot_outputs_valid(
+                {pid: pid + 1 for pid in range(n)}, result.outputs
+            )
+
+
+class TestDeterministicReplay:
+    def test_same_seed_same_execution(self):
+        first = run_snapshot([1, 2, 3], seed=1234)
+        second = run_snapshot([1, 2, 3], seed=1234)
+        assert first.outputs == second.outputs
+        assert first.schedule == second.schedule
+        assert first.steps == second.steps
+
+    def test_different_seeds_differ_somewhere(self):
+        schedules = {tuple(run_snapshot([1, 2, 3], seed=s).schedule) for s in range(5)}
+        assert len(schedules) > 1
+
+
+class TestFootnote4Variant:
+    """Terminating at level N-1 (paper's footnote 4) is also safe."""
+
+    @given(st.integers(min_value=0, max_value=2**32))
+    @settings(max_examples=30, deadline=None)
+    def test_level_n_minus_1_safe(self, seed):
+        result = run_snapshot([1, 2, 3, 4], seed=seed, level_target=3)
+        assert result.all_terminated
+        assert_snapshot_outputs_valid(
+            {pid: pid + 1 for pid in range(4)}, result.outputs
+        )
+
+    def test_lower_levels_are_not_tested_as_safe(self):
+        """Sanity guard: level target 1 is known-unsound (a single clean
+        scan is refuted by the paper); we don't assert anything about
+        it here beyond the machine accepting the configuration."""
+        machine = SnapshotMachine(3, level_target=1)
+        assert machine.level_target == 1

@@ -1,0 +1,147 @@
+"""Experiment E3 tests: Theorem 4.8 — stable views form a single-source DAG.
+
+Strategy: drive the write-scan loop with *periodic* schedules and
+deterministic policies; the system state is finite, so the execution
+provably enters a cycle (a lasso).  The lasso certifies a genuine
+infinite execution whose stable views are exact, and the theorem is
+checked on its stable-view graph.  Randomized over schedules, wirings,
+sizes and register counts.
+"""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.analysis import (
+    StableViewGraph,
+    stable_view_graph_from_lasso,
+    stable_views_of_lasso,
+)
+from repro.analysis.stable_views import approximate_stable_view_graph
+from repro.core import WriteScanMachine
+from repro.core.views import view
+from repro.memory import AnonymousMemory, WiringAssignment
+from repro.sim import MachineProcess, PeriodicScheduler, Runner
+
+
+def lasso_run(n_processors, n_registers, pattern, wiring_seed):
+    rng = random.Random(wiring_seed)
+    machine = WriteScanMachine(n_registers)
+    wiring = WiringAssignment.random(n_processors, n_registers, rng)
+    memory = AnonymousMemory(wiring, machine.register_initial_value())
+    processes = [
+        MachineProcess(pid, machine, pid + 1) for pid in range(n_processors)
+    ]
+    runner = Runner(
+        memory, processes, PeriodicScheduler(pattern), detect_lasso=True
+    )
+    return runner.run(2_000_000)
+
+
+class TestTheorem48:
+    @given(
+        st.integers(min_value=2, max_value=5),
+        st.integers(min_value=0, max_value=2**32),
+        st.data(),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_single_source_dag_on_random_periodic_schedules(
+        self, n, wiring_seed, data
+    ):
+        pattern = data.draw(
+            st.lists(
+                st.integers(min_value=0, max_value=n - 1),
+                min_size=1,
+                max_size=3 * n,
+            )
+        )
+        result = lasso_run(n, n, pattern, wiring_seed)
+        assert result.lasso is not None, "periodic run must reach a lasso"
+        graph = stable_view_graph_from_lasso(result)
+        assert graph.is_dag()
+        assert graph.has_unique_source(), graph.describe()
+
+    @given(
+        st.integers(min_value=2, max_value=4),
+        st.integers(min_value=0, max_value=4),
+        st.integers(min_value=0, max_value=2**32),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_theorem_holds_for_register_surplus(self, n, extra, seed):
+        """The theorem holds for any M >= N.  (It genuinely FAILS for
+        M < N — see test_theorem48_exhaustive.py — because the counting
+        in Lemmas 4.5/4.6 needs at least as many registers as
+        processors; the paper's setting is M = N.)"""
+        m = n + extra
+        pattern_rng = random.Random(seed)
+        pattern = [pattern_rng.randrange(n) for _ in range(pattern_rng.randint(1, 12))]
+        result = lasso_run(n, m, pattern, seed)
+        assert result.lasso is not None
+        graph = stable_view_graph_from_lasso(result)
+        assert graph.is_dag()
+        assert graph.has_unique_source(), graph.describe()
+
+    def test_live_subset_only(self):
+        """Processors outside the periodic pattern are not live; their
+        views do not count as stable (Definition 4.2)."""
+        result = lasso_run(3, 3, pattern=[0, 1], wiring_seed=5)
+        assert result.lasso is not None
+        assert set(result.lasso.cycle_pids) <= {0, 1}
+        views = stable_views_of_lasso(result)
+        assert set(views) == set(result.lasso.cycle_pids)
+
+    def test_source_view_is_subset_of_every_stable_view(self):
+        for seed in range(10):
+            pattern_rng = random.Random(seed)
+            pattern = [pattern_rng.randrange(4) for _ in range(8)]
+            result = lasso_run(4, 4, pattern, seed)
+            graph = stable_view_graph_from_lasso(result)
+            (source,) = graph.sources()
+            assert all(source <= vertex for vertex in graph.vertices)
+
+
+class TestGraphApi:
+    def build(self, views_by_pid):
+        vertices = frozenset(views_by_pid.values())
+        edges = frozenset(
+            (a, b) for a in vertices for b in vertices if a < b
+        )
+        return StableViewGraph(vertices, edges, views_by_pid)
+
+    def test_chain_has_unique_source(self):
+        graph = self.build({0: view(1), 1: view(1, 2), 2: view(1, 2, 3)})
+        assert graph.is_dag() and graph.has_unique_source()
+
+    def test_two_sources_detected(self):
+        graph = self.build({0: view(1), 1: view(2)})
+        assert graph.is_dag()
+        assert not graph.has_unique_source()
+        assert len(graph.sources()) == 2
+
+    def test_single_vertex(self):
+        graph = self.build({0: view(1, 2)})
+        assert graph.sources() == [view(1, 2)]
+        assert graph.has_unique_source()
+
+    def test_networkx_roundtrip(self):
+        graph = self.build({0: view(1), 1: view(1, 2)})
+        nx_graph = graph.to_networkx()
+        import networkx as nx
+
+        assert nx.is_directed_acyclic_graph(nx_graph)
+
+
+class TestApproximateGraph:
+    def test_stable_tail_builds_graph(self):
+        samples = [{0: view(1), 1: view(1, 2)}] * 10
+        graph = approximate_stable_view_graph(samples)
+        assert graph is not None
+        assert graph.has_unique_source()
+
+    def test_unstable_tail_rejected(self):
+        samples = [{0: view(1)}] * 5 + [{0: view(1, 2)}] * 2 + [{0: view(1)}]
+        assert approximate_stable_view_graph(samples) is None
+
+    def test_empty_samples(self):
+        assert approximate_stable_view_graph([]) is None

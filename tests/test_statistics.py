@@ -1,0 +1,98 @@
+"""Tests for execution statistics (benchmark-harness support)."""
+
+from repro.analysis import collect_statistics, level_trace, overwrite_counts
+from repro.api import run_snapshot, run_write_scan
+from repro.memory.trace import Trace, WriteEvent
+from repro.sim.scripted import build_figure2_runner
+
+
+class TestCollectStatistics:
+    def test_counts_partition_steps(self):
+        result = run_snapshot([1, 2, 3], seed=4)
+        stats = collect_statistics(result.trace)
+        assert stats.reads + stats.writes == stats.total_steps
+        assert stats.outputs == 3
+        assert sum(stats.steps_per_pid.values()) == stats.total_steps
+
+    def test_max_and_mean(self):
+        result = run_snapshot([1, 2], seed=1)
+        stats = collect_statistics(result.trace)
+        assert stats.max_steps_per_pid >= stats.mean_steps_per_pid
+
+    def test_summary_renders(self):
+        result = run_snapshot([1, 2], seed=2)
+        text = collect_statistics(result.trace).summary()
+        assert "steps=" in text and "overwrites" in text
+
+    def test_empty_trace(self):
+        stats = collect_statistics(Trace())
+        assert stats.total_steps == 0
+        assert stats.mean_steps_per_pid == 0.0
+
+
+class TestOverwriteAccounting:
+    def test_figure2_has_cross_overwrites(self):
+        """Figure 2 is all about overwriting each other: the churners
+        produce cross-processor overwrites every cycle."""
+        runner = build_figure2_runner(n_cycles=3)
+        result = runner.run(1_000_000)
+        stats = collect_statistics(result.trace)
+        assert stats.cross_overwrites > 0
+        counts = overwrite_counts(result.trace)
+        # p1 overwrites p3, p3 overwrites p2 (rows 3-13).
+        assert counts.get(0, 0) > 0
+        assert counts.get(2, 0) > 0
+
+    def test_unread_overwrites_detect_information_loss(self):
+        runner = build_figure2_runner(n_cycles=3)
+        result = runner.run(1_000_000)
+        stats = collect_statistics(result.trace)
+        # In Figure 2 the churners' writes are erased before anyone
+        # reads many of them.
+        assert stats.unread_overwrites > 0
+
+    def test_solo_run_has_no_cross_overwrites(self):
+        from repro.api import build_runner
+        from repro.core import SnapshotMachine
+        from repro.memory.wiring import WiringAssignment
+        from repro.sim import SoloScheduler
+
+        machine = SnapshotMachine(3)
+        runner = build_runner(
+            machine, [1, 2, 3], seed=None,
+            wiring=WiringAssignment.identity(3, 3),
+            scheduler=SoloScheduler(0),
+        )
+        result = runner.run(100_000)
+        stats = collect_statistics(result.trace)
+        assert stats.cross_overwrites == 0
+
+
+class TestLevelTrace:
+    def test_levels_recorded_per_processor(self):
+        result = run_snapshot([1, 2, 3], seed=6)
+        levels = level_trace(result.trace)
+        assert set(levels) <= {0, 1, 2}
+        assert all(all(lv >= 0 for lv in seq) for seq in levels.values())
+
+    def test_write_scan_has_no_levels(self):
+        result = run_write_scan([1, 2], steps=200, seed=3)
+        assert level_trace(result.trace) == {}
+
+    def test_solo_climb_levels_reach_target(self):
+        from repro.api import build_runner
+        from repro.core import SnapshotMachine
+        from repro.memory.wiring import WiringAssignment
+        from repro.sim import SoloScheduler
+
+        n = 3
+        machine = SnapshotMachine(n)
+        runner = build_runner(
+            machine, [1, 2, 3], seed=None,
+            wiring=WiringAssignment.identity(n, n),
+            scheduler=SoloScheduler(0),
+        )
+        result = runner.run(100_000)
+        levels = level_trace(result.trace)[0]
+        # The climb passes through every level below the target.
+        assert max(levels) == n - 1  # the level-N scan terminates without a write

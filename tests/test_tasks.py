@@ -1,0 +1,109 @@
+"""Tests for task definitions (Section 3.1)."""
+
+import pytest
+
+from repro.tasks import AdaptiveRenamingTask, ConsensusTask, SnapshotTask
+from repro.tasks.renaming_task import bar_noy_dolev_namespace
+
+
+class TestSnapshotTask:
+    task = SnapshotTask()
+
+    def test_valid_chain(self):
+        assert self.task.is_valid(
+            {1: {1}, 2: {1, 2}, 3: {1, 2, 3}}
+        )
+
+    def test_identical_outputs_valid(self):
+        assert self.task.is_valid({1: {1, 2}, 2: {1, 2}})
+
+    def test_missing_self_invalid(self):
+        assert not self.task.is_valid({1: {2}, 2: {1, 2}})
+
+    def test_incomparable_invalid(self):
+        assert not self.task.is_valid({1: {1, 2}, 2: {2, 3}, 3: {1, 2, 3}})
+
+    def test_non_participant_in_output_invalid(self):
+        assert not self.task.is_valid({1: {1, 9}})
+
+    def test_single_participant(self):
+        assert self.task.is_valid({7: {7}})
+        assert not self.task.is_valid({7: set()})
+
+    def test_empty_assignment_valid(self):
+        assert self.task.is_valid({})
+
+    def test_explain_mentions_incomparability(self):
+        message = self.task.explain_violation(
+            {1: {1, 2}, 2: {2, 3}, 3: {1, 2, 3}}
+        )
+        assert "incomparable" in message
+
+    def test_explain_mentions_missing_self(self):
+        message = self.task.explain_violation({1: {2}, 2: {1, 2}})
+        assert "own" in message
+
+    def test_explain_valid(self):
+        assert "valid" in self.task.explain_violation({1: {1}})
+
+
+class TestConsensusTask:
+    task = ConsensusTask()
+
+    def test_constant_on_participant_valid(self):
+        assert self.task.is_valid({1: 2, 2: 2, 3: 2})
+
+    def test_disagreement_invalid(self):
+        assert not self.task.is_valid({1: 1, 2: 2})
+
+    def test_non_participant_value_invalid(self):
+        assert not self.task.is_valid({1: 9, 2: 9})
+
+    def test_single_processor_decides_itself(self):
+        assert self.task.is_valid({4: 4})
+        assert not self.task.is_valid({4: 5})
+
+    def test_empty_assignment_valid(self):
+        assert self.task.is_valid({})
+
+    def test_explanations(self):
+        assert "disagreement" in self.task.explain_violation({1: 1, 2: 2})
+        assert "participating" in self.task.explain_violation({1: 9})
+
+
+class TestAdaptiveRenamingTask:
+    task = AdaptiveRenamingTask()
+
+    def test_namespace_function(self):
+        assert [bar_noy_dolev_namespace(n) for n in (1, 2, 3)] == [1, 3, 6]
+
+    def test_unique_names_within_bound_valid(self):
+        assert self.task.is_valid({"a": 1, "b": 3, "c": 6})
+
+    def test_duplicate_names_invalid(self):
+        assert not self.task.is_valid({"a": 2, "b": 2})
+
+    def test_name_above_bound_invalid(self):
+        # two participants: bound is 3
+        assert not self.task.is_valid({"a": 1, "b": 4})
+
+    def test_zero_or_negative_names_invalid(self):
+        assert not self.task.is_valid({"a": 0})
+        assert not self.task.is_valid({"a": -2})
+
+    def test_non_integer_name_invalid(self):
+        assert not self.task.is_valid({"a": "one"})
+
+    def test_custom_namespace_function(self):
+        tight = AdaptiveRenamingTask(f=lambda n: n)
+        assert tight.is_valid({"a": 1, "b": 2})
+        assert not tight.is_valid({"a": 1, "b": 3})
+
+    def test_adaptivity_bound_follows_participation(self):
+        # One participant: only name 1 is legal.
+        assert self.task.is_valid({"solo": 1})
+        assert not self.task.is_valid({"solo": 2})
+
+    def test_explanations(self):
+        assert "duplicate" in self.task.explain_violation({"a": 1, "b": 1})
+        assert "outside" in self.task.explain_violation({"a": 99})

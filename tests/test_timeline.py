@@ -1,0 +1,101 @@
+"""Tests for the ASCII timeline renderers."""
+
+from repro.analysis import erasure_summary, render_lanes, render_register_history
+from repro.api import run_snapshot
+from repro.memory.trace import Trace
+from repro.sim.scripted import build_figure2_runner
+
+
+def figure2_trace(cycles=2):
+    runner = build_figure2_runner(n_cycles=cycles)
+    return runner.run(10 ** 6).trace
+
+
+class TestRenderLanes:
+    def test_one_row_per_processor(self):
+        trace = figure2_trace()
+        text = render_lanes(trace, max_events=20)
+        lines = text.splitlines()
+        lanes = [line for line in lines if "|" in line]
+        assert len(lanes) == 3
+        assert lanes[0].startswith("p0")
+
+    def test_cells_align_across_lanes(self):
+        text = render_lanes(figure2_trace(), max_events=20)
+        lanes = [line for line in text.splitlines() if "|" in line]
+        assert len({len(lane) for lane in lanes}) == 1
+
+    def test_truncation_reported(self):
+        trace = figure2_trace(cycles=3)
+        text = render_lanes(trace, max_events=10)
+        assert "more events" in text
+
+    def test_write_and_read_markers(self):
+        text = render_lanes(figure2_trace(), max_events=8)
+        assert "W1" in text and "R1" in text
+
+    def test_output_marker(self):
+        result = run_snapshot([1, 2], seed=0)
+        text = render_lanes(result.trace, max_events=1000)
+        assert " ! " in text
+
+    def test_custom_names(self):
+        text = render_lanes(
+            figure2_trace(), max_events=8,
+            processor_names=["alpha", "beta", "gamma"],
+        )
+        assert "alpha" in text
+
+    def test_empty_trace(self):
+        assert render_lanes(Trace()) == ""
+
+
+class TestRegisterHistory:
+    def test_one_row_per_register(self):
+        text = render_register_history(figure2_trace(), 3)
+        lines = text.splitlines()
+        assert len(lines) == 3
+        assert lines[0].startswith("r0:")
+
+    def test_figure2_erasures_marked(self):
+        """Figure 2 is erasure churn: the {1,2}/{1,3} values written by
+        p2 and p3 are overwritten before anyone else reads them."""
+        text = render_register_history(figure2_trace(), 3)
+        assert "✗" in text
+        assert "{1,2}@p1✗" in text
+        assert "{1,3}@p2✗" in text
+
+    def test_last_value_never_marked_erased(self):
+        text = render_register_history(figure2_trace(), 3)
+        for line in text.splitlines():
+            assert not line.rstrip().endswith("✗")
+
+    def test_truncation_suffix(self):
+        text = render_register_history(
+            figure2_trace(cycles=4), 3, max_entries_per_register=3
+        )
+        assert "(+" in text
+
+    def test_record_values_rendered_with_level(self):
+        result = run_snapshot([1, 2], seed=0)
+        text = render_register_history(result.trace, 2)
+        assert "|" in text  # the {view}|level form
+
+
+class TestErasureSummary:
+    def test_figure2_counts(self):
+        trace = figure2_trace(cycles=2)
+        counts = erasure_summary(trace, 3)
+        assert sum(counts.values()) > 0
+        assert set(counts) == {0, 1, 2}
+
+    def test_matches_statistics_module(self):
+        from repro.analysis import collect_statistics
+
+        trace = figure2_trace(cycles=3)
+        assert sum(erasure_summary(trace, 3).values()) == (
+            collect_statistics(trace).unread_overwrites
+        )
+
+    def test_empty_trace(self):
+        assert erasure_summary(Trace(), 2) == {0: 0, 1: 0}

@@ -1,0 +1,116 @@
+"""Property tests tying the trace to live memory state.
+
+The trace is the ground truth every analysis builds on; these tests
+check it is *faithful*: replaying it reconstructs exactly the states
+the memory actually went through, and its derived relations agree with
+independent recomputation.
+"""
+
+import random
+
+from hypothesis import given, settings, strategies as st
+
+from repro.api import build_runner
+from repro.core import SnapshotMachine, WriteScanMachine
+from repro.memory.trace import ReadEvent, WriteEvent
+
+
+def run_and_observe(seed, machine_factory, steps=400):
+    """Run with per-step memory snapshots taken alongside the trace."""
+    rng = random.Random(seed)
+    machine = machine_factory()
+    runner = build_runner(
+        machine,
+        list(range(1, machine.n_registers + 1))[: getattr(machine, "n_processors", machine.n_registers)]
+        or [1],
+        seed=seed,
+    )
+    snapshots = [runner.memory.snapshot()]
+    for _ in range(steps):
+        enabled = runner.enabled_pids()
+        if not enabled:
+            break
+        pick = runner.scheduler.choose(0, enabled)
+        runner.step_process(pick)
+        snapshots.append(runner.memory.snapshot())
+    return runner, snapshots
+
+
+class TestMemoryHistoryFaithfulness:
+    @given(st.integers(min_value=0, max_value=2**32))
+    @settings(max_examples=30, deadline=None)
+    def test_history_reconstruction_matches_live_snapshots(self, seed):
+        runner, live = run_and_observe(seed, lambda: SnapshotMachine(3))
+        machine_initial = SnapshotMachine(3).register_initial_value()
+        trace = runner.memory.trace
+        # The trace interleaves reads/writes/outputs; live snapshots
+        # were taken after every *shared-memory* step only, so compare
+        # against the reconstruction filtered to those events.
+        reconstructed = trace.memory_history(3, initial_value=machine_initial)
+        shared_indices = [0]
+        for index, event in enumerate(trace):
+            if isinstance(event, (ReadEvent, WriteEvent)):
+                shared_indices.append(index + 1)
+        filtered = [reconstructed[i] for i in shared_indices]
+        assert filtered == live
+
+    @given(st.integers(min_value=0, max_value=2**32))
+    @settings(max_examples=30, deadline=None)
+    def test_read_values_match_reconstruction(self, seed):
+        """Every recorded read value equals the reconstructed register
+        content at that moment."""
+        runner, _ = run_and_observe(seed, lambda: WriteScanMachine(3))
+        trace = runner.memory.trace
+        history = trace.memory_history(3, initial_value=frozenset())
+        for index, event in enumerate(trace):
+            if isinstance(event, ReadEvent):
+                assert history[index][event.physical_index] == event.value
+
+    @given(st.integers(min_value=0, max_value=2**32))
+    @settings(max_examples=30, deadline=None)
+    def test_reads_from_matches_recomputation(self, seed):
+        """`read_from` equals the last writer at the read's moment,
+        recomputed independently from the write events."""
+        runner, _ = run_and_observe(seed, lambda: WriteScanMachine(2))
+        trace = runner.memory.trace
+        last_writer = {}
+        for event in trace:
+            if isinstance(event, WriteEvent):
+                last_writer[event.physical_index] = event.pid
+            elif isinstance(event, ReadEvent):
+                assert event.read_from == last_writer.get(
+                    event.physical_index
+                )
+
+    @given(st.integers(min_value=0, max_value=2**32))
+    @settings(max_examples=30, deadline=None)
+    def test_overwrite_metadata_matches_reconstruction(self, seed):
+        runner, _ = run_and_observe(seed, lambda: WriteScanMachine(2))
+        trace = runner.memory.trace
+        history = trace.memory_history(2, initial_value=frozenset())
+        for index, event in enumerate(trace):
+            if isinstance(event, WriteEvent):
+                assert history[index][event.physical_index] == event.overwritten
+
+
+class TestScheduleFaithfulness:
+    @given(st.integers(min_value=0, max_value=2**32))
+    @settings(max_examples=20, deadline=None)
+    def test_schedule_matches_trace_pids(self, seed):
+        """The runner's recorded schedule agrees with the trace's
+        shared-memory events, in order."""
+        runner, _ = run_and_observe(seed, lambda: SnapshotMachine(3))
+        result = runner.result()
+        trace_pids = [
+            event.pid
+            for event in result.trace
+            if isinstance(event, (ReadEvent, WriteEvent))
+        ]
+        assert trace_pids == result.schedule
+
+    @given(st.integers(min_value=0, max_value=2**32))
+    @settings(max_examples=20, deadline=None)
+    def test_step_counts_sum_to_schedule_length(self, seed):
+        runner, _ = run_and_observe(seed, lambda: SnapshotMachine(3))
+        result = runner.result()
+        assert sum(result.trace.step_counts().values()) == len(result.schedule)

@@ -1,0 +1,99 @@
+"""Property tests for the view value types (`repro.core.views`)."""
+
+from hypothesis import given, strategies as st
+
+from repro.core.views import (
+    RegisterRecord,
+    all_comparable,
+    comparable,
+    view,
+)
+
+sets = st.frozensets(st.integers(0, 10), max_size=6)
+
+
+class TestViewHelper:
+    def test_view_constructor(self):
+        assert view(1, 2) == frozenset({1, 2})
+        assert view() == frozenset()
+
+    def test_view_is_hashable(self):
+        assert hash(view(1, 2)) == hash(frozenset({1, 2}))
+
+
+class TestComparable:
+    @given(sets)
+    def test_reflexive(self, s):
+        assert comparable(s, s)
+
+    @given(sets, sets)
+    def test_symmetric(self, a, b):
+        assert comparable(a, b) == comparable(b, a)
+
+    @given(sets)
+    def test_empty_comparable_with_everything(self, s):
+        assert comparable(frozenset(), s)
+
+    def test_incomparable_pair(self):
+        assert not comparable({1, 2}, {2, 3})
+
+    @given(sets, sets)
+    def test_matches_definition(self, a, b):
+        assert comparable(a, b) == (a <= b or b <= a)
+
+    def test_accepts_any_iterable(self):
+        assert comparable([1, 2], (1, 2, 3))
+
+
+class TestAllComparable:
+    @given(st.lists(sets, max_size=6))
+    def test_matches_pairwise_definition(self, family):
+        pairwise = all(
+            comparable(a, b)
+            for i, a in enumerate(family)
+            for b in family[i + 1:]
+        )
+        assert all_comparable(family) == pairwise
+
+    @given(sets, st.integers(1, 5))
+    def test_chain_of_prefixes_comparable(self, base, length):
+        ordered = sorted(base)
+        chain = [frozenset(ordered[:i]) for i in range(length)]
+        assert all_comparable(chain)
+
+    def test_empty_family(self):
+        assert all_comparable([])
+
+    def test_single_element(self):
+        assert all_comparable([{1, 2}])
+
+    def test_duplicates_allowed(self):
+        assert all_comparable([{1}, {1}, {1, 2}])
+
+    def test_counterexample(self):
+        assert not all_comparable([{1}, {1, 2}, {1, 3}])
+
+
+class TestRegisterRecord:
+    def test_defaults(self):
+        record = RegisterRecord()
+        assert record.view == frozenset()
+        assert record.level == 0
+
+    def test_equality_and_hash(self):
+        a = RegisterRecord(view(1, 2), 1)
+        b = RegisterRecord(frozenset({2, 1}), 1)
+        assert a == b and hash(a) == hash(b)
+        assert a != RegisterRecord(view(1, 2), 2)
+
+    def test_immutability(self):
+        import dataclasses
+        import pytest
+
+        record = RegisterRecord(view(1), 0)
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            record.level = 3
+
+    def test_repr_compact(self):
+        assert repr(RegisterRecord(view(1, 2), 3)) == "<{1,2}|3>"
+        assert repr(RegisterRecord()) == "<{}|0>"

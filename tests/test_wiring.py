@@ -1,0 +1,149 @@
+"""Unit and property tests for wirings (the memory-anonymity mechanism)."""
+
+import random
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.memory.wiring import (
+    Wiring,
+    WiringAssignment,
+    enumerate_wiring_assignments,
+)
+
+
+class TestWiring:
+    def test_identity(self):
+        wiring = Wiring.identity(4)
+        assert [wiring.to_physical(i) for i in range(4)] == [0, 1, 2, 3]
+
+    def test_rotation(self):
+        wiring = Wiring.rotation(3, 1)
+        assert [wiring.to_physical(i) for i in range(3)] == [1, 2, 0]
+
+    def test_rotation_wraps(self):
+        wiring = Wiring.rotation(3, 5)  # == shift 2
+        assert wiring == Wiring.rotation(3, 2)
+
+    def test_inverse_roundtrip(self):
+        wiring = Wiring([2, 0, 1])
+        for local in range(3):
+            assert wiring.to_local(wiring.to_physical(local)) == local
+        for physical in range(3):
+            assert wiring.to_physical(wiring.to_local(physical)) == physical
+
+    def test_non_permutation_rejected(self):
+        with pytest.raises(ValueError):
+            Wiring([0, 0, 1])
+        with pytest.raises(ValueError):
+            Wiring([1, 2, 3])
+
+    def test_equality_and_hash(self):
+        assert Wiring([1, 0]) == Wiring((1, 0))
+        assert hash(Wiring([1, 0])) == hash(Wiring((1, 0)))
+        assert Wiring([0, 1]) != Wiring([1, 0])
+
+    def test_shuffled_is_permutation(self):
+        rng = random.Random(1)
+        for _ in range(20):
+            wiring = Wiring.shuffled(5, rng)
+            assert sorted(wiring.permutation) == list(range(5))
+
+    @given(st.integers(min_value=1, max_value=8), st.integers())
+    def test_shuffled_roundtrip_property(self, size, seed):
+        wiring = Wiring.shuffled(size, random.Random(seed))
+        assert all(
+            wiring.to_local(wiring.to_physical(i)) == i for i in range(size)
+        )
+
+
+class TestWiringAssignment:
+    def test_identity_assignment(self):
+        assignment = WiringAssignment.identity(3, 4)
+        assert assignment.n_processors == 3
+        assert assignment.n_registers == 4
+        assert all(w == Wiring.identity(4) for w in assignment)
+
+    def test_mixed_register_counts_rejected(self):
+        with pytest.raises(ValueError):
+            WiringAssignment([Wiring.identity(2), Wiring.identity(3)])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            WiringAssignment([])
+
+    def test_indexing(self):
+        assignment = WiringAssignment.from_permutations([(0, 1), (1, 0)])
+        assert assignment[1].to_physical(0) == 1
+        assert assignment.wiring_of(0) == Wiring.identity(2)
+
+    def test_permutations_hashable_form(self):
+        assignment = WiringAssignment.from_permutations([(0, 1), (1, 0)])
+        assert assignment.permutations() == ((0, 1), (1, 0))
+        assert hash(assignment) == hash(
+            WiringAssignment.from_permutations([(0, 1), (1, 0)])
+        )
+
+
+class TestCanonicalization:
+    def test_canonical_first_is_identity(self):
+        assignment = WiringAssignment.from_permutations([(1, 2, 0), (2, 0, 1)])
+        canonical = assignment.canonicalize()
+        assert canonical[0] == Wiring.identity(3)
+
+    def test_canonicalize_preserves_relative_wiring(self):
+        # Relabelling is invisible: reading "local i of p after p wrote
+        # local j of q" relations must be preserved.  Equivalent check:
+        # sigma_q o sigma_p^{-1} is invariant.
+        assignment = WiringAssignment.from_permutations([(1, 2, 0), (2, 0, 1)])
+        canonical = assignment.canonicalize()
+
+        def relative(a):
+            p, q = a[0], a[1]
+            return tuple(q.to_local(p.to_physical(i)) for i in range(3))
+
+        # relative wiring from p0's locals to p1's locals is unchanged
+        original_rel = tuple(
+            assignment[1].to_local(assignment[0].to_physical(i)) for i in range(3)
+        )
+        canonical_rel = tuple(
+            canonical[1].to_local(canonical[0].to_physical(i)) for i in range(3)
+        )
+        assert original_rel == canonical_rel
+
+    def test_identity_assignment_is_fixed_point(self):
+        assignment = WiringAssignment.identity(2, 3)
+        assert assignment.canonicalize() == assignment
+
+
+class TestEnumeration:
+    def test_count_with_symmetry(self):
+        assignments = list(enumerate_wiring_assignments(2, 2))
+        # sigma_0 pinned to identity; sigma_1 ranges over 2! = 2 perms.
+        assert len(assignments) == 2
+
+    def test_count_without_symmetry(self):
+        assignments = list(
+            enumerate_wiring_assignments(2, 2, fix_first_identity=False)
+        )
+        assert len(assignments) == 4
+
+    def test_three_processors_three_registers(self):
+        assignments = list(enumerate_wiring_assignments(3, 3))
+        assert len(assignments) == 36  # (3!)^2
+
+    def test_every_full_assignment_has_canonical_representative(self):
+        canonical_set = {
+            assignment.permutations()
+            for assignment in enumerate_wiring_assignments(2, 2)
+        }
+        for assignment in enumerate_wiring_assignments(
+            2, 2, fix_first_identity=False
+        ):
+            assert assignment.canonicalize().permutations() in canonical_set
+
+    def test_all_enumerated_are_distinct(self):
+        assignments = [
+            a.permutations() for a in enumerate_wiring_assignments(3, 2)
+        ]
+        assert len(assignments) == len(set(assignments))

@@ -1,0 +1,153 @@
+"""Unit and property tests for the write-scan loop (Figure 1)."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.api import run_write_scan
+from repro.core.write_scan import (
+    PHASE_SCAN,
+    PHASE_WRITE,
+    WriteScanMachine,
+    WriteScanState,
+)
+from repro.sim.ops import Read, Write
+
+
+@pytest.fixture
+def machine():
+    return WriteScanMachine(3)
+
+
+class TestInitialState:
+    def test_view_is_own_input(self, machine):
+        state = machine.initial_state("x")
+        assert state.view == frozenset({"x"})
+
+    def test_starts_in_write_phase_with_all_registers(self, machine):
+        state = machine.initial_state(1)
+        assert state.phase == PHASE_WRITE
+        assert state.unwritten == frozenset({0, 1, 2})
+
+    def test_register_initial_value_is_empty_view(self, machine):
+        assert machine.register_initial_value() == frozenset()
+
+    def test_never_outputs(self, machine):
+        assert machine.output(machine.initial_state(1)) is None
+
+    def test_rejects_zero_registers(self):
+        with pytest.raises(ValueError):
+            WriteScanMachine(0)
+
+
+class TestWritePhase:
+    def test_enabled_writes_cover_unwritten(self, machine):
+        state = machine.initial_state(1)
+        ops = machine.enabled_ops(state)
+        assert {op.reg for op in ops} == {0, 1, 2}
+        assert all(isinstance(op, Write) for op in ops)
+
+    def test_write_carries_current_view(self, machine):
+        state = machine.initial_state(1)
+        assert all(op.value == frozenset({1}) for op in machine.enabled_ops(state))
+
+    def test_write_moves_to_scan(self, machine):
+        state = machine.initial_state(1)
+        new = machine.apply(state, Write(1, state.view), None)
+        assert new.phase == PHASE_SCAN
+        assert new.scan_pos == 0
+        assert new.unwritten == frozenset({0, 2})
+
+    def test_fairness_cycle_refills(self, machine):
+        state = machine.initial_state(1)
+        # Walk one full cycle: write each register (with scans between).
+        written = []
+        for _ in range(3):
+            op = machine.enabled_ops(state)[0]
+            written.append(op.reg)
+            state = machine.apply(state, op, None)
+            for reg in range(3):
+                state = machine.apply(state, Read(reg), frozenset())
+        assert sorted(written) == [0, 1, 2]
+        assert state.unwritten == frozenset({0, 1, 2})
+
+    def test_disabled_write_rejected(self, machine):
+        state = machine.initial_state(1)
+        state = machine.apply(state, Write(0, state.view), None)
+        with pytest.raises(ValueError):
+            machine.apply(state, Write(0, state.view), None)
+
+
+class TestScanPhase:
+    def test_scan_reads_in_local_order(self, machine):
+        state = machine.apply(machine.initial_state(1), Write(0, frozenset({1})), None)
+        for expected in range(3):
+            ops = machine.enabled_ops(state)
+            assert ops == (Read(expected),)
+            state = machine.apply(state, ops[0], frozenset())
+        assert state.phase == PHASE_WRITE
+
+    def test_reads_grow_view(self, machine):
+        state = machine.apply(machine.initial_state(1), Write(0, frozenset({1})), None)
+        state = machine.apply(state, Read(0), frozenset({2}))
+        state = machine.apply(state, Read(1), frozenset({3}))
+        state = machine.apply(state, Read(2), frozenset())
+        assert state.view == frozenset({1, 2, 3})
+
+    def test_out_of_order_read_rejected(self, machine):
+        state = machine.apply(machine.initial_state(1), Write(0, frozenset({1})), None)
+        with pytest.raises(ValueError):
+            machine.apply(state, Read(2), frozenset())
+
+    def test_read_while_writing_rejected(self, machine):
+        state = machine.initial_state(1)
+        with pytest.raises(ValueError):
+            machine.apply(state, Read(0), frozenset())
+
+
+class TestViewMonotonicity:
+    @given(st.integers(min_value=0, max_value=2**32), st.integers(2, 5))
+    @settings(max_examples=30, deadline=None)
+    def test_views_never_shrink(self, seed, n):
+        """Views only grow (the premise of Section 4.2)."""
+        from repro.api import build_runner
+        from repro.core.write_scan import WriteScanMachine
+
+        machine = WriteScanMachine(n)
+        runner = build_runner(machine, list(range(1, n + 1)), seed=seed)
+        previous = {p.pid: p.state.view for p in runner.processes}
+        for _ in range(200):
+            enabled = runner.enabled_pids()
+            pick = runner.scheduler.choose(0, enabled)
+            runner.step_process(pick)
+            for process in runner.processes:
+                assert previous[process.pid] <= process.state.view
+                previous[process.pid] = process.state.view
+
+    @given(st.integers(min_value=0, max_value=2**32))
+    @settings(max_examples=30, deadline=None)
+    def test_views_contain_own_input_and_only_inputs(self, seed):
+        result = run_write_scan([10, 20, 30], steps=600, seed=seed)
+        for pid, state in result.final_states.items():
+            assert (pid + 1) * 10 in state.view
+            assert state.view <= {10, 20, 30}
+
+    def test_fair_run_converges_to_full_view(self):
+        """Under fair scheduling every view eventually reaches the full
+        input set (no adversarial churn)."""
+        result = run_write_scan([1, 2, 3, 4], steps=20_000, seed=5)
+        for state in result.final_states.values():
+            assert state.view == frozenset({1, 2, 3, 4})
+
+
+class TestRegisterContents:
+    def test_registers_only_ever_hold_views_of_inputs(self):
+        result = run_write_scan([1, 2, 3], steps=2_000, seed=11)
+        for event in result.trace.writes():
+            assert event.value <= frozenset({1, 2, 3})
+
+    def test_writer_always_includes_own_input(self):
+        result = run_write_scan([1, 2, 3], steps=2_000, seed=12)
+        for event in result.trace.writes():
+            assert (event.pid + 1) in event.value
