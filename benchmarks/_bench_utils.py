@@ -17,12 +17,32 @@ Environment knobs:
 
 - ``REPRO_BENCH_SEEDS`` (default 20): seeds per statistical sweep;
 - ``REPRO_E4_BUDGET`` (default 200000): N=3 states per wiring class;
-- ``REPRO_E4_FULL=1``: remove the E4 budget (hours; exhaustive N=3).
+- ``REPRO_E4_FULL=1``: remove the E4 budget (hours; exhaustive N=3);
+- ``REPRO_E4_JOBS`` (default 1): worker processes for E4's N=3 sweep
+  (wiring classes explored in parallel; 1 = serial);
+- ``REPRO_E5_JOBS`` (default: ``REPRO_E4_JOBS``): worker processes for
+  E5b's claim-B wiring sweep;
+- ``REPRO_E15_BUDGET`` (default 50000): states per workload in the
+  checker-throughput benchmark (E15).
+
+Performance tracking: :func:`write_checker_bench` writes
+``BENCH_checker.json`` at the repository root — states/second, peak
+RSS, and states explored for the serial and parallel engines on fixed
+workloads — so the checker's performance trajectory is comparable
+across PRs.  ``benchmarks/bench_e15_checker_throughput.py`` emits it
+(both under pytest and standalone: ``python
+benchmarks/bench_e15_checker_throughput.py``).
 """
 
 from __future__ import annotations
 
+import json
 import os
+import platform
+import resource
+import sys
+from pathlib import Path
+from typing import Optional
 
 SEEDS = int(os.environ.get("REPRO_BENCH_SEEDS", "20"))
 E4_BUDGET = (
@@ -30,9 +50,51 @@ E4_BUDGET = (
     if os.environ.get("REPRO_E4_FULL") == "1"
     else int(os.environ.get("REPRO_E4_BUDGET", "200000"))
 )
+E4_JOBS = int(os.environ.get("REPRO_E4_JOBS", "1"))
+E5_JOBS = int(os.environ.get("REPRO_E5_JOBS", str(E4_JOBS)))
+E15_BUDGET = int(os.environ.get("REPRO_E15_BUDGET", "50000"))
+
+#: Default location of the checker performance-trajectory file.
+BENCH_CHECKER_PATH = Path(__file__).resolve().parent.parent / "BENCH_checker.json"
 
 
 def emit(*lines: str) -> None:
     """Print reproduction rows (visible with ``pytest -s``)."""
     for line in lines:
         print(line)
+
+
+def peak_rss_bytes(children: bool = False) -> int:
+    """High-water resident set size of this process (or its children).
+
+    ``ru_maxrss`` is kilobytes on Linux and bytes on macOS; normalize
+    to bytes.  Monotone over the process lifetime — for per-workload
+    numbers run the workload in a fresh subprocess (see
+    ``bench_e15_checker_throughput``).
+    """
+    who = resource.RUSAGE_CHILDREN if children else resource.RUSAGE_SELF
+    raw = resource.getrusage(who).ru_maxrss
+    if sys.platform == "darwin":  # pragma: no cover - linux container
+        return raw
+    return raw * 1024
+
+
+def write_checker_bench(payload: dict, path: Optional[Path] = None) -> Path:
+    """Write ``BENCH_checker.json``: the cross-PR checker perf record.
+
+    ``payload`` carries the measured workloads; host facts (CPU count,
+    Python, platform) are stamped alongside so numbers from different
+    runners are never compared blind.
+    """
+    target = Path(path) if path is not None else BENCH_CHECKER_PATH
+    document = {
+        "schema": "repro-checker-bench/1",
+        "host": {
+            "cpus": os.cpu_count(),
+            "python": platform.python_version(),
+            "platform": platform.platform(),
+        },
+        **payload,
+    }
+    target.write_text(json.dumps(document, indent=2, sort_keys=False) + "\n")
+    return target

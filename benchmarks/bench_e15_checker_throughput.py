@@ -1,0 +1,315 @@
+"""E15 — checker throughput: the perf trajectory of the TLC stand-in.
+
+Not a paper experiment: this benchmark tracks the *checker itself* —
+the engine every mechanically-checked claim (E4/E5) rides on — so that
+performance changes across PRs are measured, not guessed.  Fixed
+workloads, three axes:
+
+- **throughput**: the E4-style N=3 sweep (all 10 canonical wiring
+  classes, fixed per-class state budget) serial vs ``jobs=2`` and
+  ``jobs=4`` class-parallel, plus the frontier-sharded engine on a
+  single class;
+- **memory**: peak-RSS deltas of the object-encoded explorer vs the
+  64-bit fingerprint modes on the N=3 reference workload (each run in
+  a fresh subprocess so high-water marks don't bleed between
+  workloads);
+- **conformance**: parallel and serial must report identical verdicts
+  (and identical states/transitions for the class sweep) — a benchmark
+  that got a different answer fails instead of timing garbage.
+
+Results land in ``BENCH_checker.json`` at the repo root (see
+``_bench_utils.write_checker_bench``).  Standalone use::
+
+    PYTHONPATH=src python benchmarks/bench_e15_checker_throughput.py \
+        [--budget N] [--jobs 1 2 4] [--out PATH]
+
+The CI smoke run uses a small ``--budget`` to finish in ~30 seconds.
+"""
+
+from __future__ import annotations
+
+import argparse
+import multiprocessing
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+
+from _bench_utils import E15_BUDGET, emit, peak_rss_bytes, write_checker_bench
+
+#: The wiring class used for single-class (sharded/memory) workloads —
+#: class 1 of ``canonical_wiring_classes(3, 3)``, a rotation class with
+#: a large reachable graph.
+_REFERENCE_CLASS = ((0, 1, 2), (0, 1, 2), (1, 2, 0))
+
+
+# ----------------------------------------------------------------------
+# Workload runners (executed in fresh subprocesses for clean RSS)
+# ----------------------------------------------------------------------
+
+def _run_workload(config: dict) -> dict:
+    """Execute one workload in-process and report stats."""
+    from repro.checker import Explorer, SystemSpec
+    from repro.checker.parallel import check_snapshot_classes, explore_sharded
+    from repro.checker.properties import SNAPSHOT_SAFETY
+    from repro.core import SnapshotMachine
+    from repro.memory.wiring import WiringAssignment
+
+    rss_before = peak_rss_bytes()
+    start = time.perf_counter()
+    kind = config["kind"]
+    if kind == "fast_classes":
+        rows = check_snapshot_classes(
+            3,
+            budget=config["budget"],
+            jobs=config["jobs"],
+            fingerprint=config.get("fingerprint", False),
+        )
+        states = sum(result.states for _, result in rows)
+        transitions = sum(result.transitions for _, result in rows)
+        ok = all(result.ok for _, result in rows)
+        detail = {"classes": len(rows)}
+    elif kind == "fast_sharded":
+        result = explore_sharded(
+            [1, 2, 3],
+            _REFERENCE_CLASS,
+            jobs=config["jobs"],
+            max_states=config["budget"],
+            fingerprint=config.get("fingerprint", False),
+        )
+        states, transitions, ok = result.states, result.transitions, result.ok
+        detail = {"class": list(map(list, _REFERENCE_CLASS))}
+    elif kind == "fast_single":
+        from repro.checker.fast_snapshot import FastSnapshotSpec
+
+        result = FastSnapshotSpec([1, 2, 3], _REFERENCE_CLASS).explore(
+            max_states=config["budget"],
+            fingerprint=config.get("fingerprint", False),
+        )
+        states, transitions, ok = result.states, result.transitions, result.ok
+        detail = {"class": list(map(list, _REFERENCE_CLASS))}
+    elif kind == "generic":
+        spec = SystemSpec(
+            SnapshotMachine(3), [1, 2, 3], WiringAssignment.identity(3, 3)
+        )
+        result = Explorer(
+            spec,
+            SNAPSHOT_SAFETY,
+            max_states=config["budget"],
+            fingerprint=config.get("fingerprint", False),
+        ).run()
+        states, transitions, ok = result.states, result.transitions, result.ok
+        detail = {}
+    else:  # pragma: no cover - configs are fixed below
+        raise ValueError(f"unknown workload kind {kind!r}")
+    elapsed = time.perf_counter() - start
+    peak = peak_rss_bytes()
+    children_peak = peak_rss_bytes(children=True)
+    return {
+        "states": states,
+        "transitions": transitions,
+        "ok": ok,
+        "elapsed_s": round(elapsed, 3),
+        "states_per_s": int(states / elapsed) if elapsed > 0 else None,
+        "peak_rss_bytes": max(peak, children_peak),
+        "workload_rss_bytes": max(peak, children_peak) - rss_before,
+        **detail,
+    }
+
+
+def _subprocess_entry(conn, config: dict) -> None:
+    try:
+        conn.send(("ok", _run_workload(config)))
+    except Exception as exc:  # pragma: no cover - surfaced by driver
+        conn.send(("error", f"{type(exc).__name__}: {exc}"))
+    finally:
+        conn.close()
+
+
+def measure(config: dict) -> dict:
+    """Run one workload in a fresh subprocess (clean RSS high-water).
+
+    Falls back to in-process measurement where processes cannot be
+    spawned; the JSON marks which one happened.
+    """
+    try:
+        ctx = multiprocessing.get_context("fork")
+    except ValueError:  # pragma: no cover - non-POSIX
+        ctx = multiprocessing.get_context()
+    try:
+        parent_conn, child_conn = ctx.Pipe()
+        # Not a daemon: parallel workloads spawn their own worker pools.
+        process = ctx.Process(
+            target=_subprocess_entry, args=(child_conn, config)
+        )
+        process.start()
+    except OSError:  # pragma: no cover - process-less environments
+        return {**_run_workload(config), "isolated_process": False}
+    child_conn.close()
+    status, payload = parent_conn.recv()
+    process.join()
+    parent_conn.close()
+    if status != "ok":
+        raise RuntimeError(f"workload {config} failed: {payload}")
+    return {**payload, "isolated_process": True}
+
+
+# ----------------------------------------------------------------------
+# The full measurement suite
+# ----------------------------------------------------------------------
+
+def run_suite(budget: int, jobs_axis=(1, 2, 4)) -> dict:
+    """Measure every fixed workload; returns the BENCH_checker payload."""
+    sweep = {}
+    for jobs in jobs_axis:
+        label = "serial" if jobs == 1 else f"jobs{jobs}"
+        sweep[label] = measure(
+            {"kind": "fast_classes", "budget": budget, "jobs": jobs}
+        )
+    sweep["serial_fingerprint"] = measure(
+        {"kind": "fast_classes", "budget": budget, "jobs": 1,
+         "fingerprint": True}
+    )
+    sharded_jobs = max(jobs_axis)
+    sweep["sharded"] = measure(
+        {"kind": "fast_sharded", "budget": budget * 2, "jobs": sharded_jobs}
+    )
+    sweep["sharded"]["jobs"] = sharded_jobs
+
+    # Memory axis: the object-encoded explorer at budget B vs the
+    # fingerprint engines at 5B — the "5x more states in the same
+    # envelope" check rides on workload_rss_bytes.
+    memory = {
+        "generic_full": measure({"kind": "generic", "budget": budget}),
+        "generic_fingerprint_5x": measure(
+            {"kind": "generic", "budget": budget * 5, "fingerprint": True}
+        ),
+        "fast_full": measure({"kind": "fast_single", "budget": budget * 5}),
+        "fast_fingerprint_5x": measure(
+            {"kind": "fast_single", "budget": budget * 5, "fingerprint": True}
+        ),
+    }
+
+    serial = sweep["serial"]
+    best_label = max(
+        (label for label in sweep if label.startswith("jobs")),
+        key=lambda label: sweep[label]["states_per_s"] or 0,
+        default=None,
+    )
+    derived = {
+        "sweep_budget_per_class": budget,
+        "speedup_best_parallel_vs_serial": (
+            round(
+                sweep[best_label]["states_per_s"] / serial["states_per_s"], 3
+            )
+            if best_label and serial["states_per_s"]
+            else None
+        ),
+        "fingerprint_states_in_generic_envelope": {
+            "generic_states": memory["generic_full"]["states"],
+            "fingerprint_states": memory["fast_fingerprint_5x"]["states"],
+            "ratio": round(
+                memory["fast_fingerprint_5x"]["states"]
+                / max(1, memory["generic_full"]["states"]), 2
+            ),
+            "generic_workload_rss_bytes":
+                memory["generic_full"]["workload_rss_bytes"],
+            "fingerprint_workload_rss_bytes":
+                memory["fast_fingerprint_5x"]["workload_rss_bytes"],
+        },
+    }
+    return {"sweep": sweep, "memory": memory, "derived": derived}
+
+
+# ----------------------------------------------------------------------
+# Pytest entry points
+# ----------------------------------------------------------------------
+
+def test_e15_serial_sweep_throughput(benchmark):
+    from repro.checker.parallel import check_snapshot_classes
+
+    rows = benchmark.pedantic(
+        lambda: check_snapshot_classes(3, budget=E15_BUDGET, jobs=1),
+        rounds=1, iterations=1,
+    )
+    assert all(result.ok for _, result in rows)
+    total = sum(result.states for _, result in rows)
+    benchmark.extra_info["total_states"] = total
+    emit("", f"E15a — serial N=3 sweep: {total} states"
+             f" at budget {E15_BUDGET}/class")
+
+
+def test_e15_parallel_sweep_matches_serial(benchmark):
+    from repro.checker.parallel import check_snapshot_classes
+
+    serial = check_snapshot_classes(3, budget=E15_BUDGET, jobs=1)
+    rows = benchmark.pedantic(
+        lambda: check_snapshot_classes(3, budget=E15_BUDGET, jobs=2),
+        rounds=1, iterations=1,
+    )
+    assert [
+        (wiring, result.states, result.transitions, result.ok)
+        for wiring, result in serial
+    ] == [
+        (wiring, result.states, result.transitions, result.ok)
+        for wiring, result in rows
+    ]
+    emit("", "E15b — jobs=2 sweep identical to serial"
+             f" ({len(rows)} classes)")
+
+
+def test_e15_write_bench_json(benchmark):
+    """Measure the full suite and write BENCH_checker.json."""
+    budget = min(E15_BUDGET, 20_000)  # keep the pytest path quick
+    payload = benchmark.pedantic(
+        lambda: run_suite(budget), rounds=1, iterations=1
+    )
+    assert all(entry["ok"] for entry in payload["sweep"].values())
+    assert all(entry["ok"] for entry in payload["memory"].values())
+    envelope = payload["derived"]["fingerprint_states_in_generic_envelope"]
+    assert envelope["ratio"] >= 5.0
+    assert (
+        envelope["fingerprint_workload_rss_bytes"]
+        <= max(envelope["generic_workload_rss_bytes"], 1)
+    )
+    path = write_checker_bench(payload)
+    emit("", f"E15c — BENCH_checker.json written: {path}",
+         f"  best parallel speedup vs serial:"
+         f" {payload['derived']['speedup_best_parallel_vs_serial']}x",
+         f"  fingerprint envelope ratio: {envelope['ratio']}x states")
+
+
+# ----------------------------------------------------------------------
+# Standalone: python benchmarks/bench_e15_checker_throughput.py
+# ----------------------------------------------------------------------
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--budget", type=int, default=E15_BUDGET,
+                        help="states per wiring class (sweep axis)")
+    parser.add_argument("--jobs", type=int, nargs="+", default=[1, 2, 4],
+                        help="parallelism axis, e.g. --jobs 1 2 4")
+    parser.add_argument("--out", type=Path, default=None,
+                        help="output path (default: repo BENCH_checker.json)")
+    args = parser.parse_args(argv)
+
+    payload = run_suite(args.budget, jobs_axis=tuple(args.jobs))
+    path = write_checker_bench(payload, path=args.out)
+    print(f"wrote {path}")
+    for label, entry in payload["sweep"].items():
+        print(f"  sweep/{label}: {entry['states']} states,"
+              f" {entry['states_per_s']} states/s,"
+              f" rss {entry['workload_rss_bytes'] // 1024} KiB,"
+              f" ok={entry['ok']}")
+    for label, entry in payload["memory"].items():
+        print(f"  memory/{label}: {entry['states']} states,"
+              f" rss {entry['workload_rss_bytes'] // 1024} KiB")
+    envelope = payload["derived"]["fingerprint_states_in_generic_envelope"]
+    print(f"  fingerprint vs object-encoded envelope:"
+          f" {envelope['ratio']}x states")
+    return 0 if all(e["ok"] for e in payload["sweep"].values()) else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

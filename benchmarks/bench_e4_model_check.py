@@ -21,17 +21,14 @@ import random
 
 from repro.api import run_snapshot
 from repro.checker import Explorer, SystemSpec
-from repro.checker.fast_snapshot import (
-    FastSnapshotSpec,
-    canonical_wiring_classes,
-)
 from repro.checker.liveness import check_wait_freedom
+from repro.checker.parallel import check_snapshot_classes
 from repro.checker.properties import SNAPSHOT_SAFETY
 from repro.core import SnapshotMachine
 from repro.core.views import all_comparable
 from repro.memory.wiring import enumerate_wiring_assignments
 
-from _bench_utils import E4_BUDGET, SEEDS, emit
+from _bench_utils import E4_BUDGET, E4_JOBS, SEEDS, emit
 
 
 def check_n2():
@@ -44,14 +41,9 @@ def check_n2():
     return rows
 
 
-def check_n3_classes():
-    budget = E4_BUDGET if E4_BUDGET is not None else 10 ** 9
-    rows = []
-    for wiring in canonical_wiring_classes(3, 3):
-        fast = FastSnapshotSpec([1, 2, 3], wiring)
-        result = fast.explore(max_states=budget, check_safety=True)
-        rows.append((wiring, result))
-    return rows
+def check_n3_classes(jobs=E4_JOBS):
+    """E4's N=3 entry point; ``jobs > 1`` sweeps classes in parallel."""
+    return check_snapshot_classes(3, budget=E4_BUDGET, jobs=jobs)
 
 
 def check_n3_statistical(runs):
@@ -93,6 +85,7 @@ def test_e4_n3_canonical_classes(benchmark):
         assert result.ok, result.violation
     benchmark.extra_info["classes"] = len(rows)
     benchmark.extra_info["budget"] = E4_BUDGET
+    benchmark.extra_info["jobs"] = E4_JOBS
     benchmark.extra_info["total_states"] = sum(r.states for _, r in rows)
     lines = [
         "",

@@ -31,7 +31,7 @@ from repro.core import SnapshotMachine
 from repro.memory.wiring import enumerate_wiring_assignments
 from repro.sim.non_linearizable import build_non_linearizable_scan_demo
 
-from _bench_utils import emit
+from _bench_utils import E5_JOBS, emit
 
 _FULL = os.environ.get("REPRO_E5_FULL") == "1"
 _REPRESENTATIVE_WIRINGS = (
@@ -68,9 +68,9 @@ def test_e5a_n2_outputs_always_matched(benchmark):
 
 
 def test_e5b_n3_candidate_region_exhausted(benchmark):
-    def sweep():
+    def sweep(jobs=E5_JOBS):
         if _FULL:
-            return sweep_all_wirings()
+            return sweep_all_wirings(jobs=jobs)
         return [
             exhaustive_claim_b_search(wiring)
             for wiring in _REPRESENTATIVE_WIRINGS

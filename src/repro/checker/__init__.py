@@ -17,7 +17,13 @@ caption and Section 8).  This package reproduces that methodology:
 - :mod:`repro.checker.atomicity` finds claim-B counterexamples —
   executions whose snapshot output never equalled the memory contents —
   by exploring a history-augmented system, and re-validates them by
-  replaying the produced schedule in the simulator.
+  replaying the produced schedule in the simulator;
+- :mod:`repro.checker.parallel` fans exploration across CPU cores
+  (whole wiring classes per worker, or a frontier-sharded BFS within
+  one class) the way TLC does;
+- :mod:`repro.checker.fingerprint` provides the 64-bit state
+  fingerprints behind the explorers' memory-lean fingerprint mode and
+  the sharded engine's deterministic state-ownership function.
 """
 
 from repro.checker.atomicity import (
@@ -31,10 +37,26 @@ from repro.checker.atomicity import (
     random_walk_non_atomic_search,
 )
 from repro.checker.explorer import ExplorationResult, Explorer, InvariantViolation
+from repro.checker.fingerprint import (
+    collision_probability,
+    fingerprint_int,
+    fingerprint_state,
+)
 from repro.checker.liveness import WaitFreedomViolation, check_wait_freedom
+from repro.checker.parallel import (
+    check_snapshot_classes,
+    explore_sharded,
+    ordered_parallel_map,
+)
 from repro.checker.system import Action, GlobalState, SystemSpec
 
 __all__ = [
+    "check_snapshot_classes",
+    "explore_sharded",
+    "ordered_parallel_map",
+    "fingerprint_int",
+    "fingerprint_state",
+    "collision_probability",
     "SystemSpec",
     "GlobalState",
     "Action",

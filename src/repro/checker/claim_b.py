@@ -251,24 +251,31 @@ def exhaustive_claim_b_search(
     )
 
 
+def _sweep_task(
+    task: Tuple[Tuple[Tuple[int, ...], ...], int, int]
+) -> ClaimBResult:
+    wiring, level_target, max_visited = task
+    return exhaustive_claim_b_search(
+        wiring, level_target=level_target, max_visited=max_visited
+    )
+
+
 def sweep_all_wirings(
-    level_target: int = 3, max_visited: int = 50_000_000
+    level_target: int = 3, max_visited: int = 50_000_000, jobs: int = 1
 ) -> List[ClaimBResult]:
     """Run the exhaustive search over all wirings with ``σ_A = id``.
 
     Relabelling physical registers normalizes the first climber's wiring
     to the identity, so the 36 remaining combinations cover every
-    configuration.
+    configuration.  Independent per wiring, so ``jobs > 1`` fans the 36
+    searches over a worker pool (results stay in enumeration order).
     """
+    from repro.checker.parallel import ordered_parallel_map
+
     permutations = list(itertools.permutations(range(3)))
-    results = []
-    for wiring_b in permutations:
-        for wiring_c in permutations:
-            results.append(
-                exhaustive_claim_b_search(
-                    (tuple(range(3)), wiring_b, wiring_c),
-                    level_target=level_target,
-                    max_visited=max_visited,
-                )
-            )
-    return results
+    tasks = [
+        ((tuple(range(3)), wiring_b, wiring_c), level_target, max_visited)
+        for wiring_b in permutations
+        for wiring_c in permutations
+    ]
+    return ordered_parallel_map(_sweep_task, tasks, jobs)

@@ -19,6 +19,7 @@ from collections import deque
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
+from repro.checker.fingerprint import fingerprint_state
 from repro.checker.system import Action, GlobalState, SystemSpec
 
 #: An invariant takes the spec and a reachable state; it returns an error
@@ -47,6 +48,9 @@ class ExplorationResult:
     depth: int
     violation: Optional[InvariantViolation] = None
     complete: bool = True
+    #: Transitions whose (new) target state was dropped because the
+    #: ``max_states`` budget was exhausted.  Nonzero iff truncated.
+    truncated_transitions: int = 0
     #: Final states (no enabled ops for any processor), capped collection.
     final_states: List[GlobalState] = field(default_factory=list)
     #: Retained edge list (state-index, pid, state-index) when requested.
@@ -77,6 +81,15 @@ class Explorer:
     collect_final_states:
         Gather fully-terminated states (used by the task-level checks),
         capped at ``max_final_states``.
+    fingerprint:
+        Memory-lean mode: remember only a 64-bit fingerprint per
+        reached state instead of the full state/parent tables (TLC's
+        fingerprint set).  Cuts per-state memory roughly an order of
+        magnitude, so budgets can rise accordingly; the cost is a
+        ~n²/2⁶⁵ collision probability and, when a violation actually
+        fires, a second bounded re-traversal (depth-capped BFS with
+        parent pointers) to reconstruct the minimal counterexample
+        path.  Incompatible with ``keep_edges``.
     """
 
     def __init__(
@@ -87,15 +100,27 @@ class Explorer:
         keep_edges: bool = False,
         collect_final_states: bool = False,
         max_final_states: int = 100_000,
+        fingerprint: bool = False,
     ) -> None:
+        if fingerprint and keep_edges:
+            raise ValueError(
+                "fingerprint mode stores no state table; keep_edges"
+                " (liveness analysis) needs the full object-encoded run"
+            )
         self.spec = spec
         self.invariants = list(invariants)
         self.max_states = max_states
         self.keep_edges = keep_edges
         self.collect_final_states = collect_final_states
         self.max_final_states = max_final_states
+        self.fingerprint = fingerprint
 
     def run(self) -> ExplorationResult:
+        if self.fingerprint:
+            return self._run_fingerprint()
+        return self._run_full()
+
+    def _run_full(self) -> ExplorationResult:
         spec = self.spec
         initial = spec.initial_state()
         index_of: Dict[GlobalState, int] = {initial: 0}
@@ -122,6 +147,7 @@ class Explorer:
                 state_table=states if self.keep_edges else None,
             )
 
+        truncated = 0
         while queue:
             current_index = queue.popleft()
             current = states[current_index]
@@ -135,6 +161,7 @@ class Explorer:
                 if successor_index is None:
                     if len(states) >= self.max_states:
                         complete = False
+                        truncated += 1
                         continue
                     successor_index = len(states)
                     index_of[successor] = successor_index
@@ -154,21 +181,154 @@ class Explorer:
                             depth=max_depth,
                             violation=violation,
                             complete=complete,
+                            truncated_transitions=truncated,
                             final_states=final_states,
                             edges=edges,
                             state_table=states if self.keep_edges else None,
                         )
                 if edges is not None:
                     edges.append((current_index, action.pid, successor_index))
+            if not complete:
+                # The budget is exhausted: no queued state can admit a
+                # new state, so further expansion is invariant-free
+                # wasted work — short-circuit instead of draining the
+                # queue (the seed explorer kept iterating here).
+                break
 
         return ExplorationResult(
             states=len(states),
             transitions=transitions,
             depth=max_depth,
             complete=complete,
+            truncated_transitions=truncated,
             final_states=final_states,
             edges=edges,
             state_table=states if self.keep_edges else None,
+        )
+
+    # ------------------------------------------------------------------
+    # Fingerprint mode
+    # ------------------------------------------------------------------
+    def _run_fingerprint(self) -> ExplorationResult:
+        """BFS keeping a 64-bit fingerprint set instead of state tables.
+
+        The frontier still holds concrete states (successors must be
+        computable), but the visited set — the structure that dominates
+        memory at scale — shrinks to one small int per state, and no
+        parent/index/state tables are kept at all.  Counterexample
+        paths are rebuilt on demand by :meth:`_shortest_path_to`.
+        """
+        spec = self.spec
+        initial = spec.initial_state()
+        seen = {fingerprint_state(initial)}
+        # (depth, state) pairs; depth feeds the bounded re-traversal.
+        queue: deque = deque([(0, initial)])
+        final_states: List[GlobalState] = []
+        transitions = 0
+        truncated = 0
+        max_depth = 0
+        complete = True
+
+        message = self._first_violation_message(initial)
+        if message is not None:
+            return ExplorationResult(
+                states=1, transitions=0, depth=0,
+                violation=InvariantViolation(
+                    message=message, state=initial, path=[]
+                ),
+                final_states=final_states,
+            )
+
+        while queue:
+            depth, current = queue.popleft()
+            successors = list(spec.successors(current))
+            if not successors and self.collect_final_states:
+                if len(final_states) < self.max_final_states:
+                    final_states.append(current)
+            child_depth = depth + 1
+            for _action, successor in successors:
+                transitions += 1
+                digest = fingerprint_state(successor)
+                if digest in seen:
+                    continue
+                if len(seen) >= self.max_states:
+                    complete = False
+                    truncated += 1
+                    continue
+                seen.add(digest)
+                queue.append((child_depth, successor))
+                if child_depth > max_depth:
+                    max_depth = child_depth
+                message = self._first_violation_message(successor)
+                if message is not None:
+                    path = self._shortest_path_to(successor, child_depth)
+                    return ExplorationResult(
+                        states=len(seen),
+                        transitions=transitions,
+                        depth=max_depth,
+                        violation=InvariantViolation(
+                            message=message, state=successor, path=path
+                        ),
+                        complete=complete,
+                        truncated_transitions=truncated,
+                        final_states=final_states,
+                    )
+            if not complete:
+                break
+
+        return ExplorationResult(
+            states=len(seen),
+            transitions=transitions,
+            depth=max_depth,
+            complete=complete,
+            truncated_transitions=truncated,
+            final_states=final_states,
+        )
+
+    def _first_violation_message(self, state: GlobalState) -> Optional[str]:
+        for invariant in self.invariants:
+            message = invariant(self.spec, state)
+            if message is not None:
+                return message
+        return None
+
+    def _shortest_path_to(
+        self, target: GlobalState, depth_limit: int
+    ) -> List[Action]:
+        """Depth-bounded BFS with parent pointers, for fingerprint mode.
+
+        Only runs when a violation actually fired; memory is bounded by
+        the states within ``depth_limit`` of the initial state, and BFS
+        order guarantees the returned path is minimal.
+        """
+        spec = self.spec
+        initial = spec.initial_state()
+        if target == initial:
+            return []
+        index_of: Dict[GlobalState, int] = {initial: 0}
+        parents: List[Optional[Tuple[int, Action]]] = [None]
+        states: List[GlobalState] = [initial]
+        depths: List[int] = [0]
+        queue: deque = deque([0])
+        while queue:
+            current_index = queue.popleft()
+            depth = depths[current_index]
+            if depth >= depth_limit:
+                continue
+            for action, successor in spec.successors(states[current_index]):
+                if successor in index_of:
+                    continue
+                successor_index = len(states)
+                index_of[successor] = successor_index
+                states.append(successor)
+                parents.append((current_index, action))
+                depths.append(depth + 1)
+                if successor == target:
+                    return _reconstruct_path(successor_index, parents)
+                queue.append(successor_index)
+        raise RuntimeError(  # pragma: no cover - fingerprint collision
+            "violating state unreachable within its BFS depth — a"
+            " 64-bit fingerprint collision corrupted the frontier"
         )
 
     # ------------------------------------------------------------------

@@ -31,9 +31,12 @@ assignments to a handful of canonical classes.
 from __future__ import annotations
 
 import itertools
+from array import array
 from collections import deque
 from dataclasses import dataclass
 from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro.checker.fingerprint import fingerprint_int
 
 # Phase encoding.
 _PHASE_WRITE = 0
@@ -51,10 +54,55 @@ class FastExplorationResult:
     violation: Optional[str] = None
     #: (pid, schedule) witnessing a wait-freedom violation, if checked.
     bad_lasso_pid: Optional[int] = None
+    #: Transitions whose (new) target was dropped at the state budget.
+    truncated_transitions: int = 0
 
     @property
     def ok(self) -> bool:
         return self.violation is None and self.bad_lasso_pid is None
+
+
+class _ChunkedIntQueue:
+    """FIFO of unsigned 64-bit ints stored in raw ``array('Q')`` chunks.
+
+    The fingerprint explorer's frontier would otherwise hold one boxed
+    Python int (~32 bytes) plus a deque slot per pending state; packing
+    them into arrays brings that to 8 bytes flat, which is what lets
+    the visited *set* dominate the memory profile as intended.
+    """
+
+    __slots__ = ("_chunks", "_head", "_head_pos", "_tail", "_chunk_size")
+
+    def __init__(self, chunk_size: int = 8192) -> None:
+        self._chunks: deque = deque()
+        self._head: Optional[array] = None
+        self._head_pos = 0
+        self._tail: array = array("Q")
+        self._chunk_size = chunk_size
+
+    def push(self, value: int) -> None:
+        tail = self._tail
+        tail.append(value)
+        if len(tail) >= self._chunk_size:
+            self._chunks.append(tail)
+            self._tail = array("Q")
+
+    def pop(self) -> int:
+        """Next state in FIFO order, or -1 when the queue is empty."""
+        head = self._head
+        if head is None or self._head_pos >= len(head):
+            if self._chunks:
+                self._head = self._chunks.popleft()
+            elif self._tail:
+                self._head = self._tail
+                self._tail = array("Q")
+            else:
+                return -1
+            self._head_pos = 0
+            head = self._head
+        value = head[self._head_pos]
+        self._head_pos += 1
+        return value
 
 
 class FastSnapshotSpec:
@@ -119,6 +167,52 @@ class FastSnapshotSpec:
         self.m_mask = (1 << self.m) - 1
         self.reg_mask = (1 << self.reg_bits) - 1
         self.local_mask = (1 << self.local_bits) - 1
+        self.state_bits = self.local_offsets[-1] + self.local_bits
+
+        # ------------------------------------------------------------------
+        # Hot-path tables (see `successors` / `successor_states_into`):
+        # everything a transition needs that depends only on (pid, reg)
+        # is precomputed, and pack_local is replaced by OR-ing field
+        # templates onto bits that are already in position (o_level ==
+        # k, so a local's view+level bits *are* the register record).
+        # ------------------------------------------------------------------
+        #: In-place field masks.
+        self._level_field = self.lv_mask << self.o_level
+        self._unwritten_field = self.m_mask << self.o_unwritten
+        self._record_field = self.k_mask | self._level_field
+        #: Shift of the physical register written/read via local index.
+        self._phys_offset = tuple(
+            tuple(self.reg_offsets[self.wiring[pid][reg]] for reg in range(self.m))
+            for pid in range(self.n)
+        )
+        #: Clears pid's local; ANDed into the state on every step.
+        self._local_clear = tuple(
+            ~(self.local_mask << offset) for offset in self.local_offsets
+        )
+        #: Clears pid's local *and* the register behind (pid, reg).
+        self._write_clear = tuple(
+            tuple(
+                self._local_clear[pid]
+                & ~(self.reg_mask << self._phys_offset[pid][reg])
+                for reg in range(self.m)
+            )
+            for pid in range(self.n)
+        )
+        #: Constant template bits of a freshly packed local, per phase:
+        #: scan_pos=0, all_match=1, min_level=sentinel (+ the phase).
+        self._scan_reset = (
+            (_PHASE_SCAN << self.o_phase)
+            | (1 << self.o_allmatch)
+            | (self.ml_sentinel << self.o_minlevel)
+        )
+        self._write_reset = (
+            (1 << self.o_allmatch) | (self.ml_sentinel << self.o_minlevel)
+        )
+        self._done_reset = (
+            (_PHASE_DONE << self.o_phase)
+            | (1 << self.o_allmatch)
+            | (self.ml_sentinel << self.o_minlevel)
+        )
 
     # ------------------------------------------------------------------
     # Encoding helpers
@@ -188,59 +282,107 @@ class FastSnapshotSpec:
     # Transition relation
     # ------------------------------------------------------------------
     def successors(self, state: int) -> List[Tuple[int, int]]:
-        """All ``(pid, next_state)`` one-step successors."""
+        """All ``(pid, next_state)`` one-step successors.
+
+        Enumeration order (pid ascending, then local register
+        ascending) is part of the conformance contract with the generic
+        :class:`~repro.checker.system.SystemSpec` and must not change.
+        """
         result: List[Tuple[int, int]] = []
+        local_mask = self.local_mask
+        record_field = self._record_field
+        scan_reset = self._scan_reset
+        unwritten_shift = self.o_unwritten
+        m = self.m
+        m_mask = self.m_mask
         for pid in range(self.n):
             offset = self.local_offsets[pid]
-            local = (state >> offset) & self.local_mask
+            local = (state >> offset) & local_mask
             phase = (local >> self.o_phase) & 3
             if phase == _PHASE_DONE:
                 continue
             if phase == _PHASE_WRITE:
-                view = local & self.k_mask
-                level = (local >> self.o_level) & self.lv_mask
-                unwritten = (local >> self.o_unwritten) & self.m_mask
-                record = view | (level << self.k)
-                for reg in range(self.m):
+                record = local & record_field
+                unwritten = (local >> unwritten_shift) & m_mask
+                phys_offset = self._phys_offset[pid]
+                write_clear = self._write_clear[pid]
+                for reg in range(m):
                     if not (unwritten >> reg) & 1:
                         continue
                     remaining = unwritten & ~(1 << reg)
                     if remaining == 0:
-                        remaining = self.m_mask
-                    new_local = self.pack_local(
-                        view=view,
-                        level=level,
-                        unwritten=remaining,
-                        phase=_PHASE_SCAN,
-                        scan_pos=0,
-                        all_match=1,
-                        min_level=self.ml_sentinel,
+                        remaining = m_mask
+                    new_local = (
+                        record | (remaining << unwritten_shift) | scan_reset
                     )
-                    physical = self.wiring[pid][reg]
-                    reg_offset = self.reg_offsets[physical]
-                    new_state = (
-                        state
-                        & ~(self.reg_mask << reg_offset)
-                        & ~(self.local_mask << offset)
-                    ) | (record << reg_offset) | (new_local << offset)
-                    result.append((pid, new_state))
+                    result.append((
+                        pid,
+                        (state & write_clear[reg])
+                        | (record << phys_offset[reg])
+                        | (new_local << offset),
+                    ))
             else:  # scanning
                 result.append((pid, self._apply_read(state, pid, local, offset)))
         return result
 
+    def successor_states_into(self, state: int, buf: List[int]) -> List[int]:
+        """Append all successor *states* of ``state`` to ``buf``.
+
+        The reusable-buffer twin of :meth:`successors` for the
+        exploration hot loop: no per-state list allocation, no
+        ``(pid, state)`` tuple per successor (BFS dedup only needs the
+        state).  ``buf`` is cleared first and returned.  Enumeration
+        order matches :meth:`successors` exactly.
+        """
+        buf.clear()
+        append = buf.append
+        local_mask = self.local_mask
+        record_field = self._record_field
+        scan_reset = self._scan_reset
+        unwritten_shift = self.o_unwritten
+        phase_shift = self.o_phase
+        m = self.m
+        m_mask = self.m_mask
+        for pid in range(self.n):
+            offset = self.local_offsets[pid]
+            local = (state >> offset) & local_mask
+            phase = (local >> phase_shift) & 3
+            if phase == _PHASE_DONE:
+                continue
+            if phase == _PHASE_WRITE:
+                record = local & record_field
+                unwritten = (local >> unwritten_shift) & m_mask
+                phys_offset = self._phys_offset[pid]
+                write_clear = self._write_clear[pid]
+                for reg in range(m):
+                    if not (unwritten >> reg) & 1:
+                        continue
+                    remaining = unwritten & ~(1 << reg)
+                    if remaining == 0:
+                        remaining = m_mask
+                    new_local = (
+                        record | (remaining << unwritten_shift) | scan_reset
+                    )
+                    append(
+                        (state & write_clear[reg])
+                        | (record << phys_offset[reg])
+                        | (new_local << offset)
+                    )
+            else:  # scanning
+                append(self._apply_read(state, pid, local, offset))
+        return buf
+
     def _apply_read(self, state: int, pid: int, local: int, offset: int) -> int:
-        view = local & self.k_mask
-        level = (local >> self.o_level) & self.lv_mask
-        unwritten = (local >> self.o_unwritten) & self.m_mask
+        k_mask = self.k_mask
+        view = local & k_mask
         scan_pos = (local >> self.o_scanpos) & self.sp_mask
         all_match = (local >> self.o_allmatch) & 1
         min_level = (local >> self.o_minlevel) & self.ml_mask
 
-        physical = self.wiring[pid][scan_pos]
-        record = self.register_of(state, physical)
-        read_view = record & self.k_mask
-        read_level = record >> self.k
+        record = (state >> self._phys_offset[pid][scan_pos]) & self.reg_mask
+        read_view = record & k_mask
         if all_match and read_view == view:
+            read_level = record >> self.k
             if read_level < min_level:
                 min_level = read_level
         else:
@@ -252,23 +394,31 @@ class FastSnapshotSpec:
             min_level = self.ml_sentinel
 
         if scan_pos + 1 < self.m:
-            new_local = self.pack_local(
-                view, level, unwritten, _PHASE_SCAN,
-                scan_pos + 1, all_match, min_level,
+            new_local = (
+                view
+                | (local & self._level_field)
+                | (local & self._unwritten_field)
+                | (_PHASE_SCAN << self.o_phase)
+                | ((scan_pos + 1) << self.o_scanpos)
+                | (all_match << self.o_allmatch)
+                | (min_level << self.o_minlevel)
             )
         else:
             new_level = (min_level + 1) if all_match else 0
             if new_level >= self.level_target:
-                new_local = self.pack_local(
-                    view, min(new_level, self.lv_mask), 0, _PHASE_DONE,
-                    0, 1, self.ml_sentinel,
+                new_local = (
+                    view
+                    | (min(new_level, self.lv_mask) << self.o_level)
+                    | self._done_reset
                 )
             else:
-                new_local = self.pack_local(
-                    view, new_level, unwritten, _PHASE_WRITE,
-                    0, 1, self.ml_sentinel,
+                new_local = (
+                    view
+                    | (new_level << self.o_level)
+                    | (local & self._unwritten_field)
+                    | self._write_reset
                 )
-        return (state & ~(self.local_mask << offset)) | (new_local << offset)
+        return (state & self._local_clear[pid]) | (new_local << offset)
 
     # ------------------------------------------------------------------
     # Safety: outputs must be pairwise containment-related and valid
@@ -303,6 +453,7 @@ class FastSnapshotSpec:
         check_safety: bool = True,
         check_wait_freedom: bool = False,
         progress_every: int = 0,
+        fingerprint: bool = False,
     ) -> FastExplorationResult:
         """BFS over all reachable states (for this wiring).
 
@@ -310,15 +461,124 @@ class FastSnapshotSpec:
         analysed for bad lassos (cycles where some processor steps but
         never terminates); see :mod:`repro.checker.liveness` for the
         argument.
+
+        With ``fingerprint`` the visited set stores 64-bit state
+        fingerprints instead of the packed states themselves, and the
+        pending frontier is packed into raw 8-byte arrays when states
+        fit 64 bits — TLC's memory model, trading a ~n²/2⁶⁵ collision
+        probability for a much higher state budget in the same memory
+        envelope.  Incompatible with ``check_wait_freedom`` (lasso
+        analysis needs the full indexed state table).
         """
+        if fingerprint and check_wait_freedom:
+            raise ValueError(
+                "fingerprint mode keeps no state table; wait-freedom"
+                " (lasso) analysis requires a full indexed exploration"
+            )
+        if check_wait_freedom:
+            return self._explore_with_edges(
+                max_states, check_safety, progress_every
+            )
+        return self._explore_lean(
+            max_states, check_safety, progress_every, fingerprint
+        )
+
+    def _explore_lean(
+        self,
+        max_states: int,
+        check_safety: bool,
+        progress_every: int,
+        fingerprint: bool,
+    ) -> FastExplorationResult:
+        """Safety-only BFS: dedup set + frontier, no index/order tables.
+
+        This is the hot path of the E4 sweep; it admits states in
+        exactly the same order as the indexed variant, so budgets and
+        early-violation results are identical between the two.
+        """
+        initial = self.initial_state()
+        if check_safety:
+            violation = self.check_outputs(initial)
+            if violation:
+                return FastExplorationResult(1, 0, True, violation)
+
+        seen = {fingerprint_int(initial)} if fingerprint else {initial}
+        packable = fingerprint and self.state_bits <= 64
+        queue: Optional[_ChunkedIntQueue] = (
+            _ChunkedIntQueue() if packable else None
+        )
+        frontier: Optional[deque] = None if packable else deque()
+        if packable:
+            queue.push(initial)
+        else:
+            frontier.append(initial)
+        transitions = 0
+        truncated = 0
+        complete = True
+        buf: List[int] = []
+        seen_add = seen.add
+        check_outputs = self.check_outputs
+        successor_states_into = self.successor_states_into
+
+        while True:
+            if packable:
+                state = queue.pop()
+                if state < 0:
+                    break
+            else:
+                if not frontier:
+                    break
+                state = frontier.popleft()
+            successor_states_into(state, buf)
+            transitions += len(buf)
+            for successor in buf:
+                key = fingerprint_int(successor) if fingerprint else successor
+                if key in seen:
+                    continue
+                if len(seen) >= max_states:
+                    complete = False
+                    truncated += 1
+                    continue
+                seen_add(key)
+                if packable:
+                    queue.push(successor)
+                else:
+                    frontier.append(successor)
+                if check_safety:
+                    violation = check_outputs(successor)
+                    if violation:
+                        return FastExplorationResult(
+                            len(seen), transitions, complete, violation,
+                            truncated_transitions=truncated,
+                        )
+                if progress_every and len(seen) % progress_every == 0:
+                    print(
+                        f"  ... {len(seen)} states,"
+                        f" {transitions} transitions", flush=True
+                    )
+            if not complete:
+                # Budget exhausted: no pending state can admit a new
+                # one, so draining the frontier is invariant-free
+                # wasted work (the seed explorer kept going here).
+                break
+
+        return FastExplorationResult(
+            states=len(seen),
+            transitions=transitions,
+            complete=complete,
+            truncated_transitions=truncated,
+        )
+
+    def _explore_with_edges(
+        self, max_states: int, check_safety: bool, progress_every: int
+    ) -> FastExplorationResult:
         initial = self.initial_state()
         index_of: Dict[int, int] = {initial: 0}
         frontier: deque = deque([initial])
         transitions = 0
+        truncated = 0
         complete = True
-        edges: Optional[List[Tuple[int, int, int]]] = (
-            [] if check_wait_freedom else None
-        )
+        edges: List[Tuple[int, int, int]] = []
         order: List[int] = [initial]
 
         if check_safety:
@@ -335,6 +595,7 @@ class FastSnapshotSpec:
                 if successor_index is None:
                     if len(index_of) >= max_states:
                         complete = False
+                        truncated += 1
                         continue
                     successor_index = len(index_of)
                     index_of[successor] = successor_index
@@ -344,24 +605,27 @@ class FastSnapshotSpec:
                         violation = self.check_outputs(successor)
                         if violation:
                             return FastExplorationResult(
-                                len(index_of), transitions, complete, violation
+                                len(index_of), transitions, complete, violation,
+                                truncated_transitions=truncated,
                             )
                     if progress_every and len(index_of) % progress_every == 0:
                         print(
                             f"  ... {len(index_of)} states,"
                             f" {transitions} transitions", flush=True
                         )
-                if edges is not None:
-                    edges.append((state_index, pid, successor_index))
+                edges.append((state_index, pid, successor_index))
+            if not complete:
+                break
 
         bad_pid = None
-        if check_wait_freedom and complete and edges is not None:
+        if complete:
             bad_pid = self._find_bad_lasso(order, edges)
         return FastExplorationResult(
             states=len(index_of),
             transitions=transitions,
             complete=complete,
             bad_lasso_pid=bad_pid,
+            truncated_transitions=truncated,
         )
 
     def _find_bad_lasso(

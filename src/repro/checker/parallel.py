@@ -1,0 +1,306 @@
+"""Multi-core exploration: the reproduction's parallel TLC engine.
+
+TLC is a *parallel* fingerprint-set explorer; this module gives the
+reproduction the same architecture on top of ``multiprocessing``, at
+two grains:
+
+**Across wiring classes** (:func:`check_snapshot_classes`) — experiment
+E4's natural unit of work.  Each canonical wiring class (from
+:func:`~repro.checker.fast_snapshot.canonical_wiring_classes`) is an
+independent exhaustive/budgeted exploration, so a pool of workers
+sweeps classes with zero coordination; results come back in class order
+regardless of completion order, so the merged report is deterministic.
+
+**Within one class** (:func:`explore_sharded`) — frontier-sharded BFS
+for the day one class outgrows a single core.  Every state is owned by
+the shard ``fingerprint_int(state) % jobs`` (the deterministic packed
+-integer fingerprint, *not* Python's randomized object hash, so all
+workers — even spawn-started ones — agree on ownership).  Workers hold
+the visited set of their own shard only, expand one BFS layer per
+round, and hand successors owned by other shards back to the driver,
+which routes them; per-shard statistics are merged in shard order, so
+two runs with the same ``jobs`` produce identical results.
+
+Exhaustive runs are partition-invariant: the sharded engine reports
+exactly the serial engine's ``(states, transitions, ok)`` because both
+count each distinct state once and each generated successor once.
+Budgeted runs stop at a BFS-layer boundary (the first round whose
+admissions reach the budget), which is deterministic for a fixed
+``jobs`` but may admit slightly more than ``max_states``.
+
+Everything degrades gracefully: ``jobs=1`` (or an environment without
+usable ``multiprocessing``) runs the serial engines in-process with
+identical semantics.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.checker.fast_snapshot import (
+    FastExplorationResult,
+    FastSnapshotSpec,
+    canonical_wiring_classes,
+)
+from repro.checker.fingerprint import fingerprint_int
+
+WiringClass = Tuple[Tuple[int, ...], ...]
+
+
+# ----------------------------------------------------------------------
+# Pool plumbing
+# ----------------------------------------------------------------------
+
+def _mp_context():
+    """Prefer fork (cheap, inherits the interpreter) when available."""
+    try:
+        return multiprocessing.get_context("fork")
+    except ValueError:  # pragma: no cover - non-POSIX platforms
+        return multiprocessing.get_context()
+
+
+def ordered_parallel_map(func, items: Sequence, jobs: int) -> List:
+    """``[func(x) for x in items]`` fanned over ``jobs`` processes.
+
+    Results keep the input order (determinism), one item per task
+    (exploration tasks are coarse and uneven).  Falls back to the
+    serial comprehension when ``jobs <= 1``, for single-item inputs,
+    or when worker processes cannot be created in this environment.
+    """
+    items = list(items)
+    if jobs <= 1 or len(items) <= 1:
+        return [func(item) for item in items]
+    ctx = _mp_context()
+    try:
+        pool = ctx.Pool(processes=min(jobs, len(items)))
+    except OSError:  # pragma: no cover - sandboxed/fork-less hosts
+        return [func(item) for item in items]
+    with pool:
+        return pool.map(func, items, chunksize=1)
+
+
+# ----------------------------------------------------------------------
+# Grain 1: one worker per canonical wiring class
+# ----------------------------------------------------------------------
+
+def _explore_class_task(
+    task: Tuple[Tuple[int, ...], WiringClass, Optional[int], int, bool, bool],
+) -> FastExplorationResult:
+    inputs, wiring, level_target, max_states, check_safety, fingerprint = task
+    spec = FastSnapshotSpec(inputs, wiring, level_target=level_target)
+    return spec.explore(
+        max_states=max_states,
+        check_safety=check_safety,
+        fingerprint=fingerprint,
+    )
+
+
+def check_snapshot_classes(
+    n_processors: int,
+    n_registers: Optional[int] = None,
+    budget: Optional[int] = None,
+    jobs: int = 1,
+    check_safety: bool = True,
+    fingerprint: bool = False,
+    level_target: Optional[int] = None,
+    inputs: Optional[Sequence[int]] = None,
+) -> List[Tuple[WiringClass, FastExplorationResult]]:
+    """Sweep every canonical wiring class, ``jobs`` classes at a time.
+
+    The parallel entry point behind experiment E4's N=3 sweep and
+    ``python -m repro check --jobs N``.  Returns ``(wiring, result)``
+    pairs in canonical class order whatever the completion order, so
+    reports and verdicts are byte-identical across ``jobs`` settings.
+    """
+    registers = n_registers if n_registers is not None else n_processors
+    classes = canonical_wiring_classes(n_processors, registers)
+    chosen_inputs = (
+        tuple(inputs)
+        if inputs is not None
+        else tuple(range(1, n_processors + 1))
+    )
+    max_states = budget if budget is not None else 10 ** 9
+    tasks = [
+        (chosen_inputs, wiring, level_target, max_states, check_safety,
+         fingerprint)
+        for wiring in classes
+    ]
+    results = ordered_parallel_map(_explore_class_task, tasks, jobs)
+    return list(zip(classes, results))
+
+
+# ----------------------------------------------------------------------
+# Grain 2: frontier-sharded BFS within one wiring class
+# ----------------------------------------------------------------------
+
+def _shard_worker(
+    conn,
+    inputs: Tuple[int, ...],
+    wiring: WiringClass,
+    level_target: Optional[int],
+    shard: int,
+    n_shards: int,
+    check_safety: bool,
+    fingerprint: bool,
+) -> None:
+    """One frontier shard: owns states with ``fp(s) % n_shards == shard``.
+
+    Protocol: driver sends ``("round", states)``; worker admits the
+    new ones into its visited set, expands that BFS layer, and replies
+    ``("layer", admitted, transitions, violation, outboxes)`` where
+    ``outboxes`` maps each shard id to the successor states it owns.
+    ``("stop",)`` terminates.
+    """
+    try:
+        spec = FastSnapshotSpec(inputs, wiring, level_target=level_target)
+        seen = set()
+        buf: List[int] = []
+        while True:
+            message = conn.recv()
+            if message[0] == "stop":
+                break
+            batch = message[1]
+            admitted: List[int] = []
+            violation: Optional[str] = None
+            for state in batch:
+                key = fingerprint_int(state) if fingerprint else state
+                if key in seen:
+                    continue
+                seen.add(key)
+                admitted.append(state)
+                if check_safety and violation is None:
+                    violation = spec.check_outputs(state)
+            transitions = 0
+            outboxes: Dict[int, List[int]] = {}
+            if violation is None:
+                for state in admitted:
+                    spec.successor_states_into(state, buf)
+                    transitions += len(buf)
+                    for successor in buf:
+                        owner = fingerprint_int(successor) % n_shards
+                        outboxes.setdefault(owner, []).append(successor)
+            conn.send(("layer", len(admitted), transitions, violation, outboxes))
+    except EOFError:  # driver went away mid-run
+        pass
+    except Exception as exc:  # surface worker crashes to the driver
+        try:
+            conn.send(("error", f"{type(exc).__name__}: {exc}"))
+        except (OSError, BrokenPipeError):
+            pass
+    finally:
+        conn.close()
+
+
+def explore_sharded(
+    inputs: Sequence[int],
+    wiring: WiringClass,
+    jobs: int = 2,
+    max_states: int = 200_000_000,
+    check_safety: bool = True,
+    level_target: Optional[int] = None,
+    fingerprint: bool = False,
+) -> FastExplorationResult:
+    """Frontier-sharded BFS over one wiring class across ``jobs`` cores.
+
+    Level-synchronous: each round every worker expands exactly one BFS
+    layer of its shard and exchanges boundary states through the
+    driver.  The driver merges per-shard statistics in shard order and
+    applies the state budget at layer boundaries, so the result is
+    deterministic for a fixed ``jobs`` — and equal to the serial
+    engine's on any exhaustive (non-truncated) run.
+
+    Wait-freedom (lasso) analysis needs the full cross-shard edge list
+    and is deliberately not offered here; run the serial engine with
+    ``check_wait_freedom=True`` for that (N=2 certification does).
+    """
+    spec = FastSnapshotSpec(inputs, wiring, level_target=level_target)
+    if jobs <= 1:
+        return spec.explore(
+            max_states=max_states,
+            check_safety=check_safety,
+            fingerprint=fingerprint,
+        )
+
+    ctx = _mp_context()
+    connections = []
+    workers = []
+    try:
+        try:
+            for shard in range(jobs):
+                parent_conn, child_conn = ctx.Pipe()
+                process = ctx.Process(
+                    target=_shard_worker,
+                    args=(
+                        child_conn, tuple(inputs), wiring, level_target,
+                        shard, jobs, check_safety, fingerprint,
+                    ),
+                    daemon=True,
+                )
+                process.start()
+                child_conn.close()
+                connections.append(parent_conn)
+                workers.append(process)
+        except OSError:  # pragma: no cover - process-less environments
+            return spec.explore(
+                max_states=max_states,
+                check_safety=check_safety,
+                fingerprint=fingerprint,
+            )
+
+        initial = spec.initial_state()
+        inboxes: Dict[int, List[int]] = {
+            fingerprint_int(initial) % jobs: [initial]
+        }
+        states = 0
+        transitions = 0
+        complete = True
+        violation: Optional[str] = None
+
+        while inboxes:
+            for shard in range(jobs):
+                connections[shard].send(("round", inboxes.get(shard, [])))
+            outboxes: Dict[int, List[int]] = {}
+            for shard in range(jobs):
+                reply = connections[shard].recv()
+                if reply[0] == "error":
+                    raise RuntimeError(f"shard {shard} failed: {reply[1]}")
+                _, admitted, shard_transitions, shard_violation, out = reply
+                states += admitted
+                transitions += shard_transitions
+                if shard_violation is not None and violation is None:
+                    violation = shard_violation
+                for owner, boundary in out.items():
+                    outboxes.setdefault(owner, []).extend(boundary)
+            if violation is not None:
+                return FastExplorationResult(
+                    states=states,
+                    transitions=transitions,
+                    complete=True,
+                    violation=violation,
+                )
+            inboxes = {owner: batch for owner, batch in outboxes.items() if batch}
+            if states >= max_states and inboxes:
+                complete = False
+                truncated = sum(len(batch) for batch in inboxes.values())
+                return FastExplorationResult(
+                    states=states,
+                    transitions=transitions,
+                    complete=False,
+                    truncated_transitions=truncated,
+                )
+
+        return FastExplorationResult(
+            states=states, transitions=transitions, complete=complete
+        )
+    finally:
+        for conn in connections:
+            try:
+                conn.send(("stop",))
+            except (OSError, BrokenPipeError):
+                pass
+            conn.close()
+        for process in workers:
+            process.join(timeout=5)
+            if process.is_alive():  # pragma: no cover - defensive
+                process.terminate()

@@ -27,15 +27,49 @@ from repro.sim.machine import AlgorithmMachine
 from repro.sim.ops import Op, Read, Write
 
 
-@dataclass(frozen=True)
 class GlobalState:
-    """One global configuration: register contents + all local states."""
+    """One global configuration: register contents + all local states.
 
-    registers: Tuple[Any, ...]
-    locals: Tuple[Any, ...]
+    States are hashed twice per transition by the explorer's BFS dict
+    lookups, so the hash is computed once at construction and cached;
+    ``__slots__`` keeps the per-state footprint flat.  Treat instances
+    as immutable (the constructor freezes the hash).
+    """
+
+    __slots__ = ("registers", "locals", "_hash")
+
+    def __init__(
+        self, registers: Tuple[Any, ...], locals: Tuple[Any, ...]
+    ) -> None:
+        self.registers = registers
+        self.locals = locals
+        self._hash = hash((registers, locals))
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def __eq__(self, other: object) -> bool:
+        if self is other:
+            return True
+        if not isinstance(other, GlobalState):
+            return NotImplemented
+        return (
+            self._hash == other._hash
+            and self.registers == other.registers
+            and self.locals == other.locals
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"GlobalState(registers={self.registers!r},"
+            f" locals={self.locals!r})"
+        )
+
+    def __reduce__(self):
+        return (GlobalState, (self.registers, self.locals))
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Action:
     """One atomic step: processor ``pid`` performing ``op``.
 
@@ -77,6 +111,9 @@ class SystemSpec:
         self.wiring = wiring
         self.n_processors = len(self.inputs)
         self.n_registers = wiring.n_registers
+        # Hot-path table: local register index -> physical index, per
+        # processor (avoids a method call per transition in `apply`).
+        self._physical = tuple(w.permutation for w in wiring)
 
     # ------------------------------------------------------------------
     # Transition relation
@@ -99,22 +136,23 @@ class SystemSpec:
 
     def apply(self, state: GlobalState, pid: int, op: Op) -> Tuple[Action, GlobalState]:
         """Apply one (pid, op) step; returns the action and new state."""
-        physical = self.wiring[pid].to_physical(op.reg)
+        physical = self._physical[pid][op.reg]
         registers = state.registers
         if isinstance(op, Read):
             result = registers[physical]
         elif isinstance(op, Write):
             result = None
-            registers = (
-                registers[:physical] + (op.value,) + registers[physical + 1 :]
-            )
+            mutable = list(registers)
+            mutable[physical] = op.value
+            registers = tuple(mutable)
         else:  # pragma: no cover - defensive
             raise TypeError(f"unknown op {op!r}")
         new_local = self.machine.apply(state.locals[pid], op, result)
-        locals_ = state.locals[:pid] + (new_local,) + state.locals[pid + 1 :]
+        mutable_locals = list(state.locals)
+        mutable_locals[pid] = new_local
         return (
             Action(pid=pid, op=op, physical=physical),
-            GlobalState(registers=registers, locals=locals_),
+            GlobalState(registers=registers, locals=tuple(mutable_locals)),
         )
 
     # ------------------------------------------------------------------

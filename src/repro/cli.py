@@ -8,7 +8,9 @@ Thin, scriptable access to the library's main entry points:
 - ``figure2`` — print the reproduced Figure 2 table and its certified
   repetition;
 - ``check`` — TLC-style exhaustive model check of the snapshot
-  algorithm for N=2 (safety + wait-freedom), or a budgeted N=3 sweep;
+  algorithm for N=2 (safety + wait-freedom), or a budgeted N=3 sweep,
+  optionally parallel (``--jobs``, ``--sharded``) and memory-lean
+  (``--fingerprint``);
 - ``lower-bound`` — run the §2.1 covering-erasure demonstration.
 
 Every command exits non-zero if the run violates the property it
@@ -105,11 +107,9 @@ def _cmd_figure2(args: argparse.Namespace) -> int:
 
 def _cmd_check(args: argparse.Namespace) -> int:
     from repro.checker import Explorer, SystemSpec
-    from repro.checker.fast_snapshot import (
-        FastSnapshotSpec,
-        canonical_wiring_classes,
-    )
     from repro.checker.liveness import check_wait_freedom
+    from repro.checker.parallel import check_snapshot_classes, explore_sharded
+    from repro.checker.fast_snapshot import canonical_wiring_classes
     from repro.checker.properties import SNAPSHOT_SAFETY
     from repro.core import SnapshotMachine
     from repro.memory.wiring import enumerate_wiring_assignments
@@ -125,12 +125,27 @@ def _cmd_check(args: argparse.Namespace) -> int:
                 failures += 1
             print(f"wiring {wiring.permutations()}: {result.states} states,"
                   f" safety+wait-freedom {status}")
-    else:
+    elif args.sharded and args.jobs > 1:
+        # One class at a time, its BFS frontier sharded across workers.
+        inputs = list(range(1, args.n + 1))
         for wiring in canonical_wiring_classes(args.n, args.n):
-            fast = FastSnapshotSpec(
-                list(range(1, args.n + 1)), wiring
+            result = explore_sharded(
+                inputs, wiring, jobs=args.jobs, max_states=args.budget,
+                fingerprint=args.fingerprint,
             )
-            result = fast.explore(max_states=args.budget)
+            status = "OK" if result.ok else f"VIOLATED: {result.violation}"
+            if not result.ok:
+                failures += 1
+            scope = "exhaustive" if result.complete else "bounded"
+            print(f"wiring class {wiring}: {result.states} states"
+                  f" ({scope}, {args.jobs} frontier shards), {status}")
+    else:
+        # One whole class per worker (E4's natural grain).
+        rows = check_snapshot_classes(
+            args.n, budget=args.budget, jobs=args.jobs,
+            fingerprint=args.fingerprint,
+        )
+        for wiring, result in rows:
             status = "OK" if result.ok else f"VIOLATED: {result.violation}"
             if not result.ok:
                 failures += 1
@@ -210,6 +225,22 @@ def build_parser() -> argparse.ArgumentParser:
     check.add_argument(
         "--budget", type=int, default=200_000,
         help="states per wiring class for n=3 (n=2 is exhaustive)",
+    )
+    check.add_argument(
+        "--jobs", type=int, default=1,
+        help="worker processes for the n=3 sweep: wiring classes are"
+             " checked in parallel (1 = serial)",
+    )
+    check.add_argument(
+        "--sharded", action="store_true",
+        help="with --jobs > 1, shard each class's BFS frontier across"
+             " the workers instead of one whole class per worker",
+    )
+    check.add_argument(
+        "--fingerprint", action="store_true",
+        help="store 64-bit state fingerprints instead of full states"
+             " (~10x less state-store memory; collision probability"
+             " ~n^2/2^65, TLC's trade)",
     )
     check.set_defaults(handler=_cmd_check)
 
