@@ -40,6 +40,7 @@ import json
 import os
 import platform
 import resource
+import subprocess
 import sys
 from pathlib import Path
 from typing import Optional
@@ -79,14 +80,38 @@ def peak_rss_bytes(children: bool = False) -> int:
     return raw * 1024
 
 
+def git_sha() -> Optional[str]:
+    """Short SHA of the checked-out commit, or None outside a repo."""
+    try:
+        completed = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            cwd=Path(__file__).resolve().parent,
+            capture_output=True, text=True, timeout=10,
+        )
+    except (OSError, subprocess.TimeoutExpired):  # pragma: no cover
+        return None
+    sha = completed.stdout.strip()
+    return sha if completed.returncode == 0 and sha else None
+
+
 def write_checker_bench(payload: dict, path: Optional[Path] = None) -> Path:
     """Write ``BENCH_checker.json``: the cross-PR checker perf record.
 
-    ``payload`` carries the measured workloads; host facts (CPU count,
-    Python, platform) are stamped alongside so numbers from different
-    runners are never compared blind.
+    Sections are **merged**, not overwritten: an existing file's
+    top-level sections survive unless this run remeasured them, so a
+    partial run (e.g. the symmetry sweep alone) never erases the
+    throughput/memory record it didn't touch.  Each section written by
+    this run is stamped with the current git SHA — a merged file can
+    carry sections from different commits, and the stamps say which.
+    Host facts (CPU count, Python, platform) are stamped alongside so
+    numbers from different runners are never compared blind.
     """
     target = Path(path) if path is not None else BENCH_CHECKER_PATH
+    sha = git_sha()
+    stamped = {
+        key: ({**value, "git_sha": sha} if isinstance(value, dict) else value)
+        for key, value in payload.items()
+    }
     document = {
         "schema": "repro-checker-bench/1",
         "host": {
@@ -94,7 +119,16 @@ def write_checker_bench(payload: dict, path: Optional[Path] = None) -> Path:
             "python": platform.python_version(),
             "platform": platform.platform(),
         },
-        **payload,
     }
+    if target.exists():
+        try:
+            previous = json.loads(target.read_text())
+        except (OSError, json.JSONDecodeError):
+            previous = {}
+        if previous.get("schema") == document["schema"]:
+            for key, value in previous.items():
+                if key not in ("schema", "host"):
+                    document[key] = value
+    document.update(stamped)
     target.write_text(json.dumps(document, indent=2, sort_keys=False) + "\n")
     return target

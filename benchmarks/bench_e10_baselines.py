@@ -18,7 +18,6 @@ is cheap but refuted by E2 (its row is annotated accordingly).
 import random
 import statistics
 
-from repro.api import run_snapshot
 from repro.baselines import (
     NaiveDoubleCollectMachine,
     afek_style_snapshot_process,

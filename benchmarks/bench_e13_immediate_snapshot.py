@@ -13,7 +13,7 @@ the snapshot task but not the immediate variant.  This benchmark
 
 import random
 
-from repro.api import build_runner, run_snapshot
+from repro.api import build_runner
 from repro.core import SnapshotMachine
 from repro.memory.wiring import WiringAssignment
 from repro.tasks import ImmediateSnapshotTask, SnapshotTask

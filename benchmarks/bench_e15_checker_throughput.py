@@ -3,7 +3,7 @@
 Not a paper experiment: this benchmark tracks the *checker itself* —
 the engine every mechanically-checked claim (E4/E5) rides on — so that
 performance changes across PRs are measured, not guessed.  Fixed
-workloads, three axes:
+workloads, four axes:
 
 - **throughput**: the E4-style N=3 sweep (all 10 canonical wiring
   classes, fixed per-class state budget) serial vs ``jobs=2`` and
@@ -13,12 +13,19 @@ workloads, three axes:
   64-bit fingerprint modes on the N=3 reference workload (each run in
   a fresh subprocess so high-water marks don't bleed between
   workloads);
+- **symmetry**: the quotient construction on the flagship wiring
+  classes and the whole sweep — reduction ratio (concrete states
+  covered per state explored) and *net* speedup (effective covered
+  states/s, canonicalization cost included, vs the unreduced twin);
 - **conformance**: parallel and serial must report identical verdicts
   (and identical states/transitions for the class sweep) — a benchmark
   that got a different answer fails instead of timing garbage.
 
+Every parallel workload records ``jobs_requested`` next to
+``jobs_effective`` (requests above ``os.cpu_count()`` are capped).
 Results land in ``BENCH_checker.json`` at the repo root (see
-``_bench_utils.write_checker_bench``).  Standalone use::
+``_bench_utils.write_checker_bench``; sections merge across runs, each
+stamped with its git SHA).  Standalone use::
 
     PYTHONPATH=src python benchmarks/bench_e15_checker_throughput.py \
         [--budget N] [--jobs 1 2 4] [--out PATH]
@@ -36,7 +43,12 @@ from pathlib import Path
 
 sys.path.insert(0, str(Path(__file__).resolve().parent))
 
-from _bench_utils import E15_BUDGET, emit, peak_rss_bytes, write_checker_bench
+from _bench_utils import (  # noqa: E402 (needs the sys.path line above)
+    E15_BUDGET,
+    emit,
+    peak_rss_bytes,
+    write_checker_bench,
+)
 
 #: The wiring class used for single-class (sharded/memory) workloads —
 #: class 1 of ``canonical_wiring_classes(3, 3)``, a rotation class with
@@ -50,11 +62,40 @@ _REFERENCE_CLASS = ((0, 1, 2), (0, 1, 2), (1, 2, 0))
 
 def _run_workload(config: dict) -> dict:
     """Execute one workload in-process and report stats."""
+    import warnings
+
     from repro.checker import Explorer, SystemSpec
-    from repro.checker.parallel import check_snapshot_classes, explore_sharded
+    from repro.checker.parallel import (
+        check_snapshot_classes,
+        effective_jobs,
+        explore_sharded,
+    )
     from repro.checker.properties import SNAPSHOT_SAFETY
     from repro.core import SnapshotMachine
     from repro.memory.wiring import WiringAssignment
+
+    symmetry = config.get("symmetry", False)
+
+    def _jobs_detail(requested: int) -> dict:
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", RuntimeWarning)
+            return {
+                "jobs_requested": requested,
+                "jobs_effective": effective_jobs(requested),
+            }
+
+    def _symmetry_detail(results) -> dict:
+        if not symmetry:
+            return {}
+        covered = sum(r.covered_states or r.states for r in results)
+        explored = sum(r.states for r in results)
+        return {
+            "covered_states": covered,
+            "symmetry_group_orders": [
+                r.symmetry_group_order for r in results
+            ],
+            "reduction_ratio": round(covered / max(1, explored), 3),
+        }
 
     rss_before = peak_rss_bytes()
     start = time.perf_counter()
@@ -65,11 +106,13 @@ def _run_workload(config: dict) -> dict:
             budget=config["budget"],
             jobs=config["jobs"],
             fingerprint=config.get("fingerprint", False),
+            symmetry=symmetry,
         )
         states = sum(result.states for _, result in rows)
         transitions = sum(result.transitions for _, result in rows)
         ok = all(result.ok for _, result in rows)
-        detail = {"classes": len(rows)}
+        detail = {"classes": len(rows), **_jobs_detail(config["jobs"]),
+                  **_symmetry_detail([result for _, result in rows])}
     elif kind == "fast_sharded":
         result = explore_sharded(
             [1, 2, 3],
@@ -77,18 +120,24 @@ def _run_workload(config: dict) -> dict:
             jobs=config["jobs"],
             max_states=config["budget"],
             fingerprint=config.get("fingerprint", False),
+            symmetry=symmetry,
         )
         states, transitions, ok = result.states, result.transitions, result.ok
-        detail = {"class": list(map(list, _REFERENCE_CLASS))}
+        detail = {"class": list(map(list, _REFERENCE_CLASS)),
+                  **_jobs_detail(config["jobs"]),
+                  **_symmetry_detail([result])}
     elif kind == "fast_single":
         from repro.checker.fast_snapshot import FastSnapshotSpec
 
-        result = FastSnapshotSpec([1, 2, 3], _REFERENCE_CLASS).explore(
+        wiring = tuple(map(tuple, config.get("class", _REFERENCE_CLASS)))
+        result = FastSnapshotSpec([1, 2, 3], wiring).explore(
             max_states=config["budget"],
             fingerprint=config.get("fingerprint", False),
+            symmetry=symmetry,
         )
         states, transitions, ok = result.states, result.transitions, result.ok
-        detail = {"class": list(map(list, _REFERENCE_CLASS))}
+        detail = {"class": list(map(list, wiring)),
+                  **_symmetry_detail([result])}
     elif kind == "generic":
         spec = SystemSpec(
             SnapshotMachine(3), [1, 2, 3], WiringAssignment.identity(3, 3)
@@ -106,7 +155,7 @@ def _run_workload(config: dict) -> dict:
     elapsed = time.perf_counter() - start
     peak = peak_rss_bytes()
     children_peak = peak_rss_bytes(children=True)
-    return {
+    stats = {
         "states": states,
         "transitions": transitions,
         "ok": ok,
@@ -116,6 +165,11 @@ def _run_workload(config: dict) -> dict:
         "workload_rss_bytes": max(peak, children_peak) - rss_before,
         **detail,
     }
+    if "covered_states" in stats and elapsed > 0:
+        # Effective throughput: concrete states *certified* per second —
+        # the number symmetry reduction is supposed to raise.
+        stats["covered_states_per_s"] = int(stats["covered_states"] / elapsed)
+    return stats
 
 
 def _subprocess_entry(conn, config: dict) -> None:
@@ -191,6 +245,61 @@ def run_suite(budget: int, jobs_axis=(1, 2, 4)) -> dict:
         ),
     }
 
+    # Symmetry axis: the quotient construction (PR 2) on the two
+    # flagship single-class workloads plus the serial sweep, each at the
+    # same state budget as its unreduced twin.  ``reduction_ratio`` is
+    # concrete-states-covered per state explored; ``net_speedup`` is
+    # *effective* throughput (covered states per second, i.e. including
+    # the canonicalization cost) vs the unreduced run's states/s.
+    identity_class = ((0, 1, 2), (0, 1, 2), (0, 1, 2))
+    symmetry = {}
+    for label, wiring in (
+        ("identity_class", identity_class),
+        ("reference_class", _REFERENCE_CLASS),
+    ):
+        base = measure(
+            {"kind": "fast_single", "budget": budget, "class": wiring}
+        )
+        reduced = measure(
+            {"kind": "fast_single", "budget": budget, "class": wiring,
+             "symmetry": True}
+        )
+        symmetry[label] = {
+            "unreduced": base,
+            "reduced": reduced,
+            "reduction_ratio": reduced["reduction_ratio"],
+            "net_speedup": (
+                round(reduced["covered_states_per_s"] / base["states_per_s"], 3)
+                if base["states_per_s"]
+                else None
+            ),
+        }
+    sweep_reduced = measure(
+        {"kind": "fast_classes", "budget": budget, "jobs": 1,
+         "symmetry": True}
+    )
+    symmetry["sweep_serial"] = {
+        "reduced": sweep_reduced,
+        "reduction_ratio": sweep_reduced["reduction_ratio"],
+        "net_speedup": (
+            round(
+                sweep_reduced["covered_states_per_s"]
+                / sweep["serial"]["states_per_s"], 3
+            )
+            if sweep["serial"]["states_per_s"]
+            else None
+        ),
+        "note": (
+            "per-class stabilizers complete the configuration-level"
+            " symmetry group |S_3 x S_3| = 36: the sweep already"
+            " explores 10 canonical classes instead of 216 concrete"
+            " wirings, and each class's multiplicity is exactly"
+            " 36 / |stabilizer| (sum over the 10 classes = 216), so the"
+            " class quotient and the per-class state quotient are the"
+            " two factors of one 36-fold reduction"
+        ),
+    }
+
     serial = sweep["serial"]
     best_label = max(
         (label for label in sweep if label.startswith("jobs")),
@@ -219,7 +328,10 @@ def run_suite(budget: int, jobs_axis=(1, 2, 4)) -> dict:
                 memory["fast_fingerprint_5x"]["workload_rss_bytes"],
         },
     }
-    return {"sweep": sweep, "memory": memory, "derived": derived}
+    return {
+        "sweep": sweep, "memory": memory, "symmetry": symmetry,
+        "derived": derived,
+    }
 
 
 # ----------------------------------------------------------------------
@@ -273,11 +385,19 @@ def test_e15_write_bench_json(benchmark):
         envelope["fingerprint_workload_rss_bytes"]
         <= max(envelope["generic_workload_rss_bytes"], 1)
     )
+    identity = payload["symmetry"]["identity_class"]
+    assert identity["reduced"]["ok"] and identity["unreduced"]["ok"]
+    # The acceptance bar: the flagship config explores >= 3x fewer
+    # states for the same concrete coverage.
+    assert identity["reduction_ratio"] >= 3.0
     path = write_checker_bench(payload)
     emit("", f"E15c — BENCH_checker.json written: {path}",
          f"  best parallel speedup vs serial:"
          f" {payload['derived']['speedup_best_parallel_vs_serial']}x",
-         f"  fingerprint envelope ratio: {envelope['ratio']}x states")
+         f"  fingerprint envelope ratio: {envelope['ratio']}x states",
+         f"  symmetry identity-class reduction:"
+         f" {identity['reduction_ratio']}x"
+         f" (net {identity['net_speedup']}x effective throughput)")
 
 
 # ----------------------------------------------------------------------
@@ -305,6 +425,12 @@ def main(argv=None) -> int:
     for label, entry in payload["memory"].items():
         print(f"  memory/{label}: {entry['states']} states,"
               f" rss {entry['workload_rss_bytes'] // 1024} KiB")
+    for label, entry in payload["symmetry"].items():
+        reduced = entry["reduced"]
+        print(f"  symmetry/{label}: {reduced['states']} representatives"
+              f" cover {reduced['covered_states']} states"
+              f" ({entry['reduction_ratio']}x reduction,"
+              f" net {entry['net_speedup']}x effective throughput)")
     envelope = payload["derived"]["fingerprint_states_in_generic_envelope"]
     print(f"  fingerprint vs object-encoded envelope:"
           f" {envelope['ratio']}x states")

@@ -41,9 +41,6 @@ def survey(n_runs: int):
         if not (graph.is_dag() and graph.has_unique_source()):
             violations += 1
         vertices = len(graph.vertices)
-        longest_chain = max(
-            (len(v) for v in graph.vertices), default=0
-        )
         branching = vertices > 1 and len(graph.edges) > vertices - 1
         shapes[(n, vertices, "branching" if branching else "chain")] += 1
     return shapes, checked, violations

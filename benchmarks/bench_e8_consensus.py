@@ -18,7 +18,7 @@ import random
 
 from repro.api import build_runner, run_consensus
 from repro.core import ConsensusMachine
-from repro.memory import AnonymousMemory, WiringAssignment
+from repro.memory import WiringAssignment
 from repro.sim import SoloScheduler
 
 

@@ -9,7 +9,6 @@ M ∈ {N-1, N, N+2, 2N} registers:
   violation (containment broken), realizing the lower bound.
 """
 
-import random
 
 from repro.api import run_snapshot
 from repro.core import SnapshotMachine

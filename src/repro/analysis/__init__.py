@@ -18,6 +18,8 @@ from repro.analysis.consensus_livelock import (
 )
 from repro.analysis.statistics import (
     ExecutionStatistics,
+    SymmetryStatistics,
+    aggregate_symmetry_statistics,
     collect_statistics,
     level_trace,
     overwrite_counts,
@@ -36,6 +38,8 @@ __all__ = [
     "collect_statistics",
     "overwrite_counts",
     "level_trace",
+    "SymmetryStatistics",
+    "aggregate_symmetry_statistics",
     "render_lanes",
     "render_register_history",
     "erasure_summary",

@@ -32,11 +32,10 @@ The check runs in benchmark E8 and the consensus tests.
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
-from typing import List, Optional, Sequence, Set, Tuple
+from typing import List, Optional, Sequence, Set
 
 from repro.checker.system import GlobalState, SystemSpec
 from repro.core.consensus import ConsensusState, TimestampedValue
-from repro.core.snapshot import SnapshotState
 from repro.core.views import RegisterRecord
 
 

@@ -119,3 +119,71 @@ def level_trace(trace: Trace) -> Dict[int, List[int]]:
             if level is not None:
                 levels.setdefault(event.pid, []).append(level)
     return levels
+
+
+# ----------------------------------------------------------------------
+# Orbit statistics of symmetry-reduced exploration (checker-side)
+# ----------------------------------------------------------------------
+
+@dataclass
+class SymmetryStatistics:
+    """Aggregated orbit counts from symmetry-reduced exploration runs.
+
+    One entry summarizes a set of :class:`FastExplorationResult` /
+    :class:`ExplorationResult` objects produced with ``symmetry=True``:
+    how many orbit representatives were explored, how many concrete
+    states those orbits cover, and the resulting reduction ratio — the
+    multiplier the quotient construction saved over unreduced
+    exploration of the same coverage (benchmark E15's ``symmetry``
+    section and the ``check --symmetry`` sweep total).
+    """
+
+    #: Orbit representatives explored (states actually visited).
+    representatives: int
+    #: Concrete states covered: the sum of orbit sizes.
+    covered: int
+    #: Per-run wiring-stabilizer group orders, in input order.
+    group_orders: List[int] = field(default_factory=list)
+
+    @property
+    def reduction_ratio(self) -> float:
+        """Concrete states certified per state explored (>= 1.0)."""
+        if self.representatives == 0:
+            return 1.0
+        return self.covered / self.representatives
+
+    @property
+    def mean_orbit_size(self) -> float:
+        """Synonym for :attr:`reduction_ratio` in orbit terms."""
+        return self.reduction_ratio
+
+    def summary(self) -> str:
+        orders = ",".join(str(order) for order in self.group_orders)
+        return (
+            f"{self.representatives} representatives cover {self.covered}"
+            f" concrete states ({self.reduction_ratio:.2f}x reduction;"
+            f" stabilizer orders [{orders}])"
+        )
+
+
+def aggregate_symmetry_statistics(results) -> SymmetryStatistics:
+    """Fold exploration results into one :class:`SymmetryStatistics`.
+
+    Accepts any iterable of result objects carrying ``states`` and the
+    symmetry fields (``covered_states``, ``symmetry_group_order``);
+    results from unreduced runs (``covered_states is None``) count
+    their states as covering exactly themselves, so mixed sweeps
+    aggregate correctly.
+    """
+    representatives = 0
+    covered = 0
+    orders: List[int] = []
+    for result in results:
+        representatives += result.states
+        result_covered = getattr(result, "covered_states", None)
+        covered += result_covered if result_covered is not None else result.states
+        order = getattr(result, "symmetry_group_order", None)
+        orders.append(order if order is not None else 1)
+    return SymmetryStatistics(
+        representatives=representatives, covered=covered, group_orders=orders
+    )

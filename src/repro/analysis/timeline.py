@@ -23,7 +23,7 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Sequence
 
-from repro.memory.trace import OutputEvent, ReadEvent, Trace, WriteEvent
+from repro.memory.trace import ReadEvent, Trace, WriteEvent
 
 
 def render_lanes(

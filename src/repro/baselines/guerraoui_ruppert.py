@@ -33,7 +33,7 @@ the counter when it runs off the end of the array.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, FrozenSet, Generator, Hashable, List, Optional, Tuple
+from typing import Any, FrozenSet, Generator, Hashable, List, Tuple
 
 from repro.sim.ops import Op, Read, Write
 

@@ -26,14 +26,9 @@ from dataclasses import dataclass, replace
 from typing import Any, Dict, Hashable, List, Optional, Tuple
 
 from repro.core.views import View
-from repro.core.write_scan import (
-    PHASE_SCAN,
-    PHASE_WRITE,
-    WriteScanMachine,
-    WriteScanState,
-)
+from repro.core.write_scan import WriteScanMachine, WriteScanState
 from repro.memory.trace import ReadEvent, Trace
-from repro.sim.ops import Op, Read, Write
+from repro.sim.ops import Op, Write
 
 PHASE_DONE = "done"
 

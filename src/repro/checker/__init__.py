@@ -23,7 +23,11 @@ caption and Section 8).  This package reproduces that methodology:
   one class) the way TLC does;
 - :mod:`repro.checker.fingerprint` provides the 64-bit state
   fingerprints behind the explorers' memory-lean fingerprint mode and
-  the sharded engine's deterministic state-ownership function.
+  the sharded engine's deterministic state-ownership function;
+- :mod:`repro.checker.symmetry` quotients the state space by the wiring
+  stabilizer (process/register permutations plus input renaming): the
+  explorers store one canonical representative per orbit and
+  de-canonicalize counterexamples back to concrete executions.
 """
 
 from repro.checker.atomicity import (
@@ -45,8 +49,16 @@ from repro.checker.fingerprint import (
 from repro.checker.liveness import WaitFreedomViolation, check_wait_freedom
 from repro.checker.parallel import (
     check_snapshot_classes,
+    effective_jobs,
     explore_sharded,
     ordered_parallel_map,
+)
+from repro.checker.symmetry import (
+    FastCanonicalizer,
+    GroupElement,
+    StateCanonicalizer,
+    assert_permutation_invariant,
+    lift_canonical_path,
 )
 from repro.checker.system import Action, GlobalState, SystemSpec
 
@@ -54,6 +66,12 @@ __all__ = [
     "check_snapshot_classes",
     "explore_sharded",
     "ordered_parallel_map",
+    "effective_jobs",
+    "GroupElement",
+    "StateCanonicalizer",
+    "FastCanonicalizer",
+    "lift_canonical_path",
+    "assert_permutation_invariant",
     "fingerprint_int",
     "fingerprint_state",
     "collision_probability",

@@ -35,7 +35,7 @@ from __future__ import annotations
 import random
 from collections import deque
 from dataclasses import dataclass
-from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
+from typing import Dict, FrozenSet, List, Optional, Tuple
 
 from repro.checker.system import Action, GlobalState, SystemSpec
 from repro.core.views import RegisterRecord, View

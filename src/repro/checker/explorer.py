@@ -20,6 +20,12 @@ from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.checker.fingerprint import fingerprint_state
+from repro.checker.symmetry import (
+    GroupElement,
+    StateCanonicalizer,
+    assert_permutation_invariant,
+    lift_canonical_path,
+)
 from repro.checker.system import Action, GlobalState, SystemSpec
 
 #: An invariant takes the spec and a reachable state; it returns an error
@@ -57,6 +63,12 @@ class ExplorationResult:
     edges: Optional[List[Tuple[int, int, int]]] = None
     #: Index -> state, aligned with edge endpoints, when edges retained.
     state_table: Optional[List[GlobalState]] = None
+    #: Symmetry runs only: concrete states covered by the explored orbit
+    #: representatives (sum of orbit sizes); ``covered / states`` is the
+    #: reduction ratio achieved by the quotient.
+    covered_states: Optional[int] = None
+    #: Symmetry runs only: order of the wiring-stabilizer group used.
+    symmetry_group_order: Optional[int] = None
 
     @property
     def ok(self) -> bool:
@@ -90,6 +102,18 @@ class Explorer:
         fires, a second bounded re-traversal (depth-capped BFS with
         parent pointers) to reconstruct the minimal counterexample
         path.  Incompatible with ``keep_edges``.
+    symmetry:
+        Symmetry reduction: explore one representative per orbit of the
+        wiring-stabilizer group (:mod:`repro.checker.symmetry`).  Every
+        generated successor is canonicalized before the visited-set
+        lookup, shrinking the reachable set by up to ``N!``.  Requires
+        every invariant to be marked ``@permutation_invariant``
+        (raises otherwise); counterexamples are de-canonicalized into
+        valid concrete executions via the stored permutation
+        witnesses.  Final states are collected as representatives.
+        Incompatible with ``keep_edges``: pid edge labels are not
+        orbit-stable, so the liveness/lasso analysis needs the
+        unreduced graph.
     """
 
     def __init__(
@@ -101,12 +125,21 @@ class Explorer:
         collect_final_states: bool = False,
         max_final_states: int = 100_000,
         fingerprint: bool = False,
+        symmetry: bool = False,
     ) -> None:
         if fingerprint and keep_edges:
             raise ValueError(
                 "fingerprint mode stores no state table; keep_edges"
                 " (liveness analysis) needs the full object-encoded run"
             )
+        if symmetry and keep_edges:
+            raise ValueError(
+                "symmetry reduction relabels processors per state, so"
+                " pid edge labels are not orbit-stable; liveness (lasso)"
+                " analysis needs the unreduced graph — drop symmetry"
+            )
+        if symmetry:
+            assert_permutation_invariant(invariants)
         self.spec = spec
         self.invariants = list(invariants)
         self.max_states = max_states
@@ -114,8 +147,14 @@ class Explorer:
         self.collect_final_states = collect_final_states
         self.max_final_states = max_final_states
         self.fingerprint = fingerprint
+        self.symmetry = symmetry
 
     def run(self) -> ExplorationResult:
+        if self.symmetry:
+            canonicalizer = StateCanonicalizer(self.spec)
+            if self.fingerprint:
+                return self._run_fingerprint_symmetric(canonicalizer)
+            return self._run_full_symmetric(canonicalizer)
         if self.fingerprint:
             return self._run_fingerprint()
         return self._run_full()
@@ -204,6 +243,296 @@ class Explorer:
             final_states=final_states,
             edges=edges,
             state_table=states if self.keep_edges else None,
+        )
+
+    # ------------------------------------------------------------------
+    # Symmetry-reduced mode
+    # ------------------------------------------------------------------
+    def _run_full_symmetric(
+        self, canonicalizer: StateCanonicalizer
+    ) -> ExplorationResult:
+        """BFS over the quotient graph: one state per orbit.
+
+        Each parent entry stores, besides the parent index and the
+        action (in the parent representative's frame), the witness
+        group element mapping the concrete successor to the child
+        representative — exactly what
+        :func:`~repro.checker.symmetry.lift_canonical_path` needs to
+        rebuild a valid concrete execution.  Quotient edges lift to
+        single concrete steps, so BFS depth — and counterexample
+        minimality — carries over unchanged.
+        """
+        spec = self.spec
+        initial = spec.initial_state()
+        root, root_witness = canonicalizer.canonical(initial)
+        index_of: Dict[GlobalState, int] = {root: 0}
+        parents: List[Optional[Tuple[int, Action, GroupElement]]] = [None]
+        depths: List[int] = [0]
+        states: List[GlobalState] = [root]
+        covered = canonicalizer.orbit_size(root)
+        queue: deque = deque([0])
+        final_states: List[GlobalState] = []
+        transitions = 0
+        max_depth = 0
+        complete = True
+        truncated = 0
+
+        violation = self._lifted_violation(
+            canonicalizer, root_witness, 0, parents, states
+        )
+        if violation is not None:
+            return ExplorationResult(
+                states=1, transitions=0, depth=0, violation=violation,
+                final_states=final_states,
+                covered_states=covered,
+                symmetry_group_order=canonicalizer.order,
+            )
+
+        while queue:
+            current_index = queue.popleft()
+            current = states[current_index]
+            successors = list(spec.successors(current))
+            if not successors and self.collect_final_states:
+                if len(final_states) < self.max_final_states:
+                    final_states.append(current)
+            for action, successor in successors:
+                transitions += 1
+                representative, witness = canonicalizer.canonical(successor)
+                successor_index = index_of.get(representative)
+                if successor_index is None:
+                    if len(states) >= self.max_states:
+                        complete = False
+                        truncated += 1
+                        continue
+                    successor_index = len(states)
+                    index_of[representative] = successor_index
+                    states.append(representative)
+                    parents.append((current_index, action, witness))
+                    covered += canonicalizer.orbit_size(representative)
+                    depth = depths[current_index] + 1
+                    depths.append(depth)
+                    max_depth = max(max_depth, depth)
+                    queue.append(successor_index)
+                    violation = self._lifted_violation(
+                        canonicalizer, root_witness,
+                        successor_index, parents, states,
+                    )
+                    if violation is not None:
+                        return ExplorationResult(
+                            states=len(states),
+                            transitions=transitions,
+                            depth=max_depth,
+                            violation=violation,
+                            complete=complete,
+                            truncated_transitions=truncated,
+                            final_states=final_states,
+                            covered_states=covered,
+                            symmetry_group_order=canonicalizer.order,
+                        )
+            if not complete:
+                break
+
+        return ExplorationResult(
+            states=len(states),
+            transitions=transitions,
+            depth=max_depth,
+            complete=complete,
+            truncated_transitions=truncated,
+            final_states=final_states,
+            covered_states=covered,
+            symmetry_group_order=canonicalizer.order,
+        )
+
+    def _run_fingerprint_symmetric(
+        self, canonicalizer: StateCanonicalizer
+    ) -> ExplorationResult:
+        """Fingerprint set over canonical forms: both reductions stack.
+
+        The visited set keys on the fingerprint of the orbit
+        *representative*, so memory shrinks by the reduction ratio on
+        top of fingerprinting's constant factor.  Counterexamples are
+        rebuilt by a depth-bounded re-BFS of the quotient graph that
+        this time records the permutation witnesses, then lifted.
+        """
+        spec = self.spec
+        initial = spec.initial_state()
+        root, root_witness = canonicalizer.canonical(initial)
+        seen = {fingerprint_state(root)}
+        covered = canonicalizer.orbit_size(root)
+        queue: deque = deque([(0, root)])
+        final_states: List[GlobalState] = []
+        transitions = 0
+        truncated = 0
+        max_depth = 0
+        complete = True
+
+        message = self._first_violation_message(root)
+        if message is not None:
+            actions, concrete = lift_canonical_path(
+                canonicalizer, root_witness, []
+            )
+            return ExplorationResult(
+                states=1, transitions=0, depth=0,
+                violation=InvariantViolation(
+                    message=self._first_violation_message(concrete) or message,
+                    state=concrete,
+                    path=actions,
+                ),
+                final_states=final_states,
+                covered_states=covered,
+                symmetry_group_order=canonicalizer.order,
+            )
+
+        while queue:
+            depth, current = queue.popleft()
+            successors = list(spec.successors(current))
+            if not successors and self.collect_final_states:
+                if len(final_states) < self.max_final_states:
+                    final_states.append(current)
+            child_depth = depth + 1
+            for _action, successor in successors:
+                transitions += 1
+                representative, _ = canonicalizer.canonical(successor)
+                digest = fingerprint_state(representative)
+                if digest in seen:
+                    continue
+                if len(seen) >= self.max_states:
+                    complete = False
+                    truncated += 1
+                    continue
+                seen.add(digest)
+                covered += canonicalizer.orbit_size(representative)
+                queue.append((child_depth, representative))
+                if child_depth > max_depth:
+                    max_depth = child_depth
+                message = self._first_violation_message(representative)
+                if message is not None:
+                    actions, concrete = self._shortest_symmetric_path_to(
+                        canonicalizer, root, root_witness,
+                        representative, child_depth,
+                    )
+                    return ExplorationResult(
+                        states=len(seen),
+                        transitions=transitions,
+                        depth=max_depth,
+                        violation=InvariantViolation(
+                            message=self._first_violation_message(concrete)
+                            or message,
+                            state=concrete,
+                            path=actions,
+                        ),
+                        complete=complete,
+                        truncated_transitions=truncated,
+                        final_states=final_states,
+                        covered_states=covered,
+                        symmetry_group_order=canonicalizer.order,
+                    )
+            if not complete:
+                break
+
+        return ExplorationResult(
+            states=len(seen),
+            transitions=transitions,
+            depth=max_depth,
+            complete=complete,
+            truncated_transitions=truncated,
+            final_states=final_states,
+            covered_states=covered,
+            symmetry_group_order=canonicalizer.order,
+        )
+
+    def _lifted_violation(
+        self,
+        canonicalizer: StateCanonicalizer,
+        root_witness: GroupElement,
+        index: int,
+        parents: List[Optional[Tuple[int, Action, GroupElement]]],
+        states: List[GlobalState],
+    ) -> Optional[InvariantViolation]:
+        """Check invariants on a representative; report concretely.
+
+        The verdict is decided on the representative (sound by
+        permutation-invariance); on violation the canonical path is
+        lifted to a concrete execution and the message recomputed on
+        the concrete final state, so the report never mentions the
+        quotient.
+        """
+        message = self._first_violation_message(states[index])
+        if message is None:
+            return None
+        steps: List[Tuple[Action, GroupElement]] = []
+        cursor = index
+        while True:
+            entry = parents[cursor]
+            if entry is None:
+                break
+            parent_index, action, witness = entry
+            steps.append((action, witness))
+            cursor = parent_index
+        steps.reverse()
+        actions, concrete = lift_canonical_path(
+            canonicalizer, root_witness, steps
+        )
+        return InvariantViolation(
+            message=self._first_violation_message(concrete) or message,
+            state=concrete,
+            path=actions,
+        )
+
+    def _shortest_symmetric_path_to(
+        self,
+        canonicalizer: StateCanonicalizer,
+        root: GlobalState,
+        root_witness: GroupElement,
+        target: GlobalState,
+        depth_limit: int,
+    ) -> Tuple[List[Action], GlobalState]:
+        """Depth-bounded quotient re-BFS recording witnesses, then lift.
+
+        The fingerprint-mode twin of :meth:`_shortest_path_to`: only
+        runs when a violation fired, and BFS order over the quotient
+        graph keeps the lifted concrete path minimal.
+        """
+        spec = self.spec
+        if target == root:
+            return lift_canonical_path(canonicalizer, root_witness, [])
+        index_of: Dict[GlobalState, int] = {root: 0}
+        parents: List[Optional[Tuple[int, Action, GroupElement]]] = [None]
+        states: List[GlobalState] = [root]
+        depths: List[int] = [0]
+        queue: deque = deque([0])
+        while queue:
+            current_index = queue.popleft()
+            depth = depths[current_index]
+            if depth >= depth_limit:
+                continue
+            for action, successor in spec.successors(states[current_index]):
+                representative, witness = canonicalizer.canonical(successor)
+                if representative in index_of:
+                    continue
+                successor_index = len(states)
+                index_of[representative] = successor_index
+                states.append(representative)
+                parents.append((current_index, action, witness))
+                depths.append(depth + 1)
+                if representative == target:
+                    steps: List[Tuple[Action, GroupElement]] = []
+                    cursor = successor_index
+                    while True:
+                        entry = parents[cursor]
+                        if entry is None:
+                            break
+                        parent_index, step_action, step_witness = entry
+                        steps.append((step_action, step_witness))
+                        cursor = parent_index
+                    steps.reverse()
+                    return lift_canonical_path(
+                        canonicalizer, root_witness, steps
+                    )
+                queue.append(successor_index)
+        raise RuntimeError(  # pragma: no cover - fingerprint collision
+            "violating representative unreachable within its BFS depth —"
+            " a 64-bit fingerprint collision corrupted the frontier"
         )
 
     # ------------------------------------------------------------------

@@ -34,7 +34,7 @@ import itertools
 from array import array
 from collections import deque
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 from repro.checker.fingerprint import fingerprint_int
 
@@ -56,6 +56,12 @@ class FastExplorationResult:
     bad_lasso_pid: Optional[int] = None
     #: Transitions whose (new) target was dropped at the state budget.
     truncated_transitions: int = 0
+    #: Symmetry runs only: concrete states covered by the explored
+    #: orbit representatives (sum of orbit sizes); ``covered / states``
+    #: is the reduction ratio achieved by the quotient.
+    covered_states: Optional[int] = None
+    #: Symmetry runs only: order of the wiring-stabilizer group.
+    symmetry_group_order: Optional[int] = None
 
     @property
     def ok(self) -> bool:
@@ -126,6 +132,7 @@ class FastSnapshotSpec:
             raise ValueError("wiring width does not match register count")
         self.level_target = self.n if level_target is None else level_target
         self.wiring = tuple(tuple(perm) for perm in wiring)
+        self.inputs = tuple(inputs)
 
         # Input values -> bit positions (duplicates share a bit: groups).
         distinct = sorted(set(inputs), key=repr)
@@ -454,6 +461,7 @@ class FastSnapshotSpec:
         check_wait_freedom: bool = False,
         progress_every: int = 0,
         fingerprint: bool = False,
+        symmetry: bool = False,
     ) -> FastExplorationResult:
         """BFS over all reachable states (for this wiring).
 
@@ -469,18 +477,36 @@ class FastSnapshotSpec:
         probability for a much higher state budget in the same memory
         envelope.  Incompatible with ``check_wait_freedom`` (lasso
         analysis needs the full indexed state table).
+
+        With ``symmetry`` the visited set keys on orbit
+        representatives under the wiring-stabilizer group
+        (:mod:`repro.checker.symmetry`), exploring up to ``N!`` times
+        fewer states; the result reports ``covered_states`` (sum of
+        orbit sizes — the concrete states the run certifies) next to
+        the representative count.  The safety verdict is unchanged
+        (output comparability/validity is permutation-invariant); a
+        violation *message*, checked on the representative, may name a
+        permuted pid.  Stacks with ``fingerprint``; incompatible with
+        ``check_wait_freedom``, whose per-pid lasso analysis needs the
+        unreduced graph.
         """
         if fingerprint and check_wait_freedom:
             raise ValueError(
                 "fingerprint mode keeps no state table; wait-freedom"
                 " (lasso) analysis requires a full indexed exploration"
             )
+        if symmetry and check_wait_freedom:
+            raise ValueError(
+                "symmetry reduction relabels processors per state, so"
+                " pid edge labels are not orbit-stable; wait-freedom"
+                " (lasso) analysis needs the unreduced graph"
+            )
         if check_wait_freedom:
             return self._explore_with_edges(
                 max_states, check_safety, progress_every
             )
         return self._explore_lean(
-            max_states, check_safety, progress_every, fingerprint
+            max_states, check_safety, progress_every, fingerprint, symmetry
         )
 
     def _explore_lean(
@@ -489,6 +515,7 @@ class FastSnapshotSpec:
         check_safety: bool,
         progress_every: int,
         fingerprint: bool,
+        symmetry: bool = False,
     ) -> FastExplorationResult:
         """Safety-only BFS: dedup set + frontier, no index/order tables.
 
@@ -496,6 +523,18 @@ class FastSnapshotSpec:
         exactly the same order as the indexed variant, so budgets and
         early-violation results are identical between the two.
         """
+        canonicalizer = None
+        if symmetry:
+            from repro.checker.symmetry import FastCanonicalizer
+
+            canonicalizer = FastCanonicalizer(self)
+            if not canonicalizer.trivial:
+                return self._explore_lean_symmetric(
+                    canonicalizer, max_states, check_safety,
+                    progress_every, fingerprint,
+                )
+            # Trivial stabilizer: the quotient IS the concrete graph;
+            # fall through to the plain loop and report covered==states.
         initial = self.initial_state()
         if check_safety:
             violation = self.check_outputs(initial)
@@ -567,6 +606,124 @@ class FastSnapshotSpec:
             transitions=transitions,
             complete=complete,
             truncated_transitions=truncated,
+            covered_states=len(seen) if canonicalizer is not None else None,
+            symmetry_group_order=(
+                canonicalizer.order if canonicalizer is not None else None
+            ),
+        )
+
+    def _explore_lean_symmetric(
+        self,
+        canonicalizer,
+        max_states: int,
+        check_safety: bool,
+        progress_every: int,
+        fingerprint: bool,
+    ) -> FastExplorationResult:
+        """The lean BFS over the quotient graph: one state per orbit.
+
+        Every generated successor is canonicalized before the
+        visited-set lookup, so both the visited set and the frontier
+        hold orbit representatives only.  Without ``fingerprint`` a
+        raw-successor cache additionally skips re-canonicalizing
+        concrete successors generated more than once (the common case:
+        most generated transitions hit already-seen states), trading
+        memory bounded by the *unreduced* successor count for a large
+        cut in canonicalizer calls; fingerprint mode keeps its
+        memory-lean contract instead and pays the canonicalization per
+        generated transition.
+        """
+        canonical = canonicalizer.canonical
+        orbit_size = canonicalizer.orbit_size
+        initial = canonical(self.initial_state())
+        if check_safety:
+            violation = self.check_outputs(initial)
+            if violation:
+                return FastExplorationResult(
+                    1, 0, True, violation,
+                    covered_states=orbit_size(initial),
+                    symmetry_group_order=canonicalizer.order,
+                )
+
+        seen = {fingerprint_int(initial)} if fingerprint else {initial}
+        covered = orbit_size(initial)
+        raw_seen: Optional[Set[int]] = None if fingerprint else {initial}
+        packable = fingerprint and self.state_bits <= 64
+        queue: Optional[_ChunkedIntQueue] = (
+            _ChunkedIntQueue() if packable else None
+        )
+        frontier: Optional[deque] = None if packable else deque()
+        if packable:
+            queue.push(initial)
+        else:
+            frontier.append(initial)
+        transitions = 0
+        truncated = 0
+        complete = True
+        buf: List[int] = []
+        seen_add = seen.add
+        check_outputs = self.check_outputs
+        successor_states_into = self.successor_states_into
+
+        while True:
+            if packable:
+                state = queue.pop()
+                if state < 0:
+                    break
+            else:
+                if not frontier:
+                    break
+                state = frontier.popleft()
+            successor_states_into(state, buf)
+            transitions += len(buf)
+            for successor in buf:
+                if raw_seen is not None:
+                    if successor in raw_seen:
+                        continue
+                    raw_seen.add(successor)
+                representative = canonical(successor)
+                key = (
+                    fingerprint_int(representative)
+                    if fingerprint
+                    else representative
+                )
+                if key in seen:
+                    continue
+                if len(seen) >= max_states:
+                    complete = False
+                    truncated += 1
+                    continue
+                seen_add(key)
+                covered += orbit_size(representative)
+                if packable:
+                    queue.push(representative)
+                else:
+                    frontier.append(representative)
+                if check_safety:
+                    violation = check_outputs(representative)
+                    if violation:
+                        return FastExplorationResult(
+                            len(seen), transitions, complete, violation,
+                            truncated_transitions=truncated,
+                            covered_states=covered,
+                            symmetry_group_order=canonicalizer.order,
+                        )
+                if progress_every and len(seen) % progress_every == 0:
+                    print(
+                        f"  ... {len(seen)} representatives,"
+                        f" {covered} covered,"
+                        f" {transitions} transitions", flush=True
+                    )
+            if not complete:
+                break
+
+        return FastExplorationResult(
+            states=len(seen),
+            transitions=transitions,
+            complete=complete,
+            truncated_transitions=truncated,
+            covered_states=covered,
+            symmetry_group_order=canonicalizer.order,
         )
 
     def _explore_with_edges(

@@ -18,7 +18,7 @@ labelled ``p``.  Self-loops count (a single-edge cycle is a cycle).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from repro.checker.explorer import ExplorationResult
 from repro.checker.system import GlobalState, SystemSpec

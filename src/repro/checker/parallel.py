@@ -36,6 +36,8 @@ identical semantics.
 from __future__ import annotations
 
 import multiprocessing
+import os
+import warnings
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.checker.fast_snapshot import (
@@ -58,6 +60,28 @@ def _mp_context():
         return multiprocessing.get_context("fork")
     except ValueError:  # pragma: no cover - non-POSIX platforms
         return multiprocessing.get_context()
+
+
+def effective_jobs(requested: int) -> int:
+    """Cap a worker count at the host's usable core count, warning once.
+
+    Oversubscription is a measured regression, not a no-op: the PR 1
+    bench on a 1-CPU host recorded ``jobs=2``/``jobs=4`` sweeps *slower*
+    than serial, because extra workers add fork + IPC cost without any
+    added parallelism.  Both parallel entry points route through this
+    cap; benchmarks record the capped value next to the requested one.
+    """
+    available = os.cpu_count() or 1
+    if requested > available:
+        warnings.warn(
+            f"jobs={requested} exceeds the {available} usable core(s);"
+            f" capping to {available} — oversubscribed workers are pure"
+            " fork/IPC overhead (see BENCH_checker.json jobs regression)",
+            RuntimeWarning,
+            stacklevel=2,
+        )
+        return available
+    return max(1, requested)
 
 
 def ordered_parallel_map(func, items: Sequence, jobs: int) -> List:
@@ -85,14 +109,18 @@ def ordered_parallel_map(func, items: Sequence, jobs: int) -> List:
 # ----------------------------------------------------------------------
 
 def _explore_class_task(
-    task: Tuple[Tuple[int, ...], WiringClass, Optional[int], int, bool, bool],
+    task: Tuple[
+        Tuple[int, ...], WiringClass, Optional[int], int, bool, bool, bool
+    ],
 ) -> FastExplorationResult:
-    inputs, wiring, level_target, max_states, check_safety, fingerprint = task
+    (inputs, wiring, level_target, max_states, check_safety, fingerprint,
+     symmetry) = task
     spec = FastSnapshotSpec(inputs, wiring, level_target=level_target)
     return spec.explore(
         max_states=max_states,
         check_safety=check_safety,
         fingerprint=fingerprint,
+        symmetry=symmetry,
     )
 
 
@@ -105,6 +133,7 @@ def check_snapshot_classes(
     fingerprint: bool = False,
     level_target: Optional[int] = None,
     inputs: Optional[Sequence[int]] = None,
+    symmetry: bool = False,
 ) -> List[Tuple[WiringClass, FastExplorationResult]]:
     """Sweep every canonical wiring class, ``jobs`` classes at a time.
 
@@ -112,6 +141,9 @@ def check_snapshot_classes(
     ``python -m repro check --jobs N``.  Returns ``(wiring, result)``
     pairs in canonical class order whatever the completion order, so
     reports and verdicts are byte-identical across ``jobs`` settings.
+    ``jobs`` is capped at the host's core count (:func:`effective_jobs`);
+    with ``symmetry`` each class explores orbit representatives under
+    its wiring-stabilizer group and reports ``covered_states``.
     """
     registers = n_registers if n_registers is not None else n_processors
     classes = canonical_wiring_classes(n_processors, registers)
@@ -123,10 +155,12 @@ def check_snapshot_classes(
     max_states = budget if budget is not None else 10 ** 9
     tasks = [
         (chosen_inputs, wiring, level_target, max_states, check_safety,
-         fingerprint)
+         fingerprint, symmetry)
         for wiring in classes
     ]
-    results = ordered_parallel_map(_explore_class_task, tasks, jobs)
+    results = ordered_parallel_map(
+        _explore_class_task, tasks, effective_jobs(jobs)
+    )
     return list(zip(classes, results))
 
 
@@ -143,17 +177,32 @@ def _shard_worker(
     n_shards: int,
     check_safety: bool,
     fingerprint: bool,
+    symmetry: bool = False,
 ) -> None:
     """One frontier shard: owns states with ``fp(s) % n_shards == shard``.
 
     Protocol: driver sends ``("round", states)``; worker admits the
     new ones into its visited set, expands that BFS layer, and replies
-    ``("layer", admitted, transitions, violation, outboxes)`` where
-    ``outboxes`` maps each shard id to the successor states it owns.
-    ``("stop",)`` terminates.
+    ``("layer", admitted, transitions, violation, outboxes, covered)``
+    where ``outboxes`` maps each shard id to the successor states it
+    owns.  ``("stop",)`` terminates.
+
+    With ``symmetry`` every successor is canonicalized *before* the
+    ownership fingerprint, so each orbit has exactly one owning shard
+    and the union of shard visited-sets is the quotient graph; the
+    driver canonicalizes the initial state with the same group.
+    ``covered`` then sums the orbit sizes of this layer's admissions
+    (``None`` otherwise).
     """
     try:
         spec = FastSnapshotSpec(inputs, wiring, level_target=level_target)
+        canonicalizer = None
+        if symmetry:
+            from repro.checker.symmetry import FastCanonicalizer
+
+            canonicalizer = FastCanonicalizer(spec)
+            if canonicalizer.trivial:
+                canonicalizer = None
         seen = set()
         buf: List[int] = []
         while True:
@@ -162,6 +211,7 @@ def _shard_worker(
                 break
             batch = message[1]
             admitted: List[int] = []
+            covered: Optional[int] = 0 if symmetry else None
             violation: Optional[str] = None
             for state in batch:
                 key = fingerprint_int(state) if fingerprint else state
@@ -169,18 +219,34 @@ def _shard_worker(
                     continue
                 seen.add(key)
                 admitted.append(state)
+                if symmetry:
+                    covered += (
+                        canonicalizer.orbit_size(state)
+                        if canonicalizer is not None
+                        else 1
+                    )
                 if check_safety and violation is None:
                     violation = spec.check_outputs(state)
             transitions = 0
             outboxes: Dict[int, List[int]] = {}
             if violation is None:
+                canonical = (
+                    canonicalizer.canonical
+                    if canonicalizer is not None
+                    else None
+                )
                 for state in admitted:
                     spec.successor_states_into(state, buf)
                     transitions += len(buf)
                     for successor in buf:
+                        if canonical is not None:
+                            successor = canonical(successor)
                         owner = fingerprint_int(successor) % n_shards
                         outboxes.setdefault(owner, []).append(successor)
-            conn.send(("layer", len(admitted), transitions, violation, outboxes))
+            conn.send(
+                ("layer", len(admitted), transitions, violation, outboxes,
+                 covered)
+            )
     except EOFError:  # driver went away mid-run
         pass
     except Exception as exc:  # surface worker crashes to the driver
@@ -200,6 +266,7 @@ def explore_sharded(
     check_safety: bool = True,
     level_target: Optional[int] = None,
     fingerprint: bool = False,
+    symmetry: bool = False,
 ) -> FastExplorationResult:
     """Frontier-sharded BFS over one wiring class across ``jobs`` cores.
 
@@ -208,19 +275,33 @@ def explore_sharded(
     driver.  The driver merges per-shard statistics in shard order and
     applies the state budget at layer boundaries, so the result is
     deterministic for a fixed ``jobs`` — and equal to the serial
-    engine's on any exhaustive (non-truncated) run.
+    engine's on any exhaustive (non-truncated) run.  ``jobs`` is capped
+    at the host's core count (:func:`effective_jobs`).
+
+    With ``symmetry`` the shards jointly explore the quotient graph:
+    workers canonicalize successors before the ownership fingerprint
+    (so orbits have unique owners) and the merged result carries
+    ``covered_states``.
 
     Wait-freedom (lasso) analysis needs the full cross-shard edge list
     and is deliberately not offered here; run the serial engine with
     ``check_wait_freedom=True`` for that (N=2 certification does).
     """
     spec = FastSnapshotSpec(inputs, wiring, level_target=level_target)
+    jobs = effective_jobs(jobs)
     if jobs <= 1:
         return spec.explore(
             max_states=max_states,
             check_safety=check_safety,
             fingerprint=fingerprint,
+            symmetry=symmetry,
         )
+
+    canonicalizer = None
+    if symmetry:
+        from repro.checker.symmetry import FastCanonicalizer
+
+        canonicalizer = FastCanonicalizer(spec)
 
     ctx = _mp_context()
     connections = []
@@ -233,7 +314,7 @@ def explore_sharded(
                     target=_shard_worker,
                     args=(
                         child_conn, tuple(inputs), wiring, level_target,
-                        shard, jobs, check_safety, fingerprint,
+                        shard, jobs, check_safety, fingerprint, symmetry,
                     ),
                     daemon=True,
                 )
@@ -246,15 +327,20 @@ def explore_sharded(
                 max_states=max_states,
                 check_safety=check_safety,
                 fingerprint=fingerprint,
+                symmetry=symmetry,
             )
 
         initial = spec.initial_state()
+        if canonicalizer is not None:
+            initial = canonicalizer.canonical(initial)
         inboxes: Dict[int, List[int]] = {
             fingerprint_int(initial) % jobs: [initial]
         }
         states = 0
         transitions = 0
         complete = True
+        covered: Optional[int] = 0 if symmetry else None
+        group_order = canonicalizer.order if canonicalizer is not None else None
         violation: Optional[str] = None
 
         while inboxes:
@@ -265,9 +351,12 @@ def explore_sharded(
                 reply = connections[shard].recv()
                 if reply[0] == "error":
                     raise RuntimeError(f"shard {shard} failed: {reply[1]}")
-                _, admitted, shard_transitions, shard_violation, out = reply
+                (_, admitted, shard_transitions, shard_violation, out,
+                 shard_covered) = reply
                 states += admitted
                 transitions += shard_transitions
+                if shard_covered is not None and covered is not None:
+                    covered += shard_covered
                 if shard_violation is not None and violation is None:
                     violation = shard_violation
                 for owner, boundary in out.items():
@@ -278,6 +367,8 @@ def explore_sharded(
                     transitions=transitions,
                     complete=True,
                     violation=violation,
+                    covered_states=covered,
+                    symmetry_group_order=group_order,
                 )
             inboxes = {owner: batch for owner, batch in outboxes.items() if batch}
             if states >= max_states and inboxes:
@@ -288,10 +379,13 @@ def explore_sharded(
                     transitions=transitions,
                     complete=False,
                     truncated_transitions=truncated,
+                    covered_states=covered,
+                    symmetry_group_order=group_order,
                 )
 
         return FastExplorationResult(
-            states=states, transitions=transitions, complete=complete
+            states=states, transitions=transitions, complete=complete,
+            covered_states=covered, symmetry_group_order=group_order,
         )
     finally:
         for conn in connections:

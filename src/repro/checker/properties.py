@@ -22,7 +22,27 @@ from typing import Optional
 from repro.checker.system import GlobalState, SystemSpec
 from repro.core.views import RegisterRecord, all_comparable
 
+def permutation_invariant(fn):
+    """Declare that an invariant's *verdict* is unchanged by symmetry.
 
+    The symmetry-reduced explorer (:mod:`repro.checker.symmetry`) checks
+    invariants on orbit representatives only, which is sound exactly
+    when a property violated in some state is violated in every state of
+    its orbit — i.e. the verdict is invariant under processor
+    permutation, register relabelling, and bijective input renaming.
+    Only the boolean verdict must be invariant: the diagnostic *message*
+    may name concrete pids/registers, and the explorer recomputes it on
+    the de-canonicalized concrete state before reporting.
+
+    ``Explorer(symmetry=True)`` refuses invariants without this marker;
+    check non-invariant properties with symmetry off (``--no-symmetry``).
+    """
+    fn.permutation_invariant = True
+    return fn
+
+
+
+@permutation_invariant
 def snapshot_outputs_comparable(spec: SystemSpec, state: GlobalState) -> Optional[str]:
     """Every two snapshot outputs produced so far are containment-related."""
     outputs = spec.outputs(state)
@@ -34,6 +54,7 @@ def snapshot_outputs_comparable(spec: SystemSpec, state: GlobalState) -> Optiona
     return f"incomparable snapshot outputs: {views!r}"
 
 
+@permutation_invariant
 def snapshot_outputs_valid(spec: SystemSpec, state: GlobalState) -> Optional[str]:
     """Outputs contain the own input and only configuration inputs."""
     all_inputs = frozenset(spec.inputs)
@@ -52,6 +73,7 @@ def snapshot_outputs_valid(spec: SystemSpec, state: GlobalState) -> Optional[str
     return None
 
 
+@permutation_invariant
 def views_contain_own_input(spec: SystemSpec, state: GlobalState) -> Optional[str]:
     """Local views always contain the processor's own input."""
     for pid, local in enumerate(state.locals):
@@ -71,6 +93,7 @@ def views_contain_own_input(spec: SystemSpec, state: GlobalState) -> Optional[st
     return None
 
 
+@permutation_invariant
 def levels_within_bounds(spec: SystemSpec, state: GlobalState) -> Optional[str]:
     """Processor and register levels stay in ``0..level_target``."""
     target = getattr(spec.machine, "level_target", None)
@@ -89,6 +112,7 @@ def levels_within_bounds(spec: SystemSpec, state: GlobalState) -> Optional[str]:
     return None
 
 
+@permutation_invariant
 def register_views_are_inputs(spec: SystemSpec, state: GlobalState) -> Optional[str]:
     """Register views only ever contain configuration inputs."""
     all_inputs = frozenset(spec.inputs)
@@ -113,6 +137,7 @@ SNAPSHOT_SAFETY = (
 )
 
 
+@permutation_invariant
 def consensus_agreement_and_validity(
     spec: SystemSpec, state: GlobalState
 ) -> Optional[str]:
@@ -129,6 +154,7 @@ def consensus_agreement_and_validity(
     return None
 
 
+@permutation_invariant
 def renaming_names_valid(spec: SystemSpec, state: GlobalState) -> Optional[str]:
     """Names are positive, within the group bound, unique across groups."""
     outputs = spec.outputs(state)

@@ -1,0 +1,484 @@
+"""On-the-fly symmetry reduction: explore one state per orbit.
+
+The model's defining feature — anonymous processors running identical
+code against registers addressed through private permutations — makes
+the checker's state graph riddled with *orbits*: global states that
+differ only by a permutation of the identically-programmed processors
+(plus the compatible register relabelling and renaming of the private
+inputs) are behaviorally indistinguishable.  This module quotients the
+reachable graph by that symmetry **on the fly**: every generated
+successor is mapped to a canonical orbit representative before the
+visited-set lookup, so BFS explores the quotient graph — up to ``N!``
+times smaller — while verdicts of permutation-invariant properties are
+unchanged.
+
+The group is the *stabilizer of the wiring assignment* computed by
+:func:`repro.memory.wiring.wiring_stabilizer`: pairs ``(pi, rho)`` of a
+processor permutation and register relabelling that map the fixed
+assignment to itself, each inducing the input renaming
+``tau(inputs[pi[p]]) = inputs[p]``.  A group element ``g = (pi, rho,
+tau)`` acts on a global state by::
+
+    (g.s).locals[p]       = tau(s.locals[pi[p]])
+    (g.s).registers[rho[r]] = tau(s.registers[r])
+
+Local-state fields expressed in *private* register coordinates
+(unwritten masks, scan positions) are untouched: position ``p``'s local
+index ``i`` resolves to physical ``sigma_p[i] = rho[sigma_{pi[p]}[i]]``,
+exactly the relabelled register processor ``pi[p]`` touched — that is
+the equivariance the stabilizer condition buys.
+
+Two canonicalizers share the group:
+
+- :class:`FastCanonicalizer` for the packed-integer states of
+  :class:`~repro.checker.fast_snapshot.FastSnapshotSpec` — the hot-path
+  kernel.  Each group element is compiled to fused lookup tables (the
+  whole register file in one table, each local in another), so one
+  image costs a handful of indexed loads; ``canonical`` takes the
+  minimum image, which is a well-defined orbit invariant because the
+  image multiset is the same for every orbit member.
+- :class:`StateCanonicalizer` for object-encoded
+  :class:`~repro.checker.system.GlobalState`\\ s.  Renaming input
+  values inside opaque local states is machine-specific, so machines
+  opt in by providing ``rename_inputs(local, mapping)`` and
+  ``rename_register_value(value, mapping)`` hooks (see
+  :class:`~repro.core.snapshot.SnapshotMachine`); without the hooks the
+  group is restricted to its input-preserving subgroup (still useful
+  whenever inputs repeat).  Machines whose transition function is *not*
+  equivariant under input renaming (e.g. consensus, whose deterministic
+  tie-break orders values by ``repr``) must not provide the hooks.
+
+Counterexample de-canonicalization: the quotient BFS stores, per edge,
+the witness group element ``g`` with ``rep' = g . apply(rep, action)``.
+:func:`lift_canonical_path` replays the canonical path concretely by
+maintaining the cumulative element ``h`` with ``concrete = h . rep``:
+each canonical action ``(pid, op)`` lifts to ``(pi_h^{-1}[pid],
+tau_h(op))`` and ``h`` advances by ``h <- h . g^{-1}``, so the rebuilt
+trace is a valid execution of the *unreduced* system.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.checker.system import Action, GlobalState, SystemSpec
+from repro.memory.wiring import wiring_stabilizer
+from repro.sim.ops import Write
+
+#: Fused lookup tables are built only up to this many index bits
+#: (2^16 entries); wider fields fall back to per-field remapping.
+_MAX_TABLE_BITS = 16
+
+
+class GroupElement:
+    """One symmetry ``(pi, rho, tau)`` with composition and inverse.
+
+    ``pi``: position ``p`` holds (old) processor ``pi[p]``;
+    ``rho``: physical register ``r`` is relabelled to ``rho[r]``;
+    ``tau``: value renaming as a dict (identity entries omitted).
+    """
+
+    __slots__ = ("pi", "rho", "tau", "pi_inverse")
+
+    def __init__(
+        self,
+        pi: Tuple[int, ...],
+        rho: Tuple[int, ...],
+        tau: Dict[Any, Any],
+    ) -> None:
+        self.pi = pi
+        self.rho = rho
+        self.tau = {key: value for key, value in tau.items() if key != value}
+        inverse = [0] * len(pi)
+        for position, processor in enumerate(pi):
+            inverse[processor] = position
+        self.pi_inverse = tuple(inverse)
+
+    @property
+    def is_identity(self) -> bool:
+        return (
+            self.pi == tuple(range(len(self.pi)))
+            and self.rho == tuple(range(len(self.rho)))
+            and not self.tau
+        )
+
+    def after(self, other: "GroupElement") -> "GroupElement":
+        """The composition ``self . other`` (apply ``other`` first)."""
+        pi = tuple(other.pi[self.pi[p]] for p in range(len(self.pi)))
+        rho = tuple(self.rho[other.rho[r]] for r in range(len(self.rho)))
+        keys = set(self.tau) | set(other.tau)
+        tau = {key: self.tau.get(other.tau.get(key, key), other.tau.get(key, key)) for key in keys}
+        return GroupElement(pi, rho, tau)
+
+    def inverse(self) -> "GroupElement":
+        rho_inverse = [0] * len(self.rho)
+        for register, relabelled in enumerate(self.rho):
+            rho_inverse[relabelled] = register
+        tau_inverse = {value: key for key, value in self.tau.items()}
+        return GroupElement(self.pi_inverse, tuple(rho_inverse), tau_inverse)
+
+    def __repr__(self) -> str:
+        return f"GroupElement(pi={self.pi}, rho={self.rho}, tau={self.tau})"
+
+
+def _identity_renamer(value: Any, mapping: Dict[Any, Any]) -> Any:
+    return value
+
+
+class StateCanonicalizer:
+    """Orbit canonicalization for object-encoded :class:`GlobalState`.
+
+    Built from a :class:`~repro.checker.system.SystemSpec`; the group is
+    the wiring stabilizer restricted to elements the machine can
+    express (input-renaming elements need the machine's rename hooks)
+    and to elements fixing the initial state, so every canonical
+    representative is itself a reachable state of the unreduced system.
+    """
+
+    def __init__(self, spec: SystemSpec) -> None:
+        self.spec = spec
+        machine = spec.machine
+        rename_local = getattr(machine, "rename_inputs", None)
+        rename_register = getattr(machine, "rename_register_value", None)
+        can_rename = rename_local is not None and rename_register is not None
+        self._rename_local = rename_local or _identity_renamer
+        self._rename_register = rename_register or _identity_renamer
+
+        inputs = spec.inputs
+        elements: List[GroupElement] = []
+        for pi, rho in wiring_stabilizer(
+            spec.wiring.permutations(), inputs
+        ):
+            tau = {
+                inputs[pi[p]]: inputs[p]
+                for p in range(len(inputs))
+                if inputs[pi[p]] != inputs[p]
+            }
+            if tau and not can_rename:
+                continue  # input-preserving subgroup only
+            elements.append(GroupElement(pi, rho, tau))
+        # Keep only elements fixing the initial state: then g.s is
+        # reachable for every reachable s, so representatives are real
+        # states of the unreduced system (a subgroup: closure under
+        # composition/inverse preserves the fixed point).
+        initial = spec.initial_state()
+        self.elements = [
+            element
+            for element in elements
+            if element.is_identity or self.apply(element, initial) == initial
+        ]
+        self.order = len(self.elements)
+
+    @property
+    def trivial(self) -> bool:
+        return self.order <= 1
+
+    # ------------------------------------------------------------------
+    def apply(self, element: GroupElement, state: GlobalState) -> GlobalState:
+        """The image ``element . state``."""
+        tau = element.tau
+        if tau:
+            locals_ = tuple(
+                self._rename_local(state.locals[p], tau) for p in element.pi
+            )
+        else:
+            locals_ = tuple(state.locals[p] for p in element.pi)
+        registers: List[Any] = [None] * len(state.registers)
+        for index, value in enumerate(state.registers):
+            registers[element.rho[index]] = (
+                self._rename_register(value, tau) if tau else value
+            )
+        return GlobalState(tuple(registers), locals_)
+
+    def apply_action(self, element: GroupElement, action: Action) -> Action:
+        """The image of an action: who performs it, and on what value.
+
+        If ``s --(pid, op)--> s'`` then
+        ``g.s --(pi^{-1}[pid], tau(op))--> g.s'``; the local register
+        index is private and carries over unchanged.
+        """
+        pid = element.pi_inverse[action.pid]
+        op = action.op
+        if element.tau and isinstance(op, Write):
+            op = Write(op.reg, self._rename_register(op.value, element.tau))
+        physical = self.spec._physical[pid][op.reg]
+        return Action(pid=pid, op=op, physical=physical)
+
+    # ------------------------------------------------------------------
+    def canonical(self, state: GlobalState) -> Tuple[GlobalState, GroupElement]:
+        """The orbit representative and a witness ``g`` with ``rep = g.state``.
+
+        The representative is the image minimizing ``(hash, repr)`` —
+        a function of the orbit (the image multiset is identical for
+        every member), hence a sound canonical form; ties across
+        *distinct* equal-keyed states would be resolved arbitrarily,
+        with the same vanishing probability budget as a 64-bit
+        fingerprint collision.
+        """
+        elements = self.elements
+        best = state
+        witness = elements[0]
+        if self.order > 1:
+            best_key = (best._hash, repr(best))
+            for element in elements[1:]:
+                image = self.apply(element, state)
+                key = (image._hash, repr(image))
+                if key < best_key:
+                    best, best_key, witness = image, key, element
+        return best, witness
+
+    def orbit_size(self, state: GlobalState) -> int:
+        """Number of distinct states in ``state``'s orbit (<= group order)."""
+        if self.order <= 1:
+            return 1
+        return len(
+            {state} | {self.apply(element, state) for element in self.elements[1:]}
+        )
+
+
+def lift_canonical_path(
+    canonicalizer: StateCanonicalizer,
+    root_witness: GroupElement,
+    steps: Sequence[Tuple[Action, GroupElement]],
+) -> Tuple[List[Action], GlobalState]:
+    """De-canonicalize a quotient path into a concrete execution.
+
+    ``root_witness`` is ``g0`` with ``canon(s0) = g0 . s0``; each step
+    carries the action *in the parent representative's frame* plus the
+    witness ``g`` mapping the concrete successor of the representative
+    to the child representative.  Returns the concrete action list and
+    the concrete final state; every step is validated against the
+    unreduced transition relation by construction (``spec.apply``).
+    """
+    spec = canonicalizer.spec
+    concrete = spec.initial_state()
+    cumulative = root_witness.inverse()
+    actions: List[Action] = []
+    for action, witness in steps:
+        lifted = canonicalizer.apply_action(cumulative, action)
+        _, concrete = spec.apply(concrete, lifted.pid, lifted.op)
+        actions.append(lifted)
+        cumulative = cumulative.after(witness.inverse())
+    return actions, concrete
+
+
+# ----------------------------------------------------------------------
+# Packed-integer canonicalization (the hot-path kernel)
+# ----------------------------------------------------------------------
+
+class FastCanonicalizer:
+    """Symmetry kernel for :class:`FastSnapshotSpec` packed states.
+
+    Receives the same precomputed-table treatment the transition
+    function got in the parallel-engine PR: per group element, the
+    whole register file maps through one fused table (every record
+    remapped by the input-bit permutation and moved to its relabelled
+    slot in a single load) and each local through another (view bits
+    remapped in place), so one orbit image costs ``1 + N`` table loads
+    plus shifts.  ``canonical`` — called once per *generated
+    transition* by the reduced explorer, the hottest call in the whole
+    checker — is additionally compiled (``eval`` of a generated
+    ``min(...)`` lambda with the tables bound as default arguments) so
+    all images and the minimum evaluate in one expression with zero
+    per-element function-call overhead.  Falls back to per-field
+    remapping when a fused index would exceed ``2^16`` entries.
+    """
+
+    def __init__(self, spec) -> None:
+        self.spec = spec
+        stabilizer = wiring_stabilizer(spec.wiring, spec.inputs)
+        self.order = len(stabilizer)
+        self._appliers: List[Callable[[int], int]] = []
+        fused_exprs: List[Optional[str]] = []
+        bindings: Dict[str, List[int]] = {}
+        for index, (pi, rho) in enumerate(stabilizer[1:]):
+            applier, expr = self._compile(pi, rho, index, bindings)
+            self._appliers.append(applier)
+            fused_exprs.append(expr)
+        if self._appliers and all(expr is not None for expr in fused_exprs):
+            defaults = ", ".join(f"{name}={name}" for name in bindings)
+            source = (
+                f"lambda s, {defaults}: min(s, "
+                + ", ".join(fused_exprs)  # type: ignore[arg-type]
+                + ")"
+            )
+            self.canonical = eval(source, dict(bindings))  # noqa: S307
+        elif not self._appliers:
+            self.canonical = lambda state: state
+
+    @property
+    def trivial(self) -> bool:
+        return self.order <= 1
+
+    # ------------------------------------------------------------------
+    # Table compilation
+    # ------------------------------------------------------------------
+    def _bit_permutation(self, pi: Tuple[int, ...]) -> Tuple[int, ...]:
+        """Input-bit renaming induced by ``pi``: ``bit(in[pi[p]]) -> bit(in[p])``."""
+        spec = self.spec
+        mapping = list(range(spec.k))
+        for p in range(spec.n):
+            mapping[spec.value_bits[spec.inputs[pi[p]]]] = spec.value_bits[
+                spec.inputs[p]
+            ]
+        return tuple(mapping)
+
+    def _compile(
+        self,
+        pi: Tuple[int, ...],
+        rho: Tuple[int, ...],
+        index: int,
+        bindings: Dict[str, List[int]],
+    ) -> Tuple[Callable[[int], int], Optional[str]]:
+        """One group element -> (applier, fused expression or None).
+
+        The applier is the standalone image function (used by
+        ``orbit_size`` and the tests); the expression, when the fused
+        tables fit, computes the same image inline for the generated
+        ``canonical`` lambda, with its tables registered in
+        ``bindings`` under the names the expression references.
+        """
+        spec = self.spec
+        bit_perm = self._bit_permutation(pi)
+        view_map = [
+            sum(
+                1 << bit_perm[bit]
+                for bit in range(spec.k)
+                if (view >> bit) & 1
+            )
+            for view in range(1 << spec.k)
+        ]
+        record_map = [
+            view_map[record & spec.k_mask] | (record & ~spec.k_mask)
+            for record in range(1 << spec.reg_bits)
+        ]
+
+        block_bits = spec.m * spec.reg_bits
+        if block_bits <= _MAX_TABLE_BITS:
+            register_table = self._fuse_registers(record_map, rho, block_bits)
+        else:
+            register_table = None
+
+        if spec.local_bits <= _MAX_TABLE_BITS:
+            k_clear = spec.local_mask & ~spec.k_mask
+            local_table = [
+                (local & k_clear) | view_map[local & spec.k_mask]
+                for local in range(1 << spec.local_bits)
+            ]
+        else:
+            local_table = None
+
+        # Destination local offset p sources from local pi[p].
+        moves = tuple(
+            (spec.local_offsets[p], spec.local_offsets[pi[p]])
+            for p in range(spec.n)
+        )
+        local_mask = spec.local_mask
+        k_mask = spec.k_mask
+        k_clear = local_mask & ~k_mask
+
+        if register_table is not None and local_table is not None:
+            block_mask = (1 << block_bits) - 1
+
+            def apply(state: int) -> int:
+                out = register_table[state & block_mask]
+                for dst, src in moves:
+                    out |= local_table[(state >> src) & local_mask] << dst
+                return out
+
+            registers_name = f"rt{index}"
+            locals_name = f"lt{index}"
+            bindings[registers_name] = register_table
+            bindings[locals_name] = local_table
+            expression = f"{registers_name}[s & {block_mask}]" + "".join(
+                f" | ({locals_name}[(s >> {src}) & {local_mask}] << {dst})"
+                for dst, src in moves
+            )
+            return apply, expression
+
+        reg_moves = tuple(
+            (spec.reg_offsets[rho[r]], spec.reg_offsets[r])
+            for r in range(spec.m)
+        )
+        reg_mask = spec.reg_mask
+
+        def apply_general(state: int) -> int:
+            out = 0
+            for dst, src in reg_moves:
+                out |= record_map[(state >> src) & reg_mask] << dst
+            for dst, src in moves:
+                local = (state >> src) & local_mask
+                out |= ((local & k_clear) | view_map[local & k_mask]) << dst
+            return out
+
+        return apply_general, None
+
+    def _fuse_registers(
+        self, record_map: List[int], rho: Tuple[int, ...], block_bits: int
+    ) -> List[int]:
+        """One table mapping the packed register file to its image.
+
+        Built register by register: start from the single-register
+        remap-and-move table and extend one register slot per round,
+        so construction is ``O(m * 2^block_bits)`` table fills.
+        """
+        spec = self.spec
+        reg_bits = spec.reg_bits
+        table = [
+            record_map[record] << spec.reg_offsets[rho[0]]
+            for record in range(1 << reg_bits)
+        ]
+        for register in range(1, spec.m):
+            low_bits = register * reg_bits
+            low_mask = (1 << low_bits) - 1
+            shift = spec.reg_offsets[rho[register]]
+            moved = [
+                record_map[record] << shift for record in range(1 << reg_bits)
+            ]
+            table = [
+                table[value & low_mask] | moved[value >> low_bits]
+                for value in range(1 << (low_bits + reg_bits))
+            ]
+        return table
+
+    # ------------------------------------------------------------------
+    # The hot calls
+    # ------------------------------------------------------------------
+    def canonical(self, state: int) -> int:
+        """The orbit representative: minimum packed image (orbit invariant)."""
+        best = state
+        for apply in self._appliers:
+            image = apply(state)
+            if image < best:
+                best = image
+        return best
+
+    def orbit_size(self, state: int) -> int:
+        """Distinct orbit members; called per *admitted* state only."""
+        if not self._appliers:
+            return 1
+        return len({state, *(apply(state) for apply in self._appliers)})
+
+
+def assert_permutation_invariant(invariants: Sequence[Callable]) -> None:
+    """Refuse symmetry reduction for properties not declared invariant.
+
+    Every invariant used under symmetry must be marked with
+    :func:`repro.checker.properties.permutation_invariant` — the
+    declaration that its verdict is unchanged by processor
+    permutation, register relabelling, and input renaming.  Properties
+    that are not (e.g. anything naming a specific pid or register
+    index) must be checked with symmetry off (CLI: ``--no-symmetry``).
+    """
+    unmarked = [
+        getattr(invariant, "__name__", repr(invariant))
+        for invariant in invariants
+        if not getattr(invariant, "permutation_invariant", False)
+    ]
+    if unmarked:
+        raise ValueError(
+            "symmetry reduction requires permutation-invariant properties;"
+            f" not declared invariant: {', '.join(unmarked)}. Mark them with"
+            " @permutation_invariant or explore without symmetry"
+            " (--no-symmetry)."
+        )

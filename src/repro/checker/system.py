@@ -20,7 +20,7 @@ wiring assignments modulo register relabelling
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Hashable, Iterator, List, Optional, Sequence, Tuple
+from typing import Any, Hashable, Iterator, List, Sequence, Tuple
 
 from repro.memory.wiring import WiringAssignment
 from repro.sim.machine import AlgorithmMachine

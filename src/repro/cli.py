@@ -9,8 +9,8 @@ Thin, scriptable access to the library's main entry points:
   repetition;
 - ``check`` — TLC-style exhaustive model check of the snapshot
   algorithm for N=2 (safety + wait-freedom), or a budgeted N=3 sweep,
-  optionally parallel (``--jobs``, ``--sharded``) and memory-lean
-  (``--fingerprint``);
+  optionally parallel (``--jobs``, ``--sharded``), memory-lean
+  (``--fingerprint``), and symmetry-reduced (``--symmetry``);
 - ``lower-bound`` — run the §2.1 covering-erasure demonstration.
 
 Every command exits non-zero if the run violates the property it
@@ -105,7 +105,20 @@ def _cmd_figure2(args: argparse.Namespace) -> int:
     return 0 if graph.has_unique_source() else 1
 
 
+def _symmetry_suffix(result) -> str:
+    """Render the reduction achieved by one symmetry-reduced result."""
+    if result.covered_states is None:
+        return ""
+    ratio = result.covered_states / max(1, result.states)
+    return (
+        f", covering {result.covered_states} concrete states"
+        f" ({ratio:.2f}x, stabilizer order {result.symmetry_group_order})"
+    )
+
+
 def _cmd_check(args: argparse.Namespace) -> int:
+    import os
+
     from repro.checker import Explorer, SystemSpec
     from repro.checker.liveness import check_wait_freedom
     from repro.checker.parallel import check_snapshot_classes, explore_sharded
@@ -114,36 +127,62 @@ def _cmd_check(args: argparse.Namespace) -> int:
     from repro.core import SnapshotMachine
     from repro.memory.wiring import enumerate_wiring_assignments
 
+    usable = os.cpu_count() or 1
+    jobs = max(1, args.jobs)
+    if jobs > usable:
+        print(
+            f"note: --jobs {jobs} capped to {usable} — this host has"
+            f" {usable} usable core(s), and oversubscribed workers are"
+            " pure fork/IPC overhead (measured slower than serial)"
+        )
+        jobs = usable
+
     failures = 0
     if args.n == 2:
+        # Safety + wait-freedom need the full edge list (pid labels are
+        # not orbit-stable), so liveness always runs unreduced; with
+        # --symmetry the safety pass additionally runs reduced and its
+        # reduction is reported per wiring.
         for wiring in enumerate_wiring_assignments(2, 2):
             spec = SystemSpec(SnapshotMachine(2), [1, 2], wiring)
             result = Explorer(spec, SNAPSHOT_SAFETY, keep_edges=True).run()
             violations = check_wait_freedom(spec, result)
-            status = "OK" if result.ok and not violations else "VIOLATED"
-            if status != "OK":
+            suffix = ""
+            ok = result.ok and not violations
+            if args.symmetry:
+                reduced = Explorer(
+                    spec, SNAPSHOT_SAFETY, symmetry=True
+                ).run()
+                ok = ok and reduced.ok
+                suffix = (
+                    f"; symmetry: {reduced.states} representatives"
+                    + _symmetry_suffix(reduced)
+                )
+            if not ok:
                 failures += 1
+            status = "OK" if ok else "VIOLATED"
             print(f"wiring {wiring.permutations()}: {result.states} states,"
-                  f" safety+wait-freedom {status}")
-    elif args.sharded and args.jobs > 1:
+                  f" safety+wait-freedom {status}{suffix}")
+    elif args.sharded and jobs > 1:
         # One class at a time, its BFS frontier sharded across workers.
         inputs = list(range(1, args.n + 1))
         for wiring in canonical_wiring_classes(args.n, args.n):
             result = explore_sharded(
-                inputs, wiring, jobs=args.jobs, max_states=args.budget,
-                fingerprint=args.fingerprint,
+                inputs, wiring, jobs=jobs, max_states=args.budget,
+                fingerprint=args.fingerprint, symmetry=args.symmetry,
             )
             status = "OK" if result.ok else f"VIOLATED: {result.violation}"
             if not result.ok:
                 failures += 1
             scope = "exhaustive" if result.complete else "bounded"
             print(f"wiring class {wiring}: {result.states} states"
-                  f" ({scope}, {args.jobs} frontier shards), {status}")
+                  f" ({scope}, {jobs} frontier shards)"
+                  f"{_symmetry_suffix(result)}, {status}")
     else:
         # One whole class per worker (E4's natural grain).
         rows = check_snapshot_classes(
-            args.n, budget=args.budget, jobs=args.jobs,
-            fingerprint=args.fingerprint,
+            args.n, budget=args.budget, jobs=jobs,
+            fingerprint=args.fingerprint, symmetry=args.symmetry,
         )
         for wiring, result in rows:
             status = "OK" if result.ok else f"VIOLATED: {result.violation}"
@@ -151,7 +190,15 @@ def _cmd_check(args: argparse.Namespace) -> int:
                 failures += 1
             scope = "exhaustive" if result.complete else "bounded"
             print(f"wiring class {wiring}: {result.states} states"
-                  f" ({scope}), {status}")
+                  f" ({scope}){_symmetry_suffix(result)}, {status}")
+        if args.symmetry:
+            explored = sum(result.states for _, result in rows)
+            covered = sum(
+                result.covered_states or result.states for _, result in rows
+            )
+            print(f"sweep total: {explored} representatives cover"
+                  f" {covered} concrete states"
+                  f" ({covered / max(1, explored):.2f}x reduction)")
     return 0 if failures == 0 else 1
 
 
@@ -241,6 +288,15 @@ def build_parser() -> argparse.ArgumentParser:
         help="store 64-bit state fingerprints instead of full states"
              " (~10x less state-store memory; collision probability"
              " ~n^2/2^65, TLC's trade)",
+    )
+    check.add_argument(
+        "--symmetry", action=argparse.BooleanOptionalAction, default=False,
+        help="explore one representative per orbit of the wiring"
+             " stabilizer (process/register permutations + input"
+             " renaming): up to N! fewer states, identical verdicts for"
+             " the built-in (permutation-invariant) properties;"
+             " --no-symmetry is the escape hatch for custom"
+             " non-invariant properties",
     )
     check.set_defaults(handler=_cmd_check)
 

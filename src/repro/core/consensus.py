@@ -71,6 +71,13 @@ def decide_or_adopt(snapshot: View) -> Tuple[Optional[Hashable], Hashable, int]:
     agreement).  Otherwise ``preference``/``timestamp`` are the adopted
     value (highest timestamp, deterministic tie-break) and the next
     timestamp to use.
+
+    The ``repr``-ordered tie-break makes this function — and hence
+    :class:`ConsensusMachine` — *not* equivariant under renaming of the
+    proposal values, so the machine deliberately provides no
+    ``rename_inputs``/``rename_register_value`` symmetry hooks (see
+    :mod:`repro.checker.symmetry`): the symmetry-reduced checker then
+    restricts itself to the input-preserving subgroup, which is sound.
     """
     best = max_timestamps(snapshot)
     if not best:

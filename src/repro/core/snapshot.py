@@ -149,6 +149,27 @@ class SnapshotMachine:
             return state.view
         return None
 
+    # -- Symmetry hooks (repro.checker.symmetry) ------------------------
+    # The transition function only ever compares views for equality and
+    # unions them, so it commutes with any bijective renaming of the
+    # input values: the machine is fully value-equivariant, and the
+    # symmetry-reduced checker may use group elements that rename
+    # inputs.  Machines without this property (e.g. consensus, whose
+    # tie-break orders proposals by repr) must NOT provide these hooks.
+    def rename_inputs(self, state: SnapshotState, mapping) -> SnapshotState:
+        """Image of a local state under an input renaming ``mapping``."""
+        return replace(
+            state,
+            view=frozenset(mapping.get(value, value) for value in state.view),
+        )
+
+    def rename_register_value(self, value: RegisterRecord, mapping) -> RegisterRecord:
+        """Image of a register record under an input renaming ``mapping``."""
+        return RegisterRecord(
+            view=frozenset(mapping.get(v, v) for v in value.view),
+            level=value.level,
+        )
+
     # -- Transitions ----------------------------------------------------
     def _apply_write(self, state: SnapshotState, op: Write) -> SnapshotState:
         if state.phase != PHASE_WRITE or op.reg not in state.unwritten:

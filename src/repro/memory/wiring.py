@@ -23,7 +23,7 @@ from __future__ import annotations
 
 import itertools
 import random
-from typing import Iterable, Iterator, Sequence, Tuple
+from typing import Iterable, Iterator, List, Optional, Sequence, Tuple
 
 
 class Wiring:
@@ -196,6 +196,70 @@ class WiringAssignment:
 
     def __repr__(self) -> str:
         return f"WiringAssignment({[list(w.permutation) for w in self._wirings]!r})"
+
+
+def wiring_stabilizer(
+    permutations: Sequence[Sequence[int]],
+    inputs: Optional[Sequence] = None,
+) -> List[Tuple[Tuple[int, ...], Tuple[int, ...]]]:
+    """The automorphism group of one wiring assignment's state graph.
+
+    A pair ``(pi, rho)`` — a processor permutation and a physical
+    register relabelling — is a symmetry of the transition system
+    induced by a *fixed* wiring assignment exactly when relabelling the
+    registers by ``rho`` and letting position ``p`` run (anonymous)
+    processor ``pi[p]`` reproduces the same assignment::
+
+        sigma_p = rho . sigma_{pi[p]}      for every p
+
+    (processor ``pi[p]``'s accesses, relabelled by ``rho``, are then
+    indistinguishable from processor ``p``'s — the code is identical,
+    which is the model's defining anonymity).  ``rho`` is forced by
+    ``pi`` (``rho = sigma_0 . sigma_{pi[0]}^{-1}``), so the group has
+    order at most ``N!``; it is the stabilizer, inside the
+    processor-permutation x register-relabelling product quotiented by
+    :func:`repro.checker.fast_snapshot.canonical_wiring_classes`, of
+    this particular assignment.
+
+    With ``inputs`` given, ``pi`` must additionally induce a
+    well-defined *bijective* renaming of the input values
+    (``inputs[pi[p]] == inputs[pi[q]]`` iff ``inputs[p] == inputs[q]``)
+    — the renaming under which the checked properties must be invariant
+    for the quotient exploration to be sound.
+
+    Returns the group as a list of ``(pi, rho)`` tuples (local->local
+    and physical->physical maps); the identity pair is always first.
+    """
+    sigmas = [tuple(perm) for perm in permutations]
+    n = len(sigmas)
+    if n == 0:
+        raise ValueError("a wiring assignment needs at least one processor")
+    m = len(sigmas[0])
+    inverses = {
+        sigma: tuple(sorted(range(m), key=lambda i: sigma[i]))
+        for sigma in set(sigmas)
+    }
+    elements: List[Tuple[Tuple[int, ...], Tuple[int, ...]]] = []
+    for pi in itertools.permutations(range(n)):
+        if inputs is not None and not all(
+            (inputs[pi[p]] == inputs[pi[q]]) == (inputs[p] == inputs[q])
+            for p in range(n)
+            for q in range(p + 1, n)
+        ):
+            continue
+        base_inverse = inverses[sigmas[pi[0]]]
+        rho = tuple(sigmas[0][base_inverse[r]] for r in range(m))
+        if all(
+            tuple(rho[sigmas[pi[p]][i]] for i in range(m)) == sigmas[p]
+            for p in range(1, n)
+        ):
+            elements.append((pi, rho))
+    # The identity is always a member; surface it first for callers
+    # that special-case it (canonicalizers skip re-applying it).
+    identity = (tuple(range(n)), tuple(range(m)))
+    elements.remove(identity)
+    elements.insert(0, identity)
+    return elements
 
 
 def enumerate_wiring_assignments(

@@ -29,7 +29,7 @@ distinct physical register realizes the covering exactly.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Dict, Hashable, List, Optional, Sequence, Tuple
+from typing import Any, Hashable, List, Optional, Sequence, Tuple
 
 from repro.memory.memory import AnonymousMemory
 from repro.memory.wiring import Wiring, WiringAssignment

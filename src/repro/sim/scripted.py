@@ -31,7 +31,7 @@ certified rather than assumed.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Dict, List, Optional, Sequence, Tuple
+from typing import List, Optional, Sequence, Tuple
 
 from repro.core.views import View, view
 from repro.core.write_scan import WriteScanMachine
@@ -39,7 +39,7 @@ from repro.memory.memory import AnonymousMemory
 from repro.memory.wiring import Wiring, WiringAssignment
 from repro.sim.machine import FIRST_ENABLED
 from repro.sim.process import MachineProcess
-from repro.sim.runner import ExecutionResult, Runner
+from repro.sim.runner import Runner
 from repro.sim.schedulers import ScriptScheduler
 
 #: Figure 2 dimensions: processors p1, p2, p3 (pids 0, 1, 2) with inputs

@@ -206,9 +206,6 @@ class TestAdditionalSearchStrategies:
     def test_pattern_walks_reach_terminations(self):
         """Sanity: the pattern walks do reach termination events (the
         searches would be vacuous otherwise)."""
-        import random as random_module
-
-        rng = random_module.Random(1)
         wiring = WiringAssignment.identity(2, 2)
         spec = SystemSpec(SnapshotMachine(2), [1, 2], wiring)
         # Drive one pattern walk manually and count terminations.

@@ -1,6 +1,5 @@
 """Unit tests for the invariant callbacks in `checker.properties`."""
 
-import pytest
 
 from repro.checker.properties import (
     SNAPSHOT_SAFETY,

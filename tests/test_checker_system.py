@@ -6,7 +6,6 @@ import pytest
 
 from repro.api import build_runner
 from repro.checker import SystemSpec
-from repro.checker.system import GlobalState
 from repro.core import SnapshotMachine, WriteScanMachine
 from repro.memory.wiring import WiringAssignment
 from repro.sim.ops import Read, Write

@@ -162,7 +162,7 @@ class TestDecidedStateIsTerminal:
     def test_no_ops_after_decision(self):
         machine = ConsensusMachine(2)
         runner = build_runner(machine, ["a", "b"], seed=2)
-        result = runner.run(2_000_000)
+        runner.run(2_000_000)
         for process in runner.processes:
             if process.output is not None:
                 assert machine.enabled_ops(process.state) == ()

@@ -9,7 +9,6 @@ what their dying writes left in memory.
 
 import random
 
-import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.core import RenamingMachine, SnapshotMachine

@@ -4,11 +4,7 @@ import pytest
 
 from repro.checker import Explorer, SystemSpec
 from repro.checker.liveness import check_wait_freedom, certify_wait_free, _scc_ids
-from repro.checker.properties import (
-    SNAPSHOT_SAFETY,
-    snapshot_outputs_comparable,
-    snapshot_outputs_valid,
-)
+from repro.checker.properties import SNAPSHOT_SAFETY
 from repro.core import SnapshotMachine, WriteScanMachine
 from repro.memory.wiring import WiringAssignment, enumerate_wiring_assignments
 

@@ -6,7 +6,6 @@ group solution of the snapshot task even though the two members of B
 return incomparable sets.
 """
 
-import pytest
 
 from repro.tasks import (
     ConsensusTask,

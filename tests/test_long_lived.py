@@ -5,7 +5,6 @@ import random
 import pytest
 from hypothesis import given, settings, strategies as st
 
-from repro.api import build_runner
 from repro.core.long_lived import PHASE_READY, LongLivedSnapshotMachine
 from repro.core.views import all_comparable
 from repro.memory.wiring import WiringAssignment
@@ -21,7 +20,7 @@ def machine():
 class TestReadyPhase:
     def drive_solo_until_ready(self, machine, state, memory, pid=0):
         """Drive one processor alone until its invocation completes."""
-        from repro.sim.ops import Read, Write
+        from repro.sim.ops import Read
 
         for _ in range(100_000):
             if machine.is_ready(state):

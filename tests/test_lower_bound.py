@@ -89,7 +89,6 @@ class TestTaskViolationBelowN:
         completion having never seen p's input, so their outputs cannot
         contain 1 while p output {1} — containment is violated, matching
         the impossibility."""
-        from repro.api import build_runner
         from repro.memory import AnonymousMemory
         from repro.sim import MachineProcess, RoundRobinScheduler, Runner
         from repro.sim.machine import FIRST_ENABLED

@@ -1,9 +1,8 @@
 """Tests for AnonymousMemory (wiring translation, tracing) and Trace queries."""
 
-import pytest
 
 from repro.memory import AnonymousMemory, WiringAssignment
-from repro.memory.trace import OutputEvent, ReadEvent, Trace, WriteEvent
+from repro.memory.trace import ReadEvent, Trace, WriteEvent
 from repro.memory.wiring import Wiring
 
 

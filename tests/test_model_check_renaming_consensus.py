@@ -92,7 +92,6 @@ class TestConsensusModelCheckN2:
         """Regression guard for the decision-rule disambiguation: a
         machine that decides vacuously at timestamp 0 violates agreement
         within a small bounded sweep — the checker must find it."""
-        from dataclasses import dataclass
         from repro.core.consensus import (
             ConsensusMachine as GoodMachine,
             ConsensusState,

@@ -3,7 +3,6 @@ immediate-snapshot negative result (paper's Conclusion)."""
 
 import pytest
 
-from repro.api import run_snapshot
 from repro.tasks import (
     ImmediateSnapshotTask,
     SetConsensusTask,

@@ -1,6 +1,5 @@
 """Tests for adaptive renaming (Figure 4, Section 6)."""
 
-import random
 
 import pytest
 from hypothesis import given, settings, strategies as st

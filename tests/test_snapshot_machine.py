@@ -7,7 +7,6 @@ from repro.core.snapshot import (
     PHASE_SCAN,
     PHASE_WRITE,
     SnapshotMachine,
-    SnapshotState,
 )
 from repro.core.views import RegisterRecord
 from repro.sim.ops import Read, Write

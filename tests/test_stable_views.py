@@ -10,7 +10,6 @@ sizes and register counts.
 
 import random
 
-import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.analysis import (

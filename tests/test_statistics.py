@@ -2,7 +2,7 @@
 
 from repro.analysis import collect_statistics, level_trace, overwrite_counts
 from repro.api import run_snapshot, run_write_scan
-from repro.memory.trace import Trace, WriteEvent
+from repro.memory.trace import Trace
 from repro.sim.scripted import build_figure2_runner
 
 

@@ -1,6 +1,5 @@
 """Tests for task definitions (Section 3.1)."""
 
-import pytest
 
 from repro.tasks import AdaptiveRenamingTask, ConsensusTask, SnapshotTask
 from repro.tasks.renaming_task import bar_noy_dolev_namespace

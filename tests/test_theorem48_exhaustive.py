@@ -11,7 +11,6 @@ quantifier, complementing the sampled coverage at larger sizes.
 
 import itertools
 
-import pytest
 
 from repro.analysis import stable_view_graph_from_lasso
 from repro.core import WriteScanMachine

@@ -6,8 +6,6 @@ the memory actually went through, and its derived relations agree with
 independent recomputation.
 """
 
-import random
-
 from hypothesis import given, settings, strategies as st
 
 from repro.api import build_runner
@@ -17,7 +15,6 @@ from repro.memory.trace import ReadEvent, WriteEvent
 
 def run_and_observe(seed, machine_factory, steps=400):
     """Run with per-step memory snapshots taken alongside the trace."""
-    rng = random.Random(seed)
     machine = machine_factory()
     runner = build_runner(
         machine,

@@ -1,17 +1,11 @@
 """Unit and property tests for the write-scan loop (Figure 1)."""
 
-import random
 
 import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.api import run_write_scan
-from repro.core.write_scan import (
-    PHASE_SCAN,
-    PHASE_WRITE,
-    WriteScanMachine,
-    WriteScanState,
-)
+from repro.core.write_scan import PHASE_SCAN, PHASE_WRITE, WriteScanMachine
 from repro.sim.ops import Read, Write
 
 
