@@ -144,6 +144,9 @@ class SymmetryStatistics:
     covered: int
     #: Per-run wiring-stabilizer group orders, in input order.
     group_orders: List[int] = field(default_factory=list)
+    #: Sharded runs: boundary states whose re-canonicalization the
+    #: wire format's canonical bit made unnecessary.
+    recanonicalizations_skipped: int = 0
 
     @property
     def reduction_ratio(self) -> float:
@@ -159,10 +162,16 @@ class SymmetryStatistics:
 
     def summary(self) -> str:
         orders = ",".join(str(order) for order in self.group_orders)
+        skipped = (
+            f"; {self.recanonicalizations_skipped} re-canonicalizations"
+            f" skipped"
+            if self.recanonicalizations_skipped
+            else ""
+        )
         return (
             f"{self.representatives} representatives cover {self.covered}"
             f" concrete states ({self.reduction_ratio:.2f}x reduction;"
-            f" stabilizer orders [{orders}])"
+            f" stabilizer orders [{orders}]{skipped})"
         )
 
 
@@ -177,6 +186,7 @@ def aggregate_symmetry_statistics(results) -> SymmetryStatistics:
     """
     representatives = 0
     covered = 0
+    skipped = 0
     orders: List[int] = []
     for result in results:
         representatives += result.states
@@ -184,6 +194,11 @@ def aggregate_symmetry_statistics(results) -> SymmetryStatistics:
         covered += result_covered if result_covered is not None else result.states
         order = getattr(result, "symmetry_group_order", None)
         orders.append(order if order is not None else 1)
+        result_skipped = getattr(result, "recanonicalizations_skipped", None)
+        skipped += result_skipped if result_skipped is not None else 0
     return SymmetryStatistics(
-        representatives=representatives, covered=covered, group_orders=orders
+        representatives=representatives,
+        covered=covered,
+        group_orders=orders,
+        recanonicalizations_skipped=skipped,
     )

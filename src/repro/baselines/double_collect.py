@@ -66,9 +66,14 @@ def lock_free_snapshot_process(
     single-writer register), then collects until two consecutive
     collects are equal, returning the values of the clean collect.
     """
-    yield Write(pid, SWMRRecord(value=my_input, seq=0))
+    # Single-writer named memory by design: this baseline runs in the
+    # classic non-anonymous model (register `pid` is the processor's
+    # own), which is exactly the contrast E10 measures.
+    yield Write(pid, SWMRRecord(value=my_input, seq=0))  # anonlint: disable=ANON001
     previous = yield from _collect(n_processors)
-    while True:
+    # Lock-free, deliberately not wait-free: a scanner starves while
+    # writers keep moving — the negative reference point.
+    while True:  # anonlint: disable=WF001
         current = yield from _collect(n_processors)
         if current == previous:
             return _values_of(current)
@@ -105,10 +110,11 @@ def afek_style_snapshot_process(
             previous = current
 
     # First write: no scan to embed yet; embed the trivial self-view so
-    # borrowers still satisfy self-inclusion.
-    yield Write(pid, SWMRRecord(value=my_input, seq=0,
+    # borrowers still satisfy self-inclusion.  (Named single-writer
+    # memory by design, as above.)
+    yield Write(pid, SWMRRecord(value=my_input, seq=0,  # anonlint: disable=ANON001
                                 embedded_scan=frozenset({my_input})))
     result = yield from scan()
     # Publish the completed scan so later borrowers can use it.
-    yield Write(pid, SWMRRecord(value=my_input, seq=1, embedded_scan=result))
+    yield Write(pid, SWMRRecord(value=my_input, seq=1, embedded_scan=result))  # anonlint: disable=ANON001
     return result

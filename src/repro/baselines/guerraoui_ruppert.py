@@ -94,7 +94,10 @@ def gr_snapshot_process(
         return tuple(records)
 
     previous = yield from collect()
-    while True:
+    # Obstruction-free as written (GR's model): the double collect plus
+    # counter re-check terminates only once interference stops, so
+    # there is deliberately no wait-freedom progress guard.
+    while True:  # anonlint: disable=WF001
         current = yield from collect()
         counter_now = yield from _read_counter(n_values, n_counter_bits)
         if current == previous:

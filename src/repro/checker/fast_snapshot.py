@@ -62,6 +62,10 @@ class FastExplorationResult:
     covered_states: Optional[int] = None
     #: Symmetry runs only: order of the wiring-stabilizer group.
     symmetry_group_order: Optional[int] = None
+    #: Sharded symmetry runs only: boundary states received already in
+    #: canonical form (certified by the wire format's canonical bit),
+    #: whose re-canonicalization was therefore skipped.
+    recanonicalizations_skipped: Optional[int] = None
 
     @property
     def ok(self) -> bool:

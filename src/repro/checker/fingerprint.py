@@ -30,6 +30,8 @@ packed states (the common case in BFS) spread uniformly.
 
 from __future__ import annotations
 
+from typing import Hashable
+
 _MASK64 = (1 << 64) - 1
 #: Seed for the iterated fold; any odd constant works, this is the
 #: golden-ratio constant splitmix64 itself increments by.
@@ -59,7 +61,7 @@ def fingerprint_int(state: int) -> int:
     return mixed
 
 
-def fingerprint_state(state: object) -> int:
+def fingerprint_state(state: Hashable) -> int:
     """Fingerprint a hashable object state (e.g. ``GlobalState``).
 
     Builds on the object's (cached) structural hash, then remixes so

@@ -181,11 +181,18 @@ def _shard_worker(
 ) -> None:
     """One frontier shard: owns states with ``fp(s) % n_shards == shard``.
 
-    Protocol: driver sends ``("round", states)``; worker admits the
+    Protocol: driver sends ``("round", entries)``; worker admits the
     new ones into its visited set, expands that BFS layer, and replies
-    ``("layer", admitted, transitions, violation, outboxes, covered)``
-    where ``outboxes`` maps each shard id to the successor states it
-    owns.  ``("stop",)`` terminates.
+    ``("layer", admitted, transitions, violation, outboxes, covered,
+    skipped)`` where ``outboxes`` maps each shard id to the successor
+    entries it owns.  ``("stop",)`` terminates.
+
+    Wire format: every boundary state travels as ``(state << 1) |
+    canonical_bit``.  The bit asserts the sender already put the state
+    in canonical form, letting the receiver skip re-canonicalizing it
+    — ``skipped`` counts those skips (0 outside symmetry runs).  States
+    without the bit are canonicalized on receipt, so the protocol stays
+    correct for any mix.
 
     With ``symmetry`` every successor is canonicalized *before* the
     ownership fingerprint, so each orbit has exactly one owning shard
@@ -213,7 +220,14 @@ def _shard_worker(
             admitted: List[int] = []
             covered: Optional[int] = 0 if symmetry else None
             violation: Optional[str] = None
-            for state in batch:
+            skipped = 0
+            for entry in batch:
+                state = entry >> 1
+                if canonicalizer is not None:
+                    if entry & 1:
+                        skipped += 1  # sender certified canonical form
+                    else:
+                        state = canonicalizer.canonical(state)
                 key = fingerprint_int(state) if fingerprint else state
                 if key in seen:
                     continue
@@ -235,6 +249,7 @@ def _shard_worker(
                     if canonicalizer is not None
                     else None
                 )
+                canonical_bit = 1 if canonical is not None else 0
                 for state in admitted:
                     spec.successor_states_into(state, buf)
                     transitions += len(buf)
@@ -242,10 +257,12 @@ def _shard_worker(
                         if canonical is not None:
                             successor = canonical(successor)
                         owner = fingerprint_int(successor) % n_shards
-                        outboxes.setdefault(owner, []).append(successor)
+                        outboxes.setdefault(owner, []).append(
+                            (successor << 1) | canonical_bit
+                        )
             conn.send(
                 ("layer", len(admitted), transitions, violation, outboxes,
-                 covered)
+                 covered, skipped)
             )
     except EOFError:  # driver went away mid-run
         pass
@@ -281,7 +298,11 @@ def explore_sharded(
     With ``symmetry`` the shards jointly explore the quotient graph:
     workers canonicalize successors before the ownership fingerprint
     (so orbits have unique owners) and the merged result carries
-    ``covered_states``.
+    ``covered_states``.  Boundary states cross the wire as ``(state <<
+    1) | canonical_bit``; the bit certifies the sender's
+    canonicalization, so receivers skip the (previously duplicated)
+    re-canonicalization of every boundary state — the merged result
+    reports the skips as ``recanonicalizations_skipped``.
 
     Wait-freedom (lasso) analysis needs the full cross-shard edge list
     and is deliberately not offered here; run the serial engine with
@@ -331,16 +352,20 @@ def explore_sharded(
             )
 
         initial = spec.initial_state()
+        canonical_bit = 0
         if canonicalizer is not None:
             initial = canonicalizer.canonical(initial)
+            if not canonicalizer.trivial:
+                canonical_bit = 1
         inboxes: Dict[int, List[int]] = {
-            fingerprint_int(initial) % jobs: [initial]
+            fingerprint_int(initial) % jobs: [(initial << 1) | canonical_bit]
         }
         states = 0
         transitions = 0
         complete = True
         covered: Optional[int] = 0 if symmetry else None
         group_order = canonicalizer.order if canonicalizer is not None else None
+        recanon_skipped: Optional[int] = 0 if symmetry else None
         violation: Optional[str] = None
 
         while inboxes:
@@ -352,11 +377,13 @@ def explore_sharded(
                 if reply[0] == "error":
                     raise RuntimeError(f"shard {shard} failed: {reply[1]}")
                 (_, admitted, shard_transitions, shard_violation, out,
-                 shard_covered) = reply
+                 shard_covered, shard_skipped) = reply
                 states += admitted
                 transitions += shard_transitions
                 if shard_covered is not None and covered is not None:
                     covered += shard_covered
+                if recanon_skipped is not None:
+                    recanon_skipped += shard_skipped
                 if shard_violation is not None and violation is None:
                     violation = shard_violation
                 for owner, boundary in out.items():
@@ -369,6 +396,7 @@ def explore_sharded(
                     violation=violation,
                     covered_states=covered,
                     symmetry_group_order=group_order,
+                    recanonicalizations_skipped=recanon_skipped,
                 )
             inboxes = {owner: batch for owner, batch in outboxes.items() if batch}
             if states >= max_states and inboxes:
@@ -381,11 +409,13 @@ def explore_sharded(
                     truncated_transitions=truncated,
                     covered_states=covered,
                     symmetry_group_order=group_order,
+                    recanonicalizations_skipped=recanon_skipped,
                 )
 
         return FastExplorationResult(
             states=states, transitions=transitions, complete=complete,
             covered_states=covered, symmetry_group_order=group_order,
+            recanonicalizations_skipped=recanon_skipped,
         )
     finally:
         for conn in connections:

@@ -13,6 +13,14 @@ reachable global states:
 
 Each invariant returns ``None`` when satisfied and a diagnostic string
 when violated; the explorer attaches a shortest counterexample path.
+
+Every property here is declared :func:`permutation_invariant`; the
+declaration is enforced three ways — at runtime by
+:func:`repro.checker.symmetry.assert_permutation_invariant`, at lint
+time by anonlint's INVAR rules (which also scan the bodies for
+non-equivariant constructs; diagnostic *messages* may sort by ``repr``,
+verdicts may not), and semantically by ``repro lint --dynamic``'s
+orbit checks.  See ``docs/linting.md``.
 """
 
 from __future__ import annotations

@@ -469,6 +469,12 @@ def assert_permutation_invariant(invariants: Sequence[Callable]) -> None:
     permutation, register relabelling, and input renaming.  Properties
     that are not (e.g. anything naming a specific pid or register
     index) must be checked with symmetry off (CLI: ``--no-symmetry``).
+
+    This runtime gate has two static/dynamic companions in
+    :mod:`repro.lint`: rule INVAR001 flags exported-but-undeclared
+    properties before anything runs, and ``repro lint --dynamic``
+    metamorphically tests that a declaration is *true* — verdict
+    equality on stabilizer orbits of sampled reachable states.
     """
     unmarked = [
         getattr(invariant, "__name__", repr(invariant))

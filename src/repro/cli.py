@@ -11,6 +11,9 @@ Thin, scriptable access to the library's main entry points:
   algorithm for N=2 (safety + wait-freedom), or a budgeted N=3 sweep,
   optionally parallel (``--jobs``, ``--sharded``), memory-lean
   (``--fingerprint``), and symmetry-reduced (``--symmetry``);
+- ``lint`` — anonlint, the model-soundness static analysis (anonymity,
+  wiring discipline, permutation-invariance, wait-freedom hygiene),
+  with ``--dynamic`` metamorphic orbit-invariance verification;
 - ``lower-bound`` — run the §2.1 covering-erasure demonstration.
 
 Every command exits non-zero if the run violates the property it
@@ -110,9 +113,14 @@ def _symmetry_suffix(result) -> str:
     if result.covered_states is None:
         return ""
     ratio = result.covered_states / max(1, result.states)
+    skipped = getattr(result, "recanonicalizations_skipped", None)
+    skip_note = (
+        f", {skipped} re-canonicalizations skipped" if skipped else ""
+    )
     return (
         f", covering {result.covered_states} concrete states"
         f" ({ratio:.2f}x, stabilizer order {result.symmetry_group_order})"
+        f"{skip_note}"
     )
 
 
@@ -200,6 +208,47 @@ def _cmd_check(args: argparse.Namespace) -> int:
                   f" {covered} concrete states"
                   f" ({covered / max(1, explored):.2f}x reduction)")
     return 0 if failures == 0 else 1
+
+
+def _cmd_lint(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from repro.lint import (
+        LintEngine,
+        builtin_verifications,
+        load_baseline,
+        match_baseline,
+        render_json,
+        render_text,
+        write_baseline,
+    )
+
+    root = Path.cwd()
+    paths = [Path(p) for p in args.paths]
+    report = LintEngine().lint_paths(paths, root=root)
+    baseline_path = Path(args.baseline)
+    previous = load_baseline(baseline_path)
+
+    if args.write_baseline:
+        baseline = write_baseline(
+            baseline_path, report.active, previous=previous
+        )
+        print(
+            f"wrote {len(baseline.entries)} baseline entr(ies) to"
+            f" {baseline_path} (git {baseline.git_sha or 'unknown'})"
+        )
+        return 0
+
+    match = match_baseline(report.active, previous)
+    dynamic = builtin_verifications(args.dynamic_states) if args.dynamic else None
+    if args.format == "json":
+        print(render_json(report, match, dynamic))
+    else:
+        print(render_text(report, match, dynamic))
+    # Exit non-zero only on *new* findings (or dynamic mismatches):
+    # baselined findings are accepted debt, stale entries a cleanup hint.
+    dynamic_failed = any(not v.ok for v in dynamic or [])
+    return 1 if match.new or dynamic_failed else 0
 
 
 def _cmd_lower_bound(args: argparse.Namespace) -> int:
@@ -299,6 +348,41 @@ def build_parser() -> argparse.ArgumentParser:
              " non-invariant properties",
     )
     check.set_defaults(handler=_cmd_check)
+
+    lint = sub.add_parser(
+        "lint",
+        help="anonlint: model-soundness static analysis (ANON/WIRE/"
+             "INVAR/WF rule families; see docs/linting.md)",
+    )
+    lint.add_argument(
+        "paths", nargs="*", default=["src"],
+        help="files or directories to lint (default: src)",
+    )
+    lint.add_argument(
+        "--format", choices=["text", "json"], default="text",
+    )
+    lint.add_argument(
+        "--baseline", default=".anonlint-baseline.json",
+        help="baseline file of accepted findings (git-SHA stamped);"
+             " new findings fail the run, baselined ones do not",
+    )
+    lint.add_argument(
+        "--write-baseline", action="store_true",
+        help="accept all current findings into the baseline"
+             " (justifications of matching entries are preserved)",
+    )
+    lint.add_argument(
+        "--dynamic", action="store_true",
+        help="additionally run the metamorphic orbit-invariance"
+             " verifier: every built-in property is evaluated on"
+             " reachable states and their wiring-stabilizer orbit"
+             " images, and the verdicts must agree",
+    )
+    lint.add_argument(
+        "--dynamic-states", type=int, default=250,
+        help="bounded-BFS sample size per system for --dynamic",
+    )
+    lint.set_defaults(handler=_cmd_lint)
 
     lower = sub.add_parser(
         "lower-bound", help="the §2.1 covering-erasure demonstration"

@@ -117,6 +117,34 @@ class RenamingMachine:
         """The acquired name, or ``None`` while still running."""
         return state.name
 
+    # -- Symmetry hooks (repro.checker.symmetry) ------------------------
+    # The machine is value-equivariant in the group identifiers: the
+    # embedded snapshot machine is fully equivariant, and the name is a
+    # *pure function* of (snapshot, my_id) — so the image of a done
+    # state under a renaming is the done state whose name is recomputed
+    # from the renamed snapshot and renamed identifier.  The rank
+    # itself is not preserved (tau need not be monotone), and does not
+    # have to be: equivariance requires commuting with the transition
+    # function, and the final transition recomputes the name from
+    # scratch exactly as done here.
+    def rename_inputs(self, state: RenamingState, mapping) -> RenamingState:
+        """Image of a local state under a group-id renaming ``mapping``."""
+        inner = self.snapshot_machine.rename_inputs(state.inner, mapping)
+        my_id = mapping.get(state.my_id, state.my_id)
+        if state.name is None:
+            return RenamingState(inner=inner, my_id=my_id)
+        snapshot = self.snapshot_machine.output(inner)
+        assert snapshot is not None  # name set => embedded snapshot done
+        return RenamingState(
+            inner=inner,
+            my_id=my_id,
+            name=bar_noy_dolev_name(snapshot, my_id),
+        )
+
+    def rename_register_value(self, value: RegisterRecord, mapping) -> RegisterRecord:
+        """Image of a register record under a group-id renaming."""
+        return self.snapshot_machine.rename_register_value(value, mapping)
+
     def snapshot_used(self, state: RenamingState) -> Optional[View]:
         """The snapshot the name was derived from (analysis helper)."""
         return self.snapshot_machine.output(state.inner)

@@ -1,0 +1,75 @@
+"""anonlint: model-soundness static analysis for the reproduction.
+
+The paper's results hold in a specific model — fully anonymous
+processors, wiring-permuted register access, symmetry-reduced checking
+sound only for permutation-invariant properties.  This package
+enforces those model obligations mechanically, at lint time:
+
+- **ANON** (:mod:`repro.lint.anon`) — machine code must not act on
+  processor identity;
+- **WIRE** (:mod:`repro.lint.wire`) — shared-memory access only
+  through the wiring permutation;
+- **INVAR** (:mod:`repro.lint.invar`) — symmetry-checked properties
+  must be declared invariant and avoid non-equivariant constructs;
+- **WF** (:mod:`repro.lint.wf`) — unbounded machine loops must name a
+  progress guard.
+
+Plus a metamorphic *dynamic* verifier (:mod:`repro.lint.dynamic`) that
+tests declared invariance semantically on wiring-stabilizer orbits.
+
+Entry point: ``python -m repro lint`` (see :mod:`repro.cli`);
+suppression and baseline workflow in ``docs/linting.md``.
+"""
+
+from repro.lint.baseline import (
+    Baseline,
+    BaselineEntry,
+    BaselineMatch,
+    git_sha,
+    load_baseline,
+    match_baseline,
+    write_baseline,
+)
+from repro.lint.dynamic import (
+    DynamicVerification,
+    builtin_verifications,
+    reachable_sample,
+    verify_invariant,
+)
+from repro.lint.engine import (
+    Finding,
+    LintEngine,
+    LintReport,
+    ModuleContext,
+    Rule,
+    default_rules,
+    derive_role,
+    discover_files,
+    parse_suppressions,
+)
+from repro.lint.reporters import render_json, render_text
+
+__all__ = [
+    "Baseline",
+    "BaselineEntry",
+    "BaselineMatch",
+    "DynamicVerification",
+    "Finding",
+    "LintEngine",
+    "LintReport",
+    "ModuleContext",
+    "Rule",
+    "builtin_verifications",
+    "default_rules",
+    "derive_role",
+    "discover_files",
+    "parse_suppressions",
+    "git_sha",
+    "load_baseline",
+    "match_baseline",
+    "reachable_sample",
+    "render_json",
+    "render_text",
+    "verify_invariant",
+    "write_baseline",
+]

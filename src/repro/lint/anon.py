@@ -1,0 +1,151 @@
+"""ANON: machine code must not act on processor identity.
+
+The paper's model is *fully anonymous*: processors run identical code,
+have no identifiers, and cannot break symmetry by construction — the
+Raynal–Taubenfeld line of work makes the same restriction explicit in
+its algorithm templates.  In this codebase machine code (``core/``,
+``baselines/``) receives a ``pid`` only as harness plumbing (the
+simulator's bookkeeping, a single-writer baseline's register name);
+the moment an algorithm *branches* on it, *compares* it, or *indexes*
+shared state with it outside the wiring permutation, the model — and
+the soundness of the symmetry-reduced checker built on it — is gone.
+
+ANON001 fires when a pid-named value is used in machine code as:
+
+- a branch condition (``if pid == 0: ...``),
+- an ordering/equality comparison (membership tests are exempt:
+  ``pid in outputs`` is trace bookkeeping, not symmetry breaking),
+- the register operand of a ``Read``/``Write`` op,
+- a subscript index on anything that is not wiring indirection
+  (``wiring[pid]``, ``sigma[pid]``, ... are the sanctioned uses).
+
+Diagnostic f-strings are exempt — naming a pid in an error message
+does not affect behavior.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Optional
+
+from repro.lint.engine import Finding, ModuleContext, Rule
+
+#: Identifiers treated as processor identities.
+PID_NAMES = frozenset(
+    {"pid", "my_pid", "process_id", "processor_id", "proc_id"}
+)
+
+#: Substrings marking a name as wiring indirection — the one place a
+#: pid may legitimately flow (selecting the processor's private
+#: permutation).
+WIRING_HINTS = ("wiring", "sigma", "perm", "phys", "to_local")
+
+_MEMORY_OPS = frozenset({"Read", "Write"})
+
+
+def _is_pid_node(node: ast.AST) -> bool:
+    if isinstance(node, ast.Name):
+        return node.id in PID_NAMES and isinstance(node.ctx, ast.Load)
+    if isinstance(node, ast.Attribute):
+        return node.attr in PID_NAMES and isinstance(node.ctx, ast.Load)
+    return False
+
+
+def _terminal_name(node: ast.AST) -> Optional[str]:
+    if isinstance(node, ast.Name):
+        return node.id
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    return None
+
+
+def _mentions_wiring(node: ast.AST) -> bool:
+    name = _terminal_name(node)
+    if name is None:
+        return False
+    lowered = name.lower()
+    return any(hint in lowered for hint in WIRING_HINTS)
+
+
+class AnonymityRule(Rule):
+    rule_id = "ANON001"
+    summary = (
+        "machine code must not branch on, compare, or index by"
+        " processor identity outside the wiring indirection"
+    )
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        if not ctx.is_machine:
+            return
+        for node in ast.walk(ctx.tree):
+            if not _is_pid_node(node):
+                continue
+            finding = self._classify(ctx, node)
+            if finding is not None:
+                yield finding
+
+    def _classify(
+        self, ctx: ModuleContext, node: ast.AST
+    ) -> Optional[Finding]:
+        name = _terminal_name(node)
+        for parent, child in ctx.ancestry(node):
+            # Sanctioned / benign contexts end the walk with no finding.
+            if isinstance(parent, ast.FormattedValue):
+                return None  # diagnostics may name pids
+            if (
+                isinstance(parent, ast.Subscript)
+                and child is parent.slice
+                and _mentions_wiring(parent.value)
+            ):
+                return None  # wiring[pid]: the one sanctioned indexing
+            if (
+                isinstance(parent, ast.Call)
+                and child is not parent.func
+                and _mentions_wiring(parent.func)
+            ):
+                return None  # to_physical(pid, ...)-style indirection
+
+            # Violating contexts.
+            if isinstance(parent, (ast.If, ast.While)) and child is parent.test:
+                return ctx.finding(
+                    self.rule_id,
+                    node,
+                    f"machine code branches on processor identity"
+                    f" {name!r} — anonymous processors cannot act on who"
+                    f" they are",
+                )
+            if isinstance(parent, ast.Compare) and child is node:
+                # Only a *direct* operand is an identity comparison;
+                # `d.get(pid) == x` compares the looked-up data.
+                ops = parent.ops
+                if all(isinstance(op, (ast.In, ast.NotIn)) for op in ops):
+                    return None  # membership bookkeeping, not identity use
+                return ctx.finding(
+                    self.rule_id,
+                    node,
+                    f"machine code compares processor identity {name!r} —"
+                    f" identities are not observable in the model",
+                )
+            if (
+                isinstance(parent, ast.Call)
+                and isinstance(parent.func, ast.Name)
+                and parent.func.id in _MEMORY_OPS
+                and parent.args
+                and child is parent.args[0]
+            ):
+                return ctx.finding(
+                    self.rule_id,
+                    node,
+                    f"processor identity {name!r} used as a"
+                    f" {parent.func.id} register index — register names"
+                    f" must come from the private wiring permutation",
+                )
+            if isinstance(parent, ast.Subscript) and child is parent.slice:
+                return ctx.finding(
+                    self.rule_id,
+                    node,
+                    f"machine code indexes {_terminal_name(parent.value)!r}"
+                    f" by processor identity {name!r} outside the wiring"
+                    f" indirection",
+                )
+        return None

@@ -1,0 +1,163 @@
+"""Committed baselines: known findings that gate only on regression.
+
+Mirrors the benchmark harness's provenance discipline
+(``benchmarks/_bench_utils.py`` stamps ``BENCH_checker.json`` with the
+git SHA it was produced at): the baseline file records *which commit
+accepted which findings*, with a justification per entry, and the CLI
+exits zero exactly when every active finding matches a baseline entry.
+
+Entries are keyed on ``(rule, path, symbol, message)`` — never on line
+numbers, so unrelated edits that shift code do not invalidate the
+baseline.  Matching is multiset-aware: two identical findings need two
+entries.  Entries that no longer match anything are reported as
+*stale* (a prompt to clean up, not a failure).
+"""
+
+from __future__ import annotations
+
+import json
+import subprocess
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.lint.engine import Finding
+
+BASELINE_SCHEMA = "anonlint-baseline/1"
+
+_Key = Tuple[str, str, str, str]
+
+
+def git_sha(cwd: Optional[Path] = None) -> Optional[str]:
+    """Current short commit SHA, or ``None`` outside a work tree.
+
+    Same provenance stamp the benchmark harness writes into
+    ``BENCH_checker.json``.
+    """
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            capture_output=True,
+            text=True,
+            timeout=10,
+            cwd=str(cwd) if cwd else None,
+        )
+    except (OSError, subprocess.TimeoutExpired):
+        return None
+    sha = out.stdout.strip()
+    return sha if out.returncode == 0 and sha else None
+
+
+@dataclass
+class BaselineEntry:
+    rule: str
+    path: str
+    symbol: str
+    message: str
+    justification: str = ""
+
+    @property
+    def key(self) -> _Key:
+        return (self.rule, self.path, self.symbol, self.message)
+
+
+@dataclass
+class Baseline:
+    entries: List[BaselineEntry] = field(default_factory=list)
+    git_sha: Optional[str] = None
+    schema: str = BASELINE_SCHEMA
+
+
+@dataclass
+class BaselineMatch:
+    """Active findings partitioned against a baseline."""
+
+    new: List[Finding] = field(default_factory=list)
+    baselined: List[Finding] = field(default_factory=list)
+    stale: List[BaselineEntry] = field(default_factory=list)
+
+
+def load_baseline(path: Path) -> Baseline:
+    if not path.exists():
+        return Baseline()
+    data = json.loads(path.read_text(encoding="utf-8"))
+    entries = [
+        BaselineEntry(
+            rule=item["rule"],
+            path=item["path"],
+            symbol=item["symbol"],
+            message=item["message"],
+            justification=item.get("justification", ""),
+        )
+        for item in data.get("findings", [])
+    ]
+    return Baseline(
+        entries=entries,
+        git_sha=data.get("git_sha"),
+        schema=data.get("schema", BASELINE_SCHEMA),
+    )
+
+
+def write_baseline(
+    path: Path,
+    findings: Sequence[Finding],
+    previous: Optional[Baseline] = None,
+    sha: Optional[str] = None,
+) -> Baseline:
+    """Write the active findings as the new baseline.
+
+    Justifications from a previous baseline carry over to entries with
+    the same key, so regenerating does not erase the documented *why*.
+    """
+    carried: Dict[_Key, str] = {}
+    if previous is not None:
+        for entry in previous.entries:
+            if entry.justification:
+                carried.setdefault(entry.key, entry.justification)
+    entries = [
+        BaselineEntry(
+            rule=finding.rule,
+            path=finding.path,
+            symbol=finding.symbol,
+            message=finding.message,
+            justification=carried.get(finding.key, ""),
+        )
+        for finding in findings
+    ]
+    baseline = Baseline(entries=entries, git_sha=sha or git_sha(path.parent))
+    payload = {
+        "schema": baseline.schema,
+        "git_sha": baseline.git_sha,
+        "findings": [
+            {
+                "rule": entry.rule,
+                "path": entry.path,
+                "symbol": entry.symbol,
+                "message": entry.message,
+                "justification": entry.justification,
+            }
+            for entry in baseline.entries
+        ],
+    }
+    path.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+    return baseline
+
+
+def match_baseline(
+    findings: Sequence[Finding], baseline: Baseline
+) -> BaselineMatch:
+    """Partition active findings into new vs baselined (multiset match)."""
+    budget: Dict[_Key, List[BaselineEntry]] = {}
+    for entry in baseline.entries:
+        budget.setdefault(entry.key, []).append(entry)
+    match = BaselineMatch()
+    for finding in findings:
+        remaining = budget.get(finding.key)
+        if remaining:
+            remaining.pop()
+            match.baselined.append(finding)
+        else:
+            match.new.append(finding)
+    for remaining in budget.values():
+        match.stale.extend(remaining)
+    return match

@@ -1,0 +1,181 @@
+"""Metamorphic orbit-invariance verification (``repro lint --dynamic``).
+
+The static INVAR rules inspect syntax; a ``@permutation_invariant``
+declaration can still *lie* in ways no AST scan sees.  This module
+checks the declaration's semantic content directly, as a metamorphic
+test: for a property ``P``, a system ``spec``, and every non-identity
+element ``g`` of the wiring-stabilizer group
+(:class:`repro.checker.symmetry.StateCanonicalizer`), verdicts must
+agree on orbit mates::
+
+    P(spec, s) is None  <=>  P(spec, g . s)    for every sampled s
+
+Samples come from a bounded BFS of the real reachable graph, so every
+exercised state is one the symmetry-reduced explorer could actually
+meet.  A single mismatch is a counterexample to the soundness of
+checking ``P`` under ``--symmetry``.
+
+The built-in battery covers all seven shipped properties on their
+natural systems; each system is chosen so the stabilizer group is
+non-trivial (equal consensus proposals, for instance — with distinct
+proposals the input-preserving subgroup is trivial and the test would
+be vacuous).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Sequence, Tuple
+
+from repro.checker.symmetry import StateCanonicalizer
+from repro.checker.system import GlobalState, SystemSpec
+
+Invariant = Callable[[SystemSpec, GlobalState], Optional[str]]
+
+#: Default bounded-BFS sample size per system.
+DEFAULT_MAX_STATES = 250
+
+
+@dataclass
+class DynamicVerification:
+    """Outcome of one property x system orbit-invariance check."""
+
+    property_name: str
+    system: str
+    states_checked: int
+    elements: int
+    mismatches: List[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.mismatches
+
+
+def reachable_sample(spec: SystemSpec, max_states: int) -> List[GlobalState]:
+    """The first ``max_states`` reachable states in BFS order."""
+    initial = spec.initial_state()
+    seen = {initial}
+    frontier = [initial]
+    states = [initial]
+    while frontier and len(states) < max_states:
+        next_frontier: List[GlobalState] = []
+        for state in frontier:
+            for _action, successor in spec.successors(state):
+                if successor in seen:
+                    continue
+                seen.add(successor)
+                states.append(successor)
+                next_frontier.append(successor)
+                if len(states) >= max_states:
+                    return states
+        frontier = next_frontier
+    return states
+
+
+def verify_invariant(
+    invariant: Invariant,
+    spec: SystemSpec,
+    system: str = "",
+    max_states: int = DEFAULT_MAX_STATES,
+) -> DynamicVerification:
+    """Metamorphic check of one property on one system."""
+    canonicalizer = StateCanonicalizer(spec)
+    states = reachable_sample(spec, max_states)
+    return _verify(invariant, spec, system, states, canonicalizer)
+
+
+def _verify(
+    invariant: Invariant,
+    spec: SystemSpec,
+    system: str,
+    states: Sequence[GlobalState],
+    canonicalizer: StateCanonicalizer,
+) -> DynamicVerification:
+    name = getattr(invariant, "__name__", repr(invariant))
+    elements = [
+        element for element in canonicalizer.elements if not element.is_identity
+    ]
+    verification = DynamicVerification(
+        property_name=name,
+        system=system,
+        states_checked=len(states),
+        elements=len(elements),
+    )
+    if not getattr(invariant, "permutation_invariant", False):
+        verification.mismatches.append(
+            f"{name} is not declared @permutation_invariant — nothing to"
+            f" verify, and the symmetry explorer would refuse it"
+        )
+        return verification
+    if not elements:
+        verification.mismatches.append(
+            f"stabilizer group of {system or 'the system'} is trivial —"
+            f" the orbit check is vacuous; pick a symmetric configuration"
+        )
+        return verification
+    for state in states:
+        holds = invariant(spec, state) is None
+        for element in elements:
+            image = canonicalizer.apply(element, state)
+            if (invariant(spec, image) is None) != holds:
+                verification.mismatches.append(
+                    f"verdict differs across orbit: {name} is"
+                    f" {'satisfied' if holds else 'violated'} on a state"
+                    f" but not on its image under pi={element.pi},"
+                    f" rho={element.rho}, tau={element.tau}"
+                )
+                if len(verification.mismatches) >= 5:
+                    return verification
+    return verification
+
+
+def builtin_verifications(
+    max_states: int = DEFAULT_MAX_STATES,
+) -> List[DynamicVerification]:
+    """Verify all seven shipped properties on their natural systems.
+
+    Systems are built lazily here (not at import) so ``repro lint``
+    without ``--dynamic`` never pays for them.
+    """
+    from repro.checker.properties import (
+        SNAPSHOT_SAFETY,
+        consensus_agreement_and_validity,
+        renaming_names_valid,
+    )
+    from repro.core.consensus import ConsensusMachine
+    from repro.core.renaming import RenamingMachine
+    from repro.core.snapshot import SnapshotMachine
+    from repro.memory.wiring import WiringAssignment
+
+    batteries: List[Tuple[str, SystemSpec, Sequence[Invariant]]] = [
+        (
+            "SnapshotMachine(2), inputs (1, 2), identity wiring",
+            SystemSpec(
+                SnapshotMachine(2), [1, 2], WiringAssignment.identity(2, 2)
+            ),
+            SNAPSHOT_SAFETY,
+        ),
+        (
+            "ConsensusMachine(2), equal proposals ('a', 'a'), identity wiring",
+            SystemSpec(
+                ConsensusMachine(2), ["a", "a"], WiringAssignment.identity(2, 2)
+            ),
+            [consensus_agreement_and_validity],
+        ),
+        (
+            "RenamingMachine(2), groups (1, 2), identity wiring",
+            SystemSpec(
+                RenamingMachine(2), [1, 2], WiringAssignment.identity(2, 2)
+            ),
+            [renaming_names_valid],
+        ),
+    ]
+    results: List[DynamicVerification] = []
+    for system, spec, invariants in batteries:
+        canonicalizer = StateCanonicalizer(spec)
+        states = reachable_sample(spec, max_states)
+        for invariant in invariants:
+            results.append(
+                _verify(invariant, spec, system, states, canonicalizer)
+            )
+    return results

@@ -1,0 +1,289 @@
+"""The anonlint engine: AST traversal, suppressions, rule dispatch.
+
+Rules are small objects with a ``rule_id`` and a ``check(ctx)``
+generator; the engine owns everything around them — parsing, the
+parent map over the AST (so rules can ask "what encloses this node and
+through which field"), role derivation (machine vs harness code),
+suppression comments, and finding collection.
+
+Roles
+-----
+Every linted module has a *role*:
+
+- ``machine`` — algorithm code that runs inside the paper's model:
+  anything under ``core/`` or ``baselines/``.  The ANON/WIRE/WF rule
+  families apply only here: a branch on processor identity in harness
+  code is just bookkeeping, in machine code it breaks anonymity.
+- ``harness`` — everything else (checker, sim, analysis, CLI).
+
+The path-derived role can be overridden with a marker comment anywhere
+in the file (fixtures use this)::
+
+    # anonlint: role=machine
+
+Suppressions
+------------
+A finding is suppressed when its line (or the line above, with the
+``-next-line`` form) carries a matching marker::
+
+    risky_line()  # anonlint: disable=ANON001
+    # anonlint: disable-next-line=WF001,ANON001
+    risky_line()
+
+Suppressed findings are still produced (with ``suppressed=True``) so
+reporters can count them; they never fail a run.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass, field, replace
+from pathlib import Path
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
+
+#: Module role: algorithm code subject to the model's discipline.
+ROLE_MACHINE = "machine"
+#: Module role: checker/sim/analysis code outside the model.
+ROLE_HARNESS = "harness"
+
+#: Path components that make a module machine-role by default.
+_MACHINE_PATH_PARTS = frozenset({"core", "baselines"})
+
+_SUPPRESS_RE = re.compile(
+    r"#\s*anonlint:\s*disable(?P<next>-next-line)?="
+    r"(?P<rules>[A-Z]+[0-9]*(?:\s*,\s*[A-Z]+[0-9]*)*)"
+)
+_ROLE_RE = re.compile(r"#\s*anonlint:\s*role=(?P<role>machine|harness)")
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule hit at one source location."""
+
+    rule: str
+    path: str
+    line: int
+    col: int
+    symbol: str
+    message: str
+    suppressed: bool = False
+
+    @property
+    def key(self) -> Tuple[str, str, str, str]:
+        """Baseline identity: location-free, so findings survive edits
+        that only move lines (same contract as the bench schema's
+        refusal to key on volatile fields)."""
+        return (self.rule, self.path, self.symbol, self.message)
+
+    def format(self) -> str:
+        mark = " [suppressed]" if self.suppressed else ""
+        return (
+            f"{self.path}:{self.line}:{self.col}: {self.rule}"
+            f" [{self.symbol}] {self.message}{mark}"
+        )
+
+
+class ModuleContext:
+    """Everything a rule needs to inspect one module."""
+
+    def __init__(
+        self,
+        path: str,
+        source: str,
+        role: Optional[str] = None,
+    ) -> None:
+        self.path = path
+        self.source = source
+        self.tree = ast.parse(source, filename=path)
+        self.lines = source.splitlines()
+        self.role = role or derive_role(path, source)
+        self.suppressions = parse_suppressions(self.lines)
+        self.parents: Dict[ast.AST, ast.AST] = {}
+        for node in ast.walk(self.tree):
+            for child in ast.iter_child_nodes(node):
+                self.parents[child] = node
+
+    @property
+    def is_machine(self) -> bool:
+        return self.role == ROLE_MACHINE
+
+    # -- AST navigation -------------------------------------------------
+    def ancestry(self, node: ast.AST) -> Iterator[Tuple[ast.AST, ast.AST]]:
+        """``(parent, child)`` pairs walking from ``node`` to the root.
+
+        ``child`` is the immediate child of ``parent`` on the path, so a
+        rule can ask *through which field* the node is reached — e.g.
+        ``child is parent.test`` means the node sits in a condition.
+        """
+        child = node
+        parent = self.parents.get(child)
+        while parent is not None:
+            yield parent, child
+            child = parent
+            parent = self.parents.get(child)
+
+    def symbol_for(self, node: ast.AST) -> str:
+        """Dotted name of the enclosing defs/classes, or ``<module>``."""
+        names: List[str] = []
+        current: Optional[ast.AST] = node
+        while current is not None:
+            if isinstance(
+                current,
+                (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef),
+            ):
+                names.append(current.name)
+            current = self.parents.get(current)
+        return ".".join(reversed(names)) if names else "<module>"
+
+    def enclosing_function(self, node: ast.AST) -> Optional[ast.AST]:
+        current = self.parents.get(node)
+        while current is not None:
+            if isinstance(current, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                return current
+            current = self.parents.get(current)
+        return None
+
+    def finding(
+        self, rule: str, node: ast.AST, message: str
+    ) -> Finding:
+        line = getattr(node, "lineno", 1)
+        col = getattr(node, "col_offset", 0)
+        return Finding(
+            rule=rule,
+            path=self.path,
+            line=line,
+            col=col,
+            symbol=self.symbol_for(node),
+            message=message,
+        )
+
+    def is_suppressed(self, finding: Finding) -> bool:
+        rules = self.suppressions.get(finding.line)
+        return rules is not None and finding.rule in rules
+
+
+def derive_role(path: str, source: str) -> str:
+    """Role from an explicit marker, else from the path."""
+    match = _ROLE_RE.search(source)
+    if match:
+        return match.group("role")
+    parts = Path(path).parts
+    if _MACHINE_PATH_PARTS & set(parts):
+        return ROLE_MACHINE
+    return ROLE_HARNESS
+
+
+def parse_suppressions(lines: Sequence[str]) -> Dict[int, Set[str]]:
+    """line number (1-based) -> rule ids suppressed on that line."""
+    table: Dict[int, Set[str]] = {}
+    for number, text in enumerate(lines, start=1):
+        match = _SUPPRESS_RE.search(text)
+        if not match:
+            continue
+        rules = {token.strip() for token in match.group("rules").split(",")}
+        target = number + 1 if match.group("next") else number
+        table.setdefault(target, set()).update(rules)
+    return table
+
+
+class Rule:
+    """Base class: subclasses set ``rule_id``/``summary``, yield findings."""
+
+    rule_id: str = ""
+    summary: str = ""
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        raise NotImplementedError
+
+
+def default_rules() -> List[Rule]:
+    """The four shipped rule families (import cycle kept out of load time)."""
+    from repro.lint.anon import AnonymityRule
+    from repro.lint.invar import InvariantDeclarationRule, InvariantEquivarianceRule
+    from repro.lint.wf import WaitFreedomRule
+    from repro.lint.wire import WiringDisciplineRule
+
+    return [
+        AnonymityRule(),
+        WiringDisciplineRule(),
+        InvariantDeclarationRule(),
+        InvariantEquivarianceRule(),
+        WaitFreedomRule(),
+    ]
+
+
+@dataclass
+class LintReport:
+    """All findings of one run, split by suppression state."""
+
+    findings: List[Finding] = field(default_factory=list)
+    files_checked: int = 0
+
+    @property
+    def active(self) -> List[Finding]:
+        return [f for f in self.findings if not f.suppressed]
+
+    @property
+    def suppressed(self) -> List[Finding]:
+        return [f for f in self.findings if f.suppressed]
+
+
+class LintEngine:
+    """Run the rule set over sources, files, or directory trees."""
+
+    def __init__(self, rules: Optional[Sequence[Rule]] = None) -> None:
+        self.rules = list(rules) if rules is not None else default_rules()
+
+    def lint_source(
+        self, source: str, path: str = "<string>", role: Optional[str] = None
+    ) -> List[Finding]:
+        ctx = ModuleContext(path, source, role=role)
+        findings: List[Finding] = []
+        for rule in self.rules:
+            for finding in rule.check(ctx):
+                if ctx.is_suppressed(finding):
+                    finding = replace(finding, suppressed=True)
+                findings.append(finding)
+        findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
+        return findings
+
+    def lint_file(self, path: Path, root: Optional[Path] = None) -> List[Finding]:
+        relative = path
+        if root is not None:
+            try:
+                relative = path.resolve().relative_to(root.resolve())
+            except ValueError:
+                relative = path
+        source = path.read_text(encoding="utf-8")
+        return self.lint_source(source, path=relative.as_posix())
+
+    def lint_paths(
+        self, paths: Iterable[Path], root: Optional[Path] = None
+    ) -> LintReport:
+        report = LintReport()
+        for path in discover_files(paths):
+            report.files_checked += 1
+            report.findings.extend(self.lint_file(path, root=root))
+        report.findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
+        return report
+
+
+def discover_files(paths: Iterable[Path]) -> List[Path]:
+    """Expand directories into sorted ``.py`` files (dedup, stable order)."""
+    seen: Set[Path] = set()
+    result: List[Path] = []
+    for path in paths:
+        if path.is_dir():
+            candidates = sorted(path.rglob("*.py"))
+        else:
+            candidates = [path]
+        for candidate in candidates:
+            if "__pycache__" in candidate.parts:
+                continue
+            resolved = candidate.resolve()
+            if resolved in seen:
+                continue
+            seen.add(resolved)
+            result.append(candidate)
+    return result

@@ -1,0 +1,280 @@
+"""INVAR: properties used under symmetry must really be invariant.
+
+The symmetry-reduced explorer checks invariants on orbit
+representatives only; that is sound exactly when the verdict is
+unchanged by processor permutation, register relabelling, and
+bijective input renaming (:mod:`repro.checker.symmetry`).  The runtime
+gate (:func:`~repro.checker.symmetry.assert_permutation_invariant`)
+only checks the *declaration*; these rules check that the declaration
+exists and that declared bodies avoid the constructs that break
+equivariance in practice:
+
+- INVAR001 — a property exported in an ``*_SAFETY`` / ``*_PROPERTIES``
+  / ``*_INVARIANTS`` tuple is not declared ``@permutation_invariant``;
+  the symmetry explorer would refuse it at runtime, but the lint
+  catches it before anything runs.
+- INVAR002 — a non-equivariant construct inside a declared-invariant
+  body or inside machine code: a *verdict-affecting* ``repr``/``str``
+  tie-break (the sorted result is selected from, not merely printed),
+  an ordering comparison on processor identities, or an ``enumerate``
+  index used asymmetrically (ordering or sorting on the position).
+
+Diagnostic-only ``sorted(..., key=repr)`` calls — feeding f-strings,
+never indexed — are deliberately exempt: the invariant contract only
+requires the *verdict* to be invariant, messages may name concrete
+values.  Presentation helpers (``__repr__``, ``summary``, ...) are
+exempt entirely.
+
+The canonical true positive in this repository is the consensus
+tie-break (:func:`repro.core.consensus.decide_or_adopt`): ``leaders =
+sorted(..., key=repr); leaders[0]`` makes the machine deliberately
+non-equivariant under input renaming, which is why it ships baselined
+rather than suppressed — the finding is *correct* and documented.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Iterator, List, Optional, Set
+
+from repro.lint.anon import PID_NAMES, _terminal_name
+from repro.lint.engine import Finding, ModuleContext, Rule
+
+_INVARIANT_TUPLE_RE = re.compile(
+    r"^[A-Z][A-Z0-9_]*(_SAFETY|_PROPERTIES|_INVARIANTS)$"
+)
+_DECORATOR_NAME = "permutation_invariant"
+_SORT_BUILTINS = frozenset({"sorted", "min", "max"})
+_REPR_KEYS = frozenset({"repr", "str"})
+#: Presentation helpers whose output never feeds a verdict.
+_PRESENTATION_NAMES = frozenset({"__repr__", "__str__", "summary", "describe"})
+_ORDERING_OPS = (ast.Lt, ast.LtE, ast.Gt, ast.GtE)
+
+
+def _decorated_invariant(node: ast.FunctionDef) -> bool:
+    for decorator in node.decorator_list:
+        target = decorator.func if isinstance(decorator, ast.Call) else decorator
+        if _terminal_name(target) == _DECORATOR_NAME:
+            return True
+    return False
+
+
+class InvariantDeclarationRule(Rule):
+    rule_id = "INVAR001"
+    summary = (
+        "properties exported for symmetry-reduced checking must be"
+        " declared @permutation_invariant"
+    )
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        functions = {
+            node.name: node
+            for node in ctx.tree.body
+            if isinstance(node, ast.FunctionDef)
+        }
+        for node in ctx.tree.body:
+            if not isinstance(node, ast.Assign):
+                continue
+            targets = [
+                target.id
+                for target in node.targets
+                if isinstance(target, ast.Name)
+            ]
+            if not any(_INVARIANT_TUPLE_RE.match(name) for name in targets):
+                continue
+            if not isinstance(node.value, (ast.Tuple, ast.List)):
+                continue
+            tuple_name = targets[0]
+            for element in node.value.elts:
+                if not isinstance(element, ast.Name):
+                    continue
+                function = functions.get(element.id)
+                if function is None or _decorated_invariant(function):
+                    continue
+                yield ctx.finding(
+                    self.rule_id,
+                    function,
+                    f"property {element.id!r} is exported in {tuple_name}"
+                    f" but not declared @permutation_invariant — the"
+                    f" symmetry-reduced explorer will refuse it",
+                )
+
+
+class InvariantEquivarianceRule(Rule):
+    rule_id = "INVAR002"
+    summary = (
+        "declared-invariant bodies and machine code must avoid"
+        " non-equivariant constructs (repr tie-breaks, pid ordering,"
+        " positional asymmetry)"
+    )
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.FunctionDef):
+                continue
+            if node.name in _PRESENTATION_NAMES or node.name.startswith("_fmt"):
+                continue
+            if not (_decorated_invariant(node) or ctx.is_machine):
+                continue
+            yield from self._check_body(ctx, node)
+
+    # ------------------------------------------------------------------
+    def _check_body(
+        self, ctx: ModuleContext, function: ast.FunctionDef
+    ) -> Iterator[Finding]:
+        for node in ast.walk(function):
+            finding = self._repr_tie_break(ctx, function, node)
+            if finding is None:
+                finding = self._pid_ordering(ctx, node)
+            if finding is None:
+                finding = self._enumerate_asymmetry(ctx, node)
+            if finding is not None:
+                yield finding
+
+    def _repr_tie_break(
+        self, ctx: ModuleContext, function: ast.FunctionDef, node: ast.AST
+    ) -> Optional[Finding]:
+        if not (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Name)
+            and node.func.id in _SORT_BUILTINS
+        ):
+            return None
+        if not any(
+            keyword.arg == "key"
+            and isinstance(keyword.value, ast.Name)
+            and keyword.value.id in _REPR_KEYS
+            for keyword in node.keywords
+        ):
+            return None
+        if not self._verdict_affecting(ctx, function, node):
+            return None
+        return ctx.finding(
+            self.rule_id,
+            node,
+            f"{node.func.id}(..., key=repr) tie-break affects the verdict"
+            f" (its result is selected from) — repr order is not"
+            f" preserved by input renaming, so the construct is not"
+            f" permutation-invariant",
+        )
+
+    def _verdict_affecting(
+        self, ctx: ModuleContext, function: ast.FunctionDef, call: ast.Call
+    ) -> bool:
+        """True when the sorted result is *selected from*, not printed.
+
+        Two shapes count: the call is subscripted directly
+        (``sorted(...)[0]``), or it is assigned to a name that is later
+        subscripted inside the same function (``leaders = sorted(...);
+        leaders[0]``).  Everything else — joins, f-strings, equality —
+        only shapes diagnostics.
+        """
+        for parent, child in ctx.ancestry(call):
+            if isinstance(parent, ast.Subscript) and child is parent.value:
+                return True
+            if isinstance(parent, ast.Assign) and child is call:
+                names = {
+                    target.id
+                    for target in parent.targets
+                    if isinstance(target, ast.Name)
+                }
+                return bool(names) and _names_subscripted(function, names)
+            if not isinstance(parent, (ast.Subscript, ast.Assign)):
+                break
+        return False
+
+    def _pid_ordering(
+        self, ctx: ModuleContext, node: ast.AST
+    ) -> Optional[Finding]:
+        if not isinstance(node, ast.Compare):
+            return None
+        if not any(isinstance(op, _ORDERING_OPS) for op in node.ops):
+            return None
+        operands = [node.left, *node.comparators]
+        for operand in operands:
+            name = _terminal_name(operand)
+            if name in PID_NAMES:
+                return ctx.finding(
+                    self.rule_id,
+                    node,
+                    f"ordering comparison on processor identity {name!r} —"
+                    f" pid order is not preserved by processor"
+                    f" permutation, so the verdict is not invariant",
+                )
+        return None
+
+    def _enumerate_asymmetry(
+        self, ctx: ModuleContext, node: ast.AST
+    ) -> Optional[Finding]:
+        if not (
+            isinstance(node, ast.For)
+            and isinstance(node.iter, ast.Call)
+            and isinstance(node.iter.func, ast.Name)
+            and node.iter.func.id == "enumerate"
+        ):
+            return None
+        target = node.target
+        if isinstance(target, ast.Tuple) and target.elts:
+            target = target.elts[0]
+        if not isinstance(target, ast.Name):
+            return None
+        index_name = target.id
+        for inner in ast.walk(node):
+            if isinstance(inner, ast.Compare) and any(
+                isinstance(op, _ORDERING_OPS) for op in inner.ops
+            ):
+                operands = [inner.left, *inner.comparators]
+                if any(
+                    isinstance(operand, ast.Name)
+                    and operand.id == index_name
+                    for operand in operands
+                ):
+                    return ctx.finding(
+                        self.rule_id,
+                        inner,
+                        f"enumerate index {index_name!r} used in an"
+                        f" ordering comparison — positional asymmetry"
+                        f" breaks permutation invariance",
+                    )
+            if (
+                isinstance(inner, ast.Call)
+                and isinstance(inner.func, ast.Name)
+                and inner.func.id in _SORT_BUILTINS
+                and any(
+                    isinstance(argument, ast.Name)
+                    and argument.id == index_name
+                    for argument in inner.args
+                )
+            ):
+                return ctx.finding(
+                    self.rule_id,
+                    inner,
+                    f"enumerate index {index_name!r} fed to"
+                    f" {inner.func.id}(...) — positional asymmetry"
+                    f" breaks permutation invariance",
+                )
+        return None
+
+
+def _names_subscripted(function: ast.FunctionDef, names: Set[str]) -> bool:
+    for node in ast.walk(function):
+        if (
+            isinstance(node, ast.Subscript)
+            and isinstance(node.value, ast.Name)
+            and node.value.id in names
+        ):
+            return True
+    return False
+
+
+def invariant_tuple_names(tree: ast.Module) -> List[str]:
+    """Module-level invariant-tuple names (shared with the docs/tests)."""
+    return [
+        target.id
+        for node in tree.body
+        if isinstance(node, ast.Assign)
+        for target in node.targets
+        if isinstance(target, ast.Name)
+        and _INVARIANT_TUPLE_RE.match(target.id)
+    ]

@@ -1,0 +1,98 @@
+"""Text and JSON rendering of a lint run."""
+
+from __future__ import annotations
+
+import json
+from typing import List, Optional, Sequence
+
+from repro.lint.baseline import BaselineEntry, BaselineMatch
+from repro.lint.engine import Finding, LintReport
+
+REPORT_SCHEMA = "anonlint-report/1"
+
+
+def render_text(
+    report: LintReport,
+    match: BaselineMatch,
+    dynamic: Optional[Sequence] = None,
+) -> str:
+    """Human-readable report: new findings first, then bookkeeping."""
+    lines: List[str] = []
+    for finding in match.new:
+        lines.append(finding.format())
+    for finding in match.baselined:
+        lines.append(f"{finding.format()} [baselined]")
+    for entry in match.stale:
+        lines.append(
+            f"stale baseline entry: {entry.rule} [{entry.symbol}]"
+            f" in {entry.path} no longer matches any finding"
+        )
+    if dynamic:
+        for verification in dynamic:
+            status = "ok" if verification.ok else "MISMATCH"
+            lines.append(
+                f"dynamic {verification.property_name}: {status}"
+                f" ({verification.states_checked} states x"
+                f" {verification.elements} orbit elements)"
+            )
+            lines.extend(f"  {item}" for item in verification.mismatches[:3])
+    suppressed = len(report.suppressed)
+    dynamic_bad = sum(1 for v in dynamic or [] if not v.ok)
+    lines.append(
+        f"anonlint: {report.files_checked} files,"
+        f" {len(match.new)} new finding(s),"
+        f" {len(match.baselined)} baselined,"
+        f" {suppressed} suppressed,"
+        f" {len(match.stale)} stale baseline entr(ies)"
+        + (f", {dynamic_bad} dynamic failure(s)" if dynamic else "")
+    )
+    return "\n".join(lines)
+
+
+def render_json(
+    report: LintReport,
+    match: BaselineMatch,
+    dynamic: Optional[Sequence] = None,
+) -> str:
+    def finding_dict(finding: Finding, status: str) -> dict:
+        return {
+            "rule": finding.rule,
+            "path": finding.path,
+            "line": finding.line,
+            "col": finding.col,
+            "symbol": finding.symbol,
+            "message": finding.message,
+            "status": status,
+        }
+
+    def entry_dict(entry: BaselineEntry) -> dict:
+        return {
+            "rule": entry.rule,
+            "path": entry.path,
+            "symbol": entry.symbol,
+            "message": entry.message,
+        }
+
+    payload = {
+        "schema": REPORT_SCHEMA,
+        "files_checked": report.files_checked,
+        "findings": (
+            [finding_dict(f, "new") for f in match.new]
+            + [finding_dict(f, "baselined") for f in match.baselined]
+            + [finding_dict(f, "suppressed") for f in report.suppressed]
+        ),
+        "stale_baseline_entries": [entry_dict(e) for e in match.stale],
+    }
+    if dynamic is not None:
+        payload["dynamic"] = [
+            {
+                "property": verification.property_name,
+                "system": verification.system,
+                "states_checked": verification.states_checked,
+                "orbit_elements": verification.elements,
+                "ok": verification.ok,
+                "mismatches": list(verification.mismatches),
+            }
+            for verification in dynamic
+        ]
+    return json.dumps(payload, indent=2)

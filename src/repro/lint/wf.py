@@ -1,0 +1,122 @@
+"""WF: wait-freedom hygiene for machine code.
+
+The paper's snapshot algorithm is wait-free by a *level* argument:
+every scan either observes progress (levels only climb, bounded by the
+target) or terminates.  An unbounded ``while True:`` loop whose only
+exits are equality checks against a previous collect has no such
+argument — it is the classic lock-free double collect, where a scanner
+starves while writers keep moving.
+
+WF001 fires on a ``while True:`` loop in machine code unless at least
+one of its exits is guarded by a condition mentioning a progress-
+bounded quantity (level, scan, target, bound, ...).  The static check
+is necessarily a heuristic: it cannot prove wait-freedom, only demand
+that the loop *names* its progress argument.  Loops that are
+deliberately not wait-free (the lock-free and obstruction-free
+baselines) carry a suppression stating so — which is exactly the
+documentation the rule exists to force.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Iterator, List, Set
+
+from repro.lint.anon import _terminal_name
+from repro.lint.engine import Finding, ModuleContext, Rule
+
+#: A guard mentioning any of these is accepted as a progress argument.
+_PROGRESS_RE = re.compile(
+    r"level|scan|target|bound|budget|max|limit|step|retr|phase|done",
+    re.IGNORECASE,
+)
+
+
+def _is_constant_true(node: ast.expr) -> bool:
+    return isinstance(node, ast.Constant) and bool(node.value) is True
+
+
+def _guard_names(ctx: ModuleContext, exit_node: ast.AST, loop: ast.While) -> Set[str]:
+    """Names mentioned in conditions between an exit and its loop."""
+    names: Set[str] = set()
+    for parent, _child in ctx.ancestry(exit_node):
+        if parent is loop:
+            break
+        if isinstance(parent, (ast.If, ast.While)):
+            for node in ast.walk(parent.test):
+                name = _terminal_name(node)
+                if name is not None:
+                    names.add(name)
+    return names
+
+
+def _loop_exits(ctx: ModuleContext, loop: ast.While) -> List[ast.AST]:
+    """``return``/``break`` statements that leave this loop.
+
+    Nested function bodies are skipped (their returns do not exit the
+    loop); a ``break`` counts only when this loop is its nearest
+    enclosing loop.
+    """
+    exits: List[ast.AST] = []
+    for node in ast.walk(loop):
+        if node is loop:
+            continue
+        if isinstance(node, ast.Return):
+            if _nearest(ctx, node, (ast.FunctionDef, ast.AsyncFunctionDef),
+                        stop=loop) is None:
+                exits.append(node)
+        elif isinstance(node, ast.Break):
+            if _nearest(ctx, node, (ast.While, ast.For), stop=loop) is None:
+                exits.append(node)
+    return exits
+
+
+def _nearest(ctx: ModuleContext, node: ast.AST, kinds, stop: ast.AST):
+    """The nearest ancestor of ``node`` of the given kinds below ``stop``."""
+    for parent, _child in ctx.ancestry(node):
+        if parent is stop:
+            return None
+        if isinstance(parent, kinds):
+            return parent
+    return None
+
+
+class WaitFreedomRule(Rule):
+    rule_id = "WF001"
+    summary = (
+        "unbounded while-True loops in machine code must name a"
+        " level/scan progress guard (or suppress with a justification)"
+    )
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        if not ctx.is_machine:
+            return
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.While):
+                continue
+            if not _is_constant_true(node.test):
+                continue
+            exits = _loop_exits(ctx, node)
+            if not exits:
+                yield ctx.finding(
+                    self.rule_id,
+                    node,
+                    "unbounded `while True` loop with no exit — machine"
+                    " code must terminate on every wait-free schedule",
+                )
+                continue
+            if any(
+                _PROGRESS_RE.search(name)
+                for exit_node in exits
+                for name in _guard_names(ctx, exit_node, node)
+            ):
+                continue
+            yield ctx.finding(
+                self.rule_id,
+                node,
+                "unbounded `while True` loop without a level/scan"
+                " progress guard — no exit condition names a bounded"
+                " progress quantity, so the loop has no visible"
+                " wait-freedom argument",
+            )

@@ -1,0 +1,84 @@
+"""WIRE: all shared-memory access goes through the wiring permutation.
+
+In the fully-anonymous model a processor does not know physical
+register names: it addresses memory through its private permutation
+``sigma_p`` (:mod:`repro.memory.wiring`).  Machine code therefore never
+touches a register array directly — it yields ``Read``/``Write`` ops on
+*local* indices and lets the harness translate
+(:class:`repro.memory.memory.AnonymousMemory`,
+:meth:`repro.checker.system.SystemSpec.apply`).  A ``memory[...]``
+subscript or a direct ``memory.read(...)`` call inside machine code
+bypasses that translation and silently re-introduces named memory.
+
+- WIRE001 — subscripting a register-array-named object in machine code.
+- WIRE002 — calling ``.read``/``.write`` on a register-array-named
+  object in machine code (the harness-side API).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Optional
+
+from repro.lint.engine import Finding, ModuleContext, Rule
+
+#: Identifiers treated as a shared register array.
+MEMORY_NAMES = frozenset(
+    {
+        "memory",
+        "mem",
+        "shared_memory",
+        "shared",
+        "registers",
+        "regs",
+        "register_array",
+    }
+)
+
+_MEMORY_API = frozenset({"read", "write"})
+
+
+def _terminal_name(node: ast.AST) -> Optional[str]:
+    if isinstance(node, ast.Name):
+        return node.id
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    return None
+
+
+class WiringDisciplineRule(Rule):
+    rule_id = "WIRE001"
+    summary = (
+        "machine code must not access shared registers directly —"
+        " all addressing goes through the wiring permutation"
+    )
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        if not ctx.is_machine:
+            return
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Subscript):
+                name = _terminal_name(node.value)
+                if name in MEMORY_NAMES:
+                    yield ctx.finding(
+                        "WIRE001",
+                        node,
+                        f"direct register access {name!r}[...] bypasses the"
+                        f" wiring permutation — machine code must yield"
+                        f" Read/Write ops on local indices",
+                    )
+            elif isinstance(node, ast.Call) and isinstance(
+                node.func, ast.Attribute
+            ):
+                if (
+                    node.func.attr in _MEMORY_API
+                    and _terminal_name(node.func.value) in MEMORY_NAMES
+                ):
+                    owner = _terminal_name(node.func.value)
+                    yield ctx.finding(
+                        "WIRE002",
+                        node,
+                        f"direct call {owner!r}.{node.func.attr}(...) from"
+                        f" machine code — the memory API is harness-side;"
+                        f" machine code must yield ops through the wiring",
+                    )

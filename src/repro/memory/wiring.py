@@ -23,7 +23,7 @@ from __future__ import annotations
 
 import itertools
 import random
-from typing import Iterable, Iterator, List, Optional, Sequence, Tuple
+from typing import Hashable, Iterable, Iterator, List, Optional, Sequence, Tuple
 
 
 class Wiring:
@@ -200,7 +200,7 @@ class WiringAssignment:
 
 def wiring_stabilizer(
     permutations: Sequence[Sequence[int]],
-    inputs: Optional[Sequence] = None,
+    inputs: Optional[Sequence[Hashable]] = None,
 ) -> List[Tuple[Tuple[int, ...], Tuple[int, ...]]]:
     """The automorphism group of one wiring assignment's state graph.
 

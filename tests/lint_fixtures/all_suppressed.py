@@ -1,0 +1,49 @@
+"""One suppressed instance of every rule (anonlint fixture).
+
+Linting this module must yield zero *active* findings: each seeded
+violation carries a suppression, including one ``disable-next-line``
+form.
+"""
+# anonlint: role=machine
+
+
+def permutation_invariant(fn):
+    fn.permutation_invariant = True
+    return fn
+
+
+def branch_on_identity(pid, view):
+    if pid == 0:  # anonlint: disable=ANON001
+        return view
+    return None
+
+
+def direct_register_subscript(memory, index):
+    return memory[index]  # anonlint: disable=WIRE001
+
+
+def direct_memory_api(memory, index):
+    # anonlint: disable-next-line=WIRE002
+    return memory.read(0, index)
+
+
+def unmarked_property(spec, state):  # anonlint: disable=INVAR001
+    return None
+
+
+@permutation_invariant
+def repr_tie_break(spec, state):
+    leaders = sorted(state.candidates, key=repr)  # anonlint: disable=INVAR002
+    return leaders[0]
+
+
+def unguarded_double_collect(collect):
+    previous = collect()
+    while True:  # anonlint: disable=WF001
+        current = collect()
+        if current == previous:
+            return current
+        previous = current
+
+
+FIXTURE_SAFETY = (unmarked_property,)

@@ -1,0 +1,25 @@
+"""Seeded ANON001 violations (anonlint fixture; parsed, never imported).
+
+Every function below uses a processor identity the way anonymous
+machine code must not; the role marker makes this module machine-scope
+despite living under ``tests/``.
+"""
+# anonlint: role=machine
+
+
+def branch_on_identity(pid, view):
+    if pid:
+        return view
+    return None
+
+
+def compare_identities(pid, other):
+    return pid == other
+
+
+def write_by_identity(pid, my_input, Write):
+    yield Write(pid, my_input)
+
+
+def index_by_identity(pid, table):
+    return table[pid]

@@ -1,0 +1,30 @@
+"""Machine-role code using only sanctioned patterns (anonlint fixture).
+
+Linting this module must yield zero findings: pid flows into wiring
+indirection only, membership tests are bookkeeping, diagnostics may
+name identities, and the loop names its progress guard.
+"""
+# anonlint: role=machine
+
+
+def through_wiring(pid, wiring):
+    return wiring[pid]
+
+
+def through_permutation_call(pid, to_physical, index):
+    return to_physical(pid, index)
+
+
+def membership_bookkeeping(pid, outputs):
+    return pid in outputs
+
+
+def diagnostic_message(pid, view):
+    return f"processor {pid} holds {view!r}"
+
+
+def level_guarded_scan(collect, level_target):
+    while True:
+        level = collect()
+        if level >= level_target:
+            return level

@@ -1,0 +1,51 @@
+"""Seeded INVAR001/INVAR002 violations (anonlint fixture; never imported).
+
+No role marker: the equivariance scan must reach these through the
+``@permutation_invariant`` decoration alone.
+"""
+
+
+def permutation_invariant(fn):
+    fn.permutation_invariant = True
+    return fn
+
+
+def unmarked_property(spec, state):
+    return None
+
+
+@permutation_invariant
+def repr_tie_break(spec, state):
+    leaders = sorted(state.candidates, key=repr)
+    return leaders[0]
+
+
+@permutation_invariant
+def direct_repr_selection(spec, state):
+    return sorted(state.candidates, key=repr)[0]
+
+
+@permutation_invariant
+def orders_identities(spec, state, pid, other):
+    if pid < other:
+        return "identity order observed"
+    return None
+
+
+@permutation_invariant
+def positional_asymmetry(spec, state):
+    for index, local in enumerate(state.locals):
+        if index < 1 and local is None:
+            return "first position is special"
+    return None
+
+
+@permutation_invariant
+def message_only_sort(spec, state):
+    return f"diagnostic: {sorted(state.candidates, key=repr)!r}"
+
+
+FIXTURE_SAFETY = (
+    unmarked_property,
+    repr_tie_break,
+)

@@ -1,0 +1,23 @@
+"""Seeded WF001 violations (anonlint fixture; never imported)."""
+# anonlint: role=machine
+
+
+def no_exit_loop(step):
+    while True:
+        step()
+
+
+def unguarded_double_collect(collect):
+    previous = collect()
+    while True:
+        current = collect()
+        if current == previous:
+            return current
+        previous = current
+
+
+def level_guarded_loop(collect, level_target):
+    while True:
+        level = collect()
+        if level >= level_target:
+            return level

@@ -1,0 +1,14 @@
+"""Seeded WIRE001/WIRE002 violations (anonlint fixture; never imported)."""
+# anonlint: role=machine
+
+
+def direct_register_subscript(memory, index):
+    return memory[index]
+
+
+def direct_register_store(registers, index, value):
+    registers[index] = value
+
+
+def direct_memory_api(memory, index):
+    return memory.read(0, index)

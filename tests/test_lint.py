@@ -1,0 +1,371 @@
+"""anonlint: rules, suppressions, baseline, reporters, CLI, acceptance.
+
+The fixture modules under ``tests/lint_fixtures/`` carry deliberately
+seeded violations (one family per file) plus a suppressed variant of
+every rule and a clean machine module; the tests here pin down that
+each rule fires where it must, stays silent where it must, and that
+the committed repository baseline describes exactly the accepted debt.
+"""
+
+import json
+import subprocess
+from pathlib import Path
+
+import pytest
+
+from repro.cli import main
+from repro.lint import (
+    Baseline,
+    BaselineEntry,
+    LintEngine,
+    derive_role,
+    load_baseline,
+    match_baseline,
+    parse_suppressions,
+    render_json,
+    render_text,
+    write_baseline,
+)
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+FIXTURES = Path(__file__).resolve().parent / "lint_fixtures"
+
+
+def _lint(name):
+    return LintEngine().lint_file(FIXTURES / name)
+
+
+def _active(name):
+    return [f for f in _lint(name) if not f.suppressed]
+
+
+# ---------------------------------------------------------------------------
+# Roles and suppression comments
+# ---------------------------------------------------------------------------
+
+
+class TestRolesAndSuppressions:
+    def test_path_derives_machine_role(self):
+        assert derive_role("src/repro/core/snapshot.py", "") == "machine"
+        assert derive_role("src/repro/baselines/afek.py", "") == "machine"
+
+    def test_path_derives_harness_role(self):
+        assert derive_role("src/repro/checker/system.py", "") == "harness"
+        assert derive_role("src/repro/cli.py", "") == "harness"
+
+    def test_marker_overrides_path(self):
+        source = "# anonlint: role=harness\n"
+        assert derive_role("src/repro/core/snapshot.py", source) == "harness"
+        marked = "# anonlint: role=machine\n"
+        assert derive_role("tests/fixture.py", marked) == "machine"
+
+    def test_suppression_same_line_and_next_line(self):
+        table = parse_suppressions(
+            [
+                "x = 1  # anonlint: disable=ANON001",
+                "# anonlint: disable-next-line=WF001, WIRE002",
+                "y = 2",
+            ]
+        )
+        assert table[1] == {"ANON001"}
+        assert table[3] == {"WF001", "WIRE002"}
+
+    def test_role_argument_beats_marker(self):
+        source = (FIXTURES / "anon_violation.py").read_text(encoding="utf-8")
+        findings = LintEngine().lint_source(source, role="harness")
+        assert [f for f in findings if f.rule == "ANON001"] == []
+
+
+# ---------------------------------------------------------------------------
+# ANON: anonymity
+# ---------------------------------------------------------------------------
+
+
+class TestAnonRule:
+    def test_each_seeded_violation_fires(self):
+        findings = _active("anon_violation.py")
+        assert all(f.rule == "ANON001" for f in findings)
+        by_symbol = {f.symbol: f.message for f in findings}
+        assert set(by_symbol) == {
+            "branch_on_identity",
+            "compare_identities",
+            "write_by_identity",
+            "index_by_identity",
+        }
+        assert "branches on processor identity" in by_symbol["branch_on_identity"]
+        assert "compares processor identity" in by_symbol["compare_identities"]
+        assert "register index" in by_symbol["write_by_identity"]
+        assert "outside the wiring" in by_symbol["index_by_identity"]
+
+    def test_sanctioned_patterns_are_clean(self):
+        assert _lint("clean_machine.py") == []
+
+
+# ---------------------------------------------------------------------------
+# WIRE: wiring discipline
+# ---------------------------------------------------------------------------
+
+
+class TestWireRules:
+    def test_subscript_and_api_access_fire(self):
+        findings = _active("wire_violation.py")
+        rules = sorted(f.rule for f in findings)
+        assert rules == ["WIRE001", "WIRE001", "WIRE002"]
+        symbols = {f.symbol for f in findings}
+        assert symbols == {
+            "direct_register_subscript",
+            "direct_register_store",
+            "direct_memory_api",
+        }
+
+    def test_harness_role_is_exempt(self):
+        source = (FIXTURES / "wire_violation.py").read_text(encoding="utf-8")
+        findings = LintEngine().lint_source(source, role="harness")
+        assert findings == []
+
+
+# ---------------------------------------------------------------------------
+# INVAR: permutation invariance
+# ---------------------------------------------------------------------------
+
+
+class TestInvarRules:
+    def test_unmarked_exported_property_fires(self):
+        findings = [
+            f for f in _active("invar_violation.py") if f.rule == "INVAR001"
+        ]
+        assert [f.symbol for f in findings] == ["unmarked_property"]
+        assert "FIXTURE_SAFETY" in findings[0].message
+
+    def test_equivariance_violations_fire(self):
+        findings = [
+            f for f in _active("invar_violation.py") if f.rule == "INVAR002"
+        ]
+        by_symbol = {f.symbol: f.message for f in findings}
+        assert set(by_symbol) == {
+            "repr_tie_break",
+            "direct_repr_selection",
+            "orders_identities",
+            "positional_asymmetry",
+        }
+        assert "key=repr" in by_symbol["repr_tie_break"]
+        assert "key=repr" in by_symbol["direct_repr_selection"]
+        assert "ordering comparison on processor identity" in (
+            by_symbol["orders_identities"]
+        )
+        assert "enumerate index" in by_symbol["positional_asymmetry"]
+
+    def test_message_only_sort_is_exempt(self):
+        symbols = {f.symbol for f in _active("invar_violation.py")}
+        assert "message_only_sort" not in symbols
+
+    def test_shipped_properties_are_clean(self):
+        findings = LintEngine().lint_file(
+            REPO_ROOT / "src" / "repro" / "checker" / "properties.py",
+            root=REPO_ROOT,
+        )
+        assert findings == []
+
+
+# ---------------------------------------------------------------------------
+# WF: wait-freedom hygiene
+# ---------------------------------------------------------------------------
+
+
+class TestWfRule:
+    def test_unguarded_loops_fire(self):
+        findings = _active("wf_violation.py")
+        assert all(f.rule == "WF001" for f in findings)
+        by_symbol = {f.symbol: f.message for f in findings}
+        assert set(by_symbol) == {"no_exit_loop", "unguarded_double_collect"}
+        assert "no exit" in by_symbol["no_exit_loop"]
+        assert "progress guard" in by_symbol["unguarded_double_collect"]
+
+    def test_level_guarded_loop_is_exempt(self):
+        symbols = {f.symbol for f in _active("wf_violation.py")}
+        assert "level_guarded_loop" not in symbols
+
+
+# ---------------------------------------------------------------------------
+# Suppressions silence every rule
+# ---------------------------------------------------------------------------
+
+
+class TestSuppressedFixture:
+    def test_all_seeded_violations_are_suppressed(self):
+        findings = _lint("all_suppressed.py")
+        assert [f for f in findings if not f.suppressed] == []
+        suppressed_rules = {f.rule for f in findings if f.suppressed}
+        assert suppressed_rules == {
+            "ANON001",
+            "WIRE001",
+            "WIRE002",
+            "INVAR001",
+            "INVAR002",
+            "WF001",
+        }
+
+    def test_suppressed_findings_are_still_reported(self):
+        findings = _lint("all_suppressed.py")
+        assert all(f.suppressed for f in findings)
+        assert any("[suppressed]" in f.format() for f in findings)
+
+
+# ---------------------------------------------------------------------------
+# Baseline: keys, carry-over, staleness, provenance
+# ---------------------------------------------------------------------------
+
+
+class TestBaseline:
+    def test_roundtrip_and_justification_carry(self, tmp_path):
+        findings = _active("wf_violation.py")
+        path = tmp_path / "baseline.json"
+        write_baseline(path, findings, sha="abc1234")
+        loaded = load_baseline(path)
+        assert loaded.git_sha == "abc1234"
+        assert {e.key for e in loaded.entries} == {f.key for f in findings}
+
+        # Hand-edit a justification, regenerate: the why must survive.
+        loaded.entries[0].justification = "deliberately lock-free"
+        kept_key = loaded.entries[0].key
+        write_baseline(path, findings, previous=loaded, sha="def5678")
+        reloaded = load_baseline(path)
+        by_key = {e.key: e.justification for e in reloaded.entries}
+        assert by_key[kept_key] == "deliberately lock-free"
+
+    def test_match_partitions_new_baselined_stale(self):
+        findings = _active("wf_violation.py")
+        baseline = Baseline(
+            entries=[
+                BaselineEntry(*findings[0].key),
+                BaselineEntry("WF001", "gone.py", "old", "stale message"),
+            ]
+        )
+        match = match_baseline(findings, baseline)
+        assert [f.key for f in match.baselined] == [findings[0].key]
+        assert [f.key for f in match.new] == [f.key for f in findings[1:]]
+        assert [e.path for e in match.stale] == ["gone.py"]
+
+    def test_match_is_multiset(self):
+        findings = _active("wf_violation.py")
+        duplicated = findings[:1] * 2
+        baseline = Baseline(entries=[BaselineEntry(*findings[0].key)])
+        match = match_baseline(duplicated, baseline)
+        assert len(match.baselined) == 1 and len(match.new) == 1
+
+    def test_missing_file_is_empty_baseline(self, tmp_path):
+        baseline = load_baseline(tmp_path / "absent.json")
+        assert baseline.entries == [] and baseline.git_sha is None
+
+    def test_write_stamps_repo_git_sha(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        write_baseline(path, [])
+        # tmp_path is outside any work tree unless git walks up; compare
+        # against what git itself says from that directory.
+        probe = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            capture_output=True, text=True, cwd=str(tmp_path),
+        )
+        expected = probe.stdout.strip() if probe.returncode == 0 else None
+        assert load_baseline(path).git_sha == (expected or None)
+
+
+# ---------------------------------------------------------------------------
+# Reporters
+# ---------------------------------------------------------------------------
+
+
+class TestReporters:
+    def test_text_report_counts(self):
+        report = LintEngine().lint_paths([FIXTURES / "wf_violation.py"])
+        match = match_baseline(report.active, Baseline())
+        text = render_text(report, match)
+        assert "2 new finding(s)" in text
+        assert "anonlint: 1 files" in text
+
+    def test_json_report_statuses(self):
+        report = LintEngine().lint_paths([FIXTURES / "all_suppressed.py"])
+        match = match_baseline(report.active, Baseline())
+        payload = json.loads(render_json(report, match))
+        statuses = {item["status"] for item in payload["findings"]}
+        assert statuses == {"suppressed"}
+        assert payload["schema"] == "anonlint-report/1"
+
+
+# ---------------------------------------------------------------------------
+# CLI: exit codes and the baseline workflow end to end
+# ---------------------------------------------------------------------------
+
+
+@pytest.fixture
+def lint_project(tmp_path, monkeypatch):
+    """A throwaway project with one seeded machine violation."""
+    package = tmp_path / "pkg" / "core"
+    package.mkdir(parents=True)
+    (package / "algo.py").write_text(
+        "def scan(pid, table):\n    return table[pid]\n", encoding="utf-8"
+    )
+    monkeypatch.chdir(tmp_path)
+    return tmp_path
+
+
+class TestCli:
+    def test_new_finding_exits_nonzero(self, lint_project, capsys):
+        assert main(["lint", "pkg"]) == 1
+        out = capsys.readouterr().out
+        assert "ANON001" in out and "1 new finding(s)" in out
+
+    def test_baselined_finding_exits_zero(self, lint_project, capsys):
+        assert main(["lint", "pkg", "--write-baseline"]) == 0
+        assert "wrote 1 baseline entr(ies)" in capsys.readouterr().out
+        assert main(["lint", "pkg"]) == 0
+        out = capsys.readouterr().out
+        assert "[baselined]" in out and "0 new finding(s)" in out
+
+    def test_stale_entry_reported_but_passes(self, lint_project, capsys):
+        assert main(["lint", "pkg", "--write-baseline"]) == 0
+        algo = lint_project / "pkg" / "core" / "algo.py"
+        algo.write_text(
+            "def scan(wiring, pid, table):\n"
+            "    return table[wiring[pid]]\n",
+            encoding="utf-8",
+        )
+        capsys.readouterr()
+        assert main(["lint", "pkg"]) == 0
+        out = capsys.readouterr().out
+        assert "1 stale baseline entr(ies)" in out
+
+    def test_json_format(self, lint_project, capsys):
+        assert main(["lint", "pkg", "--format", "json"]) == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["findings"][0]["rule"] == "ANON001"
+
+
+# ---------------------------------------------------------------------------
+# Acceptance: the committed baseline describes the repository exactly
+# ---------------------------------------------------------------------------
+
+
+class TestRepositoryAcceptance:
+    def test_src_is_clean_modulo_committed_baseline(self):
+        report = LintEngine().lint_paths([REPO_ROOT / "src"], root=REPO_ROOT)
+        baseline = load_baseline(REPO_ROOT / ".anonlint-baseline.json")
+        match = match_baseline(report.active, baseline)
+        assert match.new == [], [f.format() for f in match.new]
+        assert match.stale == [], [e.key for e in match.stale]
+
+    def test_the_one_baselined_finding_is_the_consensus_tie_break(self):
+        baseline = load_baseline(REPO_ROOT / ".anonlint-baseline.json")
+        assert len(baseline.entries) == 1
+        entry = baseline.entries[0]
+        assert entry.rule == "INVAR002"
+        assert entry.path == "src/repro/core/consensus.py"
+        assert entry.symbol == "decide_or_adopt"
+        assert entry.justification  # accepted debt must say why
+
+    def test_every_suppression_is_in_the_baselines_package(self):
+        report = LintEngine().lint_paths([REPO_ROOT / "src"], root=REPO_ROOT)
+        suppressed = report.suppressed
+        assert len(suppressed) == 8
+        assert all(f.path.startswith("src/repro/baselines/") for f in suppressed)
+        assert {f.rule for f in suppressed} == {"ANON001", "WF001"}

@@ -1,0 +1,131 @@
+"""Symmetry hooks for RenamingMachine: equivariance and conformance.
+
+The renaming machine became symmetry-capable by gaining
+``rename_inputs`` / ``rename_register_value`` hooks; the name is a
+pure function of (snapshot, my_id), so the hooks *recompute* it from
+the renamed snapshot rather than trying to map the integer.  These
+tests pin the contract three ways: the hooks form a group action
+(involutions invert), canonical forms are orbit invariants, and
+exhaustive reduced exploration covers exactly the unreduced space with
+the same verdict — for every wiring assignment and for the equal-group
+configuration.
+"""
+
+import random
+
+import pytest
+
+from repro.checker import Explorer, SystemSpec
+from repro.checker.properties import renaming_names_valid
+from repro.checker.symmetry import StateCanonicalizer
+from repro.core.renaming import RenamingMachine, bar_noy_dolev_name
+from repro.memory.wiring import WiringAssignment, enumerate_wiring_assignments
+
+ALL_WIRINGS = list(enumerate_wiring_assignments(2, 2))
+
+
+def _spec(groups=(1, 2), wiring=None):
+    return SystemSpec(
+        RenamingMachine(2),
+        list(groups),
+        wiring or WiringAssignment.identity(2, 2),
+    )
+
+
+def _random_reachable(spec, rng, steps=25):
+    state = spec.initial_state()
+    for _ in range(steps):
+        successors = list(spec.successors(state))
+        if not successors:
+            break
+        _, state = rng.choice(successors)
+    return state
+
+
+class TestRenameHooks:
+    def test_involution_round_trips_local_states(self):
+        spec = _spec()
+        machine = spec.machine
+        mapping = {1: 2, 2: 1}
+        rng = random.Random(7)
+        for _ in range(20):
+            state = _random_reachable(spec, rng, steps=40)
+            for local in state.locals:
+                image = machine.rename_inputs(local, mapping)
+                assert machine.rename_inputs(image, mapping) == local
+
+    def test_renamed_done_state_recomputes_the_name(self):
+        spec = _spec()
+        machine = spec.machine
+        mapping = {1: 2, 2: 1}
+        rng = random.Random(11)
+        seen_done = 0
+        for _ in range(60):
+            state = _random_reachable(spec, rng, steps=60)
+            for local in state.locals:
+                if local.name is None:
+                    continue
+                seen_done += 1
+                image = machine.rename_inputs(local, mapping)
+                snapshot = machine.snapshot_machine.output(image.inner)
+                assert image.my_id == mapping[local.my_id]
+                assert image.name == bar_noy_dolev_name(snapshot, image.my_id)
+        assert seen_done > 0  # the walk must actually reach named states
+
+    def test_stabilizer_is_nontrivial_for_both_group_patterns(self):
+        # Distinct groups need the input-renaming element; equal groups
+        # admit the pure processor swap. Both must be order 2.
+        assert StateCanonicalizer(_spec((1, 2))).order == 2
+        assert StateCanonicalizer(_spec((1, 1))).order == 2
+
+
+class TestCanonicalForms:
+    def test_canonical_form_is_an_orbit_invariant(self):
+        spec = _spec()
+        canonicalizer = StateCanonicalizer(spec)
+        rng = random.Random(3)
+        for _ in range(15):
+            state = _random_reachable(spec, rng, steps=35)
+            rep, _witness = canonicalizer.canonical(state)
+            for element in canonicalizer.elements:
+                image = canonicalizer.apply(element, state)
+                assert canonicalizer.canonical(image)[0] == rep
+
+    def test_transitions_commute_with_the_action(self):
+        spec = _spec()
+        canonicalizer = StateCanonicalizer(spec)
+        rng = random.Random(5)
+        for _ in range(10):
+            state = _random_reachable(spec, rng, steps=30)
+            for element in canonicalizer.elements:
+                image = canonicalizer.apply(element, state)
+                expected = {
+                    canonicalizer.apply(element, successor)
+                    for _action, successor in spec.successors(state)
+                }
+                actual = {
+                    successor for _action, successor in spec.successors(image)
+                }
+                assert actual == expected
+
+
+class TestExhaustiveConformance:
+    @pytest.mark.parametrize(
+        "wiring", ALL_WIRINGS, ids=[str(w.permutations()) for w in ALL_WIRINGS]
+    )
+    def test_reduced_covers_unreduced_space(self, wiring):
+        spec = _spec(wiring=wiring)
+        base = Explorer(spec, [renaming_names_valid]).run()
+        reduced = Explorer(spec, [renaming_names_valid], symmetry=True).run()
+        assert base.ok and base.complete
+        assert reduced.ok and reduced.complete
+        assert reduced.symmetry_group_order == 2
+        assert reduced.states < base.states
+        assert reduced.covered_states == base.states
+
+    def test_equal_groups_conform_too(self):
+        spec = _spec(groups=(1, 1))
+        base = Explorer(spec, [renaming_names_valid]).run()
+        reduced = Explorer(spec, [renaming_names_valid], symmetry=True).run()
+        assert base.ok and reduced.ok and reduced.complete
+        assert reduced.covered_states == base.states
