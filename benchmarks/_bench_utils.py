@@ -22,6 +22,9 @@ Environment knobs:
   (wiring classes explored in parallel; 1 = serial);
 - ``REPRO_E5_JOBS`` (default: ``REPRO_E4_JOBS``): worker processes for
   E5b's claim-B wiring sweep;
+- ``REPRO_E4_STORE`` (default ``ram``): visited-set backend for E4's
+  N=3 sweep (``ram`` | ``mmap`` | ``spill``; see :mod:`repro.store`) —
+  the disk backends make ``REPRO_E4_FULL=1`` runs RAM-bounded;
 - ``REPRO_E15_BUDGET`` (default 50000): states per workload in the
   checker-throughput benchmark (E15).
 
@@ -52,6 +55,7 @@ E4_BUDGET = (
     else int(os.environ.get("REPRO_E4_BUDGET", "200000"))
 )
 E4_JOBS = int(os.environ.get("REPRO_E4_JOBS", "1"))
+E4_STORE = os.environ.get("REPRO_E4_STORE", "ram")
 E5_JOBS = int(os.environ.get("REPRO_E5_JOBS", str(E4_JOBS)))
 E15_BUDGET = int(os.environ.get("REPRO_E15_BUDGET", "50000"))
 

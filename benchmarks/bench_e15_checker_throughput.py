@@ -17,9 +17,17 @@ workloads, four axes:
   classes and the whole sweep — reduction ratio (concrete states
   covered per state explored) and *net* speedup (effective covered
   states/s, canonicalization cost included, vs the unreduced twin);
+- **store**: the reference workload against every fingerprint-store
+  backend (RAM set, mmap open-addressing table, spill-to-disk sorted
+  runs) — states/s, peak RSS, and bytes on disk per backend, plus a
+  ``spill_memcap`` entry that runs the spill backend under a hard 200
+  MB ``mem_cap`` (``--spill-states``, default 5M standalone) and
+  records whether the workload's RSS delta stayed under the cap;
 - **conformance**: parallel and serial must report identical verdicts
-  (and identical states/transitions for the class sweep) — a benchmark
-  that got a different answer fails instead of timing garbage.
+  (and identical states/transitions for the class sweep), and all
+  three store backends must report identical states/transitions/
+  verdicts — a benchmark that got a different answer fails instead of
+  timing garbage.
 
 Every parallel workload records ``jobs_requested`` next to
 ``jobs_effective`` (requests above ``os.cpu_count()`` are capped).
@@ -76,6 +84,38 @@ def _run_workload(config: dict) -> dict:
 
     symmetry = config.get("symmetry", False)
 
+    store_config = None
+    if config.get("store"):
+        from repro.store import DEFAULT_MEM_CAP, StoreConfig
+
+        store_config = StoreConfig(
+            backend=config["store"],
+            mem_cap=config.get("mem_cap", DEFAULT_MEM_CAP),
+        )
+
+    def _store_detail(results) -> dict:
+        if store_config is None:
+            return {}
+        from repro.analysis.statistics import aggregate_store_statistics
+
+        stats = aggregate_store_statistics(results)
+        return {"store": {
+            "backend": store_config.backend,
+            "entries": stats.entries,
+            "file_bytes": stats.file_bytes,
+            "spills": stats.spills,
+            "merges": stats.merges,
+            "disk_probes": stats.disk_probes,
+            "bloom_skips": stats.bloom_skips,
+        }}
+
+    def _collision_detail(states: int) -> dict:
+        if not config.get("fingerprint"):
+            return {}
+        from repro.checker.fingerprint import collision_probability
+
+        return {"collision_probability": collision_probability(states)}
+
     def _jobs_detail(requested: int) -> dict:
         with warnings.catch_warnings():
             warnings.simplefilter("ignore", RuntimeWarning)
@@ -107,12 +147,14 @@ def _run_workload(config: dict) -> dict:
             jobs=config["jobs"],
             fingerprint=config.get("fingerprint", False),
             symmetry=symmetry,
+            store=store_config,
         )
         states = sum(result.states for _, result in rows)
         transitions = sum(result.transitions for _, result in rows)
         ok = all(result.ok for _, result in rows)
         detail = {"classes": len(rows), **_jobs_detail(config["jobs"]),
-                  **_symmetry_detail([result for _, result in rows])}
+                  **_symmetry_detail([result for _, result in rows]),
+                  **_store_detail([result for _, result in rows])}
     elif kind == "fast_sharded":
         result = explore_sharded(
             [1, 2, 3],
@@ -134,10 +176,12 @@ def _run_workload(config: dict) -> dict:
             max_states=config["budget"],
             fingerprint=config.get("fingerprint", False),
             symmetry=symmetry,
+            store=store_config,
         )
         states, transitions, ok = result.states, result.transitions, result.ok
         detail = {"class": list(map(list, wiring)),
-                  **_symmetry_detail([result])}
+                  **_symmetry_detail([result]),
+                  **_store_detail([result])}
     elif kind == "generic":
         spec = SystemSpec(
             SnapshotMachine(3), [1, 2, 3], WiringAssignment.identity(3, 3)
@@ -164,6 +208,7 @@ def _run_workload(config: dict) -> dict:
         "peak_rss_bytes": max(peak, children_peak),
         "workload_rss_bytes": max(peak, children_peak) - rss_before,
         **detail,
+        **_collision_detail(states),
     }
     if "covered_states" in stats and elapsed > 0:
         # Effective throughput: concrete states *certified* per second —
@@ -213,8 +258,13 @@ def measure(config: dict) -> dict:
 # The full measurement suite
 # ----------------------------------------------------------------------
 
-def run_suite(budget: int, jobs_axis=(1, 2, 4)) -> dict:
-    """Measure every fixed workload; returns the BENCH_checker payload."""
+def run_suite(budget: int, jobs_axis=(1, 2, 4), spill_states=None) -> dict:
+    """Measure every fixed workload; returns the BENCH_checker payload.
+
+    ``spill_states`` sizes the ``store.spill_memcap`` workload (default:
+    5x the budget; the acceptance run uses 5M states, where the 200 MB
+    cap is actually load-bearing).
+    """
     sweep = {}
     for jobs in jobs_axis:
         label = "serial" if jobs == 1 else f"jobs{jobs}"
@@ -300,6 +350,36 @@ def run_suite(budget: int, jobs_axis=(1, 2, 4)) -> dict:
         ),
     }
 
+    # Store axis: the reference class against every visited-set backend
+    # at the same budget — identical exploration, different residence.
+    # ``spill_memcap`` then runs the spill backend under a hard 200 MB
+    # cap; ``rss_under_cap`` is the disk-backed promise (only meaningful
+    # once the run is big enough that a RAM set would blow the cap —
+    # the acceptance run uses --spill-states 5000000).
+    store = {}
+    for backend in ("ram", "mmap", "spill"):
+        store[backend] = measure(
+            {"kind": "fast_single", "budget": budget, "store": backend}
+        )
+    store_conformant = (
+        len({
+            (store[b]["states"], store[b]["transitions"], store[b]["ok"])
+            for b in ("ram", "mmap", "spill")
+        }) == 1
+    )
+    memcap = 200 * 1024 * 1024
+    spill_target = spill_states if spill_states is not None else budget * 5
+    spill_entry = measure(
+        {"kind": "fast_single", "budget": spill_target, "store": "spill",
+         "mem_cap": memcap, "fingerprint": True}
+    )
+    spill_entry["mem_cap_bytes"] = memcap
+    spill_entry["rss_under_cap"] = (
+        spill_entry["workload_rss_bytes"] <= memcap
+    )
+    store["spill_memcap"] = spill_entry
+    store["conformant"] = store_conformant
+
     serial = sweep["serial"]
     best_label = max(
         (label for label in sweep if label.startswith("jobs")),
@@ -330,7 +410,7 @@ def run_suite(budget: int, jobs_axis=(1, 2, 4)) -> dict:
     }
     return {
         "sweep": sweep, "memory": memory, "symmetry": symmetry,
-        "derived": derived,
+        "store": store, "derived": derived,
     }
 
 
@@ -390,6 +470,18 @@ def test_e15_write_bench_json(benchmark):
     # The acceptance bar: the flagship config explores >= 3x fewer
     # states for the same concrete coverage.
     assert identity["reduction_ratio"] >= 3.0
+    # All three store backends must have reported identical exploration.
+    store = payload["store"]
+    assert store["conformant"], {
+        backend: (store[backend]["states"], store[backend]["transitions"])
+        for backend in ("ram", "mmap", "spill")
+    }
+    spill_entry = store["spill_memcap"]
+    assert spill_entry["ok"]
+    # The disk-backed promise is only load-bearing at acceptance scale
+    # (>= 5M states, where a RAM set would dwarf the 200 MB cap).
+    if spill_entry["states"] >= 5_000_000:
+        assert spill_entry["rss_under_cap"], spill_entry
     path = write_checker_bench(payload)
     emit("", f"E15c — BENCH_checker.json written: {path}",
          f"  best parallel speedup vs serial:"
@@ -397,7 +489,11 @@ def test_e15_write_bench_json(benchmark):
          f"  fingerprint envelope ratio: {envelope['ratio']}x states",
          f"  symmetry identity-class reduction:"
          f" {identity['reduction_ratio']}x"
-         f" (net {identity['net_speedup']}x effective throughput)")
+         f" (net {identity['net_speedup']}x effective throughput)",
+         f"  store backends conformant: {store['conformant']};"
+         f" spill_memcap rss delta"
+         f" {spill_entry['workload_rss_bytes'] // (1024 * 1024)} MiB"
+         f" / cap {spill_entry['mem_cap_bytes'] // (1024 * 1024)} MiB")
 
 
 # ----------------------------------------------------------------------
@@ -412,9 +508,13 @@ def main(argv=None) -> int:
                         help="parallelism axis, e.g. --jobs 1 2 4")
     parser.add_argument("--out", type=Path, default=None,
                         help="output path (default: repo BENCH_checker.json)")
+    parser.add_argument("--spill-states", type=int, default=5_000_000,
+                        help="states for the store.spill_memcap workload"
+                             " (acceptance scale: 5M under a 200 MB cap)")
     args = parser.parse_args(argv)
 
-    payload = run_suite(args.budget, jobs_axis=tuple(args.jobs))
+    payload = run_suite(args.budget, jobs_axis=tuple(args.jobs),
+                        spill_states=args.spill_states)
     path = write_checker_bench(payload, path=args.out)
     print(f"wrote {path}")
     for label, entry in payload["sweep"].items():
@@ -434,7 +534,25 @@ def main(argv=None) -> int:
     envelope = payload["derived"]["fingerprint_states_in_generic_envelope"]
     print(f"  fingerprint vs object-encoded envelope:"
           f" {envelope['ratio']}x states")
-    return 0 if all(e["ok"] for e in payload["sweep"].values()) else 1
+    store = payload["store"]
+    for backend in ("ram", "mmap", "spill"):
+        entry = store[backend]
+        print(f"  store/{backend}: {entry['states']} states,"
+              f" {entry['states_per_s']} states/s,"
+              f" rss {entry['workload_rss_bytes'] // 1024} KiB,"
+              f" disk {entry['store']['file_bytes'] // 1024} KiB")
+    spill_entry = store["spill_memcap"]
+    print(f"  store/spill_memcap: {spill_entry['states']} states,"
+          f" rss delta {spill_entry['workload_rss_bytes'] // (1024 * 1024)}"
+          f" MiB / cap {spill_entry['mem_cap_bytes'] // (1024 * 1024)} MiB"
+          f" (under cap: {spill_entry['rss_under_cap']}),"
+          f" disk {spill_entry['store']['file_bytes'] // (1024 * 1024)} MiB")
+    print(f"  store backends conformant: {store['conformant']}")
+    ok = all(e["ok"] for e in payload["sweep"].values())
+    ok = ok and store["conformant"] and spill_entry["ok"]
+    if spill_entry["states"] >= 5_000_000:
+        ok = ok and spill_entry["rss_under_cap"]
+    return 0 if ok else 1
 
 
 if __name__ == "__main__":

@@ -28,7 +28,7 @@ from repro.core import SnapshotMachine
 from repro.core.views import all_comparable
 from repro.memory.wiring import enumerate_wiring_assignments
 
-from _bench_utils import E4_BUDGET, E4_JOBS, SEEDS, emit
+from _bench_utils import E4_BUDGET, E4_JOBS, E4_STORE, SEEDS, emit
 
 
 def check_n2():
@@ -41,9 +41,19 @@ def check_n2():
     return rows
 
 
-def check_n3_classes(jobs=E4_JOBS):
-    """E4's N=3 entry point; ``jobs > 1`` sweeps classes in parallel."""
-    return check_snapshot_classes(3, budget=E4_BUDGET, jobs=jobs)
+def check_n3_classes(jobs=E4_JOBS, store=E4_STORE):
+    """E4's N=3 entry point; ``jobs > 1`` sweeps classes in parallel.
+
+    ``REPRO_E4_STORE=mmap|spill`` swaps the visited-set backend (all
+    backends report identical states/transitions/verdicts; the disk
+    ones bound RAM for ``REPRO_E4_FULL=1`` runs).
+    """
+    config = None
+    if store != "ram":
+        from repro.store import StoreConfig
+
+        config = StoreConfig(backend=store)
+    return check_snapshot_classes(3, budget=E4_BUDGET, jobs=jobs, store=config)
 
 
 def check_n3_statistical(runs):
@@ -86,6 +96,7 @@ def test_e4_n3_canonical_classes(benchmark):
     benchmark.extra_info["classes"] = len(rows)
     benchmark.extra_info["budget"] = E4_BUDGET
     benchmark.extra_info["jobs"] = E4_JOBS
+    benchmark.extra_info["store"] = E4_STORE
     benchmark.extra_info["total_states"] = sum(r.states for _, r in rows)
     lines = [
         "",

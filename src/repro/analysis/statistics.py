@@ -175,6 +175,71 @@ class SymmetryStatistics:
         )
 
 
+@dataclass
+class StoreStatistics:
+    """Aggregated fingerprint-store counters from exploration runs.
+
+    One entry folds the ``store_counters`` of a set of results produced
+    with an explicit :class:`~repro.store.StoreConfig`: how many keys
+    the backends hold, how many bytes live on disk, and the operation
+    counters that explain the cost profile (spills, merges, disk probes
+    vs Bloom-filter short-circuits).  Benchmark E15's ``store`` section
+    and the ``check --store`` report both build on this shape.
+    """
+
+    #: Distinct keys across all stores (sum of ``entries``).
+    entries: int
+    #: Bytes the stores occupy on disk (0 for pure-RAM runs).
+    file_bytes: int
+    #: Spill-backend events: buffer flushes to sorted runs.
+    spills: int = 0
+    #: Spill-backend events: sorted-run consolidations.
+    merges: int = 0
+    #: Lookups that had to touch a run file.
+    disk_probes: int = 0
+    #: Lookups the Bloom filter resolved without touching disk.
+    bloom_skips: int = 0
+
+    @property
+    def disk_hit_fraction(self) -> float:
+        """Fraction of disk-eligible lookups that actually read a run."""
+        total = self.disk_probes + self.bloom_skips
+        if total == 0:
+            return 0.0
+        return self.disk_probes / total
+
+    def summary(self) -> str:
+        disk = (
+            f"; {self.file_bytes / (1024 * 1024):.1f} MiB on disk"
+            f" ({self.spills} spills, {self.merges} merges,"
+            f" disk-hit fraction {self.disk_hit_fraction:.3f})"
+            if self.file_bytes
+            else ""
+        )
+        return f"{self.entries} stored keys{disk}"
+
+
+def aggregate_store_statistics(results) -> StoreStatistics:
+    """Fold exploration results into one :class:`StoreStatistics`.
+
+    Accepts any iterable of result objects; results without
+    ``store_counters`` (runs on the implicit default store) contribute
+    nothing, so mixed sweeps aggregate correctly.
+    """
+    totals = StoreStatistics(entries=0, file_bytes=0)
+    for result in results:
+        counters = getattr(result, "store_counters", None)
+        if not counters:
+            continue
+        totals.entries += counters.get("entries", 0)
+        totals.file_bytes += counters.get("file_bytes", 0)
+        totals.spills += counters.get("spills", 0)
+        totals.merges += counters.get("merges", 0)
+        totals.disk_probes += counters.get("disk_probes", 0)
+        totals.bloom_skips += counters.get("bloom_skips", 0)
+    return totals
+
+
 def aggregate_symmetry_statistics(results) -> SymmetryStatistics:
     """Fold exploration results into one :class:`SymmetryStatistics`.
 

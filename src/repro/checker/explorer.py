@@ -27,6 +27,7 @@ from repro.checker.symmetry import (
     lift_canonical_path,
 )
 from repro.checker.system import Action, GlobalState, SystemSpec
+from repro.store.base import StoreConfig
 
 #: An invariant takes the spec and a reachable state; it returns an error
 #: string when violated, or None when satisfied.
@@ -69,6 +70,9 @@ class ExplorationResult:
     covered_states: Optional[int] = None
     #: Symmetry runs only: order of the wiring-stabilizer group used.
     symmetry_group_order: Optional[int] = None
+    #: Runs with an explicit store configuration: the backend's
+    #: operation counters plus ``file_bytes`` (disk footprint).
+    store_counters: Optional[Dict[str, int]] = None
 
     @property
     def ok(self) -> bool:
@@ -114,6 +118,15 @@ class Explorer:
         Incompatible with ``keep_edges``: pid edge labels are not
         orbit-stable, so the liveness/lasso analysis needs the
         unreduced graph.
+    store:
+        Visited-set backend for the fingerprint modes
+        (:mod:`repro.store`); the 64-bit digests slot directly into the
+        disk-backed tables.  Requires ``fingerprint`` — the full modes
+        index whole state objects, which only RAM structures hold.
+        Note that ``fingerprint_state`` digests are randomized per
+        interpreter, so a disk store written by this engine is
+        meaningful within the writing process only (no checkpoint /
+        resume here; use the packed-integer engines for that).
     """
 
     def __init__(
@@ -126,11 +139,18 @@ class Explorer:
         max_final_states: int = 100_000,
         fingerprint: bool = False,
         symmetry: bool = False,
+        store: Optional[StoreConfig] = None,
     ) -> None:
         if fingerprint and keep_edges:
             raise ValueError(
                 "fingerprint mode stores no state table; keep_edges"
                 " (liveness analysis) needs the full object-encoded run"
+            )
+        if store is not None and store.backend != "ram" and not fingerprint:
+            raise ValueError(
+                "disk-backed stores hold 64-bit digests; the full"
+                " object-encoded modes keep state/parent tables that only"
+                " live in RAM — combine --store with fingerprint mode"
             )
         if symmetry and keep_edges:
             raise ValueError(
@@ -148,6 +168,17 @@ class Explorer:
         self.max_final_states = max_final_states
         self.fingerprint = fingerprint
         self.symmetry = symmetry
+        self.store = store
+
+    def _make_store(self):
+        return (self.store or StoreConfig()).create()
+
+    def _store_counters(self, store_obj) -> Optional[Dict[str, int]]:
+        if self.store is None:
+            return None
+        counters = dict(store_obj.counters())
+        counters["file_bytes"] = store_obj.file_bytes()
+        return counters
 
     def run(self) -> ExplorationResult:
         if self.symmetry:
@@ -357,89 +388,102 @@ class Explorer:
         spec = self.spec
         initial = spec.initial_state()
         root, root_witness = canonicalizer.canonical(initial)
-        seen = {fingerprint_state(root)}
-        covered = canonicalizer.orbit_size(root)
-        queue: deque = deque([(0, root)])
-        final_states: List[GlobalState] = []
-        transitions = 0
-        truncated = 0
-        max_depth = 0
-        complete = True
+        seen = self._make_store()
+        seen_add = seen.add
+        try:
+            seen_add(fingerprint_state(root))
+            n_seen = 1
+            covered = canonicalizer.orbit_size(root)
+            queue: deque = deque([(0, root)])
+            final_states: List[GlobalState] = []
+            transitions = 0
+            truncated = 0
+            max_depth = 0
+            complete = True
 
-        message = self._first_violation_message(root)
-        if message is not None:
-            actions, concrete = lift_canonical_path(
-                canonicalizer, root_witness, []
-            )
+            message = self._first_violation_message(root)
+            if message is not None:
+                actions, concrete = lift_canonical_path(
+                    canonicalizer, root_witness, []
+                )
+                return ExplorationResult(
+                    states=1, transitions=0, depth=0,
+                    violation=InvariantViolation(
+                        message=self._first_violation_message(concrete)
+                        or message,
+                        state=concrete,
+                        path=actions,
+                    ),
+                    final_states=final_states,
+                    covered_states=covered,
+                    symmetry_group_order=canonicalizer.order,
+                    store_counters=self._store_counters(seen),
+                )
+
+            while queue:
+                depth, current = queue.popleft()
+                successors = list(spec.successors(current))
+                if not successors and self.collect_final_states:
+                    if len(final_states) < self.max_final_states:
+                        final_states.append(current)
+                child_depth = depth + 1
+                for _action, successor in successors:
+                    transitions += 1
+                    representative, _ = canonicalizer.canonical(successor)
+                    digest = fingerprint_state(representative)
+                    if n_seen < self.max_states:
+                        if not seen_add(digest):
+                            continue
+                        n_seen += 1
+                    else:
+                        if digest in seen:
+                            continue
+                        complete = False
+                        truncated += 1
+                        continue
+                    covered += canonicalizer.orbit_size(representative)
+                    queue.append((child_depth, representative))
+                    if child_depth > max_depth:
+                        max_depth = child_depth
+                    message = self._first_violation_message(representative)
+                    if message is not None:
+                        actions, concrete = self._shortest_symmetric_path_to(
+                            canonicalizer, root, root_witness,
+                            representative, child_depth,
+                        )
+                        return ExplorationResult(
+                            states=n_seen,
+                            transitions=transitions,
+                            depth=max_depth,
+                            violation=InvariantViolation(
+                                message=self._first_violation_message(concrete)
+                                or message,
+                                state=concrete,
+                                path=actions,
+                            ),
+                            complete=complete,
+                            truncated_transitions=truncated,
+                            final_states=final_states,
+                            covered_states=covered,
+                            symmetry_group_order=canonicalizer.order,
+                            store_counters=self._store_counters(seen),
+                        )
+                if not complete:
+                    break
+
             return ExplorationResult(
-                states=1, transitions=0, depth=0,
-                violation=InvariantViolation(
-                    message=self._first_violation_message(concrete) or message,
-                    state=concrete,
-                    path=actions,
-                ),
+                states=n_seen,
+                transitions=transitions,
+                depth=max_depth,
+                complete=complete,
+                truncated_transitions=truncated,
                 final_states=final_states,
                 covered_states=covered,
                 symmetry_group_order=canonicalizer.order,
+                store_counters=self._store_counters(seen),
             )
-
-        while queue:
-            depth, current = queue.popleft()
-            successors = list(spec.successors(current))
-            if not successors and self.collect_final_states:
-                if len(final_states) < self.max_final_states:
-                    final_states.append(current)
-            child_depth = depth + 1
-            for _action, successor in successors:
-                transitions += 1
-                representative, _ = canonicalizer.canonical(successor)
-                digest = fingerprint_state(representative)
-                if digest in seen:
-                    continue
-                if len(seen) >= self.max_states:
-                    complete = False
-                    truncated += 1
-                    continue
-                seen.add(digest)
-                covered += canonicalizer.orbit_size(representative)
-                queue.append((child_depth, representative))
-                if child_depth > max_depth:
-                    max_depth = child_depth
-                message = self._first_violation_message(representative)
-                if message is not None:
-                    actions, concrete = self._shortest_symmetric_path_to(
-                        canonicalizer, root, root_witness,
-                        representative, child_depth,
-                    )
-                    return ExplorationResult(
-                        states=len(seen),
-                        transitions=transitions,
-                        depth=max_depth,
-                        violation=InvariantViolation(
-                            message=self._first_violation_message(concrete)
-                            or message,
-                            state=concrete,
-                            path=actions,
-                        ),
-                        complete=complete,
-                        truncated_transitions=truncated,
-                        final_states=final_states,
-                        covered_states=covered,
-                        symmetry_group_order=canonicalizer.order,
-                    )
-            if not complete:
-                break
-
-        return ExplorationResult(
-            states=len(seen),
-            transitions=transitions,
-            depth=max_depth,
-            complete=complete,
-            truncated_transitions=truncated,
-            final_states=final_states,
-            covered_states=covered,
-            symmetry_group_order=canonicalizer.order,
-        )
+        finally:
+            seen.close()
 
     def _lifted_violation(
         self,
@@ -549,70 +593,82 @@ class Explorer:
         """
         spec = self.spec
         initial = spec.initial_state()
-        seen = {fingerprint_state(initial)}
-        # (depth, state) pairs; depth feeds the bounded re-traversal.
-        queue: deque = deque([(0, initial)])
-        final_states: List[GlobalState] = []
-        transitions = 0
-        truncated = 0
-        max_depth = 0
-        complete = True
+        seen = self._make_store()
+        seen_add = seen.add
+        try:
+            seen_add(fingerprint_state(initial))
+            n_seen = 1
+            # (depth, state) pairs; depth feeds the bounded re-traversal.
+            queue: deque = deque([(0, initial)])
+            final_states: List[GlobalState] = []
+            transitions = 0
+            truncated = 0
+            max_depth = 0
+            complete = True
 
-        message = self._first_violation_message(initial)
-        if message is not None:
+            message = self._first_violation_message(initial)
+            if message is not None:
+                return ExplorationResult(
+                    states=1, transitions=0, depth=0,
+                    violation=InvariantViolation(
+                        message=message, state=initial, path=[]
+                    ),
+                    final_states=final_states,
+                    store_counters=self._store_counters(seen),
+                )
+
+            while queue:
+                depth, current = queue.popleft()
+                successors = list(spec.successors(current))
+                if not successors and self.collect_final_states:
+                    if len(final_states) < self.max_final_states:
+                        final_states.append(current)
+                child_depth = depth + 1
+                for _action, successor in successors:
+                    transitions += 1
+                    digest = fingerprint_state(successor)
+                    if n_seen < self.max_states:
+                        if not seen_add(digest):
+                            continue
+                        n_seen += 1
+                    else:
+                        if digest in seen:
+                            continue
+                        complete = False
+                        truncated += 1
+                        continue
+                    queue.append((child_depth, successor))
+                    if child_depth > max_depth:
+                        max_depth = child_depth
+                    message = self._first_violation_message(successor)
+                    if message is not None:
+                        path = self._shortest_path_to(successor, child_depth)
+                        return ExplorationResult(
+                            states=n_seen,
+                            transitions=transitions,
+                            depth=max_depth,
+                            violation=InvariantViolation(
+                                message=message, state=successor, path=path
+                            ),
+                            complete=complete,
+                            truncated_transitions=truncated,
+                            final_states=final_states,
+                            store_counters=self._store_counters(seen),
+                        )
+                if not complete:
+                    break
+
             return ExplorationResult(
-                states=1, transitions=0, depth=0,
-                violation=InvariantViolation(
-                    message=message, state=initial, path=[]
-                ),
+                states=n_seen,
+                transitions=transitions,
+                depth=max_depth,
+                complete=complete,
+                truncated_transitions=truncated,
                 final_states=final_states,
+                store_counters=self._store_counters(seen),
             )
-
-        while queue:
-            depth, current = queue.popleft()
-            successors = list(spec.successors(current))
-            if not successors and self.collect_final_states:
-                if len(final_states) < self.max_final_states:
-                    final_states.append(current)
-            child_depth = depth + 1
-            for _action, successor in successors:
-                transitions += 1
-                digest = fingerprint_state(successor)
-                if digest in seen:
-                    continue
-                if len(seen) >= self.max_states:
-                    complete = False
-                    truncated += 1
-                    continue
-                seen.add(digest)
-                queue.append((child_depth, successor))
-                if child_depth > max_depth:
-                    max_depth = child_depth
-                message = self._first_violation_message(successor)
-                if message is not None:
-                    path = self._shortest_path_to(successor, child_depth)
-                    return ExplorationResult(
-                        states=len(seen),
-                        transitions=transitions,
-                        depth=max_depth,
-                        violation=InvariantViolation(
-                            message=message, state=successor, path=path
-                        ),
-                        complete=complete,
-                        truncated_transitions=truncated,
-                        final_states=final_states,
-                    )
-            if not complete:
-                break
-
-        return ExplorationResult(
-            states=len(seen),
-            transitions=transitions,
-            depth=max_depth,
-            complete=complete,
-            truncated_transitions=truncated,
-            final_states=final_states,
-        )
+        finally:
+            seen.close()
 
     def _first_violation_message(self, state: GlobalState) -> Optional[str]:
         for invariant in self.invariants:

@@ -33,10 +33,13 @@ from __future__ import annotations
 import itertools
 from array import array
 from collections import deque
-from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Set, Tuple
+from dataclasses import asdict, dataclass
+from typing import Dict, Iterator, List, Optional, Sequence, Set, Tuple
 
 from repro.checker.fingerprint import fingerprint_int
+from repro.store.base import StoreConfig
+from repro.store.checkpoint import RunCheckpointer
+from repro.store.ram import RamStore
 
 # Phase encoding.
 _PHASE_WRITE = 0
@@ -66,6 +69,9 @@ class FastExplorationResult:
     #: canonical form (certified by the wire format's canonical bit),
     #: whose re-canonicalization was therefore skipped.
     recanonicalizations_skipped: Optional[int] = None
+    #: Runs with an explicit store configuration: the backend's
+    #: operation counters plus ``file_bytes`` (disk footprint).
+    store_counters: Optional[Dict[str, int]] = None
 
     @property
     def ok(self) -> bool:
@@ -113,6 +119,16 @@ class _ChunkedIntQueue:
         value = head[self._head_pos]
         self._head_pos += 1
         return value
+
+    def snapshot(self) -> Iterator[int]:
+        """Yield the pending values in FIFO order without consuming them
+        (checkpointing dumps the frontier mid-run)."""
+        head = self._head
+        if head is not None and self._head_pos < len(head):
+            yield from head[self._head_pos:]
+        for chunk in self._chunks:
+            yield from chunk
+        yield from self._tail
 
 
 class FastSnapshotSpec:
@@ -466,6 +482,8 @@ class FastSnapshotSpec:
         progress_every: int = 0,
         fingerprint: bool = False,
         symmetry: bool = False,
+        store: Optional[StoreConfig] = None,
+        checkpointer: Optional[RunCheckpointer] = None,
     ) -> FastExplorationResult:
         """BFS over all reachable states (for this wiring).
 
@@ -493,6 +511,17 @@ class FastSnapshotSpec:
         permuted pid.  Stacks with ``fingerprint``; incompatible with
         ``check_wait_freedom``, whose per-pid lasso analysis needs the
         unreduced graph.
+
+        ``store`` selects the visited-set backend (:mod:`repro.store`):
+        None / the default RamStore keeps the historical in-memory set;
+        the mmap and spill backends bound memory for runs whose visited
+        set outgrows RAM.  All backends produce identical results.
+
+        ``checkpointer`` persists the run (frontier + visited dump +
+        counters) every ``checkpointer.every`` admitted states; calling
+        ``explore`` again with a checkpointer over the same directory
+        resumes from the last committed checkpoint, or returns the
+        recorded result directly if the run already finished.
         """
         if fingerprint and check_wait_freedom:
             raise ValueError(
@@ -505,13 +534,39 @@ class FastSnapshotSpec:
                 " pid edge labels are not orbit-stable; wait-freedom"
                 " (lasso) analysis needs the unreduced graph"
             )
+        if check_wait_freedom and store is not None and store.backend != "ram":
+            raise ValueError(
+                "wait-freedom (lasso) analysis keeps a full in-RAM indexed"
+                " state table; disk-backed stores apply to the lean safety"
+                " engines only"
+            )
+        if checkpointer is not None:
+            if check_wait_freedom:
+                raise ValueError(
+                    "checkpoint/resume covers the lean safety engines;"
+                    " wait-freedom analysis keeps its whole edge list"
+                    " in RAM and cannot be resumed"
+                )
+            if self.state_bits > 64:
+                raise ValueError(
+                    f"checkpoint frontier wire format is raw u64 words;"
+                    f" this configuration packs states into"
+                    f" {self.state_bits} bits"
+                )
+            recorded = checkpointer.completed_result()
+            if recorded is not None:
+                return FastExplorationResult(**recorded)
         if check_wait_freedom:
             return self._explore_with_edges(
                 max_states, check_safety, progress_every
             )
-        return self._explore_lean(
-            max_states, check_safety, progress_every, fingerprint, symmetry
+        result = self._explore_lean(
+            max_states, check_safety, progress_every, fingerprint, symmetry,
+            store, checkpointer,
         )
+        if checkpointer is not None:
+            checkpointer.mark_complete(asdict(result))
+        return result
 
     def _explore_lean(
         self,
@@ -520,12 +575,16 @@ class FastSnapshotSpec:
         progress_every: int,
         fingerprint: bool,
         symmetry: bool = False,
+        store: Optional[StoreConfig] = None,
+        checkpointer: Optional[RunCheckpointer] = None,
     ) -> FastExplorationResult:
         """Safety-only BFS: dedup set + frontier, no index/order tables.
 
         This is the hot path of the E4 sweep; it admits states in
         exactly the same order as the indexed variant, so budgets and
-        early-violation results are identical between the two.
+        early-violation results are identical between the two.  The
+        visited set lives in the configured :mod:`repro.store` backend;
+        the default RamStore keeps the historical inline-set fast path.
         """
         canonicalizer = None
         if symmetry:
@@ -535,86 +594,147 @@ class FastSnapshotSpec:
             if not canonicalizer.trivial:
                 return self._explore_lean_symmetric(
                     canonicalizer, max_states, check_safety,
-                    progress_every, fingerprint,
+                    progress_every, fingerprint, store, checkpointer,
                 )
             # Trivial stabilizer: the quotient IS the concrete graph;
             # fall through to the plain loop and report covered==states.
-        initial = self.initial_state()
-        if check_safety:
-            violation = self.check_outputs(initial)
-            if violation:
-                return FastExplorationResult(1, 0, True, violation)
-
-        seen = {fingerprint_int(initial)} if fingerprint else {initial}
-        packable = fingerprint and self.state_bits <= 64
-        queue: Optional[_ChunkedIntQueue] = (
-            _ChunkedIntQueue() if packable else None
+        store_obj = (store or StoreConfig()).create()
+        ram_set = (
+            store_obj.raw_set if isinstance(store_obj, RamStore) else None
         )
-        frontier: Optional[deque] = None if packable else deque()
-        if packable:
-            queue.push(initial)
-        else:
-            frontier.append(initial)
-        transitions = 0
-        truncated = 0
-        complete = True
-        buf: List[int] = []
-        seen_add = seen.add
-        check_outputs = self.check_outputs
-        successor_states_into = self.successor_states_into
+        ram_add = ram_set.add if ram_set is not None else None
+        store_add = store_obj.add
 
-        while True:
-            if packable:
-                state = queue.pop()
-                if state < 0:
-                    break
+        def _store_counters() -> Optional[Dict[str, int]]:
+            if store is None:
+                return None
+            counters = dict(store_obj.counters())
+            counters["file_bytes"] = store_obj.file_bytes()
+            return counters
+
+        try:
+            initial = self.initial_state()
+            packable = fingerprint and self.state_bits <= 64
+            queue: Optional[_ChunkedIntQueue] = (
+                _ChunkedIntQueue() if packable else None
+            )
+            frontier: Optional[deque] = None if packable else deque()
+            transitions = 0
+            truncated = 0
+            resumed = (
+                checkpointer.latest() if checkpointer is not None else None
+            )
+            if resumed is not None:
+                store_obj.load(resumed.visited())
+                n_seen = int(resumed.counters["admitted"])
+                transitions = int(resumed.counters["transitions"])
+                truncated = int(resumed.counters["truncated"])
+                for pending in resumed.frontier():
+                    if packable:
+                        queue.push(pending)
+                    else:
+                        frontier.append(pending)
             else:
-                if not frontier:
-                    break
-                state = frontier.popleft()
-            successor_states_into(state, buf)
-            transitions += len(buf)
-            for successor in buf:
-                key = fingerprint_int(successor) if fingerprint else successor
-                if key in seen:
-                    continue
-                if len(seen) >= max_states:
-                    complete = False
-                    truncated += 1
-                    continue
-                seen_add(key)
-                if packable:
-                    queue.push(successor)
-                else:
-                    frontier.append(successor)
                 if check_safety:
-                    violation = check_outputs(successor)
+                    violation = self.check_outputs(initial)
                     if violation:
                         return FastExplorationResult(
-                            len(seen), transitions, complete, violation,
-                            truncated_transitions=truncated,
+                            1, 0, True, violation,
+                            store_counters=_store_counters(),
                         )
-                if progress_every and len(seen) % progress_every == 0:
-                    print(
-                        f"  ... {len(seen)} states,"
-                        f" {transitions} transitions", flush=True
-                    )
-            if not complete:
-                # Budget exhausted: no pending state can admit a new
-                # one, so draining the frontier is invariant-free
-                # wasted work (the seed explorer kept going here).
-                break
+                store_add(fingerprint_int(initial) if fingerprint else initial)
+                n_seen = 1
+                if packable:
+                    queue.push(initial)
+                else:
+                    frontier.append(initial)
+            complete = True
+            buf: List[int] = []
+            check_outputs = self.check_outputs
+            successor_states_into = self.successor_states_into
 
-        return FastExplorationResult(
-            states=len(seen),
-            transitions=transitions,
-            complete=complete,
-            truncated_transitions=truncated,
-            covered_states=len(seen) if canonicalizer is not None else None,
-            symmetry_group_order=(
-                canonicalizer.order if canonicalizer is not None else None
-            ),
-        )
+            while True:
+                if checkpointer is not None and checkpointer.due(n_seen):
+                    checkpointer.write(
+                        queue.snapshot() if packable else iter(frontier),
+                        {
+                            "admitted": n_seen,
+                            "transitions": transitions,
+                            "truncated": truncated,
+                        },
+                        iter(store_obj),
+                    )
+                if packable:
+                    state = queue.pop()
+                    if state < 0:
+                        break
+                else:
+                    if not frontier:
+                        break
+                    state = frontier.popleft()
+                successor_states_into(state, buf)
+                transitions += len(buf)
+                for successor in buf:
+                    key = (
+                        fingerprint_int(successor) if fingerprint else successor
+                    )
+                    if ram_add is not None:
+                        # Historical hot path: inline set ops, no store
+                        # dispatch per generated transition.
+                        if key in ram_set:
+                            continue
+                        if n_seen >= max_states:
+                            complete = False
+                            truncated += 1
+                            continue
+                        ram_add(key)
+                        n_seen += 1
+                    elif n_seen < max_states:
+                        if not store_add(key):
+                            continue
+                        n_seen += 1
+                    else:
+                        if key in store_obj:
+                            continue
+                        complete = False
+                        truncated += 1
+                        continue
+                    if packable:
+                        queue.push(successor)
+                    else:
+                        frontier.append(successor)
+                    if check_safety:
+                        violation = check_outputs(successor)
+                        if violation:
+                            return FastExplorationResult(
+                                n_seen, transitions, complete, violation,
+                                truncated_transitions=truncated,
+                                store_counters=_store_counters(),
+                            )
+                    if progress_every and n_seen % progress_every == 0:
+                        print(
+                            f"  ... {n_seen} states,"
+                            f" {transitions} transitions", flush=True
+                        )
+                if not complete:
+                    # Budget exhausted: no pending state can admit a new
+                    # one, so draining the frontier is invariant-free
+                    # wasted work (the seed explorer kept going here).
+                    break
+
+            return FastExplorationResult(
+                states=n_seen,
+                transitions=transitions,
+                complete=complete,
+                truncated_transitions=truncated,
+                covered_states=n_seen if canonicalizer is not None else None,
+                symmetry_group_order=(
+                    canonicalizer.order if canonicalizer is not None else None
+                ),
+                store_counters=_store_counters(),
+            )
+        finally:
+            store_obj.close()
 
     def _explore_lean_symmetric(
         self,
@@ -623,6 +743,8 @@ class FastSnapshotSpec:
         check_safety: bool,
         progress_every: int,
         fingerprint: bool,
+        store: Optional[StoreConfig] = None,
+        checkpointer: Optional[RunCheckpointer] = None,
     ) -> FastExplorationResult:
         """The lean BFS over the quotient graph: one state per orbit.
 
@@ -633,102 +755,167 @@ class FastSnapshotSpec:
         concrete successors generated more than once (the common case:
         most generated transitions hit already-seen states), trading
         memory bounded by the *unreduced* successor count for a large
-        cut in canonicalizer calls; fingerprint mode keeps its
+        cut in canonicalizer calls; fingerprint mode — and any
+        disk-backed store, whose whole point is bounded RAM — keeps the
         memory-lean contract instead and pays the canonicalization per
-        generated transition.
+        generated transition.  The cache is pure memoization, so every
+        backend still reports identical states/transitions/verdicts.
         """
         canonical = canonicalizer.canonical
         orbit_size = canonicalizer.orbit_size
-        initial = canonical(self.initial_state())
-        if check_safety:
-            violation = self.check_outputs(initial)
-            if violation:
-                return FastExplorationResult(
-                    1, 0, True, violation,
-                    covered_states=orbit_size(initial),
-                    symmetry_group_order=canonicalizer.order,
-                )
-
-        seen = {fingerprint_int(initial)} if fingerprint else {initial}
-        covered = orbit_size(initial)
-        raw_seen: Optional[Set[int]] = None if fingerprint else {initial}
-        packable = fingerprint and self.state_bits <= 64
-        queue: Optional[_ChunkedIntQueue] = (
-            _ChunkedIntQueue() if packable else None
+        store_obj = (store or StoreConfig()).create()
+        ram_set = (
+            store_obj.raw_set if isinstance(store_obj, RamStore) else None
         )
-        frontier: Optional[deque] = None if packable else deque()
-        if packable:
-            queue.push(initial)
-        else:
-            frontier.append(initial)
-        transitions = 0
-        truncated = 0
-        complete = True
-        buf: List[int] = []
-        seen_add = seen.add
-        check_outputs = self.check_outputs
-        successor_states_into = self.successor_states_into
+        ram_add = ram_set.add if ram_set is not None else None
+        store_add = store_obj.add
 
-        while True:
-            if packable:
-                state = queue.pop()
-                if state < 0:
-                    break
+        def _store_counters() -> Optional[Dict[str, int]]:
+            if store is None:
+                return None
+            counters = dict(store_obj.counters())
+            counters["file_bytes"] = store_obj.file_bytes()
+            return counters
+
+        try:
+            initial = canonical(self.initial_state())
+            packable = fingerprint and self.state_bits <= 64
+            queue: Optional[_ChunkedIntQueue] = (
+                _ChunkedIntQueue() if packable else None
+            )
+            frontier: Optional[deque] = None if packable else deque()
+            transitions = 0
+            truncated = 0
+            covered = 0
+            resumed = (
+                checkpointer.latest() if checkpointer is not None else None
+            )
+            if resumed is not None:
+                store_obj.load(resumed.visited())
+                n_seen = int(resumed.counters["admitted"])
+                transitions = int(resumed.counters["transitions"])
+                truncated = int(resumed.counters["truncated"])
+                covered = int(resumed.counters["covered"])
+                for pending in resumed.frontier():
+                    if packable:
+                        queue.push(pending)
+                    else:
+                        frontier.append(pending)
             else:
-                if not frontier:
-                    break
-                state = frontier.popleft()
-            successor_states_into(state, buf)
-            transitions += len(buf)
-            for successor in buf:
-                if raw_seen is not None:
-                    if successor in raw_seen:
-                        continue
-                    raw_seen.add(successor)
-                representative = canonical(successor)
-                key = (
-                    fingerprint_int(representative)
-                    if fingerprint
-                    else representative
-                )
-                if key in seen:
-                    continue
-                if len(seen) >= max_states:
-                    complete = False
-                    truncated += 1
-                    continue
-                seen_add(key)
-                covered += orbit_size(representative)
-                if packable:
-                    queue.push(representative)
-                else:
-                    frontier.append(representative)
                 if check_safety:
-                    violation = check_outputs(representative)
+                    violation = self.check_outputs(initial)
                     if violation:
                         return FastExplorationResult(
-                            len(seen), transitions, complete, violation,
-                            truncated_transitions=truncated,
-                            covered_states=covered,
+                            1, 0, True, violation,
+                            covered_states=orbit_size(initial),
                             symmetry_group_order=canonicalizer.order,
+                            store_counters=_store_counters(),
                         )
-                if progress_every and len(seen) % progress_every == 0:
-                    print(
-                        f"  ... {len(seen)} representatives,"
-                        f" {covered} covered,"
-                        f" {transitions} transitions", flush=True
-                    )
-            if not complete:
-                break
+                store_add(fingerprint_int(initial) if fingerprint else initial)
+                n_seen = 1
+                covered = orbit_size(initial)
+                if packable:
+                    queue.push(initial)
+                else:
+                    frontier.append(initial)
+            # The raw-successor cache is RAM-only by design (it grows
+            # with the unreduced graph); a cold cache after resume only
+            # costs extra canonicalizer calls, never correctness.
+            raw_seen: Optional[Set[int]] = (
+                None if (fingerprint or ram_set is None) else set(ram_set)
+            )
+            complete = True
+            buf: List[int] = []
+            check_outputs = self.check_outputs
+            successor_states_into = self.successor_states_into
 
-        return FastExplorationResult(
-            states=len(seen),
-            transitions=transitions,
-            complete=complete,
-            truncated_transitions=truncated,
-            covered_states=covered,
-            symmetry_group_order=canonicalizer.order,
-        )
+            while True:
+                if checkpointer is not None and checkpointer.due(n_seen):
+                    checkpointer.write(
+                        queue.snapshot() if packable else iter(frontier),
+                        {
+                            "admitted": n_seen,
+                            "transitions": transitions,
+                            "truncated": truncated,
+                            "covered": covered,
+                        },
+                        iter(store_obj),
+                    )
+                if packable:
+                    state = queue.pop()
+                    if state < 0:
+                        break
+                else:
+                    if not frontier:
+                        break
+                    state = frontier.popleft()
+                successor_states_into(state, buf)
+                transitions += len(buf)
+                for successor in buf:
+                    if raw_seen is not None:
+                        if successor in raw_seen:
+                            continue
+                        raw_seen.add(successor)
+                    representative = canonical(successor)
+                    key = (
+                        fingerprint_int(representative)
+                        if fingerprint
+                        else representative
+                    )
+                    if ram_add is not None:
+                        if key in ram_set:
+                            continue
+                        if n_seen >= max_states:
+                            complete = False
+                            truncated += 1
+                            continue
+                        ram_add(key)
+                        n_seen += 1
+                    elif n_seen < max_states:
+                        if not store_add(key):
+                            continue
+                        n_seen += 1
+                    else:
+                        if key in store_obj:
+                            continue
+                        complete = False
+                        truncated += 1
+                        continue
+                    covered += orbit_size(representative)
+                    if packable:
+                        queue.push(representative)
+                    else:
+                        frontier.append(representative)
+                    if check_safety:
+                        violation = check_outputs(representative)
+                        if violation:
+                            return FastExplorationResult(
+                                n_seen, transitions, complete, violation,
+                                truncated_transitions=truncated,
+                                covered_states=covered,
+                                symmetry_group_order=canonicalizer.order,
+                                store_counters=_store_counters(),
+                            )
+                    if progress_every and n_seen % progress_every == 0:
+                        print(
+                            f"  ... {n_seen} representatives,"
+                            f" {covered} covered,"
+                            f" {transitions} transitions", flush=True
+                        )
+                if not complete:
+                    break
+
+            return FastExplorationResult(
+                states=n_seen,
+                transitions=transitions,
+                complete=complete,
+                truncated_transitions=truncated,
+                covered_states=covered,
+                symmetry_group_order=canonicalizer.order,
+                store_counters=_store_counters(),
+            )
+        finally:
+            store_obj.close()
 
     def _explore_with_edges(
         self, max_states: int, check_safety: bool, progress_every: int

@@ -38,7 +38,9 @@ from __future__ import annotations
 import multiprocessing
 import os
 import warnings
-from typing import Dict, List, Optional, Sequence, Tuple
+from dataclasses import asdict, replace
+from pathlib import Path
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.checker.fast_snapshot import (
     FastExplorationResult,
@@ -46,8 +48,19 @@ from repro.checker.fast_snapshot import (
     canonical_wiring_classes,
 )
 from repro.checker.fingerprint import fingerprint_int
+from repro.store.base import StoreConfig, require_cross_process_stable
+from repro.store.checkpoint import (
+    RunCheckpointer,
+    SweepCheckpoint,
+    write_u64_file,
+)
 
 WiringClass = Tuple[Tuple[int, ...], ...]
+
+
+def class_key(wiring: WiringClass) -> str:
+    """Stable identifier of a canonical wiring class (sweep checkpoints)."""
+    return ";".join(",".join(str(r) for r in perm) for perm in wiring)
 
 
 # ----------------------------------------------------------------------
@@ -108,20 +121,40 @@ def ordered_parallel_map(func, items: Sequence, jobs: int) -> List:
 # Grain 1: one worker per canonical wiring class
 # ----------------------------------------------------------------------
 
+def _class_store(
+    store: Optional[StoreConfig], index: int
+) -> Optional[StoreConfig]:
+    """Per-class namespace of a shared store configuration.
+
+    Classes explore concurrently, so disk-backed classes must not share
+    table/run files; an explicit directory gets a per-class
+    subdirectory, and a temp-backed config stays as-is (every create()
+    mints a fresh temp directory anyway).
+    """
+    if store is None or store.backend == "ram" or store.directory is None:
+        return store
+    return replace(
+        store, directory=str(Path(store.directory) / f"class-{index:03d}")
+    )
+
+
 def _explore_class_task(
     task: Tuple[
-        Tuple[int, ...], WiringClass, Optional[int], int, bool, bool, bool
+        int, Tuple[int, ...], WiringClass, Optional[int], int, bool, bool,
+        bool, Optional[StoreConfig],
     ],
-) -> FastExplorationResult:
-    (inputs, wiring, level_target, max_states, check_safety, fingerprint,
-     symmetry) = task
+) -> Tuple[int, FastExplorationResult]:
+    (index, inputs, wiring, level_target, max_states, check_safety,
+     fingerprint, symmetry, store) = task
     spec = FastSnapshotSpec(inputs, wiring, level_target=level_target)
-    return spec.explore(
+    result = spec.explore(
         max_states=max_states,
         check_safety=check_safety,
         fingerprint=fingerprint,
         symmetry=symmetry,
+        store=_class_store(store, index),
     )
+    return index, result
 
 
 def check_snapshot_classes(
@@ -134,6 +167,9 @@ def check_snapshot_classes(
     level_target: Optional[int] = None,
     inputs: Optional[Sequence[int]] = None,
     symmetry: bool = False,
+    store: Optional[StoreConfig] = None,
+    sweep_dir: Optional[str] = None,
+    sweep_meta: Optional[Dict] = None,
 ) -> List[Tuple[WiringClass, FastExplorationResult]]:
     """Sweep every canonical wiring class, ``jobs`` classes at a time.
 
@@ -144,6 +180,15 @@ def check_snapshot_classes(
     ``jobs`` is capped at the host's core count (:func:`effective_jobs`);
     with ``symmetry`` each class explores orbit representatives under
     its wiring-stabilizer group and reports ``covered_states``.
+
+    ``store`` selects each class's visited-set backend (disk-backed
+    classes are namespaced per class under the store directory).  With
+    ``sweep_dir`` the sweep is checkpointed at class granularity: each
+    finished class's result is recorded in ``classes.json`` as it
+    lands, and a re-run over the same directory replays recorded
+    classes and explores only the remainder; ``sweep_meta`` (the run's
+    semantic configuration) is validated against the directory's
+    ``meta.json`` so incomparable sweeps cannot be mixed.
     """
     registers = n_registers if n_registers is not None else n_processors
     classes = canonical_wiring_classes(n_processors, registers)
@@ -153,15 +198,52 @@ def check_snapshot_classes(
         else tuple(range(1, n_processors + 1))
     )
     max_states = budget if budget is not None else 10 ** 9
-    tasks = [
-        (chosen_inputs, wiring, level_target, max_states, check_safety,
-         fingerprint, symmetry)
-        for wiring in classes
-    ]
-    results = ordered_parallel_map(
-        _explore_class_task, tasks, effective_jobs(jobs)
+    sweep = (
+        SweepCheckpoint(Path(sweep_dir), meta=sweep_meta)
+        if sweep_dir is not None
+        else None
     )
+    results: List[Optional[FastExplorationResult]] = [None] * len(classes)
+    pending: List[int] = []
+    for index, wiring in enumerate(classes):
+        recorded = sweep.get(class_key(wiring)) if sweep is not None else None
+        if recorded is not None:
+            results[index] = FastExplorationResult(**recorded)
+        else:
+            pending.append(index)
+    tasks = [
+        (index, chosen_inputs, classes[index], level_target, max_states,
+         check_safety, fingerprint, symmetry, store)
+        for index in pending
+    ]
+    for index, result in _run_class_tasks(tasks, effective_jobs(jobs)):
+        results[index] = result
+        if sweep is not None:
+            sweep.record(class_key(classes[index]), asdict(result))
+    assert all(result is not None for result in results)
     return list(zip(classes, results))
+
+
+def _run_class_tasks(tasks: List, jobs: int):
+    """Yield ``(index, result)`` per task as soon as each completes.
+
+    Incremental completion (``imap_unordered``) is what lets the sweep
+    checkpoint record every finished class even if the process dies
+    before the sweep ends; order is restored by the caller's index.
+    """
+    if jobs <= 1 or len(tasks) <= 1:
+        for task in tasks:
+            yield _explore_class_task(task)
+        return
+    ctx = _mp_context()
+    try:
+        pool = ctx.Pool(processes=min(jobs, len(tasks)))
+    except OSError:  # pragma: no cover - sandboxed/fork-less hosts
+        for task in tasks:
+            yield _explore_class_task(task)
+        return
+    with pool:
+        yield from pool.imap_unordered(_explore_class_task, tasks, chunksize=1)
 
 
 # ----------------------------------------------------------------------
@@ -178,6 +260,7 @@ def _shard_worker(
     check_safety: bool,
     fingerprint: bool,
     symmetry: bool = False,
+    store_config: Optional[StoreConfig] = None,
 ) -> None:
     """One frontier shard: owns states with ``fp(s) % n_shards == shard``.
 
@@ -185,7 +268,15 @@ def _shard_worker(
     new ones into its visited set, expands that BFS layer, and replies
     ``("layer", admitted, transitions, violation, outboxes, covered,
     skipped)`` where ``outboxes`` maps each shard id to the successor
-    entries it owns.  ``("stop",)`` terminates.
+    entries it owns.  ``("stop",)`` terminates.  For checkpointing,
+    ``("dump", path)`` streams the shard's visited keys to ``path`` as
+    a u64 array and replies ``("dumped", count)``; ``("load", path)``
+    bulk-loads a previous dump (resume) and replies ``("loaded",
+    count)``.
+
+    The visited set lives in the configured :mod:`repro.store` backend,
+    namespaced per shard (``shard-NNN/``) so disk-backed shards never
+    share files.
 
     Wire format: every boundary state travels as ``(state << 1) |
     canonical_bit``.  The bit asserts the sender already put the state
@@ -201,6 +292,7 @@ def _shard_worker(
     ``covered`` then sums the orbit sizes of this layer's admissions
     (``None`` otherwise).
     """
+    seen = None
     try:
         spec = FastSnapshotSpec(inputs, wiring, level_target=level_target)
         canonicalizer = None
@@ -210,12 +302,25 @@ def _shard_worker(
             canonicalizer = FastCanonicalizer(spec)
             if canonicalizer.trivial:
                 canonicalizer = None
-        seen = set()
+        seen = (store_config or StoreConfig()).create(
+            shard=f"shard-{shard:03d}"
+        )
+        seen_add = seen.add
         buf: List[int] = []
         while True:
             message = conn.recv()
             if message[0] == "stop":
                 break
+            if message[0] == "dump":
+                count = write_u64_file(Path(message[1]), iter(seen))
+                conn.send(("dumped", count))
+                continue
+            if message[0] == "load":
+                from repro.store.checkpoint import read_u64_file
+
+                loaded = seen.load(read_u64_file(Path(message[1])))
+                conn.send(("loaded", loaded))
+                continue
             batch = message[1]
             admitted: List[int] = []
             covered: Optional[int] = 0 if symmetry else None
@@ -229,9 +334,8 @@ def _shard_worker(
                     else:
                         state = canonicalizer.canonical(state)
                 key = fingerprint_int(state) if fingerprint else state
-                if key in seen:
+                if not seen_add(key):
                     continue
-                seen.add(key)
                 admitted.append(state)
                 if symmetry:
                     covered += (
@@ -272,6 +376,8 @@ def _shard_worker(
         except (OSError, BrokenPipeError):
             pass
     finally:
+        if seen is not None:
+            seen.close()
         conn.close()
 
 
@@ -284,6 +390,10 @@ def explore_sharded(
     level_target: Optional[int] = None,
     fingerprint: bool = False,
     symmetry: bool = False,
+    store: Optional[StoreConfig] = None,
+    checkpointer: Optional[RunCheckpointer] = None,
+    fingerprint_fn: Callable[[int], int] = fingerprint_int,
+    _after_checkpoint: Optional[Callable[[], None]] = None,
 ) -> FastExplorationResult:
     """Frontier-sharded BFS over one wiring class across ``jobs`` cores.
 
@@ -307,6 +417,17 @@ def explore_sharded(
     Wait-freedom (lasso) analysis needs the full cross-shard edge list
     and is deliberately not offered here; run the serial engine with
     ``check_wait_freedom=True`` for that (N=2 certification does).
+
+    ``store`` selects each shard's visited-set backend (namespaced
+    ``shard-NNN/`` under the store directory).  ``fingerprint_fn`` must
+    be cross-process stable — digests decide shard ownership and land
+    in checkpoint files, so per-interpreter functions like
+    ``fingerprint_state`` are rejected up front.  ``checkpointer``
+    persists the run at BFS-layer boundaries (per-shard visited dumps +
+    the pending boundary frontier); a killed run resumes from the last
+    committed checkpoint with an identical final result.
+    ``_after_checkpoint`` is a test seam invoked after every committed
+    checkpoint.
     """
     spec = FastSnapshotSpec(inputs, wiring, level_target=level_target)
     jobs = effective_jobs(jobs)
@@ -316,13 +437,58 @@ def explore_sharded(
             check_safety=check_safety,
             fingerprint=fingerprint,
             symmetry=symmetry,
+            store=store,
+            checkpointer=checkpointer,
         )
+    # Shard ownership and checkpoint files both carry digests across
+    # process boundaries: a per-interpreter fingerprint would silently
+    # mis-shard, so refuse it here rather than corrupt the run.
+    require_cross_process_stable(fingerprint_fn)
+    if checkpointer is not None:
+        recorded = checkpointer.completed_result()
+        if recorded is not None:
+            return FastExplorationResult(**recorded)
+        if spec.state_bits > 63:
+            raise ValueError(
+                f"sharded checkpoint frontier entries are (state << 1) |"
+                f" canonical_bit in a u64 word; this configuration packs"
+                f" states into {spec.state_bits} bits"
+            )
 
     canonicalizer = None
     if symmetry:
         from repro.checker.symmetry import FastCanonicalizer
 
         canonicalizer = FastCanonicalizer(spec)
+
+    def _died(shard: int) -> RuntimeError:
+        hint = (
+            " — resume from the checkpoint directory (repro check --resume)"
+            if checkpointer is not None
+            else ""
+        )
+        return RuntimeError(
+            f"shard {shard} worker died mid-run (pipe closed){hint}"
+        )
+
+    def _recv(shard: int):
+        try:
+            return connections[shard].recv()
+        except (EOFError, OSError):
+            # A SIGKILLed worker surfaces as EOF or ECONNRESET depending
+            # on where the pipe read was when the process died.
+            raise _died(shard) from None
+
+    def _send(shard: int, message) -> None:
+        try:
+            connections[shard].send(message)
+        except (OSError, BrokenPipeError):
+            raise _died(shard) from None
+
+    def _finish(result: FastExplorationResult) -> FastExplorationResult:
+        if checkpointer is not None:
+            checkpointer.mark_complete(asdict(result))
+        return result
 
     ctx = _mp_context()
     connections = []
@@ -336,6 +502,7 @@ def explore_sharded(
                     args=(
                         child_conn, tuple(inputs), wiring, level_target,
                         shard, jobs, check_safety, fingerprint, symmetry,
+                        store,
                     ),
                     daemon=True,
                 )
@@ -349,17 +516,10 @@ def explore_sharded(
                 check_safety=check_safety,
                 fingerprint=fingerprint,
                 symmetry=symmetry,
+                store=store,
+                checkpointer=checkpointer,
             )
 
-        initial = spec.initial_state()
-        canonical_bit = 0
-        if canonicalizer is not None:
-            initial = canonicalizer.canonical(initial)
-            if not canonicalizer.trivial:
-                canonical_bit = 1
-        inboxes: Dict[int, List[int]] = {
-            fingerprint_int(initial) % jobs: [(initial << 1) | canonical_bit]
-        }
         states = 0
         transitions = 0
         complete = True
@@ -368,12 +528,47 @@ def explore_sharded(
         recanon_skipped: Optional[int] = 0 if symmetry else None
         violation: Optional[str] = None
 
+        resumed = checkpointer.latest() if checkpointer is not None else None
+        if resumed is not None:
+            states = int(resumed.counters["admitted"])
+            transitions = int(resumed.counters["transitions"])
+            if covered is not None:
+                covered = int(resumed.counters["covered"])
+            if recanon_skipped is not None:
+                recanon_skipped = int(resumed.counters["skipped"])
+            inboxes: Dict[int, List[int]] = {}
+            for entry in resumed.frontier():
+                owner = fingerprint_fn(entry >> 1) % jobs
+                inboxes.setdefault(owner, []).append(entry)
+            for shard in range(jobs):
+                path = resumed.directory / f"visited-{shard:03d}.u64"
+                _send(shard, ("load", str(path)))
+            for shard in range(jobs):
+                reply = _recv(shard)
+                if reply[0] != "loaded":
+                    raise RuntimeError(
+                        f"shard {shard} failed to load its visited dump:"
+                        f" {reply!r}"
+                    )
+        else:
+            initial = spec.initial_state()
+            canonical_bit = 0
+            if canonicalizer is not None:
+                initial = canonicalizer.canonical(initial)
+                if not canonicalizer.trivial:
+                    canonical_bit = 1
+            inboxes = {
+                fingerprint_fn(initial) % jobs: [
+                    (initial << 1) | canonical_bit
+                ]
+            }
+
         while inboxes:
             for shard in range(jobs):
-                connections[shard].send(("round", inboxes.get(shard, [])))
+                _send(shard, ("round", inboxes.get(shard, [])))
             outboxes: Dict[int, List[int]] = {}
             for shard in range(jobs):
-                reply = connections[shard].recv()
+                reply = _recv(shard)
                 if reply[0] == "error":
                     raise RuntimeError(f"shard {shard} failed: {reply[1]}")
                 (_, admitted, shard_transitions, shard_violation, out,
@@ -389,7 +584,7 @@ def explore_sharded(
                 for owner, boundary in out.items():
                     outboxes.setdefault(owner, []).extend(boundary)
             if violation is not None:
-                return FastExplorationResult(
+                return _finish(FastExplorationResult(
                     states=states,
                     transitions=transitions,
                     complete=True,
@@ -397,12 +592,12 @@ def explore_sharded(
                     covered_states=covered,
                     symmetry_group_order=group_order,
                     recanonicalizations_skipped=recanon_skipped,
-                )
+                ))
             inboxes = {owner: batch for owner, batch in outboxes.items() if batch}
             if states >= max_states and inboxes:
                 complete = False
                 truncated = sum(len(batch) for batch in inboxes.values())
-                return FastExplorationResult(
+                return _finish(FastExplorationResult(
                     states=states,
                     transitions=transitions,
                     complete=False,
@@ -410,13 +605,47 @@ def explore_sharded(
                     covered_states=covered,
                     symmetry_group_order=group_order,
                     recanonicalizations_skipped=recanon_skipped,
+                ))
+            if (
+                checkpointer is not None
+                and inboxes
+                and checkpointer.due(states)
+            ):
+                staging = checkpointer.begin()
+                for shard in range(jobs):
+                    path = staging / f"visited-{shard:03d}.u64"
+                    _send(shard, ("dump", str(path)))
+                for shard in range(jobs):
+                    reply = _recv(shard)
+                    if reply[0] != "dumped":
+                        raise RuntimeError(
+                            f"shard {shard} failed to dump its visited set:"
+                            f" {reply!r}"
+                        )
+                write_u64_file(
+                    staging / "frontier.u64",
+                    (
+                        entry
+                        for owner in sorted(inboxes)
+                        for entry in inboxes[owner]
+                    ),
                 )
+                checkpointer.commit(staging, {
+                    "admitted": states,
+                    "transitions": transitions,
+                    "covered": covered if covered is not None else 0,
+                    "skipped": (
+                        recanon_skipped if recanon_skipped is not None else 0
+                    ),
+                })
+                if _after_checkpoint is not None:
+                    _after_checkpoint()
 
-        return FastExplorationResult(
+        return _finish(FastExplorationResult(
             states=states, transitions=transitions, complete=complete,
             covered_states=covered, symmetry_group_order=group_order,
             recanonicalizations_skipped=recanon_skipped,
-        )
+        ))
     finally:
         for conn in connections:
             try:

@@ -10,7 +10,9 @@ Thin, scriptable access to the library's main entry points:
 - ``check`` — TLC-style exhaustive model check of the snapshot
   algorithm for N=2 (safety + wait-freedom), or a budgeted N=3 sweep,
   optionally parallel (``--jobs``, ``--sharded``), memory-lean
-  (``--fingerprint``), and symmetry-reduced (``--symmetry``);
+  (``--fingerprint``), symmetry-reduced (``--symmetry``), disk-backed
+  (``--store mmap|spill``), and checkpointed (``--checkpoint-dir`` /
+  ``--resume``);
 - ``lint`` — anonlint, the model-soundness static analysis (anonymity,
   wiring discipline, permutation-invariance, wait-freedom hygiene),
   with ``--dynamic`` metamorphic orbit-invariance verification;
@@ -36,6 +38,19 @@ def _parse_inputs(raw: Sequence[str]) -> List[str]:
         except ValueError:
             parsed.append(token)
     return parsed
+
+
+def _parse_mem(text: str) -> int:
+    """Parse a byte size: a plain integer or K/M/G-suffixed (binary)."""
+    units = {"k": 1 << 10, "m": 1 << 20, "g": 1 << 30}
+    cleaned = text.strip().lower()
+    if cleaned.endswith("ib"):
+        cleaned = cleaned[:-2]
+    elif cleaned.endswith("b"):
+        cleaned = cleaned[:-1]
+    if cleaned and cleaned[-1] in units:
+        return int(float(cleaned[:-1]) * units[cleaned[-1]])
+    return int(cleaned)
 
 
 def _cmd_snapshot(args: argparse.Namespace) -> int:
@@ -124,16 +139,57 @@ def _symmetry_suffix(result) -> str:
     )
 
 
+def _store_suffix(result) -> str:
+    """Render one result's store footprint (only set when --store ran)."""
+    counters = getattr(result, "store_counters", None)
+    if not counters:
+        return ""
+    disk = ""
+    if counters.get("file_bytes"):
+        disk = f", {counters['file_bytes'] / (1024 * 1024):.1f} MiB on disk"
+    return f" [store: {counters.get('entries', 0)} entries{disk}]"
+
+
+def _report_collision(total_states: int) -> None:
+    """The birthday-bound honesty line every fingerprint run ends with."""
+    from repro.checker.fingerprint import collision_probability
+
+    probability = collision_probability(total_states)
+    print(
+        f"fingerprint collision probability: ~{probability:.2e} across"
+        f" {total_states} distinct states (64-bit birthday bound)"
+    )
+    if probability > 1e-6:
+        print(
+            "warning: collision probability exceeds 1e-6 — a colliding"
+            " state is silently never explored; rerun without"
+            " --fingerprint to certify the verdict"
+        )
+
+
 def _cmd_check(args: argparse.Namespace) -> int:
     import os
+    from dataclasses import replace
+    from pathlib import Path
 
     from repro.checker import Explorer, SystemSpec
     from repro.checker.liveness import check_wait_freedom
-    from repro.checker.parallel import check_snapshot_classes, explore_sharded
+    from repro.checker.parallel import (
+        check_snapshot_classes,
+        class_key,
+        explore_sharded,
+    )
     from repro.checker.fast_snapshot import canonical_wiring_classes
     from repro.checker.properties import SNAPSHOT_SAFETY
     from repro.core import SnapshotMachine
     from repro.memory.wiring import enumerate_wiring_assignments
+    from repro.store import (
+        CheckpointIncompatible,
+        RunCheckpointer,
+        StoreConfig,
+        StoreError,
+    )
+    from repro.store.checkpoint import git_sha
 
     usable = os.cpu_count() or 1
     jobs = max(1, args.jobs)
@@ -145,68 +201,176 @@ def _cmd_check(args: argparse.Namespace) -> int:
         )
         jobs = usable
 
-    failures = 0
-    if args.n == 2:
-        # Safety + wait-freedom need the full edge list (pid labels are
-        # not orbit-stable), so liveness always runs unreduced; with
-        # --symmetry the safety pass additionally runs reduced and its
-        # reduction is reported per wiring.
-        for wiring in enumerate_wiring_assignments(2, 2):
-            spec = SystemSpec(SnapshotMachine(2), [1, 2], wiring)
-            result = Explorer(spec, SNAPSHOT_SAFETY, keep_edges=True).run()
-            violations = check_wait_freedom(spec, result)
-            suffix = ""
-            ok = result.ok and not violations
-            if args.symmetry:
-                reduced = Explorer(
-                    spec, SNAPSHOT_SAFETY, symmetry=True
-                ).run()
-                ok = ok and reduced.ok
-                suffix = (
-                    f"; symmetry: {reduced.states} representatives"
-                    + _symmetry_suffix(reduced)
-                )
-            if not ok:
-                failures += 1
-            status = "OK" if ok else "VIOLATED"
-            print(f"wiring {wiring.permutations()}: {result.states} states,"
-                  f" safety+wait-freedom {status}{suffix}")
-    elif args.sharded and jobs > 1:
-        # One class at a time, its BFS frontier sharded across workers.
-        inputs = list(range(1, args.n + 1))
-        for wiring in canonical_wiring_classes(args.n, args.n):
-            result = explore_sharded(
-                inputs, wiring, jobs=jobs, max_states=args.budget,
-                fingerprint=args.fingerprint, symmetry=args.symmetry,
-            )
-            status = "OK" if result.ok else f"VIOLATED: {result.violation}"
-            if not result.ok:
-                failures += 1
-            scope = "exhaustive" if result.complete else "bounded"
-            print(f"wiring class {wiring}: {result.states} states"
-                  f" ({scope}, {jobs} frontier shards)"
-                  f"{_symmetry_suffix(result)}, {status}")
-    else:
-        # One whole class per worker (E4's natural grain).
-        rows = check_snapshot_classes(
-            args.n, budget=args.budget, jobs=jobs,
-            fingerprint=args.fingerprint, symmetry=args.symmetry,
+    if args.resume is not None and not Path(args.resume).is_dir():
+        print(f"error: --resume {args.resume}: no such checkpoint directory")
+        return 2
+    if (
+        args.resume is not None
+        and args.checkpoint_dir is not None
+        and Path(args.resume) != Path(args.checkpoint_dir)
+    ):
+        print("error: --resume and --checkpoint-dir name different"
+              " directories; --resume already implies the checkpoint"
+              " directory")
+        return 2
+    ckpt_base = (
+        Path(args.resume) if args.resume is not None
+        else Path(args.checkpoint_dir) if args.checkpoint_dir is not None
+        else None
+    )
+    store_cfg = None
+    if args.store != "ram" or args.store_dir is not None:
+        store_cfg = StoreConfig(
+            backend=args.store,
+            directory=args.store_dir,
+            mem_cap=args.mem_cap,
         )
-        for wiring, result in rows:
-            status = "OK" if result.ok else f"VIOLATED: {result.violation}"
-            if not result.ok:
-                failures += 1
-            scope = "exhaustive" if result.complete else "bounded"
-            print(f"wiring class {wiring}: {result.states} states"
-                  f" ({scope}){_symmetry_suffix(result)}, {status}")
-        if args.symmetry:
-            explored = sum(result.states for _, result in rows)
-            covered = sum(
-                result.covered_states or result.states for _, result in rows
+    # The store backend is deliberately NOT part of the checkpoint meta:
+    # checkpoints dump visited keys in a backend-neutral format, so a
+    # run started in RAM may legitimately resume onto spill when it
+    # outgrows memory.
+    meta_base = {
+        "n": args.n,
+        "budget": args.budget,
+        "fingerprint": bool(args.fingerprint),
+        "symmetry": bool(args.symmetry),
+        "git_sha": git_sha(),
+    }
+
+    failures = 0
+    fingerprinted_states = 0
+    try:
+        if args.n == 2:
+            # Safety + wait-freedom need the full edge list (pid labels
+            # are not orbit-stable), so liveness always runs unreduced;
+            # with --symmetry the safety pass additionally runs reduced
+            # and its reduction is reported per wiring.
+            for wiring in enumerate_wiring_assignments(2, 2):
+                spec = SystemSpec(SnapshotMachine(2), [1, 2], wiring)
+                result = Explorer(spec, SNAPSHOT_SAFETY, keep_edges=True).run()
+                violations = check_wait_freedom(spec, result)
+                suffix = ""
+                ok = result.ok and not violations
+                if args.symmetry:
+                    reduced = Explorer(
+                        spec, SNAPSHOT_SAFETY, symmetry=True
+                    ).run()
+                    ok = ok and reduced.ok
+                    suffix = (
+                        f"; symmetry: {reduced.states} representatives"
+                        + _symmetry_suffix(reduced)
+                    )
+                if not ok:
+                    failures += 1
+                status = "OK" if ok else "VIOLATED"
+                print(f"wiring {wiring.permutations()}: {result.states}"
+                      f" states, safety+wait-freedom {status}{suffix}")
+            if store_cfg is not None or ckpt_base is not None:
+                # The full-edge N=2 engine keeps object tables that only
+                # live in RAM, so --store / checkpointing run through a
+                # fast class sweep on top (the --symmetry precedent:
+                # both passes, one command).
+                rows = check_snapshot_classes(
+                    2, budget=args.budget, jobs=jobs,
+                    fingerprint=args.fingerprint, symmetry=args.symmetry,
+                    store=store_cfg,
+                    sweep_dir=str(ckpt_base) if ckpt_base else None,
+                    sweep_meta={**meta_base, "engine": "sweep"},
+                )
+                print(f"store-backed class sweep ({args.store}):")
+                for wiring, result in rows:
+                    status = (
+                        "OK" if result.ok else f"VIOLATED: {result.violation}"
+                    )
+                    if not result.ok:
+                        failures += 1
+                    if args.fingerprint:
+                        fingerprinted_states += result.states
+                    print(f"  wiring class {wiring}: {result.states} states"
+                          f"{_store_suffix(result)}, {status}")
+        elif args.sharded and jobs > 1:
+            # One class at a time, its BFS frontier sharded across
+            # workers; store files and checkpoints are namespaced
+            # class-NNN/ so classes never share state.
+            inputs = list(range(1, args.n + 1))
+            for index, wiring in enumerate(
+                canonical_wiring_classes(args.n, args.n)
+            ):
+                class_store = store_cfg
+                if store_cfg is not None and store_cfg.directory is not None:
+                    class_store = replace(
+                        store_cfg,
+                        directory=str(
+                            Path(store_cfg.directory) / f"class-{index:03d}"
+                        ),
+                    )
+                checkpointer = None
+                if ckpt_base is not None:
+                    checkpointer = RunCheckpointer(
+                        ckpt_base / f"class-{index:03d}",
+                        meta={
+                            **meta_base,
+                            "engine": "sharded",
+                            "jobs": jobs,
+                            "wiring": class_key(wiring),
+                        },
+                        every=args.checkpoint_every,
+                    )
+                result = explore_sharded(
+                    inputs, wiring, jobs=jobs, max_states=args.budget,
+                    fingerprint=args.fingerprint, symmetry=args.symmetry,
+                    store=class_store, checkpointer=checkpointer,
+                )
+                status = "OK" if result.ok else f"VIOLATED: {result.violation}"
+                if not result.ok:
+                    failures += 1
+                if args.fingerprint:
+                    fingerprinted_states += result.states
+                scope = "exhaustive" if result.complete else "bounded"
+                print(f"wiring class {wiring}: {result.states} states"
+                      f" ({scope}, {jobs} frontier shards)"
+                      f"{_symmetry_suffix(result)}{_store_suffix(result)},"
+                      f" {status}")
+        else:
+            # One whole class per worker (E4's natural grain).
+            rows = check_snapshot_classes(
+                args.n, budget=args.budget, jobs=jobs,
+                fingerprint=args.fingerprint, symmetry=args.symmetry,
+                store=store_cfg,
+                sweep_dir=str(ckpt_base) if ckpt_base else None,
+                sweep_meta=(
+                    {**meta_base, "engine": "sweep"}
+                    if ckpt_base is not None
+                    else None
+                ),
             )
-            print(f"sweep total: {explored} representatives cover"
-                  f" {covered} concrete states"
-                  f" ({covered / max(1, explored):.2f}x reduction)")
+            for wiring, result in rows:
+                status = "OK" if result.ok else f"VIOLATED: {result.violation}"
+                if not result.ok:
+                    failures += 1
+                if args.fingerprint:
+                    fingerprinted_states += result.states
+                scope = "exhaustive" if result.complete else "bounded"
+                print(f"wiring class {wiring}: {result.states} states"
+                      f" ({scope}){_symmetry_suffix(result)}"
+                      f"{_store_suffix(result)}, {status}")
+            if args.symmetry:
+                explored = sum(result.states for _, result in rows)
+                covered = sum(
+                    result.covered_states or result.states
+                    for _, result in rows
+                )
+                print(f"sweep total: {explored} representatives cover"
+                      f" {covered} concrete states"
+                      f" ({covered / max(1, explored):.2f}x reduction)")
+    except CheckpointIncompatible as exc:
+        print(f"error: {exc}")
+        return 2
+    except StoreError as exc:
+        print(f"error: {exc}")
+        return 2
+    if args.fingerprint and fingerprinted_states:
+        _report_collision(fingerprinted_states)
     return 0 if failures == 0 else 1
 
 
@@ -346,6 +510,46 @@ def build_parser() -> argparse.ArgumentParser:
              " the built-in (permutation-invariant) properties;"
              " --no-symmetry is the escape hatch for custom"
              " non-invariant properties",
+    )
+    from repro.store import BACKENDS, DEFAULT_MEM_CAP
+
+    check.add_argument(
+        "--store", choices=list(BACKENDS), default="ram",
+        help="visited-set backend: ram (default), mmap (open-addressing"
+             " table in a memory-mapped file, fixed --mem-cap), or spill"
+             " (bounded RAM buffer + sorted on-disk runs, TLC-style;"
+             " unbounded state counts)",
+    )
+    check.add_argument(
+        "--store-dir", default=None, metavar="DIR",
+        help="directory for store files (default: a fresh temporary"
+             " directory per run)",
+    )
+    check.add_argument(
+        "--mem-cap", type=_parse_mem, default=DEFAULT_MEM_CAP,
+        metavar="BYTES",
+        help="RAM budget per store instance, plain bytes or K/M/G"
+             " suffixed (default 64M); mmap refuses to grow past it,"
+             " spill spills to disk under it",
+    )
+    check.add_argument(
+        "--checkpoint-dir", default=None, metavar="DIR",
+        help="persist the run into DIR: n=3 sweeps record each finished"
+             " class; --sharded runs additionally dump frontier +"
+             " visited set every --checkpoint-every states",
+    )
+    check.add_argument(
+        "--checkpoint-every", type=int, default=1_000_000, metavar="STATES",
+        help="checkpoint cadence in admitted states for --sharded runs"
+             " (default 1000000; checkpoints land on BFS layer"
+             " boundaries)",
+    )
+    check.add_argument(
+        "--resume", default=None, metavar="DIR",
+        help="resume a previous --checkpoint-dir run from DIR; the"
+             " stored configuration (n, budget, fingerprint, symmetry,"
+             " ...) must match or the run is refused — a git-SHA drift"
+             " is only warned about",
     )
     check.set_defaults(handler=_cmd_check)
 

@@ -1,0 +1,228 @@
+"""Append-only spill store: TLC's disk trade for unbounded state sets.
+
+Keys live in a bounded in-RAM buffer; when the buffer fills it is
+sorted and *spilled* to an on-disk run file, and once enough runs
+accumulate they are merged into one (a classic sorted-run / LSM
+scheme, the design TLC's ``DiskFPSet`` uses).  Because every key is
+membership-checked before entering the buffer, runs are pairwise
+disjoint and no key is ever stored twice.
+
+RAM usage is bounded by construction whatever the number of visited
+states: the buffer holds at most ``buffer_limit`` keys, the Bloom
+filter (which short-circuits lookups of never-spilled keys — the
+overwhelmingly common case on BFS frontiers) is a fixed bytearray, and
+the per-run sparse indexes keep one key per 512-entry block (8 bytes
+of index per 4 KiB of run).  Lookups that survive the Bloom filter
+binary-search the sparse index and read a single 4 KiB block.
+
+Membership stays *exact*: the Bloom filter only proves absence; any
+"maybe" is resolved against the run files themselves.
+"""
+
+from __future__ import annotations
+
+import heapq
+from array import array
+from bisect import bisect_right, bisect_left
+from pathlib import Path
+from typing import BinaryIO, Dict, Iterator, List, Optional, Set
+
+from repro.checker.fingerprint import splitmix64
+from repro.store.base import FingerprintStore, require_u64
+
+#: Keys per run block; one block (4 KiB) is the unit of disk lookup IO.
+_BLOCK = 512
+_BLOCK_BYTES = _BLOCK * 8
+#: Merge all runs into one once this many have accumulated.
+_MERGE_AT = 6
+#: Bloom probes per key.
+_BLOOM_PROBES = 3
+_MIN_BUFFER = 1024
+#: Conservative bytes-per-entry estimate for a Python set of 64-bit
+#: ints (set slot + int object, at worst-case load factor).
+_ENTRY_COST = 120
+
+
+class _Run:
+    """One immutable sorted run file with its in-RAM sparse index."""
+
+    def __init__(self, path: Path, index: List[int], count: int) -> None:
+        self.path = path
+        self.index = index
+        self.count = count
+        self._handle: Optional[BinaryIO] = None
+
+    def _file(self) -> BinaryIO:
+        if self._handle is None:
+            self._handle = open(self.path, "rb")
+        return self._handle
+
+    def read_block(self, block: int) -> "array[int]":
+        handle = self._file()
+        handle.seek(block * _BLOCK_BYTES)
+        data = handle.read(_BLOCK_BYTES)
+        values: "array[int]" = array("Q")
+        values.frombytes(data)
+        return values
+
+    def contains(self, key: int) -> bool:
+        block = bisect_right(self.index, key) - 1
+        if block < 0:
+            return False
+        values = self.read_block(block)
+        position = bisect_left(values, key)
+        return position < len(values) and values[position] == key
+
+    def __iter__(self) -> Iterator[int]:
+        blocks = (self.count + _BLOCK - 1) // _BLOCK
+        for block in range(blocks):
+            yield from self.read_block(block)
+
+    def close(self) -> None:
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+
+    def unlink(self) -> None:
+        self.close()
+        self.path.unlink(missing_ok=True)
+
+
+def _write_run(path: Path, keys: Iterator[int]) -> _Run:
+    """Stream sorted ``keys`` into a run file, building its index."""
+    index: List[int] = []
+    count = 0
+    block = array("Q")
+    with open(path, "wb") as handle:
+        for key in keys:
+            if count % _BLOCK == 0:
+                index.append(key)
+            block.append(key)
+            count += 1
+            if len(block) == _BLOCK:
+                block.tofile(handle)
+                del block[:]
+        if block:
+            block.tofile(handle)
+    return _Run(path, index, count)
+
+
+class SpillStore(FingerprintStore):
+    """Bounded-RAM exact set backed by sorted on-disk runs."""
+
+    backend = "spill"
+
+    def __init__(self, directory: Path, mem_cap: int) -> None:
+        self.directory = Path(directory)
+        self.mem_cap = mem_cap
+        # RAM envelope: roughly half the cap for the buffer, a fixed
+        # sixteenth for the Bloom filter, the rest headroom for run
+        # indexes and interpreter slack.
+        self.buffer_limit = max(_MIN_BUFFER, (mem_cap // 2) // _ENTRY_COST)
+        bloom_bytes = max(4096, mem_cap // 16)
+        self._bloom = bytearray(bloom_bytes)
+        self._bloom_bits = bloom_bytes * 8
+        self._buffer: Set[int] = set()
+        self._runs: List[_Run] = []
+        self._spilled = 0
+        self._next_run = 0
+        self._spills = 0
+        self._merges = 0
+        self._disk_probes = 0
+        self._bloom_skips = 0
+
+    # ------------------------------------------------------------------
+    def _bloom_positions(self, key: int) -> Iterator[int]:
+        mixed = splitmix64(key ^ 0xA5A5A5A5A5A5A5A5)
+        for _ in range(_BLOOM_PROBES):
+            yield mixed % self._bloom_bits
+            mixed = splitmix64(mixed)
+
+    def _bloom_add(self, key: int) -> None:
+        for position in self._bloom_positions(key):
+            self._bloom[position >> 3] |= 1 << (position & 7)
+
+    def _bloom_maybe(self, key: int) -> bool:
+        for position in self._bloom_positions(key):
+            if not self._bloom[position >> 3] & (1 << (position & 7)):
+                return False
+        return True
+
+    def _on_disk(self, key: int) -> bool:
+        if not self._runs:
+            return False
+        if not self._bloom_maybe(key):
+            self._bloom_skips += 1
+            return False
+        for run in self._runs:
+            self._disk_probes += 1
+            if run.contains(key):
+                return True
+        return False
+
+    # ------------------------------------------------------------------
+    def add(self, key: int) -> bool:
+        require_u64(key)
+        if key in self._buffer or self._on_disk(key):
+            return False
+        self._buffer.add(key)
+        if len(self._buffer) >= self.buffer_limit:
+            self._spill()
+        return True
+
+    def __contains__(self, key: int) -> bool:
+        require_u64(key)
+        return key in self._buffer or self._on_disk(key)
+
+    def __len__(self) -> int:
+        return len(self._buffer) + self._spilled
+
+    def __iter__(self) -> Iterator[int]:
+        """Stream all keys in ascending order (runs are disjoint)."""
+        sources: List[Iterator[int]] = [iter(run) for run in self._runs]
+        if self._buffer:
+            sources.append(iter(sorted(self._buffer)))
+        return heapq.merge(*sources)
+
+    # ------------------------------------------------------------------
+    def _spill(self) -> None:
+        keys = sorted(self._buffer)
+        path = self.directory / f"run-{self._next_run:06d}.u64"
+        self._next_run += 1
+        run = _write_run(path, iter(keys))
+        for key in keys:
+            self._bloom_add(key)
+        self._runs.append(run)
+        self._spilled += len(keys)
+        self._buffer.clear()
+        self._spills += 1
+        if len(self._runs) >= _MERGE_AT:
+            self._merge()
+
+    def _merge(self) -> None:
+        """Merge every run into one (runs are disjoint: pure interleave)."""
+        path = self.directory / f"run-{self._next_run:06d}.u64"
+        self._next_run += 1
+        merged = _write_run(path, iter(heapq.merge(*self._runs)))
+        for run in self._runs:
+            run.unlink()
+        self._runs = [merged]
+        self._merges += 1
+
+    # ------------------------------------------------------------------
+    def file_bytes(self) -> int:
+        return sum(run.count * 8 for run in self._runs)
+
+    def counters(self) -> Dict[str, int]:
+        return {
+            "entries": len(self),
+            "runs": len(self._runs),
+            "spills": self._spills,
+            "merges": self._merges,
+            "disk_probes": self._disk_probes,
+            "bloom_skips": self._bloom_skips,
+        }
+
+    def close(self) -> None:
+        for run in self._runs:
+            run.close()

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.cli import build_parser, main
+from repro.cli import _parse_mem, build_parser, main
 
 
 class TestParser:
@@ -22,6 +22,19 @@ class TestParser:
     def test_check_n_choices(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args(["check", "--n", "5"])
+
+    def test_check_store_choices(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["check", "--store", "redis"])
+
+    def test_mem_cap_suffixes(self):
+        assert _parse_mem("4096") == 4096
+        assert _parse_mem("64k") == 64 * 1024
+        assert _parse_mem("200M") == 200 * 1024 * 1024
+        assert _parse_mem("1GiB") == 1 << 30
+        assert _parse_mem("1.5m") == int(1.5 * (1 << 20))
+        args = build_parser().parse_args(["check", "--mem-cap", "32M"])
+        assert args.mem_cap == 32 * 1024 * 1024
 
 
 class TestCommands:
@@ -59,6 +72,61 @@ class TestCommands:
         assert main(["check", "--n", "3", "--budget", "3000"]) == 0
         out = capsys.readouterr().out
         assert "bounded" in out and "VIOLATED" not in out
+
+    def test_check_n3_store_backends_report_footprint(self, capsys, tmp_path):
+        assert main([
+            "check", "--n", "3", "--budget", "2000",
+            "--store", "spill", "--store-dir", str(tmp_path),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "[store:" in out and "VIOLATED" not in out
+
+    def test_check_fingerprint_reports_collision_probability(self, capsys):
+        assert main([
+            "check", "--n", "3", "--budget", "2000", "--fingerprint",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "collision probability" in out
+        assert "warning" not in out  # tiny run, bound far below 1e-6
+
+    def test_check_collision_warning_threshold(self, capsys):
+        from repro import cli
+
+        cli._report_collision(10_000_000)  # ~2.7e-6 > 1e-6
+        out = capsys.readouterr().out
+        assert "warning" in out and "1e-6" in out
+
+    def test_check_checkpoint_resume_roundtrip(self, capsys, tmp_path):
+        argv = ["check", "--n", "3", "--budget", "2000",
+                "--checkpoint-dir", str(tmp_path)]
+        assert main(argv) == 0
+        first = capsys.readouterr().out
+        assert main(["check", "--n", "3", "--budget", "2000",
+                     "--resume", str(tmp_path)]) == 0
+        replayed = capsys.readouterr().out
+        assert [line for line in first.splitlines() if "wiring" in line] == [
+            line for line in replayed.splitlines() if "wiring" in line
+        ]
+
+    def test_check_resume_refuses_other_config(self, capsys, tmp_path):
+        assert main(["check", "--n", "3", "--budget", "2000",
+                     "--checkpoint-dir", str(tmp_path)]) == 0
+        capsys.readouterr()
+        assert main(["check", "--n", "3", "--budget", "9999",
+                     "--resume", str(tmp_path)]) == 2
+        out = capsys.readouterr().out
+        assert "configuration mismatch" in out and "budget" in out
+
+    def test_check_resume_missing_directory(self, capsys, tmp_path):
+        assert main(["check", "--resume", str(tmp_path / "nope")]) == 2
+        assert "no such checkpoint directory" in capsys.readouterr().out
+
+    def test_check_n2_with_store_runs_class_sweep_too(self, capsys, tmp_path):
+        assert main(["check", "--n", "2", "--store", "mmap",
+                     "--store-dir", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "safety+wait-freedom OK" in out
+        assert "store-backed class sweep (mmap)" in out
 
     def test_lower_bound(self, capsys):
         assert main(["lower-bound", "--n", "3"]) == 0

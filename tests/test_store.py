@@ -1,0 +1,271 @@
+"""The fingerprint-store subsystem: backends, guards, conformance.
+
+Three layers of coverage:
+
+- **unit**: each backend honours the :class:`FingerprintStore`
+  contract (add-reports-newness, exact membership, deterministic
+  iteration, bulk load), including the mmap table's zero-key slot and
+  load limit and the spill store's spill/merge/Bloom machinery;
+- **guards**: >64-bit keys and per-interpreter fingerprint functions
+  are rejected loudly, and engine/store combinations that cannot work
+  (object tables on disk, wait-freedom on a digest store) raise up
+  front;
+- **conformance**: the exhaustive N=2 exploration reports identical
+  states/transitions/verdicts whatever the backend, with and without
+  fingerprinting and symmetry reduction — the property the disk
+  backends are allowed to exist under.
+"""
+
+import random
+
+import pytest
+
+import repro.checker.parallel as parallel
+from repro.analysis.statistics import aggregate_store_statistics
+from repro.checker import Explorer, SystemSpec
+from repro.checker.fast_snapshot import FastSnapshotSpec
+from repro.checker.fingerprint import fingerprint_state
+from repro.checker.parallel import explore_sharded
+from repro.checker.properties import SNAPSHOT_SAFETY
+from repro.core import SnapshotMachine
+from repro.memory.wiring import WiringAssignment
+from repro.store import (
+    BACKENDS,
+    StoreConfig,
+    StoreError,
+    StoreFullError,
+    require_cross_process_stable,
+)
+
+WIRING = ((0, 1), (0, 1))
+
+
+def _keys(count, seed=7):
+    rng = random.Random(seed)
+    return list({rng.getrandbits(64) for _ in range(count)})
+
+
+def _make(backend, tmp_path, mem_cap=None):
+    config = StoreConfig(
+        backend=backend,
+        directory=str(tmp_path / backend),
+        **({"mem_cap": mem_cap} if mem_cap is not None else {}),
+    )
+    return config.create()
+
+
+# ----------------------------------------------------------------------
+# The backend contract, uniformly
+# ----------------------------------------------------------------------
+
+
+class TestBackendContract:
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_add_contains_len_iter(self, backend, tmp_path):
+        store = _make(backend, tmp_path)
+        keys = _keys(2000)
+        try:
+            for key in keys:
+                assert store.add(key)
+            for key in keys:
+                assert not store.add(key)  # re-add reports "already there"
+                assert key in store
+            assert len(store) == len(keys)
+            missing = next(k for k in range(1, 100) if k not in set(keys))
+            assert missing not in store
+            assert sorted(store) == sorted(keys)
+        finally:
+            store.close()
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_load_bulk_inserts_and_counts(self, backend, tmp_path):
+        store = _make(backend, tmp_path)
+        keys = _keys(500)
+        try:
+            assert store.load(keys) == len(keys)
+            assert store.load(keys) == 0  # idempotent
+            assert len(store) == len(keys)
+        finally:
+            store.close()
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_counters_report_entries(self, backend, tmp_path):
+        store = _make(backend, tmp_path)
+        try:
+            store.load(_keys(100))
+            assert store.counters()["entries"] == 100
+        finally:
+            store.close()
+
+    @pytest.mark.parametrize("backend", ["mmap", "spill"])
+    def test_wide_keys_are_rejected(self, backend, tmp_path):
+        store = _make(backend, tmp_path)
+        try:
+            with pytest.raises(StoreError, match="64-bit"):
+                store.add(1 << 64)
+        finally:
+            store.close()
+
+
+class TestMmapStore:
+    def test_zero_key_roundtrip(self, tmp_path):
+        store = _make("mmap", tmp_path)
+        try:
+            assert 0 not in store
+            assert store.add(0)
+            assert not store.add(0)
+            assert 0 in store
+            assert 0 in list(store)
+        finally:
+            store.close()
+
+    def test_full_table_suggests_spill(self, tmp_path):
+        # 8 KiB -> the 1024-slot minimum table; the 7/8 load limit
+        # trips before slot exhaustion.
+        store = _make("mmap", tmp_path, mem_cap=8192)
+        try:
+            with pytest.raises(StoreFullError, match="spill"):
+                for key in _keys(1000):
+                    store.add(key)
+        finally:
+            store.close()
+
+    def test_file_bytes_is_table_size(self, tmp_path):
+        store = _make("mmap", tmp_path, mem_cap=8192)
+        try:
+            assert store.file_bytes() == 1024 * 8
+        finally:
+            store.close()
+
+
+class TestSpillStore:
+    def test_spills_and_merges_preserve_membership(self, tmp_path):
+        # The minimum buffer is 1024 keys; 7k keys force 6 spills, which
+        # trips the merge-all consolidation.
+        store = _make("spill", tmp_path, mem_cap=4096)
+        keys = _keys(7000)
+        try:
+            for key in keys:
+                assert store.add(key)
+            counters = store.counters()
+            assert counters["spills"] >= 6
+            assert counters["merges"] >= 1
+            for key in keys:
+                assert key in store
+            assert sorted(store) == sorted(keys)
+            assert store.file_bytes() > 0
+        finally:
+            store.close()
+
+    def test_bloom_short_circuits_misses(self, tmp_path):
+        store = _make("spill", tmp_path, mem_cap=4096)
+        try:
+            store.load(_keys(3000, seed=1))
+            hits = sum(1 for key in _keys(3000, seed=2) if key in store)
+            counters = store.counters()
+            assert hits == 0
+            assert counters["bloom_skips"] > 0
+        finally:
+            store.close()
+
+
+# ----------------------------------------------------------------------
+# Configuration and guards
+# ----------------------------------------------------------------------
+
+
+class TestGuards:
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(StoreError, match="unknown store backend"):
+            StoreConfig(backend="redis")
+
+    def test_nonpositive_mem_cap_rejected(self):
+        with pytest.raises(StoreError, match="mem_cap"):
+            StoreConfig(backend="spill", mem_cap=0)
+
+    def test_per_interpreter_fingerprint_rejected(self):
+        with pytest.raises(StoreError, match="PYTHONHASHSEED"):
+            require_cross_process_stable(fingerprint_state)
+
+    def test_sharded_run_refuses_fingerprint_state(self, monkeypatch):
+        monkeypatch.setattr(
+            parallel, "effective_jobs", lambda requested: requested
+        )
+        with pytest.raises(StoreError, match="fingerprint_state"):
+            explore_sharded(
+                [1, 2], WIRING, jobs=2, fingerprint_fn=fingerprint_state
+            )
+
+    def test_wait_freedom_requires_ram_store(self, tmp_path):
+        spec = FastSnapshotSpec([1, 2], WIRING)
+        config = StoreConfig(backend="spill", directory=str(tmp_path))
+        with pytest.raises(ValueError, match="wait"):
+            spec.explore(check_wait_freedom=True, store=config)
+
+    def test_generic_explorer_requires_fingerprint_for_disk(self, tmp_path):
+        spec = SystemSpec(
+            SnapshotMachine(2), [1, 2], WiringAssignment.identity(2, 2)
+        )
+        config = StoreConfig(backend="mmap", directory=str(tmp_path))
+        with pytest.raises(ValueError, match="fingerprint"):
+            Explorer(spec, SNAPSHOT_SAFETY, store=config)
+
+
+# ----------------------------------------------------------------------
+# Exploration conformance across backends
+# ----------------------------------------------------------------------
+
+
+def _signature(result):
+    return (
+        result.states, result.transitions, result.ok, result.complete,
+        result.covered_states,
+    )
+
+
+class TestExplorationConformance:
+    @pytest.mark.parametrize("fingerprint", [False, True])
+    @pytest.mark.parametrize("symmetry", [False, True])
+    def test_exhaustive_n2_identical_across_backends(
+        self, tmp_path, fingerprint, symmetry
+    ):
+        spec = FastSnapshotSpec([1, 2], WIRING)
+        signatures = {}
+        for backend in BACKENDS:
+            config = StoreConfig(
+                backend=backend, directory=str(tmp_path / backend)
+            )
+            result = spec.explore(
+                fingerprint=fingerprint, symmetry=symmetry, store=config
+            )
+            signatures[backend] = _signature(result)
+            assert result.store_counters is not None
+            assert result.store_counters["entries"] == result.states
+        assert len(set(signatures.values())) == 1, signatures
+
+    def test_generic_fingerprint_explorer_matches_on_disk(self, tmp_path):
+        spec = SystemSpec(
+            SnapshotMachine(2), [1, 2], WiringAssignment.identity(2, 2)
+        )
+        baseline = Explorer(spec, SNAPSHOT_SAFETY, fingerprint=True).run()
+        config = StoreConfig(backend="spill", directory=str(tmp_path))
+        on_disk = Explorer(
+            spec, SNAPSHOT_SAFETY, fingerprint=True, store=config
+        ).run()
+        assert (baseline.states, baseline.transitions, baseline.ok) == (
+            on_disk.states, on_disk.transitions, on_disk.ok,
+        )
+        assert on_disk.store_counters["entries"] == on_disk.states
+
+    def test_default_store_reports_no_counters(self):
+        result = FastSnapshotSpec([1, 2], WIRING).explore()
+        assert result.store_counters is None
+
+    def test_store_statistics_aggregate(self, tmp_path):
+        spec = FastSnapshotSpec([1, 2], WIRING)
+        config = StoreConfig(backend="ram")
+        results = [spec.explore(store=config) for _ in range(2)]
+        stats = aggregate_store_statistics(results + [spec.explore()])
+        assert stats.entries == sum(r.states for r in results)
+        assert stats.file_bytes == 0
+        assert "stored keys" in stats.summary()
