@@ -22,7 +22,14 @@ workloads, four axes:
   runs) — states/s, peak RSS, and bytes on disk per backend, plus a
   ``spill_memcap`` entry that runs the spill backend under a hard 200
   MB ``mem_cap`` (``--spill-states``, default 5M standalone) and
-  records whether the workload's RSS delta stayed under the cap;
+  records whether the workload's RSS delta stayed under the cap; a
+  ``spill_parallel_merge`` twin runs the same workload with
+  ``merge_jobs=2`` and records merge wall time next to the serial
+  entry's;
+- **por**: ample-set partial-order reduction on the exhaustive N=2
+  class sweep in all four ``por x symmetry`` combinations — verdict/
+  violation-set identity and the transitions cut (the acceptance bar:
+  >= 2x with ``por+symmetry``);
 - **conformance**: parallel and serial must report identical verdicts
   (and identical states/transitions for the class sweep), and all
   three store backends must report identical states/transitions/
@@ -83,6 +90,7 @@ def _run_workload(config: dict) -> dict:
     from repro.memory.wiring import WiringAssignment
 
     symmetry = config.get("symmetry", False)
+    por = config.get("por", False)
 
     store_config = None
     if config.get("store"):
@@ -91,6 +99,7 @@ def _run_workload(config: dict) -> dict:
         store_config = StoreConfig(
             backend=config["store"],
             mem_cap=config.get("mem_cap", DEFAULT_MEM_CAP),
+            merge_jobs=config.get("merge_jobs", 0),
         )
 
     def _store_detail(results) -> dict:
@@ -101,12 +110,27 @@ def _run_workload(config: dict) -> dict:
         stats = aggregate_store_statistics(results)
         return {"store": {
             "backend": store_config.backend,
+            "merge_jobs": store_config.merge_jobs,
             "entries": stats.entries,
             "file_bytes": stats.file_bytes,
             "spills": stats.spills,
             "merges": stats.merges,
+            "merge_wall_ms": stats.merge_wall_ms,
             "disk_probes": stats.disk_probes,
             "bloom_skips": stats.bloom_skips,
+        }}
+
+    def _por_detail(results) -> dict:
+        if not por:
+            return {}
+        from repro.analysis.statistics import aggregate_por_statistics
+
+        stats = aggregate_por_statistics(results)
+        return {"por_counters": {
+            "transitions_pruned": stats.transitions_pruned,
+            "ample_states": stats.ample_states,
+            "fully_expanded_states": stats.fully_expanded_states,
+            "cycle_proviso_expansions": stats.cycle_proviso_expansions,
         }}
 
     def _collision_detail(states: int) -> dict:
@@ -142,19 +166,25 @@ def _run_workload(config: dict) -> dict:
     kind = config["kind"]
     if kind == "fast_classes":
         rows = check_snapshot_classes(
-            3,
+            config.get("n", 3),
             budget=config["budget"],
             jobs=config["jobs"],
             fingerprint=config.get("fingerprint", False),
             symmetry=symmetry,
             store=store_config,
+            por=por,
         )
         states = sum(result.states for _, result in rows)
         transitions = sum(result.transitions for _, result in rows)
         ok = all(result.ok for _, result in rows)
         detail = {"classes": len(rows), **_jobs_detail(config["jobs"]),
                   **_symmetry_detail([result for _, result in rows]),
-                  **_store_detail([result for _, result in rows])}
+                  **_store_detail([result for _, result in rows]),
+                  **_por_detail([result for _, result in rows]),
+                  "violations": sorted(
+                      result.violation for _, result in rows
+                      if result.violation is not None
+                  )}
     elif kind == "fast_sharded":
         result = explore_sharded(
             [1, 2, 3],
@@ -163,11 +193,13 @@ def _run_workload(config: dict) -> dict:
             max_states=config["budget"],
             fingerprint=config.get("fingerprint", False),
             symmetry=symmetry,
+            por=por,
         )
         states, transitions, ok = result.states, result.transitions, result.ok
         detail = {"class": list(map(list, _REFERENCE_CLASS)),
                   **_jobs_detail(config["jobs"]),
-                  **_symmetry_detail([result])}
+                  **_symmetry_detail([result]),
+                  **_por_detail([result])}
     elif kind == "fast_single":
         from repro.checker.fast_snapshot import FastSnapshotSpec
 
@@ -177,11 +209,13 @@ def _run_workload(config: dict) -> dict:
             fingerprint=config.get("fingerprint", False),
             symmetry=symmetry,
             store=store_config,
+            por=por,
         )
         states, transitions, ok = result.states, result.transitions, result.ok
         detail = {"class": list(map(list, wiring)),
                   **_symmetry_detail([result]),
-                  **_store_detail([result])}
+                  **_store_detail([result]),
+                  **_por_detail([result])}
     elif kind == "generic":
         spec = SystemSpec(
             SnapshotMachine(3), [1, 2, 3], WiringAssignment.identity(3, 3)
@@ -379,6 +413,45 @@ def run_suite(budget: int, jobs_axis=(1, 2, 4), spill_states=None) -> dict:
     )
     store["spill_memcap"] = spill_entry
     store["conformant"] = store_conformant
+    # Parallel-merge twin of the plain spill workload: same exploration,
+    # merge_jobs=2 run consolidation.  merge_wall_ms lands in both
+    # entries' store detail, so serial vs parallel merge cost is a diff
+    # within the section (small CI budgets stay under the parallel
+    # threshold and legitimately record the serial fallback's time).
+    store["spill_parallel_merge"] = measure(
+        {"kind": "fast_single", "budget": budget, "store": "spill",
+         "merge_jobs": 2}
+    )
+
+    # POR axis: the exhaustive N=2 class sweep in all four
+    # por x symmetry combinations.  The acceptance bar: identical
+    # verdicts and violation sets, >= 2x fewer transitions with
+    # --por --symmetry than unreduced.
+    por = {}
+    for label, flags in (
+        ("baseline", {}),
+        ("symmetry", {"symmetry": True}),
+        ("por", {"por": True}),
+        ("por_symmetry", {"por": True, "symmetry": True}),
+    ):
+        por[label] = measure(
+            {"kind": "fast_classes", "n": 2, "budget": None, "jobs": 1,
+             **flags}
+        )
+    por_labels = ("baseline", "symmetry", "por", "por_symmetry")
+    por["verdicts_identical"] = (
+        len({por[label]["ok"] for label in por_labels}) == 1
+        and len({
+            tuple(por[label]["violations"]) for label in por_labels
+        }) == 1
+    )
+    por["transitions_cut_por_symmetry_vs_baseline"] = round(
+        por["baseline"]["transitions"]
+        / max(1, por["por_symmetry"]["transitions"]), 2
+    )
+    por["transitions_cut_por_vs_baseline"] = round(
+        por["baseline"]["transitions"] / max(1, por["por"]["transitions"]), 2
+    )
 
     serial = sweep["serial"]
     best_label = max(
@@ -410,7 +483,7 @@ def run_suite(budget: int, jobs_axis=(1, 2, 4), spill_states=None) -> dict:
     }
     return {
         "sweep": sweep, "memory": memory, "symmetry": symmetry,
-        "store": store, "derived": derived,
+        "store": store, "por": por, "derived": derived,
     }
 
 
@@ -482,6 +555,11 @@ def test_e15_write_bench_json(benchmark):
     # (>= 5M states, where a RAM set would dwarf the 200 MB cap).
     if spill_entry["states"] >= 5_000_000:
         assert spill_entry["rss_under_cap"], spill_entry
+    # POR acceptance: identical verdicts across all four por x symmetry
+    # combinations, and the composed reduction cuts transitions >= 2x.
+    por = payload["por"]
+    assert por["verdicts_identical"], por
+    assert por["transitions_cut_por_symmetry_vs_baseline"] >= 2.0, por
     path = write_checker_bench(payload)
     emit("", f"E15c — BENCH_checker.json written: {path}",
          f"  best parallel speedup vs serial:"
@@ -548,7 +626,21 @@ def main(argv=None) -> int:
           f" (under cap: {spill_entry['rss_under_cap']}),"
           f" disk {spill_entry['store']['file_bytes'] // (1024 * 1024)} MiB")
     print(f"  store backends conformant: {store['conformant']}")
+    merge_entry = store["spill_parallel_merge"]
+    print(f"  store/spill_parallel_merge: {merge_entry['states']} states,"
+          f" {merge_entry['store']['merges']} merges in"
+          f" {merge_entry['store']['merge_wall_ms']} ms"
+          f" (merge_jobs={merge_entry['store']['merge_jobs']};"
+          f" serial twin: {store['spill']['store']['merge_wall_ms']} ms)")
+    por = payload["por"]
+    print(f"  por: N=2 exhaustive sweep, verdicts identical across"
+          f" por x symmetry: {por['verdicts_identical']};"
+          f" transitions cut {por['transitions_cut_por_vs_baseline']}x"
+          f" (por) / {por['transitions_cut_por_symmetry_vs_baseline']}x"
+          f" (por+symmetry)")
     ok = all(e["ok"] for e in payload["sweep"].values())
+    ok = ok and por["verdicts_identical"]
+    ok = ok and por["transitions_cut_por_symmetry_vs_baseline"] >= 2.0
     ok = ok and store["conformant"] and spill_entry["ok"]
     if spill_entry["states"] >= 5_000_000:
         ok = ok and spill_entry["rss_under_cap"]

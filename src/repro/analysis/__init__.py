@@ -18,7 +18,11 @@ from repro.analysis.consensus_livelock import (
 )
 from repro.analysis.statistics import (
     ExecutionStatistics,
+    PORStatistics,
+    StoreStatistics,
     SymmetryStatistics,
+    aggregate_por_statistics,
+    aggregate_store_statistics,
     aggregate_symmetry_statistics,
     collect_statistics,
     level_trace,
@@ -40,6 +44,10 @@ __all__ = [
     "level_trace",
     "SymmetryStatistics",
     "aggregate_symmetry_statistics",
+    "PORStatistics",
+    "aggregate_por_statistics",
+    "StoreStatistics",
+    "aggregate_store_statistics",
     "render_lanes",
     "render_register_history",
     "erasure_summary",

@@ -199,6 +199,9 @@ class StoreStatistics:
     disk_probes: int = 0
     #: Lookups the Bloom filter resolved without touching disk.
     bloom_skips: int = 0
+    #: Wall-clock milliseconds spent consolidating sorted runs
+    #: (spill backend; parallel merges count elapsed, not CPU, time).
+    merge_wall_ms: int = 0
 
     @property
     def disk_hit_fraction(self) -> float:
@@ -211,7 +214,8 @@ class StoreStatistics:
     def summary(self) -> str:
         disk = (
             f"; {self.file_bytes / (1024 * 1024):.1f} MiB on disk"
-            f" ({self.spills} spills, {self.merges} merges,"
+            f" ({self.spills} spills, {self.merges} merges"
+            f" in {self.merge_wall_ms} ms,"
             f" disk-hit fraction {self.disk_hit_fraction:.3f})"
             if self.file_bytes
             else ""
@@ -237,6 +241,79 @@ def aggregate_store_statistics(results) -> StoreStatistics:
         totals.merges += counters.get("merges", 0)
         totals.disk_probes += counters.get("disk_probes", 0)
         totals.bloom_skips += counters.get("bloom_skips", 0)
+        totals.merge_wall_ms += counters.get("merge_wall_ms", 0)
+    return totals
+
+
+@dataclass
+class PORStatistics:
+    """Aggregated ample-set reduction counters from exploration runs.
+
+    One entry folds the ``por_counters`` of a set of results produced
+    with ``por=True`` (:mod:`repro.checker.por`): how many transitions
+    the ample sets pruned, how the expanded states split between ample
+    and full expansion, and how often the cycle proviso (C3) forced a
+    full expansion that invisibility alone would have allowed to be
+    reduced.  Benchmark E15's ``por`` section and the ``check --por``
+    sweep summary both build on this shape.
+    """
+
+    #: Successor transitions the ample sets never generated.
+    transitions_pruned: int
+    #: Expanded states whose ample set was a strict subset of their
+    #: enabled transitions.
+    ample_states: int
+    #: Expanded states that were fully expanded (no valid ample set,
+    #: fewer than two active processors, or C3 rejection).
+    fully_expanded_states: int
+    #: Full expansions forced *specifically* by the cycle proviso: some
+    #: candidate passed C0-C2 but every candidate's successors were all
+    #: already visited.
+    cycle_proviso_expansions: int = 0
+
+    @property
+    def states(self) -> int:
+        """Total expanded states (ample + full)."""
+        return self.ample_states + self.fully_expanded_states
+
+    @property
+    def ample_fraction(self) -> float:
+        """Fraction of expanded states that took an ample (reduced) set."""
+        if self.states == 0:
+            return 0.0
+        return self.ample_states / self.states
+
+    def summary(self) -> str:
+        return (
+            f"{self.transitions_pruned} transitions pruned;"
+            f" {self.ample_states}/{self.states} states ample"
+            f" ({self.ample_fraction:.2f});"
+            f" {self.cycle_proviso_expansions} cycle-proviso expansions"
+        )
+
+
+def aggregate_por_statistics(results) -> PORStatistics:
+    """Fold exploration results into one :class:`PORStatistics`.
+
+    Accepts any iterable of result objects; results without
+    ``por_counters`` (unreduced runs) contribute nothing, so mixed
+    sweeps aggregate correctly.
+    """
+    totals = PORStatistics(
+        transitions_pruned=0, ample_states=0, fully_expanded_states=0
+    )
+    for result in results:
+        counters = getattr(result, "por_counters", None)
+        if not counters:
+            continue
+        totals.transitions_pruned += counters.get("transitions_pruned", 0)
+        totals.ample_states += counters.get("ample_states", 0)
+        totals.fully_expanded_states += counters.get(
+            "fully_expanded_states", 0
+        )
+        totals.cycle_proviso_expansions += counters.get(
+            "cycle_proviso_expansions", 0
+        )
     return totals
 
 

@@ -73,6 +73,10 @@ class ExplorationResult:
     #: Runs with an explicit store configuration: the backend's
     #: operation counters plus ``file_bytes`` (disk footprint).
     store_counters: Optional[Dict[str, int]] = None
+    #: POR runs only: the ample-set selector's counters
+    #: (transitions pruned, ample vs fully-expanded states, cycle-
+    #: proviso expansions); see :class:`repro.checker.por.PORCounters`.
+    por_counters: Optional[Dict[str, int]] = None
 
     @property
     def ok(self) -> bool:
@@ -127,6 +131,24 @@ class Explorer:
         interpreter, so a disk store written by this engine is
         meaningful within the writing process only (no checkpoint /
         resume here; use the packed-integer engines for that).
+    por:
+        Ample-set partial-order reduction (:mod:`repro.checker.por`):
+        at each state, when one processor's enabled operations are
+        independent of every other enabled processor's (disjoint
+        physical-register footprints), invisible under every checked
+        invariant's declared visibility footprint, and lead to at
+        least one unvisited state (cycle proviso), only that
+        processor is expanded.  Invariants without a
+        ``@visibility_footprint`` declaration make every step visible,
+        so the run degenerates to full expansion.  Composes with
+        ``symmetry`` (selection happens on the representative's
+        concrete successors, which are then canonicalized as usual)
+        and with ``fingerprint``/``store``.  Incompatible with
+        ``keep_edges``: liveness (lasso) analysis needs the unreduced
+        graph.
+    por_cycle_proviso:
+        Test seam: disables C3, demonstrating the livelock miss the
+        proviso prevents (``tests/test_por.py``).  Leave on.
     """
 
     def __init__(
@@ -140,7 +162,15 @@ class Explorer:
         fingerprint: bool = False,
         symmetry: bool = False,
         store: Optional[StoreConfig] = None,
+        por: bool = False,
+        por_cycle_proviso: bool = True,
     ) -> None:
+        if por and keep_edges:
+            raise ValueError(
+                "partial-order reduction prunes interleavings, but"
+                " keep_edges (liveness/lasso analysis) needs the full"
+                " unreduced transition graph — drop --por"
+            )
         if fingerprint and keep_edges:
             raise ValueError(
                 "fingerprint mode stores no state table; keep_edges"
@@ -169,6 +199,9 @@ class Explorer:
         self.fingerprint = fingerprint
         self.symmetry = symmetry
         self.store = store
+        self.por = por
+        self.por_cycle_proviso = por_cycle_proviso
+        self._selector = None
 
     def _make_store(self):
         return (self.store or StoreConfig()).create()
@@ -181,14 +214,33 @@ class Explorer:
         return counters
 
     def run(self) -> ExplorationResult:
+        self._selector = None
+        if self.por:
+            from repro.checker.por import AmpleSelector
+
+            self._selector = AmpleSelector(
+                self.spec, self.invariants,
+                cycle_proviso=self.por_cycle_proviso,
+            )
         if self.symmetry:
             canonicalizer = StateCanonicalizer(self.spec)
             if self.fingerprint:
-                return self._run_fingerprint_symmetric(canonicalizer)
-            return self._run_full_symmetric(canonicalizer)
-        if self.fingerprint:
-            return self._run_fingerprint()
-        return self._run_full()
+                result = self._run_fingerprint_symmetric(canonicalizer)
+            else:
+                result = self._run_full_symmetric(canonicalizer)
+        elif self.fingerprint:
+            result = self._run_fingerprint()
+        else:
+            result = self._run_full()
+        if self._selector is not None:
+            result.por_counters = self._selector.counters.as_dict()
+        return result
+
+    def _successors_of(self, current, is_new):
+        """The expansion of ``current``: ample-reduced when POR is on."""
+        if self._selector is not None:
+            return self._selector.expand(current, is_new)
+        return list(self.spec.successors(current))
 
     def _run_full(self) -> ExplorationResult:
         spec = self.spec
@@ -218,10 +270,11 @@ class Explorer:
             )
 
         truncated = 0
+        is_new = lambda s: s not in index_of
         while queue:
             current_index = queue.popleft()
             current = states[current_index]
-            successors = list(spec.successors(current))
+            successors = self._successors_of(current, is_new)
             if not successors and self.collect_final_states:
                 if len(final_states) < self.max_final_states:
                     final_states.append(current)
@@ -319,10 +372,11 @@ class Explorer:
                 symmetry_group_order=canonicalizer.order,
             )
 
+        is_new = lambda s: canonicalizer.canonical(s)[0] not in index_of
         while queue:
             current_index = queue.popleft()
             current = states[current_index]
-            successors = list(spec.successors(current))
+            successors = self._successors_of(current, is_new)
             if not successors and self.collect_final_states:
                 if len(final_states) < self.max_final_states:
                     final_states.append(current)
@@ -420,9 +474,12 @@ class Explorer:
                     store_counters=self._store_counters(seen),
                 )
 
+            is_new = lambda s: (
+                fingerprint_state(canonicalizer.canonical(s)[0]) not in seen
+            )
             while queue:
                 depth, current = queue.popleft()
-                successors = list(spec.successors(current))
+                successors = self._successors_of(current, is_new)
                 if not successors and self.collect_final_states:
                     if len(final_states) < self.max_final_states:
                         final_states.append(current)
@@ -617,9 +674,10 @@ class Explorer:
                     store_counters=self._store_counters(seen),
                 )
 
+            is_new = lambda s: fingerprint_state(s) not in seen
             while queue:
                 depth, current = queue.popleft()
-                successors = list(spec.successors(current))
+                successors = self._successors_of(current, is_new)
                 if not successors and self.collect_final_states:
                     if len(final_states) < self.max_final_states:
                         final_states.append(current)

@@ -72,6 +72,9 @@ class FastExplorationResult:
     #: Runs with an explicit store configuration: the backend's
     #: operation counters plus ``file_bytes`` (disk footprint).
     store_counters: Optional[Dict[str, int]] = None
+    #: POR runs only: ample-set selector counters (transitions pruned,
+    #: ample vs fully-expanded states, cycle-proviso expansions).
+    por_counters: Optional[Dict[str, int]] = None
 
     @property
     def ok(self) -> bool:
@@ -484,6 +487,8 @@ class FastSnapshotSpec:
         symmetry: bool = False,
         store: Optional[StoreConfig] = None,
         checkpointer: Optional[RunCheckpointer] = None,
+        por: bool = False,
+        por_cycle_proviso: bool = True,
     ) -> FastExplorationResult:
         """BFS over all reachable states (for this wiring).
 
@@ -522,7 +527,26 @@ class FastSnapshotSpec:
         ``explore`` again with a checkpointer over the same directory
         resumes from the last committed checkpoint, or returns the
         recorded result directly if the run already finished.
+
+        With ``por`` an ample-set partial-order reduction
+        (:mod:`repro.checker.por`) prunes commuting interleavings: a
+        state whose processors' current operations touch disjoint
+        physical registers expands only one processor, provided its
+        steps are invisible to ``check_outputs`` (no termination) and
+        reach at least one unvisited state (cycle proviso).  Composes
+        with ``symmetry`` (selection on the representative's concrete
+        successors, canonicalized as usual), ``fingerprint``,
+        ``store`` and ``checkpointer``; incompatible with
+        ``check_wait_freedom``, whose lasso analysis needs the
+        unreduced graph.  ``por_cycle_proviso`` is a test seam
+        (disables C3); leave it on.
         """
+        if por and check_wait_freedom:
+            raise ValueError(
+                "partial-order reduction prunes interleavings, but"
+                " wait-freedom (lasso) analysis needs the full"
+                " unreduced transition graph — drop por"
+            )
         if fingerprint and check_wait_freedom:
             raise ValueError(
                 "fingerprint mode keeps no state table; wait-freedom"
@@ -562,7 +586,7 @@ class FastSnapshotSpec:
             )
         result = self._explore_lean(
             max_states, check_safety, progress_every, fingerprint, symmetry,
-            store, checkpointer,
+            store, checkpointer, por, por_cycle_proviso,
         )
         if checkpointer is not None:
             checkpointer.mark_complete(asdict(result))
@@ -577,6 +601,8 @@ class FastSnapshotSpec:
         symmetry: bool = False,
         store: Optional[StoreConfig] = None,
         checkpointer: Optional[RunCheckpointer] = None,
+        por: bool = False,
+        por_cycle_proviso: bool = True,
     ) -> FastExplorationResult:
         """Safety-only BFS: dedup set + frontier, no index/order tables.
 
@@ -595,6 +621,7 @@ class FastSnapshotSpec:
                 return self._explore_lean_symmetric(
                     canonicalizer, max_states, check_safety,
                     progress_every, fingerprint, store, checkpointer,
+                    por, por_cycle_proviso,
                 )
             # Trivial stabilizer: the quotient IS the concrete graph;
             # fall through to the plain loop and report covered==states.
@@ -611,6 +638,24 @@ class FastSnapshotSpec:
             counters = dict(store_obj.counters())
             counters["file_bytes"] = store_obj.file_bytes()
             return counters
+
+        selector = None
+        is_new = None
+        if por:
+            from repro.checker.por import FastAmpleSelector
+
+            selector = FastAmpleSelector(
+                self, check_safety=check_safety,
+                cycle_proviso=por_cycle_proviso,
+            )
+            membership = ram_set if ram_set is not None else store_obj
+            if fingerprint:
+                is_new = lambda s: fingerprint_int(s) not in membership
+            else:
+                is_new = lambda s: s not in membership
+
+        def _por_counters() -> Optional[Dict[str, int]]:
+            return selector.counters.as_dict() if selector is not None else None
 
         try:
             initial = self.initial_state()
@@ -629,6 +674,8 @@ class FastSnapshotSpec:
                 n_seen = int(resumed.counters["admitted"])
                 transitions = int(resumed.counters["transitions"])
                 truncated = int(resumed.counters["truncated"])
+                if selector is not None:
+                    selector.counters.load(resumed.counters)
                 for pending in resumed.frontier():
                     if packable:
                         queue.push(pending)
@@ -641,6 +688,7 @@ class FastSnapshotSpec:
                         return FastExplorationResult(
                             1, 0, True, violation,
                             store_counters=_store_counters(),
+                            por_counters=_por_counters(),
                         )
                 store_add(fingerprint_int(initial) if fingerprint else initial)
                 n_seen = 1
@@ -655,13 +703,16 @@ class FastSnapshotSpec:
 
             while True:
                 if checkpointer is not None and checkpointer.due(n_seen):
+                    counters = {
+                        "admitted": n_seen,
+                        "transitions": transitions,
+                        "truncated": truncated,
+                    }
+                    if selector is not None:
+                        counters.update(selector.counters.as_dict())
                     checkpointer.write(
                         queue.snapshot() if packable else iter(frontier),
-                        {
-                            "admitted": n_seen,
-                            "transitions": transitions,
-                            "truncated": truncated,
-                        },
+                        counters,
                         iter(store_obj),
                     )
                 if packable:
@@ -672,7 +723,10 @@ class FastSnapshotSpec:
                     if not frontier:
                         break
                     state = frontier.popleft()
-                successor_states_into(state, buf)
+                if selector is None:
+                    successor_states_into(state, buf)
+                else:
+                    selector.expand(state, buf, is_new)
                 transitions += len(buf)
                 for successor in buf:
                     key = (
@@ -710,6 +764,7 @@ class FastSnapshotSpec:
                                 n_seen, transitions, complete, violation,
                                 truncated_transitions=truncated,
                                 store_counters=_store_counters(),
+                                por_counters=_por_counters(),
                             )
                     if progress_every and n_seen % progress_every == 0:
                         print(
@@ -732,6 +787,7 @@ class FastSnapshotSpec:
                     canonicalizer.order if canonicalizer is not None else None
                 ),
                 store_counters=_store_counters(),
+                por_counters=_por_counters(),
             )
         finally:
             store_obj.close()
@@ -745,6 +801,8 @@ class FastSnapshotSpec:
         fingerprint: bool,
         store: Optional[StoreConfig] = None,
         checkpointer: Optional[RunCheckpointer] = None,
+        por: bool = False,
+        por_cycle_proviso: bool = True,
     ) -> FastExplorationResult:
         """The lean BFS over the quotient graph: one state per orbit.
 
@@ -777,6 +835,18 @@ class FastSnapshotSpec:
             counters["file_bytes"] = store_obj.file_bytes()
             return counters
 
+        selector = None
+        if por:
+            from repro.checker.por import FastAmpleSelector
+
+            selector = FastAmpleSelector(
+                self, check_safety=check_safety,
+                cycle_proviso=por_cycle_proviso,
+            )
+
+        def _por_counters() -> Optional[Dict[str, int]]:
+            return selector.counters.as_dict() if selector is not None else None
+
         try:
             initial = canonical(self.initial_state())
             packable = fingerprint and self.state_bits <= 64
@@ -796,6 +866,8 @@ class FastSnapshotSpec:
                 transitions = int(resumed.counters["transitions"])
                 truncated = int(resumed.counters["truncated"])
                 covered = int(resumed.counters["covered"])
+                if selector is not None:
+                    selector.counters.load(resumed.counters)
                 for pending in resumed.frontier():
                     if packable:
                         queue.push(pending)
@@ -810,6 +882,7 @@ class FastSnapshotSpec:
                             covered_states=orbit_size(initial),
                             symmetry_group_order=canonicalizer.order,
                             store_counters=_store_counters(),
+                            por_counters=_por_counters(),
                         )
                 store_add(fingerprint_int(initial) if fingerprint else initial)
                 n_seen = 1
@@ -828,17 +901,36 @@ class FastSnapshotSpec:
             buf: List[int] = []
             check_outputs = self.check_outputs
             successor_states_into = self.successor_states_into
+            is_new = None
+            if selector is not None:
+                membership = ram_set if ram_set is not None else store_obj
+
+                def is_new(successor: int) -> bool:
+                    # A raw successor seen before had its representative
+                    # admitted then — certainly not new.
+                    if raw_seen is not None and successor in raw_seen:
+                        return False
+                    representative = canonical(successor)
+                    key = (
+                        fingerprint_int(representative)
+                        if fingerprint
+                        else representative
+                    )
+                    return key not in membership
 
             while True:
                 if checkpointer is not None and checkpointer.due(n_seen):
+                    counters = {
+                        "admitted": n_seen,
+                        "transitions": transitions,
+                        "truncated": truncated,
+                        "covered": covered,
+                    }
+                    if selector is not None:
+                        counters.update(selector.counters.as_dict())
                     checkpointer.write(
                         queue.snapshot() if packable else iter(frontier),
-                        {
-                            "admitted": n_seen,
-                            "transitions": transitions,
-                            "truncated": truncated,
-                            "covered": covered,
-                        },
+                        counters,
                         iter(store_obj),
                     )
                 if packable:
@@ -849,7 +941,10 @@ class FastSnapshotSpec:
                     if not frontier:
                         break
                     state = frontier.popleft()
-                successor_states_into(state, buf)
+                if selector is None:
+                    successor_states_into(state, buf)
+                else:
+                    selector.expand(state, buf, is_new)
                 transitions += len(buf)
                 for successor in buf:
                     if raw_seen is not None:
@@ -895,6 +990,7 @@ class FastSnapshotSpec:
                                 covered_states=covered,
                                 symmetry_group_order=canonicalizer.order,
                                 store_counters=_store_counters(),
+                                por_counters=_por_counters(),
                             )
                     if progress_every and n_seen % progress_every == 0:
                         print(
@@ -913,6 +1009,7 @@ class FastSnapshotSpec:
                 covered_states=covered,
                 symmetry_group_order=canonicalizer.order,
                 store_counters=_store_counters(),
+                por_counters=_por_counters(),
             )
         finally:
             store_obj.close()

@@ -141,11 +141,11 @@ def _class_store(
 def _explore_class_task(
     task: Tuple[
         int, Tuple[int, ...], WiringClass, Optional[int], int, bool, bool,
-        bool, Optional[StoreConfig],
+        bool, Optional[StoreConfig], bool,
     ],
 ) -> Tuple[int, FastExplorationResult]:
     (index, inputs, wiring, level_target, max_states, check_safety,
-     fingerprint, symmetry, store) = task
+     fingerprint, symmetry, store, por) = task
     spec = FastSnapshotSpec(inputs, wiring, level_target=level_target)
     result = spec.explore(
         max_states=max_states,
@@ -153,6 +153,7 @@ def _explore_class_task(
         fingerprint=fingerprint,
         symmetry=symmetry,
         store=_class_store(store, index),
+        por=por,
     )
     return index, result
 
@@ -170,6 +171,7 @@ def check_snapshot_classes(
     store: Optional[StoreConfig] = None,
     sweep_dir: Optional[str] = None,
     sweep_meta: Optional[Dict] = None,
+    por: bool = False,
 ) -> List[Tuple[WiringClass, FastExplorationResult]]:
     """Sweep every canonical wiring class, ``jobs`` classes at a time.
 
@@ -180,6 +182,10 @@ def check_snapshot_classes(
     ``jobs`` is capped at the host's core count (:func:`effective_jobs`);
     with ``symmetry`` each class explores orbit representatives under
     its wiring-stabilizer group and reports ``covered_states``.
+
+    ``por`` turns on ample-set partial-order reduction inside every
+    class exploration (:mod:`repro.checker.por`); verdicts are
+    unchanged, per-class ``por_counters`` report the pruning.
 
     ``store`` selects each class's visited-set backend (disk-backed
     classes are namespaced per class under the store directory).  With
@@ -213,7 +219,7 @@ def check_snapshot_classes(
             pending.append(index)
     tasks = [
         (index, chosen_inputs, classes[index], level_target, max_states,
-         check_safety, fingerprint, symmetry, store)
+         check_safety, fingerprint, symmetry, store, por)
         for index in pending
     ]
     for index, result in _run_class_tasks(tasks, effective_jobs(jobs)):
@@ -261,14 +267,17 @@ def _shard_worker(
     fingerprint: bool,
     symmetry: bool = False,
     store_config: Optional[StoreConfig] = None,
+    por: bool = False,
 ) -> None:
     """One frontier shard: owns states with ``fp(s) % n_shards == shard``.
 
     Protocol: driver sends ``("round", entries)``; worker admits the
     new ones into its visited set, expands that BFS layer, and replies
     ``("layer", admitted, transitions, violation, outboxes, covered,
-    skipped)`` where ``outboxes`` maps each shard id to the successor
-    entries it owns.  ``("stop",)`` terminates.  For checkpointing,
+    skipped, por_counters)`` where ``outboxes`` maps each shard id to
+    the successor entries it owns and ``por_counters`` is the worker's
+    *cumulative* reduction statistics (``None`` without ``por``).
+    ``("stop",)`` terminates.  For checkpointing,
     ``("dump", path)`` streams the shard's visited keys to ``path`` as
     a u64 array and replies ``("dumped", count)``; ``("load", path)``
     bulk-loads a previous dump (resume) and replies ``("loaded",
@@ -291,6 +300,15 @@ def _shard_worker(
     driver canonicalizes the initial state with the same group.
     ``covered`` then sums the orbit sizes of this layer's admissions
     (``None`` otherwise).
+
+    With ``por`` the worker expands each admitted state through a
+    :class:`~repro.checker.por.FastAmpleSelector`.  The cycle proviso
+    (C3) only trusts *locally decidable* novelty: a successor counts as
+    certainly-new exactly when this shard owns it (canonical-form
+    fingerprint mod ``n_shards``) and it is absent from this shard's
+    visited set; foreign-owned successors are pessimistically treated
+    as possibly-visited, which can only force extra full expansions,
+    never unsound pruning.
     """
     seen = None
     try:
@@ -306,6 +324,24 @@ def _shard_worker(
             shard=f"shard-{shard:03d}"
         )
         seen_add = seen.add
+        selector = None
+        is_new = None
+        if por:
+            from repro.checker.por import FastAmpleSelector
+
+            selector = FastAmpleSelector(spec, check_safety=check_safety)
+
+            def is_new(successor: int) -> bool:
+                # Sharded C3: only a locally-owned, locally-unvisited
+                # successor is certainly new; anything owned elsewhere
+                # might already sit in a foreign shard's visited set.
+                if canonicalizer is not None:
+                    successor = canonicalizer.canonical(successor)
+                if fingerprint_int(successor) % n_shards != shard:
+                    return False
+                key = fingerprint_int(successor) if fingerprint else successor
+                return key not in seen
+
         buf: List[int] = []
         while True:
             message = conn.recv()
@@ -355,7 +391,10 @@ def _shard_worker(
                 )
                 canonical_bit = 1 if canonical is not None else 0
                 for state in admitted:
-                    spec.successor_states_into(state, buf)
+                    if selector is None:
+                        spec.successor_states_into(state, buf)
+                    else:
+                        selector.expand(state, buf, is_new)
                     transitions += len(buf)
                     for successor in buf:
                         if canonical is not None:
@@ -366,7 +405,8 @@ def _shard_worker(
                         )
             conn.send(
                 ("layer", len(admitted), transitions, violation, outboxes,
-                 covered, skipped)
+                 covered, skipped,
+                 selector.counters.as_dict() if selector is not None else None)
             )
     except EOFError:  # driver went away mid-run
         pass
@@ -394,6 +434,7 @@ def explore_sharded(
     checkpointer: Optional[RunCheckpointer] = None,
     fingerprint_fn: Callable[[int], int] = fingerprint_int,
     _after_checkpoint: Optional[Callable[[], None]] = None,
+    por: bool = False,
 ) -> FastExplorationResult:
     """Frontier-sharded BFS over one wiring class across ``jobs`` cores.
 
@@ -428,6 +469,12 @@ def explore_sharded(
     committed checkpoint with an identical final result.
     ``_after_checkpoint`` is a test seam invoked after every committed
     checkpoint.
+
+    ``por`` enables ample-set partial-order reduction inside every
+    shard (the sharded cycle proviso trusts only locally-owned novelty
+    — see :func:`_shard_worker`); the merged result sums per-shard
+    ``por_counters`` and checkpoints persist the running totals, so
+    resumed runs report statistics over the whole exploration.
     """
     spec = FastSnapshotSpec(inputs, wiring, level_target=level_target)
     jobs = effective_jobs(jobs)
@@ -439,6 +486,7 @@ def explore_sharded(
             symmetry=symmetry,
             store=store,
             checkpointer=checkpointer,
+            por=por,
         )
     # Shard ownership and checkpoint files both carry digests across
     # process boundaries: a per-interpreter fingerprint would silently
@@ -502,7 +550,7 @@ def explore_sharded(
                     args=(
                         child_conn, tuple(inputs), wiring, level_target,
                         shard, jobs, check_safety, fingerprint, symmetry,
-                        store,
+                        store, por,
                     ),
                     daemon=True,
                 )
@@ -518,6 +566,7 @@ def explore_sharded(
                 symmetry=symmetry,
                 store=store,
                 checkpointer=checkpointer,
+                por=por,
             )
 
         states = 0
@@ -527,6 +576,25 @@ def explore_sharded(
         group_order = canonicalizer.order if canonicalizer is not None else None
         recanon_skipped: Optional[int] = 0 if symmetry else None
         violation: Optional[str] = None
+        # POR totals = checkpointed base + each worker's cumulative
+        # snapshot (workers report running totals every layer, so the
+        # latest snapshot per shard is the whole post-resume story).
+        por_keys = (
+            "transitions_pruned", "ample_states", "fully_expanded_states",
+            "cycle_proviso_expansions",
+        )
+        por_base: Dict[str, int] = {}
+        shard_por: List[Optional[Dict[str, int]]] = [None] * jobs
+
+        def _por_totals() -> Optional[Dict[str, int]]:
+            if not por:
+                return None
+            totals = {key: por_base.get(key, 0) for key in por_keys}
+            for snapshot in shard_por:
+                if snapshot:
+                    for key, value in snapshot.items():
+                        totals[key] = totals.get(key, 0) + value
+            return totals
 
         resumed = checkpointer.latest() if checkpointer is not None else None
         if resumed is not None:
@@ -536,6 +604,10 @@ def explore_sharded(
                 covered = int(resumed.counters["covered"])
             if recanon_skipped is not None:
                 recanon_skipped = int(resumed.counters["skipped"])
+            if por:
+                por_base = {
+                    key: int(resumed.counters.get(key, 0)) for key in por_keys
+                }
             inboxes: Dict[int, List[int]] = {}
             for entry in resumed.frontier():
                 owner = fingerprint_fn(entry >> 1) % jobs
@@ -572,7 +644,9 @@ def explore_sharded(
                 if reply[0] == "error":
                     raise RuntimeError(f"shard {shard} failed: {reply[1]}")
                 (_, admitted, shard_transitions, shard_violation, out,
-                 shard_covered, shard_skipped) = reply
+                 shard_covered, shard_skipped, shard_por_counters) = reply
+                if shard_por_counters is not None:
+                    shard_por[shard] = shard_por_counters
                 states += admitted
                 transitions += shard_transitions
                 if shard_covered is not None and covered is not None:
@@ -592,6 +666,7 @@ def explore_sharded(
                     covered_states=covered,
                     symmetry_group_order=group_order,
                     recanonicalizations_skipped=recanon_skipped,
+                    por_counters=_por_totals(),
                 ))
             inboxes = {owner: batch for owner, batch in outboxes.items() if batch}
             if states >= max_states and inboxes:
@@ -605,6 +680,7 @@ def explore_sharded(
                     covered_states=covered,
                     symmetry_group_order=group_order,
                     recanonicalizations_skipped=recanon_skipped,
+                    por_counters=_por_totals(),
                 ))
             if (
                 checkpointer is not None
@@ -630,14 +706,18 @@ def explore_sharded(
                         for entry in inboxes[owner]
                     ),
                 )
-                checkpointer.commit(staging, {
+                counters = {
                     "admitted": states,
                     "transitions": transitions,
                     "covered": covered if covered is not None else 0,
                     "skipped": (
                         recanon_skipped if recanon_skipped is not None else 0
                     ),
-                })
+                }
+                por_totals = _por_totals()
+                if por_totals is not None:
+                    counters.update(por_totals)
+                checkpointer.commit(staging, counters)
                 if _after_checkpoint is not None:
                     _after_checkpoint()
 
@@ -645,6 +725,7 @@ def explore_sharded(
             states=states, transitions=transitions, complete=complete,
             covered_states=covered, symmetry_group_order=group_order,
             recanonicalizations_skipped=recanon_skipped,
+            por_counters=_por_totals(),
         ))
     finally:
         for conn in connections:

@@ -49,7 +49,45 @@ def permutation_invariant(fn):
     return fn
 
 
+def visibility_footprint(*, outputs: bool = False, registers=(), locals: bool = False):
+    """Declare which state components an invariant's *verdict* reads.
 
+    Partial-order reduction (:mod:`repro.checker.por`) may only prune
+    steps that provably cannot flip any checked verdict (condition C2).
+    This decorator is the property's promise about what its verdict
+    depends on:
+
+    - ``outputs=True`` — the verdict reads terminated processors'
+      outputs only.  Outputs appear exactly when a processor
+      terminates and never change afterwards, so only terminating
+      steps are visible.
+    - ``registers=(...)`` — the verdict reads the listed *physical*
+      registers (or every register with ``registers="all"``); writes
+      landing in the footprint are visible, reads and other writes are
+      not.
+    - ``locals=True`` — the verdict reads processors' local states,
+      which almost every step changes: all steps are visible and
+      reduction is effectively disabled for runs checking this
+      property.
+
+    Dimensions combine (a property may read outputs *and* registers).
+    A property with **no** declaration defaults to "all steps visible"
+    — the conservative, always-sound choice.  anonlint's POR001 flags
+    declarations narrower than what the property's AST actually reads.
+    """
+
+    def mark(fn):
+        fn.visibility_footprint = {
+            "outputs": bool(outputs),
+            "registers": registers if registers == "all" else tuple(registers),
+            "locals": bool(locals),
+        }
+        return fn
+
+    return mark
+
+
+@visibility_footprint(outputs=True)
 @permutation_invariant
 def snapshot_outputs_comparable(spec: SystemSpec, state: GlobalState) -> Optional[str]:
     """Every two snapshot outputs produced so far are containment-related."""
@@ -62,6 +100,7 @@ def snapshot_outputs_comparable(spec: SystemSpec, state: GlobalState) -> Optiona
     return f"incomparable snapshot outputs: {views!r}"
 
 
+@visibility_footprint(outputs=True)
 @permutation_invariant
 def snapshot_outputs_valid(spec: SystemSpec, state: GlobalState) -> Optional[str]:
     """Outputs contain the own input and only configuration inputs."""
@@ -81,6 +120,7 @@ def snapshot_outputs_valid(spec: SystemSpec, state: GlobalState) -> Optional[str
     return None
 
 
+@visibility_footprint(locals=True)
 @permutation_invariant
 def views_contain_own_input(spec: SystemSpec, state: GlobalState) -> Optional[str]:
     """Local views always contain the processor's own input."""
@@ -101,6 +141,7 @@ def views_contain_own_input(spec: SystemSpec, state: GlobalState) -> Optional[st
     return None
 
 
+@visibility_footprint(locals=True, registers="all")
 @permutation_invariant
 def levels_within_bounds(spec: SystemSpec, state: GlobalState) -> Optional[str]:
     """Processor and register levels stay in ``0..level_target``."""
@@ -120,6 +161,7 @@ def levels_within_bounds(spec: SystemSpec, state: GlobalState) -> Optional[str]:
     return None
 
 
+@visibility_footprint(registers="all")
 @permutation_invariant
 def register_views_are_inputs(spec: SystemSpec, state: GlobalState) -> Optional[str]:
     """Register views only ever contain configuration inputs."""
@@ -145,6 +187,7 @@ SNAPSHOT_SAFETY = (
 )
 
 
+@visibility_footprint(outputs=True)
 @permutation_invariant
 def consensus_agreement_and_validity(
     spec: SystemSpec, state: GlobalState
@@ -162,6 +205,7 @@ def consensus_agreement_and_validity(
     return None
 
 
+@visibility_footprint(outputs=True)
 @permutation_invariant
 def renaming_names_valid(spec: SystemSpec, state: GlobalState) -> Optional[str]:
     """Names are positive, within the group bound, unique across groups."""

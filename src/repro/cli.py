@@ -150,6 +150,20 @@ def _store_suffix(result) -> str:
     return f" [store: {counters.get('entries', 0)} entries{disk}]"
 
 
+def _por_suffix(result) -> str:
+    """Render one result's ample-set reduction (only set when --por ran)."""
+    counters = getattr(result, "por_counters", None)
+    if not counters:
+        return ""
+    return (
+        f" [por: {counters.get('transitions_pruned', 0)} transitions"
+        f" pruned, {counters.get('ample_states', 0)} ample /"
+        f" {counters.get('fully_expanded_states', 0)} full,"
+        f" {counters.get('cycle_proviso_expansions', 0)} proviso"
+        f" expansions]"
+    )
+
+
 def _report_collision(total_states: int) -> None:
     """The birthday-bound honesty line every fingerprint run ends with."""
     from repro.checker.fingerprint import collision_probability
@@ -190,6 +204,22 @@ def _cmd_check(args: argparse.Namespace) -> int:
         StoreError,
     )
     from repro.store.checkpoint import git_sha
+
+    if (
+        args.por
+        and args.n == 3
+        and args.budget > 0
+        and not args.por_unsafe_budget
+    ):
+        print(
+            "error: --por under a state budget is refused — the reduced"
+            " and unreduced bounded explorations truncate *different*"
+            " frontiers, so their verdicts are not comparable and a"
+            " budget-missed violation cannot be told apart from a"
+            " POR-pruned one; rerun with --budget 0 (exhaustive) or"
+            " accept the caveat explicitly with --por-unsafe-budget"
+        )
+        return 2
 
     usable = os.cpu_count() or 1
     jobs = max(1, args.jobs)
@@ -234,8 +264,12 @@ def _cmd_check(args: argparse.Namespace) -> int:
         "budget": args.budget,
         "fingerprint": bool(args.fingerprint),
         "symmetry": bool(args.symmetry),
+        "por": bool(args.por),
         "git_sha": git_sha(),
     }
+    # --budget 0 means unbudgeted (exhaustive) exploration.
+    budget = args.budget if args.budget > 0 else None
+    max_states = budget if budget is not None else 10 ** 9
 
     failures = 0
     fingerprinted_states = 0
@@ -265,15 +299,16 @@ def _cmd_check(args: argparse.Namespace) -> int:
                 status = "OK" if ok else "VIOLATED"
                 print(f"wiring {wiring.permutations()}: {result.states}"
                       f" states, safety+wait-freedom {status}{suffix}")
-            if store_cfg is not None or ckpt_base is not None:
+            if store_cfg is not None or ckpt_base is not None or args.por:
                 # The full-edge N=2 engine keeps object tables that only
-                # live in RAM, so --store / checkpointing run through a
-                # fast class sweep on top (the --symmetry precedent:
+                # live in RAM (and its liveness pass needs the unreduced
+                # graph), so --store / checkpointing / --por run through
+                # a fast class sweep on top (the --symmetry precedent:
                 # both passes, one command).
                 rows = check_snapshot_classes(
-                    2, budget=args.budget, jobs=jobs,
+                    2, budget=budget, jobs=jobs,
                     fingerprint=args.fingerprint, symmetry=args.symmetry,
-                    store=store_cfg,
+                    store=store_cfg, por=args.por,
                     sweep_dir=str(ckpt_base) if ckpt_base else None,
                     sweep_meta={**meta_base, "engine": "sweep"},
                 )
@@ -287,7 +322,15 @@ def _cmd_check(args: argparse.Namespace) -> int:
                     if args.fingerprint:
                         fingerprinted_states += result.states
                     print(f"  wiring class {wiring}: {result.states} states"
-                          f"{_store_suffix(result)}, {status}")
+                          f"{_store_suffix(result)}{_por_suffix(result)},"
+                          f" {status}")
+                if args.por:
+                    from repro.analysis import aggregate_por_statistics
+
+                    stats = aggregate_por_statistics(
+                        result for _, result in rows
+                    )
+                    print(f"por total: {stats.summary()}")
         elif args.sharded and jobs > 1:
             # One class at a time, its BFS frontier sharded across
             # workers; store files and checkpoints are namespaced
@@ -317,9 +360,10 @@ def _cmd_check(args: argparse.Namespace) -> int:
                         every=args.checkpoint_every,
                     )
                 result = explore_sharded(
-                    inputs, wiring, jobs=jobs, max_states=args.budget,
+                    inputs, wiring, jobs=jobs, max_states=max_states,
                     fingerprint=args.fingerprint, symmetry=args.symmetry,
                     store=class_store, checkpointer=checkpointer,
+                    por=args.por,
                 )
                 status = "OK" if result.ok else f"VIOLATED: {result.violation}"
                 if not result.ok:
@@ -329,14 +373,14 @@ def _cmd_check(args: argparse.Namespace) -> int:
                 scope = "exhaustive" if result.complete else "bounded"
                 print(f"wiring class {wiring}: {result.states} states"
                       f" ({scope}, {jobs} frontier shards)"
-                      f"{_symmetry_suffix(result)}{_store_suffix(result)},"
-                      f" {status}")
+                      f"{_symmetry_suffix(result)}{_store_suffix(result)}"
+                      f"{_por_suffix(result)}, {status}")
         else:
             # One whole class per worker (E4's natural grain).
             rows = check_snapshot_classes(
-                args.n, budget=args.budget, jobs=jobs,
+                args.n, budget=budget, jobs=jobs,
                 fingerprint=args.fingerprint, symmetry=args.symmetry,
-                store=store_cfg,
+                store=store_cfg, por=args.por,
                 sweep_dir=str(ckpt_base) if ckpt_base else None,
                 sweep_meta=(
                     {**meta_base, "engine": "sweep"}
@@ -353,7 +397,8 @@ def _cmd_check(args: argparse.Namespace) -> int:
                 scope = "exhaustive" if result.complete else "bounded"
                 print(f"wiring class {wiring}: {result.states} states"
                       f" ({scope}){_symmetry_suffix(result)}"
-                      f"{_store_suffix(result)}, {status}")
+                      f"{_store_suffix(result)}{_por_suffix(result)},"
+                      f" {status}")
             if args.symmetry:
                 explored = sum(result.states for _, result in rows)
                 covered = sum(
@@ -363,6 +408,13 @@ def _cmd_check(args: argparse.Namespace) -> int:
                 print(f"sweep total: {explored} representatives cover"
                       f" {covered} concrete states"
                       f" ({covered / max(1, explored):.2f}x reduction)")
+            if args.por:
+                from repro.analysis import aggregate_por_statistics
+
+                stats = aggregate_por_statistics(
+                    result for _, result in rows
+                )
+                print(f"por total: {stats.summary()}")
     except CheckpointIncompatible as exc:
         print(f"error: {exc}")
         return 2
@@ -484,7 +536,8 @@ def build_parser() -> argparse.ArgumentParser:
     check.add_argument("--n", type=int, default=2, choices=[2, 3])
     check.add_argument(
         "--budget", type=int, default=200_000,
-        help="states per wiring class for n=3 (n=2 is exhaustive)",
+        help="states per wiring class for n=3 (n=2 is exhaustive);"
+             " 0 means unbudgeted (exhaustive) exploration",
     )
     check.add_argument(
         "--jobs", type=int, default=1,
@@ -510,6 +563,24 @@ def build_parser() -> argparse.ArgumentParser:
              " the built-in (permutation-invariant) properties;"
              " --no-symmetry is the escape hatch for custom"
              " non-invariant properties",
+    )
+    check.add_argument(
+        "--por", action=argparse.BooleanOptionalAction, default=False,
+        help="ample-set partial-order reduction: expand one processor's"
+             " steps instead of all interleavings wherever the classic"
+             " C0-C3 conditions hold (independence from the wiring"
+             " tables, invisibility from the properties' declared"
+             " footprints, cycle proviso from the visited set)."
+             " Identical verdicts, fewer transitions; composes with"
+             " --symmetry.  Refused under a state budget unless"
+             " --por-unsafe-budget (see docs/checking.md)",
+    )
+    check.add_argument(
+        "--por-unsafe-budget", action="store_true",
+        help="allow --por together with a truncating --budget, accepting"
+             " that the reduced run truncates a different frontier than"
+             " an unreduced run would (bounded verdicts no longer"
+             " comparable across the two)",
     )
     from repro.store import BACKENDS, DEFAULT_MEM_CAP
 

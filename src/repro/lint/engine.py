@@ -198,9 +198,10 @@ class Rule:
 
 
 def default_rules() -> List[Rule]:
-    """The four shipped rule families (import cycle kept out of load time)."""
+    """The shipped rule families (import cycle kept out of load time)."""
     from repro.lint.anon import AnonymityRule
     from repro.lint.invar import InvariantDeclarationRule, InvariantEquivarianceRule
+    from repro.lint.por import VisibilityFootprintRule
     from repro.lint.wf import WaitFreedomRule
     from repro.lint.wire import WiringDisciplineRule
 
@@ -210,6 +211,7 @@ def default_rules() -> List[Rule]:
         InvariantDeclarationRule(),
         InvariantEquivarianceRule(),
         WaitFreedomRule(),
+        VisibilityFootprintRule(),
     ]
 
 

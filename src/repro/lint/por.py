@@ -1,0 +1,173 @@
+"""POR: declared visibility footprints must cover what verdicts read.
+
+Partial-order reduction (:mod:`repro.checker.por`) prunes steps that
+are *invisible* to every checked property — and invisibility is
+decided entirely by the property's ``@visibility_footprint``
+declaration.  A declaration narrower than what the property's body
+actually reads makes the reduction unsound: a pruned interleaving
+could have flipped the verdict.  The runtime cannot catch this (it
+trusts the declaration by design), so the lint checks the body against
+the declaration the same way INVAR002 checks equivariance:
+
+- POR001 — a ``@visibility_footprint`` declaration narrower than the
+  property's AST: the body reads the ``.registers`` of a state while
+  the declaration lists only specific registers (reads outside a
+  constant subscript into the declared set are potentially any
+  register), or reads ``.locals`` without declaring ``locals=True``.
+
+Declarations of ``locals=True`` are never flagged (they already force
+full visibility, the conservative maximum), and ``registers="all"``
+covers every register read.  Properties with *no* declaration are fine
+too: undeclared properties default to "all steps visible" at runtime.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Optional, Set, Tuple
+
+from repro.lint.anon import _terminal_name
+from repro.lint.engine import Finding, ModuleContext, Rule
+
+_DECORATOR_NAME = "visibility_footprint"
+
+
+def _footprint_decorator(node: ast.FunctionDef) -> Optional[ast.Call]:
+    for decorator in node.decorator_list:
+        if (
+            isinstance(decorator, ast.Call)
+            and _terminal_name(decorator.func) == _DECORATOR_NAME
+        ):
+            return decorator
+    return None
+
+
+def _declared_footprint(
+    call: ast.Call,
+) -> Optional[Tuple[bool, object, bool]]:
+    """``(outputs, registers, locals)`` from the decorator's keywords.
+
+    ``registers`` is ``"all"``, a set of constant register indices, or
+    ``None`` when the expression is not statically evaluable (dynamic
+    declarations are given the benefit of the doubt).
+    """
+    outputs = False
+    registers: object = frozenset()
+    locals_declared = False
+    for keyword in call.keywords:
+        if keyword.arg == "outputs":
+            if not isinstance(keyword.value, ast.Constant):
+                return None
+            outputs = bool(keyword.value.value)
+        elif keyword.arg == "locals":
+            if not isinstance(keyword.value, ast.Constant):
+                return None
+            locals_declared = bool(keyword.value.value)
+        elif keyword.arg == "registers":
+            value = keyword.value
+            if isinstance(value, ast.Constant) and value.value == "all":
+                registers = "all"
+            elif isinstance(value, (ast.Tuple, ast.List)):
+                if not all(
+                    isinstance(element, ast.Constant)
+                    and isinstance(element.value, int)
+                    for element in value.elts
+                ):
+                    return None
+                registers = frozenset(
+                    element.value for element in value.elts
+                )
+            else:
+                return None
+        else:
+            return None
+    return outputs, registers, locals_declared
+
+
+class VisibilityFootprintRule(Rule):
+    rule_id = "POR001"
+    summary = (
+        "@visibility_footprint declarations must cover every state"
+        " component the property's body reads — a narrower footprint"
+        " makes partial-order reduction unsound"
+    )
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.FunctionDef):
+                continue
+            call = _footprint_decorator(node)
+            if call is None:
+                continue
+            declared = _declared_footprint(call)
+            if declared is None:  # dynamic declaration: not checkable
+                continue
+            _outputs, registers, locals_declared = declared
+            if locals_declared:
+                # locals=True already disables reduction for runs
+                # checking this property: nothing can be narrower.
+                continue
+            yield from self._check_body(ctx, node, registers)
+
+    # ------------------------------------------------------------------
+    def _check_body(
+        self,
+        ctx: ModuleContext,
+        function: ast.FunctionDef,
+        registers: object,
+    ) -> Iterator[Finding]:
+        for node in ast.walk(function):
+            if not isinstance(node, ast.Attribute):
+                continue
+            if node.attr == "locals":
+                yield ctx.finding(
+                    self.rule_id,
+                    node,
+                    f"property {function.name!r} reads .locals but its"
+                    f" @visibility_footprint does not declare"
+                    f" locals=True — steps changing local state could"
+                    f" be pruned as invisible while the verdict depends"
+                    f" on them",
+                )
+            elif node.attr == "registers" and registers != "all":
+                if self._constant_subscript_in(ctx, node, registers):
+                    continue
+                yield ctx.finding(
+                    self.rule_id,
+                    node,
+                    f"property {function.name!r} reads .registers"
+                    f" beyond its declared footprint"
+                    f" {sorted(registers) if registers else '()'!r} —"
+                    f" declare registers=\"all\" (or the registers"
+                    f" actually read) so no verdict-affecting write is"
+                    f" pruned as invisible",
+                )
+
+    @staticmethod
+    def _constant_subscript_in(
+        ctx: ModuleContext, node: ast.Attribute, registers: object
+    ) -> bool:
+        """``state.registers[c]`` with constant ``c`` in the footprint."""
+        if not isinstance(registers, frozenset):
+            return False
+        parent = ctx.parents.get(node)
+        return (
+            isinstance(parent, ast.Subscript)
+            and parent.value is node
+            and isinstance(parent.slice, ast.Constant)
+            and isinstance(parent.slice.value, int)
+            and parent.slice.value in registers
+        )
+
+
+def _declared_registers(node: ast.FunctionDef) -> Optional[Set[int]]:
+    """The finite declared register set of a property, if any (tests)."""
+    call = _footprint_decorator(node)
+    if call is None:
+        return None
+    declared = _declared_footprint(call)
+    if declared is None or declared[1] == "all":
+        return None
+    registers = declared[1]
+    assert isinstance(registers, frozenset)
+    return set(registers)

@@ -141,12 +141,16 @@ class StoreConfig:
     runs, useless for resume — checkpointing requires an explicit
     directory).  ``mem_cap`` is the backend's total memory budget in
     bytes: the mmap table's file size, the spill store's RAM envelope
-    (buffer + Bloom filter + run indexes).
+    (buffer + Bloom filter + run indexes).  ``merge_jobs`` lets the
+    spill backend consolidate sorted runs with a worker pool (0/1 =
+    serial; the parallel path kicks in only for large merges and falls
+    back to serial inside daemonic worker processes).
     """
 
     backend: str = "ram"
     directory: Optional[str] = None
     mem_cap: int = DEFAULT_MEM_CAP
+    merge_jobs: int = 0
 
     def __post_init__(self) -> None:
         if self.backend not in BACKENDS:
@@ -156,6 +160,8 @@ class StoreConfig:
             )
         if self.mem_cap <= 0:
             raise StoreError("mem_cap must be a positive byte count")
+        if self.merge_jobs < 0:
+            raise StoreError("merge_jobs must be >= 0 (0/1 = serial merge)")
 
     def resolve_directory(self, shard: Optional[str] = None) -> Optional[Path]:
         """The directory a store instance should use (created if needed)."""
@@ -182,4 +188,6 @@ class StoreConfig:
         assert directory is not None
         if self.backend == "mmap":
             return MmapStore(directory, mem_cap=self.mem_cap)
-        return SpillStore(directory, mem_cap=self.mem_cap)
+        return SpillStore(
+            directory, mem_cap=self.mem_cap, merge_jobs=self.merge_jobs
+        )

@@ -22,10 +22,12 @@ Membership stays *exact*: the Bloom filter only proves absence; any
 from __future__ import annotations
 
 import heapq
+import multiprocessing
+import time
 from array import array
 from bisect import bisect_right, bisect_left
 from pathlib import Path
-from typing import BinaryIO, Dict, Iterator, List, Optional, Set
+from typing import BinaryIO, Dict, Iterator, List, Optional, Set, Tuple
 
 from repro.checker.fingerprint import splitmix64
 from repro.store.base import FingerprintStore, require_u64
@@ -41,6 +43,9 @@ _MIN_BUFFER = 1024
 #: Conservative bytes-per-entry estimate for a Python set of 64-bit
 #: ints (set slot + int object, at worst-case load factor).
 _ENTRY_COST = 120
+#: Parallel merges only pay off past this many total keys; below it the
+#: fork + IPC cost of a worker pool dwarfs the merge itself.
+_PARALLEL_MERGE_MIN = 1_000_000
 
 
 class _Run:
@@ -107,14 +112,60 @@ def _write_run(path: Path, keys: Iterator[int]) -> _Run:
     return _Run(path, index, count)
 
 
+def _run_slice(run: _Run, lo: int, hi: Optional[int]) -> Iterator[int]:
+    """Stream a run's keys in ``[lo, hi)`` (``hi=None`` = unbounded).
+
+    The sparse index positions the scan at the first block that can
+    contain ``lo``, so a slice reads only the blocks it overlaps.
+    """
+    block = max(0, bisect_right(run.index, lo) - 1)
+    blocks = (run.count + _BLOCK - 1) // _BLOCK
+    for position in range(block, blocks):
+        for key in run.read_block(position):
+            if key < lo:
+                continue
+            if hi is not None and key >= hi:
+                return
+            yield key
+
+
+def _merge_partition(
+    task: Tuple[
+        List[Tuple[str, List[int], int]], int, Optional[int], str
+    ],
+) -> Tuple[str, List[int], int]:
+    """Worker: merge one key range of every run into a partition file.
+
+    Runs are pairwise disjoint, so the merge is a pure interleave; the
+    reply carries the new run's sparse index so the parent never has to
+    re-read the file.
+    """
+    run_specs, lo, hi, out_path = task
+    runs = [
+        _Run(Path(path), index, count) for path, index, count in run_specs
+    ]
+    try:
+        merged = _write_run(
+            Path(out_path),
+            iter(heapq.merge(*(_run_slice(run, lo, hi) for run in runs))),
+        )
+    finally:
+        for run in runs:
+            run.close()
+    return str(merged.path), merged.index, merged.count
+
+
 class SpillStore(FingerprintStore):
     """Bounded-RAM exact set backed by sorted on-disk runs."""
 
     backend = "spill"
 
-    def __init__(self, directory: Path, mem_cap: int) -> None:
+    def __init__(
+        self, directory: Path, mem_cap: int, merge_jobs: int = 0
+    ) -> None:
         self.directory = Path(directory)
         self.mem_cap = mem_cap
+        self.merge_jobs = merge_jobs
         # RAM envelope: roughly half the cap for the buffer, a fixed
         # sixteenth for the Bloom filter, the rest headroom for run
         # indexes and interpreter slack.
@@ -128,6 +179,7 @@ class SpillStore(FingerprintStore):
         self._next_run = 0
         self._spills = 0
         self._merges = 0
+        self._merge_wall_ms = 0
         self._disk_probes = 0
         self._bloom_skips = 0
 
@@ -196,18 +248,87 @@ class SpillStore(FingerprintStore):
         self._spilled += len(keys)
         self._buffer.clear()
         self._spills += 1
-        if len(self._runs) >= _MERGE_AT:
+        # A parallel merge leaves one run per partition instead of one,
+        # so its trigger scales by the partition count — each merge
+        # cycle absorbs the same number of spills as the serial scheme.
+        partitions = self.merge_jobs if self.merge_jobs > 1 else 1
+        if len(self._runs) >= _MERGE_AT + (partitions - 1):
             self._merge()
 
     def _merge(self) -> None:
-        """Merge every run into one (runs are disjoint: pure interleave)."""
-        path = self.directory / f"run-{self._next_run:06d}.u64"
-        self._next_run += 1
-        merged = _write_run(path, iter(heapq.merge(*self._runs)))
+        """Consolidate runs (disjoint keys: a pure interleave).
+
+        Serial merges produce one run; large merges with
+        ``merge_jobs > 1`` split the key space at sparse-index
+        quantiles and merge the ranges concurrently, leaving one run
+        per partition (ranges are disjoint and ordered, so lookups and
+        iteration are unchanged).
+        """
+        start = time.monotonic()
+        merged = self._merge_parallel() if self._use_parallel_merge() else None
+        if merged is None:
+            path = self.directory / f"run-{self._next_run:06d}.u64"
+            self._next_run += 1
+            merged = [_write_run(path, iter(heapq.merge(*self._runs)))]
         for run in self._runs:
             run.unlink()
-        self._runs = [merged]
+        self._runs = merged
         self._merges += 1
+        self._merge_wall_ms += int((time.monotonic() - start) * 1000)
+
+    def _use_parallel_merge(self) -> bool:
+        if self.merge_jobs <= 1:
+            return False
+        if sum(run.count for run in self._runs) < _PARALLEL_MERGE_MIN:
+            return False
+        # Daemonic processes (exploration shard workers) cannot fork
+        # children of their own; their merges stay serial.
+        return not multiprocessing.current_process().daemon
+
+    def _merge_parallel(self) -> Optional[List[_Run]]:
+        """Merge runs partition-parallel; ``None`` falls back to serial.
+
+        Split points come from the runs' sparse indexes — every index
+        entry is the first key of a 512-key block, so quantiles of the
+        concatenated indexes balance the partitions to within a block
+        per run without reading any run data.
+        """
+        pivots = sorted(key for run in self._runs for key in run.index)
+        jobs = min(self.merge_jobs, max(1, len(pivots)))
+        splits = sorted(
+            {pivots[(i * len(pivots)) // jobs] for i in range(1, jobs)}
+        )
+        bounds = [0] + splits
+        run_specs = [
+            (str(run.path), run.index, run.count) for run in self._runs
+        ]
+        tasks = []
+        for position, lo in enumerate(bounds):
+            hi = (
+                bounds[position + 1] if position + 1 < len(bounds) else None
+            )
+            path = self.directory / f"run-{self._next_run:06d}.u64"
+            self._next_run += 1
+            tasks.append((run_specs, lo, hi, str(path)))
+        if len(tasks) <= 1:
+            return None
+        try:
+            ctx = multiprocessing.get_context("fork")
+        except ValueError:  # pragma: no cover - non-POSIX platforms
+            ctx = multiprocessing.get_context()
+        try:
+            pool = ctx.Pool(processes=min(len(tasks), self.merge_jobs))
+        except OSError:  # pragma: no cover - fork-less hosts
+            return None
+        with pool:
+            outputs = pool.map(_merge_partition, tasks, chunksize=1)
+        merged: List[_Run] = []
+        for path, index, count in outputs:
+            if count:
+                merged.append(_Run(Path(path), index, count))
+            else:  # degenerate quantile: an empty range leaves no run
+                Path(path).unlink(missing_ok=True)
+        return merged
 
     # ------------------------------------------------------------------
     def file_bytes(self) -> int:
@@ -219,6 +340,7 @@ class SpillStore(FingerprintStore):
             "runs": len(self._runs),
             "spills": self._spills,
             "merges": self._merges,
+            "merge_wall_ms": self._merge_wall_ms,
             "disk_probes": self._disk_probes,
             "bloom_skips": self._bloom_skips,
         }

@@ -1,0 +1,60 @@
+"""Seeded POR001 violations (anonlint fixture; never imported).
+
+No role marker needed: the footprint scan reaches these through the
+``@visibility_footprint`` decoration alone.
+"""
+
+
+def visibility_footprint(*, outputs=False, registers=(), locals=False):
+    def mark(fn):
+        fn.visibility_footprint = (outputs, registers, locals)
+        return fn
+
+    return mark
+
+
+@visibility_footprint(outputs=True)
+def reads_registers_undeclared(spec, state):
+    if any(value == "BAD" for value in state.registers):
+        return "saw BAD"
+    return None
+
+
+@visibility_footprint(registers=(0,))
+def reads_register_outside_footprint(spec, state):
+    if state.registers[1] == "BAD":
+        return "register 1 outside the declared (0,) footprint"
+    return None
+
+
+@visibility_footprint(outputs=True)
+def reads_locals_undeclared(spec, state):
+    if any(local.phase == "deciding" for local in state.locals):
+        return "verdict depends on undeclared local state"
+    return None
+
+
+@visibility_footprint(registers=(0, 2))
+def constant_subscripts_in_footprint(spec, state):
+    # Clean: every register read is a constant index inside the
+    # declared footprint.
+    if state.registers[0] == state.registers[2]:
+        return None
+    return None
+
+
+@visibility_footprint(registers="all")
+def all_registers_declared(spec, state):
+    # Clean: "all" covers any register read, constant or not.
+    return "mismatch" if len(set(state.registers)) > 1 else None
+
+
+@visibility_footprint(outputs=True, locals=True)
+def locals_declared(spec, state):
+    # Clean: locals=True is the conservative maximum (full expansion).
+    return None if all(l.phase for l in state.locals) else "idle"
+
+
+@visibility_footprint(registers=(0,))
+def suppressed_narrow_footprint(spec, state):
+    return "BAD" if state.registers[1] else None  # anonlint: disable=POR001

@@ -168,6 +168,54 @@ class TestInvarRules:
 
 
 # ---------------------------------------------------------------------------
+# POR: visibility-footprint honesty
+# ---------------------------------------------------------------------------
+
+
+class TestPorRule:
+    def test_narrow_footprints_fire(self):
+        findings = [
+            f for f in _active("por_violation.py") if f.rule == "POR001"
+        ]
+        by_symbol = {f.symbol: f.message for f in findings}
+        assert set(by_symbol) == {
+            "reads_registers_undeclared",
+            "reads_register_outside_footprint",
+            "reads_locals_undeclared",
+        }
+        assert ".registers beyond its declared footprint" in (
+            by_symbol["reads_registers_undeclared"]
+        )
+        assert ".locals" in by_symbol["reads_locals_undeclared"]
+        assert "locals=True" in by_symbol["reads_locals_undeclared"]
+
+    def test_covering_declarations_are_exempt(self):
+        symbols = {
+            f.symbol
+            for f in _active("por_violation.py")
+            if f.rule == "POR001"
+        }
+        assert "constant_subscripts_in_footprint" not in symbols
+        assert "all_registers_declared" not in symbols
+        assert "locals_declared" not in symbols
+
+    def test_suppression_applies(self):
+        suppressed = {
+            f.symbol
+            for f in LintEngine().lint_file(FIXTURES / "por_violation.py")
+            if f.rule == "POR001" and f.suppressed
+        }
+        assert suppressed == {"suppressed_narrow_footprint"}
+
+    def test_shipped_footprints_are_clean(self):
+        findings = LintEngine().lint_file(
+            REPO_ROOT / "src" / "repro" / "checker" / "properties.py",
+            root=REPO_ROOT,
+        )
+        assert [f for f in findings if f.rule == "POR001"] == []
+
+
+# ---------------------------------------------------------------------------
 # WF: wait-freedom hygiene
 # ---------------------------------------------------------------------------
 

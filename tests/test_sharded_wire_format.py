@@ -75,7 +75,7 @@ class TestWorkerProtocol:
         spec = FastSnapshotSpec([1, 2], WIRING)
         canonical = FastCanonicalizer(spec).canonical(spec.initial_state())
         [reply] = _run_rounds([[(canonical << 1) | 1]])
-        kind, admitted, _transitions, violation, outboxes, covered, skipped = reply
+        kind, admitted, _transitions, violation, outboxes, covered, skipped, _por = reply
         assert kind == "layer" and violation is None
         assert admitted == 1 and skipped == 1
         assert covered >= 1
@@ -90,7 +90,7 @@ class TestWorkerProtocol:
         representative = canonicalizer.canonical(state)
         entries = [(representative << 1) | 1, (state << 1) | 0]
         [reply] = _run_rounds([entries])
-        _kind, admitted, _t, _violation, _outboxes, _covered, skipped = reply
+        _kind, admitted, _t, _violation, _outboxes, _covered, skipped, _por = reply
         # The unflagged orbit mate is canonicalized on receipt and lands
         # on the already-admitted representative; only the flagged entry
         # counts as a skip.
@@ -101,7 +101,7 @@ class TestWorkerProtocol:
         spec = FastSnapshotSpec([1, 2], WIRING)
         initial = spec.initial_state()
         [reply] = _run_rounds([[(initial << 1) | 0]], symmetry=False)
-        _kind, admitted, _t, _violation, outboxes, covered, skipped = reply
+        _kind, admitted, _t, _violation, outboxes, covered, skipped, _por = reply
         assert admitted == 1 and skipped == 0 and covered is None
         assert all(
             entry & 1 == 0

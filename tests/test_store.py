@@ -168,6 +168,45 @@ class TestSpillStore:
         finally:
             store.close()
 
+    def test_parallel_merge_matches_serial(self, tmp_path, monkeypatch):
+        # Shrink the parallel-merge floor so the test-sized key set
+        # takes the worker-pool path; the serial twin is the oracle.
+        from repro.store import spill as spill_module
+
+        monkeypatch.setattr(spill_module, "_PARALLEL_MERGE_MIN", 1000)
+        serial = StoreConfig(
+            backend="spill", directory=str(tmp_path / "serial"),
+            mem_cap=4096,
+        ).create()
+        parallel = StoreConfig(
+            backend="spill", directory=str(tmp_path / "parallel"),
+            mem_cap=4096, merge_jobs=4,
+        ).create()
+        keys = _keys(20_000)
+        try:
+            for key in keys:
+                assert serial.add(key)
+                assert parallel.add(key)
+            assert list(serial) == list(parallel)  # both ascending
+            assert len(parallel) == len(keys)
+            probes = _keys(2000, seed=3)
+            assert all(
+                (key in parallel) == (key in serial) for key in probes
+            )
+            counters = parallel.counters()
+            assert counters["merges"] >= 1
+            # A parallel merge leaves one (disjoint, ordered) run per
+            # partition instead of one run total.
+            assert counters["runs"] >= 1
+            assert counters["merge_wall_ms"] >= 0
+        finally:
+            serial.close()
+            parallel.close()
+
+    def test_merge_jobs_validation(self):
+        with pytest.raises(StoreError, match="merge_jobs"):
+            StoreConfig(backend="spill", merge_jobs=-1)
+
 
 # ----------------------------------------------------------------------
 # Configuration and guards
@@ -269,3 +308,11 @@ class TestExplorationConformance:
         assert stats.entries == sum(r.states for r in results)
         assert stats.file_bytes == 0
         assert "stored keys" in stats.summary()
+
+    def test_store_statistics_fold_merge_wall_time(self):
+        from repro.analysis import StoreStatistics
+
+        stats = StoreStatistics(
+            entries=10, file_bytes=4096, merges=2, merge_wall_ms=34
+        )
+        assert "2 merges in 34 ms" in stats.summary()
