@@ -1,0 +1,867 @@
+"""Level-batched exploration kernel: whole BFS levels as numpy u64 arrays.
+
+The scalar engines in :mod:`repro.checker.fast_snapshot` process one
+state per loop iteration; at N=3 scale that pure-Python loop is the
+binding limit (~60k states/s, EXPERIMENTS.md).  The packed encoding is
+already vector-ready — one state is one u64 bit pattern and every
+transition is shift/mask arithmetic against precomputed tables — so
+this module re-expresses the exploration loop over whole BFS levels:
+
+- **expansion**: for each ``(pid, transition)`` pair, the scalar
+  successor formula is applied to the entire frontier array at once
+  (:meth:`BatchKernel.expand_level`), and the per-pair slices are
+  reassembled into exactly the scalar engine's generation order
+  (frontier-position major, then pid, then local register / scan);
+- **canonicalization**: :class:`BatchCanonicalizer` replays the fused
+  min-over-permutation-tables reduction of
+  :class:`~repro.checker.symmetry.FastCanonicalizer` as numpy gathers
+  plus an element-wise minimum across the stabilizer orbit;
+- **fingerprinting**: :func:`splitmix64_many` is the scalar splitmix64
+  on u64 arrays — numpy uint64 multiplication wraps modulo 2**64,
+  which *is* the scalar's explicit ``& MASK64``; both sides share one
+  constants module (:mod:`repro.checker.constants`) and a property
+  test cross-checks them element-wise;
+- **dedup**: ``np.unique`` per level, merged against the visited set
+  through the bulk ``contains_many``/``add_many`` store APIs (the
+  spill backend turns a level's sorted fresh keys into a sorted run
+  natively).
+
+**Conformance contract.**  The scalar engine stays the oracle: for any
+configuration both engines support, :func:`explore_batch` returns a
+:class:`~repro.checker.fast_snapshot.FastExplorationResult` that is
+field-for-field identical to the scalar one — same verdict and
+violation message, same admitted/transition/truncated counts even for
+budget-clipped runs, same covered-state totals under symmetry.  That
+holds because per level the batch admission order (ascending first
+occurrence in generation order) is exactly the scalar FIFO admission
+order, and the mid-level bookkeeping (a violation returns after the
+violating parent's full buffer was counted; a budget trip counts
+truncated occurrences through the end of the tripping parent's buffer)
+is replayed index-for-index from the generation-order arrays.
+
+Two configurations fall outside the batch kernel by design:
+
+- **POR** (``por=True``): the ample-set cycle proviso (C3) consults
+  the visited set *as it mutates mid-level*, which has no faithful
+  level-synchronous formulation — ``explore(engine="batch", por=True)``
+  therefore runs the scalar selection loop (documented fallback; see
+  :mod:`repro.checker.por`).
+- **wait-freedom**: lasso analysis needs the full edge list, which the
+  lean batch pipeline never materializes.
+
+numpy is a *soft* dependency: this module imports with or without it,
+``HAVE_NUMPY`` reports availability, and every entry point raises
+:class:`BatchEngineUnavailable` with a clear message when numpy is
+missing — the scalar engines and the rest of the package are
+unaffected.
+"""
+
+# anonlint: role=harness
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict, List, Optional, Tuple, cast
+
+from repro.checker.constants import (
+    MASK64,
+    SPLITMIX_GAMMA,
+    SPLITMIX_MULT1,
+    SPLITMIX_MULT2,
+    SPLITMIX_SHIFT1,
+    SPLITMIX_SHIFT2,
+    SPLITMIX_SHIFT3,
+)
+from repro.checker.fast_snapshot import (
+    _PHASE_DONE,
+    _PHASE_SCAN,
+    _PHASE_WRITE,
+    _STOCK_CHECK_OUTPUTS,
+    FastExplorationResult,
+    FastSnapshotSpec,
+)
+from repro.checker.fingerprint import fingerprint_int
+from repro.store.base import StoreConfig
+from repro.store.checkpoint import RunCheckpointer
+from repro.store.ram import RamStore
+
+try:
+    import numpy as np
+except ImportError:  # pragma: no cover - exercised via HAVE_NUMPY stubs
+    np = None  # type: ignore[assignment]
+
+if TYPE_CHECKING:
+    from numpy.typing import NDArray
+
+    from repro.checker.symmetry import FastCanonicalizer
+
+    U64Array = NDArray[np.uint64]
+    BoolArray = NDArray[np.bool_]
+    I64Array = NDArray[np.int64]
+
+#: True iff numpy imported; the CLI and tests key degradation on this.
+HAVE_NUMPY = np is not None
+
+
+class BatchEngineUnavailable(RuntimeError):
+    """The batch engine was requested but numpy is not installed."""
+
+
+def require_numpy() -> None:
+    """Raise :class:`BatchEngineUnavailable` unless numpy is importable."""
+    if not HAVE_NUMPY:
+        raise BatchEngineUnavailable(
+            "the batch engine processes BFS levels as numpy u64 arrays,"
+            " but numpy is not installed in this environment — install"
+            " numpy, or run the scalar engine (--engine scalar), which"
+            " needs no third-party packages and produces identical"
+            " results"
+        )
+
+
+# ----------------------------------------------------------------------
+# Batched splitmix64
+# ----------------------------------------------------------------------
+def splitmix64_many(values: "U64Array") -> "U64Array":
+    """The splitmix64 finalizer over a whole u64 array.
+
+    numpy uint64 arithmetic wraps modulo 2**64 — the same semantics the
+    scalar implementation gets from its explicit ``& MASK64`` — so the
+    output is element-wise identical to
+    :func:`repro.checker.fingerprint.splitmix64`.
+    """
+    mixed = (values ^ (values >> SPLITMIX_SHIFT1)) * SPLITMIX_MULT1
+    mixed = (mixed ^ (mixed >> SPLITMIX_SHIFT2)) * SPLITMIX_MULT2
+    return mixed ^ (mixed >> SPLITMIX_SHIFT3)
+
+
+def fingerprint_many(states: "U64Array") -> "U64Array":
+    """Batched :func:`~repro.checker.fingerprint.fingerprint_int`.
+
+    Valid for states at most 64 bits wide (the batch engine's domain);
+    the scalar function's limb fold covers wider encodings.
+    """
+    return splitmix64_many(states ^ SPLITMIX_GAMMA)
+
+
+# ----------------------------------------------------------------------
+# Sorted-array set helpers (the raw-successor memoization cache)
+# ----------------------------------------------------------------------
+def _in_sorted(sorted_keys: "U64Array", values: "U64Array") -> "BoolArray":
+    """Membership of ``values`` in an ascending-sorted key array."""
+    if sorted_keys.size == 0:
+        return np.zeros(values.shape, dtype=bool)
+    at = np.searchsorted(sorted_keys, values)
+    at = np.minimum(at, sorted_keys.size - 1)
+    return cast("BoolArray", sorted_keys[at] == values)
+
+
+def _unique_first(keys: "U64Array") -> Tuple["U64Array", "I64Array"]:
+    """``(sorted distinct keys, minimal position of each)``.
+
+    Same contract as ``np.unique(keys, return_index=True)``, but that
+    call forces a stable mergesort to make the returned indices
+    minimal; a plain (unstable, faster) argsort followed by a
+    ``minimum.reduceat`` over each equal-key run recovers the minimal
+    positions anyway.
+    """
+    if keys.size == 0:
+        return keys, np.empty(0, dtype=np.intp)
+    perm = np.argsort(keys)
+    sorted_keys = keys[perm]
+    flag = np.empty(sorted_keys.size, dtype=bool)
+    flag[0] = True
+    np.not_equal(sorted_keys[1:], sorted_keys[:-1], out=flag[1:])
+    starts = np.flatnonzero(flag)
+    return sorted_keys[starts], np.minimum.reduceat(perm, starts)
+
+
+def _probe_sorted(
+    sorted_keys: "U64Array", values: "U64Array"
+) -> Tuple["BoolArray", "I64Array"]:
+    """``(membership mask, insertion positions)`` in one binary-search
+    pass — the positions feed :func:`_insert_sorted`, so membership and
+    the later merge share the search instead of each paying their own.
+    """
+    at = np.searchsorted(sorted_keys, values)
+    if sorted_keys.size == 0:
+        return np.zeros(values.shape, dtype=bool), at
+    hit = at < sorted_keys.size
+    present = np.zeros(values.shape, dtype=bool)
+    present[hit] = sorted_keys[at[hit]] == values[hit]
+    return present, at
+
+
+def _insert_sorted(
+    sorted_keys: "U64Array", at: "I64Array", fresh: "U64Array"
+) -> "U64Array":
+    """Merge ascending ``fresh`` (disjoint from the set) into the set at
+    precomputed :func:`_probe_sorted` positions.
+
+    One linear pass (``np.insert``) instead of ``np.union1d``'s full
+    re-sort — the visited set is merged into once per level, so the
+    re-sort would dominate late levels.
+    """
+    if sorted_keys.size == 0:
+        return fresh.copy()
+    if fresh.size == 0:
+        return sorted_keys
+    return np.insert(sorted_keys, at, fresh)
+
+
+# ----------------------------------------------------------------------
+# Batched transition relation
+# ----------------------------------------------------------------------
+class BatchKernel:
+    """Vectorized successor expansion + safety mask for one spec.
+
+    Precomputes, per ``(pid, register)``, the u64-safe clear masks the
+    scalar :meth:`~FastSnapshotSpec.successor_states_into` uses (the
+    scalar masks are negative Python ints — two's complement brings
+    them into u64 range), and per pid the physical-offset gather table
+    the scan step indexes by ``scan_pos``.
+    """
+
+    def __init__(self, spec: FastSnapshotSpec) -> None:
+        require_numpy()
+        if spec.state_bits > 64:
+            raise ValueError(
+                f"the batch kernel holds whole levels as raw u64 arrays;"
+                f" this configuration packs states into {spec.state_bits}"
+                f" bits — use the scalar engine for wider encodings"
+            )
+        self.spec = spec
+        self._local_clear = tuple(
+            np.uint64(clear & MASK64) for clear in spec._local_clear
+        )
+        self._write_clear = tuple(
+            tuple(np.uint64(clear & MASK64) for clear in per_pid)
+            for per_pid in spec._write_clear
+        )
+        self._phys_shifts = tuple(
+            np.array(spec._phys_offset[pid], dtype=np.uint64)
+            for pid in range(spec.n)
+        )
+        #: Operations per parent slot in generation-order keys: m write
+        #: slots plus the scan slot, per pid.
+        self.ops_per_state = spec.n * (spec.m + 1)
+
+    # ------------------------------------------------------------------
+    def expand_level(
+        self, frontier: "U64Array"
+    ) -> Tuple["U64Array", "I64Array"]:
+        """All successors of ``frontier``, in scalar generation order.
+
+        Returns ``(successors, counts)``: ``counts[i]`` successors were
+        generated by ``frontier[i]``, laid out parent-major (so
+        ``successors[i]``'s parent index is recoverable as
+        ``np.repeat(np.arange(counts.size), counts)[i]``), with each
+        parent's successors ordered exactly as the scalar engine
+        generates them: pid ascending, then register writes in
+        register order followed by the scan step.  The reassembly is a
+        counting placement — per (pid, op) part, every successor's
+        final position is its parent's running cursor — which costs
+        one linear pass per part instead of a level-wide argsort.
+        """
+        spec = self.spec
+        #: (parent indices, successor values), in generation op order.
+        parts: List[Tuple["I64Array", "U64Array"]] = []
+        n_states = frontier.shape[0]
+        counts = np.zeros(n_states, dtype=np.int64)
+        for pid in range(spec.n):
+            offset = spec.local_offsets[pid]
+            local = (frontier >> offset) & spec.local_mask
+            phase = (local >> spec.o_phase) & 3
+            w_idx = np.flatnonzero(phase == _PHASE_WRITE)
+            s_idx = np.flatnonzero(phase == _PHASE_SCAN)
+            if w_idx.size:
+                w_local = local[w_idx]
+                w_states = frontier[w_idx]
+                unwritten = (w_local >> spec.o_unwritten) & spec.m_mask
+                record = w_local & spec._record_field
+                # A writing state branches once per unwritten register.
+                counts[w_idx] += np.bitwise_count(unwritten)
+                for reg in range(spec.m):
+                    sub = ((unwritten >> reg) & 1) == 1
+                    if not bool(sub.any()):
+                        continue
+                    rec = record[sub]
+                    remaining = unwritten[sub] & (
+                        ~(1 << reg) & spec.m_mask
+                    )
+                    remaining = np.where(
+                        remaining == 0, np.uint64(spec.m_mask), remaining
+                    )
+                    new_local = (
+                        rec
+                        | (remaining << spec.o_unwritten)
+                        | spec._scan_reset
+                    )
+                    parts.append((
+                        w_idx[sub],
+                        (w_states[sub] & self._write_clear[pid][reg])
+                        | (rec << spec._phys_offset[pid][reg])
+                        | (new_local << offset),
+                    ))
+            if s_idx.size:
+                parts.append((
+                    s_idx,
+                    self._scan_step(frontier[s_idx], local[s_idx], pid),
+                ))
+                counts[s_idx] += 1
+        total = int(counts.sum())
+        successors = np.empty(total, dtype=np.uint64)
+        cursor = np.concatenate(([0], np.cumsum(counts)[:-1]))
+        for idx, values in parts:
+            successors[cursor[idx]] = values
+            cursor[idx] += 1
+        return successors, counts
+
+    def _scan_step(
+        self,
+        states: "U64Array",
+        loc: "U64Array",
+        pid: int,
+    ) -> "U64Array":
+        """Vectorized ``_apply_read`` for the scanning states of ``pid``.
+
+        ``states``/``loc`` are already restricted to the scanning
+        subset.
+        """
+        spec = self.spec
+        view = loc & spec.k_mask
+        scan_pos = (loc >> spec.o_scanpos) & spec.sp_mask
+        all_match = (loc >> spec.o_allmatch) & 1
+        min_level = (loc >> spec.o_minlevel) & spec.ml_mask
+
+        record = (states >> self._phys_shifts[pid][scan_pos]) & spec.reg_mask
+        read_view = record & spec.k_mask
+        match = (all_match == 1) & (read_view == view)
+        new_min = np.where(
+            match,
+            np.minimum(min_level, record >> spec.k),
+            np.uint64(spec.ml_sentinel),
+        )
+        new_view = np.where(match, view, view | read_view)
+        new_all = np.where(match, np.uint64(1), np.uint64(0))
+
+        continue_local = (
+            new_view
+            | (loc & spec._level_field)
+            | (loc & spec._unwritten_field)
+            | (_PHASE_SCAN << spec.o_phase)
+            | ((scan_pos + 1) << spec.o_scanpos)
+            | (new_all << spec.o_allmatch)
+            | (new_min << spec.o_minlevel)
+        )
+        new_level = np.where(new_all == 1, new_min + 1, np.uint64(0))
+        done_local = (
+            new_view
+            | (np.minimum(new_level, np.uint64(spec.lv_mask)) << spec.o_level)
+            | spec._done_reset
+        )
+        write_local = (
+            new_view
+            | (new_level << spec.o_level)
+            | (loc & spec._unwritten_field)
+            | spec._write_reset
+        )
+        finish_local = np.where(
+            new_level >= spec.level_target, done_local, write_local
+        )
+        new_local = np.where(
+            scan_pos + 1 < spec.m, continue_local, finish_local
+        )
+        return cast(
+            "U64Array",
+            (states & self._local_clear[pid]) | (new_local << spec.local_offsets[pid]),
+        )
+
+    # ------------------------------------------------------------------
+    def violations(self, states: "U64Array") -> "BoolArray":
+        """The stock ``check_outputs`` verdict as a vectorized mask.
+
+        True wherever the scalar check would return a message: a DONE
+        processor's view missing its own input, or two DONE views that
+        are not containment-related.  Messages are recomputed by the
+        scalar function on the (single) state the caller selects.
+        """
+        spec = self.spec
+        bad = np.zeros(states.shape, dtype=bool)
+        done_masks: List["BoolArray"] = []
+        views: List["U64Array"] = []
+        for pid in range(spec.n):
+            loc = (states >> spec.local_offsets[pid]) & spec.local_mask
+            done = ((loc >> spec.o_phase) & 3) == _PHASE_DONE
+            view = loc & spec.k_mask
+            done_masks.append(done)
+            views.append(view)
+            bad |= done & ((view & spec.input_masks[pid]) == 0)
+        for pid in range(spec.n):
+            for other in range(pid + 1, spec.n):
+                both = done_masks[pid] & done_masks[other]
+                meet = views[pid] & views[other]
+                bad |= both & (meet != views[pid]) & (meet != views[other])
+        return bad
+
+
+# ----------------------------------------------------------------------
+# Batched canonicalization
+# ----------------------------------------------------------------------
+class BatchCanonicalizer:
+    """Gather-based orbit reduction over a canonicalizer's tables.
+
+    Re-expresses :class:`~repro.checker.symmetry.FastCanonicalizer`'s
+    per-element appliers as numpy gathers: the fused register table
+    maps the whole packed register file in one fancy-indexed load, the
+    local table each relocated local, and the orbit representative is
+    the element-wise minimum across all images.  Elements whose fused
+    tables did not fit (the scalar per-field fallback) are replayed
+    from their field maps, still fully vectorized.
+    """
+
+    def __init__(self, canonicalizer: "FastCanonicalizer") -> None:
+        require_numpy()
+        self.order = canonicalizer.order
+        self._fused: List[
+            Tuple["U64Array", int, "U64Array", int, Tuple[Tuple[int, int], ...]]
+        ] = []
+        self._general: List[Dict[str, object]] = []
+        for tables in canonicalizer.element_tables:
+            if tables["kind"] == "fused":
+                self._fused.append((
+                    np.array(
+                        cast(List[int], tables["register_table"]),
+                        dtype=np.uint64,
+                    ),
+                    cast(int, tables["block_mask"]),
+                    np.array(
+                        cast(List[int], tables["local_table"]),
+                        dtype=np.uint64,
+                    ),
+                    cast(int, tables["local_mask"]),
+                    cast(Tuple[Tuple[int, int], ...], tables["moves"]),
+                ))
+            else:
+                self._general.append({
+                    "record_map": np.array(
+                        cast(List[int], tables["record_map"]),
+                        dtype=np.uint64,
+                    ),
+                    "reg_moves": tables["reg_moves"],
+                    "reg_mask": tables["reg_mask"],
+                    "view_map": np.array(
+                        cast(List[int], tables["view_map"]),
+                        dtype=np.uint64,
+                    ),
+                    "moves": tables["moves"],
+                    "local_mask": tables["local_mask"],
+                    "k_mask": tables["k_mask"],
+                    "k_clear": tables["k_clear"],
+                })
+
+    # ------------------------------------------------------------------
+    def _images(self, states: "U64Array") -> List["U64Array"]:
+        """One image array per non-identity stabilizer element."""
+        images: List["U64Array"] = []
+        for register_table, block_mask, local_table, local_mask, moves in (
+            self._fused
+        ):
+            image = register_table[states & block_mask]
+            for dst, src in moves:
+                image = image | (
+                    local_table[(states >> src) & local_mask] << dst
+                )
+            images.append(image)
+        for tables in self._general:
+            record_map = cast("U64Array", tables["record_map"])
+            reg_mask = cast(int, tables["reg_mask"])
+            view_map = cast("U64Array", tables["view_map"])
+            local_mask = cast(int, tables["local_mask"])
+            k_mask = cast(int, tables["k_mask"])
+            k_clear = cast(int, tables["k_clear"])
+            image = np.zeros(states.shape, dtype=np.uint64)
+            for dst, src in cast(
+                Tuple[Tuple[int, int], ...], tables["reg_moves"]
+            ):
+                image |= record_map[(states >> src) & reg_mask] << dst
+            for dst, src in cast(
+                Tuple[Tuple[int, int], ...], tables["moves"]
+            ):
+                loc = (states >> src) & local_mask
+                image |= ((loc & k_clear) | view_map[loc & k_mask]) << dst
+            images.append(image)
+        return images
+
+    def canonical_many(self, states: "U64Array") -> "U64Array":
+        """Orbit representatives (minimum image), element-wise."""
+        best = states
+        for image in self._images(states):
+            best = np.minimum(best, image)
+        return best
+
+    def orbit_sizes(self, states: "U64Array") -> "I64Array":
+        """Distinct-orbit-member counts, element-wise."""
+        images = self._images(states)
+        if not images:
+            return np.ones(states.shape, dtype=np.int64)
+        stacked = np.stack([states] + images)
+        stacked.sort(axis=0)
+        distinct = (stacked[1:] != stacked[:-1]).sum(axis=0) + 1
+        return cast("I64Array", distinct.astype(np.int64))
+
+
+# ----------------------------------------------------------------------
+# The level-batched exploration loop
+# ----------------------------------------------------------------------
+def _first_violation(
+    spec: FastSnapshotSpec, kernel: BatchKernel, states: "U64Array"
+) -> Tuple[int, Optional[str]]:
+    """First violating state in admission order: ``(rank, message)``.
+
+    Uses the vectorized mask when ``check_outputs`` is the stock
+    implementation; any override (tests seed violations through it)
+    gets faithful per-state scalar calls instead.
+    """
+    if type(spec).check_outputs is _STOCK_CHECK_OUTPUTS:
+        hits = np.flatnonzero(kernel.violations(states))
+        if hits.size == 0:
+            return -1, None
+        rank = int(hits[0])
+        return rank, spec.check_outputs(int(states[rank]))
+    for rank in range(states.size):
+        message = spec.check_outputs(int(states[rank]))
+        if message is not None:
+            return rank, message
+    return -1, None
+
+
+def explore_batch(
+    spec: FastSnapshotSpec,
+    max_states: int = 200_000_000,
+    check_safety: bool = True,
+    progress_every: int = 0,
+    fingerprint: bool = False,
+    symmetry: bool = False,
+    store: Optional[StoreConfig] = None,
+    checkpointer: Optional[RunCheckpointer] = None,
+) -> FastExplorationResult:
+    """Level-batched BFS, result-identical to the scalar engine.
+
+    Call through :meth:`FastSnapshotSpec.explore` with
+    ``engine="batch"`` rather than directly — ``explore`` owns the
+    compatibility guards (wait-freedom, POR fallback, checkpoint
+    completion) shared by both engines.
+    """
+    require_numpy()
+    canonicalizer: Optional["FastCanonicalizer"] = None
+    batch_canon: Optional[BatchCanonicalizer] = None
+    if symmetry:
+        from repro.checker.symmetry import FastCanonicalizer
+
+        canonicalizer = FastCanonicalizer(spec)
+        if not canonicalizer.trivial:
+            batch_canon = BatchCanonicalizer(canonicalizer)
+    kernel = BatchKernel(spec)
+    symmetric = batch_canon is not None
+    # The visited set: when nothing observes the store (no explicit
+    # backend to report counters for, no checkpointer to dump/resume
+    # through) the engine keeps it as its own ascending-sorted u64
+    # array — membership and merge are then pure vectorized passes,
+    # with no per-key Python round-trip.  Semantically the sorted
+    # array IS the default RamStore's set; results are identical.
+    use_store = store is not None or checkpointer is not None
+    store_obj = (store or StoreConfig()).create() if use_store else None
+    fast_visited: Optional["U64Array"] = (
+        None if use_store else np.empty(0, dtype=np.uint64)
+    )
+
+    def _store_counters() -> Optional[Dict[str, int]]:
+        if store is None or store_obj is None:
+            return None
+        counters = dict(store_obj.counters())
+        counters["file_bytes"] = store_obj.file_bytes()
+        return counters
+
+    try:
+        initial = spec.initial_state()
+        if symmetric:
+            assert canonicalizer is not None
+            initial = canonicalizer.canonical(initial)
+        transitions = 0
+        truncated = 0
+        covered = 0
+        resumed = checkpointer.latest() if checkpointer is not None else None
+        if resumed is not None:
+            assert store_obj is not None
+            store_obj.load(resumed.visited())
+            n_seen = int(resumed.counters["admitted"])
+            transitions = int(resumed.counters["transitions"])
+            truncated = int(resumed.counters["truncated"])
+            if symmetric:
+                covered = int(resumed.counters["covered"])
+            frontier = np.fromiter(resumed.frontier(), dtype=np.uint64)
+        else:
+            if check_safety:
+                violation = spec.check_outputs(initial)
+                if violation:
+                    if symmetric:
+                        assert canonicalizer is not None
+                        return FastExplorationResult(
+                            1, 0, True, violation,
+                            covered_states=canonicalizer.orbit_size(initial),
+                            symmetry_group_order=canonicalizer.order,
+                            store_counters=_store_counters(),
+                        )
+                    return FastExplorationResult(
+                        1, 0, True, violation,
+                        store_counters=_store_counters(),
+                    )
+            initial_key = fingerprint_int(initial) if fingerprint else initial
+            if store_obj is not None:
+                store_obj.add(initial_key)
+            else:
+                assert fast_visited is not None
+                fast_visited = np.array([initial_key], dtype=np.uint64)
+            n_seen = 1
+            if symmetric:
+                assert canonicalizer is not None
+                covered = canonicalizer.orbit_size(initial)
+            frontier = np.array([initial], dtype=np.uint64)
+
+        # Raw-successor memoization, mirroring the scalar symmetric
+        # loop's cache semantics exactly (RAM-backed, non-fingerprint
+        # runs only): a raw successor seen before — in any earlier
+        # level or earlier in this one — is skipped before
+        # canonicalization, which both saves the gather work and keeps
+        # budget-clipped ``truncated_transitions`` counts identical.
+        raw_seen: Optional["U64Array"] = None
+        if symmetric and not fingerprint:
+            if store_obj is None:
+                assert fast_visited is not None
+                raw_seen = fast_visited.copy()
+            elif isinstance(store_obj, RamStore):
+                raw_seen = np.fromiter(
+                    store_obj, dtype=np.uint64, count=len(store_obj)
+                )
+
+        complete = True
+        while frontier.size:
+            if checkpointer is not None and checkpointer.due(n_seen):
+                assert store_obj is not None
+                counters: Dict[str, int] = {
+                    "admitted": n_seen,
+                    "transitions": transitions,
+                    "truncated": truncated,
+                }
+                if symmetric:
+                    counters["covered"] = covered
+                checkpointer.write(
+                    iter(frontier.tolist()), counters, iter(store_obj)
+                )
+
+            successors, succ_counts = kernel.expand_level(frontier)
+            level_size = int(successors.size)
+            if level_size == 0:
+                break
+
+            # Candidate filter: generation positions that survive the
+            # raw-successor cache (everything, when the cache is off).
+            if raw_seen is not None:
+                unique_raw, first_raw = _unique_first(successors)
+                seen_raw, at_raw = _probe_sorted(raw_seen, unique_raw)
+                fresh_raw = ~seen_raw
+                keep = np.zeros(level_size, dtype=bool)
+                keep[first_raw[fresh_raw]] = True
+                candidate_positions = np.flatnonzero(keep)
+                candidates = successors[candidate_positions]
+                raw_seen = _insert_sorted(
+                    raw_seen, at_raw[fresh_raw], unique_raw[fresh_raw]
+                )
+            else:
+                candidate_positions = None
+                candidates = successors
+
+            if batch_canon is not None:
+                representatives = batch_canon.canonical_many(candidates)
+            else:
+                representatives = candidates
+            keys = (
+                fingerprint_many(representatives)
+                if fingerprint
+                else representatives
+            )
+            # One argsort buys both views at once (measured faster here
+            # than hash-based ``np.unique`` plus a searchsorted
+            # inverse, and than prefiltering occurrences against the
+            # visited array — frontier-heavy workloads are mostly
+            # fresh, so the prefilter pass just adds work): sorted
+            # distinct keys and the first generation position of each.
+            # The per-position rank (``return_inverse``) is only needed
+            # by the once-per-run budget-trip branch, which recovers it
+            # there with a searchsorted.
+            unique_keys, first_occurrence = _unique_first(keys)
+            visited_at: Optional["I64Array"] = None
+            if store_obj is not None:
+                present = np.asarray(
+                    store_obj.contains_many(unique_keys.tolist()), dtype=bool
+                )
+            else:
+                assert fast_visited is not None
+                present, visited_at = _probe_sorted(
+                    fast_visited, unique_keys
+                )
+            fresh_mask = ~present
+            # Admission order is generation order, i.e. ascending first
+            # occurrence; first occurrences are distinct positions, so a
+            # plain sort replaces the argsort permutation.
+            ordered_first = np.sort(first_occurrence[fresh_mask])
+            n_new = int(ordered_first.size)
+            remaining = max_states - n_seen
+            admit_count = n_new if n_new <= remaining else remaining
+
+            admitted_idx = ordered_first[:admit_count]
+            admitted_states = representatives[admitted_idx]
+            admitted_keys = keys[admitted_idx]
+            if candidate_positions is not None:
+                admitted_gen = candidate_positions[admitted_idx]
+            else:
+                admitted_gen = admitted_idx
+
+            violating_rank = -1
+            message: Optional[str] = None
+            if check_safety and admit_count:
+                violating_rank, message = _first_violation(
+                    spec, kernel, admitted_states
+                )
+            parents: Optional["I64Array"] = None
+            parent_ends: Optional["I64Array"] = None
+            if violating_rank >= 0 or n_new > remaining:
+                parents = np.repeat(
+                    np.arange(int(frontier.size)), succ_counts
+                )
+                parent_ends = np.cumsum(succ_counts)
+
+            if violating_rank >= 0:
+                assert parents is not None and parent_ends is not None
+                admitted_now = violating_rank + 1
+                bad_parent = int(parents[int(admitted_gen[violating_rank])])
+                transitions += int(parent_ends[bad_parent])
+                if store_obj is not None:
+                    store_obj.add_many(
+                        admitted_keys[:admitted_now].tolist()
+                    )
+                n_seen += admitted_now
+                if symmetric:
+                    assert batch_canon is not None
+                    covered += int(
+                        batch_canon.orbit_sizes(
+                            admitted_states[:admitted_now]
+                        ).sum()
+                    )
+                if symmetric:
+                    assert canonicalizer is not None
+                    return FastExplorationResult(
+                        n_seen, transitions, complete, message,
+                        truncated_transitions=truncated,
+                        covered_states=covered,
+                        symmetry_group_order=canonicalizer.order,
+                        store_counters=_store_counters(),
+                    )
+                return FastExplorationResult(
+                    n_seen, transitions, complete, message,
+                    truncated_transitions=truncated,
+                    store_counters=_store_counters(),
+                )
+
+            if n_new > remaining:
+                # Budget trip: the scalar loop flips ``complete`` at
+                # the first occurrence of the (budget+1)-th new key,
+                # keeps counting truncated occurrences through the end
+                # of that parent's buffer, then stops.
+                assert parents is not None and parent_ends is not None
+                complete = False
+                trip_candidate = int(ordered_first[admit_count])
+                if candidate_positions is not None:
+                    trip_gen = int(candidate_positions[trip_candidate])
+                    candidate_gen = candidate_positions
+                else:
+                    trip_gen = trip_candidate
+                    candidate_gen = np.arange(
+                        level_size, dtype=np.int64
+                    )
+                trip_parent = int(parents[trip_gen])
+                buffer_end = int(parent_ends[trip_parent])
+                transitions += buffer_end
+                # Unadmitted fresh keys are exactly the fresh keys whose
+                # first occurrence sorts at or after the trip position.
+                unadmitted = fresh_mask & (
+                    first_occurrence >= trip_candidate
+                )
+                in_window = (candidate_gen >= trip_gen) & (
+                    candidate_gen < buffer_end
+                )
+                inverse = np.searchsorted(unique_keys, keys)
+                truncated += int((unadmitted[inverse] & in_window).sum())
+                if store_obj is not None:
+                    store_obj.add_many(admitted_keys.tolist())
+                n_seen += admit_count
+                if symmetric:
+                    assert batch_canon is not None
+                    covered += int(
+                        batch_canon.orbit_sizes(admitted_states).sum()
+                    )
+                break
+
+            transitions += level_size
+            if store_obj is not None:
+                store_obj.add_many(admitted_keys.tolist())
+            else:
+                assert fast_visited is not None and visited_at is not None
+                fast_visited = _insert_sorted(
+                    fast_visited,
+                    visited_at[fresh_mask],
+                    unique_keys[fresh_mask],
+                )
+            previous_seen = n_seen
+            n_seen += admit_count
+            if symmetric:
+                assert batch_canon is not None
+                covered += int(
+                    batch_canon.orbit_sizes(admitted_states).sum()
+                )
+            frontier = admitted_states
+            if progress_every and (
+                n_seen // progress_every > previous_seen // progress_every
+            ):
+                if symmetric:
+                    print(
+                        f"  ... {n_seen} representatives,"
+                        f" {covered} covered,"
+                        f" {transitions} transitions", flush=True
+                    )
+                else:
+                    print(
+                        f"  ... {n_seen} states,"
+                        f" {transitions} transitions", flush=True
+                    )
+
+        if canonicalizer is not None:
+            return FastExplorationResult(
+                states=n_seen,
+                transitions=transitions,
+                complete=complete,
+                truncated_transitions=truncated,
+                covered_states=covered if symmetric else n_seen,
+                symmetry_group_order=canonicalizer.order,
+                store_counters=_store_counters(),
+            )
+        return FastExplorationResult(
+            states=n_seen,
+            transitions=transitions,
+            complete=complete,
+            truncated_transitions=truncated,
+            store_counters=_store_counters(),
+        )
+    finally:
+        if store_obj is not None:
+            store_obj.close()

@@ -1,0 +1,28 @@
+"""The splitmix64 constants, shared by every implementation of the mix.
+
+The scalar fingerprint (:mod:`repro.checker.fingerprint`) and the
+level-batched numpy kernel (:mod:`repro.checker.batch`) implement the
+same finalizer — Steele, Lea & Flood's splitmix64 — and must produce
+bit-identical digests: fingerprints shard states across worker
+processes and persist in checkpoints, so a one-constant drift between
+the two implementations would silently mis-deduplicate.  Keeping the
+magic numbers in one module makes the agreement structural; the
+property tests in ``tests/test_batch_engine.py`` check it element-wise
+anyway.
+"""
+
+from __future__ import annotations
+
+#: All arithmetic is modulo 2**64.
+MASK64 = (1 << 64) - 1
+
+#: The golden-gamma increment; doubles as the fingerprint seed.
+SPLITMIX_GAMMA = 0x9E3779B97F4A7C15
+
+#: Finalizer multipliers and xor-shift distances, in application order:
+#: ``v = (v ^ v>>S1) * M1;  v = (v ^ v>>S2) * M2;  v ^ v>>S3``.
+SPLITMIX_MULT1 = 0xBF58476D1CE4E5B9
+SPLITMIX_MULT2 = 0x94D049BB133111EB
+SPLITMIX_SHIFT1 = 30
+SPLITMIX_SHIFT2 = 27
+SPLITMIX_SHIFT3 = 31

@@ -32,18 +32,31 @@ from __future__ import annotations
 
 from typing import Callable, Hashable
 
-_MASK64 = (1 << 64) - 1
+from repro.checker.constants import (
+    MASK64,
+    SPLITMIX_GAMMA,
+    SPLITMIX_MULT1,
+    SPLITMIX_MULT2,
+    SPLITMIX_SHIFT1,
+    SPLITMIX_SHIFT2,
+    SPLITMIX_SHIFT3,
+)
+
+# The constants live in repro.checker.constants, shared bit for bit
+# with the batched numpy mix (repro.checker.batch); the historical
+# private names stay bound for callers that imported them.
+_MASK64 = MASK64
 #: Seed for the iterated fold; any odd constant works, this is the
 #: golden-ratio constant splitmix64 itself increments by.
-_SEED = 0x9E3779B97F4A7C15
+_SEED = SPLITMIX_GAMMA
 
 
 def splitmix64(value: int) -> int:
     """The splitmix64 finalizer: a bijective 64-bit avalanche mix."""
-    value &= _MASK64
-    value = ((value ^ (value >> 30)) * 0xBF58476D1CE4E5B9) & _MASK64
-    value = ((value ^ (value >> 27)) * 0x94D049BB133111EB) & _MASK64
-    return value ^ (value >> 31)
+    value &= MASK64
+    value = ((value ^ (value >> SPLITMIX_SHIFT1)) * SPLITMIX_MULT1) & MASK64
+    value = ((value ^ (value >> SPLITMIX_SHIFT2)) * SPLITMIX_MULT2) & MASK64
+    return value ^ (value >> SPLITMIX_SHIFT3)
 
 
 def fingerprint_int(state: int) -> int:

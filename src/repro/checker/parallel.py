@@ -141,11 +141,11 @@ def _class_store(
 def _explore_class_task(
     task: Tuple[
         int, Tuple[int, ...], WiringClass, Optional[int], int, bool, bool,
-        bool, Optional[StoreConfig], bool,
+        bool, Optional[StoreConfig], bool, str,
     ],
 ) -> Tuple[int, FastExplorationResult]:
     (index, inputs, wiring, level_target, max_states, check_safety,
-     fingerprint, symmetry, store, por) = task
+     fingerprint, symmetry, store, por, engine) = task
     spec = FastSnapshotSpec(inputs, wiring, level_target=level_target)
     result = spec.explore(
         max_states=max_states,
@@ -154,6 +154,7 @@ def _explore_class_task(
         symmetry=symmetry,
         store=_class_store(store, index),
         por=por,
+        engine=engine,
     )
     return index, result
 
@@ -172,6 +173,7 @@ def check_snapshot_classes(
     sweep_dir: Optional[str] = None,
     sweep_meta: Optional[Dict] = None,
     por: bool = False,
+    engine: str = "scalar",
 ) -> List[Tuple[WiringClass, FastExplorationResult]]:
     """Sweep every canonical wiring class, ``jobs`` classes at a time.
 
@@ -186,6 +188,11 @@ def check_snapshot_classes(
     ``por`` turns on ample-set partial-order reduction inside every
     class exploration (:mod:`repro.checker.por`); verdicts are
     unchanged, per-class ``por_counters`` report the pruning.
+
+    ``engine`` selects each class's exploration engine
+    (:meth:`FastSnapshotSpec.explore`'s ``scalar``/``batch``); verdicts
+    and counts are engine-independent by the batch engine's conformance
+    contract.
 
     ``store`` selects each class's visited-set backend (disk-backed
     classes are namespaced per class under the store directory).  With
@@ -219,7 +226,7 @@ def check_snapshot_classes(
             pending.append(index)
     tasks = [
         (index, chosen_inputs, classes[index], level_target, max_states,
-         check_safety, fingerprint, symmetry, store, por)
+         check_safety, fingerprint, symmetry, store, por, engine)
         for index in pending
     ]
     for index, result in _run_class_tasks(tasks, effective_jobs(jobs)):
@@ -268,6 +275,7 @@ def _shard_worker(
     symmetry: bool = False,
     store_config: Optional[StoreConfig] = None,
     por: bool = False,
+    engine: str = "scalar",
 ) -> None:
     """One frontier shard: owns states with ``fp(s) % n_shards == shard``.
 
@@ -309,6 +317,15 @@ def _shard_worker(
     visited set; foreign-owned successors are pessimistically treated
     as possibly-visited, which can only force extra full expansions,
     never unsound pruning.
+
+    With ``engine="batch"`` the worker processes each round as numpy
+    u64 arrays end to end — admission dedup, safety mask, successor
+    expansion, canonicalization, ownership fingerprints, and the
+    outboxes themselves all stay vectorized, and boundary batches cross
+    the pipe as arrays.  Admission order, violation choice, and every
+    reported count match the scalar worker exactly (the driver never
+    mixes engines within a run).  The driver only requests batch
+    workers when numpy is importable and ``por`` is off.
     """
     seen = None
     try:
@@ -324,6 +341,18 @@ def _shard_worker(
             shard=f"shard-{shard:03d}"
         )
         seen_add = seen.add
+        use_batch = engine == "batch"
+        kernel = None
+        batch_canon = None
+        if use_batch:
+            from repro.checker import batch as batch_mod
+
+            batch_mod.require_numpy()
+            import numpy as np
+
+            kernel = batch_mod.BatchKernel(spec)
+            if canonicalizer is not None:
+                batch_canon = batch_mod.BatchCanonicalizer(canonicalizer)
         selector = None
         is_new = None
         if por:
@@ -358,9 +387,72 @@ def _shard_worker(
                 conn.send(("loaded", loaded))
                 continue
             batch = message[1]
+            if use_batch:
+                assert kernel is not None
+                entries = np.asarray(batch, dtype=np.uint64)
+                states = entries >> np.uint64(1)
+                skipped = 0
+                if canonicalizer is not None:
+                    certified = (entries & np.uint64(1)) == 1
+                    skipped = int(certified.sum())
+                    if batch_canon is not None and not bool(certified.all()):
+                        states = states.copy()
+                        states[~certified] = batch_canon.canonical_many(
+                            states[~certified]
+                        )
+                keys = (
+                    batch_mod.fingerprint_many(states)
+                    if fingerprint
+                    else states
+                )
+                unique_keys, first_occ = batch_mod._unique_first(keys)
+                present = np.asarray(
+                    seen.contains_many(unique_keys.tolist()), dtype=bool
+                )
+                admit_pos = np.sort(first_occ[~present])
+                admitted_arr = states[admit_pos]
+                seen.add_many(keys[admit_pos].tolist())
+                n_admitted = int(admitted_arr.size)
+                covered = None
+                if symmetry:
+                    covered = (
+                        int(batch_canon.orbit_sizes(admitted_arr).sum())
+                        if batch_canon is not None
+                        else n_admitted
+                    )
+                violation = None
+                if check_safety and n_admitted:
+                    _, violation = batch_mod._first_violation(
+                        spec, kernel, admitted_arr
+                    )
+                transitions = 0
+                outboxes = {}
+                if violation is None and n_admitted:
+                    successors, _counts = kernel.expand_level(admitted_arr)
+                    transitions = int(successors.size)
+                    if batch_canon is not None:
+                        successors = batch_canon.canonical_many(successors)
+                    canonical_bit = (
+                        np.uint64(1)
+                        if batch_canon is not None
+                        else np.uint64(0)
+                    )
+                    owners = batch_mod.fingerprint_many(successors) % np.uint64(
+                        n_shards
+                    )
+                    wire = (successors << np.uint64(1)) | canonical_bit
+                    for owner in range(n_shards):
+                        part = wire[owners == np.uint64(owner)]
+                        if part.size:
+                            outboxes[owner] = part
+                conn.send(
+                    ("layer", n_admitted, transitions, violation, outboxes,
+                     covered, skipped, None)
+                )
+                continue
             admitted: List[int] = []
-            covered: Optional[int] = 0 if symmetry else None
-            violation: Optional[str] = None
+            covered = 0 if symmetry else None
+            violation = None
             skipped = 0
             for entry in batch:
                 state = entry >> 1
@@ -435,6 +527,7 @@ def explore_sharded(
     fingerprint_fn: Callable[[int], int] = fingerprint_int,
     _after_checkpoint: Optional[Callable[[], None]] = None,
     por: bool = False,
+    engine: str = "scalar",
 ) -> FastExplorationResult:
     """Frontier-sharded BFS over one wiring class across ``jobs`` cores.
 
@@ -475,9 +568,30 @@ def explore_sharded(
     — see :func:`_shard_worker`); the merged result sums per-shard
     ``por_counters`` and checkpoints persist the running totals, so
     resumed runs report statistics over the whole exploration.
+
+    ``engine="batch"`` runs every shard worker on the vectorized batch
+    kernel and exchanges boundary batches as numpy u64 arrays (results
+    identical to scalar workers).  It requires numpy and, because wire
+    entries are ``(state << 1) | canonical_bit`` in a u64 word, state
+    encodings above 63 bits; with ``por`` the workers fall back to the
+    scalar loop, mirroring :meth:`FastSnapshotSpec.explore`.
     """
     spec = FastSnapshotSpec(inputs, wiring, level_target=level_target)
     jobs = effective_jobs(jobs)
+    if engine not in ("scalar", "batch"):
+        raise ValueError(
+            f"unknown engine {engine!r}; choose 'scalar' or 'batch'"
+        )
+    if engine == "batch":
+        from repro.checker.batch import require_numpy
+
+        require_numpy()
+        if spec.state_bits > 63:
+            raise ValueError(
+                f"sharded batch wire entries are (state << 1) |"
+                f" canonical_bit in a u64 word; this configuration packs"
+                f" states into {spec.state_bits} bits"
+            )
     if jobs <= 1:
         return spec.explore(
             max_states=max_states,
@@ -487,6 +601,7 @@ def explore_sharded(
             store=store,
             checkpointer=checkpointer,
             por=por,
+            engine=engine,
         )
     # Shard ownership and checkpoint files both carry digests across
     # process boundaries: a per-interpreter fingerprint would silently
@@ -508,6 +623,14 @@ def explore_sharded(
         from repro.checker.symmetry import FastCanonicalizer
 
         canonicalizer = FastCanonicalizer(spec)
+
+    # POR's cycle proviso consults the visited set mid-expansion, which
+    # has no level-synchronous formulation — the workers run the scalar
+    # loop there, exactly as the serial engine does.
+    worker_engine = "batch" if engine == "batch" and not por else "scalar"
+    use_batch_workers = worker_engine == "batch"
+    if use_batch_workers:
+        import numpy as np
 
     def _died(shard: int) -> RuntimeError:
         hint = (
@@ -550,7 +673,7 @@ def explore_sharded(
                     args=(
                         child_conn, tuple(inputs), wiring, level_target,
                         shard, jobs, check_safety, fingerprint, symmetry,
-                        store, por,
+                        store, por, worker_engine,
                     ),
                     daemon=True,
                 )
@@ -567,6 +690,7 @@ def explore_sharded(
                 store=store,
                 checkpointer=checkpointer,
                 por=por,
+                engine=engine,
             )
 
         states = 0
@@ -655,8 +779,15 @@ def explore_sharded(
                     recanon_skipped += shard_skipped
                 if shard_violation is not None and violation is None:
                     violation = shard_violation
-                for owner, boundary in out.items():
-                    outboxes.setdefault(owner, []).extend(boundary)
+                if use_batch_workers:
+                    # Batch workers ship whole numpy arrays per owner; keep
+                    # them as array parts and concatenate once per round so
+                    # the boundary states never degrade to Python ints.
+                    for owner, boundary in out.items():
+                        outboxes.setdefault(owner, []).append(boundary)
+                else:
+                    for owner, boundary in out.items():
+                        outboxes.setdefault(owner, []).extend(boundary)
             if violation is not None:
                 return _finish(FastExplorationResult(
                     states=states,
@@ -668,7 +799,16 @@ def explore_sharded(
                     recanonicalizations_skipped=recanon_skipped,
                     por_counters=_por_totals(),
                 ))
-            inboxes = {owner: batch for owner, batch in outboxes.items() if batch}
+            if use_batch_workers:
+                inboxes = {}
+                for owner, parts in outboxes.items():
+                    merged = parts[0] if len(parts) == 1 else np.concatenate(parts)
+                    if merged.size:
+                        inboxes[owner] = merged
+            else:
+                inboxes = {
+                    owner: batch for owner, batch in outboxes.items() if batch
+                }
             if states >= max_states and inboxes:
                 complete = False
                 truncated = sum(len(batch) for batch in inboxes.values())

@@ -54,6 +54,17 @@ successors; each chosen successor is then canonicalized through the
 same pipeline as an unreduced transition.  Reduced paths are real
 paths of the full system, so counterexample reconstruction needs no
 POR-specific handling.
+
+Composition with the batch engine: none, by design.  The vectorized
+level kernel (:mod:`repro.checker.batch`) admits a whole BFS level
+before any of its successors are deduplicated, while C3 consults the
+visited set per expanded state *mid-level* — ample choices made
+against a stale level-boundary snapshot of the visited set would
+select different (still sound, but different) reductions than the
+scalar loop, breaking the byte-identical-conformance contract.  So
+``explore(engine="batch", por=True)`` and sharded batch runs with POR
+fall back to the scalar selector loop per level; the batch speedup
+applies only to unreduced-schedule runs.
 """
 
 from __future__ import annotations

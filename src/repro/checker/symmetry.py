@@ -289,6 +289,13 @@ class FastCanonicalizer:
         stabilizer = wiring_stabilizer(spec.wiring, spec.inputs)
         self.order = len(stabilizer)
         self._appliers: List[Callable[[int], int]] = []
+        #: Per non-identity element: the compiled table data behind its
+        #: applier, in stabilizer order.  The level-batched kernel
+        #: (:mod:`repro.checker.batch`) re-expresses the same min-over
+        #: -images reduction as numpy gathers over these tables, so
+        #: they are part of the class's public surface, not a compile
+        #: -time private.
+        self.element_tables: List[Dict[str, object]] = []
         fused_exprs: List[Optional[str]] = []
         bindings: Dict[str, List[int]] = {}
         for index, (pi, rho) in enumerate(stabilizer[1:]):
@@ -379,6 +386,14 @@ class FastCanonicalizer:
 
         if register_table is not None and local_table is not None:
             block_mask = (1 << block_bits) - 1
+            self.element_tables.append({
+                "kind": "fused",
+                "register_table": register_table,
+                "block_mask": block_mask,
+                "local_table": local_table,
+                "local_mask": local_mask,
+                "moves": moves,
+            })
 
             def apply(state: int) -> int:
                 out = register_table[state & block_mask]
@@ -401,6 +416,17 @@ class FastCanonicalizer:
             for r in range(spec.m)
         )
         reg_mask = spec.reg_mask
+        self.element_tables.append({
+            "kind": "general",
+            "record_map": record_map,
+            "reg_moves": reg_moves,
+            "reg_mask": reg_mask,
+            "view_map": view_map,
+            "moves": moves,
+            "local_mask": local_mask,
+            "k_mask": k_mask,
+            "k_clear": k_clear,
+        })
 
         def apply_general(state: int) -> int:
             out = 0

@@ -221,6 +221,15 @@ def _cmd_check(args: argparse.Namespace) -> int:
         )
         return 2
 
+    if args.engine == "batch":
+        from repro.checker.batch import BatchEngineUnavailable, require_numpy
+
+        try:
+            require_numpy()
+        except BatchEngineUnavailable as exc:
+            print(f"error: {exc}")
+            return 2
+
     usable = os.cpu_count() or 1
     jobs = max(1, args.jobs)
     if jobs > usable:
@@ -299,16 +308,21 @@ def _cmd_check(args: argparse.Namespace) -> int:
                 status = "OK" if ok else "VIOLATED"
                 print(f"wiring {wiring.permutations()}: {result.states}"
                       f" states, safety+wait-freedom {status}{suffix}")
-            if store_cfg is not None or ckpt_base is not None or args.por:
+            if (
+                store_cfg is not None
+                or ckpt_base is not None
+                or args.por
+                or args.engine == "batch"
+            ):
                 # The full-edge N=2 engine keeps object tables that only
                 # live in RAM (and its liveness pass needs the unreduced
-                # graph), so --store / checkpointing / --por run through
-                # a fast class sweep on top (the --symmetry precedent:
-                # both passes, one command).
+                # graph), so --store / checkpointing / --por / --engine
+                # batch run through a fast class sweep on top (the
+                # --symmetry precedent: both passes, one command).
                 rows = check_snapshot_classes(
                     2, budget=budget, jobs=jobs,
                     fingerprint=args.fingerprint, symmetry=args.symmetry,
-                    store=store_cfg, por=args.por,
+                    store=store_cfg, por=args.por, engine=args.engine,
                     sweep_dir=str(ckpt_base) if ckpt_base else None,
                     sweep_meta={**meta_base, "engine": "sweep"},
                 )
@@ -363,7 +377,7 @@ def _cmd_check(args: argparse.Namespace) -> int:
                     inputs, wiring, jobs=jobs, max_states=max_states,
                     fingerprint=args.fingerprint, symmetry=args.symmetry,
                     store=class_store, checkpointer=checkpointer,
-                    por=args.por,
+                    por=args.por, engine=args.engine,
                 )
                 status = "OK" if result.ok else f"VIOLATED: {result.violation}"
                 if not result.ok:
@@ -380,7 +394,7 @@ def _cmd_check(args: argparse.Namespace) -> int:
             rows = check_snapshot_classes(
                 args.n, budget=budget, jobs=jobs,
                 fingerprint=args.fingerprint, symmetry=args.symmetry,
-                store=store_cfg, por=args.por,
+                store=store_cfg, por=args.por, engine=args.engine,
                 sweep_dir=str(ckpt_base) if ckpt_base else None,
                 sweep_meta=(
                     {**meta_base, "engine": "sweep"}
@@ -548,6 +562,15 @@ def build_parser() -> argparse.ArgumentParser:
         "--sharded", action="store_true",
         help="with --jobs > 1, shard each class's BFS frontier across"
              " the workers instead of one whole class per worker",
+    )
+    check.add_argument(
+        "--engine", choices=["scalar", "batch"], default="scalar",
+        help="exploration kernel: scalar (default; the pure-Python"
+             " conformance oracle) or batch (numpy level-batched u64"
+             " arrays, same verdicts at a multiple of the throughput;"
+             " requires numpy). --por always runs the scalar loop —"
+             " the cycle proviso consults the visited set mid-level —"
+             " so batch silently falls back there",
     )
     check.add_argument(
         "--fingerprint", action="store_true",

@@ -25,7 +25,16 @@ import tempfile
 from abc import ABC, abstractmethod
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Callable, Dict, Iterable, Iterator, Optional, Tuple
+from typing import (
+    Callable,
+    Dict,
+    Iterable,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+)
 
 #: Maximum key width the disk-backed stores accept: one table slot /
 #: run entry is a raw unsigned 64-bit word.
@@ -114,6 +123,32 @@ class FingerprintStore(ABC):
         added = 0
         for key in keys:
             if self.add(key):
+                added += 1
+        return added
+
+    def contains_many(self, keys: Sequence[int]) -> List[bool]:
+        """Membership for a whole batch: ``[key in self for key in keys]``.
+
+        The level-batched engine (:mod:`repro.checker.batch`) probes a
+        whole BFS level in one call.  This default just loops the
+        scalar ``__contains__``, so every backend supports the batch
+        engine from day one; backends with a cheaper bulk structure
+        (the spill store's sorted runs) override it.
+        """
+        return [key in self for key in keys]
+
+    def add_many(self, keys: Sequence[int]) -> int:
+        """Insert a whole batch; returns the number newly added.
+
+        Same contract as calling :meth:`add` per key, in order — the
+        default does exactly that.  Callers that pre-deduplicate (the
+        batch engine admits only keys its level dedup proved new) still
+        get exact semantics from backends that re-check membership.
+        """
+        added = 0
+        add = self.add
+        for key in keys:
+            if add(key):
                 added += 1
         return added
 

@@ -10,7 +10,7 @@ historical ``in`` + ``.add`` pair.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Iterator, Set
+from typing import Callable, Dict, Iterator, List, Sequence, Set
 
 from repro.store.base import FingerprintStore
 
@@ -49,6 +49,16 @@ class RamStore(FingerprintStore):
 
     def __contains__(self, key: int) -> bool:
         return key in self._set
+
+    def contains_many(self, keys: Sequence[int]) -> List[bool]:
+        _set = self._set
+        return [key in _set for key in keys]
+
+    def add_many(self, keys: Sequence[int]) -> int:
+        _set = self._set
+        before = len(_set)
+        _set.update(keys)
+        return len(_set) - before
 
     def __len__(self) -> int:
         return len(self._set)

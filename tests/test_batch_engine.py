@@ -1,0 +1,347 @@
+"""The level-batched (numpy) exploration kernel vs the scalar oracle.
+
+The batch engine's whole value proposition is "same verdicts, much
+faster", so the load-bearing contract here is *byte-identical
+results*: for every configuration both engines support, ``asdict`` of
+the two :class:`FastExplorationResult` objects must be equal — same
+verdict and violation message, same admitted/transition/truncated
+counts even mid-budget, same covered-state totals under symmetry.
+Backend-specific counters (``store_counters``) are the one documented
+exception: the engines issue different probe patterns against the
+same visited set.
+
+numpy is a soft dependency.  The conformance matrix skips cleanly
+without it; the degradation tests below run regardless (they simulate
+absence by flipping ``HAVE_NUMPY``) and prove every batch entry point
+fails with a clear :class:`BatchEngineUnavailable` instead of a
+traceback.
+"""
+
+import random
+from dataclasses import asdict
+
+import pytest
+
+import repro.checker.batch as batch_mod
+from repro.checker import parallel
+from repro.checker.batch import BatchEngineUnavailable
+from repro.checker.fast_snapshot import FastSnapshotSpec
+from repro.checker.fingerprint import fingerprint_int, splitmix64
+from repro.checker.parallel import check_snapshot_classes, explore_sharded
+from repro.store import StoreConfig
+
+requires_numpy = pytest.mark.skipif(
+    not batch_mod.HAVE_NUMPY, reason="numpy not installed"
+)
+
+if batch_mod.HAVE_NUMPY:
+    import numpy as np
+
+#: Both N=2 wiring classes (canonical representatives).
+N2_CLASSES = [((0, 1), (0, 1)), ((0, 1), (1, 0))]
+
+#: One N=3 class for budgeted multi-level coverage.
+N3_CLASS = ((0, 1, 2), (0, 1, 2), (1, 2, 0))
+
+_SEEDED_MESSAGE = "seeded violation: a processor terminated"
+
+
+def _seed_violation(monkeypatch):
+    """Flag any state with a DONE processor (snapshot is actually safe).
+
+    Patching the *class* before the batch module's vectorized check
+    runs exercises the stock-check identity guard: the batch engine
+    must notice ``check_outputs`` was overridden and fall back to the
+    per-state scalar call, or the seeded fault would be invisible to
+    its vectorized mask.
+    """
+    original = FastSnapshotSpec.check_outputs
+
+    def seeded(self, state):
+        for pid in range(self.n):
+            local = (state >> self.local_offsets[pid]) & self.local_mask
+            if (local >> self.o_phase) & 3 == 2:  # DONE
+                return _SEEDED_MESSAGE
+        return original(self, state)
+
+    monkeypatch.setattr(FastSnapshotSpec, "check_outputs", seeded)
+
+
+def _both(wiring, inputs=(1, 2), **kwargs):
+    """(scalar result, batch result) as dicts, for equality asserts."""
+    scalar = FastSnapshotSpec(list(inputs), wiring).explore(
+        engine="scalar", **kwargs
+    )
+    batch = FastSnapshotSpec(list(inputs), wiring).explore(
+        engine="batch", **kwargs
+    )
+    return asdict(scalar), asdict(batch)
+
+
+# ----------------------------------------------------------------------
+# Satellite: batched splitmix64 === scalar splitmix64 (shared constants)
+# ----------------------------------------------------------------------
+
+
+@requires_numpy
+class TestFingerprintParity:
+    def test_splitmix_agrees_on_random_u64s_and_edges(self):
+        rng = random.Random(0xE15)
+        samples = [rng.getrandbits(64) for _ in range(10_000)]
+        samples += [0, 2**64 - 1, 1, 2**63, 2**63 - 1]
+        arr = np.array(samples, dtype=np.uint64)
+        batched = batch_mod.splitmix64_many(arr)
+        for value, out in zip(samples, batched.tolist()):
+            assert out == splitmix64(value)
+
+    def test_fingerprint_many_matches_fingerprint_int(self):
+        rng = random.Random(0x51A7)
+        samples = [rng.getrandbits(64) for _ in range(10_000)]
+        samples += [0, 2**64 - 1]
+        arr = np.array(samples, dtype=np.uint64)
+        batched = batch_mod.fingerprint_many(arr)
+        for value, out in zip(samples, batched.tolist()):
+            assert out == fingerprint_int(value)
+
+    def test_engines_share_one_constants_module(self):
+        import repro.checker.constants as constants
+        import repro.checker.fingerprint as fingerprint
+
+        # Not merely equal values: the scalar module must re-export the
+        # shared constants, so a future edit cannot desynchronize them.
+        assert fingerprint.SPLITMIX_GAMMA is constants.SPLITMIX_GAMMA
+        assert fingerprint.MASK64 is constants.MASK64
+
+
+# ----------------------------------------------------------------------
+# Tentpole: serial conformance — the scalar engine is the oracle
+# ----------------------------------------------------------------------
+
+
+@requires_numpy
+class TestSerialConformance:
+    @pytest.mark.parametrize("wiring", N2_CLASSES)
+    @pytest.mark.parametrize("symmetry", [False, True])
+    @pytest.mark.parametrize("por", [False, True])
+    def test_exhaustive_n2_matrix(self, wiring, symmetry, por):
+        scalar, batch = _both(wiring, symmetry=symmetry, por=por)
+        assert scalar == batch
+
+    @pytest.mark.parametrize("fingerprint", [False, True])
+    @pytest.mark.parametrize("symmetry", [False, True])
+    def test_exhaustive_n2_fingerprint(self, fingerprint, symmetry):
+        scalar, batch = _both(
+            N2_CLASSES[1], fingerprint=fingerprint, symmetry=symmetry
+        )
+        assert scalar == batch
+
+    @pytest.mark.parametrize("budget", [1, 2, 7, 50, 500])
+    @pytest.mark.parametrize("symmetry", [False, True])
+    def test_budget_clipped_counts_match_exactly(self, budget, symmetry):
+        # Mid-level budget trips are where the two loops most easily
+        # diverge: the truncated-transition count depends on *where*
+        # inside a level the (B+1)-th fresh state appeared.
+        scalar, batch = _both(
+            N2_CLASSES[1], max_states=budget, symmetry=symmetry
+        )
+        assert scalar == batch
+
+    def test_budgeted_n3_multi_level(self):
+        scalar, batch = _both(
+            N3_CLASS, inputs=(1, 2, 3), max_states=3_000, fingerprint=True
+        )
+        assert scalar == batch
+
+    def test_seeded_violation_matches_and_defeats_vectorized_mask(
+        self, monkeypatch
+    ):
+        _seed_violation(monkeypatch)
+        scalar, batch = _both(N2_CLASSES[1])
+        assert scalar == batch
+        assert batch["violation"] == _SEEDED_MESSAGE
+        assert not batch["complete"] or batch["violation"] is not None
+
+    def test_seeded_violation_after_batch_import(self, monkeypatch):
+        # Patch order must not matter: importing batch first, then
+        # patching, then exploring still sees the seeded fault.
+        import repro.checker.batch  # noqa: F401  (already imported)
+
+        _seed_violation(monkeypatch)
+        scalar, batch = _both(N2_CLASSES[0], symmetry=True)
+        assert scalar == batch
+        assert batch["violation"] == _SEEDED_MESSAGE
+
+    def test_unknown_engine_rejected(self):
+        spec = FastSnapshotSpec([1, 2], N2_CLASSES[0])
+        with pytest.raises(ValueError, match="unknown engine"):
+            spec.explore(engine="simd")
+
+    def test_wait_freedom_refused_on_batch(self):
+        spec = FastSnapshotSpec([1, 2], N2_CLASSES[0])
+        with pytest.raises(ValueError, match="edge"):
+            spec.explore(engine="batch", check_wait_freedom=True)
+
+
+@requires_numpy
+class TestStoreConformance:
+    @pytest.mark.parametrize("backend", ["ram", "mmap", "spill"])
+    @pytest.mark.parametrize("symmetry", [False, True])
+    def test_backends_match_scalar(self, backend, symmetry, tmp_path):
+        def run(engine, sub):
+            return FastSnapshotSpec([1, 2], N2_CLASSES[1]).explore(
+                engine=engine, fingerprint=True, symmetry=symmetry,
+                store=StoreConfig(
+                    backend=backend, directory=str(tmp_path / sub)
+                ),
+            )
+
+        scalar = asdict(run("scalar", "scalar"))
+        batch = asdict(run("batch", "batch"))
+        # The engines probe the same visited set with different call
+        # patterns (scalar add/contains vs one bulk call per level), so
+        # operation counters legitimately differ; everything else must
+        # not.
+        scalar.pop("store_counters")
+        batch.pop("store_counters")
+        assert scalar == batch
+
+
+# ----------------------------------------------------------------------
+# Tentpole: sharded conformance (whole levels across the wire)
+# ----------------------------------------------------------------------
+
+
+@requires_numpy
+class TestShardedConformance:
+    @pytest.fixture(autouse=True)
+    def force_two_workers(self, monkeypatch):
+        # A single-core host would collapse jobs to 1 (serial fallback)
+        # and never exercise the array wire format.
+        monkeypatch.setattr(
+            parallel, "effective_jobs", lambda requested: requested
+        )
+
+    @pytest.mark.parametrize("symmetry", [False, True])
+    @pytest.mark.parametrize("fingerprint", [False, True])
+    def test_exhaustive_n2_matches_scalar_workers(self, symmetry, fingerprint):
+        kwargs = dict(jobs=2, symmetry=symmetry, fingerprint=fingerprint)
+        scalar = explore_sharded(
+            [1, 2], N2_CLASSES[1], engine="scalar", **kwargs
+        )
+        batch = explore_sharded([1, 2], N2_CLASSES[1], engine="batch", **kwargs)
+        assert asdict(scalar) == asdict(batch)
+
+    def test_budgeted_n3_matches_scalar_workers(self):
+        scalar = explore_sharded(
+            [1, 2, 3], N3_CLASS, jobs=2, max_states=2_000, engine="scalar"
+        )
+        batch = explore_sharded(
+            [1, 2, 3], N3_CLASS, jobs=2, max_states=2_000, engine="batch"
+        )
+        assert asdict(scalar) == asdict(batch)
+
+    def test_por_falls_back_to_scalar_workers(self):
+        scalar = explore_sharded(
+            [1, 2], N2_CLASSES[1], jobs=2, por=True, engine="scalar"
+        )
+        batch = explore_sharded(
+            [1, 2], N2_CLASSES[1], jobs=2, por=True, engine="batch"
+        )
+        assert asdict(scalar) == asdict(batch)
+        assert batch.por_counters is not None
+
+    def test_class_sweep_matches_scalar(self):
+        scalar = check_snapshot_classes(2, jobs=2, engine="scalar")
+        batch = check_snapshot_classes(2, jobs=2, engine="batch")
+        assert len(scalar) == len(batch)
+        for (w_scalar, r_scalar), (w_batch, r_batch) in zip(scalar, batch):
+            assert w_scalar == w_batch
+            assert asdict(r_scalar) == asdict(r_batch)
+
+    def test_checkpoint_interrupt_resume_roundtrip(self, tmp_path):
+        from repro.store.checkpoint import RunCheckpointer
+
+        meta = {"n": 3, "engine_test": "batch"}
+        kwargs = dict(jobs=2, max_states=3_000, engine="batch")
+        uninterrupted = explore_sharded([1, 2, 3], N3_CLASS, **kwargs)
+        fired = []
+
+        def interrupt_once():
+            fired.append(True)
+            if len(fired) == 1:
+                raise KeyboardInterrupt
+
+        with pytest.raises(KeyboardInterrupt):
+            explore_sharded(
+                [1, 2, 3], N3_CLASS, **kwargs,
+                checkpointer=RunCheckpointer(tmp_path, meta, every=500),
+                _after_checkpoint=interrupt_once,
+            )
+        resumed = explore_sharded(
+            [1, 2, 3], N3_CLASS, **kwargs,
+            checkpointer=RunCheckpointer(tmp_path, meta, every=500),
+        )
+        assert asdict(resumed) == asdict(uninterrupted)
+
+
+# ----------------------------------------------------------------------
+# Graceful degradation without numpy (runs with numpy installed too —
+# absence is simulated by flipping HAVE_NUMPY)
+# ----------------------------------------------------------------------
+
+
+class TestWithoutNumpy:
+    @pytest.fixture(autouse=True)
+    def no_numpy(self, monkeypatch):
+        monkeypatch.setattr(batch_mod, "HAVE_NUMPY", False)
+
+    def test_require_numpy_raises_with_guidance(self):
+        with pytest.raises(BatchEngineUnavailable, match="--engine scalar"):
+            batch_mod.require_numpy()
+
+    def test_explore_batch_refused(self):
+        spec = FastSnapshotSpec([1, 2], N2_CLASSES[0])
+        with pytest.raises(BatchEngineUnavailable):
+            spec.explore(engine="batch")
+
+    def test_explore_sharded_batch_refused(self, monkeypatch):
+        monkeypatch.setattr(
+            parallel, "effective_jobs", lambda requested: requested
+        )
+        with pytest.raises(BatchEngineUnavailable):
+            explore_sharded([1, 2], N2_CLASSES[0], jobs=2, engine="batch")
+
+    def test_scalar_engine_unaffected(self):
+        result = FastSnapshotSpec([1, 2], N2_CLASSES[0]).explore()
+        assert result.ok and result.states == 7235
+
+    def test_cli_exits_2_with_message(self, capsys):
+        from repro.cli import main
+
+        assert main(["check", "--n", "2", "--engine", "batch"]) == 2
+        out = capsys.readouterr().out
+        assert "numpy is not installed" in out
+
+
+# ----------------------------------------------------------------------
+# CLI happy path
+# ----------------------------------------------------------------------
+
+
+@requires_numpy
+class TestCliBatchEngine:
+    def test_check_n2_engine_batch_runs_class_sweep(self, capsys):
+        from repro.cli import main
+
+        assert main(["check", "--n", "2", "--engine", "batch"]) == 0
+        out = capsys.readouterr().out
+        # the batch engine triggers the fast class sweep on top of the
+        # full-edge liveness pass
+        assert "class sweep" in out
+        assert out.count("7235 states") >= 2
+
+    def test_unknown_engine_rejected_by_argparse(self):
+        from repro.cli import main
+
+        with pytest.raises(SystemExit):
+            main(["check", "--n", "2", "--engine", "simd"])

@@ -107,6 +107,70 @@ class TestBackendContract:
             store.close()
 
 
+class TestBulkContract:
+    """``contains_many``/``add_many`` — the batch engine's probe unit.
+
+    The base class defaults loop the scalar methods, so the contract
+    (exactly ``[key in store for ...]`` / per-key ``add`` in order)
+    must hold identically on backends with bespoke bulk paths (ram's
+    set ops, spill's per-run streaming pass).
+    """
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_bulk_matches_scalar_loop(self, backend, tmp_path):
+        store = _make(backend, tmp_path)
+        keys = sorted(_keys(800))
+        present, absent = keys[::2], keys[1::2]
+        try:
+            assert store.add_many(present) == len(present)
+            probe = sorted(present[:100] + absent[:100])
+            assert store.contains_many(probe) == [k in store for k in probe]
+            # re-adding a mixed batch counts only the genuinely new keys
+            mixed = sorted(present[:50] + absent[:50])
+            assert store.add_many(mixed) == 50
+            assert len(store) == len(present) + 50
+        finally:
+            store.close()
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_empty_batches_are_noops(self, backend, tmp_path):
+        store = _make(backend, tmp_path)
+        try:
+            assert store.add_many([]) == 0
+            assert store.contains_many([]) == []
+        finally:
+            store.close()
+
+    def test_spill_bulk_writes_sorted_runs_natively(self, tmp_path):
+        # A level-sized batch of fresh keys must land as one sorted run
+        # file instead of churning through repeated buffer spills.
+        store = _make("spill", tmp_path, mem_cap=64 * 1024)
+        keys = sorted(_keys(20_000))
+        try:
+            spills_before = store.counters()["spills"]
+            assert store.add_many(keys) == len(keys)
+            assert store.counters()["spills"] == spills_before + 1
+            assert store.contains_many(keys) == [True] * len(keys)
+            assert list(store) == keys  # runs stream in ascending order
+        finally:
+            store.close()
+
+    def test_spill_bulk_membership_survives_merge(self, tmp_path):
+        store = _make("spill", tmp_path, mem_cap=64 * 1024)
+        first, second = sorted(_keys(12_000, seed=1)), sorted(_keys(12_000, seed=2))
+        overlap = sorted(set(first) & set(second))
+        try:
+            store.add_many(first)
+            added = store.add_many(second)
+            assert added == len(set(second) - set(first))
+            everything = sorted(set(first) | set(second))
+            assert store.contains_many(everything) == [True] * len(everything)
+            assert len(store) == len(everything)
+            assert store.contains_many(overlap) == [True] * len(overlap)
+        finally:
+            store.close()
+
+
 class TestMmapStore:
     def test_zero_key_roundtrip(self, tmp_path):
         store = _make("mmap", tmp_path)
