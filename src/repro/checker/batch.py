@@ -27,7 +27,8 @@ this module re-expresses the exploration loop over whole BFS levels:
   natively).
 
 **Conformance contract.**  The scalar engine stays the oracle: for any
-configuration both engines support, :func:`explore_batch` returns a
+unreduced configuration both engines support, :func:`explore_batch`
+returns a
 :class:`~repro.checker.fast_snapshot.FastExplorationResult` that is
 field-for-field identical to the scalar one — same verdict and
 violation message, same admitted/transition/truncated counts even for
@@ -39,15 +40,21 @@ violating parent's full buffer was counted; a budget trip counts
 truncated occurrences through the end of the tripping parent's buffer)
 is replayed index-for-index from the generation-order arrays.
 
-Two configurations fall outside the batch kernel by design:
+**POR** (``por=True``) composes through a *level-synchronous*
+formulation (:class:`BatchAmpleSelector`): ample sets are selected for
+the whole frontier at once — C0/C1 as bitmask AND-reductions over
+per-pid footprint arrays compiled by
+:class:`repro.checker.por.FootprintTables`, C2 on vectorized trial
+successors, and a C3 cycle proviso that certifies novelty against
+``visited ∪ earlier-in-level`` via one bulk ``contains_many`` gather
+per trial round (pessimistic within a level, hence sound; see the
+:mod:`repro.checker.por` docstring).  The two engines' C3 oracles
+legitimately pick different ample sets, so batch+POR conformance is
+*verdict-level* (same ok/violation/complete), not count-identical.
 
-- **POR** (``por=True``): the ample-set cycle proviso (C3) consults
-  the visited set *as it mutates mid-level*, which has no faithful
-  level-synchronous formulation — ``explore(engine="batch", por=True)``
-  therefore runs the scalar selection loop (documented fallback; see
-  :mod:`repro.checker.por`).
-- **wait-freedom**: lasso analysis needs the full edge list, which the
-  lean batch pipeline never materializes.
+One configuration falls outside the batch kernel by design:
+**wait-freedom** — lasso analysis needs the full edge list, which the
+lean batch pipeline never materializes.
 
 numpy is a *soft* dependency: this module imports with or without it,
 ``HAVE_NUMPY`` reports availability, and every entry point raises
@@ -60,7 +67,7 @@ unaffected.
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Dict, List, Optional, Tuple, cast
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Tuple, cast
 
 from repro.checker.constants import (
     MASK64,
@@ -80,6 +87,7 @@ from repro.checker.fast_snapshot import (
     FastSnapshotSpec,
 )
 from repro.checker.fingerprint import fingerprint_int
+from repro.checker.por import FootprintTables, PORCounters
 from repro.store.base import StoreConfig
 from repro.store.checkpoint import RunCheckpointer
 from repro.store.ram import RamStore
@@ -247,9 +255,11 @@ class BatchKernel:
 
     # ------------------------------------------------------------------
     def expand_level(
-        self, frontier: "U64Array"
+        self,
+        frontier: "U64Array",
+        selected: Optional["I64Array"] = None,
     ) -> Tuple["U64Array", "I64Array"]:
-        """All successors of ``frontier``, in scalar generation order.
+        """Successors of ``frontier``, in scalar generation order.
 
         Returns ``(successors, counts)``: ``counts[i]`` successors were
         generated by ``frontier[i]``, laid out parent-major (so
@@ -261,6 +271,12 @@ class BatchKernel:
         counting placement — per (pid, op) part, every successor's
         final position is its parent's running cursor — which costs
         one linear pass per part instead of a level-wide argsort.
+
+        ``selected`` is the per-state ample-selection mask from
+        :class:`BatchAmpleSelector`: ``-1`` expands the state fully,
+        ``0 <= p < n`` expands only pid ``p``'s successors (the chosen
+        ample set), and any other negative value generates nothing for
+        that state.  ``None`` expands everything (the unreduced path).
         """
         spec = self.spec
         #: (parent indices, successor values), in generation op order.
@@ -271,8 +287,13 @@ class BatchKernel:
             offset = spec.local_offsets[pid]
             local = (frontier >> offset) & spec.local_mask
             phase = (local >> spec.o_phase) & 3
-            w_idx = np.flatnonzero(phase == _PHASE_WRITE)
-            s_idx = np.flatnonzero(phase == _PHASE_SCAN)
+            if selected is None:
+                w_idx = np.flatnonzero(phase == _PHASE_WRITE)
+                s_idx = np.flatnonzero(phase == _PHASE_SCAN)
+            else:
+                gen = (selected == pid) | (selected == -1)
+                w_idx = np.flatnonzero((phase == _PHASE_WRITE) & gen)
+                s_idx = np.flatnonzero((phase == _PHASE_SCAN) & gen)
             if w_idx.size:
                 w_local = local[w_idx]
                 w_states = frontier[w_idx]
@@ -511,6 +532,181 @@ class BatchCanonicalizer:
 
 
 # ----------------------------------------------------------------------
+# Level-synchronous ample-set selection (POR)
+# ----------------------------------------------------------------------
+class BatchAmpleSelector:
+    """Ample sets for a whole BFS level at once.
+
+    The vectorized twin of
+    :class:`~repro.checker.por.FastAmpleSelector`, selecting per
+    frontier state either one pid's successors (an ample set satisfying
+    C0–C3) or full expansion, as an ``int64`` mask consumed by
+    :meth:`BatchKernel.expand_level`:
+
+    - **C0/C1** — per-pid write/read footprints come from the
+      :class:`~repro.checker.por.FootprintTables` gather tables; the
+      pairwise conflict test ``(w_i & (w_j | r_j)) | (r_i & w_j)`` is a
+      bitmask AND-reduction over whole frontier arrays.
+    - **C2** — invisibility against the tables' compiled visibility
+      footprint (outputs-only for the fast engine's stock safety
+      property): a write never terminates its pid, a scan candidate is
+      visible iff its successor phase is ``DONE``, and with
+      ``check_safety=False`` nothing is visible.
+    - **C3** — the level-synchronous cycle proviso: a candidate pid is
+      kept only if at least one of its successors is *certainly new*,
+      i.e. its key is absent from the visited set as of the level
+      boundary (one bulk membership gather per trial round via the
+      ``in_visited`` callback) **and** it is the first occurrence of
+      that key in the round's candidate pool.  Pessimistic within a
+      level, hence sound: every certified key really is admitted this
+      level and re-expanded on the next (see
+      :mod:`repro.checker.por`).
+
+    Candidate pids are tried in ascending order, mirroring the scalar
+    selector's retry loop; states with no qualifying pid are fully
+    expanded.  ``counters`` maintains the same
+    :class:`~repro.checker.por.PORCounters` invariants as the scalar
+    selector (``ample_states + fully_expanded_states`` equals the
+    number of expanded states).
+    """
+
+    def __init__(
+        self,
+        kernel: BatchKernel,
+        check_safety: bool = True,
+        cycle_proviso: bool = True,
+    ) -> None:
+        require_numpy()
+        self.kernel = kernel
+        self.spec = kernel.spec
+        self.check_safety = check_safety
+        self.cycle_proviso = cycle_proviso
+        self.tables = FootprintTables(kernel.spec)
+        self.counters = PORCounters()
+
+    def select(
+        self,
+        frontier: "U64Array",
+        key_of: Callable[["U64Array"], "U64Array"],
+        in_visited: Callable[["U64Array"], "BoolArray"],
+    ) -> "I64Array":
+        """The per-state expansion mask for ``frontier``.
+
+        ``key_of`` maps raw successor states to their dedup keys
+        (canonicalization then fingerprinting, as configured);
+        ``in_visited`` is bulk membership of keys in the visited set as
+        of the level boundary.  Returns ``selected`` with ``-1`` (full
+        expansion) or a pid index per state.
+        """
+        spec = self.spec
+        tables = self.tables
+        n = spec.n
+        n_states = int(frontier.shape[0])
+        zero = np.uint64(0)
+
+        locals_: List["U64Array"] = []
+        is_scan: List["BoolArray"] = []
+        wmasks: List["U64Array"] = []
+        rmasks: List["U64Array"] = []
+        nsucc = np.zeros((n, n_states), dtype=np.int64)
+        active_count = np.zeros(n_states, dtype=np.int64)
+        total = np.zeros(n_states, dtype=np.int64)
+        for pid in range(n):
+            local = (frontier >> spec.local_offsets[pid]) & spec.local_mask
+            phase = (local >> spec.o_phase) & 3
+            writing = phase == _PHASE_WRITE
+            scanning = phase == _PHASE_SCAN
+            unwritten = (local >> spec.o_unwritten) & spec.m_mask
+            wmask = np.where(writing, tables.wmask[pid][unwritten], zero)
+            rmask = np.where(scanning, tables.m_mask, zero)
+            count = np.where(
+                writing, tables.popcount[unwritten], np.int64(0)
+            ) + scanning
+            locals_.append(local)
+            is_scan.append(scanning)
+            wmasks.append(wmask)
+            rmasks.append(rmask)
+            nsucc[pid] = count
+            active_count += writing | scanning
+            total += count
+
+        # C1: pid i conflicts with pid j when i's writes touch j's
+        # footprint or i's scan reads a cell j writes.  Inactive pids
+        # have empty footprints and contribute nothing.
+        eligible = active_count >= 2  # C0
+        qualified: List["BoolArray"] = []
+        for i in range(n):
+            conflict = np.zeros(n_states, dtype=bool)
+            for j in range(n):
+                if j == i:
+                    continue
+                conflict |= (
+                    (wmasks[i] & (wmasks[j] | rmasks[j])) != zero
+                ) | ((rmasks[i] & wmasks[j]) != zero)
+            qualified.append((nsucc[i] > 0) & eligible & ~conflict)
+
+        selected = np.full(n_states, -1, dtype=np.int64)
+        undecided = np.ones(n_states, dtype=bool)
+        blocked = np.zeros(n_states, dtype=bool)
+        for pid in range(n):
+            trial = undecided & qualified[pid]
+            if not bool(trial.any()):
+                continue
+            # C2: writes never terminate their pid; a scan candidate is
+            # visible exactly when its (single) successor is DONE.
+            if self.check_safety and self.tables.visibility.outputs:
+                scan_trial = trial & is_scan[pid]
+                if bool(scan_trial.any()):
+                    idx = np.flatnonzero(scan_trial)
+                    succ = self.kernel._scan_step(
+                        frontier[idx], locals_[pid][idx], pid
+                    )
+                    succ_phase = (
+                        succ >> (spec.local_offsets[pid] + spec.o_phase)
+                    ) & 3
+                    visible = succ_phase == _PHASE_DONE
+                    trial[idx[visible]] = False
+                    if not bool(trial.any()):
+                        continue
+            # C3: expand only this pid for the trial states and gather
+            # bulk novelty verdicts for the whole round at once.
+            if self.cycle_proviso:
+                sel = np.full(n_states, -2, dtype=np.int64)
+                sel[trial] = pid
+                cand, cand_counts = self.kernel.expand_level(frontier, sel)
+                passes = np.zeros(n_states, dtype=bool)
+                if cand.size:
+                    keys = key_of(cand)
+                    uniq, first = _unique_first(keys)
+                    fresh = ~in_visited(uniq)
+                    certainly_new = np.zeros(keys.size, dtype=bool)
+                    certainly_new[first[fresh]] = True
+                    cand_parents = np.repeat(
+                        np.arange(n_states), cand_counts
+                    )
+                    passes[cand_parents[certainly_new]] = True
+                ok = trial & passes
+                blocked |= trial & ~passes
+            else:
+                ok = trial
+            selected[ok] = pid
+            undecided &= ~ok
+            if not bool(undecided.any()):
+                break
+
+        counters = self.counters
+        chosen = selected >= 0
+        n_chosen = int(chosen.sum())
+        counters.ample_states += n_chosen
+        if n_chosen:
+            kept = nsucc[selected[chosen], np.flatnonzero(chosen)]
+            counters.transitions_pruned += int((total[chosen] - kept).sum())
+        counters.fully_expanded_states += n_states - n_chosen
+        counters.cycle_proviso_expansions += int((undecided & blocked).sum())
+        return cast("I64Array", selected)
+
+
+# ----------------------------------------------------------------------
 # The level-batched exploration loop
 # ----------------------------------------------------------------------
 def _first_violation(
@@ -544,13 +740,18 @@ def explore_batch(
     symmetry: bool = False,
     store: Optional[StoreConfig] = None,
     checkpointer: Optional[RunCheckpointer] = None,
+    por: bool = False,
+    por_cycle_proviso: bool = True,
 ) -> FastExplorationResult:
     """Level-batched BFS, result-identical to the scalar engine.
 
     Call through :meth:`FastSnapshotSpec.explore` with
     ``engine="batch"`` rather than directly — ``explore`` owns the
-    compatibility guards (wait-freedom, POR fallback, checkpoint
-    completion) shared by both engines.
+    compatibility guards (wait-freedom, checkpoint completion) shared
+    by both engines.  With ``por=True`` each level runs
+    :class:`BatchAmpleSelector` before expansion; results are then
+    verdict-conformant with (not count-identical to) the scalar
+    selector — see the module docstring.
     """
     require_numpy()
     canonicalizer: Optional["FastCanonicalizer"] = None
@@ -563,6 +764,13 @@ def explore_batch(
             batch_canon = BatchCanonicalizer(canonicalizer)
     kernel = BatchKernel(spec)
     symmetric = batch_canon is not None
+    selector: Optional[BatchAmpleSelector] = None
+    if por:
+        selector = BatchAmpleSelector(
+            kernel,
+            check_safety=check_safety,
+            cycle_proviso=por_cycle_proviso,
+        )
     # The visited set: when nothing observes the store (no explicit
     # backend to report counters for, no checkpointer to dump/resume
     # through) the engine keeps it as its own ascending-sorted u64
@@ -582,6 +790,32 @@ def explore_batch(
         counters["file_bytes"] = store_obj.file_bytes()
         return counters
 
+    def _por_counters() -> Optional[Dict[str, int]]:
+        return selector.counters.as_dict() if selector is not None else None
+
+    # The ample selector's C3 callbacks: successor states to dedup keys
+    # (canonicalization then fingerprinting, as configured), and bulk
+    # membership in the visited set as of the level boundary.  The
+    # closures read ``batch_canon``/``fast_visited``/``store_obj`` from
+    # this scope, so they always see the current level's snapshot —
+    # never the raw-successor memoization cache, which is not
+    # checkpointed and must not influence selection.
+    def _key_of(states: "U64Array") -> "U64Array":
+        reps = (
+            batch_canon.canonical_many(states)
+            if batch_canon is not None
+            else states
+        )
+        return fingerprint_many(reps) if fingerprint else reps
+
+    def _in_visited(keys: "U64Array") -> "BoolArray":
+        if store_obj is not None:
+            return np.asarray(
+                store_obj.contains_many(keys.tolist()), dtype=bool
+            )
+        assert fast_visited is not None
+        return _in_sorted(fast_visited, keys)
+
     try:
         initial = spec.initial_state()
         if symmetric:
@@ -599,6 +833,8 @@ def explore_batch(
             truncated = int(resumed.counters["truncated"])
             if symmetric:
                 covered = int(resumed.counters["covered"])
+            if selector is not None:
+                selector.counters.load(resumed.counters)
             frontier = np.fromiter(resumed.frontier(), dtype=np.uint64)
         else:
             if check_safety:
@@ -611,10 +847,12 @@ def explore_batch(
                             covered_states=canonicalizer.orbit_size(initial),
                             symmetry_group_order=canonicalizer.order,
                             store_counters=_store_counters(),
+                            por_counters=_por_counters(),
                         )
                     return FastExplorationResult(
                         1, 0, True, violation,
                         store_counters=_store_counters(),
+                        por_counters=_por_counters(),
                     )
             initial_key = fingerprint_int(initial) if fingerprint else initial
             if store_obj is not None:
@@ -655,11 +893,19 @@ def explore_batch(
                 }
                 if symmetric:
                     counters["covered"] = covered
+                if selector is not None:
+                    counters.update(selector.counters.as_dict())
                 checkpointer.write(
                     iter(frontier.tolist()), counters, iter(store_obj)
                 )
 
-            successors, succ_counts = kernel.expand_level(frontier)
+            if selector is not None:
+                selected = selector.select(frontier, _key_of, _in_visited)
+                successors, succ_counts = kernel.expand_level(
+                    frontier, selected
+                )
+            else:
+                successors, succ_counts = kernel.expand_level(frontier)
             level_size = int(successors.size)
             if level_size == 0:
                 break
@@ -766,11 +1012,13 @@ def explore_batch(
                         covered_states=covered,
                         symmetry_group_order=canonicalizer.order,
                         store_counters=_store_counters(),
+                        por_counters=_por_counters(),
                     )
                 return FastExplorationResult(
                     n_seen, transitions, complete, message,
                     truncated_transitions=truncated,
                     store_counters=_store_counters(),
+                    por_counters=_por_counters(),
                 )
 
             if n_new > remaining:
@@ -854,6 +1102,7 @@ def explore_batch(
                 covered_states=covered if symmetric else n_seen,
                 symmetry_group_order=canonicalizer.order,
                 store_counters=_store_counters(),
+                por_counters=_por_counters(),
             )
         return FastExplorationResult(
             states=n_seen,
@@ -861,6 +1110,7 @@ def explore_batch(
             complete=complete,
             truncated_transitions=truncated,
             store_counters=_store_counters(),
+            por_counters=_por_counters(),
         )
     finally:
         if store_obj is not None:

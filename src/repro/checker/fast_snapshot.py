@@ -552,11 +552,14 @@ class FastSnapshotSpec:
         clear message when missing), requires states to pack into 64
         bits, and is incompatible with ``check_wait_freedom`` (the
         lean batch pipeline keeps no edge list).  With ``por`` the
-        batch engine falls back to the scalar selection loop — the
-        ample-set cycle proviso consults the visited set as it mutates
-        mid-level, which has no faithful level-synchronous formulation
-        (see :mod:`repro.checker.por`) — so results stay identical to
-        the scalar engine there too, by construction.
+        batch engine runs its own level-synchronous ample selector
+        (:class:`~repro.checker.batch.BatchAmpleSelector`): the cycle
+        proviso certifies novelty against ``visited ∪
+        earlier-in-level`` instead of the scalar loop's mid-level
+        visited set, so batch+POR results are verdict-conformant with
+        the scalar selector (same ok/violation/complete) but may pick
+        different — equally sound — ample sets and hence different
+        state/transition counts (see :mod:`repro.checker.por`).
         """
         if engine not in ("scalar", "batch"):
             raise ValueError(
@@ -621,17 +624,15 @@ class FastSnapshotSpec:
             return self._explore_with_edges(
                 max_states, check_safety, progress_every
             )
-        if engine == "batch" and not por:
+        if engine == "batch":
             from repro.checker.batch import explore_batch
 
             result = explore_batch(
                 self, max_states, check_safety, progress_every,
                 fingerprint, symmetry, store, checkpointer,
+                por, por_cycle_proviso,
             )
         else:
-            # engine == "scalar", or the documented batch->scalar POR
-            # fallback (the cycle proviso has no level-synchronous
-            # formulation; see repro.checker.por).
             result = self._explore_lean(
                 max_states, check_safety, progress_every, fingerprint,
                 symmetry, store, checkpointer, por, por_cycle_proviso,

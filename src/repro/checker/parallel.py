@@ -324,8 +324,16 @@ def _shard_worker(
     outboxes themselves all stay vectorized, and boundary batches cross
     the pipe as arrays.  Admission order, violation choice, and every
     reported count match the scalar worker exactly (the driver never
-    mixes engines within a run).  The driver only requests batch
-    workers when numpy is importable and ``por`` is off.
+    mixes engines within a run).  With ``por`` on top, the worker runs
+    the level-synchronous
+    :class:`~repro.checker.batch.BatchAmpleSelector` over each round's
+    admissions: per-round ample-selection masks drive the masked
+    ``expand_level``, so shards never re-expand pruned transitions, and
+    C3 composes the sharded ownership pessimism above with the
+    level-synchronous ``visited ∪ earlier-in-round`` certification —
+    batch+POR shard results are verdict-conformant with (not
+    count-identical to) scalar+POR ones, exactly as in the serial
+    engines.
     """
     seen = None
     try:
@@ -355,7 +363,36 @@ def _shard_worker(
                 batch_canon = batch_mod.BatchCanonicalizer(canonicalizer)
         selector = None
         is_new = None
-        if por:
+        batch_selector = None
+        if por and use_batch:
+            assert kernel is not None
+            batch_selector = batch_mod.BatchAmpleSelector(
+                kernel, check_safety=check_safety
+            )
+
+            def _batch_key_of(states):
+                if batch_canon is not None:
+                    states = batch_canon.canonical_many(states)
+                return (
+                    batch_mod.fingerprint_many(states)
+                    if fingerprint
+                    else states
+                )
+
+            def _batch_in_visited(keys):
+                # Sharded C3, vectorized: certainly new means locally
+                # owned AND absent from this shard's visited set, so
+                # "possibly visited" is foreign-owned OR present.  In
+                # fingerprint mode the key already is the ownership
+                # digest; otherwise it is the canonical state and the
+                # digest is recomputed, matching the scalar closure.
+                fps = keys if fingerprint else batch_mod.fingerprint_many(keys)
+                foreign = (fps % np.uint64(n_shards)) != np.uint64(shard)
+                present = np.asarray(
+                    seen.contains_many(keys.tolist()), dtype=bool
+                )
+                return foreign | present
+        elif por:
             from repro.checker.por import FastAmpleSelector
 
             selector = FastAmpleSelector(spec, check_safety=check_safety)
@@ -428,7 +465,17 @@ def _shard_worker(
                 transitions = 0
                 outboxes = {}
                 if violation is None and n_admitted:
-                    successors, _counts = kernel.expand_level(admitted_arr)
+                    if batch_selector is not None:
+                        ample = batch_selector.select(
+                            admitted_arr, _batch_key_of, _batch_in_visited
+                        )
+                        successors, _counts = kernel.expand_level(
+                            admitted_arr, ample
+                        )
+                    else:
+                        successors, _counts = kernel.expand_level(
+                            admitted_arr
+                        )
                     transitions = int(successors.size)
                     if batch_canon is not None:
                         successors = batch_canon.canonical_many(successors)
@@ -447,7 +494,10 @@ def _shard_worker(
                             outboxes[owner] = part
                 conn.send(
                     ("layer", n_admitted, transitions, violation, outboxes,
-                     covered, skipped, None)
+                     covered, skipped,
+                     batch_selector.counters.as_dict()
+                     if batch_selector is not None
+                     else None)
                 )
                 continue
             admitted: List[int] = []
@@ -571,10 +621,14 @@ def explore_sharded(
 
     ``engine="batch"`` runs every shard worker on the vectorized batch
     kernel and exchanges boundary batches as numpy u64 arrays (results
-    identical to scalar workers).  It requires numpy and, because wire
-    entries are ``(state << 1) | canonical_bit`` in a u64 word, state
-    encodings above 63 bits; with ``por`` the workers fall back to the
-    scalar loop, mirroring :meth:`FastSnapshotSpec.explore`.
+    identical to scalar workers).  It requires numpy and rejects,
+    because wire entries are ``(state << 1) | canonical_bit`` in a u64
+    word, state encodings above 63 bits.  With ``por`` the workers run
+    the level-synchronous
+    :class:`~repro.checker.batch.BatchAmpleSelector` per round
+    (verdict-conformant with, not count-identical to, scalar+POR
+    workers — see :mod:`repro.checker.por`); ``por`` totals round-trip
+    through checkpoints identically for both engines.
     """
     spec = FastSnapshotSpec(inputs, wiring, level_target=level_target)
     jobs = effective_jobs(jobs)
@@ -624,10 +678,7 @@ def explore_sharded(
 
         canonicalizer = FastCanonicalizer(spec)
 
-    # POR's cycle proviso consults the visited set mid-expansion, which
-    # has no level-synchronous formulation — the workers run the scalar
-    # loop there, exactly as the serial engine does.
-    worker_engine = "batch" if engine == "batch" and not por else "scalar"
+    worker_engine = engine
     use_batch_workers = worker_engine == "batch"
     if use_batch_workers:
         import numpy as np

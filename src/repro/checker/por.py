@@ -55,23 +55,45 @@ same pipeline as an unreduced transition.  Reduced paths are real
 paths of the full system, so counterexample reconstruction needs no
 POR-specific handling.
 
-Composition with the batch engine: none, by design.  The vectorized
-level kernel (:mod:`repro.checker.batch`) admits a whole BFS level
-before any of its successors are deduplicated, while C3 consults the
-visited set per expanded state *mid-level* — ample choices made
-against a stale level-boundary snapshot of the visited set would
-select different (still sound, but different) reductions than the
-scalar loop, breaking the byte-identical-conformance contract.  So
-``explore(engine="batch", por=True)`` and sharded batch runs with POR
-fall back to the scalar selector loop per level; the batch speedup
-applies only to unreduced-schedule runs.
+Composition with the batch engine: a *level-synchronous* formulation.
+The vectorized level kernel (:mod:`repro.checker.batch`) selects ample
+sets for a whole BFS level at once: :class:`FootprintTables` compiles
+the write-scan independence relation above into per-pid u64 lookup
+arrays (unwritten-mask -> physical write footprint), C0/C1 become
+bitmask AND-reductions over whole frontier arrays, C2 is the same
+outputs-only visibility mask applied to vectorized scan successors,
+and C3 certifies novelty against ``visited ∪ earlier-in-level``: a
+tentative ample successor counts as *new* only when its key is absent
+from the visited set as of the level boundary (one bulk
+``contains_many`` gather, replacing the scalar mid-level ``is_new``
+closure) **and** it is the first occurrence of that key within the
+current candidate pool.  That proviso is pessimistic *within* a level
+— a successor first produced by an earlier state of the same level
+blocks later ample candidates even though the scalar loop might have
+accepted them — and therefore sound: every key certified new really is
+admitted this level and re-expanded on the next, so no invisible cycle
+can be starved.  The price of the formulation is that the two engines'
+C3 oracles legitimately disagree, so batch+POR conformance is
+verdict-level (same ok/violation/complete), not count-identical as in
+the unreduced case; exhaustive N=2 cross-engine verdict equality is
+enforced in tier-1 and CI.
 """
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Sequence, Tuple
+from typing import TYPE_CHECKING, Any, Callable, Dict, List, Sequence, Tuple
 
 from repro.sim.ops import Write
+
+if TYPE_CHECKING:
+    import numpy
+
+    from numpy.typing import NDArray
+
+    from repro.checker.fast_snapshot import FastSnapshotSpec
+
+    U64Array = NDArray[numpy.uint64]
+    I64Array = NDArray[numpy.int64]
 
 _PHASE_WRITE = 0
 _PHASE_SCAN = 1
@@ -145,7 +167,7 @@ class Visibility:
 
 
 def aggregate_visibility(
-    invariants: Sequence[Callable], n_registers: int
+    invariants: Sequence[Callable[..., object]], n_registers: int
 ) -> Visibility:
     """Fold the ``visibility_footprint`` declarations of ``invariants``.
 
@@ -179,6 +201,70 @@ def aggregate_visibility(
 
 
 # ----------------------------------------------------------------------
+# Footprint tables (shared by the scalar and batch selectors)
+# ----------------------------------------------------------------------
+
+
+def _write_footprint_table(wiring: Sequence[int], m: int) -> List[int]:
+    """``unwritten-mask -> physical write-footprint bitmask`` for one pid.
+
+    Entry ``u`` is the union over the set bits of ``u`` of the physical
+    cell the pid's wiring maps that local register to — exactly the set
+    of cells the pid's next write step could touch.
+    """
+    table = [0] * (1 << m)
+    for unwritten in range(1, 1 << m):
+        mask = 0
+        for reg in range(m):
+            if (unwritten >> reg) & 1:
+                mask |= 1 << wiring[reg]
+        table[unwritten] = mask
+    return table
+
+
+class FootprintTables:
+    """The write-scan independence relation as numpy gather tables.
+
+    The level-synchronous selector in :mod:`repro.checker.batch` needs,
+    for a whole frontier array at once, each pid's physical write
+    footprint (a u64 register bitmask) and successor count.  Both are
+    pure functions of the pid's wiring and its packed ``unwritten``
+    field, so they compile once into ``(2**m,)`` lookup arrays indexed
+    by that field — the vectorized twin of
+    :class:`FastAmpleSelector`'s scalar ``_wmask_tables``.
+
+    numpy is imported lazily here so the module (and the scalar
+    selectors) stays importable without it.
+    """
+
+    __slots__ = ("wmask", "popcount", "m_mask", "visibility")
+
+    def __init__(self, spec: "FastSnapshotSpec") -> None:
+        import numpy as np
+
+        m = spec.m
+        size = 1 << m
+        wmask = np.zeros((spec.n, size), dtype=np.uint64)
+        for pid in range(spec.n):
+            wmask[pid] = _write_footprint_table(spec.wiring[pid], m)
+        #: pid -> unwritten-mask -> physical write-footprint bitmask.
+        self.wmask: "U64Array" = wmask
+        #: unwritten-mask -> number of write successors (set bits).
+        self.popcount: "I64Array" = np.bitwise_count(
+            np.arange(size, dtype=np.uint64)
+        ).astype(np.int64)
+        #: A scan's read footprint: every physical register.
+        self.m_mask = np.uint64(spec.m_mask)
+        #: The fast engine's one safety property (``check_outputs``)
+        #: compiled through the same aggregation the generic selector
+        #: uses: it reads terminated outputs only, so its footprint is
+        #: outputs-only with an empty register mask.
+        self.visibility = Visibility(
+            all_steps=False, outputs=True, register_mask=0
+        )
+
+
+# ----------------------------------------------------------------------
 # Fast (packed-integer) selector
 # ----------------------------------------------------------------------
 
@@ -199,7 +285,7 @@ class FastAmpleSelector:
 
     def __init__(
         self,
-        spec,
+        spec: "FastSnapshotSpec",
         check_safety: bool = True,
         cycle_proviso: bool = True,
     ) -> None:
@@ -209,16 +295,10 @@ class FastAmpleSelector:
         self.counters = PORCounters()
         m = spec.m
         #: pid -> unwritten-mask -> physical-register write footprint.
-        self._wmask_tables: List[Tuple[int, ...]] = []
-        for pid in range(spec.n):
-            table = [0] * (1 << m)
-            for unwritten in range(1, 1 << m):
-                mask = 0
-                for reg in range(m):
-                    if (unwritten >> reg) & 1:
-                        mask |= 1 << spec.wiring[pid][reg]
-                table[unwritten] = mask
-            self._wmask_tables.append(tuple(table))
+        self._wmask_tables: List[Tuple[int, ...]] = [
+            tuple(_write_footprint_table(spec.wiring[pid], m))
+            for pid in range(spec.n)
+        ]
         self._popcount = tuple(bin(v).count("1") for v in range(1 << m))
 
     # ------------------------------------------------------------------
@@ -351,8 +431,8 @@ class AmpleSelector:
 
     def __init__(
         self,
-        spec,
-        invariants: Sequence[Callable],
+        spec: Any,
+        invariants: Sequence[Callable[..., object]],
         cycle_proviso: bool = True,
     ) -> None:
         self.spec = spec
@@ -361,7 +441,7 @@ class AmpleSelector:
         self.visibility = aggregate_visibility(invariants, spec.n_registers)
         self._m_mask = (1 << spec.n_registers) - 1
 
-    def expand(self, state, is_new: IsNew) -> List[Tuple]:
+    def expand(self, state: Any, is_new: IsNew) -> List[Tuple[Any, Any]]:
         """The selected ``(action, successor)`` pairs for ``state``."""
         spec = self.spec
         machine = spec.machine
@@ -372,7 +452,7 @@ class AmpleSelector:
             return list(spec.successors(state))
 
         physical = spec._physical
-        infos: List[Tuple[int, list, int, int]] = []
+        infos: List[Tuple[int, List[Any], int, int]] = []
         total = 0
         for pid in range(spec.n_processors):
             ops = list(machine.enabled_ops(state.locals[pid]))

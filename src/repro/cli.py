@@ -282,6 +282,16 @@ def _cmd_check(args: argparse.Namespace) -> int:
 
     failures = 0
     fingerprinted_states = 0
+    # --profile wraps the exploration loop only: the profiler goes live
+    # right before the engines run and the dump happens on every exit
+    # path (including violations and checkpoint refusals), so the stats
+    # attribute hot-path time without argparse/reporting noise.
+    profiler = None
+    if args.profile is not None:
+        import cProfile
+
+        profiler = cProfile.Profile()
+        profiler.enable()
     try:
         if args.n == 2:
             # Safety + wait-freedom need the full edge list (pid labels
@@ -435,6 +445,11 @@ def _cmd_check(args: argparse.Namespace) -> int:
     except StoreError as exc:
         print(f"error: {exc}")
         return 2
+    finally:
+        if profiler is not None:
+            profiler.disable()
+            profiler.dump_stats(args.profile)
+            print(f"profile: exploration stats written to {args.profile}")
     if args.fingerprint and fingerprinted_states:
         _report_collision(fingerprinted_states)
     return 0 if failures == 0 else 1
@@ -568,9 +583,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="exploration kernel: scalar (default; the pure-Python"
              " conformance oracle) or batch (numpy level-batched u64"
              " arrays, same verdicts at a multiple of the throughput;"
-             " requires numpy). --por always runs the scalar loop —"
-             " the cycle proviso consults the visited set mid-level —"
-             " so batch silently falls back there",
+             " requires numpy).  With --por the batch engine selects"
+             " ample sets level-synchronously (novelty certified"
+             " against the level-boundary visited set plus"
+             " earlier-in-level occurrences — pessimistic, sound):"
+             " same verdicts as scalar+POR, possibly different"
+             " state/transition counts",
     )
     check.add_argument(
         "--fingerprint", action="store_true",
@@ -644,6 +662,12 @@ def build_parser() -> argparse.ArgumentParser:
              " stored configuration (n, budget, fingerprint, symmetry,"
              " ...) must match or the run is refused — a git-SHA drift"
              " is only warned about",
+    )
+    check.add_argument(
+        "--profile", default=None, metavar="FILE",
+        help="cProfile the exploration loop (only — argument parsing and"
+             " reporting are excluded) and dump the stats to FILE for"
+             " pstats/snakeviz; engine-agnostic",
     )
     check.set_defaults(handler=_cmd_check)
 

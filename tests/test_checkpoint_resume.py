@@ -17,6 +17,7 @@ import signal
 import pytest
 
 import repro.checker.parallel as parallel
+from repro.checker.batch import HAVE_NUMPY
 from repro.checker.fast_snapshot import FastSnapshotSpec
 from repro.checker.parallel import check_snapshot_classes, explore_sharded
 from repro.store import (
@@ -143,6 +144,76 @@ class TestSerialResume:
         monkeypatch.setattr(spec, "state_bits", 70)
         with pytest.raises(ValueError, match="70 bits"):
             spec.explore(checkpointer=RunCheckpointer(tmp_path, META))
+
+
+# ----------------------------------------------------------------------
+# Batch engine + POR: die mid-campaign, resume, bit-identical totals
+# ----------------------------------------------------------------------
+
+
+@pytest.mark.skipif(not HAVE_NUMPY, reason="batch engine needs numpy")
+class TestBatchPorResume:
+    """The level-synchronous selector's choices depend only on the
+    frontier and the checkpointed visited set, so a resumed batch+POR
+    run must replay the interrupted one's selections exactly: verdict,
+    state count, and every ``PORCounters`` total bit-identical."""
+
+    @pytest.mark.parametrize("symmetry", [False, True])
+    def test_interrupted_batch_por_resumes_identically(
+        self, tmp_path, symmetry
+    ):
+        spec = FastSnapshotSpec([1, 2], WIRING)
+        kwargs = dict(engine="batch", por=True, symmetry=symmetry)
+        uninterrupted = spec.explore(**kwargs)
+        assert uninterrupted.por_counters is not None
+        meta = {**META, "symmetry": symmetry, "por": True}
+        with pytest.raises(KeyboardInterrupt):
+            spec.explore(
+                **kwargs,
+                checkpointer=_CrashAfterCommit(tmp_path, meta, every=500),
+            )
+        assert RunCheckpointer(tmp_path, meta).latest() is not None
+        resumed = spec.explore(
+            **kwargs,
+            checkpointer=RunCheckpointer(tmp_path, meta, every=500),
+        )
+        assert _signature(resumed) == _signature(uninterrupted)
+        assert resumed.por_counters == uninterrupted.por_counters
+
+    def test_sigkilled_sharded_batch_por_resumes_identically(
+        self, tmp_path, monkeypatch
+    ):
+        monkeypatch.setattr(
+            parallel, "effective_jobs", lambda requested: requested
+        )
+        kwargs = dict(jobs=2, por=True, engine="batch")
+        uninterrupted = explore_sharded([1, 2], WIRING, **kwargs)
+        assert uninterrupted.por_counters is not None
+        meta = {**META, "por": True, "jobs": 2}
+        killed = []
+
+        def kill_one_worker():
+            if killed:
+                return
+            import multiprocessing
+
+            victim = multiprocessing.active_children()[0]
+            os.kill(victim.pid, signal.SIGKILL)
+            killed.append(victim.pid)
+
+        with pytest.raises(RuntimeError, match="resume"):
+            explore_sharded(
+                [1, 2], WIRING, **kwargs,
+                checkpointer=RunCheckpointer(tmp_path, meta, every=1),
+                _after_checkpoint=kill_one_worker,
+            )
+        assert killed, "the test never reached a committed checkpoint"
+        resumed = explore_sharded(
+            [1, 2], WIRING, **kwargs,
+            checkpointer=RunCheckpointer(tmp_path, meta, every=1),
+        )
+        assert _signature(resumed) == _signature(uninterrupted)
+        assert resumed.por_counters == uninterrupted.por_counters
 
 
 # ----------------------------------------------------------------------

@@ -81,6 +81,20 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "[store:" in out and "VIOLATED" not in out
 
+    def test_check_profile_writes_stats(self, capsys, tmp_path):
+        import pstats
+
+        target = tmp_path / "check.prof"
+        assert main([
+            "check", "--n", "2", "--profile", str(target),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert f"profile: exploration stats written to {target}" in out
+        # The dump must be a loadable cProfile file covering the
+        # exploration calls (not argument parsing or report printing).
+        stats = pstats.Stats(str(target))
+        assert stats.total_calls > 0
+
     def test_check_fingerprint_reports_collision_probability(self, capsys):
         assert main([
             "check", "--n", "3", "--budget", "2000", "--fingerprint",

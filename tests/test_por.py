@@ -198,6 +198,37 @@ class TestFastConformance:
         assert base.violation == _SEEDED_MESSAGE
         assert por.violation == _SEEDED_MESSAGE
 
+    def test_seeded_violation_survives_batch_reduction(self, monkeypatch):
+        # Same seeding through the batch engine: the level-synchronous
+        # selector's C2 treats termination steps as visible too, so the
+        # vectorized reduction must preserve the violation as well.
+        pytest.importorskip("numpy")
+        original = FastSnapshotSpec.check_outputs
+
+        def seeded(self, state):
+            for pid in range(self.n):
+                local = (state >> self.local_offsets[pid]) & self.local_mask
+                if ((local >> self.o_phase) & 3) == 2:  # DONE
+                    return _SEEDED_MESSAGE
+            return original(self, state)
+
+        monkeypatch.setattr(FastSnapshotSpec, "check_outputs", seeded)
+        por = FastSnapshotSpec([1, 2], N2_CLASS).explore(
+            por=True, engine="batch"
+        )
+        assert not por.ok
+        assert por.violation == _SEEDED_MESSAGE
+
+    def test_batch_por_counters_account_for_every_state(self):
+        pytest.importorskip("numpy")
+        for _, result in check_snapshot_classes(2, por=True, engine="batch"):
+            counters = result.por_counters
+            assert counters is not None
+            assert (
+                counters["ample_states"] + counters["fully_expanded_states"]
+                == result.states
+            )
+
     def test_por_refuses_wait_freedom(self):
         with pytest.raises(ValueError, match="wait-freedom"):
             FastSnapshotSpec([1, 2], N2_CLASS).explore(
