@@ -69,7 +69,7 @@ def lock_free_snapshot_process(
     # Single-writer named memory by design: this baseline runs in the
     # classic non-anonymous model (register `pid` is the processor's
     # own), which is exactly the contrast E10 measures.
-    yield Write(pid, SWMRRecord(value=my_input, seq=0))  # anonlint: disable=ANON001
+    yield Write(pid, SWMRRecord(value=my_input, seq=0))  # anonlint: disable=ANON002
     previous = yield from _collect(n_processors)
     # Lock-free, deliberately not wait-free: a scanner starves while
     # writers keep moving — the negative reference point.
@@ -112,9 +112,9 @@ def afek_style_snapshot_process(
     # First write: no scan to embed yet; embed the trivial self-view so
     # borrowers still satisfy self-inclusion.  (Named single-writer
     # memory by design, as above.)
-    yield Write(pid, SWMRRecord(value=my_input, seq=0,  # anonlint: disable=ANON001
+    yield Write(pid, SWMRRecord(value=my_input, seq=0,  # anonlint: disable=ANON002
                                 embedded_scan=frozenset({my_input})))
     result = yield from scan()
     # Publish the completed scan so later borrowers can use it.
-    yield Write(pid, SWMRRecord(value=my_input, seq=1, embedded_scan=result))  # anonlint: disable=ANON001
+    yield Write(pid, SWMRRecord(value=my_input, seq=1, embedded_scan=result))  # anonlint: disable=ANON002
     return result

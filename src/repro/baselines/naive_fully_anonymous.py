@@ -53,6 +53,10 @@ class NaiveDoubleCollectMachine:
     collect's contents.
     """
 
+    #: Every op comes from the inner write-scan machine; the footprint
+    #: is resolved through the delegation chain (anonlint POR002).
+    por_footprint = "delegate"
+
     def __init__(self, n_registers: int) -> None:
         self.n_registers = n_registers
         self._inner = WriteScanMachine(n_registers)
@@ -109,7 +113,7 @@ def double_collect_outputs_from_trace(
     """
     # The pids below are the *harness's* event labels: this function
     # analyzes a recorded trace post hoc, it is not algorithm code, so
-    # keying bookkeeping by pid does not break anonymity (ANON001).
+    # keying bookkeeping by pid does not break anonymity (ANON002).
     per_pid_reads: Dict[int, List[View]] = {}
     outputs: Dict[int, View] = {}
     previous_collect: Dict[int, Tuple[View, ...]] = {}
@@ -124,10 +128,10 @@ def double_collect_outputs_from_trace(
         if len(reads) == n_registers:
             collect = tuple(reads)
             reads.clear()
-            if previous_collect.get(pid) == collect:  # anonlint: disable=ANON001
+            if previous_collect.get(pid) == collect:
                 union: frozenset = frozenset()
                 for entry in collect:
                     union |= entry
-                outputs[pid] = union  # anonlint: disable=ANON001
-            previous_collect[pid] = collect  # anonlint: disable=ANON001
+                outputs[pid] = union  # anonlint: disable=ANON002
+            previous_collect[pid] = collect  # anonlint: disable=ANON002
     return outputs

@@ -22,14 +22,24 @@ conditions (Clarke–Grumberg–Peled, ch. 10):
   only ever pick a processor that has enabled operations).
 - **C1** — dependency closure: the chosen processor's current
   operations must be independent of every *other* enabled processor's
-  current operations.  In this model the *enabledness* half of C1 is
-  exact — a processor's enabled operations depend only on its own
-  local state, so no other processor can ever enable or disable them —
-  while the *dependency* half is approximated at current-operation
-  granularity (a full future-footprint closure degenerates to no
-  reduction here, since every active processor eventually scans every
-  register).  The approximation is backed by exhaustive N=2
-  conformance tests and CI (see ``docs/checking.md``).
+  current operations **and** of every operation those processors can
+  ever issue from here on.  For the write-scan machines both halves
+  collapse to current-operation granularity: enabledness depends only
+  on the stepping processor's own local state, and every active
+  processor eventually scans every register, so the future footprint
+  is the full register set and closing over it would degenerate to no
+  reduction — the selectors therefore use current operations and let
+  exhaustive N=2 conformance tests and CI back the approximation (see
+  ``docs/checking.md``).  Machines that permanently *retire* registers
+  (some register is never touched again from a given local state) can
+  do better *and* need the closure for soundness when another
+  processor's current quiescence is temporary: such a machine may
+  declare an optional ``future_footprint(local) -> (writes, reads)``
+  hook (local register indices, or ``"all"``), and the generic
+  selector then checks the candidate's *current* footprint against
+  every other processor's *future* footprint.  Without the hook the
+  future footprint defaults to the current one, preserving the
+  write-scan behavior exactly.
 - **C2** — invisibility: no ample step may change the truth of any
   checked property.  Each property declares a *visibility footprint*
   (:func:`repro.checker.properties.visibility_footprint`); undeclared
@@ -81,7 +91,16 @@ enforced in tier-1 and CI.
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Any, Callable, Dict, List, Sequence, Tuple
+from typing import (
+    TYPE_CHECKING,
+    Any,
+    Callable,
+    Dict,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+)
 
 from repro.sim.ops import Write
 
@@ -102,6 +121,71 @@ _PHASE_DONE = 2
 #: Engine-supplied membership closure: True when the candidate
 #: successor is certainly NOT in the visited set yet (C3).
 IsNew = Callable[[object], bool]
+
+#: Attributes followed when resolving a ``por_footprint = "delegate"``
+#: declaration to the machine that actually issues the ops.  The same
+#: order the shipped machines use for their embedded machines.
+_DELEGATE_ATTRS = ("snapshot_machine", "_inner", "inner")
+
+#: Delegation chains in this codebase are one hop; bound the resolver
+#: walk far above that so a cyclic delegation cannot loop it.
+_MAX_DELEGATION_DEPTH = 8
+
+
+def declared_machine_footprint(
+    machine: object,
+) -> Optional[Tuple[Dict[str, str], int]]:
+    """Resolve a machine's ``por_footprint`` declaration at runtime.
+
+    Machines declare their write/read discipline for anonlint's POR002
+    rule as a class attribute: either a dict like ``{"writes":
+    "unwritten", "reads": "all"}`` or the string ``"delegate"`` (all
+    ops come from an embedded machine).  This resolver follows
+    delegation through the conventional inner-machine attributes and
+    returns ``(footprint, depth)``, where ``depth`` counts the hops —
+    the number of ``.inner`` accesses a *state* of the outer machine
+    needs before ``unwritten``-style fields of the declaring machine
+    are visible.  ``None`` when nothing along the chain declares a
+    dict footprint (POR002 then falls back to static inference alone).
+    """
+    current: object = machine
+    depth = 0
+    for _ in range(_MAX_DELEGATION_DEPTH):
+        declared = getattr(current, "por_footprint", None)
+        if isinstance(declared, dict):
+            return dict(declared), depth
+        if declared != "delegate":
+            return None
+        for attr in _DELEGATE_ATTRS:
+            inner = getattr(current, attr, None)
+            if inner is not None:
+                current = inner
+                depth += 1
+                break
+        else:
+            return None
+    return None
+
+
+def observed_step_footprint(
+    spec: Any, state: Any, pid: int
+) -> Tuple[int, bool]:
+    """``(physical write mask, any read?)`` of one pid's enabled ops.
+
+    The runtime half of POR002's cross-check: what the machine
+    *actually* offers from ``state``, folded through the pid's private
+    wiring — compared by :mod:`repro.lint.dynamic` against the
+    declared footprint on a sample of reachable states.
+    """
+    physical = spec._physical
+    wmask = 0
+    has_read = False
+    for op in spec.machine.enabled_ops(state.locals[pid]):
+        if isinstance(op, Write):
+            wmask |= 1 << physical[pid][op.reg]
+        else:
+            has_read = True
+    return wmask, has_read
 
 
 class PORCounters:
@@ -422,11 +506,16 @@ class AmpleSelector:
     and the spec's wiring tables: a :class:`~repro.sim.ops.Write` with
     local index ``r`` touches physical cell ``sigma_p(r)``; any enabled
     :class:`~repro.sim.ops.Read` marks the processor as scanning, whose
-    read footprint is all registers (see module docstring).  Visibility
-    (C2) follows the checked invariants' declared footprints; an
-    invariant without a declaration makes every step visible, so the
-    selector degenerates to full expansion — conformant, just
-    reduction-free.
+    read footprint is all registers (see module docstring).  A machine
+    exposing a ``future_footprint(local) -> (writes, reads)`` hook
+    (local indices or ``"all"``) upgrades the C1 check to the true
+    dependency closure: the candidate's current operations are tested
+    against every other processor's *future* footprint, and the
+    candidate's own enabled reads use their exact registers instead of
+    the whole-memory scan assumption.  Visibility (C2) follows the
+    checked invariants' declared footprints; an invariant without a
+    declaration makes every step visible, so the selector degenerates
+    to full expansion — conformant, just reduction-free.
     """
 
     def __init__(
@@ -440,6 +529,20 @@ class AmpleSelector:
         self.counters = PORCounters()
         self.visibility = aggregate_visibility(invariants, spec.n_registers)
         self._m_mask = (1 << spec.n_registers) - 1
+        #: Optional machine hook closing C1 over future operations.
+        self._future: Optional[Callable[[Any], Tuple[Any, Any]]] = getattr(
+            spec.machine, "future_footprint", None
+        )
+
+    def _fold_regs(self, pid: int, regs: Any) -> int:
+        """Local register indices (or ``"all"``) -> physical bitmask."""
+        if regs == "all":
+            return self._m_mask
+        physical = self.spec._physical
+        mask = 0
+        for reg in regs:
+            mask |= 1 << physical[pid][reg]
+        return mask
 
     def expand(self, state: Any, is_new: IsNew) -> List[Tuple[Any, Any]]:
         """The selected ``(action, successor)`` pairs for ``state``."""
@@ -452,7 +555,8 @@ class AmpleSelector:
             return list(spec.successors(state))
 
         physical = spec._physical
-        infos: List[Tuple[int, List[Any], int, int]] = []
+        future = self._future
+        infos: List[Tuple[int, List[Any], int, int, int, int]] = []
         total = 0
         for pid in range(spec.n_processors):
             ops = list(machine.enabled_ops(state.locals[pid]))
@@ -464,18 +568,26 @@ class AmpleSelector:
             for op in ops:
                 if isinstance(op, Write):
                     wmask |= 1 << physical[pid][op.reg]
-                else:
+                elif future is None:
                     rmask = self._m_mask
-            infos.append((pid, ops, wmask, rmask))
+                else:
+                    rmask |= 1 << physical[pid][op.reg]
+            if future is None:
+                fwmask, frmask = wmask, rmask
+            else:
+                writes, reads = future(state.locals[pid])
+                fwmask = self._fold_regs(pid, writes)
+                frmask = self._fold_regs(pid, reads)
+            infos.append((pid, ops, wmask, rmask, fwmask, frmask))
 
         if len(infos) >= 2:
             proviso_blocked = False
-            for i, (pid, ops, wmask, rmask) in enumerate(infos):
+            for i, (pid, ops, wmask, rmask, _, _) in enumerate(infos):
                 conflict = False
-                for j, (_, _, other_w, other_r) in enumerate(infos):
+                for j, (_, _, _, _, other_fw, other_fr) in enumerate(infos):
                     if j == i:
                         continue
-                    if (wmask & (other_w | other_r)) or (rmask & other_w):
+                    if (wmask & (other_fw | other_fr)) or (rmask & other_fw):
                         conflict = True
                         break
                 if conflict:

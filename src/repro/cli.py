@@ -456,21 +456,57 @@ def _cmd_check(args: argparse.Namespace) -> int:
 
 
 def _cmd_lint(args: argparse.Namespace) -> int:
+    import inspect
     from pathlib import Path
 
     from repro.lint import (
+        Baseline,
         LintEngine,
+        builtin_footprint_verifications,
         builtin_verifications,
+        git_sha,
         load_baseline,
         match_baseline,
         render_json,
         render_text,
+        rule_catalog,
+        select_rules,
         write_baseline,
     )
 
+    if args.explain:
+        catalog = rule_catalog()
+        rule = catalog.get(args.explain)
+        if rule is None:
+            print(
+                f"error: unknown rule {args.explain!r}"
+                f" (known: {', '.join(sorted(catalog))})"
+            )
+            return 2
+        print(f"{rule.rule_id}: {rule.summary}")
+        doc = inspect.getdoc(inspect.getmodule(type(rule)))
+        if doc:
+            print()
+            print(doc)
+        return 0
+
+    rules = None
+    if args.only:
+        try:
+            rules = select_rules(
+                [token.strip() for token in args.only.split(",") if token.strip()]
+            )
+        except ValueError as exc:
+            print(f"error: {exc}")
+            return 2
+
     root = Path.cwd()
     paths = [Path(p) for p in args.paths]
-    report = LintEngine().lint_paths(paths, root=root)
+
+    if args.infer_footprints:
+        return _print_inferred_footprints(paths, root)
+
+    report = LintEngine(rules=rules).lint_paths(paths, root=root)
     baseline_path = Path(args.baseline)
     previous = load_baseline(baseline_path)
 
@@ -484,16 +520,68 @@ def _cmd_lint(args: argparse.Namespace) -> int:
         )
         return 0
 
+    if rules is not None:
+        # A rule-restricted run must not flag the other rules' baseline
+        # entries as stale: match only against the selected rules.
+        selected = {rule.rule_id for rule in rules}
+        previous = Baseline(
+            entries=[e for e in previous.entries if e.rule in selected],
+            git_sha=previous.git_sha,
+            schema=previous.schema,
+        )
+
     match = match_baseline(report.active, previous)
-    dynamic = builtin_verifications(args.dynamic_states) if args.dynamic else None
-    if args.format == "json":
-        print(render_json(report, match, dynamic))
-    else:
-        print(render_text(report, match, dynamic))
+    dynamic = None
+    if args.dynamic:
+        dynamic = builtin_verifications(args.dynamic_states)
+        dynamic += builtin_footprint_verifications(args.dynamic_states)
+    current_sha = git_sha(root)
+    renderer = render_json if args.format == "json" else render_text
+    print(
+        renderer(
+            report,
+            match,
+            dynamic,
+            baseline_sha=previous.git_sha,
+            current_sha=current_sha,
+        )
+    )
     # Exit non-zero only on *new* findings (or dynamic mismatches):
     # baselined findings are accepted debt, stale entries a cleanup hint.
     dynamic_failed = any(not v.ok for v in dynamic or [])
     return 1 if match.new or dynamic_failed else 0
+
+
+def _print_inferred_footprints(paths, root) -> int:
+    """``repro lint --infer-footprints``: POR002's working view."""
+    from repro.lint import ModuleContext, discover_files
+    from repro.lint.por import (
+        infer_machine_footprints,
+        infer_property_footprints,
+    )
+
+    for path in discover_files(paths):
+        try:
+            relative = path.resolve().relative_to(root.resolve()).as_posix()
+        except ValueError:
+            relative = path.as_posix()
+        ctx = ModuleContext(relative, path.read_text(encoding="utf-8"))
+        for prop in infer_property_footprints(ctx):
+            print(f"{relative}:{prop.line}: property {prop.name}")
+            print(f"  declared: {prop.format_declared()}")
+            print(f"  inferred: {prop.format_inferred()}")
+            for problem in prop.uncovered():
+                print(f"  uncovered: {problem}")
+        if not ctx.is_machine:
+            continue
+        for machine in infer_machine_footprints(ctx):
+            print(f"{relative}:{machine.line}: machine {machine.class_name}")
+            print(f"  declared: {machine.declared!r}")
+            print(f"  inferred: {machine.inferred!r}")
+            problem = machine.mismatch()
+            if problem:
+                print(f"  mismatch: {problem}")
+    return 0
 
 
 def _cmd_lower_bound(args: argparse.Namespace) -> int:
@@ -674,7 +762,7 @@ def build_parser() -> argparse.ArgumentParser:
     lint = sub.add_parser(
         "lint",
         help="anonlint: model-soundness static analysis (ANON/WIRE/"
-             "INVAR/WF rule families; see docs/linting.md)",
+             "INVAR/WF/POR rule families; see docs/linting.md)",
     )
     lint.add_argument(
         "paths", nargs="*", default=["src"],
@@ -682,6 +770,22 @@ def build_parser() -> argparse.ArgumentParser:
     )
     lint.add_argument(
         "--format", choices=["text", "json"], default="text",
+    )
+    lint.add_argument(
+        "--only", metavar="RULE[,RULE...]", default=None,
+        help="run only the named rule(s), e.g. --only POR002,INVAR002v2;"
+             " baseline matching is restricted to the same rules",
+    )
+    lint.add_argument(
+        "--explain", metavar="RULE", default=None,
+        help="print what the named rule checks (summary plus the"
+             " implementing module's documentation) and exit",
+    )
+    lint.add_argument(
+        "--infer-footprints", action="store_true",
+        help="print declared vs statically inferred footprints for"
+             " every property and machine class in the linted paths,"
+             " then exit (POR002's working view)",
     )
     lint.add_argument(
         "--baseline", default=".anonlint-baseline.json",
@@ -695,10 +799,11 @@ def build_parser() -> argparse.ArgumentParser:
     )
     lint.add_argument(
         "--dynamic", action="store_true",
-        help="additionally run the metamorphic orbit-invariance"
-             " verifier: every built-in property is evaluated on"
-             " reachable states and their wiring-stabilizer orbit"
-             " images, and the verdicts must agree",
+        help="additionally run the dynamic verifiers: the metamorphic"
+             " orbit-invariance check (every built-in property on"
+             " reachable states vs their wiring-stabilizer orbit"
+             " images) and the footprint cross-check (declared"
+             " visibility/machine footprints vs observed behavior)",
     )
     lint.add_argument(
         "--dynamic-states", type=int, default=250,

@@ -116,6 +116,10 @@ class ConsensusMachine:
     the write-once output.
     """
 
+    #: Every op comes from the inner snapshot machine; the footprint is
+    #: resolved through the delegation chain (anonlint POR002).
+    por_footprint = "delegate"
+
     def __init__(
         self,
         n_processors: int,

@@ -76,6 +76,10 @@ class RenamingMachine:
     returned snapshot (a local step, merged into the final read).
     """
 
+    #: Every op comes from the inner snapshot machine; the footprint is
+    #: resolved through the delegation chain (anonlint POR002).
+    por_footprint = "delegate"
+
     def __init__(
         self,
         n_processors: int,

@@ -104,6 +104,12 @@ class SnapshotMachine:
         paper's footnote 4 notes ``N-1`` is already sufficient.
     """
 
+    #: Declared write/scan footprint, certified against the statically
+    #: inferred one by anonlint POR002 and replayed on BFS-sampled
+    #: states by `repro lint --dynamic`: writes only target registers
+    #: still in the local ``unwritten`` set; scans may read anything.
+    por_footprint = {"writes": "unwritten", "reads": "all"}
+
     def __init__(
         self,
         n_processors: int,

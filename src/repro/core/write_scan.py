@@ -58,6 +58,11 @@ class WriteScanMachine:
         The number of shared registers ``M`` (each processor knows it).
     """
 
+    #: Declared write/scan footprint (certified by anonlint POR002):
+    #: writes only target the local ``unwritten`` set, scans may read
+    #: any register.
+    por_footprint = {"writes": "unwritten", "reads": "all"}
+
     def __init__(self, n_registers: int) -> None:
         if n_registers <= 0:
             raise ValueError("need at least one register")

@@ -12,10 +12,16 @@ enforces those model obligations mechanically, at lint time:
 - **INVAR** (:mod:`repro.lint.invar`) — symmetry-checked properties
   must be declared invariant and avoid non-equivariant constructs;
 - **WF** (:mod:`repro.lint.wf`) — unbounded machine loops must name a
-  progress guard.
+  progress guard and a derivable variant bound;
+- **POR** (:mod:`repro.lint.por`) — declared visibility and machine
+  footprints must cover what the code statically reads and writes.
 
-Plus a metamorphic *dynamic* verifier (:mod:`repro.lint.dynamic`) that
-tests declared invariance semantically on wiring-stabilizer orbits.
+The taint rules (ANON002, INVAR002v2) and the footprint inference
+(POR002) run on a per-function dataflow fixpoint
+(:mod:`repro.lint.cfg`, :mod:`repro.lint.dataflow`) instead of name
+heuristics.  A *dynamic* verifier (:mod:`repro.lint.dynamic`) tests
+declared invariance on wiring-stabilizer orbits and cross-checks
+declared footprints against runtime-observed behavior.
 
 Entry point: ``python -m repro lint`` (see :mod:`repro.cli`);
 suppression and baseline workflow in ``docs/linting.md``.
@@ -32,9 +38,12 @@ from repro.lint.baseline import (
 )
 from repro.lint.dynamic import (
     DynamicVerification,
+    builtin_footprint_verifications,
     builtin_verifications,
     reachable_sample,
     verify_invariant,
+    verify_machine_footprint,
+    verify_visibility_footprint,
 )
 from repro.lint.engine import (
     Finding,
@@ -46,6 +55,8 @@ from repro.lint.engine import (
     derive_role,
     discover_files,
     parse_suppressions,
+    rule_catalog,
+    select_rules,
 )
 from repro.lint.reporters import render_json, render_text
 
@@ -59,6 +70,7 @@ __all__ = [
     "LintReport",
     "ModuleContext",
     "Rule",
+    "builtin_footprint_verifications",
     "builtin_verifications",
     "default_rules",
     "derive_role",
@@ -70,6 +82,10 @@ __all__ = [
     "reachable_sample",
     "render_json",
     "render_text",
+    "rule_catalog",
+    "select_rules",
     "verify_invariant",
+    "verify_machine_footprint",
+    "verify_visibility_footprint",
     "write_baseline",
 ]

@@ -10,15 +10,24 @@ the moment an algorithm *branches* on it, *compares* it, or *indexes*
 shared state with it outside the wiring permutation, the model — and
 the soundness of the symmetry-reduced checker built on it — is gone.
 
-ANON001 fires when a pid-named value is used in machine code as:
+ANON002 (which subsumes the name-matching ANON001) tracks pid-derived
+*values* with the :mod:`repro.lint.dataflow` engine: identity taint is
+seeded on pid-named parameters and bindings, follows assignments,
+arithmetic, container construction and value-position mutation
+(``acc.append(pid)``), and fires when a tainted value reaches:
 
-- a branch condition (``if pid == 0: ...``),
+- a branch condition (``who = pid; if who: ...``),
 - an ordering/equality comparison (membership tests are exempt:
   ``pid in outputs`` is trace bookkeeping, not symmetry breaking),
 - the register operand of a ``Read``/``Write`` op,
 - a subscript index on anything that is not wiring indirection
   (``wiring[pid]``, ``sigma[pid]``, ... are the sanctioned uses).
 
+Taint is *not* propagated through method calls or subscript loads:
+``d.get(pid)`` and ``table[pid]`` yield data merely *keyed* by an
+identity, which the model allows code to act on (the lookup itself is
+judged at the subscript sink).  Results of wiring-named calls are
+clean — ``to_physical(pid, ...)`` is the sanctioned indirection.
 Diagnostic f-strings are exempt — naming a pid in an error message
 does not affect behavior.
 """
@@ -26,8 +35,17 @@ does not affect behavior.
 from __future__ import annotations
 
 import ast
-from typing import Iterator, Optional
+from typing import Iterator, Optional, Set
 
+from repro.lint.dataflow import (
+    EMPTY,
+    Env,
+    TaintAnalysis,
+    TaintDomain,
+    Tags,
+    functions,
+    own_nodes,
+)
 from repro.lint.engine import Finding, ModuleContext, Rule
 
 #: Identifiers treated as processor identities.
@@ -42,13 +60,9 @@ WIRING_HINTS = ("wiring", "sigma", "perm", "phys", "to_local")
 
 _MEMORY_OPS = frozenset({"Read", "Write"})
 
-
-def _is_pid_node(node: ast.AST) -> bool:
-    if isinstance(node, ast.Name):
-        return node.id in PID_NAMES and isinstance(node.ctx, ast.Load)
-    if isinstance(node, ast.Attribute):
-        return node.attr in PID_NAMES and isinstance(node.ctx, ast.Load)
-    return False
+#: The identity-taint tag.
+TAG_PID = "pid"
+_PID: Tags = frozenset({TAG_PID})
 
 
 def _terminal_name(node: ast.AST) -> Optional[str]:
@@ -67,85 +81,141 @@ def _mentions_wiring(node: ast.AST) -> bool:
     return any(hint in lowered for hint in WIRING_HINTS)
 
 
-class AnonymityRule(Rule):
-    rule_id = "ANON001"
+class IdentityTaintDomain(TaintDomain):
+    """Where identity taint is born and how it survives expressions."""
+
+    def param_tags(self, func, arg, index):
+        return _PID if arg.arg in PID_NAMES else EMPTY
+
+    def name_binding_tags(self, name):
+        return _PID if name in PID_NAMES else EMPTY
+
+    def attribute_tags(self, node, base_tags):
+        if node.attr in PID_NAMES:
+            return base_tags | _PID
+        return base_tags
+
+    def subscript_load_tags(self, node, base_tags, index_tags):
+        # ``table[pid]`` is data keyed by an identity, not an identity;
+        # the lookup is judged at the subscript sink instead.
+        return base_tags
+
+    def call_tags(self, node, func_name, arg_tags, func_base_tags):
+        if _mentions_wiring(node.func):
+            return EMPTY  # sanctioned indirection launders the pid
+        if isinstance(node.func, ast.Attribute):
+            # ``d.get(pid)`` looks data up *by* an identity; the result
+            # is not itself one.
+            return EMPTY
+        return arg_tags
+
+
+def _describe(node: ast.AST) -> str:
+    name = _terminal_name(node)
+    return repr(name) if name is not None else "a pid-derived value"
+
+
+class IdentityFlowRule(Rule):
+    rule_id = "ANON002"
     summary = (
         "machine code must not branch on, compare, or index by"
-        " processor identity outside the wiring indirection"
+        " pid-derived values outside the wiring indirection"
+        " (taint-tracked)"
     )
 
     def check(self, ctx: ModuleContext) -> Iterator[Finding]:
         if not ctx.is_machine:
             return
-        for node in ast.walk(ctx.tree):
-            if not _is_pid_node(node):
+        domain = IdentityTaintDomain()
+        for func in functions(ctx.tree):
+            analysis = TaintAnalysis(func, domain)
+            for stmt, env in analysis.statements():
+                yield from self._check_statement(ctx, analysis, stmt, env)
+
+    # ------------------------------------------------------------------
+    def _check_statement(
+        self,
+        ctx: ModuleContext,
+        analysis: TaintAnalysis,
+        stmt: ast.stmt,
+        env: Env,
+    ) -> Iterator[Finding]:
+        compare_hit_in_test = False
+        test = stmt.test if isinstance(stmt, (ast.If, ast.While)) else None
+        test_nodes: Set[int] = (
+            {id(n) for n in ast.walk(test)} if test is not None else set()
+        )
+
+        for node in own_nodes(stmt):
+            if ctx.in_fstring(node):
                 continue
-            finding = self._classify(ctx, node)
-            if finding is not None:
-                yield finding
 
-    def _classify(
-        self, ctx: ModuleContext, node: ast.AST
-    ) -> Optional[Finding]:
-        name = _terminal_name(node)
-        for parent, child in ctx.ancestry(node):
-            # Sanctioned / benign contexts end the walk with no finding.
-            if isinstance(parent, ast.FormattedValue):
-                return None  # diagnostics may name pids
-            if (
-                isinstance(parent, ast.Subscript)
-                and child is parent.slice
-                and _mentions_wiring(parent.value)
+            if isinstance(node, ast.Compare) and not all(
+                isinstance(op, (ast.In, ast.NotIn)) for op in node.ops
             ):
-                return None  # wiring[pid]: the one sanctioned indexing
-            if (
-                isinstance(parent, ast.Call)
-                and child is not parent.func
-                and _mentions_wiring(parent.func)
-            ):
-                return None  # to_physical(pid, ...)-style indirection
+                for operand in (node.left, *node.comparators):
+                    if TAG_PID not in analysis.tags(env, operand):
+                        continue
+                    if id(node) in test_nodes:
+                        compare_hit_in_test = True
+                    yield ctx.finding(
+                        self.rule_id,
+                        operand,
+                        f"machine code compares processor identity"
+                        f" {_describe(operand)} — identities are not"
+                        f" observable in the model",
+                    )
 
-            # Violating contexts.
-            if isinstance(parent, (ast.If, ast.While)) and child is parent.test:
-                return ctx.finding(
-                    self.rule_id,
-                    node,
-                    f"machine code branches on processor identity"
-                    f" {name!r} — anonymous processors cannot act on who"
-                    f" they are",
-                )
-            if isinstance(parent, ast.Compare) and child is node:
-                # Only a *direct* operand is an identity comparison;
-                # `d.get(pid) == x` compares the looked-up data.
-                ops = parent.ops
-                if all(isinstance(op, (ast.In, ast.NotIn)) for op in ops):
-                    return None  # membership bookkeeping, not identity use
-                return ctx.finding(
-                    self.rule_id,
-                    node,
-                    f"machine code compares processor identity {name!r} —"
-                    f" identities are not observable in the model",
-                )
-            if (
-                isinstance(parent, ast.Call)
-                and isinstance(parent.func, ast.Name)
-                and parent.func.id in _MEMORY_OPS
-                and parent.args
-                and child is parent.args[0]
+            elif (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Name)
+                and node.func.id in _MEMORY_OPS
+                and node.args
             ):
-                return ctx.finding(
-                    self.rule_id,
-                    node,
-                    f"processor identity {name!r} used as a"
-                    f" {parent.func.id} register index — register names"
-                    f" must come from the private wiring permutation",
-                )
-            if isinstance(parent, ast.Subscript) and child is parent.slice:
-                return ctx.finding(
-                    self.rule_id,
-                    node,
-                    f"machine code indexes {_terminal_name(parent.value)!r}"
-                    f" by processor identity {name!r} outside the wiring"
-                    f" indirection",
-                )
-        return None
+                reg = node.args[0]
+                if TAG_PID in analysis.tags(env, reg):
+                    yield ctx.finding(
+                        self.rule_id,
+                        reg,
+                        f"processor identity {_describe(reg)} used as a"
+                        f" {node.func.id} register index — register names"
+                        f" must come from the private wiring permutation",
+                    )
+
+            elif isinstance(node, ast.Subscript):
+                if _mentions_wiring(node.value):
+                    continue
+                if TAG_PID in analysis.tags(env, node.slice):
+                    yield ctx.finding(
+                        self.rule_id,
+                        node.slice,
+                        f"machine code indexes"
+                        f" {_terminal_name(node.value)!r} by processor"
+                        f" identity {_describe(node.slice)} outside the"
+                        f" wiring indirection",
+                    )
+
+        if (
+            test is not None
+            and not compare_hit_in_test
+            and TAG_PID in analysis.tags(env, test)
+        ):
+            anchor = self._taint_anchor(analysis, env, test)
+            yield ctx.finding(
+                self.rule_id,
+                anchor,
+                f"machine code branches on processor identity"
+                f" {_describe(anchor)} — anonymous processors cannot act"
+                f" on who they are",
+            )
+
+    def _taint_anchor(
+        self, analysis: TaintAnalysis, env: Env, test: ast.expr
+    ) -> ast.AST:
+        """The most specific tainted name inside a tainted test."""
+        for node in ast.walk(test):
+            if isinstance(node, (ast.Name, ast.Attribute)) and (
+                TAG_PID in analysis.tags(env, node)
+            ):
+                return node
+        return test

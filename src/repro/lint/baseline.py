@@ -70,11 +70,17 @@ class Baseline:
 
 @dataclass
 class BaselineMatch:
-    """Active findings partitioned against a baseline."""
+    """Active findings partitioned against a baseline.
+
+    ``unjustified`` lists the *matched* entries whose justification is
+    empty — accepted findings nobody has documented the *why* for.
+    They never fail a run; reporters surface them as a prompt.
+    """
 
     new: List[Finding] = field(default_factory=list)
     baselined: List[Finding] = field(default_factory=list)
     stale: List[BaselineEntry] = field(default_factory=list)
+    unjustified: List[BaselineEntry] = field(default_factory=list)
 
 
 def load_baseline(path: Path) -> Baseline:
@@ -154,8 +160,10 @@ def match_baseline(
     for finding in findings:
         remaining = budget.get(finding.key)
         if remaining:
-            remaining.pop()
+            entry = remaining.pop()
             match.baselined.append(finding)
+            if not entry.justification.strip():
+                match.unjustified.append(entry)
         else:
             match.new.append(finding)
     for remaining in budget.values():

@@ -1,0 +1,263 @@
+"""Per-function control-flow graphs for the anonlint dataflow engine.
+
+:mod:`repro.lint.dataflow` runs a forward fixpoint over basic blocks;
+this module builds those blocks from a function's AST.  The graph is
+deliberately *statement-grained*: a block holds a list of ``ast.stmt``
+nodes, and a compound statement (``if``/``while``/``for``/``try``/
+``with``) appears in a block as its **header only** — its condition or
+iterable is evaluated there, while the nested bodies live in successor
+blocks of their own.  Transfer functions therefore never descend into
+a compound statement's body (see :func:`own_nodes`).
+
+The graph is conservative where Python control flow is dynamic:
+
+- ``try`` bodies may raise anywhere, so every handler is reachable
+  both from the block *entering* the try and from the end of its body;
+- loop exit edges exist even for ``while True`` (the dataflow join is
+  a union, so a spurious edge only adds conservatism);
+- ``match`` statements branch like an ``if`` chain without modelling
+  pattern bindings.
+
+Nested function and class definitions are *not* recursed into: they
+appear as plain statements (binding a name) and are analyzed as
+functions of their own by the rules.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Sequence, Union
+
+FunctionNode = Union[ast.FunctionDef, ast.AsyncFunctionDef]
+
+#: Iteration safety-net multiplier for the dataflow fixpoint.
+MAX_PASSES = 64
+
+
+@dataclass
+class BasicBlock:
+    """A straight-line statement sequence with successor edges."""
+
+    block_id: int
+    stmts: List[ast.stmt] = field(default_factory=list)
+    succ: List[int] = field(default_factory=list)
+
+
+class CFG:
+    """Blocks, a distinguished entry, and a synthetic exit block."""
+
+    def __init__(self) -> None:
+        self.blocks: Dict[int, BasicBlock] = {}
+        self._next_id = 0
+        self.entry = self.new_block().block_id
+        self.exit = self.new_block().block_id
+
+    def new_block(self) -> BasicBlock:
+        block = BasicBlock(self._next_id)
+        self._next_id += 1
+        self.blocks[block.block_id] = block
+        return block
+
+    def add_edge(self, src: int, dst: int) -> None:
+        succ = self.blocks[src].succ
+        if dst not in succ:
+            succ.append(dst)
+
+    def predecessors(self) -> Dict[int, List[int]]:
+        preds: Dict[int, List[int]] = {bid: [] for bid in self.blocks}
+        for block in self.blocks.values():
+            for dst in block.succ:
+                preds[dst].append(block.block_id)
+        return preds
+
+    def rpo(self) -> List[int]:
+        """Reverse post-order from the entry (unreachable blocks last)."""
+        seen: Dict[int, bool] = {}
+        order: List[int] = []
+
+        def visit(bid: int) -> None:
+            if seen.get(bid):
+                return
+            seen[bid] = True
+            for dst in self.blocks[bid].succ:
+                visit(dst)
+            order.append(bid)
+
+        visit(self.entry)
+        for bid in self.blocks:
+            visit(bid)
+        order.reverse()
+        return order
+
+
+def own_nodes(stmt: ast.stmt) -> Iterator[ast.AST]:
+    """The nodes a statement evaluates *itself* — header expressions
+    included, nested statement bodies excluded.
+
+    For an ``if`` this yields the test (and its subexpressions) but
+    nothing from the branches; for a plain assignment it is equivalent
+    to ``ast.walk``.  This is the traversal rules must use when
+    pairing nodes with the per-statement environments of
+    :class:`repro.lint.dataflow.TaintAnalysis`.
+    """
+    stack: List[ast.AST] = [stmt]
+    while stack:
+        node = stack.pop()
+        yield node
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, ast.stmt):
+                continue
+            stack.append(child)
+
+
+class _LoopFrame:
+    """Targets for ``break``/``continue`` inside one loop."""
+
+    __slots__ = ("head", "after")
+
+    def __init__(self, head: int, after: int) -> None:
+        self.head = head
+        self.after = after
+
+
+class _Builder:
+    def __init__(self) -> None:
+        self.cfg = CFG()
+        self.loops: List[_LoopFrame] = []
+
+    # ------------------------------------------------------------------
+    def build(self, func: FunctionNode) -> CFG:
+        end = self._sequence(func.body, self.cfg.entry)
+        if end is not None:
+            self.cfg.add_edge(end, self.cfg.exit)
+        return self.cfg
+
+    def _sequence(self, body: Sequence[ast.stmt], current: int) -> int | None:
+        """Thread ``body`` through blocks; ``None`` = fell off the CFG
+        (the path unconditionally returned/raised/broke)."""
+        cursor: int | None = current
+        for stmt in body:
+            if cursor is None:
+                # Unreachable trailing code: give it an orphan block so
+                # its statements still exist in the graph (no preds).
+                cursor = self.cfg.new_block().block_id
+            cursor = self._statement(stmt, cursor)
+        return cursor
+
+    # ------------------------------------------------------------------
+    def _statement(self, stmt: ast.stmt, current: int) -> int | None:
+        cfg = self.cfg
+        if isinstance(stmt, ast.If):
+            cfg.blocks[current].stmts.append(stmt)
+            after = cfg.new_block().block_id
+            then_entry = cfg.new_block().block_id
+            cfg.add_edge(current, then_entry)
+            then_end = self._sequence(stmt.body, then_entry)
+            if then_end is not None:
+                cfg.add_edge(then_end, after)
+            if stmt.orelse:
+                else_entry = cfg.new_block().block_id
+                cfg.add_edge(current, else_entry)
+                else_end = self._sequence(stmt.orelse, else_entry)
+                if else_end is not None:
+                    cfg.add_edge(else_end, after)
+            else:
+                cfg.add_edge(current, after)
+            return after
+
+        if isinstance(stmt, ast.While):
+            head = cfg.new_block().block_id
+            cfg.add_edge(current, head)
+            cfg.blocks[head].stmts.append(stmt)
+            after = cfg.new_block().block_id
+            body_entry = cfg.new_block().block_id
+            cfg.add_edge(head, body_entry)
+            cfg.add_edge(head, after)
+            self.loops.append(_LoopFrame(head, after))
+            body_end = self._sequence(stmt.body, body_entry)
+            self.loops.pop()
+            if body_end is not None:
+                cfg.add_edge(body_end, head)
+            if stmt.orelse:
+                else_end = self._sequence(stmt.orelse, after)
+                return else_end
+            return after
+
+        if isinstance(stmt, (ast.For, ast.AsyncFor)):
+            head = cfg.new_block().block_id
+            cfg.add_edge(current, head)
+            cfg.blocks[head].stmts.append(stmt)
+            after = cfg.new_block().block_id
+            body_entry = cfg.new_block().block_id
+            cfg.add_edge(head, body_entry)
+            cfg.add_edge(head, after)
+            self.loops.append(_LoopFrame(head, after))
+            body_end = self._sequence(stmt.body, body_entry)
+            self.loops.pop()
+            if body_end is not None:
+                cfg.add_edge(body_end, head)
+            if stmt.orelse:
+                return self._sequence(stmt.orelse, after)
+            return after
+
+        if isinstance(stmt, ast.Try):
+            cfg.blocks[current].stmts.append(stmt)
+            after = cfg.new_block().block_id
+            body_entry = cfg.new_block().block_id
+            cfg.add_edge(current, body_entry)
+            body_end = self._sequence(stmt.body, body_entry)
+            else_end = body_end
+            if stmt.orelse and body_end is not None:
+                else_end = self._sequence(stmt.orelse, body_end)
+            if else_end is not None:
+                cfg.add_edge(else_end, after)
+            for handler in stmt.handlers:
+                handler_entry = cfg.new_block().block_id
+                # A raise may interrupt the body anywhere: the handler
+                # sees both the pre-try env and the post-body env.
+                cfg.add_edge(current, handler_entry)
+                if body_end is not None:
+                    cfg.add_edge(body_end, handler_entry)
+                handler_end = self._sequence(handler.body, handler_entry)
+                if handler_end is not None:
+                    cfg.add_edge(handler_end, after)
+            if stmt.finalbody:
+                return self._sequence(stmt.finalbody, after)
+            return after
+
+        if isinstance(stmt, (ast.With, ast.AsyncWith)):
+            cfg.blocks[current].stmts.append(stmt)
+            return self._sequence(stmt.body, current)
+
+        if isinstance(stmt, ast.Match):
+            cfg.blocks[current].stmts.append(stmt)
+            after = cfg.new_block().block_id
+            cfg.add_edge(current, after)  # no case may match
+            for case in stmt.cases:
+                case_entry = cfg.new_block().block_id
+                cfg.add_edge(current, case_entry)
+                case_end = self._sequence(case.body, case_entry)
+                if case_end is not None:
+                    cfg.add_edge(case_end, after)
+            return after
+
+        # Simple statements.
+        cfg.blocks[current].stmts.append(stmt)
+        if isinstance(stmt, (ast.Return, ast.Raise)):
+            cfg.add_edge(current, cfg.exit)
+            return None
+        if isinstance(stmt, ast.Break):
+            if self.loops:
+                cfg.add_edge(current, self.loops[-1].after)
+            return None
+        if isinstance(stmt, ast.Continue):
+            if self.loops:
+                cfg.add_edge(current, self.loops[-1].head)
+            return None
+        return current
+
+
+def build_cfg(func: FunctionNode) -> CFG:
+    """The control-flow graph of one function's body."""
+    return _Builder().build(func)

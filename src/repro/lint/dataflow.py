@@ -1,0 +1,432 @@
+"""Forward taint dataflow for anonlint's v2 rules.
+
+The v1 rules matched *names* (``pid``, ``sorted(..., key=repr)``); the
+v2 rules track *values*.  This module is the shared engine: a forward
+fixpoint over the per-function CFG of :mod:`repro.lint.cfg`, computing
+for every program point an environment mapping local variable names to
+a finite set of **tags** (``frozenset[str]``).  Rules plug in a
+:class:`TaintDomain` that decides where tags are born (sources) and
+how they survive calls, attribute access, and subscripts; the rules
+themselves then walk statements with :func:`repro.lint.cfg.own_nodes`
+and test sink positions against :meth:`TaintAnalysis.tags`.
+
+Lattice: environments ordered pointwise by tag-set inclusion.  Joins
+are unions, transfer functions are monotone (assignment is a strong
+update computed from the in-environment), and the tag universe is
+finite, so the fixpoint terminates; ``MAX_PASSES`` is a safety net
+only.
+
+Baked-in propagation policy (shared by every domain because it encodes
+repo-wide exemptions the v1 rules already granted):
+
+- a :class:`ast.Compare` whose operators are all membership tests
+  (``in``/``not in``) produces **no** tags — presence queries launder
+  identity (``pid in outputs`` is anonymity-preserving);
+- f-strings (``JoinedStr``/``FormattedValue``) produce no tags —
+  diagnostics may mention anything;
+- subscripting a tainted *index* does not taint the looked-up value
+  (data keyed by an identity is not itself an identity) — the
+  subscript node is a *sink*, judged by the rules, not a propagator.
+
+Everything else defaults to conservative union propagation.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, FrozenSet, Iterator, List, Optional, Sequence, Tuple
+
+from .cfg import MAX_PASSES, CFG, FunctionNode, build_cfg, own_nodes
+
+Tags = FrozenSet[str]
+Env = Dict[str, Tags]
+
+EMPTY: Tags = frozenset()
+
+__all__ = [
+    "EMPTY",
+    "Env",
+    "Tags",
+    "TaintAnalysis",
+    "TaintDomain",
+    "functions",
+    "own_nodes",
+]
+
+
+def functions(tree: ast.AST) -> Iterator[FunctionNode]:
+    """Every function (nested included) in a module, in source order."""
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            yield node
+
+
+def _union(parts: Sequence[Tags]) -> Tags:
+    out = EMPTY
+    for part in parts:
+        out |= part
+    return out
+
+
+class TaintDomain:
+    """Source/propagation policy; subclass per rule.
+
+    The default implementations propagate conservatively and introduce
+    no tags, so an unmodified domain computes the everywhere-empty
+    fixpoint.
+    """
+
+    # -- sources -------------------------------------------------------
+    def param_tags(self, func: FunctionNode, arg: ast.arg, index: int) -> Tags:
+        """Tags seeded on a parameter at function entry."""
+        return EMPTY
+
+    def name_binding_tags(self, name: str) -> Tags:
+        """Tags a *name* carries wherever it is bound (loop targets,
+        comprehension variables, globals never assigned locally)."""
+        return EMPTY
+
+    def enumerate_index_tags(self) -> Tags:
+        """Tags for the index half of an ``enumerate()`` unpacking."""
+        return EMPTY
+
+    # -- propagation ---------------------------------------------------
+    def attribute_tags(self, node: ast.Attribute, base_tags: Tags) -> Tags:
+        return base_tags
+
+    def subscript_load_tags(
+        self, node: ast.Subscript, base_tags: Tags, index_tags: Tags
+    ) -> Tags:
+        # Container tags flow to elements; index tags do not (see the
+        # module docstring).
+        return base_tags
+
+    def call_tags(
+        self,
+        node: ast.Call,
+        func_name: Optional[str],
+        arg_tags: Tags,
+        func_base_tags: Tags,
+    ) -> Tags:
+        return arg_tags | func_base_tags
+
+    def mutation_arg_tags(
+        self, node: ast.Call, method: str, arg_tags: List[Tags]
+    ) -> Tags:
+        """Tags a mutating method call absorbs into its receiver.
+
+        Value-position mutators absorb their stored values; key
+        positions (``setdefault``'s first argument, ``insert``'s
+        index) are excluded — a container keyed by identities does not
+        *contain* identities.
+        """
+        if method in ("append", "add", "extend", "update", "appendleft"):
+            return _union(arg_tags)
+        if method in ("insert", "setdefault"):
+            return _union(arg_tags[1:])
+        return EMPTY
+
+
+class TaintAnalysis:
+    """Fixpoint taint environments for one function under one domain."""
+
+    def __init__(self, func: FunctionNode, domain: TaintDomain) -> None:
+        self.func = func
+        self.domain = domain
+        self.cfg: CFG = build_cfg(func)
+        self._block_in: Dict[int, Env] = {}
+        self._stmt_env: Dict[ast.stmt, Env] = {}
+        self._run()
+
+    # -- public query API ----------------------------------------------
+    def statements(self) -> Iterator[Tuple[ast.stmt, Env]]:
+        """Every block-level statement with its *pre*-statement
+        environment (compound statements appear once, as headers)."""
+        for bid in self.cfg.rpo():
+            for stmt in self.cfg.blocks[bid].stmts:
+                yield stmt, self._stmt_env[stmt]
+
+    def tags(self, env: Env, node: ast.AST) -> Tags:
+        """The tag set an expression evaluates to under ``env``."""
+        return self._eval(env, node)
+
+    # -- fixpoint ------------------------------------------------------
+    def _seed(self) -> Env:
+        env: Env = {}
+        args = self.func.args
+        all_args: List[ast.arg] = [
+            *args.posonlyargs,
+            *args.args,
+            *args.kwonlyargs,
+        ]
+        if args.vararg is not None:
+            all_args.append(args.vararg)
+        if args.kwarg is not None:
+            all_args.append(args.kwarg)
+        for index, arg in enumerate(all_args):
+            tags = self.domain.param_tags(self.func, arg, index)
+            tags |= self.domain.name_binding_tags(arg.arg)
+            env[arg.arg] = tags
+        return env
+
+    def _run(self) -> None:
+        cfg = self.cfg
+        preds = cfg.predecessors()
+        order = cfg.rpo()
+        seed = self._seed()
+        self._block_in = {bid: {} for bid in cfg.blocks}
+        self._block_in[cfg.entry] = dict(seed)
+        block_out: Dict[int, Env] = {bid: {} for bid in cfg.blocks}
+        for _ in range(MAX_PASSES):
+            changed = False
+            for bid in order:
+                in_env: Env = dict(seed) if bid == cfg.entry else {}
+                for pred in preds[bid]:
+                    in_env = _join(in_env, block_out[pred])
+                if in_env != self._block_in[bid]:
+                    self._block_in[bid] = in_env
+                    changed = True
+                env = dict(in_env)
+                for stmt in cfg.blocks[bid].stmts:
+                    env = self._transfer(env, stmt)
+                if env != block_out[bid]:
+                    block_out[bid] = env
+                    changed = True
+            if not changed:
+                break
+        # Record the stable pre-statement environments.
+        for bid in order:
+            env = dict(self._block_in[bid])
+            for stmt in cfg.blocks[bid].stmts:
+                self._stmt_env[stmt] = dict(env)
+                env = self._transfer(env, stmt)
+
+    # -- transfer ------------------------------------------------------
+    def _transfer(self, env: Env, stmt: ast.stmt) -> Env:
+        env = dict(env)
+        if isinstance(stmt, ast.Assign):
+            for target in stmt.targets:
+                self._bind_target(env, target, stmt.value)
+        elif isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+            self._bind_target(env, stmt.target, stmt.value)
+        elif isinstance(stmt, ast.AugAssign):
+            value_tags = self._eval(env, stmt.value)
+            target = stmt.target
+            if isinstance(target, ast.Name):
+                existing = env.get(
+                    target.id, self.domain.name_binding_tags(target.id)
+                )
+                env[target.id] = existing | value_tags
+            else:
+                self._absorb_into_base(env, target, value_tags)
+        elif isinstance(stmt, (ast.For, ast.AsyncFor)):
+            self._bind_iteration(env, stmt.target, stmt.iter)
+        elif isinstance(stmt, (ast.With, ast.AsyncWith)):
+            for item in stmt.items:
+                if item.optional_vars is not None:
+                    self._bind_target(
+                        env, item.optional_vars, item.context_expr
+                    )
+        elif isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+            env[stmt.name] = self.domain.name_binding_tags(stmt.name)
+        elif isinstance(stmt, ast.Delete):
+            for target in stmt.targets:
+                if isinstance(target, ast.Name):
+                    env.pop(target.id, None)
+        # Receiver mutation (``acc.append(pid)``) and walrus bindings
+        # can hide in any statement's expressions.
+        for node in own_nodes(stmt):
+            if (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and isinstance(node.func.value, ast.Name)
+            ):
+                arg_tags = [self._eval(env, a) for a in node.args]
+                absorbed = self.domain.mutation_arg_tags(
+                    node, node.func.attr, arg_tags
+                )
+                if absorbed:
+                    base = node.func.value.id
+                    env[base] = env.get(base, EMPTY) | absorbed
+            elif isinstance(node, ast.NamedExpr) and isinstance(
+                node.target, ast.Name
+            ):
+                tags = self._eval(env, node.value)
+                tags |= self.domain.name_binding_tags(node.target.id)
+                env[node.target.id] = env.get(node.target.id, EMPTY) | tags
+        return env
+
+    def _absorb_into_base(
+        self, env: Env, target: ast.expr, value_tags: Tags
+    ) -> None:
+        """``d[k] = v`` / ``o.a = v``: the container/object absorbs the
+        stored value's tags (not the key's)."""
+        node = target
+        while isinstance(node, (ast.Subscript, ast.Attribute)):
+            node = node.value
+        if isinstance(node, ast.Name) and value_tags:
+            env[node.id] = env.get(node.id, EMPTY) | value_tags
+
+    def _bind_target(
+        self, env: Env, target: ast.expr, value: ast.expr
+    ) -> None:
+        if isinstance(target, (ast.Tuple, ast.List)):
+            parts = self._unpacked_tags(env, target.elts, value)
+            for elt, tags in zip(target.elts, parts):
+                self._bind_name(env, elt, tags)
+            return
+        if isinstance(target, (ast.Subscript, ast.Attribute)):
+            self._absorb_into_base(env, target, self._eval(env, value))
+            return
+        self._bind_name(env, target, self._eval(env, value))
+
+    def _bind_name(self, env: Env, target: ast.expr, tags: Tags) -> None:
+        if isinstance(target, ast.Starred):
+            target = target.value
+        if isinstance(target, ast.Name):
+            env[target.id] = tags | self.domain.name_binding_tags(target.id)
+        elif isinstance(target, (ast.Tuple, ast.List)):
+            for elt in target.elts:
+                self._bind_name(env, elt, tags)
+        elif isinstance(target, (ast.Subscript, ast.Attribute)):
+            self._absorb_into_base(env, target, tags)
+
+    def _unpacked_tags(
+        self, env: Env, targets: Sequence[ast.expr], value: ast.expr
+    ) -> List[Tags]:
+        """Per-element tags when unpacking ``value`` into ``targets``."""
+        n = len(targets)
+        if (
+            isinstance(value, (ast.Tuple, ast.List))
+            and len(value.elts) == n
+            and not any(isinstance(e, ast.Starred) for e in value.elts)
+        ):
+            return [self._eval(env, elt) for elt in value.elts]
+        if _is_enumerate(value) and n >= 1:
+            call = value
+            assert isinstance(call, ast.Call)
+            inner = (
+                self._eval(env, call.args[0]) if call.args else EMPTY
+            )
+            return [self.domain.enumerate_index_tags()] + [inner] * (n - 1)
+        tags = self._eval(env, value)
+        return [tags] * n
+
+    def _bind_iteration(
+        self, env: Env, target: ast.expr, iterable: ast.expr
+    ) -> None:
+        """``for target in iterable``: bind loop variables to the
+        element tags of the iterable."""
+        if isinstance(target, (ast.Tuple, ast.List)):
+            parts = self._unpacked_tags(env, target.elts, iterable)
+            for elt, tags in zip(target.elts, parts):
+                self._bind_name(env, elt, tags)
+            return
+        if _is_enumerate(iterable):
+            # A single name bound to the (index, item) pairs.
+            assert isinstance(iterable, ast.Call)
+            tags = self.domain.enumerate_index_tags()
+            if iterable.args:
+                tags |= self._eval(env, iterable.args[0])
+            self._bind_name(env, target, tags)
+            return
+        self._bind_name(env, target, self._eval(env, iterable))
+
+    # -- expression evaluation -----------------------------------------
+    def _eval(self, env: Env, node: ast.AST) -> Tags:
+        domain = self.domain
+        if isinstance(node, ast.Name):
+            if node.id in env:
+                return env[node.id]
+            return domain.name_binding_tags(node.id)
+        if isinstance(node, ast.Attribute):
+            return domain.attribute_tags(node, self._eval(env, node.value))
+        if isinstance(node, ast.Subscript):
+            return domain.subscript_load_tags(
+                node,
+                self._eval(env, node.value),
+                self._eval(env, node.slice),
+            )
+        if isinstance(node, ast.Call):
+            return self._eval_call(env, node)
+        if isinstance(node, ast.BoolOp):
+            return _union([self._eval(env, v) for v in node.values])
+        if isinstance(node, ast.BinOp):
+            return self._eval(env, node.left) | self._eval(env, node.right)
+        if isinstance(node, ast.UnaryOp):
+            return self._eval(env, node.operand)
+        if isinstance(node, ast.Compare):
+            if all(isinstance(op, (ast.In, ast.NotIn)) for op in node.ops):
+                return EMPTY
+            parts = [self._eval(env, node.left)]
+            parts.extend(self._eval(env, c) for c in node.comparators)
+            return _union(parts)
+        if isinstance(node, (ast.List, ast.Tuple, ast.Set)):
+            return _union([self._eval(env, e) for e in node.elts])
+        if isinstance(node, ast.Dict):
+            parts = [self._eval(env, k) for k in node.keys if k is not None]
+            parts.extend(self._eval(env, v) for v in node.values)
+            return _union(parts)
+        if isinstance(node, ast.IfExp):
+            return self._eval(env, node.body) | self._eval(env, node.orelse)
+        if isinstance(node, ast.Starred):
+            return self._eval(env, node.value)
+        if isinstance(node, (ast.JoinedStr, ast.FormattedValue)):
+            return EMPTY
+        if isinstance(node, ast.NamedExpr):
+            return self._eval(env, node.value)
+        if isinstance(node, (ast.ListComp, ast.SetComp, ast.GeneratorExp)):
+            inner = self._comprehension_env(env, node.generators)
+            return self._eval(inner, node.elt)
+        if isinstance(node, ast.DictComp):
+            inner = self._comprehension_env(env, node.generators)
+            return self._eval(inner, node.key) | self._eval(inner, node.value)
+        if isinstance(node, ast.Slice):
+            parts = [
+                self._eval(env, part)
+                for part in (node.lower, node.upper, node.step)
+                if part is not None
+            ]
+            return _union(parts)
+        if isinstance(node, ast.Await):
+            return self._eval(env, node.value)
+        return EMPTY
+
+    def _comprehension_env(
+        self, env: Env, generators: Sequence[ast.comprehension]
+    ) -> Env:
+        inner = dict(env)
+        for gen in generators:
+            self._bind_iteration(inner, gen.target, gen.iter)
+        return inner
+
+    def _eval_call(self, env: Env, node: ast.Call) -> Tags:
+        func_name: Optional[str] = None
+        func_base_tags = EMPTY
+        if isinstance(node.func, ast.Name):
+            func_name = node.func.id
+        elif isinstance(node.func, ast.Attribute):
+            func_name = node.func.attr
+            func_base_tags = self._eval(env, node.func.value)
+        parts = [self._eval(env, a) for a in node.args]
+        parts.extend(
+            self._eval(env, kw.value) for kw in node.keywords
+        )
+        return self.domain.call_tags(
+            node, func_name, _union(parts), func_base_tags
+        )
+
+
+def _is_enumerate(node: ast.expr) -> bool:
+    return (
+        isinstance(node, ast.Call)
+        and isinstance(node.func, ast.Name)
+        and node.func.id == "enumerate"
+    )
+
+
+def _join(left: Env, right: Env) -> Env:
+    out = dict(left)
+    for name, tags in right.items():
+        out[name] = out.get(name, EMPTY) | tags
+    return out

@@ -1,19 +1,29 @@
-"""Metamorphic orbit-invariance verification (``repro lint --dynamic``).
+"""Dynamic verification of lint declarations (``repro lint --dynamic``).
 
-The static INVAR rules inspect syntax; a ``@permutation_invariant``
-declaration can still *lie* in ways no AST scan sees.  This module
-checks the declaration's semantic content directly, as a metamorphic
-test: for a property ``P``, a system ``spec``, and every non-identity
-element ``g`` of the wiring-stabilizer group
+The static rules inspect syntax; a declaration can still *lie* in ways
+no AST scan sees.  This module checks two kinds of declaration
+semantically, on a bounded BFS sample of the real reachable graph:
+
+**Orbit invariance** (``kind="orbit"``) — for a
+``@permutation_invariant`` property ``P``, a system ``spec``, and
+every non-identity element ``g`` of the wiring-stabilizer group
 (:class:`repro.checker.symmetry.StateCanonicalizer`), verdicts must
 agree on orbit mates::
 
     P(spec, s) is None  <=>  P(spec, g . s)    for every sampled s
 
-Samples come from a bounded BFS of the real reachable graph, so every
-exercised state is one the symmetry-reduced explorer could actually
-meet.  A single mismatch is a counterexample to the soundness of
-checking ``P`` under ``--symmetry``.
+A single mismatch is a counterexample to the soundness of checking
+``P`` under ``--symmetry``.
+
+**Footprints** (``kind="footprint"``) — the runtime half of POR002's
+cross-check.  A property's ``@visibility_footprint`` promises which
+steps can flip its verdict: on every sampled state, every successor
+step the declaration classifies *invisible* must leave the verdict
+unchanged.  A machine's ``por_footprint`` promises the shape of its
+enabled operations: on every sampled state, every enabled op must stay
+inside the declared write/read discipline (resolved through
+``"delegate"`` chains by
+:func:`repro.checker.por.declared_machine_footprint`).
 
 The built-in battery covers all seven shipped properties on their
 natural systems; each system is chosen so the stabilizer group is
@@ -38,13 +48,19 @@ DEFAULT_MAX_STATES = 250
 
 @dataclass
 class DynamicVerification:
-    """Outcome of one property x system orbit-invariance check."""
+    """Outcome of one declaration x system dynamic check.
+
+    ``kind`` distinguishes the two checks: for ``"orbit"`` results
+    ``elements`` counts group elements, for ``"footprint"`` results it
+    counts the individual steps (or enabled ops) examined.
+    """
 
     property_name: str
     system: str
     states_checked: int
     elements: int
     mismatches: List[str] = field(default_factory=list)
+    kind: str = "orbit"
 
     @property
     def ok(self) -> bool:
@@ -129,13 +145,145 @@ def _verify(
     return verification
 
 
-def builtin_verifications(
+def verify_visibility_footprint(
+    invariant: Invariant,
+    spec: SystemSpec,
+    system: str = "",
     max_states: int = DEFAULT_MAX_STATES,
-) -> List[DynamicVerification]:
-    """Verify all seven shipped properties on their natural systems.
+) -> DynamicVerification:
+    """Check a ``@visibility_footprint`` declaration against reality.
 
-    Systems are built lazily here (not at import) so ``repro lint``
-    without ``--dynamic`` never pays for them.
+    For every sampled state and every successor step, classify the
+    step as visible or invisible under the declaration (the same
+    aggregation POR's C2 uses); an invisible step that changes the
+    property's verdict is a counterexample — POR could prune it and
+    miss a violation.  Properties with no declaration (or
+    ``locals=True``) make every step visible, so there is nothing to
+    refute and the check passes vacuously.
+    """
+    from repro.checker.por import aggregate_visibility
+    from repro.sim.ops import Write
+
+    name = getattr(invariant, "__name__", repr(invariant))
+    verification = DynamicVerification(
+        property_name=name,
+        system=system,
+        states_checked=0,
+        elements=0,
+        kind="footprint",
+    )
+    visibility = aggregate_visibility([invariant], spec.n_registers)
+    if visibility.all_steps:
+        return verification
+    machine = spec.machine
+    states = reachable_sample(spec, max_states)
+    verification.states_checked = len(states)
+    steps = 0
+    for state in states:
+        holds = invariant(spec, state) is None
+        for pid in range(spec.n_processors):
+            before = machine.output(state.locals[pid])
+            for op in machine.enabled_ops(state.locals[pid]):
+                steps += 1
+                _action, successor = spec.apply(state, pid, op)
+                visible = False
+                if isinstance(op, Write):
+                    physical = spec._physical[pid][op.reg]
+                    if (1 << physical) & visibility.register_mask:
+                        visible = True
+                if not visible and visibility.outputs:
+                    if machine.output(successor.locals[pid]) != before:
+                        visible = True
+                if visible:
+                    continue
+                if (invariant(spec, successor) is None) != holds:
+                    verification.mismatches.append(
+                        f"step pid={pid} op={op!r} is invisible under the"
+                        f" declared footprint but flips {name} from"
+                        f" {'satisfied' if holds else 'violated'} — the"
+                        f" declaration is narrower than the verdict's"
+                        f" real dependencies"
+                    )
+                    if len(verification.mismatches) >= 5:
+                        verification.elements = steps
+                        return verification
+    verification.elements = steps
+    return verification
+
+
+def verify_machine_footprint(
+    spec: SystemSpec,
+    system: str = "",
+    max_states: int = DEFAULT_MAX_STATES,
+) -> DynamicVerification:
+    """Check a machine's ``por_footprint`` declaration against reality.
+
+    Resolves the declaration (following ``"delegate"`` chains) and
+    then, on every sampled state and pid, demands every enabled op
+    respect it: ``writes="none"``/``reads="none"`` forbid the op kind
+    outright, ``writes="unwritten"`` requires every write's local
+    register to be in the declaring machine's ``unwritten`` field
+    (reached through the same number of ``.inner`` hops as the
+    delegation took).  Machines with no resolvable declaration pass
+    vacuously — static inference is then the only certificate.
+    """
+    from repro.checker.por import declared_machine_footprint
+    from repro.sim.ops import Write
+
+    machine = spec.machine
+    name = f"{type(machine).__name__}.por_footprint"
+    verification = DynamicVerification(
+        property_name=name,
+        system=system,
+        states_checked=0,
+        elements=0,
+        kind="footprint",
+    )
+    resolved = declared_machine_footprint(machine)
+    if resolved is None:
+        return verification
+    footprint, depth = resolved
+    writes = footprint.get("writes", "all")
+    reads = footprint.get("reads", "all")
+    states = reachable_sample(spec, max_states)
+    verification.states_checked = len(states)
+    ops_seen = 0
+    for state in states:
+        for pid in range(spec.n_processors):
+            local = state.locals[pid]
+            inner = local
+            for _ in range(depth):
+                inner = inner.inner
+            for op in machine.enabled_ops(local):
+                ops_seen += 1
+                problem: Optional[str] = None
+                if isinstance(op, Write):
+                    if writes == "none":
+                        problem = "a write, but writes='none' is declared"
+                    elif writes == "unwritten" and op.reg not in inner.unwritten:
+                        problem = (
+                            f"a write to local register {op.reg} outside"
+                            f" the declared 'unwritten' footprint"
+                            f" {sorted(inner.unwritten)}"
+                        )
+                elif reads == "none":
+                    problem = "a read, but reads='none' is declared"
+                if problem is not None:
+                    verification.mismatches.append(
+                        f"pid={pid} offers {problem} on a reachable state"
+                    )
+                    if len(verification.mismatches) >= 5:
+                        verification.elements = ops_seen
+                        return verification
+    verification.elements = ops_seen
+    return verification
+
+
+def _builtin_batteries() -> List[Tuple[str, SystemSpec, Sequence[Invariant]]]:
+    """The shipped property batteries on their natural systems.
+
+    Built lazily (not at import) so ``repro lint`` without
+    ``--dynamic`` never pays for them.
     """
     from repro.checker.properties import (
         SNAPSHOT_SAFETY,
@@ -147,7 +295,7 @@ def builtin_verifications(
     from repro.core.snapshot import SnapshotMachine
     from repro.memory.wiring import WiringAssignment
 
-    batteries: List[Tuple[str, SystemSpec, Sequence[Invariant]]] = [
+    return [
         (
             "SnapshotMachine(2), inputs (1, 2), identity wiring",
             SystemSpec(
@@ -170,12 +318,43 @@ def builtin_verifications(
             [renaming_names_valid],
         ),
     ]
+
+
+def builtin_verifications(
+    max_states: int = DEFAULT_MAX_STATES,
+) -> List[DynamicVerification]:
+    """Orbit-verify all seven shipped properties on their natural systems."""
     results: List[DynamicVerification] = []
-    for system, spec, invariants in batteries:
+    for system, spec, invariants in _builtin_batteries():
         canonicalizer = StateCanonicalizer(spec)
         states = reachable_sample(spec, max_states)
         for invariant in invariants:
             results.append(
                 _verify(invariant, spec, system, states, canonicalizer)
             )
+    return results
+
+
+def builtin_footprint_verifications(
+    max_states: int = DEFAULT_MAX_STATES,
+) -> List[DynamicVerification]:
+    """Footprint-verify the shipped declarations on the same systems.
+
+    One entry per (property, system) pair for ``@visibility_footprint``
+    declarations plus one per system for the machine's
+    ``por_footprint`` — kept separate from
+    :func:`builtin_verifications` so the orbit battery's shape stays
+    stable; the CLI merges both lists under ``--dynamic``.
+    """
+    results: List[DynamicVerification] = []
+    for system, spec, invariants in _builtin_batteries():
+        for invariant in invariants:
+            results.append(
+                verify_visibility_footprint(
+                    invariant, spec, system, max_states=max_states
+                )
+            )
+        results.append(
+            verify_machine_footprint(spec, system, max_states=max_states)
+        )
     return results

@@ -19,7 +19,10 @@ Every linted module has a *role*:
 The path-derived role can be overridden with a marker comment anywhere
 in the file (fixtures use this)::
 
-    # anonlint: role=machine
+    # anonlint: role=<machine|harness>
+
+(spelled with the literal role name — the placeholder above keeps this
+module from marking *itself*)
 
 Suppressions
 ------------
@@ -50,9 +53,12 @@ ROLE_HARNESS = "harness"
 #: Path components that make a module machine-role by default.
 _MACHINE_PATH_PARTS = frozenset({"core", "baselines"})
 
+# Rule tokens: ANON001-style, with an optional versioned suffix
+# (INVAR002v2).
+_RULE_TOKEN = r"[A-Z]+[0-9]*(?:v[0-9]+)?"
 _SUPPRESS_RE = re.compile(
     r"#\s*anonlint:\s*disable(?P<next>-next-line)?="
-    r"(?P<rules>[A-Z]+[0-9]*(?:\s*,\s*[A-Z]+[0-9]*)*)"
+    rf"(?P<rules>{_RULE_TOKEN}(?:\s*,\s*{_RULE_TOKEN})*)"
 )
 _ROLE_RE = re.compile(r"#\s*anonlint:\s*role=(?P<role>machine|harness)")
 
@@ -162,6 +168,17 @@ class ModuleContext:
         rules = self.suppressions.get(finding.line)
         return rules is not None and finding.rule in rules
 
+    def in_fstring(self, node: ast.AST) -> bool:
+        """True when ``node`` sits inside an f-string interpolation
+        (within its own statement) — the repo-wide diagnostics
+        exemption shared by the taint rules."""
+        for parent, _child in self.ancestry(node):
+            if isinstance(parent, ast.FormattedValue):
+                return True
+            if isinstance(parent, ast.stmt):
+                return False
+        return False
+
 
 def derive_role(path: str, source: str) -> str:
     """Role from an explicit marker, else from the path."""
@@ -198,21 +215,49 @@ class Rule:
 
 
 def default_rules() -> List[Rule]:
-    """The shipped rule families (import cycle kept out of load time)."""
-    from repro.lint.anon import AnonymityRule
-    from repro.lint.invar import InvariantDeclarationRule, InvariantEquivarianceRule
-    from repro.lint.por import VisibilityFootprintRule
-    from repro.lint.wf import WaitFreedomRule
+    """The shipped rule families (import cycle kept out of load time).
+
+    The v2 taint rules *replace* their v1 name-heuristic counterparts:
+    ANON002 subsumes ANON001 and INVAR002v2 subsumes INVAR002.
+    """
+    from repro.lint.anon import IdentityFlowRule
+    from repro.lint.invar import EquivarianceTaintRule, InvariantDeclarationRule
+    from repro.lint.por import FootprintInferenceRule, VisibilityFootprintRule
+    from repro.lint.wf import LoopVariantRule, WaitFreedomRule
     from repro.lint.wire import WiringDisciplineRule
 
     return [
-        AnonymityRule(),
+        IdentityFlowRule(),
         WiringDisciplineRule(),
         InvariantDeclarationRule(),
-        InvariantEquivarianceRule(),
+        EquivarianceTaintRule(),
         WaitFreedomRule(),
+        LoopVariantRule(),
         VisibilityFootprintRule(),
+        FootprintInferenceRule(),
     ]
+
+
+def rule_catalog() -> Dict[str, Rule]:
+    """Shipped rules keyed by id (for ``--only`` / ``--explain``)."""
+    return {rule.rule_id: rule for rule in default_rules()}
+
+
+def select_rules(only: Iterable[str]) -> List[Rule]:
+    """The subset of shipped rules named in ``only``.
+
+    Raises ``ValueError`` naming the unknown ids, so the CLI can turn
+    it into a usage error.
+    """
+    catalog = rule_catalog()
+    wanted = list(only)
+    unknown = sorted(set(wanted) - set(catalog))
+    if unknown:
+        known = ", ".join(sorted(catalog))
+        raise ValueError(
+            f"unknown rule id(s): {', '.join(unknown)} (known: {known})"
+        )
+    return [catalog[rule_id] for rule_id in wanted]
 
 
 @dataclass

@@ -13,17 +13,24 @@ equivariance in practice:
   / ``*_INVARIANTS`` tuple is not declared ``@permutation_invariant``;
   the symmetry explorer would refuse it at runtime, but the lint
   catches it before anything runs.
-- INVAR002 — a non-equivariant construct inside a declared-invariant
-  body or inside machine code: a *verdict-affecting* ``repr``/``str``
-  tie-break (the sorted result is selected from, not merely printed),
-  an ordering comparison on processor identities, or an ``enumerate``
-  index used asymmetrically (ordering or sorting on the position).
+- INVAR002v2 — a non-equivariant construct inside a declared-invariant
+  body or inside machine code, found by *dataflow* rather than name
+  heuristics (:mod:`repro.lint.dataflow`): values produced by
+  ``sorted/min/max(..., key=repr)`` carry a ``reprorder`` tag through
+  assignments, aliases, calls and container ops, and *selecting* from
+  such a value (subscripting it, ``next()``, ``.pop()``) fires wherever
+  the tainted value ends up — ``ranked = sorted(..., key=repr); chosen
+  = ranked; chosen[0]`` is caught even though the alias is never
+  mentioned near the sort.  Ordering comparisons on pid-tainted values
+  and ordering/sorting on ``enumerate``-index-tainted values fire the
+  same way.
 
-Diagnostic-only ``sorted(..., key=repr)`` calls — feeding f-strings,
-never indexed — are deliberately exempt: the invariant contract only
-requires the *verdict* to be invariant, messages may name concrete
-values.  Presentation helpers (``__repr__``, ``summary``, ...) are
-exempt entirely.
+Re-sorting launders the tag (``sorted(leaders)`` imposes value order,
+which *is* renaming-equivariant), as do ``min``/``max`` by value.
+Diagnostic f-strings are exempt: the invariant contract only requires
+the *verdict* to be invariant, messages may name concrete values.
+Presentation helpers (``__repr__``, ``summary``, ...) are exempt
+entirely.
 
 The canonical true positive in this repository is the consensus
 tie-break (:func:`repro.core.consensus.decide_or_adopt`): ``leaders =
@@ -36,9 +43,18 @@ from __future__ import annotations
 
 import ast
 import re
-from typing import Iterator, List, Optional, Set
+from typing import Iterator, List, Optional
 
 from repro.lint.anon import PID_NAMES, _terminal_name
+from repro.lint.dataflow import (
+    EMPTY,
+    Env,
+    TaintAnalysis,
+    TaintDomain,
+    Tags,
+    functions,
+    own_nodes,
+)
 from repro.lint.engine import Finding, ModuleContext, Rule
 
 _INVARIANT_TUPLE_RE = re.compile(
@@ -50,6 +66,15 @@ _REPR_KEYS = frozenset({"repr", "str"})
 #: Presentation helpers whose output never feeds a verdict.
 _PRESENTATION_NAMES = frozenset({"__repr__", "__str__", "summary", "describe"})
 _ORDERING_OPS = (ast.Lt, ast.LtE, ast.Gt, ast.GtE)
+
+#: Taint tags tracked by the equivariance pass.
+TAG_REPRORDER = "reprorder"
+TAG_PID = "pid"
+TAG_POSITION = "position"
+
+_REPRORDER: Tags = frozenset({TAG_REPRORDER})
+_PID: Tags = frozenset({TAG_PID})
+_POSITION: Tags = frozenset({TAG_POSITION})
 
 
 def _decorated_invariant(node: ast.FunctionDef) -> bool:
@@ -101,171 +126,201 @@ class InvariantDeclarationRule(Rule):
                 )
 
 
-class InvariantEquivarianceRule(Rule):
-    rule_id = "INVAR002"
+class EquivarianceTaintDomain(TaintDomain):
+    """repr-order, identity, and position taint for INVAR002v2."""
+
+    def param_tags(self, func, arg, index):
+        return _PID if arg.arg in PID_NAMES else EMPTY
+
+    def name_binding_tags(self, name):
+        return _PID if name in PID_NAMES else EMPTY
+
+    def enumerate_index_tags(self):
+        return _POSITION
+
+    def attribute_tags(self, node, base_tags):
+        if node.attr in PID_NAMES:
+            return base_tags | _PID
+        return base_tags
+
+    def subscript_load_tags(self, node, base_tags, index_tags):
+        if isinstance(node.slice, ast.Slice):
+            # A slice of a repr-ordered sequence is still repr-ordered.
+            return base_tags
+        # Selecting one element collapses the ordering; the selection
+        # itself is the sink, judged by the rule.
+        return base_tags - _REPRORDER
+
+    def call_tags(self, node, func_name, arg_tags, func_base_tags):
+        if func_name in _SORT_BUILTINS:
+            if _has_repr_key(node):
+                return arg_tags | func_base_tags | _REPRORDER
+            # Re-sorting by value order launders repr order (value
+            # order *is* preserved by bijective renaming).
+            return (arg_tags | func_base_tags) - _REPRORDER
+        return arg_tags | func_base_tags
+
+
+def _has_repr_key(node: ast.Call) -> bool:
+    return any(
+        keyword.arg == "key"
+        and isinstance(keyword.value, ast.Name)
+        and keyword.value.id in _REPR_KEYS
+        for keyword in node.keywords
+    )
+
+
+def _describe(node: ast.AST, fallback: str) -> str:
+    name = _terminal_name(node)
+    return repr(name) if name is not None else fallback
+
+
+class EquivarianceTaintRule(Rule):
+    rule_id = "INVAR002v2"
     summary = (
         "declared-invariant bodies and machine code must avoid"
         " non-equivariant constructs (repr tie-breaks, pid ordering,"
-        " positional asymmetry)"
+        " positional asymmetry), tracked by dataflow"
     )
 
     def check(self, ctx: ModuleContext) -> Iterator[Finding]:
-        for node in ast.walk(ctx.tree):
-            if not isinstance(node, ast.FunctionDef):
+        domain = EquivarianceTaintDomain()
+        for func in functions(ctx.tree):
+            if not isinstance(func, ast.FunctionDef):
                 continue
-            if node.name in _PRESENTATION_NAMES or node.name.startswith("_fmt"):
+            if func.name in _PRESENTATION_NAMES or func.name.startswith("_fmt"):
                 continue
-            if not (_decorated_invariant(node) or ctx.is_machine):
+            if not self._in_scope(ctx, func):
                 continue
-            yield from self._check_body(ctx, node)
+            analysis = TaintAnalysis(func, domain)
+            for stmt, env in analysis.statements():
+                yield from self._check_statement(ctx, analysis, stmt, env)
+
+    def _in_scope(self, ctx: ModuleContext, func: ast.FunctionDef) -> bool:
+        if ctx.is_machine or _decorated_invariant(func):
+            return True
+        # Helpers nested inside a declared invariant inherit its scope.
+        for parent, _child in ctx.ancestry(func):
+            if isinstance(parent, ast.FunctionDef) and _decorated_invariant(
+                parent
+            ):
+                return True
+        return False
 
     # ------------------------------------------------------------------
-    def _check_body(
-        self, ctx: ModuleContext, function: ast.FunctionDef
+    def _check_statement(
+        self,
+        ctx: ModuleContext,
+        analysis: TaintAnalysis,
+        stmt: ast.stmt,
+        env: Env,
     ) -> Iterator[Finding]:
-        for node in ast.walk(function):
-            finding = self._repr_tie_break(ctx, function, node)
-            if finding is None:
-                finding = self._pid_ordering(ctx, node)
-            if finding is None:
-                finding = self._enumerate_asymmetry(ctx, node)
-            if finding is not None:
-                yield finding
+        for node in own_nodes(stmt):
+            if ctx.in_fstring(node):
+                continue
 
-    def _repr_tie_break(
-        self, ctx: ModuleContext, function: ast.FunctionDef, node: ast.AST
-    ) -> Optional[Finding]:
-        if not (
-            isinstance(node, ast.Call)
-            and isinstance(node.func, ast.Name)
-            and node.func.id in _SORT_BUILTINS
-        ):
-            return None
-        if not any(
-            keyword.arg == "key"
-            and isinstance(keyword.value, ast.Name)
-            and keyword.value.id in _REPR_KEYS
-            for keyword in node.keywords
-        ):
-            return None
-        if not self._verdict_affecting(ctx, function, node):
-            return None
+            if isinstance(node, ast.Subscript) and not isinstance(
+                node.slice, ast.Slice
+            ):
+                base_tags = analysis.tags(env, node.value)
+                if TAG_REPRORDER in base_tags:
+                    yield self._selection_finding(ctx, node, node.value)
+
+            elif isinstance(node, ast.Call):
+                finding = self._call_sink(ctx, analysis, env, node)
+                if finding is not None:
+                    yield finding
+
+            elif isinstance(node, ast.Compare) and any(
+                isinstance(op, _ORDERING_OPS) for op in node.ops
+            ):
+                yield from self._ordering_sink(ctx, analysis, env, node)
+
+    def _selection_finding(
+        self, ctx: ModuleContext, node: ast.AST, value: ast.AST
+    ) -> Finding:
+        name = _terminal_name(value)
+        desc = (
+            f"repr-ordered value {name!r}"
+            if name is not None
+            else "a repr-ordered value"
+        )
         return ctx.finding(
             self.rule_id,
             node,
-            f"{node.func.id}(..., key=repr) tie-break affects the verdict"
-            f" (its result is selected from) — repr order is not"
-            f" preserved by input renaming, so the construct is not"
+            f"selection from {desc} affects the"
+            f" verdict — sorted(..., key=repr) order is not preserved"
+            f" by input renaming, so the construct is not"
             f" permutation-invariant",
         )
 
-    def _verdict_affecting(
-        self, ctx: ModuleContext, function: ast.FunctionDef, call: ast.Call
-    ) -> bool:
-        """True when the sorted result is *selected from*, not printed.
-
-        Two shapes count: the call is subscripted directly
-        (``sorted(...)[0]``), or it is assigned to a name that is later
-        subscripted inside the same function (``leaders = sorted(...);
-        leaders[0]``).  Everything else — joins, f-strings, equality —
-        only shapes diagnostics.
-        """
-        for parent, child in ctx.ancestry(call):
-            if isinstance(parent, ast.Subscript) and child is parent.value:
-                return True
-            if isinstance(parent, ast.Assign) and child is call:
-                names = {
-                    target.id
-                    for target in parent.targets
-                    if isinstance(target, ast.Name)
-                }
-                return bool(names) and _names_subscripted(function, names)
-            if not isinstance(parent, (ast.Subscript, ast.Assign)):
-                break
-        return False
-
-    def _pid_ordering(
-        self, ctx: ModuleContext, node: ast.AST
+    def _call_sink(
+        self,
+        ctx: ModuleContext,
+        analysis: TaintAnalysis,
+        env: Env,
+        node: ast.Call,
     ) -> Optional[Finding]:
-        if not isinstance(node, ast.Compare):
-            return None
-        if not any(isinstance(op, _ORDERING_OPS) for op in node.ops):
-            return None
-        operands = [node.left, *node.comparators]
-        for operand in operands:
-            name = _terminal_name(operand)
-            if name in PID_NAMES:
-                return ctx.finding(
+        # next(ranked_iter) / ranked.pop(): selection from repr order.
+        if (
+            isinstance(node.func, ast.Name)
+            and node.func.id == "next"
+            and node.args
+            and TAG_REPRORDER in analysis.tags(env, node.args[0])
+        ):
+            return self._selection_finding(ctx, node, node.args[0])
+        if (
+            isinstance(node.func, ast.Attribute)
+            and node.func.attr == "pop"
+            and TAG_REPRORDER in analysis.tags(env, node.func.value)
+        ):
+            return self._selection_finding(ctx, node, node.func.value)
+        # sorted/min/max over a position-derived value.
+        if (
+            isinstance(node.func, ast.Name)
+            and node.func.id in _SORT_BUILTINS
+        ):
+            for argument in node.args:
+                if TAG_POSITION in analysis.tags(env, argument):
+                    desc = _describe(argument, "a position-derived value")
+                    return ctx.finding(
+                        self.rule_id,
+                        node,
+                        f"enumerate index {desc} fed to"
+                        f" {node.func.id}(...) — positional asymmetry"
+                        f" breaks permutation invariance",
+                    )
+        return None
+
+    def _ordering_sink(
+        self,
+        ctx: ModuleContext,
+        analysis: TaintAnalysis,
+        env: Env,
+        node: ast.Compare,
+    ) -> Iterator[Finding]:
+        for operand in (node.left, *node.comparators):
+            tags = analysis.tags(env, operand)
+            if TAG_PID in tags:
+                desc = _describe(operand, "a pid-derived value")
+                yield ctx.finding(
                     self.rule_id,
                     node,
-                    f"ordering comparison on processor identity {name!r} —"
+                    f"ordering comparison on processor identity {desc} —"
                     f" pid order is not preserved by processor"
                     f" permutation, so the verdict is not invariant",
                 )
-        return None
-
-    def _enumerate_asymmetry(
-        self, ctx: ModuleContext, node: ast.AST
-    ) -> Optional[Finding]:
-        if not (
-            isinstance(node, ast.For)
-            and isinstance(node.iter, ast.Call)
-            and isinstance(node.iter.func, ast.Name)
-            and node.iter.func.id == "enumerate"
-        ):
-            return None
-        target = node.target
-        if isinstance(target, ast.Tuple) and target.elts:
-            target = target.elts[0]
-        if not isinstance(target, ast.Name):
-            return None
-        index_name = target.id
-        for inner in ast.walk(node):
-            if isinstance(inner, ast.Compare) and any(
-                isinstance(op, _ORDERING_OPS) for op in inner.ops
-            ):
-                operands = [inner.left, *inner.comparators]
-                if any(
-                    isinstance(operand, ast.Name)
-                    and operand.id == index_name
-                    for operand in operands
-                ):
-                    return ctx.finding(
-                        self.rule_id,
-                        inner,
-                        f"enumerate index {index_name!r} used in an"
-                        f" ordering comparison — positional asymmetry"
-                        f" breaks permutation invariance",
-                    )
-            if (
-                isinstance(inner, ast.Call)
-                and isinstance(inner.func, ast.Name)
-                and inner.func.id in _SORT_BUILTINS
-                and any(
-                    isinstance(argument, ast.Name)
-                    and argument.id == index_name
-                    for argument in inner.args
-                )
-            ):
-                return ctx.finding(
+                return
+            if TAG_POSITION in tags:
+                desc = _describe(operand, "a position-derived value")
+                yield ctx.finding(
                     self.rule_id,
-                    inner,
-                    f"enumerate index {index_name!r} fed to"
-                    f" {inner.func.id}(...) — positional asymmetry"
-                    f" breaks permutation invariance",
+                    node,
+                    f"enumerate index {desc} used in an ordering"
+                    f" comparison — positional asymmetry breaks"
+                    f" permutation invariance",
                 )
-        return None
-
-
-def _names_subscripted(function: ast.FunctionDef, names: Set[str]) -> bool:
-    for node in ast.walk(function):
-        if (
-            isinstance(node, ast.Subscript)
-            and isinstance(node.value, ast.Name)
-            and node.value.id in names
-        ):
-            return True
-    return False
+                return
 
 
 def invariant_tuple_names(tree: ast.Module) -> List[str]:

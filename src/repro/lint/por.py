@@ -14,6 +14,27 @@ the declaration the same way INVAR002 checks equivariance:
   the declaration lists only specific registers (reads outside a
   constant subscript into the declared set are potentially any
   register), or reads ``.locals`` without declaring ``locals=True``.
+- POR002 — full static *footprint inference* via the dataflow engine
+  (:mod:`repro.lint.dataflow`).  For a declared property, the tags
+  ``spec``/``state``/``regs``/``locs`` follow aliases (``rs =
+  state.registers; rs[0]``) and every use is folded into an inferred
+  ``(outputs, registers, locals)`` triple that the declaration must
+  cover; ``spec.outputs(state)`` is the one sanctioned escape of the
+  whole state (it infers ``outputs=True``), any other escape infers
+  the conservative maximum.  For a *machine* class, the write/scan
+  footprint of ``enabled_ops`` is abstract-interpreted from its return
+  expressions (``Write`` over the ``unwritten`` set, ``Read`` of a
+  scan position, or delegation to an inner machine) and reconciled
+  with the class-level ``por_footprint`` declaration::
+
+      class MyMachine:
+          por_footprint = {"writes": "unwritten", "reads": "all"}
+          # or: por_footprint = "delegate"
+
+  ``repro lint --infer-footprints`` prints both sides of every
+  reconciliation; the ``--dynamic`` cross-check replays declarations
+  against runtime-observed footprints on BFS-sampled states
+  (:mod:`repro.lint.dynamic`).
 
 Declarations of ``locals=True`` are never flagged (they already force
 full visibility, the conservative maximum), and ``registers="all"``
@@ -24,9 +45,18 @@ too: undeclared properties default to "all steps visible" at runtime.
 from __future__ import annotations
 
 import ast
-from typing import Iterator, Optional, Set, Tuple
+from dataclasses import dataclass
+from typing import Iterator, List, Optional, Set, Tuple
 
 from repro.lint.anon import _terminal_name
+from repro.lint.dataflow import (
+    EMPTY,
+    TaintAnalysis,
+    TaintDomain,
+    Tags,
+    functions,
+    own_nodes,
+)
 from repro.lint.engine import Finding, ModuleContext, Rule
 
 _DECORATOR_NAME = "visibility_footprint"
@@ -171,3 +201,438 @@ def _declared_registers(node: ast.FunctionDef) -> Optional[Set[int]]:
     registers = declared[1]
     assert isinstance(registers, frozenset)
     return set(registers)
+
+
+# ----------------------------------------------------------------------
+# POR002: static footprint inference (dataflow).
+
+TAG_SPEC = "spec"
+TAG_STATE = "state"
+TAG_REGS = "regs"
+TAG_LOCS = "locs"
+
+_SPEC: Tags = frozenset({TAG_SPEC})
+_STATE: Tags = frozenset({TAG_STATE})
+_REGS: Tags = frozenset({TAG_REGS})
+_LOCS: Tags = frozenset({TAG_LOCS})
+
+
+class StateAccessDomain(TaintDomain):
+    """Track the spec/state arguments of a property and the state's
+    two components (``registers`` tuple, ``locals`` tuple) through
+    aliases.  Elements *of* the components carry no tags: reading them
+    is recorded at the access site by the inference walk."""
+
+    def param_tags(self, func, arg, index):
+        if arg.arg == "spec" or index == 0:
+            return _SPEC
+        if arg.arg == "state" or index == 1:
+            return _STATE
+        return EMPTY
+
+    def attribute_tags(self, node, base_tags):
+        if TAG_STATE in base_tags:
+            if node.attr == "registers":
+                return _REGS
+            if node.attr == "locals":
+                return _LOCS
+        return EMPTY
+
+    def subscript_load_tags(self, node, base_tags, index_tags):
+        return EMPTY
+
+    def call_tags(self, node, func_name, arg_tags, func_base_tags):
+        return EMPTY
+
+
+@dataclass
+class PropertyFootprint:
+    """Declared vs inferred visibility footprint of one property."""
+
+    name: str
+    line: int
+    node: ast.FunctionDef
+    #: ``(outputs, registers, locals)`` or ``None`` for a dynamic
+    #: (statically unevaluable) declaration.
+    declared: Optional[Tuple[bool, object, bool]]
+    outputs: bool
+    registers: object  # "all" | frozenset[int]
+    locals_read: bool
+
+    def uncovered(self) -> List[str]:
+        """Inferred reads the declaration does not cover."""
+        if self.declared is None:
+            return []
+        outputs, registers, locals_declared = self.declared
+        if locals_declared:
+            # locals=True forces full visibility at runtime: the
+            # conservative maximum covers everything.
+            return []
+        problems: List[str] = []
+        if self.locals_read:
+            problems.append(".locals (declare locals=True)")
+        if self.outputs and not outputs:
+            problems.append("outputs (declare outputs=True)")
+        if registers != "all":
+            assert isinstance(registers, frozenset)
+            if self.registers == "all":
+                problems.append('.registers (declare registers="all")')
+            else:
+                assert isinstance(self.registers, frozenset)
+                extra = self.registers - registers
+                if extra:
+                    problems.append(
+                        f"registers {sorted(extra)} beyond declared"
+                        f" {sorted(registers)}"
+                    )
+        return problems
+
+    def format_inferred(self) -> str:
+        registers = (
+            '"all"'
+            if self.registers == "all"
+            else str(tuple(sorted(self.registers)))  # type: ignore[arg-type]
+        )
+        return (
+            f"outputs={self.outputs} registers={registers}"
+            f" locals={self.locals_read}"
+        )
+
+    def format_declared(self) -> str:
+        if self.declared is None:
+            return "<dynamic>"
+        outputs, registers, locals_declared = self.declared
+        formatted = (
+            '"all"'
+            if registers == "all"
+            else str(tuple(sorted(registers)))  # type: ignore[arg-type]
+        )
+        return (
+            f"outputs={outputs} registers={formatted}"
+            f" locals={locals_declared}"
+        )
+
+
+def infer_property_footprints(ctx: ModuleContext) -> List[PropertyFootprint]:
+    """Inferred read footprints of every ``@visibility_footprint``-
+    decorated property in the module."""
+    results: List[PropertyFootprint] = []
+    domain = StateAccessDomain()
+    for func in functions(ctx.tree):
+        if not isinstance(func, ast.FunctionDef):
+            continue
+        call = _footprint_decorator(func)
+        if call is None:
+            continue
+        outputs, registers, locals_read = _infer_property(ctx, func, domain)
+        results.append(
+            PropertyFootprint(
+                name=func.name,
+                line=func.lineno,
+                node=func,
+                declared=_declared_footprint(call),
+                outputs=outputs,
+                registers=registers,
+                locals_read=locals_read,
+            )
+        )
+    return results
+
+
+def _infer_property(
+    ctx: ModuleContext, func: ast.FunctionDef, domain: StateAccessDomain
+) -> Tuple[bool, object, bool]:
+    analysis = TaintAnalysis(func, domain)
+    outputs = False
+    locals_read = False
+    registers: Set[int] = set()
+    registers_all = False
+    for stmt, env in analysis.statements():
+        for node in own_nodes(stmt):
+            if not isinstance(node, (ast.Name, ast.Attribute)):
+                continue
+            if isinstance(node, ast.Name) and isinstance(
+                node.ctx, (ast.Store, ast.Del)
+            ):
+                continue
+            tags = analysis.tags(env, node)
+            parent = ctx.parents.get(node)
+            if _is_alias_binding(parent, node):
+                continue  # the alias's own uses are walked instead
+            if TAG_REGS in tags:
+                if (
+                    isinstance(parent, ast.Subscript)
+                    and parent.value is node
+                ):
+                    if isinstance(parent.slice, ast.Constant) and isinstance(
+                        parent.slice.value, int
+                    ):
+                        registers.add(parent.slice.value)
+                    else:
+                        registers_all = True
+                else:
+                    # Iterated, passed to a call, measured, compared:
+                    # potentially every register.
+                    registers_all = True
+            elif TAG_LOCS in tags:
+                locals_read = True
+            elif TAG_STATE in tags:
+                if isinstance(parent, ast.Attribute) and parent.value is node:
+                    continue  # component access, judged via its tags
+                if _is_outputs_call_arg(analysis, env, parent, node):
+                    outputs = True
+                    continue
+                # The whole state escaped somewhere we cannot follow:
+                # assume everything is read.
+                outputs = True
+                locals_read = True
+                registers_all = True
+    inferred_registers: object = (
+        "all" if registers_all else frozenset(registers)
+    )
+    return outputs, inferred_registers, locals_read
+
+
+def _is_alias_binding(parent: Optional[ast.AST], node: ast.AST) -> bool:
+    if isinstance(parent, ast.Assign) and parent.value is node:
+        return True
+    if isinstance(parent, ast.AnnAssign) and parent.value is node:
+        return True
+    return False
+
+
+def _is_outputs_call_arg(
+    analysis: TaintAnalysis,
+    env: "dict[str, Tags]",
+    parent: Optional[ast.AST],
+    node: ast.AST,
+) -> bool:
+    """``spec.outputs(state)``: the one sanctioned whole-state escape."""
+    return (
+        isinstance(parent, ast.Call)
+        and node in parent.args
+        and isinstance(parent.func, ast.Attribute)
+        and parent.func.attr == "outputs"
+        and TAG_SPEC in analysis.tags(env, parent.func.value)
+    )
+
+
+# -- machine-side inference --------------------------------------------
+
+#: Coarse write-footprint lattice: none < unwritten < all.
+_W_ORDER = {"none": 0, "unwritten": 1, "all": 2}
+
+
+@dataclass
+class MachineFootprint:
+    """Declared vs inferred write/scan footprint of one machine class."""
+
+    class_name: str
+    line: int
+    #: ``{"writes": ..., "reads": ...}`` | ``"delegate"`` | ``None``
+    #: (no declaration) | ``"dynamic"`` (unparseable declaration).
+    declared: object
+    #: ``{"writes": ..., "reads": ...}`` | ``"delegate"`` | ``None``
+    #: (``enabled_ops`` never returns ops).
+    inferred: object
+
+    def mismatch(self) -> Optional[str]:
+        """Why the declaration fails to cover the inference, if it does."""
+        if self.declared == "dynamic" or self.inferred is None:
+            return None
+        if self.declared is None:
+            if isinstance(self.inferred, dict):
+                return (
+                    f"machine class {self.class_name!r} exposes its own"
+                    f" ops but declares no por_footprint — declare"
+                    f" por_footprint = {self.inferred!r} so the POR"
+                    f" footprint tables can be certified"
+                )
+            return None  # pure delegation is self-describing
+        if self.declared == "delegate":
+            if self.inferred == "delegate":
+                return None
+            return (
+                f"machine class {self.class_name!r} declares"
+                f" por_footprint = \"delegate\" but enabled_ops emits its"
+                f" own ops (inferred {self.inferred!r})"
+            )
+        if isinstance(self.declared, dict):
+            if self.inferred == "delegate":
+                return (
+                    f"machine class {self.class_name!r} declares"
+                    f" por_footprint = {self.declared!r} but enabled_ops"
+                    f" only delegates — declare \"delegate\" instead"
+                )
+            assert isinstance(self.inferred, dict)
+            declared_w = str(self.declared.get("writes", "all"))
+            declared_r = str(self.declared.get("reads", "all"))
+            inferred_w = str(self.inferred.get("writes", "none"))
+            inferred_r = str(self.inferred.get("reads", "none"))
+            if _W_ORDER.get(declared_w, 2) < _W_ORDER.get(inferred_w, 2) or (
+                _W_ORDER.get(declared_r, 2) < _W_ORDER.get(inferred_r, 2)
+            ):
+                return (
+                    f"machine class {self.class_name!r} declares"
+                    f" por_footprint = {self.declared!r} but its"
+                    f" enabled_ops has the wider inferred footprint"
+                    f" {self.inferred!r} — a too-narrow declaration makes"
+                    f" the reduction unsound"
+                )
+            return None
+        return None
+
+
+def infer_machine_footprints(ctx: ModuleContext) -> List[MachineFootprint]:
+    """Declared-vs-inferred footprints of every class with an
+    ``enabled_ops`` method in the module."""
+    results: List[MachineFootprint] = []
+    for node in ast.walk(ctx.tree):
+        if not isinstance(node, ast.ClassDef):
+            continue
+        enabled = next(
+            (
+                item
+                for item in node.body
+                if isinstance(item, ast.FunctionDef)
+                and item.name == "enabled_ops"
+            ),
+            None,
+        )
+        if enabled is None:
+            continue
+        results.append(
+            MachineFootprint(
+                class_name=node.name,
+                line=node.lineno,
+                declared=_parse_declared_machine(node),
+                inferred=_infer_enabled_ops(enabled),
+            )
+        )
+    return results
+
+
+def _parse_declared_machine(classdef: ast.ClassDef) -> object:
+    for item in classdef.body:
+        if not isinstance(item, ast.Assign):
+            continue
+        if not any(
+            isinstance(t, ast.Name) and t.id == "por_footprint"
+            for t in item.targets
+        ):
+            continue
+        value = item.value
+        if isinstance(value, ast.Constant) and value.value == "delegate":
+            return "delegate"
+        if isinstance(value, ast.Dict):
+            parsed = {}
+            for key, val in zip(value.keys, value.values):
+                if not (
+                    isinstance(key, ast.Constant)
+                    and isinstance(key.value, str)
+                    and isinstance(val, ast.Constant)
+                    and isinstance(val.value, str)
+                ):
+                    return "dynamic"
+                parsed[key.value] = val.value
+            return parsed
+        return "dynamic"
+    return None
+
+
+def _infer_enabled_ops(enabled: ast.FunctionDef) -> object:
+    writes = "none"
+    reads = "none"
+    delegates = False
+    own_ops = False
+    for ret in ast.walk(enabled):
+        if not isinstance(ret, ast.Return) or ret.value is None:
+            continue
+        expr = ret.value
+        unwritten_targets = _unwritten_comprehension_targets(expr)
+        for node in ast.walk(expr):
+            if not isinstance(node, ast.Call):
+                continue
+            if (
+                isinstance(node.func, ast.Attribute)
+                and node.func.attr == "enabled_ops"
+            ):
+                delegates = True
+            elif isinstance(node.func, ast.Name) and node.func.id == "Write":
+                own_ops = True
+                reg = node.args[0] if node.args else None
+                if (
+                    isinstance(reg, ast.Name)
+                    and reg.id in unwritten_targets
+                ) or (reg is not None and _mentions_unwritten(reg)):
+                    if _W_ORDER[writes] < _W_ORDER["unwritten"]:
+                        writes = "unwritten"
+                else:
+                    writes = "all"
+            elif isinstance(node.func, ast.Name) and node.func.id == "Read":
+                own_ops = True
+                reads = "all"
+    if not own_ops:
+        return "delegate" if delegates else None
+    if delegates:
+        # Mixed own ops + delegation: nothing narrower is certifiable.
+        return {"writes": "all", "reads": "all"}
+    return {"writes": writes, "reads": reads}
+
+
+def _unwritten_comprehension_targets(expr: ast.expr) -> Set[str]:
+    targets: Set[str] = set()
+    for node in ast.walk(expr):
+        if isinstance(node, (ast.GeneratorExp, ast.ListComp, ast.SetComp)):
+            for gen in node.generators:
+                if isinstance(gen.target, ast.Name) and _mentions_unwritten(
+                    gen.iter
+                ):
+                    targets.add(gen.target.id)
+    return targets
+
+
+def _mentions_unwritten(node: ast.AST) -> bool:
+    return any(
+        isinstance(inner, ast.Attribute) and inner.attr == "unwritten"
+        for inner in ast.walk(node)
+    )
+
+
+class FootprintInferenceRule(Rule):
+    rule_id = "POR002"
+    summary = (
+        "declared @visibility_footprint / por_footprint must cover the"
+        " statically inferred read/write sets (dataflow + abstract"
+        " interpretation of enabled_ops)"
+    )
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        for prop in infer_property_footprints(ctx):
+            problems = prop.uncovered()
+            if problems:
+                yield ctx.finding(
+                    self.rule_id,
+                    prop.node,
+                    f"property {prop.name!r} declares"
+                    f" [{prop.format_declared()}] but its body reads"
+                    f" {'; '.join(problems)} — inferred footprint is"
+                    f" [{prop.format_inferred()}]",
+                )
+        if not ctx.is_machine:
+            return
+        for machine in infer_machine_footprints(ctx):
+            message = machine.mismatch()
+            if message is not None:
+                yield ctx.finding(
+                    self.rule_id,
+                    _class_node(ctx, machine),
+                    message,
+                )
+
+
+def _class_node(ctx: ModuleContext, machine: MachineFootprint) -> ast.AST:
+    for node in ast.walk(ctx.tree):
+        if isinstance(node, ast.ClassDef) and node.name == machine.class_name:
+            return node
+    return ctx.tree

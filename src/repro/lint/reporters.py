@@ -15,6 +15,8 @@ def render_text(
     report: LintReport,
     match: BaselineMatch,
     dynamic: Optional[Sequence] = None,
+    baseline_sha: Optional[str] = None,
+    current_sha: Optional[str] = None,
 ) -> str:
     """Human-readable report: new findings first, then bookkeeping."""
     lines: List[str] = []
@@ -27,13 +29,38 @@ def render_text(
             f"stale baseline entry: {entry.rule} [{entry.symbol}]"
             f" in {entry.path} no longer matches any finding"
         )
+    if (
+        match.stale
+        and baseline_sha
+        and current_sha
+        and baseline_sha != current_sha
+    ):
+        lines.append(
+            f"note: baseline was written at {baseline_sha}, tree is at"
+            f" {current_sha} — the stale entries above may just need a"
+            f" --write-baseline refresh"
+        )
+    for entry in match.unjustified:
+        lines.append(
+            f"unjustified baseline entry: {entry.rule} [{entry.symbol}]"
+            f" in {entry.path} has no justification — document why it"
+            f" is accepted"
+        )
     if dynamic:
         for verification in dynamic:
             status = "ok" if verification.ok else "MISMATCH"
+            if getattr(verification, "kind", "orbit") == "footprint":
+                scope = (
+                    f"({verification.states_checked} states,"
+                    f" {verification.elements} steps)"
+                )
+            else:
+                scope = (
+                    f"({verification.states_checked} states x"
+                    f" {verification.elements} orbit elements)"
+                )
             lines.append(
-                f"dynamic {verification.property_name}: {status}"
-                f" ({verification.states_checked} states x"
-                f" {verification.elements} orbit elements)"
+                f"dynamic {verification.property_name}: {status} {scope}"
             )
             lines.extend(f"  {item}" for item in verification.mismatches[:3])
     suppressed = len(report.suppressed)
@@ -53,6 +80,8 @@ def render_json(
     report: LintReport,
     match: BaselineMatch,
     dynamic: Optional[Sequence] = None,
+    baseline_sha: Optional[str] = None,
+    current_sha: Optional[str] = None,
 ) -> str:
     def finding_dict(finding: Finding, status: str) -> dict:
         return {
@@ -82,12 +111,18 @@ def render_json(
             + [finding_dict(f, "suppressed") for f in report.suppressed]
         ),
         "stale_baseline_entries": [entry_dict(e) for e in match.stale],
+        "unjustified_baseline_entries": [
+            entry_dict(e) for e in match.unjustified
+        ],
+        "baseline_git_sha": baseline_sha,
+        "git_sha": current_sha,
     }
     if dynamic is not None:
         payload["dynamic"] = [
             {
                 "property": verification.property_name,
                 "system": verification.system,
+                "kind": getattr(verification, "kind", "orbit"),
                 "states_checked": verification.states_checked,
                 "orbit_elements": verification.elements,
                 "ok": verification.ok,

@@ -15,13 +15,26 @@ that the loop *names* its progress argument.  Loops that are
 deliberately not wait-free (the lock-free and obstruction-free
 baselines) carry a suppression stating so — which is exactly the
 documentation the rule exists to force.
+
+WF002 covers the complementary shape: a ``while`` loop with a *real*
+test (``while x < cap:``).  Such a loop is wait-free exactly when it
+has a variant — a quantity the body strictly advances toward a bound —
+and the bound is an actual constant of the algorithm.  The rule
+derives the variant from the test (a single comparison whose operand
+the body increments/decrements the right way) and then demands the
+bound be *derivable from a declared wait-freedom budget*: a literal
+constant, a ``len(...)``, or a name listed in a module-level
+``WAIT_FREE_BOUNDS = ("level_target", ...)`` tuple (or a class-level
+``wait_free_bounds``).  A loop with no derivable variant, a variant
+moving away from its bound, or an undeclared bound fires; declaring
+the budget is one line and documents the wait-freedom argument.
 """
 
 from __future__ import annotations
 
 import ast
 import re
-from typing import Iterator, List, Set
+from typing import Iterator, List, Set, Tuple
 
 from repro.lint.anon import _terminal_name
 from repro.lint.engine import Finding, ModuleContext, Rule
@@ -120,3 +133,194 @@ class WaitFreedomRule(Rule):
                 " progress quantity, so the loop has no visible"
                 " wait-freedom argument",
             )
+
+
+#: Budget declaration names recognized at module / class level.
+_BUDGET_TUPLE_NAMES = frozenset({"WAIT_FREE_BOUNDS", "wait_free_bounds"})
+
+#: Variant direction: +1 climbs toward the bound, -1 descends, 0 any.
+_UP, _DOWN, _ANY = 1, -1, 0
+
+
+def declared_budget_names(ctx: ModuleContext, loop: ast.While) -> Set[str]:
+    """Budget names visible to ``loop``: module-level
+    ``WAIT_FREE_BOUNDS`` plus any enclosing class's
+    ``wait_free_bounds`` (tuples of string constants)."""
+    scopes: List[ast.AST] = [ctx.tree]
+    for parent, _child in ctx.ancestry(loop):
+        if isinstance(parent, ast.ClassDef):
+            scopes.append(parent)
+    names: Set[str] = set()
+    for scope in scopes:
+        body = scope.body if isinstance(scope, (ast.Module, ast.ClassDef)) else []
+        for node in body:
+            if not isinstance(node, ast.Assign):
+                continue
+            if not any(
+                isinstance(t, ast.Name) and t.id in _BUDGET_TUPLE_NAMES
+                for t in node.targets
+            ):
+                continue
+            if isinstance(node.value, (ast.Tuple, ast.List)):
+                for element in node.value.elts:
+                    if isinstance(element, ast.Constant) and isinstance(
+                        element.value, str
+                    ):
+                        names.add(element.value)
+    return names
+
+
+def _variant_candidates(
+    test: ast.expr,
+) -> List[Tuple[str, int, ast.expr]]:
+    """``(variant_name, direction, bound_expr)`` triples derivable from
+    a loop test."""
+    if not (
+        isinstance(test, ast.Compare)
+        and len(test.ops) == 1
+        and len(test.comparators) == 1
+    ):
+        return []
+    op = test.ops[0]
+    left, right = test.left, test.comparators[0]
+    out: List[Tuple[str, int, ast.expr]] = []
+    if isinstance(op, (ast.Lt, ast.LtE)):
+        if isinstance(left, ast.Name):
+            out.append((left.id, _UP, right))
+        if isinstance(right, ast.Name):
+            out.append((right.id, _DOWN, left))
+    elif isinstance(op, (ast.Gt, ast.GtE)):
+        if isinstance(left, ast.Name):
+            out.append((left.id, _DOWN, right))
+        if isinstance(right, ast.Name):
+            out.append((right.id, _UP, left))
+    elif isinstance(op, (ast.NotEq, ast.Eq)):
+        if isinstance(left, ast.Name):
+            out.append((left.id, _ANY, right))
+        if isinstance(right, ast.Name):
+            out.append((right.id, _ANY, left))
+    return out
+
+
+def _advances(loop: ast.While, name: str, direction: int) -> bool:
+    """Does the loop body move ``name`` in ``direction``?"""
+    for node in ast.walk(loop):
+        if node is loop:
+            continue
+        step: int
+        if (
+            isinstance(node, ast.AugAssign)
+            and isinstance(node.target, ast.Name)
+            and node.target.id == name
+        ):
+            if isinstance(node.op, ast.Add):
+                step = _UP
+            elif isinstance(node.op, ast.Sub):
+                step = _DOWN
+            else:
+                continue
+        elif (
+            isinstance(node, ast.Assign)
+            and any(
+                isinstance(t, ast.Name) and t.id == name
+                for t in node.targets
+            )
+            and isinstance(node.value, ast.BinOp)
+            and any(
+                isinstance(part, ast.Name) and part.id == name
+                for part in (node.value.left, node.value.right)
+            )
+        ):
+            if isinstance(node.value.op, ast.Add):
+                step = _UP
+            elif isinstance(node.value.op, ast.Sub):
+                step = _DOWN
+            else:
+                continue
+        else:
+            continue
+        if direction == _ANY or step == direction:
+            return True
+    return False
+
+
+def _bound_derivable(bound: ast.expr, budgets: Set[str]) -> bool:
+    if isinstance(bound, ast.Constant):
+        return True
+    if (
+        isinstance(bound, ast.Call)
+        and isinstance(bound.func, ast.Name)
+        and bound.func.id == "len"
+    ):
+        return True  # lengths of collected data are schedule-bounded
+    name = _terminal_name(bound)
+    return name is not None and name in budgets
+
+
+class LoopVariantRule(Rule):
+    rule_id = "WF002"
+    summary = (
+        "machine while-loops must have a derivable variant whose bound"
+        " comes from a declared wait-freedom budget"
+        " (WAIT_FREE_BOUNDS / wait_free_bounds)"
+    )
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        if not ctx.is_machine:
+            return
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.While):
+                continue
+            if _is_constant_true(node.test):
+                continue  # WF001's domain
+            yield from self._check_loop(ctx, node)
+
+    def _check_loop(
+        self, ctx: ModuleContext, loop: ast.While
+    ) -> Iterator[Finding]:
+        candidates = _variant_candidates(loop.test)
+        if not candidates:
+            yield ctx.finding(
+                self.rule_id,
+                loop,
+                "loop has no derivable variant — the test is not a"
+                " comparison the body can advance, so the loop carries"
+                " no wait-freedom argument",
+            )
+            return
+        advancing = [
+            (name, bound)
+            for name, direction, bound in candidates
+            if _advances(loop, name, direction)
+        ]
+        if not advancing:
+            names = ", ".join(sorted({name for name, _, _ in candidates}))
+            yield ctx.finding(
+                self.rule_id,
+                loop,
+                f"loop test compares {names} but the body never advances"
+                f" it toward the bound — no derivable loop variant, so"
+                f" the loop carries no wait-freedom argument",
+            )
+            return
+        budgets = declared_budget_names(ctx, loop)
+        if any(
+            _bound_derivable(bound, budgets) for _name, bound in advancing
+        ):
+            return
+        bounds = ", ".join(
+            sorted(
+                {
+                    _terminal_name(bound) or "<expr>"
+                    for _name, bound in advancing
+                }
+            )
+        )
+        yield ctx.finding(
+            self.rule_id,
+            loop,
+            f"loop bound {bounds!r} is not derivable from a declared"
+            f" wait-freedom budget — add it to WAIT_FREE_BOUNDS (module)"
+            f" or wait_free_bounds (class) to document the bound, or"
+            f" suppress with a justification",
+        )

@@ -13,7 +13,7 @@ def permutation_invariant(fn):
 
 
 def branch_on_identity(pid, view):
-    if pid == 0:  # anonlint: disable=ANON001
+    if pid == 0:  # anonlint: disable=ANON002
         return view
     return None
 
@@ -33,8 +33,8 @@ def unmarked_property(spec, state):  # anonlint: disable=INVAR001
 
 @permutation_invariant
 def repr_tie_break(spec, state):
-    leaders = sorted(state.candidates, key=repr)  # anonlint: disable=INVAR002
-    return leaders[0]
+    leaders = sorted(state.candidates, key=repr)
+    return leaders[0]  # anonlint: disable=INVAR002v2
 
 
 def unguarded_double_collect(collect):
@@ -44,6 +44,14 @@ def unguarded_double_collect(collect):
         if current == previous:
             return current
         previous = current
+
+
+def bounded_probe(collect, attempts_cap):
+    attempts = 0
+    while attempts < attempts_cap:  # anonlint: disable=WF002
+        collect()
+        attempts += 1
+    return attempts
 
 
 FIXTURE_SAFETY = (unmarked_property,)

@@ -1,8 +1,11 @@
-"""Seeded ANON001 violations (anonlint fixture; parsed, never imported).
+"""Seeded ANON002 violations (anonlint fixture; parsed, never imported).
 
-Every function below uses a processor identity the way anonymous
-machine code must not; the role marker makes this module machine-scope
-despite living under ``tests/``.
+Every function below lets a processor identity *flow* somewhere
+anonymous machine code must not act on one; the role marker makes this
+module machine-scope despite living under ``tests/``.  The last two
+functions launder the identity through an alias and an arithmetic
+derivation — shapes the old name-heuristic ANON001 could not follow
+and the taint pass must.
 """
 # anonlint: role=machine
 
@@ -23,3 +26,15 @@ def write_by_identity(pid, my_input, Write):
 
 def index_by_identity(pid, table):
     return table[pid]
+
+
+def alias_branch_on_identity(pid, view):
+    who = pid
+    if who:
+        return view
+    return None
+
+
+def derived_subscript(pid, table):
+    slot = pid + 1
+    return table[slot]

@@ -1,0 +1,43 @@
+"""Seeded POR002 machine-footprint violations (anonlint fixture).
+
+Parsed, never imported: ``Write``/``Read`` here are just the names the
+static abstract interpretation of ``enabled_ops`` recognizes.
+
+- ``LyingMachine`` declares the empty footprint while emitting both op
+  kinds — the too-narrow declaration POR002 must catch (and, were it a
+  real machine, the dynamic cross-check would also catch on the first
+  reachable state).
+- ``UndeclaredMachine`` exposes its own ops with no declaration at all.
+- ``HonestMachine`` and ``DelegatingMachine`` are the accepted shapes.
+"""
+# anonlint: role=machine
+
+
+class LyingMachine:
+    por_footprint = {"writes": "none", "reads": "none"}
+
+    def enabled_ops(self, state):
+        if state.phase == "write":
+            return tuple(Write(reg, state.view) for reg in state.unwritten)
+        return (Read(state.scan_pos),)
+
+
+class UndeclaredMachine:
+    def enabled_ops(self, state):
+        return (Read(state.scan_pos),)
+
+
+class HonestMachine:
+    por_footprint = {"writes": "unwritten", "reads": "all"}
+
+    def enabled_ops(self, state):
+        if state.phase == "write":
+            return tuple(Write(reg, state.view) for reg in state.unwritten)
+        return (Read(state.scan_pos),)
+
+
+class DelegatingMachine:
+    por_footprint = "delegate"
+
+    def enabled_ops(self, state):
+        return self._inner.enabled_ops(state.inner)

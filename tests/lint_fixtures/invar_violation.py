@@ -1,7 +1,9 @@
-"""Seeded INVAR001/INVAR002 violations (anonlint fixture; never imported).
+"""Seeded INVAR001/INVAR002v2 violations (anonlint fixture; never imported).
 
 No role marker: the equivariance scan must reach these through the
-``@permutation_invariant`` decoration alone.
+``@permutation_invariant`` decoration alone.  ``aliased_repr_selection``
+routes the repr-ordered list through an intermediate name — invisible
+to the old syntactic INVAR002, tracked by the taint pass.
 """
 
 
@@ -38,6 +40,13 @@ def positional_asymmetry(spec, state):
         if index < 1 and local is None:
             return "first position is special"
     return None
+
+
+@permutation_invariant
+def aliased_repr_selection(spec, state):
+    ordered = sorted(state.candidates, key=repr)
+    chosen = ordered
+    return chosen[0]
 
 
 @permutation_invariant

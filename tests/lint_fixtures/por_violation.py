@@ -56,5 +56,5 @@ def locals_declared(spec, state):
 
 
 @visibility_footprint(registers=(0,))
-def suppressed_narrow_footprint(spec, state):
+def suppressed_narrow_footprint(spec, state):  # anonlint: disable=POR002
     return "BAD" if state.registers[1] else None  # anonlint: disable=POR001

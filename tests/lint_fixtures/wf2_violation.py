@@ -1,0 +1,54 @@
+"""Seeded WF002 violations (anonlint fixture; parsed, never imported).
+
+Three loops whose wait-freedom argument fails for a different reason
+each (no derivable variant, variant moving the wrong way, bound not in
+any declared budget), alongside three loops the rule must accept
+(constant bound, ``len(...)`` bound, and a bound named in the module's
+``WAIT_FREE_BOUNDS`` declaration).
+"""
+# anonlint: role=machine
+
+WAIT_FREE_BOUNDS = ("level_target",)
+
+
+def constant_bound_loop(collect):
+    round_no = 0
+    while round_no < 3:
+        collect()
+        round_no += 1
+    return round_no
+
+
+def len_bound_loop(entries):
+    index = 0
+    while index < len(entries):
+        index += 1
+    return index
+
+
+def declared_budget_loop(collect, level_target):
+    level = 0
+    while level < level_target:
+        collect()
+        level += 1
+    return level
+
+
+def no_variant_loop(flag_fn):
+    while flag_fn():
+        pass
+
+
+def wrong_direction(cap):
+    count = cap
+    while count < cap:
+        count -= 1
+    return count
+
+
+def undeclared_bound(collect, retries):
+    attempt = 0
+    while attempt < retries:
+        collect()
+        attempt += 1
+    return attempt

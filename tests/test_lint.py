@@ -73,29 +73,61 @@ class TestRolesAndSuppressions:
     def test_role_argument_beats_marker(self):
         source = (FIXTURES / "anon_violation.py").read_text(encoding="utf-8")
         findings = LintEngine().lint_source(source, role="harness")
-        assert [f for f in findings if f.rule == "ANON001"] == []
+        assert [f for f in findings if f.rule == "ANON002"] == []
+
+    def test_versioned_rule_tokens_parse(self):
+        table = parse_suppressions(["x = f()  # anonlint: disable=INVAR002v2"])
+        assert table[1] == {"INVAR002v2"}
 
 
 # ---------------------------------------------------------------------------
-# ANON: anonymity
+# ANON: anonymity (taint-tracked)
 # ---------------------------------------------------------------------------
 
 
 class TestAnonRule:
     def test_each_seeded_violation_fires(self):
         findings = _active("anon_violation.py")
-        assert all(f.rule == "ANON001" for f in findings)
+        assert all(f.rule == "ANON002" for f in findings)
         by_symbol = {f.symbol: f.message for f in findings}
         assert set(by_symbol) == {
             "branch_on_identity",
             "compare_identities",
             "write_by_identity",
             "index_by_identity",
+            "alias_branch_on_identity",
+            "derived_subscript",
         }
         assert "branches on processor identity" in by_symbol["branch_on_identity"]
         assert "compares processor identity" in by_symbol["compare_identities"]
         assert "register index" in by_symbol["write_by_identity"]
         assert "outside the wiring" in by_symbol["index_by_identity"]
+
+    def test_taint_follows_aliases_and_arithmetic(self):
+        # The shapes the old name-heuristic could not follow: the
+        # identity laundered through an alias and through arithmetic.
+        by_symbol = {f.symbol: f.message for f in _active("anon_violation.py")}
+        assert "'who'" in by_symbol["alias_branch_on_identity"]
+        assert "'slot'" in by_symbol["derived_subscript"]
+
+    def test_looked_up_data_is_not_identity(self):
+        # d.get(pid) returns *data selected by* an identity, not the
+        # identity itself; comparing it must be clean (the precision
+        # win over ANON001's name matching).
+        source = (
+            "# anonlint: role=machine\n"
+            "def compare_lookup(pid, table, collect):\n"
+            "    return table.get(pid) == collect\n"
+        )
+        assert LintEngine().lint_source(source) == []
+
+    def test_fstring_diagnostics_are_exempt(self):
+        source = (
+            "# anonlint: role=machine\n"
+            "def describe(pid):\n"
+            "    return f'processor {pid} state'\n"
+        )
+        assert LintEngine().lint_source(source) == []
 
     def test_sanctioned_patterns_are_clean(self):
         assert _lint("clean_machine.py") == []
@@ -139,7 +171,7 @@ class TestInvarRules:
 
     def test_equivariance_violations_fire(self):
         findings = [
-            f for f in _active("invar_violation.py") if f.rule == "INVAR002"
+            f for f in _active("invar_violation.py") if f.rule == "INVAR002v2"
         ]
         by_symbol = {f.symbol: f.message for f in findings}
         assert set(by_symbol) == {
@@ -147,6 +179,7 @@ class TestInvarRules:
             "direct_repr_selection",
             "orders_identities",
             "positional_asymmetry",
+            "aliased_repr_selection",
         }
         assert "key=repr" in by_symbol["repr_tie_break"]
         assert "key=repr" in by_symbol["direct_repr_selection"]
@@ -154,6 +187,31 @@ class TestInvarRules:
             by_symbol["orders_identities"]
         )
         assert "enumerate index" in by_symbol["positional_asymmetry"]
+
+    def test_taint_follows_the_alias(self):
+        # `chosen = ordered` hides the repr-sorted list behind a second
+        # name; the syntactic v1 rule lost it there.
+        findings = [
+            f
+            for f in _active("invar_violation.py")
+            if f.symbol == "aliased_repr_selection"
+        ]
+        assert len(findings) == 1
+        assert "'chosen'" in findings[0].message
+
+    def test_resorting_launders_repr_order(self):
+        # A later key-less sort re-establishes an input-respecting
+        # order, so selection from it is equivariant again.
+        source = (
+            "def permutation_invariant(fn):\n"
+            "    fn.permutation_invariant = True\n"
+            "    return fn\n"
+            "@permutation_invariant\n"
+            "def resorted(spec, state):\n"
+            "    ordered = sorted(state.candidates, key=repr)\n"
+            "    return sorted(ordered)[0]\n"
+        )
+        assert LintEngine().lint_source(source) == []
 
     def test_message_only_sort_is_exempt(self):
         symbols = {f.symbol for f in _active("invar_violation.py")}
@@ -234,6 +292,100 @@ class TestWfRule:
         assert "level_guarded_loop" not in symbols
 
 
+class TestLoopVariantRule:
+    def test_each_seeded_violation_fires(self):
+        findings = _active("wf2_violation.py")
+        assert all(f.rule == "WF002" for f in findings)
+        by_symbol = {f.symbol: f.message for f in findings}
+        assert set(by_symbol) == {
+            "no_variant_loop",
+            "wrong_direction",
+            "undeclared_bound",
+        }
+        assert "no derivable variant" in by_symbol["no_variant_loop"]
+        assert "never advances" in by_symbol["wrong_direction"]
+        assert "declared wait-freedom budget" in by_symbol["undeclared_bound"]
+
+    def test_derivable_bounds_are_exempt(self):
+        symbols = {f.symbol for f in _active("wf2_violation.py")}
+        assert "constant_bound_loop" not in symbols
+        assert "len_bound_loop" not in symbols
+        assert "declared_budget_loop" not in symbols
+
+    def test_class_level_budget_declaration(self):
+        source = (
+            "# anonlint: role=machine\n"
+            "class Machine:\n"
+            "    wait_free_bounds = ('level_target',)\n"
+            "    def run(self, collect, level_target):\n"
+            "        level = 0\n"
+            "        while level < level_target:\n"
+            "            collect()\n"
+            "            level += 1\n"
+            "        return level\n"
+        )
+        assert LintEngine().lint_source(source) == []
+
+    def test_shipped_machines_are_clean(self):
+        for name in ("snapshot.py", "write_scan.py", "long_lived.py"):
+            findings = LintEngine().lint_file(
+                REPO_ROOT / "src" / "repro" / "core" / name, root=REPO_ROOT
+            )
+            assert [f for f in findings if f.rule == "WF002"] == []
+
+
+# ---------------------------------------------------------------------------
+# POR002: footprint inference
+# ---------------------------------------------------------------------------
+
+
+class TestFootprintInference:
+    def test_lying_and_undeclared_machines_fire(self):
+        findings = [
+            f for f in _active("footprint_machine.py") if f.rule == "POR002"
+        ]
+        by_symbol = {f.symbol: f.message for f in findings}
+        assert set(by_symbol) == {"LyingMachine", "UndeclaredMachine"}
+        assert "too-narrow declaration" in by_symbol["LyingMachine"]
+        assert "declares no por_footprint" in by_symbol["UndeclaredMachine"]
+
+    def test_honest_and_delegating_machines_are_exempt(self):
+        symbols = {
+            f.symbol
+            for f in _active("footprint_machine.py")
+            if f.rule == "POR002"
+        }
+        assert "HonestMachine" not in symbols
+        assert "DelegatingMachine" not in symbols
+
+    def test_shipped_machines_reconcile(self):
+        for relative in (
+            ("core", "snapshot.py"),
+            ("core", "write_scan.py"),
+            ("core", "long_lived.py"),
+            ("core", "consensus.py"),
+            ("core", "renaming.py"),
+            ("baselines", "naive_fully_anonymous.py"),
+        ):
+            findings = LintEngine().lint_file(
+                REPO_ROOT.joinpath("src", "repro", *relative), root=REPO_ROOT
+            )
+            assert [f for f in findings if f.rule == "POR002"] == [], relative
+
+    def test_shipped_property_footprints_reconcile(self):
+        findings = LintEngine().lint_file(
+            REPO_ROOT / "src" / "repro" / "checker" / "properties.py",
+            root=REPO_ROOT,
+        )
+        assert [f for f in findings if f.rule == "POR002"] == []
+
+    def test_narrow_property_footprint_fires(self):
+        findings = [
+            f for f in _active("por_violation.py") if f.rule == "POR002"
+        ]
+        assert "reads_registers_undeclared" in {f.symbol for f in findings}
+
+
 # ---------------------------------------------------------------------------
 # Suppressions silence every rule
 # ---------------------------------------------------------------------------
@@ -245,12 +397,13 @@ class TestSuppressedFixture:
         assert [f for f in findings if not f.suppressed] == []
         suppressed_rules = {f.rule for f in findings if f.suppressed}
         assert suppressed_rules == {
-            "ANON001",
+            "ANON002",
             "WIRE001",
             "WIRE002",
             "INVAR001",
-            "INVAR002",
+            "INVAR002v2",
             "WF001",
+            "WF002",
         }
 
     def test_suppressed_findings_are_still_reported(self):
@@ -317,6 +470,36 @@ class TestBaseline:
         expected = probe.stdout.strip() if probe.returncode == 0 else None
         assert load_baseline(path).git_sha == (expected or None)
 
+    def test_deleted_file_entry_goes_stale(self, tmp_path):
+        # Baseline a finding, delete its file: the entry must surface as
+        # stale (and only as stale — not matched, not new).
+        source = tmp_path / "core" / "algo.py"
+        source.parent.mkdir()
+        source.write_text(
+            "def scan(pid, table):\n    return table[pid]\n",
+            encoding="utf-8",
+        )
+        findings = LintEngine().lint_file(source, root=tmp_path)
+        assert len(findings) == 1
+        baseline = Baseline(entries=[BaselineEntry(*findings[0].key)])
+        source.unlink()
+        report = LintEngine().lint_paths([tmp_path], root=tmp_path)
+        match = match_baseline(report.active, baseline)
+        assert match.baselined == [] and match.new == []
+        assert [e.key for e in match.stale] == [findings[0].key]
+
+    def test_empty_justification_is_tracked_as_unjustified(self):
+        findings = _active("wf_violation.py")
+        baseline = Baseline(
+            entries=[
+                BaselineEntry(*findings[0].key, justification="   "),
+                BaselineEntry(*findings[1].key, justification="lock-free"),
+            ]
+        )
+        match = match_baseline(findings, baseline)
+        assert len(match.baselined) == 2
+        assert [e.key for e in match.unjustified] == [findings[0].key]
+
 
 # ---------------------------------------------------------------------------
 # Reporters
@@ -338,6 +521,65 @@ class TestReporters:
         statuses = {item["status"] for item in payload["findings"]}
         assert statuses == {"suppressed"}
         assert payload["schema"] == "anonlint-report/1"
+
+    def test_sha_drift_note_renders_only_when_stale_and_drifted(self):
+        report = LintEngine().lint_paths([FIXTURES / "wf_violation.py"])
+        stale = Baseline(
+            entries=[BaselineEntry("WF001", "gone.py", "old", "msg")]
+        )
+        match = match_baseline(report.active, stale)
+        drifted = render_text(
+            report, match, baseline_sha="aaa1111", current_sha="bbb2222"
+        )
+        assert "baseline was written at aaa1111" in drifted
+        assert "--write-baseline refresh" in drifted
+        # Same SHA: no drift note even though entries are stale.
+        same = render_text(
+            report, match, baseline_sha="aaa1111", current_sha="aaa1111"
+        )
+        assert "baseline was written at" not in same
+        # Drifted SHA but nothing stale: no note either.
+        clean_match = match_baseline(report.active, Baseline())
+        clean = render_text(
+            report, clean_match, baseline_sha="aaa1111", current_sha="bbb2222"
+        )
+        assert "baseline was written at" not in clean
+
+    def test_unjustified_entries_are_surfaced(self):
+        report = LintEngine().lint_paths([FIXTURES / "wf_violation.py"])
+        baseline = Baseline(
+            entries=[BaselineEntry(*f.key) for f in report.active]
+        )
+        match = match_baseline(report.active, baseline)
+        text = render_text(report, match)
+        assert "unjustified baseline entry" in text
+        assert "document why it is accepted" in text
+        payload = json.loads(render_json(report, match))
+        assert payload["unjustified_baseline_entries"]
+
+    def test_footprint_kind_renders_steps_not_orbit(self):
+        from repro.lint.dynamic import DynamicVerification
+
+        report = LintEngine().lint_paths([FIXTURES / "wf_violation.py"])
+        match = match_baseline(report.active, Baseline())
+        dynamic = [
+            DynamicVerification(
+                property_name="p_levels",
+                system="snapshot n=2",
+                states_checked=10,
+                elements=24,
+                kind="footprint",
+            ),
+            DynamicVerification(
+                property_name="p_levels",
+                system="snapshot n=2",
+                states_checked=10,
+                elements=4,
+            ),
+        ]
+        text = render_text(report, match, dynamic=dynamic)
+        assert "(10 states, 24 steps)" in text
+        assert "(10 states x 4 orbit elements)" in text
 
 
 # ---------------------------------------------------------------------------
@@ -361,7 +603,7 @@ class TestCli:
     def test_new_finding_exits_nonzero(self, lint_project, capsys):
         assert main(["lint", "pkg"]) == 1
         out = capsys.readouterr().out
-        assert "ANON001" in out and "1 new finding(s)" in out
+        assert "ANON002" in out and "1 new finding(s)" in out
 
     def test_baselined_finding_exits_zero(self, lint_project, capsys):
         assert main(["lint", "pkg", "--write-baseline"]) == 0
@@ -386,7 +628,46 @@ class TestCli:
     def test_json_format(self, lint_project, capsys):
         assert main(["lint", "pkg", "--format", "json"]) == 1
         payload = json.loads(capsys.readouterr().out)
-        assert payload["findings"][0]["rule"] == "ANON001"
+        assert payload["findings"][0]["rule"] == "ANON002"
+
+    def test_only_restricts_rules(self, lint_project, capsys):
+        # The seeded ANON002 finding is invisible to a WF-only run.
+        assert main(["lint", "pkg", "--only", "WF001,WF002"]) == 0
+        out = capsys.readouterr().out
+        assert "0 new finding(s)" in out
+        assert main(["lint", "pkg", "--only", "ANON002"]) == 1
+        assert "ANON002" in capsys.readouterr().out
+
+    def test_only_filters_baseline_to_selected_rules(
+        self, lint_project, capsys
+    ):
+        # A baseline entry for an unselected rule must not read as stale.
+        assert main(["lint", "pkg", "--write-baseline"]) == 0
+        capsys.readouterr()
+        assert main(["lint", "pkg", "--only", "WF001"]) == 0
+        out = capsys.readouterr().out
+        assert "0 stale baseline entr(ies)" in out
+
+    def test_only_unknown_rule_exits_two(self, lint_project, capsys):
+        assert main(["lint", "pkg", "--only", "NOPE999"]) == 2
+        assert "unknown rule id(s): NOPE999" in capsys.readouterr().out
+
+    def test_explain_prints_rule_documentation(self, lint_project, capsys):
+        assert main(["lint", "pkg", "--explain", "POR002"]) == 0
+        out = capsys.readouterr().out
+        assert out.startswith("POR002:")
+        assert "por_footprint" in out
+
+    def test_explain_unknown_rule_exits_two(self, lint_project, capsys):
+        assert main(["lint", "pkg", "--explain", "NOPE999"]) == 2
+        assert "NOPE999" in capsys.readouterr().out
+
+    def test_infer_footprints_reports_declared_vs_inferred(self, capsys):
+        target = str(REPO_ROOT / "src" / "repro" / "core")
+        assert main(["lint", target, "--infer-footprints"]) == 0
+        out = capsys.readouterr().out
+        assert "SnapshotMachine" in out
+        assert "declared" in out and "inferred" in out
 
 
 # ---------------------------------------------------------------------------
@@ -406,7 +687,7 @@ class TestRepositoryAcceptance:
         baseline = load_baseline(REPO_ROOT / ".anonlint-baseline.json")
         assert len(baseline.entries) == 1
         entry = baseline.entries[0]
-        assert entry.rule == "INVAR002"
+        assert entry.rule == "INVAR002v2"
         assert entry.path == "src/repro/core/consensus.py"
         assert entry.symbol == "decide_or_adopt"
         assert entry.justification  # accepted debt must say why
@@ -414,6 +695,6 @@ class TestRepositoryAcceptance:
     def test_every_suppression_is_in_the_baselines_package(self):
         report = LintEngine().lint_paths([REPO_ROOT / "src"], root=REPO_ROOT)
         suppressed = report.suppressed
-        assert len(suppressed) == 8
+        assert len(suppressed) == 7
         assert all(f.path.startswith("src/repro/baselines/") for f in suppressed)
-        assert {f.rule for f in suppressed} == {"ANON001", "WF001"}
+        assert {f.rule for f in suppressed} == {"ANON002", "WF001"}

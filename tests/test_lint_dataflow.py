@@ -1,0 +1,358 @@
+"""Unit tests for the anonlint dataflow engine (cfg + taint fixpoint).
+
+The rule-level behavior is pinned down in ``test_lint.py``; here the
+shared engine is tested directly: CFG shape for each compound
+statement, the ``own_nodes`` header-only traversal contract, and the
+taint fixpoint's propagation policy (strong updates, joins, loop
+back-edges, the baked-in laundering exemptions).
+"""
+
+import ast
+import textwrap
+
+from repro.lint.cfg import build_cfg, own_nodes
+from repro.lint.dataflow import EMPTY, TaintAnalysis, TaintDomain
+
+T = frozenset({"T"})
+IDX = frozenset({"IDX"})
+
+
+def _func(source):
+    node = ast.parse(textwrap.dedent(source)).body[0]
+    assert isinstance(node, ast.FunctionDef)
+    return node
+
+
+class SourceDomain(TaintDomain):
+    """Seeds tag ``T`` on any parameter named ``src``."""
+
+    def param_tags(self, func, arg, index):
+        return T if arg.arg == "src" else EMPTY
+
+    def enumerate_index_tags(self):
+        return IDX
+
+
+def _analyze(source):
+    return TaintAnalysis(_func(source), SourceDomain())
+
+
+def _return_tags(analysis):
+    for stmt, env in analysis.statements():
+        if isinstance(stmt, ast.Return) and stmt.value is not None:
+            return analysis.tags(env, stmt.value)
+    raise AssertionError("function has no value-returning statement")
+
+
+# ---------------------------------------------------------------------------
+# CFG construction
+# ---------------------------------------------------------------------------
+
+
+class TestCfg:
+    def test_linear_body_is_one_block_into_exit(self):
+        cfg = build_cfg(_func(
+            """
+            def f(x):
+                y = x
+                return y
+            """
+        ))
+        entry = cfg.blocks[cfg.entry]
+        assert len(entry.stmts) == 2
+        assert entry.succ == [cfg.exit]
+
+    def test_if_branches_rejoin(self):
+        cfg = build_cfg(_func(
+            """
+            def f(flag):
+                if flag:
+                    y = 1
+                else:
+                    y = 2
+                return y
+            """
+        ))
+        entry = cfg.blocks[cfg.entry]
+        # The header stays in the entry block; both branch entries are
+        # its successors and both branches feed one join block.
+        assert isinstance(entry.stmts[-1], ast.If)
+        assert len(entry.succ) == 2
+        joins = {
+            dst
+            for bid in entry.succ
+            for dst in cfg.blocks[bid].succ
+        }
+        assert len(joins) == 1
+
+    def test_while_head_keeps_exit_edge_even_for_while_true(self):
+        cfg = build_cfg(_func(
+            """
+            def f():
+                while True:
+                    pass
+            """
+        ))
+        heads = [
+            block
+            for block in cfg.blocks.values()
+            if block.stmts and isinstance(block.stmts[0], ast.While)
+        ]
+        assert len(heads) == 1
+        # Body entry and after block: the exit edge is kept so the
+        # dataflow join stays conservative.
+        assert len(heads[0].succ) == 2
+
+    def test_loop_body_has_back_edge_to_head(self):
+        cfg = build_cfg(_func(
+            """
+            def f(n):
+                i = 0
+                while i < n:
+                    i = i + 1
+                return i
+            """
+        ))
+        head = next(
+            block.block_id
+            for block in cfg.blocks.values()
+            if block.stmts and isinstance(block.stmts[0], ast.While)
+        )
+        back = [
+            block.block_id
+            for block in cfg.blocks.values()
+            if head in block.succ and block.block_id != cfg.entry
+        ]
+        assert back, "loop body must loop back to the head"
+
+    def test_code_after_return_is_an_orphan_block(self):
+        cfg = build_cfg(_func(
+            """
+            def f(x):
+                return x
+                y = 1
+            """
+        ))
+        preds = cfg.predecessors()
+        orphan = [
+            block
+            for block in cfg.blocks.values()
+            if block.stmts
+            and not preds[block.block_id]
+            and block.block_id != cfg.entry
+        ]
+        assert len(orphan) == 1
+        assert isinstance(orphan[0].stmts[0], ast.Assign)
+
+    def test_break_targets_the_loop_exit(self):
+        cfg = build_cfg(_func(
+            """
+            def f(items):
+                for item in items:
+                    if item:
+                        break
+                return items
+            """
+        ))
+        # The break's block must reach the same block the for-head's
+        # natural exit edge reaches.
+        head = next(
+            block
+            for block in cfg.blocks.values()
+            if block.stmts and isinstance(block.stmts[0], ast.For)
+        )
+        body_entry, after = head.succ
+        break_blocks = [
+            block
+            for block in cfg.blocks.values()
+            if block.stmts and isinstance(block.stmts[-1], ast.Break)
+        ]
+        assert len(break_blocks) == 1
+        assert after in break_blocks[0].succ
+
+    def test_rpo_starts_at_entry(self):
+        cfg = build_cfg(_func("def f():\n    return 1\n"))
+        assert cfg.rpo()[0] == cfg.entry
+
+    def test_own_nodes_stays_out_of_nested_bodies(self):
+        stmt = _func(
+            """
+            def f(flag, x):
+                if flag and x:
+                    hidden = x + 1
+            """
+        ).body[0]
+        names = {
+            node.id for node in own_nodes(stmt) if isinstance(node, ast.Name)
+        }
+        assert names == {"flag", "x"}
+        assert "hidden" not in names
+
+
+# ---------------------------------------------------------------------------
+# Taint fixpoint
+# ---------------------------------------------------------------------------
+
+
+class TestTaintAnalysis:
+    def test_assignment_propagates_and_alias_carries(self):
+        analysis = _analyze(
+            """
+            def f(src):
+                alias = src
+                other = alias
+                return other
+            """
+        )
+        assert _return_tags(analysis) == T
+
+    def test_reassignment_is_a_strong_update(self):
+        analysis = _analyze(
+            """
+            def f(src):
+                x = src
+                x = 0
+                return x
+            """
+        )
+        assert _return_tags(analysis) == EMPTY
+
+    def test_branch_join_is_a_union(self):
+        analysis = _analyze(
+            """
+            def f(src, flag):
+                if flag:
+                    y = src
+                else:
+                    y = 0
+                return y
+            """
+        )
+        assert _return_tags(analysis) == T
+
+    def test_loop_carried_taint_crosses_the_back_edge(self):
+        analysis = _analyze(
+            """
+            def f(src, n):
+                acc = 0
+                i = 0
+                while i < n:
+                    acc = acc + src
+                    i = i + 1
+                return acc
+            """
+        )
+        assert _return_tags(analysis) == T
+
+    def test_membership_test_launders(self):
+        analysis = _analyze(
+            """
+            def f(src, seen):
+                present = src in seen
+                return present
+            """
+        )
+        assert _return_tags(analysis) == EMPTY
+
+    def test_fstring_launders(self):
+        analysis = _analyze(
+            """
+            def f(src):
+                message = f"processor {src} made progress"
+                return message
+            """
+        )
+        assert _return_tags(analysis) == EMPTY
+
+    def test_tainted_index_does_not_taint_the_lookup(self):
+        analysis = _analyze(
+            """
+            def f(src, table):
+                value = table[src]
+                return value
+            """
+        )
+        assert _return_tags(analysis) == EMPTY
+
+    def test_tainted_container_taints_its_elements(self):
+        analysis = _analyze(
+            """
+            def f(src, i):
+                pair = (src, 0)
+                return pair[i]
+            """
+        )
+        assert _return_tags(analysis) == T
+
+    def test_receiver_mutation_absorbs_value_tags(self):
+        analysis = _analyze(
+            """
+            def f(src):
+                acc = []
+                acc.append(src)
+                return acc
+            """
+        )
+        assert _return_tags(analysis) == T
+
+    def test_setdefault_key_position_is_exempt(self):
+        analysis = _analyze(
+            """
+            def f(src):
+                table = {}
+                table.setdefault(src, [])
+                return table
+            """
+        )
+        assert _return_tags(analysis) == EMPTY
+
+    def test_walrus_binding_is_tracked(self):
+        analysis = _analyze(
+            """
+            def f(src):
+                if (alias := src):
+                    pass
+                return alias
+            """
+        )
+        assert _return_tags(analysis) == T
+
+    def test_enumerate_unpacking_seeds_index_tags_only(self):
+        analysis = _analyze(
+            """
+            def f(items):
+                last = None
+                for index, item in enumerate(items):
+                    last = index
+                    payload = item
+                return last
+            """
+        )
+        assert _return_tags(analysis) == IDX
+
+    def test_comprehension_binds_element_tags(self):
+        analysis = _analyze(
+            """
+            def f(src):
+                tainted = [src, src]
+                doubled = [value for value in tainted]
+                return doubled
+            """
+        )
+        assert _return_tags(analysis) == T
+
+    def test_try_handler_sees_pre_try_environment(self):
+        # A raise can interrupt the body before the laundering
+        # assignment runs, so the handler must still see the taint.
+        analysis = _analyze(
+            """
+            def f(src, risky):
+                x = src
+                try:
+                    x = risky()
+                except ValueError:
+                    pass
+                return x
+            """
+        )
+        assert _return_tags(analysis) == T

@@ -1,19 +1,35 @@
-"""Metamorphic orbit-invariance verifier (``repro lint --dynamic``).
+"""Dynamic verifiers (``repro lint --dynamic``): orbit and footprint.
 
-Positive direction: all seven shipped properties verify on their
-natural systems with a non-trivial stabilizer group.  Negative
+Positive direction: all seven shipped properties orbit-verify on their
+natural systems with a non-trivial stabilizer group, and every shipped
+``@visibility_footprint`` / ``por_footprint`` declaration survives the
+footprint cross-check on BFS-sampled reachable states.  Negative
 direction: a deliberately asymmetric property, an undeclared property,
-and a trivial-group configuration must each be rejected — a verifier
-that cannot fail verifies nothing.
+a trivial-group configuration, a too-narrow visibility declaration,
+and a lying machine footprint must each be rejected — a verifier that
+cannot fail verifies nothing.
 """
 
 import pytest
 
-from repro.checker.properties import consensus_agreement_and_validity
+from repro.checker.por import declared_machine_footprint
+from repro.checker.properties import (
+    consensus_agreement_and_validity,
+    visibility_footprint,
+)
 from repro.checker.system import SystemSpec
 from repro.core.consensus import ConsensusMachine
+from repro.core.renaming import RenamingMachine
 from repro.core.snapshot import SnapshotMachine
-from repro.lint import builtin_verifications, reachable_sample, verify_invariant
+from repro.core.write_scan import WriteScanMachine
+from repro.lint import (
+    builtin_footprint_verifications,
+    builtin_verifications,
+    reachable_sample,
+    verify_invariant,
+    verify_machine_footprint,
+    verify_visibility_footprint,
+)
 from repro.memory.wiring import WiringAssignment
 
 
@@ -84,6 +100,117 @@ class TestNegativeControls:
         )
         assert not result.ok
         assert "trivial" in result.mismatches[0]
+
+
+class TestFootprintBattery:
+    @pytest.fixture(scope="class")
+    def results(self):
+        return builtin_footprint_verifications(max_states=80)
+
+    def test_covers_properties_and_machines(self, results):
+        # 7 property entries + one machine entry per battery system.
+        assert len(results) == 10
+        assert all(r.kind == "footprint" for r in results)
+        names = {r.property_name for r in results}
+        assert "SnapshotMachine.por_footprint" in names
+        assert "ConsensusMachine.por_footprint" in names
+        assert "RenamingMachine.por_footprint" in names
+
+    def test_every_shipped_declaration_verifies(self, results):
+        bad = [r for r in results if not r.ok]
+        assert bad == [], [(r.property_name, r.mismatches) for r in bad]
+
+    def test_orbit_battery_shape_is_unchanged(self):
+        # The footprint battery must not leak into the orbit one.
+        assert len(builtin_verifications(max_states=40)) == 7
+
+
+class TestVisibilityFootprintVerifier:
+    def test_too_narrow_declaration_is_caught(self):
+        spec = _snapshot_spec([1, 2])
+
+        @visibility_footprint(registers=(0,))
+        def depends_on_register_one(spec_, state):
+            initial = spec_.machine.register_initial_value()
+            return "saw it" if state.registers[1] != initial else None
+
+        result = verify_visibility_footprint(
+            depends_on_register_one, spec, system="snapshot n=2",
+            max_states=200,
+        )
+        assert not result.ok
+        assert any(
+            "invisible under the declared footprint" in m
+            for m in result.mismatches
+        )
+
+    def test_honest_declaration_passes(self):
+        spec = _snapshot_spec([1, 2])
+
+        @visibility_footprint(registers="all")
+        def depends_on_any_register(spec_, state):
+            initial = spec_.machine.register_initial_value()
+            return "saw it" if state.registers[1] != initial else None
+
+        result = verify_visibility_footprint(
+            depends_on_any_register, spec, max_states=200
+        )
+        assert result.ok and result.elements > 0
+
+    def test_undeclared_property_passes_vacuously(self):
+        def no_declaration(spec_, state):
+            return None
+
+        result = verify_visibility_footprint(
+            no_declaration, _snapshot_spec([1, 2])
+        )
+        assert result.ok and result.elements == 0
+
+
+class TestMachineFootprintVerifier:
+    def test_lying_machine_is_caught(self):
+        class LyingWriteScan(WriteScanMachine):
+            por_footprint = {"writes": "none", "reads": "none"}
+
+        spec = SystemSpec(
+            LyingWriteScan(2), [1, 2], WiringAssignment.identity(2, 2)
+        )
+        result = verify_machine_footprint(spec, max_states=50)
+        assert not result.ok
+        assert any("writes='none' is declared" in m for m in result.mismatches)
+
+    def test_honest_machine_passes(self):
+        spec = _snapshot_spec([1, 2])
+        result = verify_machine_footprint(spec, max_states=50)
+        assert result.ok and result.elements > 0
+
+    def test_undeclared_machine_passes_vacuously(self):
+        class Undeclared(WriteScanMachine):
+            por_footprint = None
+
+        spec = SystemSpec(
+            Undeclared(2), [1, 2], WiringAssignment.identity(2, 2)
+        )
+        result = verify_machine_footprint(spec, max_states=50)
+        assert result.ok and result.states_checked == 0
+
+
+class TestDeclaredMachineFootprint:
+    def test_direct_declaration_resolves_at_depth_zero(self):
+        footprint, depth = declared_machine_footprint(SnapshotMachine(2))
+        assert footprint == {"writes": "unwritten", "reads": "all"}
+        assert depth == 0
+
+    def test_delegate_chains_resolve_with_hop_count(self):
+        for machine in (ConsensusMachine(2), RenamingMachine(2)):
+            resolved = declared_machine_footprint(machine)
+            assert resolved is not None, type(machine).__name__
+            footprint, depth = resolved
+            assert footprint == {"writes": "unwritten", "reads": "all"}
+            assert depth == 1
+
+    def test_no_declaration_resolves_to_none(self):
+        assert declared_machine_footprint(object()) is None
 
 
 class TestReachableSample:

@@ -37,7 +37,7 @@ from repro.checker.properties import (
 from repro.cli import main
 from repro.core import SnapshotMachine
 from repro.memory.wiring import WiringAssignment, enumerate_wiring_assignments
-from repro.sim.ops import Write
+from repro.sim.ops import Read, Write
 
 #: One of the two canonical N=2 wiring classes (the non-identity one).
 N2_CLASS = ((0, 1), (1, 0))
@@ -432,6 +432,139 @@ class TestCycleProviso:
             por=True, por_cycle_proviso=False
         )
         assert (no_c3.ok, no_c3.violation) == (base.ok, base.violation)
+
+
+# ----------------------------------------------------------------------
+# C1: future-footprint closure (register-retirement regression)
+# ----------------------------------------------------------------------
+
+
+class RetiringMachine:
+    """Toucher writes register 0 once and retires; prober probes it.
+
+    The toucher (input ``"T"``) writes ``"touched"`` to register 0 and
+    then never issues another operation — register 0 is permanently
+    retired from its footprint.  The prober (input ``"P"``) writes a
+    marker to register 2, then reads register 0, and poisons register
+    1 iff the read still saw the initial value.
+
+    At the initial state the toucher's *current* footprint ``{r0}`` is
+    disjoint from the prober's *current* footprint ``{r2}``, so
+    current-operation C1 admits the toucher as ample and prunes every
+    ordering in which the prober's later read of r0 precedes the
+    toucher's write — exactly the orderings that poison r1.  The write-
+    scan machines cannot exhibit this (an active processor eventually
+    scans everything, so its current scan footprint already covers its
+    future), which is why the approximation survived its conformance
+    suite; a retiring machine needs the closure.
+    """
+
+    def __init__(self, n_processors: int, n_registers: int = 3) -> None:
+        self.n_processors = n_processors
+        self.n_registers = n_registers
+
+    def initial_state(self, my_input):
+        return (my_input, "start")
+
+    def register_initial_value(self):
+        return "init"
+
+    def enabled_ops(self, state):
+        role, step = state
+        if role == "T":
+            return (Write(0, "touched"),) if step == "start" else ()
+        if step == "start":
+            return (Write(2, "mark"),)
+        if step == "probe":
+            return (Read(0),)
+        if step == "poison":
+            return (Write(1, 9),)
+        return ()
+
+    def apply(self, state, op, result):
+        role, step = state
+        if role == "T":
+            return (role, "retired")
+        if step == "start":
+            return (role, "probe")
+        if step == "probe":
+            return (role, "poison" if result == "init" else "clean")
+        return (role, "done")
+
+    def output(self, state):
+        return None
+
+
+class RetiringMachineWithFootprint(RetiringMachine):
+    """The same machine declaring its exact future footprints."""
+
+    def future_footprint(self, state):
+        role, step = state
+        if role == "T":
+            return ((0,), ()) if step == "start" else ((), ())
+        if step == "start":
+            return ((1, 2), (0,))
+        if step == "probe":
+            return ((1,), (0,))
+        if step == "poison":
+            return ((1,), ())
+        return ((), ())
+
+
+@visibility_footprint(registers=(1,))
+def _r1_not_poisoned(spec, state):
+    if state.registers[1] == 9:
+        return "register 1 poisoned by an unprobed read"
+    return None
+
+
+def _retiring_spec(machine_cls):
+    return SystemSpec(
+        machine_cls(2), ["T", "P"], WiringAssignment.identity(2, 3)
+    )
+
+
+class TestFutureFootprintClosure:
+    def test_unreduced_exploration_finds_the_poison(self):
+        result = Explorer(
+            _retiring_spec(RetiringMachine), invariants=(_r1_not_poisoned,)
+        ).run()
+        assert not result.ok
+        assert "poisoned" in result.violation.message
+
+    def test_without_the_hook_the_violation_is_missed(self):
+        # The documented C1 gap: current-operation footprints admit the
+        # toucher as ample at the root, pruning the prober-reads-first
+        # orderings.  This is what the future-footprint closure repairs.
+        result = Explorer(
+            _retiring_spec(RetiringMachine),
+            invariants=(_r1_not_poisoned,),
+            por=True,
+        ).run()
+        assert result.ok
+        assert result.complete
+        assert result.por_counters["ample_states"] > 0
+
+    def test_hook_restores_the_violation(self):
+        result = Explorer(
+            _retiring_spec(RetiringMachineWithFootprint),
+            invariants=(_r1_not_poisoned,),
+            por=True,
+        ).run()
+        assert not result.ok
+        assert "poisoned" in result.violation.message
+
+    def test_hook_tightens_rather_than_pessimizes(self):
+        # The closure must not degenerate to full expansion: the
+        # prober's marker write at the root is independent of the
+        # toucher's entire future and stays ample.
+        result = Explorer(
+            _retiring_spec(RetiringMachineWithFootprint),
+            invariants=(_r1_not_poisoned,),
+            por=True,
+        ).run()
+        assert result.por_counters["ample_states"] > 0
+        assert result.por_counters["transitions_pruned"] > 0
 
 
 # ----------------------------------------------------------------------
