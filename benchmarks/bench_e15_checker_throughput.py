@@ -45,6 +45,17 @@ workloads, four axes:
   state counts legitimately differ); the bars are >= 2x batch-over-
   scalar states/s and a batch transition cut within 10% of scalar's;
   standalone ``--only-batch-por`` remeasures just this section;
+- **service**: the distributed checking service (``repro serve``) — a
+  coordinator plus ``k`` localhost socket workers running the
+  exhaustive N=2 sweep as one submitted job, against the serial
+  engine measured adjacently; records states/s, per-round protocol
+  overhead, and per-worker utilization (busy_ms over wall clock, via
+  ``aggregate_service_statistics``).  Verdict/count conformance with
+  serial is asserted in-section (the non-POR exhaustive configuration
+  is partition-invariant, so counts must match bit-for-bit).  The N=2
+  state space is small, so this section measures protocol overhead
+  honestly rather than showcasing speedup; standalone
+  ``--only-service`` remeasures just this section;
 - **conformance**: parallel and serial must report identical verdicts
   (and identical states/transitions for the class sweep), and all
   three store backends must report identical states/transitions/
@@ -448,6 +459,139 @@ def run_batch_por_section(budget: int) -> dict:
 
 
 # ----------------------------------------------------------------------
+# The service axis (standalone-runnable: --only-service)
+# ----------------------------------------------------------------------
+
+def _service_quiet(line: str) -> None:
+    """Spawn-picklable no-op log sink for service workers (a lambda
+    would fail to pickle under the spawn start method)."""
+
+
+def run_service_section(workers: int = 2) -> dict:
+    """Coordinator + ``workers`` localhost socket workers vs serial.
+
+    One exhaustive N=2 job (the partition-invariant configuration, so
+    the service verdicts and per-class state/transition counts must
+    equal the serial engine's bit-for-bit — asserted in-section as
+    ``conformant``).  The serial twin is measured adjacently.  Workers
+    are separate ``spawn`` processes talking the real wire protocol
+    over 127.0.0.1, so ``states_per_s`` here prices the full
+    frame-encode/socket/merge round-trip; at N=2 scale that overhead
+    dominates and the honest headline is per-worker ``utilization``
+    (busy_ms over wall clock), not speedup.
+    """
+    import tempfile
+
+    from repro.analysis import aggregate_service_statistics
+    from repro.checker.batch import HAVE_NUMPY
+
+    engine = "batch" if HAVE_NUMPY else "scalar"
+    section: dict = {"workers": workers, "engine": engine}
+    serial_run = measure(
+        {"kind": "fast_classes", "n": 2, "budget": None, "jobs": 1,
+         "engine": engine}
+    )
+    section["serial"] = serial_run
+
+    from repro.service.coordinator import CoordinatorHandle
+    from repro.service.jobs import JobSpec
+    from repro.service.transport import ServiceClient
+    from repro.service.worker import run_worker
+
+    ctx = multiprocessing.get_context("spawn")
+    procs = []
+    with tempfile.TemporaryDirectory(prefix="bench-service-") as state_dir:
+        handle = CoordinatorHandle(
+            Path(state_dir), log=_service_quiet, ping_every_s=0.2
+        )
+        try:
+            host, port = handle.endpoint
+            for index in range(workers):
+                proc = ctx.Process(
+                    target=run_worker,
+                    kwargs=dict(host=host, port=port,
+                                name=f"bench-w{index}",
+                                emit=_service_quiet),
+                    daemon=True,
+                )
+                proc.start()
+                procs.append(proc)
+            spec = JobSpec(n=2, budget=0, engine=engine,
+                           shards=2 * workers)
+            start = time.perf_counter()
+            with ServiceClient.for_state_dir(Path(state_dir)) as client:
+                # Submitting before the whole fleet has joined would
+                # hand every shard to the first worker (correct, but it
+                # would time a 1-worker run under a k-worker label).
+                deadline = time.perf_counter() + 30
+                while (len(client.workers()) < workers
+                       and time.perf_counter() < deadline):
+                    time.sleep(0.05)
+                job_id = client.submit(spec)
+                record = client.wait(job_id, timeout=600)
+                elapsed = time.perf_counter() - start
+                # Worker stats reach the coordinator via periodic pings
+                # that skip busy workers; right after completion the
+                # last pong usually predates the job, so wait for a
+                # fresh one before snapshotting utilization.
+                deadline = time.perf_counter() + 5
+                worker_stats = client.workers()
+                while (not any(w.get("rounds") for w in worker_stats)
+                       and time.perf_counter() < deadline):
+                    time.sleep(0.1)
+                    worker_stats = client.workers()
+        finally:
+            handle.stop()
+            for proc in procs:
+                proc.join(timeout=10)
+                if proc.is_alive():  # pragma: no cover - shutdown raced
+                    proc.kill()
+                    proc.join()
+
+    rows = [(row["class"], row["result"]) for row in record.rows]
+    states = sum(result["states"] for _, result in rows)
+    transitions = sum(result["transitions"] for _, result in rows)
+    ok = record.state == "done" and all(
+        result["violation"] is None for _, result in rows
+    )
+    stats = aggregate_service_statistics(worker_stats, elapsed)
+    conformant = (
+        record.state == "done"
+        and (states, transitions, ok) == (
+            serial_run["states"], serial_run["transitions"],
+            serial_run["ok"],
+        )
+    )
+    section["service"] = {
+        "states": states,
+        "transitions": transitions,
+        "ok": ok,
+        "classes": len(rows),
+        "shards": spec.shards,
+        "elapsed_s": round(elapsed, 3),
+        "states_per_s": int(states / elapsed) if elapsed > 0 else None,
+        "per_worker": [
+            {"name": worker.name, "busy_ms": round(worker.busy_ms, 1),
+             "rounds": worker.rounds,
+             "utilization": round(worker.utilization(elapsed), 3)}
+            for worker in stats.workers
+        ],
+        "mean_utilization": round(stats.mean_utilization, 3),
+    }
+    section["conformant"] = conformant
+    section["overhead_vs_serial"] = (
+        round(serial_run["elapsed_s"] / elapsed, 3) if elapsed > 0 else None
+    )
+    section["note"] = (
+        "exhaustive N=2 job: verdicts and counts must equal serial"
+        " bit-for-bit (partition-invariant configuration); the state"
+        " space is tiny, so elapsed_s prices protocol round-trips, not"
+        " exploration — utilization is the honest headline here"
+    )
+    return section
+
+
+# ----------------------------------------------------------------------
 # The full measurement suite
 # ----------------------------------------------------------------------
 
@@ -794,6 +938,21 @@ def _print_batch_por_section(section: dict) -> None:
           f" verdicts conformant: {section['conformant']}")
 
 
+def _print_service_section(section: dict) -> None:
+    service = section["service"]
+    print(f"  service: {section['workers']} worker(s),"
+          f" {service['classes']} classes / {service['shards']} shards,"
+          f" {service['states']} states in {service['elapsed_s']} s"
+          f" ({service['states_per_s']} st/s; serial twin"
+          f" {section['serial']['elapsed_s']} s);"
+          f" conformant: {section['conformant']}")
+    for worker in service["per_worker"]:
+        print(f"    {worker['name']}: {worker['rounds']} rounds,"
+              f" busy {worker['busy_ms']} ms,"
+              f" utilization {worker['utilization']}")
+    print(f"  service mean utilization: {service['mean_utilization']}")
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--budget", type=int, default=E15_BUDGET,
@@ -815,7 +974,23 @@ def main(argv=None) -> int:
                              " section (unreduced vs scalar+por vs"
                              " batch+por) and merge it into the"
                              " existing BENCH_checker.json")
+    parser.add_argument("--only-service", action="store_true",
+                        help="measure only the distributed-service"
+                             " section (coordinator + local socket"
+                             " workers vs serial on the exhaustive N=2"
+                             " sweep) and merge it into the existing"
+                             " BENCH_checker.json")
+    parser.add_argument("--service-workers", type=int, default=2,
+                        help="worker processes for the --only-service"
+                             " section")
     args = parser.parse_args(argv)
+
+    if args.only_service:
+        section = run_service_section(workers=args.service_workers)
+        path = write_checker_bench({"service": section}, path=args.out)
+        print(f"wrote {path}")
+        _print_service_section(section)
+        return 0 if section["conformant"] else 1
 
     if args.only_batch:
         batch = run_batch_section(args.budget)

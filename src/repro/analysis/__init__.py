@@ -19,9 +19,12 @@ from repro.analysis.consensus_livelock import (
 from repro.analysis.statistics import (
     ExecutionStatistics,
     PORStatistics,
+    ServiceStatistics,
     StoreStatistics,
     SymmetryStatistics,
+    WorkerStatistics,
     aggregate_por_statistics,
+    aggregate_service_statistics,
     aggregate_store_statistics,
     aggregate_symmetry_statistics,
     collect_statistics,
@@ -48,6 +51,9 @@ __all__ = [
     "aggregate_por_statistics",
     "StoreStatistics",
     "aggregate_store_statistics",
+    "ServiceStatistics",
+    "WorkerStatistics",
+    "aggregate_service_statistics",
     "render_lanes",
     "render_register_history",
     "erasure_summary",

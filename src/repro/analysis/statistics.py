@@ -317,6 +317,111 @@ def aggregate_por_statistics(results) -> PORStatistics:
     return totals
 
 
+# ----------------------------------------------------------------------
+# Per-worker statistics of distributed service runs (checker-side)
+# ----------------------------------------------------------------------
+
+@dataclass
+class WorkerStatistics:
+    """One service worker's contribution to a campaign.
+
+    Built from the stats a worker reports in its ``pong`` frames (see
+    :mod:`repro.service.worker`): cumulative admissions/expansions over
+    the rounds it served, the time it spent actually exploring
+    (``busy_ms``, excluding waits for the coordinator's round merges),
+    and its last reported footprint.
+    """
+
+    name: str
+    states: int = 0
+    transitions: int = 0
+    rounds: int = 0
+    busy_ms: float = 0.0
+    rss_bytes: int = 0
+    shards: List[int] = field(default_factory=list)
+    alive: bool = True
+    last_seen_age_s: float = 0.0
+
+    def utilization(self, wall_s: float) -> float:
+        """Fraction of ``wall_s`` this worker spent exploring."""
+        if wall_s <= 0:
+            return 0.0
+        return min(1.0, (self.busy_ms / 1000.0) / wall_s)
+
+
+@dataclass
+class ServiceStatistics:
+    """Aggregated fleet statistics of one distributed campaign.
+
+    The roll-up behind ``repro status`` and benchmark E15's ``service``
+    section: total throughput plus the per-worker split that shows
+    whether the shard assignment kept the fleet busy.
+    """
+
+    workers: List[WorkerStatistics]
+    wall_s: float = 0.0
+    states: int = 0
+    transitions: int = 0
+
+    @property
+    def states_per_s(self) -> float:
+        if self.wall_s <= 0:
+            return 0.0
+        return self.states / self.wall_s
+
+    @property
+    def mean_utilization(self) -> float:
+        if not self.workers:
+            return 0.0
+        return sum(
+            worker.utilization(self.wall_s) for worker in self.workers
+        ) / len(self.workers)
+
+    def summary(self) -> str:
+        split = ", ".join(
+            f"{worker.name}: {worker.states} states"
+            f" ({worker.utilization(self.wall_s):.0%} busy)"
+            for worker in self.workers
+        )
+        return (
+            f"{self.states} states in {self.wall_s:.2f}s"
+            f" ({self.states_per_s:.0f}/s) across {len(self.workers)}"
+            f" worker(s) [{split}]"
+        )
+
+
+def aggregate_service_statistics(
+    worker_stats, wall_s: float
+) -> ServiceStatistics:
+    """Fold per-worker stat dicts into one :class:`ServiceStatistics`.
+
+    ``worker_stats`` is an iterable of the dicts the coordinator holds
+    per worker (``pong`` stats merged with membership fields — the
+    shape :meth:`WorkerHandle.describe` returns and ``repro status``
+    prints).  Unknown keys are ignored so coordinator and client can
+    evolve independently.
+    """
+    workers = []
+    for stats in worker_stats:
+        workers.append(WorkerStatistics(
+            name=str(stats.get("name", "?")),
+            states=int(stats.get("states") or 0),
+            transitions=int(stats.get("transitions") or 0),
+            rounds=int(stats.get("rounds") or 0),
+            busy_ms=float(stats.get("busy_ms") or 0.0),
+            rss_bytes=int(stats.get("rss") or 0),
+            shards=list(stats.get("shards") or []),
+            alive=bool(stats.get("alive", True)),
+            last_seen_age_s=float(stats.get("last_seen_age_s") or 0.0),
+        ))
+    return ServiceStatistics(
+        workers=workers,
+        wall_s=wall_s,
+        states=sum(worker.states for worker in workers),
+        transitions=sum(worker.transitions for worker in workers),
+    )
+
+
 def aggregate_symmetry_statistics(results) -> SymmetryStatistics:
     """Fold exploration results into one :class:`SymmetryStatistics`.
 

@@ -130,6 +130,38 @@ def run_consensus(
     return runner.run(max_steps)
 
 
+def submit_campaign(
+    state_dir,
+    n: int = 2,
+    budget: int = 0,
+    wait: bool = True,
+    timeout: Optional[float] = None,
+    **spec_kwargs,
+):
+    """Submit a checking campaign to a local coordinator and (by
+    default) wait for its verdicts.
+
+    The coordinator is discovered through ``state_dir`` (the directory
+    ``repro serve --state-dir`` runs on).  ``spec_kwargs`` are the
+    remaining :class:`~repro.service.jobs.JobSpec` fields (``symmetry``,
+    ``por``, ``engine``, ``shards``, ...).  Returns the finished
+    :class:`~repro.service.jobs.JobRecord` when ``wait`` is true, else
+    the job id; results are bit-identical to a local
+    :func:`~repro.checker.parallel.check_snapshot_classes` run of the
+    same configuration.
+    """
+    from repro.service.jobs import JobSpec
+    from repro.service.transport import ServiceClient
+
+    spec = JobSpec(n=n, budget=budget, **spec_kwargs)
+    spec.validate()
+    with ServiceClient.for_state_dir(state_dir) as client:
+        job_id = client.submit(spec)
+        if not wait:
+            return job_id
+        return client.wait(job_id, timeout=timeout)
+
+
 def run_write_scan(
     inputs: Sequence[Hashable],
     steps: int,

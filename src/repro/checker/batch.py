@@ -67,7 +67,7 @@ unaffected.
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Tuple, cast
+from typing import TYPE_CHECKING, Any, Callable, Dict, List, Optional, Tuple, cast
 
 from repro.checker.constants import (
     MASK64,
@@ -742,6 +742,7 @@ def explore_batch(
     checkpointer: Optional[RunCheckpointer] = None,
     por: bool = False,
     por_cycle_proviso: bool = True,
+    heartbeat: Optional[Any] = None,
 ) -> FastExplorationResult:
     """Level-batched BFS, result-identical to the scalar engine.
 
@@ -828,11 +829,11 @@ def explore_batch(
         if resumed is not None:
             assert store_obj is not None
             store_obj.load(resumed.visited())
-            n_seen = int(resumed.counters["admitted"])
-            transitions = int(resumed.counters["transitions"])
-            truncated = int(resumed.counters["truncated"])
+            n_seen = resumed.counter("admitted")
+            transitions = resumed.counter("transitions")
+            truncated = resumed.counter("truncated")
             if symmetric:
-                covered = int(resumed.counters["covered"])
+                covered = resumed.counter("covered")
             if selector is not None:
                 selector.counters.load(resumed.counters)
             frontier = np.fromiter(resumed.frontier(), dtype=np.uint64)
@@ -884,6 +885,8 @@ def explore_batch(
 
         complete = True
         while frontier.size:
+            if heartbeat is not None:
+                heartbeat.tick(n_seen, int(frontier.size), transitions)
             if checkpointer is not None and checkpointer.due(n_seen):
                 assert store_obj is not None
                 counters: Dict[str, int] = {

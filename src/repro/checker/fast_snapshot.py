@@ -38,7 +38,7 @@ from typing import Dict, Iterator, List, Optional, Sequence, Set, Tuple
 
 from repro.checker.fingerprint import fingerprint_int
 from repro.store.base import StoreConfig
-from repro.store.checkpoint import RunCheckpointer
+from repro.store.checkpoint import RunCheckpointer, load_result
 from repro.store.ram import RamStore
 
 # Phase encoding.
@@ -90,7 +90,9 @@ class _ChunkedIntQueue:
     the visited *set* dominate the memory profile as intended.
     """
 
-    __slots__ = ("_chunks", "_head", "_head_pos", "_tail", "_chunk_size")
+    __slots__ = (
+        "_chunks", "_head", "_head_pos", "_tail", "_chunk_size", "_count",
+    )
 
     def __init__(self, chunk_size: int = 8192) -> None:
         self._chunks: deque = deque()
@@ -98,10 +100,15 @@ class _ChunkedIntQueue:
         self._head_pos = 0
         self._tail: array = array("Q")
         self._chunk_size = chunk_size
+        self._count = 0
+
+    def __len__(self) -> int:
+        return self._count
 
     def push(self, value: int) -> None:
         tail = self._tail
         tail.append(value)
+        self._count += 1
         if len(tail) >= self._chunk_size:
             self._chunks.append(tail)
             self._tail = array("Q")
@@ -121,6 +128,7 @@ class _ChunkedIntQueue:
             head = self._head
         value = head[self._head_pos]
         self._head_pos += 1
+        self._count -= 1
         return value
 
     def snapshot(self) -> Iterator[int]:
@@ -490,6 +498,7 @@ class FastSnapshotSpec:
         por: bool = False,
         por_cycle_proviso: bool = True,
         engine: str = "scalar",
+        heartbeat=None,
     ) -> FastExplorationResult:
         """BFS over all reachable states (for this wiring).
 
@@ -619,7 +628,7 @@ class FastSnapshotSpec:
                 )
             recorded = checkpointer.completed_result()
             if recorded is not None:
-                return FastExplorationResult(**recorded)
+                return load_result(FastExplorationResult, recorded)
         if check_wait_freedom:
             return self._explore_with_edges(
                 max_states, check_safety, progress_every
@@ -630,12 +639,13 @@ class FastSnapshotSpec:
             result = explore_batch(
                 self, max_states, check_safety, progress_every,
                 fingerprint, symmetry, store, checkpointer,
-                por, por_cycle_proviso,
+                por, por_cycle_proviso, heartbeat=heartbeat,
             )
         else:
             result = self._explore_lean(
                 max_states, check_safety, progress_every, fingerprint,
                 symmetry, store, checkpointer, por, por_cycle_proviso,
+                heartbeat=heartbeat,
             )
         if checkpointer is not None:
             checkpointer.mark_complete(asdict(result))
@@ -652,6 +662,7 @@ class FastSnapshotSpec:
         checkpointer: Optional[RunCheckpointer] = None,
         por: bool = False,
         por_cycle_proviso: bool = True,
+        heartbeat=None,
     ) -> FastExplorationResult:
         """Safety-only BFS: dedup set + frontier, no index/order tables.
 
@@ -670,7 +681,7 @@ class FastSnapshotSpec:
                 return self._explore_lean_symmetric(
                     canonicalizer, max_states, check_safety,
                     progress_every, fingerprint, store, checkpointer,
-                    por, por_cycle_proviso,
+                    por, por_cycle_proviso, heartbeat=heartbeat,
                 )
             # Trivial stabilizer: the quotient IS the concrete graph;
             # fall through to the plain loop and report covered==states.
@@ -720,9 +731,9 @@ class FastSnapshotSpec:
             )
             if resumed is not None:
                 store_obj.load(resumed.visited())
-                n_seen = int(resumed.counters["admitted"])
-                transitions = int(resumed.counters["transitions"])
-                truncated = int(resumed.counters["truncated"])
+                n_seen = resumed.counter("admitted")
+                transitions = resumed.counter("transitions")
+                truncated = resumed.counter("truncated")
                 if selector is not None:
                     selector.counters.load(resumed.counters)
                 for pending in resumed.frontier():
@@ -751,6 +762,11 @@ class FastSnapshotSpec:
             successor_states_into = self.successor_states_into
 
             while True:
+                if heartbeat is not None:
+                    heartbeat.tick(
+                        n_seen, len(queue if packable else frontier),
+                        transitions,
+                    )
                 if checkpointer is not None and checkpointer.due(n_seen):
                     counters = {
                         "admitted": n_seen,
@@ -852,6 +868,7 @@ class FastSnapshotSpec:
         checkpointer: Optional[RunCheckpointer] = None,
         por: bool = False,
         por_cycle_proviso: bool = True,
+        heartbeat=None,
     ) -> FastExplorationResult:
         """The lean BFS over the quotient graph: one state per orbit.
 
@@ -911,10 +928,10 @@ class FastSnapshotSpec:
             )
             if resumed is not None:
                 store_obj.load(resumed.visited())
-                n_seen = int(resumed.counters["admitted"])
-                transitions = int(resumed.counters["transitions"])
-                truncated = int(resumed.counters["truncated"])
-                covered = int(resumed.counters["covered"])
+                n_seen = resumed.counter("admitted")
+                transitions = resumed.counter("transitions")
+                truncated = resumed.counter("truncated")
+                covered = resumed.counter("covered")
                 if selector is not None:
                     selector.counters.load(resumed.counters)
                 for pending in resumed.frontier():
@@ -968,6 +985,11 @@ class FastSnapshotSpec:
                     return key not in membership
 
             while True:
+                if heartbeat is not None:
+                    heartbeat.tick(
+                        n_seen, len(queue if packable else frontier),
+                        transitions,
+                    )
                 if checkpointer is not None and checkpointer.due(n_seen):
                     counters = {
                         "admitted": n_seen,

@@ -52,6 +52,7 @@ from repro.store.base import StoreConfig, require_cross_process_stable
 from repro.store.checkpoint import (
     RunCheckpointer,
     SweepCheckpoint,
+    load_result,
     write_u64_file,
 )
 
@@ -141,11 +142,19 @@ def _class_store(
 def _explore_class_task(
     task: Tuple[
         int, Tuple[int, ...], WiringClass, Optional[int], int, bool, bool,
-        bool, Optional[StoreConfig], bool, str,
+        bool, Optional[StoreConfig], bool, str, Optional[float],
     ],
 ) -> Tuple[int, FastExplorationResult]:
     (index, inputs, wiring, level_target, max_states, check_safety,
-     fingerprint, symmetry, store, por, engine) = task
+     fingerprint, symmetry, store, por, engine, heartbeat_every) = task
+    heartbeat = None
+    if heartbeat_every is not None:
+        from repro.service.heartbeat import Heartbeat
+
+        # Per-class heartbeats are labelled so interleaved lines from a
+        # parallel sweep stay attributable (floats cross the task tuple;
+        # Heartbeat itself holds an unpicklable emit callable).
+        heartbeat = Heartbeat(heartbeat_every, label=f"class-{index:03d}")
     spec = FastSnapshotSpec(inputs, wiring, level_target=level_target)
     result = spec.explore(
         max_states=max_states,
@@ -155,6 +164,7 @@ def _explore_class_task(
         store=_class_store(store, index),
         por=por,
         engine=engine,
+        heartbeat=heartbeat,
     )
     return index, result
 
@@ -174,6 +184,7 @@ def check_snapshot_classes(
     sweep_meta: Optional[Dict] = None,
     por: bool = False,
     engine: str = "scalar",
+    heartbeat_every: Optional[float] = None,
 ) -> List[Tuple[WiringClass, FastExplorationResult]]:
     """Sweep every canonical wiring class, ``jobs`` classes at a time.
 
@@ -221,12 +232,13 @@ def check_snapshot_classes(
     for index, wiring in enumerate(classes):
         recorded = sweep.get(class_key(wiring)) if sweep is not None else None
         if recorded is not None:
-            results[index] = FastExplorationResult(**recorded)
+            results[index] = load_result(FastExplorationResult, recorded)
         else:
             pending.append(index)
     tasks = [
         (index, chosen_inputs, classes[index], level_target, max_states,
-         check_safety, fingerprint, symmetry, store, por, engine)
+         check_safety, fingerprint, symmetry, store, por, engine,
+         heartbeat_every)
         for index in pending
     ]
     for index, result in _run_class_tasks(tasks, effective_jobs(jobs)):
@@ -263,37 +275,34 @@ def _run_class_tasks(tasks: List, jobs: int):
 # Grain 2: frontier-sharded BFS within one wiring class
 # ----------------------------------------------------------------------
 
-def _shard_worker(
-    conn,
-    inputs: Tuple[int, ...],
-    wiring: WiringClass,
-    level_target: Optional[int],
-    shard: int,
-    n_shards: int,
-    check_safety: bool,
-    fingerprint: bool,
-    symmetry: bool = False,
-    store_config: Optional[StoreConfig] = None,
-    por: bool = False,
-    engine: str = "scalar",
-) -> None:
-    """One frontier shard: owns states with ``fp(s) % n_shards == shard``.
+class ShardEngine:
+    """One frontier shard's exploration state, transport-agnostic.
 
-    Protocol: driver sends ``("round", entries)``; worker admits the
-    new ones into its visited set, expands that BFS layer, and replies
-    ``("layer", admitted, transitions, violation, outboxes, covered,
-    skipped, por_counters)`` where ``outboxes`` maps each shard id to
-    the successor entries it owns and ``por_counters`` is the worker's
-    *cumulative* reduction statistics (``None`` without ``por``).
-    ``("stop",)`` terminates.  For checkpointing,
-    ``("dump", path)`` streams the shard's visited keys to ``path`` as
-    a u64 array and replies ``("dumped", count)``; ``("load", path)``
-    bulk-loads a previous dump (resume) and replies ``("loaded",
-    count)``.
+    Owns states with ``fp(state) % n_shards == shard``.  This class is
+    the *engine* half of a shard worker: it holds the shard's visited
+    set, canonicalizer, batch kernel, and ample selector, and processes
+    one BFS round at a time.  The *transport* half — how rounds arrive
+    and layer replies leave — is supplied by the caller: the pipe-based
+    :func:`_shard_worker` (multiprocessing, same host) and the
+    socket-based service worker (:mod:`repro.service.worker`, any host)
+    both drive the same engine, so the two transports cannot diverge
+    semantically.
+
+    :meth:`process_round` admits a round's new entries into the visited
+    set, expands that BFS layer, and returns ``(admitted, transitions,
+    violation, outboxes, covered, skipped, por_counters)`` where
+    ``outboxes`` maps each shard id to the successor entries it owns
+    and ``por_counters`` is the shard's *cumulative* reduction
+    statistics (``None`` without ``por``).  For checkpointing,
+    :meth:`dump_to` streams the visited keys to a u64 file and
+    :meth:`load_from` bulk-loads a previous dump; :meth:`visited_keys`
+    / :meth:`load_keys` do the same through memory for transports that
+    move dumps over the wire instead of a shared filesystem.
 
     The visited set lives in the configured :mod:`repro.store` backend,
-    namespaced per shard (``shard-NNN/``) so disk-backed shards never
-    share files.
+    namespaced per shard (``shard-NNN/`` by default;
+    ``store_namespace`` overrides it so a service worker re-assigned a
+    shard at a new epoch never collides with stale on-disk files).
 
     Wire format: every boundary state travels as ``(state << 1) |
     canonical_bit``.  The bit asserts the sender already put the state
@@ -309,7 +318,7 @@ def _shard_worker(
     ``covered`` then sums the orbit sizes of this layer's admissions
     (``None`` otherwise).
 
-    With ``por`` the worker expands each admitted state through a
+    With ``por`` the shard expands each admitted state through a
     :class:`~repro.checker.por.FastAmpleSelector`.  The cycle proviso
     (C3) only trusts *locally decidable* novelty: a successor counts as
     certainly-new exactly when this shard owns it (canonical-form
@@ -318,14 +327,14 @@ def _shard_worker(
     as possibly-visited, which can only force extra full expansions,
     never unsound pruning.
 
-    With ``engine="batch"`` the worker processes each round as numpy
+    With ``engine="batch"`` the shard processes each round as numpy
     u64 arrays end to end — admission dedup, safety mask, successor
     expansion, canonicalization, ownership fingerprints, and the
     outboxes themselves all stay vectorized, and boundary batches cross
-    the pipe as arrays.  Admission order, violation choice, and every
-    reported count match the scalar worker exactly (the driver never
-    mixes engines within a run).  With ``por`` on top, the worker runs
-    the level-synchronous
+    the transport as arrays.  Admission order, violation choice, and
+    every reported count match the scalar engine exactly (a driver
+    never mixes engines within a run).  With ``por`` on top, the shard
+    runs the level-synchronous
     :class:`~repro.checker.batch.BatchAmpleSelector` over each round's
     admissions: per-round ample-selection masks drive the masked
     ``expand_level``, so shards never re-expand pruned transitions, and
@@ -335,9 +344,31 @@ def _shard_worker(
     count-identical to) scalar+POR ones, exactly as in the serial
     engines.
     """
-    seen = None
-    try:
-        spec = FastSnapshotSpec(inputs, wiring, level_target=level_target)
+
+    def __init__(
+        self,
+        inputs: Sequence[int],
+        wiring: WiringClass,
+        level_target: Optional[int],
+        shard: int,
+        n_shards: int,
+        check_safety: bool,
+        fingerprint: bool,
+        symmetry: bool = False,
+        store_config: Optional[StoreConfig] = None,
+        por: bool = False,
+        engine: str = "scalar",
+        store_namespace: Optional[str] = None,
+    ) -> None:
+        self.shard = shard
+        self.n_shards = n_shards
+        self.check_safety = check_safety
+        self.fingerprint = fingerprint
+        self.symmetry = symmetry
+        spec = FastSnapshotSpec(
+            tuple(inputs), wiring, level_target=level_target
+        )
+        self.spec = spec
         canonicalizer = None
         if symmetry:
             from repro.checker.symmetry import FastCanonicalizer
@@ -345,211 +376,283 @@ def _shard_worker(
             canonicalizer = FastCanonicalizer(spec)
             if canonicalizer.trivial:
                 canonicalizer = None
-        seen = (store_config or StoreConfig()).create(
-            shard=f"shard-{shard:03d}"
+        self.canonicalizer = canonicalizer
+        self.seen = (store_config or StoreConfig()).create(
+            shard=store_namespace or f"shard-{shard:03d}"
         )
-        seen_add = seen.add
-        use_batch = engine == "batch"
-        kernel = None
-        batch_canon = None
-        if use_batch:
+        self.use_batch = engine == "batch"
+        self._np = None
+        self._batch_mod = None
+        self.kernel = None
+        self.batch_canon = None
+        if self.use_batch:
             from repro.checker import batch as batch_mod
 
             batch_mod.require_numpy()
             import numpy as np
 
-            kernel = batch_mod.BatchKernel(spec)
+            self._np = np
+            self._batch_mod = batch_mod
+            self.kernel = batch_mod.BatchKernel(spec)
             if canonicalizer is not None:
-                batch_canon = batch_mod.BatchCanonicalizer(canonicalizer)
-        selector = None
-        is_new = None
-        batch_selector = None
-        if por and use_batch:
-            assert kernel is not None
-            batch_selector = batch_mod.BatchAmpleSelector(
-                kernel, check_safety=check_safety
+                self.batch_canon = batch_mod.BatchCanonicalizer(canonicalizer)
+        self.selector = None
+        self.batch_selector = None
+        if por and self.use_batch:
+            assert self.kernel is not None
+            self.batch_selector = self._batch_mod.BatchAmpleSelector(
+                self.kernel, check_safety=check_safety
             )
-
-            def _batch_key_of(states):
-                if batch_canon is not None:
-                    states = batch_canon.canonical_many(states)
-                return (
-                    batch_mod.fingerprint_many(states)
-                    if fingerprint
-                    else states
-                )
-
-            def _batch_in_visited(keys):
-                # Sharded C3, vectorized: certainly new means locally
-                # owned AND absent from this shard's visited set, so
-                # "possibly visited" is foreign-owned OR present.  In
-                # fingerprint mode the key already is the ownership
-                # digest; otherwise it is the canonical state and the
-                # digest is recomputed, matching the scalar closure.
-                fps = keys if fingerprint else batch_mod.fingerprint_many(keys)
-                foreign = (fps % np.uint64(n_shards)) != np.uint64(shard)
-                present = np.asarray(
-                    seen.contains_many(keys.tolist()), dtype=bool
-                )
-                return foreign | present
         elif por:
             from repro.checker.por import FastAmpleSelector
 
-            selector = FastAmpleSelector(spec, check_safety=check_safety)
+            self.selector = FastAmpleSelector(spec, check_safety=check_safety)
+        self._buf: List[int] = []
 
-            def is_new(successor: int) -> bool:
-                # Sharded C3: only a locally-owned, locally-unvisited
-                # successor is certainly new; anything owned elsewhere
-                # might already sit in a foreign shard's visited set.
-                if canonicalizer is not None:
-                    successor = canonicalizer.canonical(successor)
-                if fingerprint_int(successor) % n_shards != shard:
-                    return False
-                key = fingerprint_int(successor) if fingerprint else successor
-                return key not in seen
+    # -- POR helpers ---------------------------------------------------
 
-        buf: List[int] = []
+    def _batch_key_of(self, states):
+        if self.batch_canon is not None:
+            states = self.batch_canon.canonical_many(states)
+        return (
+            self._batch_mod.fingerprint_many(states)
+            if self.fingerprint
+            else states
+        )
+
+    def _batch_in_visited(self, keys):
+        # Sharded C3, vectorized: certainly new means locally owned
+        # AND absent from this shard's visited set, so "possibly
+        # visited" is foreign-owned OR present.  In fingerprint mode
+        # the key already is the ownership digest; otherwise it is the
+        # canonical state and the digest is recomputed, matching the
+        # scalar closure.
+        np = self._np
+        fps = (
+            keys
+            if self.fingerprint
+            else self._batch_mod.fingerprint_many(keys)
+        )
+        foreign = (fps % np.uint64(self.n_shards)) != np.uint64(self.shard)
+        present = np.asarray(
+            self.seen.contains_many(keys.tolist()), dtype=bool
+        )
+        return foreign | present
+
+    def _is_new(self, successor: int) -> bool:
+        # Sharded C3: only a locally-owned, locally-unvisited successor
+        # is certainly new; anything owned elsewhere might already sit
+        # in a foreign shard's visited set.
+        if self.canonicalizer is not None:
+            successor = self.canonicalizer.canonical(successor)
+        if fingerprint_int(successor) % self.n_shards != self.shard:
+            return False
+        key = fingerprint_int(successor) if self.fingerprint else successor
+        return key not in self.seen
+
+    # -- checkpoint plumbing -------------------------------------------
+
+    def dump_to(self, path: Path) -> int:
+        """Stream the shard's visited keys to ``path`` as a u64 array."""
+        return write_u64_file(Path(path), iter(self.seen))
+
+    def load_from(self, path: Path) -> int:
+        """Bulk-load a previous :meth:`dump_to` file (resume)."""
+        from repro.store.checkpoint import read_u64_file
+
+        return self.seen.load(read_u64_file(Path(path)))
+
+    def visited_keys(self) -> List[int]:
+        """The visited keys as a list (wire-transported checkpoints)."""
+        return list(self.seen)
+
+    def load_keys(self, keys: Sequence[int]) -> int:
+        """Bulk-load visited keys received over a transport."""
+        return self.seen.load(keys)
+
+    def close(self) -> None:
+        self.seen.close()
+
+    # -- one BFS round -------------------------------------------------
+
+    def process_round(self, batch):
+        """Admit + expand one round; see the class docstring for fields."""
+        if self.use_batch:
+            return self._process_round_batch(batch)
+        return self._process_round_scalar(batch)
+
+    def _process_round_batch(self, batch):
+        np = self._np
+        batch_mod = self._batch_mod
+        kernel = self.kernel
+        batch_canon = self.batch_canon
+        assert kernel is not None
+        entries = np.asarray(batch, dtype=np.uint64)
+        states = entries >> np.uint64(1)
+        skipped = 0
+        if self.canonicalizer is not None:
+            certified = (entries & np.uint64(1)) == 1
+            skipped = int(certified.sum())
+            if batch_canon is not None and not bool(certified.all()):
+                states = states.copy()
+                states[~certified] = batch_canon.canonical_many(
+                    states[~certified]
+                )
+        keys = (
+            batch_mod.fingerprint_many(states)
+            if self.fingerprint
+            else states
+        )
+        unique_keys, first_occ = batch_mod._unique_first(keys)
+        present = np.asarray(
+            self.seen.contains_many(unique_keys.tolist()), dtype=bool
+        )
+        admit_pos = np.sort(first_occ[~present])
+        admitted_arr = states[admit_pos]
+        self.seen.add_many(keys[admit_pos].tolist())
+        n_admitted = int(admitted_arr.size)
+        covered = None
+        if self.symmetry:
+            covered = (
+                int(batch_canon.orbit_sizes(admitted_arr).sum())
+                if batch_canon is not None
+                else n_admitted
+            )
+        violation = None
+        if self.check_safety and n_admitted:
+            _, violation = batch_mod._first_violation(
+                self.spec, kernel, admitted_arr
+            )
+        transitions = 0
+        outboxes = {}
+        if violation is None and n_admitted:
+            if self.batch_selector is not None:
+                ample = self.batch_selector.select(
+                    admitted_arr, self._batch_key_of, self._batch_in_visited
+                )
+                successors, _counts = kernel.expand_level(admitted_arr, ample)
+            else:
+                successors, _counts = kernel.expand_level(admitted_arr)
+            transitions = int(successors.size)
+            if batch_canon is not None:
+                successors = batch_canon.canonical_many(successors)
+            canonical_bit = (
+                np.uint64(1) if batch_canon is not None else np.uint64(0)
+            )
+            owners = batch_mod.fingerprint_many(successors) % np.uint64(
+                self.n_shards
+            )
+            wire = (successors << np.uint64(1)) | canonical_bit
+            for owner in range(self.n_shards):
+                part = wire[owners == np.uint64(owner)]
+                if part.size:
+                    outboxes[owner] = part
+        return (
+            n_admitted, transitions, violation, outboxes, covered, skipped,
+            self.batch_selector.counters.as_dict()
+            if self.batch_selector is not None
+            else None,
+        )
+
+    def _process_round_scalar(self, batch):
+        spec = self.spec
+        canonicalizer = self.canonicalizer
+        seen_add = self.seen.add
+        buf = self._buf
+        admitted: List[int] = []
+        covered = 0 if self.symmetry else None
+        violation = None
+        skipped = 0
+        for entry in batch:
+            state = entry >> 1
+            if canonicalizer is not None:
+                if entry & 1:
+                    skipped += 1  # sender certified canonical form
+                else:
+                    state = canonicalizer.canonical(state)
+            key = fingerprint_int(state) if self.fingerprint else state
+            if not seen_add(key):
+                continue
+            admitted.append(state)
+            if self.symmetry:
+                covered += (
+                    canonicalizer.orbit_size(state)
+                    if canonicalizer is not None
+                    else 1
+                )
+            if self.check_safety and violation is None:
+                violation = spec.check_outputs(state)
+        transitions = 0
+        outboxes: Dict[int, List[int]] = {}
+        if violation is None:
+            canonical = (
+                canonicalizer.canonical if canonicalizer is not None else None
+            )
+            canonical_bit = 1 if canonical is not None else 0
+            for state in admitted:
+                if self.selector is None:
+                    spec.successor_states_into(state, buf)
+                else:
+                    self.selector.expand(state, buf, self._is_new)
+                transitions += len(buf)
+                for successor in buf:
+                    if canonical is not None:
+                        successor = canonical(successor)
+                    owner = fingerprint_int(successor) % self.n_shards
+                    outboxes.setdefault(owner, []).append(
+                        (successor << 1) | canonical_bit
+                    )
+        return (
+            len(admitted), transitions, violation, outboxes, covered, skipped,
+            self.selector.counters.as_dict()
+            if self.selector is not None
+            else None,
+        )
+
+
+def _shard_worker(
+    conn,
+    inputs: Tuple[int, ...],
+    wiring: WiringClass,
+    level_target: Optional[int],
+    shard: int,
+    n_shards: int,
+    check_safety: bool,
+    fingerprint: bool,
+    symmetry: bool = False,
+    store_config: Optional[StoreConfig] = None,
+    por: bool = False,
+    engine: str = "scalar",
+) -> None:
+    """Pipe transport around one :class:`ShardEngine`.
+
+    Protocol: driver sends ``("round", entries)``; the engine processes
+    the layer and the worker replies ``("layer", admitted, transitions,
+    violation, outboxes, covered, skipped, por_counters)``.
+    ``("stop",)`` terminates.  For checkpointing, ``("dump", path)``
+    streams the shard's visited keys to ``path`` as a u64 array and
+    replies ``("dumped", count)``; ``("load", path)`` bulk-loads a
+    previous dump (resume) and replies ``("loaded", count)``.  All
+    exploration semantics live in :class:`ShardEngine`.
+    """
+    shard_engine = None
+    try:
+        shard_engine = ShardEngine(
+            inputs, wiring, level_target, shard, n_shards, check_safety,
+            fingerprint, symmetry=symmetry, store_config=store_config,
+            por=por, engine=engine,
+        )
         while True:
             message = conn.recv()
             if message[0] == "stop":
                 break
             if message[0] == "dump":
-                count = write_u64_file(Path(message[1]), iter(seen))
-                conn.send(("dumped", count))
+                conn.send(("dumped", shard_engine.dump_to(Path(message[1]))))
                 continue
             if message[0] == "load":
-                from repro.store.checkpoint import read_u64_file
-
-                loaded = seen.load(read_u64_file(Path(message[1])))
-                conn.send(("loaded", loaded))
+                conn.send(("loaded", shard_engine.load_from(Path(message[1]))))
                 continue
-            batch = message[1]
-            if use_batch:
-                assert kernel is not None
-                entries = np.asarray(batch, dtype=np.uint64)
-                states = entries >> np.uint64(1)
-                skipped = 0
-                if canonicalizer is not None:
-                    certified = (entries & np.uint64(1)) == 1
-                    skipped = int(certified.sum())
-                    if batch_canon is not None and not bool(certified.all()):
-                        states = states.copy()
-                        states[~certified] = batch_canon.canonical_many(
-                            states[~certified]
-                        )
-                keys = (
-                    batch_mod.fingerprint_many(states)
-                    if fingerprint
-                    else states
-                )
-                unique_keys, first_occ = batch_mod._unique_first(keys)
-                present = np.asarray(
-                    seen.contains_many(unique_keys.tolist()), dtype=bool
-                )
-                admit_pos = np.sort(first_occ[~present])
-                admitted_arr = states[admit_pos]
-                seen.add_many(keys[admit_pos].tolist())
-                n_admitted = int(admitted_arr.size)
-                covered = None
-                if symmetry:
-                    covered = (
-                        int(batch_canon.orbit_sizes(admitted_arr).sum())
-                        if batch_canon is not None
-                        else n_admitted
-                    )
-                violation = None
-                if check_safety and n_admitted:
-                    _, violation = batch_mod._first_violation(
-                        spec, kernel, admitted_arr
-                    )
-                transitions = 0
-                outboxes = {}
-                if violation is None and n_admitted:
-                    if batch_selector is not None:
-                        ample = batch_selector.select(
-                            admitted_arr, _batch_key_of, _batch_in_visited
-                        )
-                        successors, _counts = kernel.expand_level(
-                            admitted_arr, ample
-                        )
-                    else:
-                        successors, _counts = kernel.expand_level(
-                            admitted_arr
-                        )
-                    transitions = int(successors.size)
-                    if batch_canon is not None:
-                        successors = batch_canon.canonical_many(successors)
-                    canonical_bit = (
-                        np.uint64(1)
-                        if batch_canon is not None
-                        else np.uint64(0)
-                    )
-                    owners = batch_mod.fingerprint_many(successors) % np.uint64(
-                        n_shards
-                    )
-                    wire = (successors << np.uint64(1)) | canonical_bit
-                    for owner in range(n_shards):
-                        part = wire[owners == np.uint64(owner)]
-                        if part.size:
-                            outboxes[owner] = part
-                conn.send(
-                    ("layer", n_admitted, transitions, violation, outboxes,
-                     covered, skipped,
-                     batch_selector.counters.as_dict()
-                     if batch_selector is not None
-                     else None)
-                )
-                continue
-            admitted: List[int] = []
-            covered = 0 if symmetry else None
-            violation = None
-            skipped = 0
-            for entry in batch:
-                state = entry >> 1
-                if canonicalizer is not None:
-                    if entry & 1:
-                        skipped += 1  # sender certified canonical form
-                    else:
-                        state = canonicalizer.canonical(state)
-                key = fingerprint_int(state) if fingerprint else state
-                if not seen_add(key):
-                    continue
-                admitted.append(state)
-                if symmetry:
-                    covered += (
-                        canonicalizer.orbit_size(state)
-                        if canonicalizer is not None
-                        else 1
-                    )
-                if check_safety and violation is None:
-                    violation = spec.check_outputs(state)
-            transitions = 0
-            outboxes: Dict[int, List[int]] = {}
-            if violation is None:
-                canonical = (
-                    canonicalizer.canonical
-                    if canonicalizer is not None
-                    else None
-                )
-                canonical_bit = 1 if canonical is not None else 0
-                for state in admitted:
-                    if selector is None:
-                        spec.successor_states_into(state, buf)
-                    else:
-                        selector.expand(state, buf, is_new)
-                    transitions += len(buf)
-                    for successor in buf:
-                        if canonical is not None:
-                            successor = canonical(successor)
-                        owner = fingerprint_int(successor) % n_shards
-                        outboxes.setdefault(owner, []).append(
-                            (successor << 1) | canonical_bit
-                        )
-            conn.send(
-                ("layer", len(admitted), transitions, violation, outboxes,
-                 covered, skipped,
-                 selector.counters.as_dict() if selector is not None else None)
-            )
+            conn.send(("layer",) + shard_engine.process_round(message[1]))
     except EOFError:  # driver went away mid-run
         pass
     except Exception as exc:  # surface worker crashes to the driver
@@ -558,8 +661,8 @@ def _shard_worker(
         except (OSError, BrokenPipeError):
             pass
     finally:
-        if seen is not None:
-            seen.close()
+        if shard_engine is not None:
+            shard_engine.close()
         conn.close()
 
 
@@ -578,6 +681,7 @@ def explore_sharded(
     _after_checkpoint: Optional[Callable[[], None]] = None,
     por: bool = False,
     engine: str = "scalar",
+    heartbeat=None,
 ) -> FastExplorationResult:
     """Frontier-sharded BFS over one wiring class across ``jobs`` cores.
 
@@ -656,6 +760,7 @@ def explore_sharded(
             checkpointer=checkpointer,
             por=por,
             engine=engine,
+            heartbeat=heartbeat,
         )
     # Shard ownership and checkpoint files both carry digests across
     # process boundaries: a per-interpreter fingerprint would silently
@@ -664,7 +769,7 @@ def explore_sharded(
     if checkpointer is not None:
         recorded = checkpointer.completed_result()
         if recorded is not None:
-            return FastExplorationResult(**recorded)
+            return load_result(FastExplorationResult, recorded)
         if spec.state_bits > 63:
             raise ValueError(
                 f"sharded checkpoint frontier entries are (state << 1) |"
@@ -773,12 +878,12 @@ def explore_sharded(
 
         resumed = checkpointer.latest() if checkpointer is not None else None
         if resumed is not None:
-            states = int(resumed.counters["admitted"])
-            transitions = int(resumed.counters["transitions"])
+            states = resumed.counter("admitted")
+            transitions = resumed.counter("transitions")
             if covered is not None:
-                covered = int(resumed.counters["covered"])
+                covered = resumed.counter("covered")
             if recanon_skipped is not None:
-                recanon_skipped = int(resumed.counters["skipped"])
+                recanon_skipped = resumed.counter("skipped")
             if por:
                 por_base = {
                     key: int(resumed.counters.get(key, 0)) for key in por_keys
@@ -811,6 +916,12 @@ def explore_sharded(
             }
 
         while inboxes:
+            if heartbeat is not None:
+                heartbeat.tick(
+                    states,
+                    sum(len(batch) for batch in inboxes.values()),
+                    transitions,
+                )
             for shard in range(jobs):
                 _send(shard, ("round", inboxes.get(shard, [])))
             outboxes: Dict[int, List[int]] = {}

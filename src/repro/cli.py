@@ -335,6 +335,7 @@ def _cmd_check(args: argparse.Namespace) -> int:
                     store=store_cfg, por=args.por, engine=args.engine,
                     sweep_dir=str(ckpt_base) if ckpt_base else None,
                     sweep_meta={**meta_base, "engine": "sweep"},
+                    heartbeat_every=args.heartbeat,
                 )
                 print(f"store-backed class sweep ({args.store}):")
                 for wiring, result in rows:
@@ -383,11 +384,18 @@ def _cmd_check(args: argparse.Namespace) -> int:
                         },
                         every=args.checkpoint_every,
                     )
+                heartbeat = None
+                if args.heartbeat is not None:
+                    from repro.service.heartbeat import Heartbeat
+
+                    heartbeat = Heartbeat(
+                        args.heartbeat, label=f"class-{index:03d}"
+                    )
                 result = explore_sharded(
                     inputs, wiring, jobs=jobs, max_states=max_states,
                     fingerprint=args.fingerprint, symmetry=args.symmetry,
                     store=class_store, checkpointer=checkpointer,
-                    por=args.por, engine=args.engine,
+                    por=args.por, engine=args.engine, heartbeat=heartbeat,
                 )
                 status = "OK" if result.ok else f"VIOLATED: {result.violation}"
                 if not result.ok:
@@ -411,6 +419,7 @@ def _cmd_check(args: argparse.Namespace) -> int:
                     if ckpt_base is not None
                     else None
                 ),
+                heartbeat_every=args.heartbeat,
             )
             for wiring, result in rows:
                 status = "OK" if result.ok else f"VIOLATED: {result.violation}"
@@ -584,6 +593,172 @@ def _print_inferred_footprints(paths, root) -> int:
     return 0
 
 
+def _parse_hostport(text: str):
+    host, _, port = text.rpartition(":")
+    if not host or not port.isdigit():
+        raise argparse.ArgumentTypeError(
+            f"expected HOST:PORT, got {text!r}"
+        )
+    return host, int(port)
+
+
+def _service_client(args: argparse.Namespace):
+    from pathlib import Path
+
+    from repro.service.transport import ServiceClient
+
+    if args.connect is not None:
+        host, port = args.connect
+        return ServiceClient(host, port)
+    return ServiceClient.for_state_dir(Path(args.state_dir))
+
+
+def _print_job(record) -> int:
+    """Render one job record; exit status 0 only for a clean ``done``."""
+    spec = record.spec
+    print(f"{record.job_id}: {record.state}"
+          f" (n={spec.n}, budget={spec.budget or 'exhaustive'},"
+          f" engine={spec.engine}, shards={spec.shards},"
+          f" symmetry={spec.symmetry}, por={spec.por})")
+    if record.error:
+        print(f"  error: {record.error}")
+    failures = 0
+    for row in record.rows:
+        result = row["result"]
+        violation = result.get("violation")
+        if violation:
+            failures += 1
+            print(f"  class {row['class']}: {result['states']} states,"
+                  f" VIOLATED: {violation}")
+        else:
+            scope = "exhaustive" if result.get("complete") else "bounded"
+            print(f"  class {row['class']}: {result['states']} states"
+                  f" ({scope}), OK")
+    if record.state != "done":
+        return 1
+    return 0 if failures == 0 else 1
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+    from pathlib import Path
+
+    from repro.service.coordinator import run_coordinator
+
+    try:
+        asyncio.run(run_coordinator(
+            Path(args.state_dir), host=args.host, port=args.port,
+        ))
+    except KeyboardInterrupt:
+        print("\n[serve] interrupted; jobs resume on the next serve")
+    return 0
+
+
+def _cmd_worker(args: argparse.Namespace) -> int:
+    from repro.service.worker import run_worker
+
+    host, port = args.connect
+    return run_worker(
+        host, port, name=args.name,
+        reconnect_attempts=args.reconnect_attempts,
+    )
+
+
+def _cmd_submit(args: argparse.Namespace) -> int:
+    from repro.service.jobs import JobError, JobSpec
+    from repro.service.transport import ServiceError
+
+    try:
+        spec = JobSpec(
+            n=args.n,
+            budget=args.budget,
+            fingerprint=args.fingerprint,
+            symmetry=args.symmetry,
+            por=args.por,
+            engine=args.engine,
+            store=args.store,
+            mem_cap=args.mem_cap,
+            shards=args.shards,
+            checkpoint_every=args.checkpoint_every,
+        )
+        spec.validate()
+        with _service_client(args) as client:
+            job_id = client.submit(spec)
+            print(f"submitted {job_id}")
+            if not args.wait:
+                return 0
+            record = client.wait(job_id)
+        return _print_job(record)
+    except (JobError, ServiceError) as exc:
+        print(f"error: {exc}")
+        return 2
+
+
+def _cmd_status(args: argparse.Namespace) -> int:
+    from repro.service.jobs import JobRecord
+    from repro.service.transport import ServiceError
+
+    try:
+        with _service_client(args) as client:
+            reply = client.status(args.job_id)
+    except ServiceError as exc:
+        print(f"error: {exc}")
+        return 2
+    jobs = [reply["job"]] if "job" in reply else reply.get("jobs", [])
+    if not jobs:
+        print("no jobs")
+    for payload in jobs:
+        record = JobRecord.from_dict(dict(payload))
+        progress = {
+            key: value
+            for key, value in record.progress.items()
+            if not key.startswith("_") and key != "workers"
+        }
+        print(f"{record.job_id}: {record.state}"
+              + (f" {progress}" if record.state == "running" else ""))
+    workers = reply.get("workers", [])
+    print(f"workers: {len(workers)}")
+    for worker in workers:
+        print(f"  {worker.get('name')}: shards={worker.get('shards')},"
+              f" states={worker.get('states', 0)},"
+              f" last seen {worker.get('last_seen_age_s', '?')}s ago")
+    return 0
+
+
+def _cmd_result(args: argparse.Namespace) -> int:
+    import json as json_mod
+
+    from repro.service.transport import ServiceError
+
+    try:
+        with _service_client(args) as client:
+            record = (
+                client.wait(args.job_id) if args.wait
+                else client.job(args.job_id)
+            )
+    except ServiceError as exc:
+        print(f"error: {exc}")
+        return 2
+    if args.json:
+        print(json_mod.dumps(record.to_dict(), indent=2, sort_keys=True))
+        return 0 if record.state == "done" else 1
+    return _print_job(record)
+
+
+def _cmd_cancel(args: argparse.Namespace) -> int:
+    from repro.service.transport import ServiceError
+
+    try:
+        with _service_client(args) as client:
+            record = client.cancel(args.job_id)
+    except ServiceError as exc:
+        print(f"error: {exc}")
+        return 2
+    print(f"{record.job_id}: {record.state}"
+          + (" (cancel requested)" if record.cancel_requested else ""))
+    return 0
+
+
 def _cmd_lower_bound(args: argparse.Namespace) -> int:
     from repro.core import SnapshotMachine
     from repro.sim.adversaries import demonstrate_erasure
@@ -752,6 +927,12 @@ def build_parser() -> argparse.ArgumentParser:
              " is only warned about",
     )
     check.add_argument(
+        "--heartbeat", type=float, default=None, metavar="SECS",
+        help="print a progress line to stderr every SECS seconds of a"
+             " long run: admitted states (with delta and states/s),"
+             " frontier size, transitions, and resident set size",
+    )
+    check.add_argument(
         "--profile", default=None, metavar="FILE",
         help="cProfile the exploration loop (only — argument parsing and"
              " reporting are excluded) and dump the stats to FILE for"
@@ -816,6 +997,123 @@ def build_parser() -> argparse.ArgumentParser:
     )
     lower.add_argument("--n", type=int, default=4)
     lower.set_defaults(handler=_cmd_lower_bound)
+
+    serve = sub.add_parser(
+        "serve",
+        help="run the checking-service coordinator: accepts campaign"
+             " jobs from `repro submit` and drives `repro worker`"
+             " fleets (see docs/service.md)",
+    )
+    serve.add_argument(
+        "--state-dir", required=True, metavar="DIR",
+        help="persistent state: the job queue, per-job checkpoints, and"
+             " endpoint.json (how local clients discover the port)",
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument(
+        "--port", type=int, default=0,
+        help="listening port (default 0: pick a free port and record it"
+             " in endpoint.json)",
+    )
+    serve.set_defaults(handler=_cmd_serve)
+
+    worker = sub.add_parser(
+        "worker",
+        help="run one checking worker against a coordinator; workers"
+             " may join and leave mid-run (elastic membership)",
+    )
+    worker.add_argument(
+        "--connect", type=_parse_hostport, required=True,
+        metavar="HOST:PORT",
+    )
+    worker.add_argument(
+        "--name", default=None,
+        help="worker name shown in `repro status` (default:"
+             " worker-<hostname>-<pid>)",
+    )
+    worker.add_argument(
+        "--reconnect-attempts", type=int, default=10,
+        help="consecutive connect failures tolerated before giving up"
+             " (exponential backoff between attempts)",
+    )
+    worker.set_defaults(handler=_cmd_worker)
+
+    def add_client_command(name, help_text, handler):
+        cmd = sub.add_parser(name, help=help_text)
+        target = cmd.add_mutually_exclusive_group(required=True)
+        target.add_argument(
+            "--state-dir", metavar="DIR",
+            help="a local coordinator's state directory (the port is"
+                 " read from its endpoint.json)",
+        )
+        target.add_argument(
+            "--connect", type=_parse_hostport, metavar="HOST:PORT",
+            help="a coordinator's address (remote coordinators)",
+        )
+        cmd.set_defaults(handler=handler, connect=None, state_dir=None)
+        return cmd
+
+    submit = add_client_command(
+        "submit", "submit a checking campaign to a coordinator",
+        _cmd_submit,
+    )
+    submit.add_argument("--n", type=int, default=2, choices=[2, 3])
+    submit.add_argument(
+        "--budget", type=int, default=0,
+        help="states per wiring class; 0 (default) = exhaustive",
+    )
+    submit.add_argument("--fingerprint", action="store_true")
+    submit.add_argument("--symmetry", action="store_true")
+    submit.add_argument("--por", action="store_true")
+    submit.add_argument(
+        "--engine", choices=["scalar", "batch"], default="scalar",
+    )
+    submit.add_argument("--store", choices=list(BACKENDS), default="ram")
+    submit.add_argument(
+        "--mem-cap", type=_parse_mem, default=DEFAULT_MEM_CAP,
+        metavar="BYTES",
+    )
+    submit.add_argument(
+        "--shards", type=int, default=4,
+        help="logical frontier shards (fixed per job; workers are"
+             " assigned shard subsets, so the verdict is independent of"
+             " worker count — default 4)",
+    )
+    submit.add_argument(
+        "--checkpoint-every", type=int, default=2000, metavar="STATES",
+        help="checkpoint cadence in admitted states; a killed worker"
+             " loses at most one interval (default 2000)",
+    )
+    submit.add_argument(
+        "--wait", action="store_true",
+        help="block until the job finishes and print its verdicts",
+    )
+
+    status = add_client_command(
+        "status", "job queue + worker fleet of a coordinator",
+        _cmd_status,
+    )
+    status.add_argument("job_id", nargs="?", default=None)
+
+    result = add_client_command(
+        "result", "fetch one job's verdicts (and any counterexamples)",
+        _cmd_result,
+    )
+    result.add_argument("job_id")
+    result.add_argument(
+        "--json", action="store_true",
+        help="dump the full job record (spec, progress, per-class"
+             " results) as JSON",
+    )
+    result.add_argument(
+        "--wait", action="store_true",
+        help="block until the job reaches a terminal state first",
+    )
+
+    cancel = add_client_command(
+        "cancel", "cancel a queued or running job", _cmd_cancel,
+    )
+    cancel.add_argument("job_id")
 
     return parser
 

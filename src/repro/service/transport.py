@@ -1,0 +1,144 @@
+"""Client-side transport: talk to a coordinator from code or the CLI.
+
+:class:`ServiceClient` is a small synchronous client over
+:class:`~repro.service.protocol.SyncFrameIO` — one ``hello``/``welcome``
+handshake, then request/response.  ``repro submit/status/result/cancel``
+are thin wrappers around it, and tests/benchmarks drive it directly.
+
+:func:`discover_endpoint` reads the ``endpoint.json`` a coordinator
+writes into its state directory on startup, so local tooling can find a
+coordinator started with ``--port 0`` without scraping its output.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import time
+from pathlib import Path
+from typing import Any, Dict, Iterator, List, Optional, Tuple
+
+from repro.service.jobs import JobRecord, JobSpec
+from repro.service.protocol import ProtocolError, SyncFrameIO
+
+
+class ServiceError(RuntimeError):
+    """The coordinator refused a request (its error message verbatim)."""
+
+
+def discover_endpoint(state_dir: Path) -> Tuple[str, int]:
+    """The (host, port) a coordinator on ``state_dir`` listens on."""
+    path = Path(state_dir) / "endpoint.json"
+    if not path.exists():
+        raise ServiceError(
+            f"no coordinator endpoint under {state_dir} — is"
+            " `repro serve` running with this --state-dir?"
+        )
+    loaded = json.loads(path.read_text())
+    return str(loaded["host"]), int(loaded["port"])
+
+
+class ServiceClient:
+    """One connected client session against a coordinator."""
+
+    def __init__(self, host: str, port: int, timeout: float = 30.0) -> None:
+        sock = socket.create_connection((host, port), timeout=timeout)
+        sock.settimeout(None)
+        self._io = SyncFrameIO(sock)
+        self._io.send({"type": "hello", "role": "client", "name": "cli"})
+        welcome, _ = self._io.recv()
+        if welcome.get("type") != "welcome":
+            raise ProtocolError(f"expected welcome, got {welcome!r}")
+
+    @classmethod
+    def for_state_dir(
+        cls, state_dir: Path, timeout: float = 30.0
+    ) -> "ServiceClient":
+        host, port = discover_endpoint(state_dir)
+        return cls(host, port, timeout=timeout)
+
+    def close(self) -> None:
+        self._io.close()
+
+    def __enter__(self) -> "ServiceClient":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    def _request(
+        self, header: Dict[str, Any], expect: str
+    ) -> Dict[str, Any]:
+        self._io.send(header)
+        reply, _ = self._io.recv()
+        if reply.get("type") == "error":
+            raise ServiceError(str(reply.get("message")))
+        if reply.get("type") != expect:
+            raise ProtocolError(
+                f"expected a {expect!r} reply, got {reply.get('type')!r}"
+            )
+        return reply
+
+    # -- the job API ---------------------------------------------------
+
+    def submit(self, spec: JobSpec) -> str:
+        reply = self._request(
+            {"type": "submit", "spec": spec.to_dict()}, "submitted"
+        )
+        return str(reply["job_id"])
+
+    def status(self, job_id: Optional[str] = None) -> Dict[str, Any]:
+        header: Dict[str, Any] = {"type": "status"}
+        if job_id is not None:
+            header["job_id"] = job_id
+        return self._request(header, "status")
+
+    def job(self, job_id: str) -> JobRecord:
+        reply = self._request(
+            {"type": "result", "job_id": job_id}, "result"
+        )
+        return JobRecord.from_dict(dict(reply["job"]))
+
+    def cancel(self, job_id: str) -> JobRecord:
+        reply = self._request(
+            {"type": "cancel", "job_id": job_id}, "cancelled"
+        )
+        return JobRecord.from_dict(dict(reply["job"]))
+
+    def workers(self) -> List[Dict[str, Any]]:
+        reply = self._request({"type": "workers"}, "workers")
+        return list(reply["workers"])
+
+    def watch(self, job_id: str) -> Iterator[Dict[str, Any]]:
+        """Stream progress events until the job finishes.
+
+        Yields the coordinator's ``progress`` frames and finally the
+        ``end`` frame (whose ``job`` field is the finished record).
+        This consumes the connection; use a fresh client afterwards.
+        """
+        self._io.send({"type": "watch", "job_id": job_id})
+        while True:
+            reply, _ = self._io.recv()
+            if reply.get("type") == "error":
+                raise ServiceError(str(reply.get("message")))
+            yield reply
+            if reply.get("type") == "end":
+                return
+
+    def wait(
+        self,
+        job_id: str,
+        timeout: Optional[float] = None,
+        poll_s: float = 0.2,
+    ) -> JobRecord:
+        """Poll until the job reaches a terminal state; the record."""
+        deadline = None if timeout is None else time.monotonic() + timeout
+        while True:
+            record = self.job(job_id)
+            if record.done:
+                return record
+            if deadline is not None and time.monotonic() > deadline:
+                raise TimeoutError(
+                    f"{job_id} still {record.state} after {timeout}s"
+                )
+            time.sleep(poll_s)

@@ -26,6 +26,7 @@ is legitimate when the model itself did not change.
 
 from __future__ import annotations
 
+import dataclasses
 import json
 import os
 import shutil
@@ -34,7 +35,7 @@ import warnings
 from array import array
 from itertools import chain
 from pathlib import Path
-from typing import Any, Dict, Iterable, Iterator, List, Optional
+from typing import Any, Dict, Iterable, Iterator, List, Optional, Type, TypeVar
 
 #: Keys buffered per ``tofile`` call when streaming u64 files.
 _CHUNK = 4096
@@ -124,23 +125,53 @@ def load_meta(directory: Path) -> Optional[Dict[str, Any]]:
 def check_meta_compatible(
     existing: Dict[str, Any], requested: Dict[str, Any]
 ) -> None:
-    """Refuse resume when any semantic configuration field differs."""
-    mismatched = sorted(
-        field
-        for field in set(existing) | set(requested)
-        if field not in ADVISORY_META_FIELDS
-        and existing.get(field) != requested.get(field)
+    """Refuse resume when any semantic configuration field differs.
+
+    The refusal message distinguishes the three ways metas diverge, so
+    a cross-version resume reads as exactly that instead of a generic
+    mismatch (or, before this existed, a raw ``KeyError``): keys only
+    the checkpoint knows (written by a newer schema), keys only this
+    invocation knows (the checkpoint predates them), and keys both know
+    with different values.
+    """
+    unknown = sorted(
+        field for field in existing
+        if field not in requested and field not in ADVISORY_META_FIELDS
     )
-    if mismatched:
-        details = ", ".join(
-            f"{field}: checkpoint={existing.get(field)!r}"
-            f" requested={requested.get(field)!r}"
-            for field in mismatched
-        )
+    missing = sorted(
+        field for field in requested
+        if field not in existing and field not in ADVISORY_META_FIELDS
+    )
+    differing = sorted(
+        field
+        for field in set(existing) & set(requested)
+        if field not in ADVISORY_META_FIELDS
+        and existing[field] != requested[field]
+    )
+    if unknown or missing or differing:
+        parts = []
+        if unknown:
+            parts.append(
+                f"unknown keys recorded by the checkpoint (a newer config"
+                f" schema?): {', '.join(unknown)}"
+            )
+        if missing:
+            parts.append(
+                f"keys this invocation requires that the checkpoint never"
+                f" recorded: {', '.join(missing)}"
+            )
+        if differing:
+            parts.append(
+                "differing values: " + ", ".join(
+                    f"{field}: checkpoint={existing.get(field)!r}"
+                    f" requested={requested.get(field)!r}"
+                    for field in differing
+                )
+            )
         raise CheckpointIncompatible(
-            f"checkpoint configuration mismatch ({details}) — the stored"
-            " visited set is only valid for the configuration that wrote"
-            " it; start a fresh run directory instead"
+            f"checkpoint configuration mismatch ({'; '.join(parts)}) — the"
+            " stored visited set is only valid for the configuration that"
+            " wrote it; start a fresh run directory instead"
         )
     for field in ADVISORY_META_FIELDS:
         if existing.get(field) != requested.get(field):
@@ -150,6 +181,49 @@ def check_meta_compatible(
                 " results are only comparable if the model is unchanged",
                 stacklevel=2,
             )
+
+
+_ResultT = TypeVar("_ResultT")
+
+
+def load_result(cls: Type[_ResultT], payload: Dict[str, Any]) -> _ResultT:
+    """Rebuild a result dataclass from a recorded dict, refusing drift.
+
+    Recorded results (``result.json``, sweep ``classes.json``) written
+    by a *newer* schema may carry fields this version has never heard
+    of, and ones written by an *older* schema may lack fields this
+    version requires; naively splatting the dict into the dataclass
+    turns both into a bare ``TypeError``/``KeyError``.  Validate first
+    and raise the documented config-compat refusal instead.  Fields the
+    dataclass declares with defaults are optional, so resuming records
+    from older (strictly smaller) schemas keeps working.
+    """
+    declared = {field.name: field for field in dataclasses.fields(cls)}  # type: ignore[arg-type]
+    unknown = sorted(key for key in payload if key not in declared)
+    missing = sorted(
+        name
+        for name, field in declared.items()
+        if name not in payload
+        and field.default is dataclasses.MISSING
+        and field.default_factory is dataclasses.MISSING
+    )
+    if unknown or missing:
+        parts = []
+        if unknown:
+            parts.append(
+                f"unknown fields recorded by the checkpoint (a newer"
+                f" config schema?): {', '.join(unknown)}"
+            )
+        if missing:
+            parts.append(
+                f"required fields the record lacks: {', '.join(missing)}"
+            )
+        raise CheckpointIncompatible(
+            f"recorded {cls.__name__} does not match this version's"
+            f" schema ({'; '.join(parts)}) — re-run from a fresh"
+            " checkpoint directory (or a matching version) instead"
+        )
+    return cls(**payload)
 
 
 # ----------------------------------------------------------------------
@@ -170,6 +244,27 @@ class Checkpoint:
                 f"checkpoint {self.directory} has no readable counters.json"
             ) from exc
         self.counters: Dict[str, Any] = dict(loaded)
+
+    def counter(self, key: str, default: Optional[int] = None) -> int:
+        """One counters.json entry, with the config-compat refusal.
+
+        Resuming a checkpoint whose counters were written under a
+        different (newer) schema used to die with a raw ``KeyError``
+        deep in the engine; going through this accessor turns the
+        missing key into the documented :class:`CheckpointIncompatible`
+        message naming the key and the keys actually recorded.
+        """
+        if key in self.counters:
+            return int(self.counters[key])
+        if default is not None:
+            return default
+        recorded = ", ".join(sorted(self.counters)) or "none"
+        raise CheckpointIncompatible(
+            f"checkpoint {self.directory} records no {key!r} counter"
+            f" (recorded: {recorded}) — it was written by an"
+            " incompatible (newer?) config schema; start a fresh run"
+            " directory instead"
+        )
 
     def frontier(self, shard: Optional[int] = None) -> "array[int]":
         name = "frontier.u64" if shard is None else f"frontier-{shard:03d}.u64"

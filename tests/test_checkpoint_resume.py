@@ -11,6 +11,7 @@ torn-file detection, COMMIT-marker discipline, configuration-mismatch
 refusal, and the completed-run short-circuit.
 """
 
+import json
 import os
 import signal
 
@@ -350,3 +351,120 @@ class TestSweepCheckpoint:
                 2, budget=99, sweep_dir=str(tmp_path),
                 sweep_meta={**META, "budget": 99},
             )
+
+
+# ----------------------------------------------------------------------
+# Schema drift: newer/older checkpoints refuse cleanly, never KeyError
+# ----------------------------------------------------------------------
+
+
+class TestSchemaDriftRefusal:
+    """Resuming a checkpoint written by a different config schema —
+    typically a newer version that records keys this one has never
+    heard of — must refuse with a message naming the drifted keys.
+    Before the compat layer, every one of these scenarios died with a
+    raw ``KeyError``/``TypeError`` deep inside the engine."""
+
+    def test_meta_unknown_key_names_it(self, tmp_path):
+        RunCheckpointer(tmp_path, {**META, "quotienting": "orbit-v2"})
+        with pytest.raises(
+            CheckpointIncompatible,
+            match=r"newer config schema\?\): quotienting",
+        ):
+            RunCheckpointer(tmp_path, META)
+
+    def test_meta_missing_key_names_it(self, tmp_path):
+        RunCheckpointer(tmp_path, META)
+        with pytest.raises(
+            CheckpointIncompatible, match="never recorded: quotienting"
+        ):
+            RunCheckpointer(tmp_path, {**META, "quotienting": "orbit-v2"})
+
+    def test_missing_counter_refused_not_keyerror(self, tmp_path):
+        # A mid-run checkpoint whose counters.json uses a different
+        # (renamed) counter key: resume names the missing counter and
+        # the keys actually recorded instead of KeyError'ing.
+        spec = FastSnapshotSpec([1, 2], WIRING)
+        with pytest.raises(KeyboardInterrupt):
+            spec.explore(
+                checkpointer=_CrashAfterCommit(tmp_path, META, every=500)
+            )
+        latest = RunCheckpointer(tmp_path, META, every=500).latest()
+        path = latest.directory / "counters.json"
+        counters = json.loads(path.read_text())
+        counters["states_v2"] = counters.pop("admitted")
+        path.write_text(json.dumps(counters))
+        with pytest.raises(
+            CheckpointIncompatible,
+            match="records no 'admitted' counter .*recorded:.*states_v2",
+        ):
+            spec.explore(
+                checkpointer=RunCheckpointer(tmp_path, META, every=500)
+            )
+
+    def test_result_unknown_field_refused(self, tmp_path):
+        spec = FastSnapshotSpec([1, 2], WIRING)
+        spec.explore(checkpointer=RunCheckpointer(tmp_path, META, every=500))
+        path = tmp_path / "result.json"
+        payload = json.loads(path.read_text())
+        payload["proof_obligations"] = []
+        path.write_text(json.dumps(payload))
+        with pytest.raises(
+            CheckpointIncompatible,
+            match="newer config schema.*proof_obligations.*re-run from a"
+                  " fresh",
+        ):
+            spec.explore(
+                checkpointer=RunCheckpointer(tmp_path, META, every=500)
+            )
+
+    def test_result_missing_required_field_refused(self, tmp_path):
+        spec = FastSnapshotSpec([1, 2], WIRING)
+        spec.explore(checkpointer=RunCheckpointer(tmp_path, META, every=500))
+        path = tmp_path / "result.json"
+        payload = json.loads(path.read_text())
+        del payload["states"]
+        path.write_text(json.dumps(payload))
+        with pytest.raises(
+            CheckpointIncompatible, match="record lacks: states"
+        ):
+            spec.explore(
+                checkpointer=RunCheckpointer(tmp_path, META, every=500)
+            )
+
+    def test_sweep_row_unknown_field_refused(self, tmp_path):
+        check_snapshot_classes(
+            2, budget=2000, sweep_dir=str(tmp_path), sweep_meta=META
+        )
+        path = tmp_path / "classes.json"
+        rows = json.loads(path.read_text())
+        next(iter(rows.values()))["proof_obligations"] = []
+        path.write_text(json.dumps(rows))
+        with pytest.raises(
+            CheckpointIncompatible, match="newer config schema"
+        ):
+            check_snapshot_classes(
+                2, budget=2000, sweep_dir=str(tmp_path), sweep_meta=META
+            )
+
+    def test_cli_resume_newer_schema_exits_cleanly(self, capsys, tmp_path):
+        # The end-to-end satellite scenario: `repro check --resume` on a
+        # sweep directory whose recorded rows carry fields from a newer
+        # schema exits 2 with the named-keys refusal, not a traceback.
+        from repro.cli import main
+
+        argv = ["check", "--n", "3", "--budget", "200",
+                "--checkpoint-dir", str(tmp_path)]
+        assert main(argv) == 0
+        capsys.readouterr()
+        path = tmp_path / "classes.json"
+        rows = json.loads(path.read_text())
+        for row in rows.values():
+            row["proof_obligations"] = []
+        path.write_text(json.dumps(rows))
+        assert main(["check", "--n", "3", "--budget", "200",
+                     "--resume", str(tmp_path)]) == 2
+        out = capsys.readouterr().out
+        assert "error:" in out
+        assert "newer config schema" in out
+        assert "proof_obligations" in out
