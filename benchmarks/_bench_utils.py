@@ -98,6 +98,39 @@ def git_sha() -> Optional[str]:
     return sha if completed.returncode == 0 and sha else None
 
 
+def _headline_states_per_s(document: dict) -> Optional[int]:
+    """The history headline: best single-engine states/s on record.
+
+    Prefers the kernel trend lines (``native``, then ``batch``) on the
+    fixed identity-class workload; falls back to the serial sweep when
+    neither section exists (e.g. numpy-less hosts).
+    """
+    best: Optional[int] = None
+    for section_name, run_key in (("native", "native"), ("batch", "batch")):
+        section = document.get(section_name)
+        if not isinstance(section, dict):
+            continue
+        for mode in (
+            "plain", "fingerprint", "symmetry", "symmetry_fingerprint"
+        ):
+            entry = section.get(mode)
+            if not isinstance(entry, dict):
+                continue
+            run = entry.get(run_key)
+            if isinstance(run, dict) and run.get("states_per_s"):
+                value = int(run["states_per_s"])
+                if best is None or value > best:
+                    best = value
+    if best is not None:
+        return best
+    sweep = document.get("sweep")
+    if isinstance(sweep, dict):
+        serial = sweep.get("serial")
+        if isinstance(serial, dict) and serial.get("states_per_s"):
+            return int(serial["states_per_s"])
+    return None
+
+
 def write_checker_bench(payload: dict, path: Optional[Path] = None) -> Path:
     """Write ``BENCH_checker.json``: the cross-PR checker perf record.
 
@@ -109,6 +142,12 @@ def write_checker_bench(payload: dict, path: Optional[Path] = None) -> Path:
     carry sections from different commits, and the stamps say which.
     Host facts (CPU count, Python, platform) are stamped alongside so
     numbers from different runners are never compared blind.
+
+    A top-level ``history`` list accumulates one entry per git SHA —
+    the headline states/s after each run (best kernel trend line; see
+    :func:`_headline_states_per_s`) — so the checker's perf trajectory
+    across PRs is a one-key read.  Re-runs on the same SHA replace
+    that SHA's entry rather than appending.
     """
     target = Path(path) if path is not None else BENCH_CHECKER_PATH
     sha = git_sha()
@@ -134,5 +173,13 @@ def write_checker_bench(payload: dict, path: Optional[Path] = None) -> Path:
                 if key not in ("schema", "host"):
                     document[key] = value
     document.update(stamped)
+    history = [
+        entry for entry in document.get("history", [])
+        if isinstance(entry, dict) and entry.get("git_sha") != sha
+    ]
+    headline = _headline_states_per_s(document)
+    if headline is not None:
+        history.append({"git_sha": sha, "states_per_s": headline})
+    document["history"] = history
     target.write_text(json.dumps(document, indent=2, sort_keys=False) + "\n")
     return target

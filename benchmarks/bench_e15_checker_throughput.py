@@ -38,6 +38,12 @@ workloads, four axes:
   measured adjacently — per-mode speedup plus in-section conformance
   (identical states/transitions/verdict, or the numbers are garbage);
   standalone ``--only-batch`` remeasures just this section;
+- **native**: the generated-C level kernel (``--kernel native``) vs its
+  numpy twin vs scalar, same identity-class modes, each triple measured
+  adjacently — per-mode ``speedup_vs_numpy``/``speedup_vs_scalar`` plus
+  field-level conformance; without a compiler the section records
+  ``available: false`` and the reason.  Standalone ``--only-native``
+  remeasures just this section;
 - **batch_por**: the two biggest reductions composed — unreduced vs
   scalar+POR vs batch+POR on the identity class under symmetry, all
   three measured adjacently.  Conformance here is verdict-level (the
@@ -119,6 +125,7 @@ def _run_workload(config: dict) -> dict:
     symmetry = config.get("symmetry", False)
     por = config.get("por", False)
     engine = config.get("engine", "scalar")
+    kernel = config.get("kernel", "auto")
 
     store_config = None
     if config.get("store"):
@@ -202,6 +209,7 @@ def _run_workload(config: dict) -> dict:
             store=store_config,
             por=por,
             engine=engine,
+            kernel=kernel,
         )
         states = sum(result.states for _, result in rows)
         transitions = sum(result.transitions for _, result in rows)
@@ -224,6 +232,7 @@ def _run_workload(config: dict) -> dict:
             symmetry=symmetry,
             por=por,
             engine=engine,
+            kernel=kernel,
         )
         states, transitions, ok = result.states, result.transitions, result.ok
         detail = {"class": list(map(list, _REFERENCE_CLASS)),
@@ -241,6 +250,7 @@ def _run_workload(config: dict) -> dict:
             store=store_config,
             por=por,
             engine=engine,
+            kernel=kernel,
         )
         states, transitions, ok = result.states, result.transitions, result.ok
         detail = {"class": list(map(list, wiring)),
@@ -355,7 +365,9 @@ def run_batch_section(budget: int) -> dict:
         base = {"kind": "fast_single", "budget": budget,
                 "class": identity_class, **flags}
         scalar_run = measure({**base, "engine": "scalar"})
-        batch_run = measure({**base, "engine": "batch"})
+        # Pinned to the numpy kernel: this section is the numpy-vs-scalar
+        # trend line; the generated-C kernel has its own section (native).
+        batch_run = measure({**base, "engine": "batch", "kernel": "numpy"})
         same = (
             (scalar_run["states"], scalar_run["transitions"], scalar_run["ok"])
             == (batch_run["states"], batch_run["transitions"], batch_run["ok"])
@@ -421,7 +433,9 @@ def run_batch_por_section(budget: int) -> dict:
             "class": identity_class, "symmetry": True}
     unreduced = measure({**base, "engine": "scalar"})
     scalar_por = measure({**base, "engine": "scalar", "por": True})
-    batch_por = measure({**base, "engine": "batch", "por": True})
+    batch_por = measure(
+        {**base, "engine": "batch", "kernel": "numpy", "por": True}
+    )
     scalar_cut = round(
         unreduced["transitions"] / max(1, scalar_por["transitions"]), 2
     )
@@ -455,6 +469,110 @@ def run_batch_por_section(budget: int) -> dict:
             " amortizes over ~100k+ states)."
         ),
     })
+    return section
+
+
+# ----------------------------------------------------------------------
+# The native-kernel axis (standalone-runnable: --only-native)
+# ----------------------------------------------------------------------
+
+def run_native_section(budget: int) -> dict:
+    """Generated-C kernel vs its numpy twin (and scalar) per mode.
+
+    Same identity-class workload and four modes as the ``batch``
+    section, with the numpy twin measured *adjacently* to each native
+    run — the per-mode ``speedup_vs_numpy`` is the native kernel's
+    honest headline, ``speedup_vs_scalar`` the cumulative one.
+    Conformance is field-level inside the section: per mode all three
+    runs must report identical states/transitions/verdict (kernels are
+    bit-identical by contract) or the numbers are garbage.
+
+    The native kernel is a soft dependency: without numpy or a C
+    compiler (or with ``REPRO_NATIVE_DISABLE=1``) the section records
+    ``available: false`` plus the reason and nothing else.
+    """
+    from repro.checker.batch import HAVE_NUMPY
+
+    identity_class = ((0, 1, 2), (0, 1, 2), (0, 1, 2))
+    section: dict = {"available": False, "budget": budget}
+    if not HAVE_NUMPY:
+        section["reason"] = "numpy unavailable"
+        return section
+    from repro.checker.native import find_compiler, native_available
+
+    if not native_available():
+        section["reason"] = (
+            "no C compiler found (or REPRO_NATIVE_DISABLE=1)"
+        )
+        return section
+    section["available"] = True
+    section["compiler"] = find_compiler()
+    # Warm the on-disk kernel cache (one source per canonicalizer
+    # baking, so both the plain and the symmetry-specialized libraries)
+    # before timing: compilation is a first-use-only cost (~2 s) and
+    # billing it to the first timed mode would skew small budgets.
+    for flags in ({}, {"symmetry": True}):
+        measure({"kind": "fast_single", "budget": 1000,
+                 "class": identity_class, "engine": "batch",
+                 "kernel": "native", **flags})
+    modes = (
+        ("plain", {}),
+        ("fingerprint", {"fingerprint": True}),
+        ("symmetry", {"symmetry": True}),
+        ("symmetry_fingerprint", {"symmetry": True, "fingerprint": True}),
+    )
+    speedups = {}
+    speedups_scalar = {}
+    conformant = True
+    for label, flags in modes:
+        base = {"kind": "fast_single", "budget": budget,
+                "class": identity_class, **flags}
+        scalar_run = measure({**base, "engine": "scalar"})
+        numpy_run = measure({**base, "engine": "batch", "kernel": "numpy"})
+        native_run = measure({**base, "engine": "batch", "kernel": "native"})
+        fields = [
+            (run["states"], run["transitions"], run["ok"])
+            for run in (scalar_run, numpy_run, native_run)
+        ]
+        same = len(set(fields)) == 1
+        conformant = conformant and same
+        speedup = (
+            round(native_run["states_per_s"] / numpy_run["states_per_s"], 2)
+            if numpy_run["states_per_s"]
+            else None
+        )
+        vs_scalar = (
+            round(native_run["states_per_s"] / scalar_run["states_per_s"], 2)
+            if scalar_run["states_per_s"]
+            else None
+        )
+        speedups[label] = speedup
+        speedups_scalar[label] = vs_scalar
+        section[label] = {
+            "scalar": scalar_run,
+            "numpy": numpy_run,
+            "native": native_run,
+            "conformant": same,
+            "speedup_vs_numpy": speedup,
+            "speedup_vs_scalar": vs_scalar,
+        }
+    section["conformant"] = conformant
+    section["speedups_vs_numpy"] = speedups
+    section["speedups_vs_scalar"] = speedups_scalar
+    real = [s for s in speedups.values() if s is not None]
+    section["best_speedup_vs_numpy"] = max(real) if real else None
+    real_scalar = [s for s in speedups_scalar.values() if s is not None]
+    section["best_speedup_vs_scalar"] = (
+        max(real_scalar) if real_scalar else None
+    )
+    section["note"] = (
+        "speedup_vs_numpy = native states/s over the numpy batch kernel"
+        " on the same workload measured adjacently (the kernels are"
+        " field-identical, so this is pure per-state cost); the"
+        " generated library is disk-cached, so compile time is excluded"
+        " by a warm-up run. Small budgets understate the native kernel"
+        " (per-level call overhead amortizes over large frontiers)."
+    )
     return section
 
 
@@ -796,6 +914,7 @@ def run_suite(budget: int, jobs_axis=(1, 2, 4), spill_states=None) -> dict:
         "sweep": sweep, "memory": memory, "symmetry": symmetry,
         "store": store, "por": por, "batch": run_batch_section(budget),
         "batch_por": run_batch_por_section(budget),
+        "native": run_native_section(budget),
         "derived": derived,
     }
 
@@ -894,6 +1013,15 @@ def test_e15_write_bench_json(benchmark):
         if budget >= 200_000:
             assert batch_por["speedup"] >= 2.0, batch_por
             assert batch_por["cut_ratio_batch_vs_scalar"] >= 0.9, batch_por
+    # Native kernel: field-level conformance wherever a compiler exists;
+    # the >= 2x-over-numpy bar is an acceptance-scale assertion.
+    native = payload["native"]
+    if native["available"]:
+        assert native["conformant"], native
+        if budget >= 200_000:
+            assert native["best_speedup_vs_numpy"] >= 2.0, (
+                native["speedups_vs_numpy"]
+            )
     path = write_checker_bench(payload)
     emit("", f"E15c — BENCH_checker.json written: {path}",
          f"  best parallel speedup vs serial:"
@@ -938,6 +1066,25 @@ def _print_batch_por_section(section: dict) -> None:
           f" verdicts conformant: {section['conformant']}")
 
 
+def _print_native_section(section: dict) -> None:
+    if not section.get("available"):
+        print(f"  native: unavailable ({section.get('reason', '?')});"
+              f" nothing measured")
+        return
+    for label in ("plain", "fingerprint", "symmetry", "symmetry_fingerprint"):
+        entry = section[label]
+        print(f"  native/{label}: numpy"
+              f" {entry['numpy']['states_per_s']} st/s vs native"
+              f" {entry['native']['states_per_s']} st/s ="
+              f" {entry['speedup_vs_numpy']}x"
+              f" ({entry['speedup_vs_scalar']}x vs scalar;"
+              f" conformant: {entry['conformant']})")
+    print(f"  native: compiler {section['compiler']},"
+          f" best {section['best_speedup_vs_numpy']}x vs numpy /"
+          f" {section['best_speedup_vs_scalar']}x vs scalar,"
+          f" all modes conformant: {section['conformant']}")
+
+
 def _print_service_section(section: dict) -> None:
     service = section["service"]
     print(f"  service: {section['workers']} worker(s),"
@@ -969,6 +1116,11 @@ def main(argv=None) -> int:
                              " section and merge it into the existing"
                              " BENCH_checker.json (other sections are"
                              " left untouched)")
+    parser.add_argument("--only-native", action="store_true",
+                        help="measure only the native-kernel section"
+                             " (generated-C vs numpy batch kernel vs"
+                             " scalar, adjacent per mode) and merge it"
+                             " into the existing BENCH_checker.json")
     parser.add_argument("--only-batch-por", action="store_true",
                         help="measure only the composed batch+POR"
                              " section (unreduced vs scalar+por vs"
@@ -990,6 +1142,15 @@ def main(argv=None) -> int:
         path = write_checker_bench({"service": section}, path=args.out)
         print(f"wrote {path}")
         _print_service_section(section)
+        return 0 if section["conformant"] else 1
+
+    if args.only_native:
+        section = run_native_section(args.budget)
+        path = write_checker_bench({"native": section}, path=args.out)
+        print(f"wrote {path}")
+        _print_native_section(section)
+        if not section["available"]:
+            return 0
         return 0 if section["conformant"] else 1
 
     if args.only_batch:
@@ -1064,6 +1225,7 @@ def main(argv=None) -> int:
           f" (por+symmetry)")
     _print_batch_section(payload["batch"])
     _print_batch_por_section(payload["batch_por"])
+    _print_native_section(payload["native"])
     ok = all(
         e["ok"] for e in payload["sweep"].values() if "skipped" not in e
     )
@@ -1074,6 +1236,8 @@ def main(argv=None) -> int:
         ok = ok and payload["batch"]["conformant"]
     if payload["batch_por"]["available"]:
         ok = ok and payload["batch_por"]["conformant"]
+    if payload["native"]["available"]:
+        ok = ok and payload["native"]["conformant"]
     if spill_entry["states"] >= 5_000_000:
         ok = ok and spill_entry["rss_under_cap"]
     return 0 if ok else 1

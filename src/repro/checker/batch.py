@@ -171,9 +171,19 @@ def _unique_first(keys: "U64Array") -> Tuple["U64Array", "I64Array"]:
     minimal; a plain (unstable, faster) argsort followed by a
     ``minimum.reduceat`` over each equal-key run recovers the minimal
     positions anyway.
+
+    Already-sorted input (the spill store's merge path hands whole
+    levels back in key order) skips the sort entirely: equal keys are
+    then contiguous, so each run's start *is* its minimal position.
     """
     if keys.size == 0:
         return keys, np.empty(0, dtype=np.intp)
+    if bool(np.all(keys[1:] >= keys[:-1])):
+        flag = np.empty(keys.size, dtype=bool)
+        flag[0] = True
+        np.not_equal(keys[1:], keys[:-1], out=flag[1:])
+        starts = np.flatnonzero(flag)
+        return keys[starts], starts
     perm = np.argsort(keys)
     sorted_keys = keys[perm]
     flag = np.empty(sorted_keys.size, dtype=bool)
@@ -227,7 +237,15 @@ class BatchKernel:
     scalar masks are negative Python ints — two's complement brings
     them into u64 range), and per pid the physical-offset gather table
     the scan step indexes by ``scan_pos``.
+
+    Subclasses (the generated C kernel in
+    :mod:`repro.checker.native.loader`) override the hot methods; the
+    exploration loop and selector only ever call through this
+    interface, so kernels are interchangeable bit-for-bit.
     """
+
+    #: Which implementation serves the hot methods ("numpy"/"native").
+    kernel_name = "numpy"
 
     def __init__(self, spec: FastSnapshotSpec) -> None:
         require_numpy()
@@ -424,6 +442,136 @@ class BatchKernel:
                 bad |= both & (meet != views[pid]) & (meet != views[other])
         return bad
 
+    # ------------------------------------------------------------------
+    # Kernel seam: keys, dedup, symmetry, POR phase 1.  The numpy
+    # implementations delegate to the module-level helpers; the native
+    # kernel overrides each with its compiled twin.
+    # ------------------------------------------------------------------
+    def fingerprint_many(self, states: "U64Array") -> "U64Array":
+        """Batched splitmix64 dedup keys (see module function)."""
+        return fingerprint_many(states)
+
+    def unique_first(
+        self, keys: "U64Array"
+    ) -> Tuple["U64Array", "I64Array"]:
+        """``(sorted distinct keys, minimal position of each)``."""
+        return _unique_first(keys)
+
+    def probe_sorted(
+        self, sorted_keys: "U64Array", values: "U64Array"
+    ) -> Tuple["BoolArray", "I64Array"]:
+        """``(membership mask, insertion positions)`` of ``values``.
+
+        Both arrays must be ascending — ``values`` always comes out of
+        :meth:`unique_first` here, which is what lets the native twin
+        replace per-value binary search with one merge walk.
+        """
+        return _probe_sorted(sorted_keys, values)
+
+    def make_canonicalizer(
+        self, canonicalizer: Optional["FastCanonicalizer"]
+    ) -> Optional[Any]:
+        """The batched orbit reducer for ``canonicalizer`` (or None).
+
+        Returns an object with ``canonical_many`` / ``orbit_sizes`` /
+        ``order``, or None for a trivial (or absent) stabilizer.
+        """
+        if canonicalizer is None or canonicalizer.trivial:
+            return None
+        return BatchCanonicalizer(canonicalizer)
+
+    def por_c0c1(
+        self, frontier: "U64Array", tables: FootprintTables
+    ) -> Tuple["BoolArray", "I64Array", "BoolArray", "I64Array"]:
+        """C0/C1 of the ample selector for a whole frontier at once.
+
+        Returns ``(qualified, nsucc, is_scan, total)``: per-pid rows
+        over the frontier — ``qualified[pid]`` marks states where pid's
+        singleton is a C0/C1-sound ample candidate (at least two active
+        pids, no write/read footprint conflict with any other pid,
+        non-empty successor set), ``nsucc[pid]`` its successor count,
+        ``is_scan[pid]`` its scanning mask — plus the per-state total
+        successor count.
+        """
+        spec = self.spec
+        n = spec.n
+        n_states = int(frontier.shape[0])
+        zero = np.uint64(0)
+        is_scan = np.zeros((n, n_states), dtype=bool)
+        wmasks: List["U64Array"] = []
+        rmasks: List["U64Array"] = []
+        nsucc = np.zeros((n, n_states), dtype=np.int64)
+        active_count = np.zeros(n_states, dtype=np.int64)
+        total = np.zeros(n_states, dtype=np.int64)
+        for pid in range(n):
+            local = (frontier >> spec.local_offsets[pid]) & spec.local_mask
+            phase = (local >> spec.o_phase) & 3
+            writing = phase == _PHASE_WRITE
+            scanning = phase == _PHASE_SCAN
+            unwritten = (local >> spec.o_unwritten) & spec.m_mask
+            wmasks.append(
+                np.where(writing, tables.wmask[pid][unwritten], zero)
+            )
+            rmasks.append(np.where(scanning, tables.m_mask, zero))
+            nsucc[pid] = np.where(
+                writing, tables.popcount[unwritten], np.int64(0)
+            ) + scanning
+            is_scan[pid] = scanning
+            active_count += writing | scanning
+            total += nsucc[pid]
+
+        # C1: pid i conflicts with pid j when i's writes touch j's
+        # footprint or i's scan reads a cell j writes.  Inactive pids
+        # have empty footprints and contribute nothing.
+        eligible = active_count >= 2  # C0
+        qualified = np.zeros((n, n_states), dtype=bool)
+        for i in range(n):
+            conflict = np.zeros(n_states, dtype=bool)
+            for j in range(n):
+                if j == i:
+                    continue
+                conflict |= (
+                    (wmasks[i] & (wmasks[j] | rmasks[j])) != zero
+                ) | ((rmasks[i] & wmasks[j]) != zero)
+            qualified[i] = (nsucc[i] > 0) & eligible & ~conflict
+        return qualified, nsucc, is_scan, total
+
+
+def make_kernel(
+    spec: FastSnapshotSpec,
+    kernel: str = "numpy",
+    canonicalizer: Optional["FastCanonicalizer"] = None,
+) -> BatchKernel:
+    """Construct the level kernel named by ``kernel``.
+
+    ``"numpy"`` is the pure-numpy :class:`BatchKernel`; ``"native"``
+    and ``"auto"`` build the generated C kernel
+    (:mod:`repro.checker.native`) when a compiler and numpy are
+    present, *silently* falling back to numpy otherwise — the two are
+    bit-identical, so degradation never changes results, only speed
+    (the CLI owns the one-time warning for an explicit ``native``
+    request).  ``canonicalizer`` lets the native kernel bake the
+    stabilizer tables into the translation unit.
+    """
+    if kernel not in ("auto", "numpy", "native"):
+        raise ValueError(
+            f"unknown kernel {kernel!r}; choose one of auto, numpy, native"
+        )
+    if kernel in ("auto", "native") and spec.state_bits <= 64:
+        from repro.checker.native.loader import (
+            NativeBuildError,
+            NativeKernel,
+            NativeKernelUnavailable,
+            native_available,
+        )
+
+        if native_available():
+            try:
+                return NativeKernel(spec, canonicalizer=canonicalizer)
+            except (NativeBuildError, NativeKernelUnavailable):
+                pass
+    return BatchKernel(spec)
+
 
 # ----------------------------------------------------------------------
 # Batched canonicalization
@@ -599,51 +747,14 @@ class BatchAmpleSelector:
         expansion) or a pid index per state.
         """
         spec = self.spec
-        tables = self.tables
         n = spec.n
         n_states = int(frontier.shape[0])
-        zero = np.uint64(0)
 
-        locals_: List["U64Array"] = []
-        is_scan: List["BoolArray"] = []
-        wmasks: List["U64Array"] = []
-        rmasks: List["U64Array"] = []
-        nsucc = np.zeros((n, n_states), dtype=np.int64)
-        active_count = np.zeros(n_states, dtype=np.int64)
-        total = np.zeros(n_states, dtype=np.int64)
-        for pid in range(n):
-            local = (frontier >> spec.local_offsets[pid]) & spec.local_mask
-            phase = (local >> spec.o_phase) & 3
-            writing = phase == _PHASE_WRITE
-            scanning = phase == _PHASE_SCAN
-            unwritten = (local >> spec.o_unwritten) & spec.m_mask
-            wmask = np.where(writing, tables.wmask[pid][unwritten], zero)
-            rmask = np.where(scanning, tables.m_mask, zero)
-            count = np.where(
-                writing, tables.popcount[unwritten], np.int64(0)
-            ) + scanning
-            locals_.append(local)
-            is_scan.append(scanning)
-            wmasks.append(wmask)
-            rmasks.append(rmask)
-            nsucc[pid] = count
-            active_count += writing | scanning
-            total += count
-
-        # C1: pid i conflicts with pid j when i's writes touch j's
-        # footprint or i's scan reads a cell j writes.  Inactive pids
-        # have empty footprints and contribute nothing.
-        eligible = active_count >= 2  # C0
-        qualified: List["BoolArray"] = []
-        for i in range(n):
-            conflict = np.zeros(n_states, dtype=bool)
-            for j in range(n):
-                if j == i:
-                    continue
-                conflict |= (
-                    (wmasks[i] & (wmasks[j] | rmasks[j])) != zero
-                ) | ((rmasks[i] & wmasks[j]) != zero)
-            qualified.append((nsucc[i] > 0) & eligible & ~conflict)
+        # Phase 1 (C0/C1) runs inside the kernel — footprint gathers
+        # and the pairwise conflict bitmasks are its hottest masks.
+        qualified, nsucc, is_scan, total = self.kernel.por_c0c1(
+            frontier, self.tables
+        )
 
         selected = np.full(n_states, -1, dtype=np.int64)
         undecided = np.ones(n_states, dtype=bool)
@@ -658,9 +769,11 @@ class BatchAmpleSelector:
                 scan_trial = trial & is_scan[pid]
                 if bool(scan_trial.any()):
                     idx = np.flatnonzero(scan_trial)
-                    succ = self.kernel._scan_step(
-                        frontier[idx], locals_[pid][idx], pid
-                    )
+                    sub = frontier[idx]
+                    loc = (
+                        sub >> spec.local_offsets[pid]
+                    ) & spec.local_mask
+                    succ = self.kernel._scan_step(sub, loc, pid)
                     succ_phase = (
                         succ >> (spec.local_offsets[pid] + spec.o_phase)
                     ) & 3
@@ -677,7 +790,7 @@ class BatchAmpleSelector:
                 passes = np.zeros(n_states, dtype=bool)
                 if cand.size:
                     keys = key_of(cand)
-                    uniq, first = _unique_first(keys)
+                    uniq, first = self.kernel.unique_first(keys)
                     fresh = ~in_visited(uniq)
                     certainly_new = np.zeros(keys.size, dtype=bool)
                     certainly_new[first[fresh]] = True
@@ -743,6 +856,7 @@ def explore_batch(
     por: bool = False,
     por_cycle_proviso: bool = True,
     heartbeat: Optional[Any] = None,
+    kernel: str = "numpy",
 ) -> FastExplorationResult:
     """Level-batched BFS, result-identical to the scalar engine.
 
@@ -752,23 +866,23 @@ def explore_batch(
     by both engines.  With ``por=True`` each level runs
     :class:`BatchAmpleSelector` before expansion; results are then
     verdict-conformant with (not count-identical to) the scalar
-    selector — see the module docstring.
+    selector — see the module docstring.  ``kernel`` names the level
+    kernel (see :func:`make_kernel`); every kernel is bit-identical,
+    so the choice never affects results.
     """
     require_numpy()
     canonicalizer: Optional["FastCanonicalizer"] = None
-    batch_canon: Optional[BatchCanonicalizer] = None
     if symmetry:
         from repro.checker.symmetry import FastCanonicalizer
 
         canonicalizer = FastCanonicalizer(spec)
-        if not canonicalizer.trivial:
-            batch_canon = BatchCanonicalizer(canonicalizer)
-    kernel = BatchKernel(spec)
+    level_kernel = make_kernel(spec, kernel, canonicalizer)
+    batch_canon = level_kernel.make_canonicalizer(canonicalizer)
     symmetric = batch_canon is not None
     selector: Optional[BatchAmpleSelector] = None
     if por:
         selector = BatchAmpleSelector(
-            kernel,
+            level_kernel,
             check_safety=check_safety,
             cycle_proviso=por_cycle_proviso,
         )
@@ -807,7 +921,7 @@ def explore_batch(
             if batch_canon is not None
             else states
         )
-        return fingerprint_many(reps) if fingerprint else reps
+        return level_kernel.fingerprint_many(reps) if fingerprint else reps
 
     def _in_visited(keys: "U64Array") -> "BoolArray":
         if store_obj is not None:
@@ -904,11 +1018,11 @@ def explore_batch(
 
             if selector is not None:
                 selected = selector.select(frontier, _key_of, _in_visited)
-                successors, succ_counts = kernel.expand_level(
+                successors, succ_counts = level_kernel.expand_level(
                     frontier, selected
                 )
             else:
-                successors, succ_counts = kernel.expand_level(frontier)
+                successors, succ_counts = level_kernel.expand_level(frontier)
             level_size = int(successors.size)
             if level_size == 0:
                 break
@@ -916,8 +1030,10 @@ def explore_batch(
             # Candidate filter: generation positions that survive the
             # raw-successor cache (everything, when the cache is off).
             if raw_seen is not None:
-                unique_raw, first_raw = _unique_first(successors)
-                seen_raw, at_raw = _probe_sorted(raw_seen, unique_raw)
+                unique_raw, first_raw = level_kernel.unique_first(successors)
+                seen_raw, at_raw = level_kernel.probe_sorted(
+                    raw_seen, unique_raw
+                )
                 fresh_raw = ~seen_raw
                 keep = np.zeros(level_size, dtype=bool)
                 keep[first_raw[fresh_raw]] = True
@@ -935,7 +1051,7 @@ def explore_batch(
             else:
                 representatives = candidates
             keys = (
-                fingerprint_many(representatives)
+                level_kernel.fingerprint_many(representatives)
                 if fingerprint
                 else representatives
             )
@@ -948,7 +1064,7 @@ def explore_batch(
             # The per-position rank (``return_inverse``) is only needed
             # by the once-per-run budget-trip branch, which recovers it
             # there with a searchsorted.
-            unique_keys, first_occurrence = _unique_first(keys)
+            unique_keys, first_occurrence = level_kernel.unique_first(keys)
             visited_at: Optional["I64Array"] = None
             if store_obj is not None:
                 present = np.asarray(
@@ -956,7 +1072,7 @@ def explore_batch(
                 )
             else:
                 assert fast_visited is not None
-                present, visited_at = _probe_sorted(
+                present, visited_at = level_kernel.probe_sorted(
                     fast_visited, unique_keys
                 )
             fresh_mask = ~present
@@ -980,7 +1096,7 @@ def explore_batch(
             message: Optional[str] = None
             if check_safety and admit_count:
                 violating_rank, message = _first_violation(
-                    spec, kernel, admitted_states
+                    spec, level_kernel, admitted_states
                 )
             parents: Optional["I64Array"] = None
             parent_ends: Optional["I64Array"] = None
@@ -1048,11 +1164,15 @@ def explore_batch(
                 unadmitted = fresh_mask & (
                     first_occurrence >= trip_candidate
                 )
-                in_window = (candidate_gen >= trip_gen) & (
-                    candidate_gen < buffer_end
+                # The window is the tail of one parent's buffer (at
+                # most n*(m+1) entries), so rank only those keys
+                # instead of the whole level.
+                window = np.flatnonzero(
+                    (candidate_gen >= trip_gen)
+                    & (candidate_gen < buffer_end)
                 )
-                inverse = np.searchsorted(unique_keys, keys)
-                truncated += int((unadmitted[inverse] & in_window).sum())
+                inverse = np.searchsorted(unique_keys, keys[window])
+                truncated += int(unadmitted[inverse].sum())
                 if store_obj is not None:
                     store_obj.add_many(admitted_keys.tolist())
                 n_seen += admit_count

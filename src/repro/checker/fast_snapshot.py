@@ -498,6 +498,7 @@ class FastSnapshotSpec:
         por: bool = False,
         por_cycle_proviso: bool = True,
         engine: str = "scalar",
+        kernel: str = "auto",
         heartbeat=None,
     ) -> FastExplorationResult:
         """BFS over all reachable states (for this wiring).
@@ -569,10 +570,23 @@ class FastSnapshotSpec:
         the scalar selector (same ok/violation/complete) but may pick
         different — equally sound — ample sets and hence different
         state/transition counts (see :mod:`repro.checker.por`).
+
+        ``kernel`` picks the batch engine's level kernel: ``"auto"``
+        (default) uses the generated native C kernel
+        (:mod:`repro.checker.native`) when a C compiler is present and
+        the numpy kernel otherwise; ``"numpy"`` and ``"native"`` force
+        a choice (an unavailable ``"native"`` silently degrades to
+        numpy — results are bit-identical either way).  Ignored by the
+        scalar engine.
         """
         if engine not in ("scalar", "batch"):
             raise ValueError(
                 f"unknown engine {engine!r}; choose 'scalar' or 'batch'"
+            )
+        if kernel not in ("auto", "numpy", "native"):
+            raise ValueError(
+                f"unknown kernel {kernel!r}; choose 'auto', 'numpy' or"
+                f" 'native'"
             )
         if engine == "batch":
             from repro.checker import batch as batch_engine
@@ -640,6 +654,7 @@ class FastSnapshotSpec:
                 self, max_states, check_safety, progress_every,
                 fingerprint, symmetry, store, checkpointer,
                 por, por_cycle_proviso, heartbeat=heartbeat,
+                kernel=kernel,
             )
         else:
             result = self._explore_lean(

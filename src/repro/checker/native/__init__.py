@@ -1,0 +1,45 @@
+"""Generated native (C) frontier kernels for the batch engine.
+
+``generator`` emits a translation unit specialized to one machine
+class, ``build`` compiles and caches it on disk, and ``loader`` wraps
+the shared object in the :class:`~repro.checker.batch.BatchKernel`
+interface.  Everything is a soft dependency: without a C compiler (or
+with ``REPRO_NATIVE_DISABLE=1``) the batch engine silently keeps its
+numpy kernel and results are identical.
+"""
+
+from repro.checker.native.build import (
+    NativeBuildError,
+    build_library,
+    cache_root,
+    find_compiler,
+    source_key,
+)
+from repro.checker.native.generator import generate_source
+from repro.checker.native.loader import (
+    KERNEL_CHOICES,
+    NativeCanonicalizer,
+    NativeKernel,
+    NativeKernelUnavailable,
+    load_library,
+    native_available,
+    resolve_kernel,
+    warn_kernel_fallback,
+)
+
+__all__ = [
+    "KERNEL_CHOICES",
+    "NativeBuildError",
+    "NativeCanonicalizer",
+    "NativeKernel",
+    "NativeKernelUnavailable",
+    "build_library",
+    "cache_root",
+    "find_compiler",
+    "generate_source",
+    "load_library",
+    "native_available",
+    "resolve_kernel",
+    "source_key",
+    "warn_kernel_fallback",
+]

@@ -1,0 +1,143 @@
+"""Compile generated kernels into shared objects, cached on disk.
+
+The cache key is a hash of the emitted translation unit itself —
+machine layout, wiring tables, symmetry tables, and the generator
+version are all *in* the text, so any change to any of them produces a
+new key and a fresh compile; nothing else can invalidate stale
+objects.  Artifacts live under ``$REPRO_NATIVE_CACHE`` (or
+``$XDG_CACHE_HOME/repro-native``, or ``~/.cache/repro-native``) as
+``rk-<key>.c`` / ``rk-<key>.so`` pairs; the ``.c`` file is kept beside
+the object for debuggability.
+
+Builds are concurrency-safe: each builder compiles to a private
+temporary name and ``os.replace``\\ s it into place, so parallel
+workers racing on the same spec at worst compile twice.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import shutil
+import subprocess
+from pathlib import Path
+from typing import List, Optional
+
+
+class NativeBuildError(RuntimeError):
+    """The C compiler failed (or is missing) for a generated kernel."""
+
+
+def cache_root() -> Path:
+    """The directory holding compiled kernels (not created here)."""
+    override = os.environ.get("REPRO_NATIVE_CACHE")
+    if override:
+        return Path(override)
+    xdg = os.environ.get("XDG_CACHE_HOME")
+    base = Path(xdg) if xdg else Path.home() / ".cache"
+    return base / "repro-native"
+
+
+def find_compiler() -> Optional[str]:
+    """The first usable C compiler: ``$CC``, then cc, gcc, clang."""
+    candidates: List[str] = []
+    env_cc = os.environ.get("CC")
+    if env_cc:
+        candidates.append(env_cc)
+    candidates.extend(["cc", "gcc", "clang"])
+    for candidate in candidates:
+        resolved = shutil.which(candidate)
+        if resolved:
+            return resolved
+    return None
+
+
+def source_key(source: str) -> str:
+    """Stable cache key: sha256 of the translation unit text."""
+    return hashlib.sha256(source.encode("utf-8")).hexdigest()[:32]
+
+
+def cached_library_for(meta_key: str) -> Optional[Path]:
+    """A cached ``.so`` recorded under a spec-derived index key, if any.
+
+    ``meta_key`` is :func:`repro.checker.native.generator.spec_cache_key`
+    — a hash of the *inputs* to source generation rather than the
+    emitted text.  On a warm cache this skips regenerating megabytes of
+    C (the dominant per-process setup cost for symmetry kernels) just
+    to recompute the source hash.  A missing or stale index entry
+    returns ``None`` and the caller falls back to the generate-and-hash
+    slow path, which re-records the mapping.
+    """
+    index = cache_root() / f"rk-idx-{meta_key}.txt"
+    try:
+        name = index.read_text(encoding="utf-8").strip()
+    except OSError:
+        return None
+    if not name or "/" in name or not name.startswith("rk-"):
+        return None
+    shared_object = cache_root() / name
+    return shared_object if shared_object.exists() else None
+
+
+def record_library_for(meta_key: str, shared_object: Path) -> None:
+    """Record ``meta_key`` -> ``shared_object.name`` in the cache index.
+
+    Atomic (tmp + ``os.replace``) and best-effort: an unwritable cache
+    just means the next process takes the slow path again.
+    """
+    root = cache_root()
+    index = root / f"rk-idx-{meta_key}.txt"
+    tmp = root / f"rk-idx-{meta_key}.{os.getpid()}.tmp"
+    try:
+        root.mkdir(parents=True, exist_ok=True)
+        tmp.write_text(shared_object.name, encoding="utf-8")
+        os.replace(tmp, index)
+    except OSError:
+        tmp.unlink(missing_ok=True)
+
+
+def build_library(source: str) -> Path:
+    """The compiled ``.so`` for ``source``, building it on cache miss."""
+    key = source_key(source)
+    root = cache_root()
+    shared_object = root / f"rk-{key}.so"
+    if shared_object.exists():
+        return shared_object
+    compiler = find_compiler()
+    if compiler is None:
+        raise NativeBuildError(
+            "no C compiler found (tried $CC, cc, gcc, clang)"
+        )
+    root.mkdir(parents=True, exist_ok=True)
+    c_path = root / f"rk-{key}.c"
+    tmp_c = root / f"rk-{key}.{os.getpid()}.tmp.c"
+    tmp_so = root / f"rk-{key}.{os.getpid()}.tmp.so"
+    tmp_c.write_text(source, encoding="utf-8")
+    command = [
+        compiler,
+        "-O2",
+        "-shared",
+        "-fPIC",
+        "-o",
+        str(tmp_so),
+        str(tmp_c),
+    ]
+    try:
+        completed = subprocess.run(
+            command, capture_output=True, text=True, timeout=600
+        )
+    except (OSError, subprocess.TimeoutExpired) as exc:
+        tmp_c.unlink(missing_ok=True)
+        tmp_so.unlink(missing_ok=True)
+        raise NativeBuildError(f"compiler invocation failed: {exc}") from exc
+    if completed.returncode != 0:
+        tmp_c.unlink(missing_ok=True)
+        tmp_so.unlink(missing_ok=True)
+        tail = (completed.stderr or "").strip().splitlines()[-8:]
+        raise NativeBuildError(
+            "kernel compilation failed"
+            f" ({' '.join(command[:4])}...):\n" + "\n".join(tail)
+        )
+    os.replace(tmp_c, c_path)
+    os.replace(tmp_so, shared_object)
+    return shared_object

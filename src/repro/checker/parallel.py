@@ -64,6 +64,25 @@ def class_key(wiring: WiringClass) -> str:
     return ";".join(",".join(str(r) for r in perm) for perm in wiring)
 
 
+def engine_label(engine: str, kernel: str = "auto") -> str:
+    """Heartbeat/progress tag naming the engine and its effective kernel.
+
+    The scalar engine has no kernel choice; for the batch engine the
+    ``auto``/``native`` request is resolved to what will actually run on
+    this host so progress lines are truthful even after a silent numpy
+    fallback.
+    """
+    if engine != "batch":
+        return f"engine={engine}"
+    try:
+        from repro.checker.native.loader import resolve_kernel
+
+        effective = resolve_kernel(kernel)
+    except Exception:  # pragma: no cover - defensive; label only
+        effective = kernel
+    return f"engine=batch kernel={effective}"
+
+
 # ----------------------------------------------------------------------
 # Pool plumbing
 # ----------------------------------------------------------------------
@@ -142,19 +161,25 @@ def _class_store(
 def _explore_class_task(
     task: Tuple[
         int, Tuple[int, ...], WiringClass, Optional[int], int, bool, bool,
-        bool, Optional[StoreConfig], bool, str, Optional[float],
+        bool, Optional[StoreConfig], bool, str, str, Optional[float],
     ],
 ) -> Tuple[int, FastExplorationResult]:
     (index, inputs, wiring, level_target, max_states, check_safety,
-     fingerprint, symmetry, store, por, engine, heartbeat_every) = task
+     fingerprint, symmetry, store, por, engine, kernel,
+     heartbeat_every) = task
     heartbeat = None
     if heartbeat_every is not None:
         from repro.service.heartbeat import Heartbeat
 
         # Per-class heartbeats are labelled so interleaved lines from a
         # parallel sweep stay attributable (floats cross the task tuple;
-        # Heartbeat itself holds an unpicklable emit callable).
-        heartbeat = Heartbeat(heartbeat_every, label=f"class-{index:03d}")
+        # Heartbeat itself holds an unpicklable emit callable).  The
+        # label names the engine (and the batch engine's effective
+        # kernel) so long campaign logs are self-describing.
+        heartbeat = Heartbeat(
+            heartbeat_every,
+            label=f"class-{index:03d} {engine_label(engine, kernel)}",
+        )
     spec = FastSnapshotSpec(inputs, wiring, level_target=level_target)
     result = spec.explore(
         max_states=max_states,
@@ -164,6 +189,7 @@ def _explore_class_task(
         store=_class_store(store, index),
         por=por,
         engine=engine,
+        kernel=kernel,
         heartbeat=heartbeat,
     )
     return index, result
@@ -184,6 +210,7 @@ def check_snapshot_classes(
     sweep_meta: Optional[Dict] = None,
     por: bool = False,
     engine: str = "scalar",
+    kernel: str = "auto",
     heartbeat_every: Optional[float] = None,
 ) -> List[Tuple[WiringClass, FastExplorationResult]]:
     """Sweep every canonical wiring class, ``jobs`` classes at a time.
@@ -203,7 +230,8 @@ def check_snapshot_classes(
     ``engine`` selects each class's exploration engine
     (:meth:`FastSnapshotSpec.explore`'s ``scalar``/``batch``); verdicts
     and counts are engine-independent by the batch engine's conformance
-    contract.
+    contract.  ``kernel`` selects the batch engine's level kernel
+    (``auto``/``numpy``/``native``) and is ignored by the scalar engine.
 
     ``store`` selects each class's visited-set backend (disk-backed
     classes are namespaced per class under the store directory).  With
@@ -237,7 +265,7 @@ def check_snapshot_classes(
             pending.append(index)
     tasks = [
         (index, chosen_inputs, classes[index], level_target, max_states,
-         check_safety, fingerprint, symmetry, store, por, engine,
+         check_safety, fingerprint, symmetry, store, por, engine, kernel,
          heartbeat_every)
         for index in pending
     ]
@@ -358,6 +386,7 @@ class ShardEngine:
         store_config: Optional[StoreConfig] = None,
         por: bool = False,
         engine: str = "scalar",
+        kernel: str = "auto",
         store_namespace: Optional[str] = None,
     ) -> None:
         self.shard = shard
@@ -393,9 +422,8 @@ class ShardEngine:
 
             self._np = np
             self._batch_mod = batch_mod
-            self.kernel = batch_mod.BatchKernel(spec)
-            if canonicalizer is not None:
-                self.batch_canon = batch_mod.BatchCanonicalizer(canonicalizer)
+            self.kernel = batch_mod.make_kernel(spec, kernel, canonicalizer)
+            self.batch_canon = self.kernel.make_canonicalizer(canonicalizer)
         self.selector = None
         self.batch_selector = None
         if por and self.use_batch:
@@ -415,7 +443,7 @@ class ShardEngine:
         if self.batch_canon is not None:
             states = self.batch_canon.canonical_many(states)
         return (
-            self._batch_mod.fingerprint_many(states)
+            self.kernel.fingerprint_many(states)
             if self.fingerprint
             else states
         )
@@ -431,7 +459,7 @@ class ShardEngine:
         fps = (
             keys
             if self.fingerprint
-            else self._batch_mod.fingerprint_many(keys)
+            else self.kernel.fingerprint_many(keys)
         )
         foreign = (fps % np.uint64(self.n_shards)) != np.uint64(self.shard)
         present = np.asarray(
@@ -499,11 +527,11 @@ class ShardEngine:
                     states[~certified]
                 )
         keys = (
-            batch_mod.fingerprint_many(states)
+            kernel.fingerprint_many(states)
             if self.fingerprint
             else states
         )
-        unique_keys, first_occ = batch_mod._unique_first(keys)
+        unique_keys, first_occ = kernel.unique_first(keys)
         present = np.asarray(
             self.seen.contains_many(unique_keys.tolist()), dtype=bool
         )
@@ -539,7 +567,7 @@ class ShardEngine:
             canonical_bit = (
                 np.uint64(1) if batch_canon is not None else np.uint64(0)
             )
-            owners = batch_mod.fingerprint_many(successors) % np.uint64(
+            owners = kernel.fingerprint_many(successors) % np.uint64(
                 self.n_shards
             )
             wire = (successors << np.uint64(1)) | canonical_bit
@@ -623,6 +651,7 @@ def _shard_worker(
     store_config: Optional[StoreConfig] = None,
     por: bool = False,
     engine: str = "scalar",
+    kernel: str = "auto",
 ) -> None:
     """Pipe transport around one :class:`ShardEngine`.
 
@@ -640,7 +669,7 @@ def _shard_worker(
         shard_engine = ShardEngine(
             inputs, wiring, level_target, shard, n_shards, check_safety,
             fingerprint, symmetry=symmetry, store_config=store_config,
-            por=por, engine=engine,
+            por=por, engine=engine, kernel=kernel,
         )
         while True:
             message = conn.recv()
@@ -681,6 +710,7 @@ def explore_sharded(
     _after_checkpoint: Optional[Callable[[], None]] = None,
     por: bool = False,
     engine: str = "scalar",
+    kernel: str = "auto",
     heartbeat=None,
 ) -> FastExplorationResult:
     """Frontier-sharded BFS over one wiring class across ``jobs`` cores.
@@ -732,7 +762,11 @@ def explore_sharded(
     :class:`~repro.checker.batch.BatchAmpleSelector` per round
     (verdict-conformant with, not count-identical to, scalar+POR
     workers — see :mod:`repro.checker.por`); ``por`` totals round-trip
-    through checkpoints identically for both engines.
+    through checkpoints identically for both engines.  ``kernel``
+    selects each batch worker's level kernel
+    (``auto``/``numpy``/``native``, :func:`repro.checker.batch.make_kernel`);
+    the generated native library is disk-cached, so concurrent shard
+    workers share one compile.
     """
     spec = FastSnapshotSpec(inputs, wiring, level_target=level_target)
     jobs = effective_jobs(jobs)
@@ -760,6 +794,7 @@ def explore_sharded(
             checkpointer=checkpointer,
             por=por,
             engine=engine,
+            kernel=kernel,
             heartbeat=heartbeat,
         )
     # Shard ownership and checkpoint files both carry digests across
@@ -829,7 +864,7 @@ def explore_sharded(
                     args=(
                         child_conn, tuple(inputs), wiring, level_target,
                         shard, jobs, check_safety, fingerprint, symmetry,
-                        store, por, worker_engine,
+                        store, por, worker_engine, kernel,
                     ),
                     daemon=True,
                 )
@@ -847,6 +882,7 @@ def explore_sharded(
                 checkpointer=checkpointer,
                 por=por,
                 engine=engine,
+                kernel=kernel,
             )
 
         states = 0

@@ -306,6 +306,27 @@ def _write_footprint_table(wiring: Sequence[int], m: int) -> List[int]:
     return table
 
 
+def export_footprint_tables(
+    spec: "FastSnapshotSpec",
+) -> Tuple[Tuple[Tuple[int, ...], ...], Tuple[int, ...]]:
+    """The C0/C1 mask tables as plain ints, for code generators.
+
+    Returns ``(wmask, popcount)``: ``wmask[pid][unwritten]`` is the
+    physical write-footprint bitmask (the same table
+    :class:`FootprintTables` loads into numpy arrays) and
+    ``popcount[unwritten]`` the write-successor count.  Deliberately
+    numpy-free so :mod:`repro.checker.native.generator` can bake the
+    tables into a translation unit without importing the batch stack.
+    """
+    m = spec.m
+    wmask = tuple(
+        tuple(_write_footprint_table(spec.wiring[pid], m))
+        for pid in range(spec.n)
+    )
+    popcount = tuple(bin(u).count("1") for u in range(1 << m))
+    return wmask, popcount
+
+
 class FootprintTables:
     """The write-scan independence relation as numpy gather tables.
 

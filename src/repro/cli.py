@@ -191,6 +191,7 @@ def _cmd_check(args: argparse.Namespace) -> int:
     from repro.checker.parallel import (
         check_snapshot_classes,
         class_key,
+        engine_label,
         explore_sharded,
     )
     from repro.checker.fast_snapshot import canonical_wiring_classes
@@ -229,6 +230,20 @@ def _cmd_check(args: argparse.Namespace) -> int:
         except BatchEngineUnavailable as exc:
             print(f"error: {exc}")
             return 2
+
+    # Resolve the batch kernel once up front: an explicit --kernel
+    # native that cannot run here degrades to numpy with a single
+    # warning (results are identical), never an error.
+    kernel = args.kernel
+    if args.engine == "batch":
+        from repro.checker.native.loader import (
+            resolve_kernel,
+            warn_kernel_fallback,
+        )
+
+        kernel = resolve_kernel(args.kernel)
+        if args.kernel == "native" and kernel != "native":
+            warn_kernel_fallback()
 
     usable = os.cpu_count() or 1
     jobs = max(1, args.jobs)
@@ -333,6 +348,7 @@ def _cmd_check(args: argparse.Namespace) -> int:
                     2, budget=budget, jobs=jobs,
                     fingerprint=args.fingerprint, symmetry=args.symmetry,
                     store=store_cfg, por=args.por, engine=args.engine,
+                    kernel=kernel,
                     sweep_dir=str(ckpt_base) if ckpt_base else None,
                     sweep_meta={**meta_base, "engine": "sweep"},
                     heartbeat_every=args.heartbeat,
@@ -389,13 +405,18 @@ def _cmd_check(args: argparse.Namespace) -> int:
                     from repro.service.heartbeat import Heartbeat
 
                     heartbeat = Heartbeat(
-                        args.heartbeat, label=f"class-{index:03d}"
+                        args.heartbeat,
+                        label=(
+                            f"class-{index:03d}"
+                            f" {engine_label(args.engine, kernel)}"
+                        ),
                     )
                 result = explore_sharded(
                     inputs, wiring, jobs=jobs, max_states=max_states,
                     fingerprint=args.fingerprint, symmetry=args.symmetry,
                     store=class_store, checkpointer=checkpointer,
-                    por=args.por, engine=args.engine, heartbeat=heartbeat,
+                    por=args.por, engine=args.engine, kernel=kernel,
+                    heartbeat=heartbeat,
                 )
                 status = "OK" if result.ok else f"VIOLATED: {result.violation}"
                 if not result.ok:
@@ -413,6 +434,7 @@ def _cmd_check(args: argparse.Namespace) -> int:
                 args.n, budget=budget, jobs=jobs,
                 fingerprint=args.fingerprint, symmetry=args.symmetry,
                 store=store_cfg, por=args.por, engine=args.engine,
+                kernel=kernel,
                 sweep_dir=str(ckpt_base) if ckpt_base else None,
                 sweep_meta=(
                     {**meta_base, "engine": "sweep"}
@@ -676,6 +698,7 @@ def _cmd_submit(args: argparse.Namespace) -> int:
             symmetry=args.symmetry,
             por=args.por,
             engine=args.engine,
+            kernel=args.kernel,
             store=args.store,
             mem_cap=args.mem_cap,
             shards=args.shards,
@@ -852,6 +875,16 @@ def build_parser() -> argparse.ArgumentParser:
              " earlier-in-level occurrences — pessimistic, sound):"
              " same verdicts as scalar+POR, possibly different"
              " state/transition counts",
+    )
+    check.add_argument(
+        "--kernel", choices=["auto", "numpy", "native"], default="auto",
+        help="batch-engine level kernel: auto (default; generated C"
+             " kernel when a C compiler is present, numpy otherwise),"
+             " numpy (force the vectorized oracle), or native (force the"
+             " generated C kernel; degrades to numpy with a warning when"
+             " no compiler is available).  Kernels are bit-identical —"
+             " same states, fingerprints, and verdicts; ignored by"
+             " --engine scalar",
     )
     check.add_argument(
         "--fingerprint", action="store_true",
@@ -1067,6 +1100,12 @@ def build_parser() -> argparse.ArgumentParser:
     submit.add_argument("--por", action="store_true")
     submit.add_argument(
         "--engine", choices=["scalar", "batch"], default="scalar",
+    )
+    submit.add_argument(
+        "--kernel", choices=["auto", "numpy", "native"], default="auto",
+        help="batch-engine level kernel on the worker host: auto"
+             " (default), numpy, or native (degrades to numpy on"
+             " compiler-less workers; bit-identical results)",
     )
     submit.add_argument("--store", choices=list(BACKENDS), default="ram")
     submit.add_argument(

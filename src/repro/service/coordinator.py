@@ -585,6 +585,7 @@ class Coordinator:
             "symmetry": spec.symmetry,
             "por": spec.por,
             "engine": spec.engine,
+            "kernel": spec.kernel,
             "store": spec.store,
             "mem_cap": spec.mem_cap,
             "round_delay_ms": spec.round_delay_ms,

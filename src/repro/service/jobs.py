@@ -32,6 +32,7 @@ from typing import Any, Dict, List, Optional
 JOB_STATES = ("queued", "running", "done", "failed", "cancelled")
 
 _ENGINES = ("scalar", "batch")
+_KERNELS = ("auto", "numpy", "native")
 _STORES = ("ram", "mmap", "spill")
 _MACHINES = ("snapshot",)
 
@@ -61,6 +62,7 @@ class JobSpec:
     symmetry: bool = False
     por: bool = False
     engine: str = "scalar"
+    kernel: str = "auto"
     store: str = "ram"
     mem_cap: int = 0
     shards: int = 4
@@ -82,6 +84,11 @@ class JobSpec:
             raise JobError(
                 f"unknown engine {self.engine!r};"
                 f" choose one of {', '.join(_ENGINES)}"
+            )
+        if self.kernel not in _KERNELS:
+            raise JobError(
+                f"unknown kernel {self.kernel!r};"
+                f" choose one of {', '.join(_KERNELS)}"
             )
         if self.store not in _STORES:
             raise JobError(
@@ -133,11 +140,12 @@ class JobSpec:
     def meta(self) -> Dict[str, Any]:
         """The *semantic* configuration, for checkpoint meta validation.
 
-        Store backend, memory cap, checkpoint cadence, and the test
-        delay are operational knobs that do not change results, so they
-        are excluded — a job may resume under a different store or
-        cadence.  ``shards`` is semantic: budgeted truncation points
-        depend on the logical partition.
+        Store backend, memory cap, checkpoint cadence, the batch kernel,
+        and the test delay are operational knobs that do not change
+        results, so they are excluded — a job may resume under a
+        different store, cadence, or kernel (kernels are bit-identical
+        by the native conformance contract).  ``shards`` is semantic:
+        budgeted truncation points depend on the logical partition.
         """
         return {
             "machine": self.machine,

@@ -421,3 +421,65 @@ class TestCliBatchEngine:
 
         with pytest.raises(SystemExit):
             main(["check", "--n", "2", "--engine", "simd"])
+
+
+# ----------------------------------------------------------------------
+# _unique_first's sorted fast path (spill merges hand back whole levels
+# in key order; re-sorting them was measurable pure waste)
+# ----------------------------------------------------------------------
+
+
+@requires_numpy
+class TestUniqueFirstSortedPath:
+    def test_sorted_input_skips_the_sort_and_matches_the_oracle(
+        self, monkeypatch
+    ):
+        rng = np.random.default_rng(7)
+        keys = np.sort(rng.integers(0, 50, size=4096, dtype=np.uint64))
+        oracle_uniq, oracle_first = np.unique(keys, return_index=True)
+        argsorts = []
+        real_argsort = np.argsort
+        monkeypatch.setattr(
+            np, "argsort",
+            lambda *args, **kw: (
+                argsorts.append(1), real_argsort(*args, **kw)
+            )[1],
+        )
+        uniq, first = batch_mod._unique_first(keys)
+        assert argsorts == []  # the fast path must not sort again
+        assert np.array_equal(uniq, oracle_uniq)
+        assert np.array_equal(first, oracle_first)
+
+    @pytest.mark.parametrize("size", [0, 1, 2, 257])
+    def test_edge_shapes_sorted_and_unsorted(self, size):
+        rng = np.random.default_rng(size)
+        raw = rng.integers(0, max(1, size // 3), size=size, dtype=np.uint64)
+        for keys in (raw, np.sort(raw)):
+            uniq, first = batch_mod._unique_first(keys)
+            oracle_uniq, oracle_first = np.unique(keys, return_index=True)
+            assert np.array_equal(uniq, oracle_uniq)
+            assert np.array_equal(first, oracle_first)
+
+    def test_unsorted_input_still_reports_minimal_positions(self):
+        keys = np.array([9, 3, 9, 3, 1, 1, 9], dtype=np.uint64)
+        uniq, first = batch_mod._unique_first(keys)
+        assert uniq.tolist() == [1, 3, 9]
+        assert first.tolist() == [4, 1, 0]
+
+    def test_spill_level_dedup_accounting_unchanged(self, tmp_path):
+        # The spill store's merge path is what feeds already-sorted key
+        # arrays back into the level dedup; the fast path must leave
+        # every admitted/transition count identical to the RAM run.
+        def run(backend, sub):
+            return asdict(FastSnapshotSpec([1, 2, 3], N3_CLASS).explore(
+                engine="batch", fingerprint=True, max_states=3_000,
+                store=StoreConfig(
+                    backend=backend, directory=str(tmp_path / sub)
+                ),
+            ))
+
+        ram = run("ram", "ram")
+        spill = run("spill", "spill")
+        ram.pop("store_counters")
+        spill.pop("store_counters")
+        assert ram == spill
